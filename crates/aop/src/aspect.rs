@@ -1,0 +1,117 @@
+//! Aspect modules: named bundles of pointcut→advice bindings.
+//!
+//! In the paper each layer of the HPC system (MPI, OpenMP, …) is packaged as
+//! one aspect module providing up to three groups of advice (AspectType I:
+//! runtime/task control, II: block assignment, III: data communication).
+//! Here an aspect is any type implementing [`Aspect`]; the runtime crate
+//! provides the MPI-like and OpenMP-like modules, and tests/instrumentation
+//! can add ad-hoc aspects via [`ClosureAspect`].
+
+use crate::advice::Advice;
+use crate::pointcut::Pointcut;
+
+/// A pointcut bound to an advice.
+#[derive(Clone, Debug)]
+pub struct AdviceBinding {
+    /// The join points this binding applies to.
+    pub pointcut: Pointcut,
+    /// The advice to run there.
+    pub advice: Advice,
+}
+
+impl AdviceBinding {
+    /// Create a binding.
+    pub fn new(pointcut: Pointcut, advice: Advice) -> Self {
+        AdviceBinding { pointcut, advice }
+    }
+}
+
+/// An aspect module.
+///
+/// `precedence` controls advice ordering across aspects (lower value = outer
+/// position, i.e. its before-advice runs first and its around-advice wraps
+/// the others), mirroring AspectC++ `aspect order` declarations.  Within one
+/// aspect, bindings keep their declaration order.
+pub trait Aspect: Send + Sync {
+    /// Human-readable module name (used in the weave report).
+    fn name(&self) -> &str;
+
+    /// Precedence; lower is outer.  Defaults to 100.
+    fn precedence(&self) -> i32 {
+        100
+    }
+
+    /// The pointcut→advice bindings contributed by this module.
+    fn bindings(&self) -> Vec<AdviceBinding>;
+}
+
+/// A lightweight aspect assembled from closures — convenient for tests,
+/// tracing and ablation experiments.
+pub struct ClosureAspect {
+    name: String,
+    precedence: i32,
+    bindings: Vec<AdviceBinding>,
+}
+
+impl ClosureAspect {
+    /// Create an empty aspect with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ClosureAspect { name: name.into(), precedence: 100, bindings: Vec::new() }
+    }
+
+    /// Set the precedence (lower = outer).
+    pub fn with_precedence(mut self, precedence: i32) -> Self {
+        self.precedence = precedence;
+        self
+    }
+
+    /// Add a binding.
+    pub fn with_binding(mut self, pointcut: Pointcut, advice: Advice) -> Self {
+        self.bindings.push(AdviceBinding::new(pointcut, advice));
+        self
+    }
+}
+
+impl Aspect for ClosureAspect {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn precedence(&self) -> i32 {
+        self.precedence
+    }
+
+    fn bindings(&self) -> Vec<AdviceBinding> {
+        self.bindings.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_aspect_builder() {
+        let aspect = ClosureAspect::new("test")
+            .with_precedence(5)
+            .with_binding(Pointcut::Any, Advice::before(|_| {}))
+            .with_binding(Pointcut::call("Memory::%"), Advice::after(|_| {}));
+        assert_eq!(aspect.name(), "test");
+        assert_eq!(aspect.precedence(), 5);
+        assert_eq!(aspect.bindings().len(), 2);
+    }
+
+    #[test]
+    fn default_precedence_is_100() {
+        struct A;
+        impl Aspect for A {
+            fn name(&self) -> &str {
+                "a"
+            }
+            fn bindings(&self) -> Vec<AdviceBinding> {
+                vec![]
+            }
+        }
+        assert_eq!(A.precedence(), 100);
+    }
+}

@@ -1,0 +1,68 @@
+//! Canonical join-point names exposed by the platform.
+//!
+//! These are the names AspectC++ would see for the platform's annotation and
+//! memory libraries.  DSL parts and end-user code never introduce new join
+//! points (the paper deliberately defines pointcuts only against the platform
+//! libraries to avoid accidental matches from generic patterns), so this
+//! module is the complete vocabulary that aspect modules can advise.
+
+/// Entry point of the program (`main` of a C++ program in the paper).
+///
+/// AspectType I advice of the distributed layer (MPI module) brackets this
+/// join point with runtime initialisation / finalisation and rank spawning.
+pub const MAIN: &str = "Program::main";
+
+/// Execution of the annotation library's `Initialize` virtual function.
+pub const INITIALIZE: &str = "Annotation::Initialize";
+
+/// Execution of the annotation library's `Processing` virtual function.
+///
+/// AspectType I advice of the shared-memory layer (OpenMP module) starts its
+/// worker tasks around this join point.
+pub const PROCESSING: &str = "Annotation::Processing";
+
+/// Execution of the annotation library's `Finalize` virtual function.
+pub const FINALIZE: &str = "Annotation::Finalize";
+
+/// Execution of one kernel step (one sweep over the task's blocks).
+///
+/// Not advised by the paper's two prototype modules, but exposed so that
+/// instrumentation aspects (tracing, cost accounting) can hook it.
+pub const KERNEL_STEP: &str = "Annotation::KernelStep";
+
+/// Call of the memory library's `get_blocks` (Env block enumeration).
+///
+/// AspectType II advice intercepts this to divide the blocks allocated by the
+/// upper layer among the tasks of the advising layer.
+pub const GET_BLOCKS: &str = "Memory::get_blocks";
+
+/// Call of the memory library's `refresh` (buffer switch + validation).
+///
+/// AspectType III advice intercepts this to fetch pages recorded as
+/// non-existent from the tasks holding the latest data, and to run the
+/// Dry-run prefetch plan.
+pub const REFRESH: &str = "Memory::refresh";
+
+/// Warm-up invocation (the `WarmUp(Kernel)` macro of Listing 1).
+pub const WARM_UP: &str = "Annotation::WarmUp";
+
+/// All names, useful for exhaustiveness checks in tests and for the weave
+/// report.
+pub const ALL_JOIN_POINTS: &[&str] = &[
+    MAIN, INITIALIZE, PROCESSING, FINALIZE, KERNEL_STEP, GET_BLOCKS, REFRESH, WARM_UP,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_unique_and_namespaced() {
+        let mut seen = std::collections::HashSet::new();
+        for n in ALL_JOIN_POINTS {
+            assert!(n.contains("::"), "join point {n} must be namespaced");
+            assert!(seen.insert(*n), "duplicate join point name {n}");
+        }
+        assert_eq!(ALL_JOIN_POINTS.len(), 8);
+    }
+}

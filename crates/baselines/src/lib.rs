@@ -1,0 +1,39 @@
+//! # aohpc-baselines — the paper's "Handwritten" reference programs
+//!
+//! The evaluation compares every platform configuration against simple
+//! handwritten serial codes with double buffering and no MPI / OpenMP / SIMD
+//! (Listing 2).  This crate reproduces those three programs:
+//!
+//! * [`sgrid::HandwrittenSGrid`] — 5-point Jacobi on a dense array;
+//! * [`usgrid::HandwrittenUsGrid`] — the same arithmetic through explicit
+//!   neighbour-index indirection, with the CaseC / CaseR layouts;
+//! * [`particle::HandwrittenParticle`] — bucketed short-range force
+//!   integration on flat arrays.
+//!
+//! They share the initial conditions and coefficients of the DSL sample
+//! applications, so platform runs and handwritten runs can be compared
+//! value-for-value in tests and normalised against each other in the Fig. 6
+//! harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod particle;
+pub mod sgrid;
+pub mod usgrid;
+
+pub use particle::HandwrittenParticle;
+pub use sgrid::HandwrittenSGrid;
+pub use usgrid::HandwrittenUsGrid;
+
+/// Work summary of a handwritten run, used by the cost model to place the
+/// baseline on the same simulated-time axis as platform runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaselineWork {
+    /// Cell (or particle) updates performed.
+    pub updates: u64,
+    /// Neighbour reads performed.
+    pub reads: u64,
+    /// Steps executed.
+    pub steps: u64,
+}

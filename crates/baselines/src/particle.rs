@@ -1,0 +1,176 @@
+//! Handwritten bucketed particle method on flat arrays.
+
+use crate::BaselineWork;
+use aohpc_workloads::ParticleSize;
+
+/// A particle of the handwritten baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BaselineParticle {
+    /// Particle id.
+    pub id: u32,
+    /// Position.
+    pub pos: [f64; 3],
+    /// Velocity.
+    pub vel: [f64; 3],
+    /// Acceleration.
+    pub acc: [f64; 3],
+}
+
+/// The handwritten Particle benchmark program.
+#[derive(Debug, Clone)]
+pub struct HandwrittenParticle {
+    /// Number of particles.
+    pub particles: ParticleSize,
+    /// Buckets per side.
+    pub buckets: usize,
+    /// Particles placed per bucket at initialisation.
+    pub fill_per_bucket: usize,
+    /// Time step.
+    pub dt: f64,
+    /// Influence radius.
+    pub radius: f64,
+    /// Iterations.
+    pub loops: usize,
+}
+
+impl HandwrittenParticle {
+    /// Mirror the DSL system's sizing: half-full buckets on a square grid of
+    /// buckets rounded up to a multiple of 8.
+    pub fn new(particles: ParticleSize, loops: usize) -> Self {
+        let fill = 8;
+        let needed = particles.count.div_ceil(fill).max(1);
+        let side = (needed as f64).sqrt().ceil() as usize;
+        let side = side.div_ceil(8) * 8;
+        HandwrittenParticle { particles, buckets: side, fill_per_bucket: fill, dt: 1e-3, radius: 1.0, loops }
+    }
+
+    fn offset(k: usize) -> (f64, f64) {
+        let fx = ((k * 7 + 3) % 16) as f64 / 16.0;
+        let fy = ((k * 11 + 5) % 16) as f64 / 16.0;
+        (0.05 + 0.9 * fx, 0.05 + 0.9 * fy)
+    }
+
+    fn weight(&self, dist: f64) -> f64 {
+        if dist >= self.radius || dist <= 1e-9 {
+            0.0
+        } else {
+            let x = 1.0 - dist / self.radius;
+            x * x
+        }
+    }
+
+    /// Run the benchmark; returns per-bucket summed speeds (row-major) and a
+    /// work summary.
+    pub fn run(&self) -> (Vec<f64>, BaselineWork) {
+        let nb = self.buckets;
+        let mut buckets: Vec<Vec<BaselineParticle>> = vec![Vec::new(); nb * nb];
+        for (bi, bucket) in buckets.iter_mut().enumerate() {
+            let (bx, by) = ((bi % nb) as f64, (bi / nb) as f64);
+            for k in 0..self.fill_per_bucket {
+                let id = bi * self.fill_per_bucket + k;
+                if id >= self.particles.count {
+                    break;
+                }
+                let (ox, oy) = Self::offset(k);
+                bucket.push(BaselineParticle {
+                    id: id as u32,
+                    pos: [bx + ox, by + oy, 0.5],
+                    vel: [0.0; 3],
+                    acc: [0.0; 3],
+                });
+            }
+        }
+
+        let mut work = BaselineWork::default();
+        let wall = |x: f64, y: f64| -> Vec<BaselineParticle> {
+            (0..4)
+                .map(|k| BaselineParticle {
+                    id: u32::MAX,
+                    pos: [x + 0.25 + 0.5 * (k % 2) as f64, y + 0.25 + 0.5 * (k / 2) as f64, 0.5],
+                    ..Default::default()
+                })
+                .collect()
+        };
+
+        for _ in 0..self.loops {
+            let snapshot = buckets.clone();
+            for bj in 0..nb as i64 {
+                for bi in 0..nb as i64 {
+                    let idx = (bj * nb as i64 + bi) as usize;
+                    for p_idx in 0..buckets[idx].len() {
+                        let p = snapshot[idx][p_idx];
+                        let mut force = [0.0f64; 3];
+                        for dj in -1..=1i64 {
+                            for di in -1..=1i64 {
+                                let (ni, njj) = (bi + di, bj + dj);
+                                let neighbours: Vec<BaselineParticle> = if ni < 0
+                                    || njj < 0
+                                    || ni >= nb as i64
+                                    || njj >= nb as i64
+                                {
+                                    wall(ni as f64, njj as f64)
+                                } else {
+                                    snapshot[(njj * nb as i64 + ni) as usize].clone()
+                                };
+                                for q in &neighbours {
+                                    if q.id == p.id {
+                                        continue;
+                                    }
+                                    work.reads += 1;
+                                    let dx = p.pos[0] - q.pos[0];
+                                    let dy = p.pos[1] - q.pos[1];
+                                    let dz = p.pos[2] - q.pos[2];
+                                    let dist = (dx * dx + dy * dy + dz * dz).sqrt();
+                                    let w = self.weight(dist);
+                                    if w > 0.0 {
+                                        force[0] += w * dx / dist;
+                                        force[1] += w * dy / dist;
+                                        force[2] += w * dz / dist;
+                                    }
+                                }
+                            }
+                        }
+                        let p = &mut buckets[idx][p_idx];
+                        p.acc = force;
+                        for d in 0..3 {
+                            p.vel[d] += p.acc[d] * self.dt;
+                            p.pos[d] += p.vel[d] * self.dt;
+                        }
+                        work.updates += 1;
+                    }
+                }
+            }
+            work.steps += 1;
+        }
+
+        let speeds = buckets
+            .iter()
+            .map(|b| {
+                b.iter()
+                    .map(|p| (p.vel[0].powi(2) + p.vel[1].powi(2) + p.vel[2].powi(2)).sqrt())
+                    .sum()
+            })
+            .collect();
+        (speeds, work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn particles_gain_speed_from_interactions() {
+        let (speeds, work) = HandwrittenParticle::new(ParticleSize::new(256), 3).run();
+        assert!(speeds.iter().sum::<f64>() > 0.0);
+        assert_eq!(work.steps, 3);
+        assert!(work.updates >= 3 * 256);
+    }
+
+    #[test]
+    fn sizing_rounds_to_blocks_of_buckets() {
+        let h = HandwrittenParticle::new(ParticleSize::new(1 << 12), 1);
+        assert_eq!(h.buckets % 8, 0);
+        assert!(h.buckets * h.buckets * h.fill_per_bucket >= 1 << 12);
+    }
+}

@@ -1,0 +1,149 @@
+//! Handwritten structured-grid Jacobi (Listing 2).
+
+use crate::BaselineWork;
+use aohpc_workloads::RegionSize;
+
+/// A double-buffered dense 2-D array wrapper (the `mem` object of Listing 2).
+#[derive(Debug, Clone)]
+pub struct DoubleBufferedGrid {
+    nx: i64,
+    ny: i64,
+    read: Vec<f64>,
+    write: Vec<f64>,
+    boundary: f64,
+}
+
+impl DoubleBufferedGrid {
+    /// Create a zeroed grid.
+    pub fn new(region: RegionSize, boundary: f64) -> Self {
+        DoubleBufferedGrid {
+            nx: region.nx as i64,
+            ny: region.ny as i64,
+            read: vec![0.0; region.cells()],
+            write: vec![0.0; region.cells()],
+            boundary,
+        }
+    }
+
+    /// Read with the boundary condition applied outside the region.
+    #[inline]
+    pub fn get(&self, x: i64, y: i64) -> f64 {
+        if x < 0 || y < 0 || x >= self.nx || y >= self.ny {
+            self.boundary
+        } else {
+            self.read[(y * self.nx + x) as usize]
+        }
+    }
+
+    /// Write into the write buffer.
+    #[inline]
+    pub fn set(&mut self, x: i64, y: i64, v: f64) {
+        self.write[(y * self.nx + x) as usize] = v;
+    }
+
+    /// Write into the read buffer (initialisation).
+    pub fn set_initial(&mut self, x: i64, y: i64, v: f64) {
+        self.read[(y * self.nx + x) as usize] = v;
+    }
+
+    /// Exchange the buffers.
+    pub fn refresh(&mut self) {
+        std::mem::swap(&mut self.read, &mut self.write);
+    }
+
+    /// The current (read) field in row-major order.
+    pub fn field(&self) -> &[f64] {
+        &self.read
+    }
+
+    /// Approximate heap bytes held.
+    pub fn bytes(&self) -> usize {
+        (self.read.capacity() + self.write.capacity()) * std::mem::size_of::<f64>()
+    }
+}
+
+/// The handwritten SGrid benchmark program.
+#[derive(Debug, Clone)]
+pub struct HandwrittenSGrid {
+    /// Region size.
+    pub region: RegionSize,
+    /// Centre weight.
+    pub alpha: f64,
+    /// Neighbour weight.
+    pub beta: f64,
+    /// Iterations.
+    pub loops: usize,
+    /// Initial-value function shared with the platform app.
+    pub init: fn(i64, i64) -> f64,
+}
+
+impl HandwrittenSGrid {
+    /// Same coefficients and initial condition as the DSL sample app.
+    pub fn new(region: RegionSize, loops: usize, init: fn(i64, i64) -> f64) -> Self {
+        HandwrittenSGrid { region, alpha: 0.5, beta: 0.125, loops, init }
+    }
+
+    /// Run the benchmark; returns the final field and a work summary.
+    pub fn run(&self) -> (DoubleBufferedGrid, BaselineWork) {
+        let mut mem = DoubleBufferedGrid::new(self.region, 0.0);
+        let (nx, ny) = (self.region.nx as i64, self.region.ny as i64);
+        for y in 0..ny {
+            for x in 0..nx {
+                mem.set_initial(x, y, (self.init)(x, y));
+            }
+        }
+        let mut work = BaselineWork::default();
+        for _ in 0..self.loops {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let v1 = self.alpha * mem.get(x, y);
+                    let v2 = self.beta
+                        * (mem.get(x - 1, y) + mem.get(x + 1, y) + mem.get(x, y - 1) + mem.get(x, y + 1));
+                    mem.set(x, y, v1 + v2);
+                    work.updates += 1;
+                    work.reads += 5;
+                }
+            }
+            mem.refresh();
+            work.steps += 1;
+        }
+        (mem, work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn init(x: i64, y: i64) -> f64 {
+        ((x * 13 + y * 7) % 97) as f64 / 97.0
+    }
+
+    #[test]
+    fn converges_towards_boundary_value() {
+        // With a zero Dirichlet boundary, repeated relaxation decays the field.
+        let before = HandwrittenSGrid::new(RegionSize::square(16), 0, init).run().0;
+        let after = HandwrittenSGrid::new(RegionSize::square(16), 50, init).run().0;
+        let sum = |g: &DoubleBufferedGrid| g.field().iter().sum::<f64>();
+        assert!(sum(&after).abs() < sum(&before).abs());
+    }
+
+    #[test]
+    fn work_accounting() {
+        let (_, work) = HandwrittenSGrid::new(RegionSize::square(8), 3, init).run();
+        assert_eq!(work.steps, 3);
+        assert_eq!(work.updates, 3 * 64);
+        assert_eq!(work.reads, 3 * 64 * 5);
+    }
+
+    #[test]
+    fn buffers_swap_on_refresh() {
+        let mut g = DoubleBufferedGrid::new(RegionSize::square(4), 9.0);
+        g.set(1, 1, 5.0);
+        assert_eq!(g.get(1, 1), 0.0);
+        g.refresh();
+        assert_eq!(g.get(1, 1), 5.0);
+        assert_eq!(g.get(-1, 0), 9.0, "boundary value outside the region");
+        assert!(g.bytes() >= 2 * 16 * 8);
+    }
+}

@@ -1,0 +1,135 @@
+//! Handwritten unstructured-grid Jacobi: the same arithmetic as the
+//! structured grid, but every point reads its neighbours through an explicit
+//! index list, stored in CaseC (consecutive) or CaseR (scattered) order.
+
+use crate::BaselineWork;
+use aohpc_workloads::{GridLayout, RegionSize};
+
+/// The handwritten USGrid benchmark program.
+#[derive(Debug, Clone)]
+pub struct HandwrittenUsGrid {
+    /// Region size (logical points).
+    pub region: RegionSize,
+    /// Memory layout.
+    pub layout: GridLayout,
+    /// Centre weight.
+    pub alpha: f64,
+    /// Neighbour weight.
+    pub beta: f64,
+    /// Iterations.
+    pub loops: usize,
+    /// Initial-value function of the logical position.
+    pub init: fn(i64, i64) -> f64,
+}
+
+/// One point of the flattened unstructured grid.
+#[derive(Debug, Clone, Copy, Default)]
+struct Point {
+    value: f64,
+    /// Indices of the four neighbours in the storage array; `usize::MAX`
+    /// denotes the out-of-domain value.
+    neighbors: [usize; 4],
+}
+
+impl HandwrittenUsGrid {
+    /// Same coefficients and initial condition as the DSL sample app.
+    pub fn new(
+        region: RegionSize,
+        layout: GridLayout,
+        loops: usize,
+        init: fn(i64, i64) -> f64,
+    ) -> Self {
+        HandwrittenUsGrid { region, layout, alpha: 0.5, beta: 0.125, loops, init }
+    }
+
+    fn storage_index(&self, x: i64, y: i64) -> usize {
+        let (sx, sy) =
+            self.layout.storage_of(x, y, self.region.nx as i64, self.region.ny as i64);
+        (sy * self.region.nx as i64 + sx) as usize
+    }
+
+    /// Run the benchmark; returns the final field in *logical* row-major
+    /// order and a work summary.
+    pub fn run(&self) -> (Vec<f64>, BaselineWork) {
+        let (nx, ny) = (self.region.nx as i64, self.region.ny as i64);
+        let cells = self.region.cells();
+        let mut read = vec![Point::default(); cells];
+        // Build points at their storage positions with neighbour indices.
+        for y in 0..ny {
+            for x in 0..nx {
+                let idx = self.storage_index(x, y);
+                let mut neighbors = [usize::MAX; 4];
+                for (k, (dx, dy)) in [(0, -1), (-1, 0), (1, 0), (0, 1)].into_iter().enumerate() {
+                    let (xx, yy) = (x + dx, y + dy);
+                    if xx >= 0 && yy >= 0 && xx < nx && yy < ny {
+                        neighbors[k] = self.storage_index(xx, yy);
+                    }
+                }
+                read[idx] = Point { value: (self.init)(x, y), neighbors };
+            }
+        }
+        let mut write = read.clone();
+        let mut work = BaselineWork::default();
+        for _ in 0..self.loops {
+            for idx in 0..cells {
+                let p = read[idx];
+                let mut sum = 0.0;
+                for n in p.neighbors {
+                    sum += if n == usize::MAX { 0.0 } else { read[n].value };
+                    work.reads += 1;
+                }
+                write[idx].value = self.alpha * p.value + self.beta * sum;
+                work.updates += 1;
+            }
+            std::mem::swap(&mut read, &mut write);
+            work.steps += 1;
+        }
+        // Gather back into logical order.
+        let mut logical = vec![0.0; cells];
+        for y in 0..ny {
+            for x in 0..nx {
+                logical[(y * nx + x) as usize] = read[self.storage_index(x, y)].value;
+            }
+        }
+        (logical, work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sgrid::HandwrittenSGrid;
+
+    fn init(x: i64, y: i64) -> f64 {
+        ((x * 13 + y * 7) % 97) as f64 / 97.0
+    }
+
+    #[test]
+    fn casec_matches_structured_grid() {
+        let region = RegionSize::square(20);
+        let (us, _) = HandwrittenUsGrid::new(region, GridLayout::CaseC, 5, init).run();
+        let (sg, _) = HandwrittenSGrid::new(region, 5, init).run();
+        for (a, b) in us.iter().zip(sg.field()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn caser_computes_the_same_values_in_scattered_memory() {
+        let region = RegionSize::square(20);
+        let (case_c, _) = HandwrittenUsGrid::new(region, GridLayout::CaseC, 5, init).run();
+        let (case_r, _) =
+            HandwrittenUsGrid::new(region, GridLayout::CaseR { seed: 9 }, 5, init).run();
+        for (a, b) in case_c.iter().zip(case_r.iter()) {
+            assert!((a - b).abs() < 1e-12, "layout must not change the mathematics");
+        }
+    }
+
+    #[test]
+    fn work_accounting() {
+        let (_, work) = HandwrittenUsGrid::new(RegionSize::square(8), GridLayout::CaseC, 2, init).run();
+        assert_eq!(work.steps, 2);
+        assert_eq!(work.updates, 2 * 64);
+        assert_eq!(work.reads, 2 * 64 * 4);
+    }
+}

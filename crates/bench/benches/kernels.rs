@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the three sample DSL kernels (one full
+//! scaled-down run each) and of the substrate primitives that dominate the
+//! platform's overhead: the Env search, the MMAT memo and the Z-order index.
+
+use aohpc::prelude::*;
+use aohpc_bench::{run_platform, Workload};
+use aohpc_env::{morton2d, AccessState, EnvBuilder, MmatEntry, MmatTable};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_dsl_kernels(c: &mut Criterion) {
+    let scale = Scale::Smoke;
+    let mut group = c.benchmark_group("dsl_kernels");
+    group.sample_size(10);
+    let cases = [
+        ("sgrid", Workload::SGrid { region: RegionSize::square(48) }, false),
+        ("usgrid_casec", Workload::UsGrid { region: RegionSize::square(48), layout: GridLayout::CaseC }, true),
+        ("usgrid_caser", Workload::UsGrid { region: RegionSize::square(48), layout: GridLayout::CaseR { seed: 42 } }, true),
+        ("particle", Workload::Particle { count: ParticleSize::new(512) }, false),
+    ];
+    for (name, workload, mmat) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    run_platform(workload, ExecutionMode::PlatformDirect, mmat, true, scale)
+                        .report
+                        .total_counters()
+                        .reads,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+
+    // Env search: a 16x16 tiling, search from one corner block to the other.
+    let pool = PoolHandle::unbounded();
+    let mut builder = EnvBuilder::<f64>::new(pool, 64);
+    let root = builder.add_empty(None);
+    let boundary_joint = builder.add_empty(Some(root));
+    builder.add_arithmetic(boundary_joint, Arc::new(|_| 0.0), true);
+    let joint = builder.add_empty(Some(root));
+    let mut first = None;
+    for by in 0..16u32 {
+        for bx in 0..16u32 {
+            let id = builder
+                .add_data(
+                    joint,
+                    GlobalAddress::new2d(bx as i64 * 8, by as i64 * 8),
+                    Extent::new2d(8, 8),
+                    morton2d(bx, by),
+                )
+                .unwrap();
+            first.get_or_insert(id);
+        }
+    }
+    let env = builder.build();
+    let start = first.unwrap();
+    group.bench_function("env_search_far_block", |b| {
+        b.iter(|| black_box(env.find_block(GlobalAddress::new2d(120, 120), start).0))
+    });
+    group.bench_function("env_read_in_block_hint", |b| {
+        let mut state = AccessState::new();
+        b.iter(|| black_box(env.read(start, GlobalAddress::new2d(3, 3), true, &mut state)))
+    });
+
+    // MMAT memo lookup.
+    let mut mmat = MmatTable::new();
+    for i in 0..1024 {
+        mmat.record(0, GlobalAddress::new2d(i, i), MmatEntry::InBlock(i as usize));
+    }
+    group.bench_function("mmat_lookup_hit", |b| {
+        b.iter(|| black_box(mmat.lookup(0, GlobalAddress::new2d(511, 511))))
+    });
+
+    // Z-order index (software PDEP).
+    group.bench_function("morton2d", |b| b.iter(|| black_box(morton2d(12345, 54321))));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dsl_kernels, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmark behind Fig. 6: wall-clock time of one small
+//! single-task workload in every build configuration, compared against the
+//! handwritten baseline.  (The figure harness uses the deterministic cost
+//! model; this bench provides the real-time counterpart on the host machine.)
+
+use aohpc::prelude::*;
+use aohpc_baselines::HandwrittenSGrid;
+use aohpc_bench::{grid_init, run_platform, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_overhead(c: &mut Criterion) {
+    let scale = Scale::Smoke;
+    let region = RegionSize::square(48);
+    let workload = Workload::SGrid { region };
+
+    let mut group = c.benchmark_group("fig06_single_task");
+    group.sample_size(10);
+
+    group.bench_function("handwritten", |b| {
+        b.iter(|| {
+            let (grid, _) = HandwrittenSGrid::new(region, scale.loop_count(), grid_init).run();
+            black_box(grid.field()[0])
+        })
+    });
+    group.bench_function("platform_direct", |b| {
+        b.iter(|| {
+            black_box(run_platform(workload, ExecutionMode::PlatformDirect, false, true, scale).report.dispatches)
+        })
+    });
+    group.bench_function("platform_nop", |b| {
+        b.iter(|| {
+            black_box(run_platform(workload, ExecutionMode::PlatformNop, false, true, scale).report.dispatches)
+        })
+    });
+    group.bench_function("platform_mpi1", |b| {
+        b.iter(|| {
+            black_box(
+                run_platform(workload, ExecutionMode::PlatformMpi { ranks: 1 }, false, true, scale)
+                    .report
+                    .dispatches,
+            )
+        })
+    });
+    group.bench_function("platform_omp1", |b| {
+        b.iter(|| {
+            black_box(
+                run_platform(workload, ExecutionMode::PlatformOmp { threads: 1 }, false, true, scale)
+                    .report
+                    .dispatches,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 6 — single-task overhead of the platform relative to the handwritten
+//! baseline (= 100%), for every build configuration: Platform, Platform NOP,
+//! Platform MPI, Platform OMP, each without and with MMAT.
+
+use aohpc::prelude::*;
+use aohpc_bench::{baseline_seconds, fig6_workloads, relative, run_handwritten, run_platform};
+
+fn main() {
+    let scale = Scale::from_env();
+    let cost = CostModel::default();
+    println!("# Fig. 6 — relative execution time vs Handwritten (=100%), single task, scale = {scale}");
+    println!(
+        "{:<22} {:>12} {:>16} {:>16} {:>16} {:>16}",
+        "benchmark", "mmat", "Platform", "Platform NOP", "Platform MPI", "Platform OMP"
+    );
+
+    let modes = [
+        ExecutionMode::PlatformDirect,
+        ExecutionMode::PlatformNop,
+        ExecutionMode::PlatformMpi { ranks: 1 },
+        ExecutionMode::PlatformOmp { threads: 1 },
+    ];
+
+    for workload in fig6_workloads(scale) {
+        let handwritten = baseline_seconds(&run_handwritten(workload, scale), &cost);
+        for mmat in [false, true] {
+            let mut cells = vec![format!("{:<22}", workload.label()), format!("{:>12}", if mmat { "w MMAT" } else { "w/o MMAT" })];
+            for mode in modes {
+                let outcome = run_platform(workload, mode, mmat, true, scale);
+                cells.push(format!("{:>15.0}%", relative(outcome.simulated_seconds, handwritten)));
+            }
+            println!("{}", cells.join(" "));
+        }
+    }
+    println!();
+    println!("(paper: overhead up to ~600% without MMAT, down to ~70-200% with MMAT; NOP within a few percent of Platform)");
+}

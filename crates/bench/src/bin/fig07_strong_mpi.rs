@@ -1,0 +1,34 @@
+//! Fig. 7 — strong scaling on the distributed (MPI-like) layer: fixed global
+//! problem, 1–16 ranks, execution time relative to 1 rank.
+
+use aohpc::prelude::*;
+use aohpc_bench::{run_platform, scaling_workloads};
+
+fn main() {
+    let scale = Scale::from_env();
+    let region = scale.scaling_region();
+    let particles = scale.scaling_particles();
+    let processes = scale.strong_scaling_processes();
+
+    println!("# Fig. 7 — strong scaling (MPI), relative execution time (1 process = 1.0), scale = {scale}");
+    print!("{:<26}", "benchmark");
+    for p in &processes {
+        print!(" {:>10}", format!("p={p}"));
+    }
+    println!();
+
+    for (workload, mmat) in scaling_workloads(scale, region, particles) {
+        let mut baseline = None;
+        print!("{:<26}", workload.label());
+        for &p in &processes {
+            let outcome =
+                run_platform(workload, ExecutionMode::PlatformMpi { ranks: p }, mmat, true, scale);
+            let t = outcome.simulated_seconds;
+            let base = *baseline.get_or_insert(t);
+            print!(" {:>10.3}", t / base);
+        }
+        println!();
+    }
+    println!();
+    println!("(paper: near-linear scaling — relative time ≈ 1/p)");
+}

@@ -1,0 +1,72 @@
+//! Fig. 8 — weak scaling on the distributed (MPI-like) layer: fixed per-task
+//! problem (2048² cells / 2¹⁶ particles per task in the paper), 1–64 ranks,
+//! execution time relative to 1 rank (= 100%).
+
+use aohpc::prelude::*;
+use aohpc_bench::{relative, run_platform, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let per_task = scale.weak_scaling_region_per_task();
+    let per_task_particles = scale.weak_scaling_particles_per_task();
+    let processes = scale.weak_scaling_processes();
+
+    println!("# Fig. 8 — weak scaling (MPI), relative execution time (1 process = 100%), scale = {scale}");
+    print!("{:<26}", "benchmark");
+    for p in &processes {
+        print!(" {:>10}", format!("p={p}"));
+    }
+    println!();
+
+    let cases: Vec<(&str, Box<dyn Fn(usize) -> Workload>, bool)> = vec![
+        (
+            "SGrid",
+            Box::new(move |p: usize| {
+                let side = per_task.nx * (p as f64).sqrt().round() as usize;
+                Workload::SGrid { region: RegionSize::square(side) }
+            }),
+            false,
+        ),
+        (
+            "USGrid CaseC (w MMAT)",
+            Box::new(move |p: usize| {
+                let side = per_task.nx * (p as f64).sqrt().round() as usize;
+                Workload::UsGrid { region: RegionSize::square(side), layout: GridLayout::CaseC }
+            }),
+            true,
+        ),
+        (
+            "USGrid CaseR (w MMAT)",
+            Box::new(move |p: usize| {
+                let side = per_task.nx * (p as f64).sqrt().round() as usize;
+                Workload::UsGrid {
+                    region: RegionSize::square(side),
+                    layout: GridLayout::CaseR { seed: 42 },
+                }
+            }),
+            true,
+        ),
+        (
+            "Particle",
+            Box::new(move |p: usize| {
+                Workload::Particle { count: ParticleSize::new(per_task_particles.count * p) }
+            }),
+            false,
+        ),
+    ];
+
+    for (label, make, mmat) in cases {
+        let mut baseline = None;
+        print!("{:<26}", label);
+        for &p in &processes {
+            let outcome =
+                run_platform(make(p), ExecutionMode::PlatformMpi { ranks: p }, mmat, true, scale);
+            let t = outcome.simulated_seconds;
+            let base = *baseline.get_or_insert(t);
+            print!(" {:>9.0}%", relative(t, base));
+        }
+        println!();
+    }
+    println!();
+    println!("(paper: flat ~100-120% except USGrid CaseR, which degrades markedly due to its communication volume)");
+}

@@ -1,0 +1,39 @@
+//! Fig. 9 — strong scaling on the shared-memory (OpenMP-like) layer:
+//! fixed global problem, 1–16 threads, execution time relative to 1 thread.
+
+use aohpc::prelude::*;
+use aohpc_bench::{run_platform, scaling_workloads};
+
+fn main() {
+    let scale = Scale::from_env();
+    let region = scale.scaling_region();
+    let particles = scale.scaling_particles();
+    let threads = scale.omp_thread_counts();
+
+    println!("# Fig. 9 — strong scaling (OpenMP), relative execution time (1 thread = 1.0), scale = {scale}");
+    print!("{:<26}", "benchmark");
+    for t in &threads {
+        print!(" {:>10}", format!("t={t}"));
+    }
+    println!();
+
+    for (workload, mmat) in scaling_workloads(scale, region, particles) {
+        let mut baseline = None;
+        print!("{:<26}", workload.label());
+        for &t in &threads {
+            let outcome = run_platform(
+                workload,
+                ExecutionMode::PlatformOmp { threads: t },
+                mmat,
+                true,
+                scale,
+            );
+            let time = outcome.simulated_seconds;
+            let base = *baseline.get_or_insert(time);
+            print!(" {:>10.3}", time / base);
+        }
+        println!();
+    }
+    println!();
+    println!("(paper: near-linear except USGrid CaseR at 16 threads, limited by cache/bandwidth per task)");
+}

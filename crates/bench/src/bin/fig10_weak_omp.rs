@@ -1,0 +1,80 @@
+//! Fig. 10 — weak scaling on the shared-memory (OpenMP-like) layer: fixed
+//! per-task problem, 1–16 threads, execution time relative to 1 thread
+//! (= 100%).
+
+use aohpc::prelude::*;
+use aohpc_bench::{relative, run_platform, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let per_task = scale.weak_scaling_region_per_task();
+    let per_task_particles = scale.weak_scaling_particles_per_task();
+    let threads: Vec<usize> = match scale {
+        Scale::Smoke => vec![1, 4],
+        _ => vec![1, 4, 16],
+    };
+
+    println!("# Fig. 10 — weak scaling (OpenMP), relative execution time (1 thread = 100%), scale = {scale}");
+    print!("{:<26}", "benchmark");
+    for t in &threads {
+        print!(" {:>10}", format!("t={t}"));
+    }
+    println!();
+
+    let cases: Vec<(&str, Box<dyn Fn(usize) -> Workload>, bool)> = vec![
+        (
+            "SGrid",
+            Box::new(move |t: usize| {
+                let side = per_task.nx * (t as f64).sqrt().round() as usize;
+                Workload::SGrid { region: RegionSize::square(side) }
+            }),
+            false,
+        ),
+        (
+            "USGrid CaseC (w MMAT)",
+            Box::new(move |t: usize| {
+                let side = per_task.nx * (t as f64).sqrt().round() as usize;
+                Workload::UsGrid { region: RegionSize::square(side), layout: GridLayout::CaseC }
+            }),
+            true,
+        ),
+        (
+            "USGrid CaseR (w MMAT)",
+            Box::new(move |t: usize| {
+                let side = per_task.nx * (t as f64).sqrt().round() as usize;
+                Workload::UsGrid {
+                    region: RegionSize::square(side),
+                    layout: GridLayout::CaseR { seed: 42 },
+                }
+            }),
+            true,
+        ),
+        (
+            "Particle",
+            Box::new(move |t: usize| {
+                Workload::Particle { count: ParticleSize::new(per_task_particles.count * t) }
+            }),
+            false,
+        ),
+    ];
+
+    for (label, make, mmat) in cases {
+        let mut baseline = None;
+        print!("{:<26}", label);
+        for &t in &threads {
+            let outcome = run_platform(
+                make(t),
+                ExecutionMode::PlatformOmp { threads: t },
+                mmat,
+                true,
+                scale,
+            );
+            let time = outcome.simulated_seconds;
+            let base = *baseline.get_or_insert(time);
+            print!(" {:>9.0}%", relative(time, base));
+        }
+        println!();
+    }
+    println!();
+    println!("(paper: gradual degradation with thread count from shared cache/bandwidth pressure, strongest for CaseC)");
+}

@@ -1,0 +1,46 @@
+//! Fig. 11 — 16 tasks split between the distributed and shared layers:
+//! (1×16), (2×8), (4×4), (8×2), (16×1), execution time relative to the
+//! 1-process × 1-thread run (= 100%).
+
+use aohpc::prelude::*;
+use aohpc_bench::{relative, run_platform, scaling_workloads};
+
+fn main() {
+    let scale = Scale::from_env();
+    let region = scale.scaling_region();
+    let particles = scale.scaling_particles();
+    let combos = scale.hybrid_combinations();
+
+    println!("# Fig. 11 — MPI x OpenMP combinations, relative execution time (1x1 = 100%), scale = {scale}");
+    print!("{:<26}", "benchmark");
+    for (r, t) in &combos {
+        print!(" {:>10}", format!("{r}x{t}"));
+    }
+    println!();
+
+    for (workload, mmat) in scaling_workloads(scale, region, particles) {
+        // The reference run: one rank, one thread.
+        let reference = run_platform(
+            workload,
+            ExecutionMode::PlatformHybrid { ranks: 1, threads: 1 },
+            mmat,
+            true,
+            scale,
+        )
+        .simulated_seconds;
+        print!("{:<26}", workload.label());
+        for &(ranks, threads) in &combos {
+            let outcome = run_platform(
+                workload,
+                ExecutionMode::PlatformHybrid { ranks, threads },
+                mmat,
+                true,
+                scale,
+            );
+            print!(" {:>9.1}%", relative(outcome.simulated_seconds, reference));
+        }
+        println!();
+    }
+    println!();
+    println!("(paper: roughly flat across combinations, except USGrid CaseR which worsens as the OpenMP share grows)");
+}

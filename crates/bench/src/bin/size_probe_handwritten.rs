@@ -1,0 +1,21 @@
+//! A probe binary linking only the handwritten baselines (Table I's "H"
+//! column): its on-disk size is compared against `size_probe_platform`.
+
+use aohpc_baselines::{HandwrittenParticle, HandwrittenSGrid, HandwrittenUsGrid};
+use aohpc_workloads::{GridLayout, ParticleSize, RegionSize};
+
+fn init(x: i64, y: i64) -> f64 {
+    ((x * 13 + y * 7) % 97) as f64 / 97.0
+}
+
+fn main() {
+    let (g, _) = HandwrittenSGrid::new(RegionSize::square(32), 2, init).run();
+    let (u, _) = HandwrittenUsGrid::new(RegionSize::square(32), GridLayout::CaseC, 2, init).run();
+    let (p, _) = HandwrittenParticle::new(ParticleSize::new(128), 2).run();
+    println!(
+        "handwritten probe: sums = {:.3} {:.3} {:.3}",
+        g.field().iter().sum::<f64>(),
+        u.iter().sum::<f64>(),
+        p.iter().sum::<f64>()
+    );
+}

@@ -1,0 +1,29 @@
+//! A probe binary linking the full platform and all three DSL processing
+//! systems (Table I's "P*" columns): its on-disk size is compared against
+//! `size_probe_handwritten`.
+
+use aohpc::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let scale = Scale::Smoke;
+    let block = scale.grid_block_size();
+    let sgrid = Arc::new(SGridSystem::with_block_size(RegionSize::square(32), block));
+    let usgrid = UsGridSystem::with_block_size(RegionSize::square(32), block, GridLayout::CaseC);
+    let particle = ParticleSystem::for_particles(ParticleSize::new(128));
+
+    let a = Platform::new(ExecutionMode::PlatformHybrid { ranks: 2, threads: 2 })
+        .with_mmat(true)
+        .run_system(sgrid, SGridJacobiApp::new(2, block).factory());
+    let b = Platform::new(ExecutionMode::PlatformMpi { ranks: 2 })
+        .with_mmat(true)
+        .run_system(Arc::new(usgrid.clone()), UsGridJacobiApp::new(usgrid, 2).factory());
+    let c = Platform::new(ExecutionMode::PlatformOmp { threads: 2 })
+        .run_system(Arc::new(particle.clone()), ParticleApp::new(particle, 2).factory());
+    println!(
+        "platform probe: tasks = {} {} {}",
+        a.report.tasks.len(),
+        b.report.tasks.len(),
+        c.report.tasks.len()
+    );
+}

@@ -1,0 +1,66 @@
+//! Table I — binary sizes of the benchmark programs.
+//!
+//! The paper compares the handwritten binaries against the woven platform
+//! binaries (three to five times larger, still cache-resident).  In this
+//! reproduction the execution mode is selected at run time, so one platform
+//! binary covers P / P NOP / P OMP / P MPI / P MPI+OMP; the comparison is
+//! between the handwritten-only probe binary and the full-platform probe
+//! binary, plus every example binary that has been built.
+
+use std::path::{Path, PathBuf};
+
+fn size_kb(path: &Path) -> Option<u64> {
+    std::fs::metadata(path).ok().map(|m| m.len() / 1024)
+}
+
+fn find_binaries(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_file()
+                && p.extension().is_none()
+                && std::fs::metadata(&p).map(|m| m.len() > 4096).unwrap_or(false)
+            {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn main() {
+    println!("# Table I — binary sizes (KB)");
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
+    let mut printed = 0usize;
+    for profile in ["release", "debug"] {
+        let base = PathBuf::from(&target).join(profile);
+        let mut rows: Vec<(String, u64)> = Vec::new();
+        for bin in find_binaries(&base) {
+            let name = bin.file_name().unwrap().to_string_lossy().to_string();
+            if name.starts_with("size_probe") || name.starts_with("fig") || name.starts_with("table") {
+                if let Some(kb) = size_kb(&bin) {
+                    rows.push((format!("{profile}/{name}"), kb));
+                }
+            }
+        }
+        for bin in find_binaries(&base.join("examples")) {
+            let name = bin.file_name().unwrap().to_string_lossy().to_string();
+            if let Some(kb) = size_kb(&bin) {
+                rows.push((format!("{profile}/examples/{name}"), kb));
+            }
+        }
+        for (name, kb) in rows {
+            println!("{name:<50} {kb:>8} KB");
+            printed += 1;
+        }
+    }
+    if printed == 0 {
+        println!("(no built binaries found — build the probes first:");
+        println!("  cargo build --release -p aohpc-bench --bins");
+        println!("  cargo build --release --examples)");
+    }
+    println!();
+    println!("(paper: platform binaries are 3-5x the handwritten ones — here compare size_probe_handwritten vs size_probe_platform)");
+}

@@ -1,0 +1,44 @@
+//! # aohpc — an AOP-based building-block platform for constructing HPC DSLs
+//!
+//! This crate is the public facade of the platform the paper describes: DSL
+//! developers combine reusable **aspect modules** (one per layer of the
+//! target machine) with the platform's annotation, memory and data-model
+//! libraries to obtain a DSL processing system; end-users write serial-
+//! looking application code against that DSL and get a parallel program.
+//!
+//! ```
+//! use aohpc::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // DSL part: a 64x64 structured grid tiled into 16x16 blocks.
+//! let system = Arc::new(SGridSystem::with_block_size(RegionSize::square(64), 16));
+//! // App part: 4 Jacobi iterations (Listing 1 of the paper).
+//! let app = SGridJacobiApp::new(4, 16);
+//! // Weave the OpenMP-like aspect module in and run on 2 shared-memory tasks.
+//! let outcome = Platform::new(ExecutionMode::PlatformOmp { threads: 2 })
+//!     .run_system(system, app.factory());
+//! assert_eq!(outcome.report.tasks.len(), 2);
+//! assert!(outcome.simulated_seconds > 0.0);
+//! ```
+//!
+//! The heavy lifting lives in the substrate crates, re-exported here:
+//! [`aohpc_aop`] (join-point model), [`aohpc_mem`] (memory pools, pages,
+//! multi-buffering), [`aohpc_env`] (the Env block tree, MMAT, Z-order),
+//! [`aohpc_runtime`] (layers, aspect modules, the simulated distributed
+//! fabric, the cost model) and [`aohpc_dsl`] (the three sample DSL processing
+//! systems).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod platform;
+pub mod prelude;
+
+pub use platform::{ExecutionMode, Platform, RunOutcome};
+
+pub use aohpc_aop as aop;
+pub use aohpc_dsl as dsl;
+pub use aohpc_env as env;
+pub use aohpc_mem as mem;
+pub use aohpc_runtime as runtime;
+pub use aohpc_workloads as workloads;

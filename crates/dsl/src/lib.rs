@@ -1,0 +1,38 @@
+//! # aohpc-dsl — sample DSL processing systems built on the platform
+//!
+//! This crate is the "DSL Part" of the paper: libraries a DSL developer
+//! writes *once* on top of the platform's annotation and memory libraries so
+//! that end-users can write serial-looking application code.  Three DSL
+//! processing systems are provided, matching the prototype:
+//!
+//! * [`sgrid`] — 2-D **structured grid** (`SGrid`): fixed-size square blocks,
+//!   Dirichlet boundary through an Arithmetic block, 5-point stencil helper.
+//! * [`usgrid`] — 2-D **unstructured grid** (`USGrid`): every point carries
+//!   the global addresses of its neighbours; the CaseC / CaseR memory
+//!   layouts of the evaluation are selected through
+//!   [`aohpc_workloads::GridLayout`]; out-of-domain data lives in a Static
+//!   Data block.
+//! * [`particle`] — bucketed **particle method** (`Particle`): blocks of
+//!   8×8×1 buckets, 16 particles per bucket, wall particles provided by an
+//!   Arithmetic block; particles do not migrate between buckets (the
+//!   prototype's documented limitation).
+//!
+//! Each module also contains the corresponding "App Part" — the end-user
+//! application the evaluation runs (Jacobi relaxation for the grids, a
+//! short-range force integration for the particles) — written exactly in the
+//! style of Listing 1: loop over `get_blocks`, access cells through the
+//! block-based interface with the skip-search flag where legal, call
+//! `refresh` at the end of every step.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod particle;
+pub mod sgrid;
+pub mod usgrid;
+
+pub use common::{DslSystem, FieldSink};
+pub use particle::{Bucket, Particle, ParticleApp, ParticleSystem};
+pub use sgrid::{SGridJacobiApp, SGridSystem};
+pub use usgrid::{UsCell, UsGridJacobiApp, UsGridSystem};

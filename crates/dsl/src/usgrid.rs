@@ -1,0 +1,470 @@
+//! The unstructured-grid DSL processing system (`USGrid`) and its sample
+//! application.
+//!
+//! Unlike the structured grid, every point stores the *global addresses* of
+//! its neighbours (indirection), so whether an access stays inside the block
+//! cannot be decided arithmetically — this is the DSL the paper evaluates
+//! with and without MMAT.  Two memory layouts are provided through
+//! [`GridLayout`]:
+//!
+//! * **CaseC** — points stored at their spatial position (indirect but
+//!   consecutive accesses);
+//! * **CaseR** — points scattered over the whole region (no spatial
+//!   locality; Assumption III violated).
+//!
+//! Data outside the computational domain lives in a Static Data block, as in
+//! §V-B2.
+
+use crate::common::{build_tiled_env_with_topology, origin_index, DslSystem, FieldSink, Tiling};
+use aohpc_env::{Env, Extent, GlobalAddress, LocalAddress, TreeTopology};
+use aohpc_mem::PoolHandle;
+use aohpc_runtime::{HpcApp, TaskCtx, TaskSlot};
+use aohpc_workloads::{GridLayout, RegionSize};
+use std::sync::Arc;
+
+/// One unstructured-grid point: its value and the storage addresses of its
+/// four neighbours (the indirection of Fig. 5b/5c).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsCell {
+    /// Scalar value at the point.
+    pub value: f64,
+    /// Storage addresses `(x, y)` of the four neighbours (N, W, E, S).
+    pub neighbors: [(i64, i64); 4],
+}
+
+impl Default for UsCell {
+    fn default() -> Self {
+        UsCell { value: 0.0, neighbors: [(0, 0); 4] }
+    }
+}
+
+/// Configuration of the USGrid DSL processing system (§V-B2: block 256×256,
+/// page 2⁸ points).
+#[derive(Debug, Clone)]
+pub struct UsGridSystem {
+    /// Computational region (logical points).
+    pub region: RegionSize,
+    /// Block side length in points.
+    pub block_size: usize,
+    /// Points per page.
+    pub cells_per_page: usize,
+    /// Memory layout (CaseC / CaseR).
+    pub layout: GridLayout,
+    /// Value of out-of-domain points (stored in the Static Data block).
+    pub boundary_value: f64,
+    /// Memory-pool capacity in bytes (None = effectively unbounded).
+    pub pool_bytes: Option<u64>,
+    /// Shape of the data branch of the Env tree (§III-B3 locality joints).
+    pub tree: TreeTopology,
+}
+
+impl UsGridSystem {
+    /// The paper's DSL parameters for a region and layout.
+    pub fn paper(region: RegionSize, layout: GridLayout) -> Self {
+        UsGridSystem {
+            region,
+            block_size: 256,
+            cells_per_page: 256,
+            layout,
+            boundary_value: 0.0,
+            pool_bytes: None,
+            tree: TreeTopology::Flat,
+        }
+    }
+
+    /// A configuration with an arbitrary block size (for scaled-down runs).
+    pub fn with_block_size(region: RegionSize, block_size: usize, layout: GridLayout) -> Self {
+        UsGridSystem {
+            region,
+            block_size,
+            cells_per_page: (block_size * block_size / 16).max(1),
+            layout,
+            boundary_value: 0.0,
+            pool_bytes: None,
+            tree: TreeTopology::Flat,
+        }
+    }
+
+    /// Use a non-default data-branch topology (locality joints, §III-B3).
+    pub fn with_topology(mut self, tree: TreeTopology) -> Self {
+        self.tree = tree;
+        self
+    }
+
+    fn pool(&self) -> PoolHandle {
+        match self.pool_bytes {
+            Some(bytes) => PoolHandle::single(bytes),
+            None => PoolHandle::unbounded(),
+        }
+    }
+
+    /// The tiling of the storage region into blocks.
+    pub fn tiling(&self) -> Tiling {
+        Tiling { nx: self.region.nx, ny: self.region.ny, block: self.block_size }
+    }
+
+    /// Storage address of a logical point.
+    pub fn storage_of(&self, x: i64, y: i64) -> GlobalAddress {
+        let (sx, sy) = self.layout.storage_of(x, y, self.region.nx as i64, self.region.ny as i64);
+        GlobalAddress::new2d(sx, sy)
+    }
+
+    /// Storage address representing an out-of-domain neighbour: a slot in the
+    /// Static Data block row placed just below the domain.
+    pub fn static_slot_of(&self, x: i64, _y: i64) -> GlobalAddress {
+        GlobalAddress::new2d(x.clamp(0, self.region.nx as i64 - 1), self.region.ny as i64)
+    }
+
+    /// The storage address of the neighbour of logical `(x, y)` in direction
+    /// `(dx, dy)` — either a real point or a Static-block slot.
+    pub fn neighbor_address(&self, x: i64, y: i64, dx: i64, dy: i64) -> (i64, i64) {
+        let (nxp, nyp) = (x + dx, y + dy);
+        if nxp < 0 || nyp < 0 || nxp >= self.region.nx as i64 || nyp >= self.region.ny as i64 {
+            let a = self.static_slot_of(nxp, nyp);
+            (a.x, a.y)
+        } else {
+            let a = self.storage_of(nxp, nyp);
+            (a.x, a.y)
+        }
+    }
+}
+
+impl DslSystem for UsGridSystem {
+    type Cell = UsCell;
+
+    fn build_env(&self) -> Env<UsCell> {
+        let boundary_value = self.boundary_value;
+        let nx = self.region.nx;
+        let ny = self.region.ny;
+        let (env, _data) = build_tiled_env_with_topology::<UsCell>(
+            self.tiling(),
+            self.cells_per_page,
+            self.pool(),
+            self.tree,
+            |b, root| {
+                // Out-of-domain data: one row of static points below the domain.
+                let static_row: Vec<UsCell> = (0..nx)
+                    .map(|_| UsCell { value: boundary_value, neighbors: [(0, 0); 4] })
+                    .collect();
+                b.add_static(
+                    root,
+                    GlobalAddress::new2d(0, ny as i64),
+                    Extent::new2d(nx, 1),
+                    static_row,
+                );
+                // Anything else outside the domain (defensive) is a Dirichlet
+                // Arithmetic block.
+                b.add_arithmetic(
+                    root,
+                    Arc::new(move |_| UsCell { value: boundary_value, neighbors: [(0, 0); 4] }),
+                    true,
+                );
+            },
+        );
+        env
+    }
+}
+
+/// The end-user application: Jacobi relaxation over the indirect neighbour
+/// lists (same arithmetic as SGrid, different memory behaviour).
+#[derive(Debug, Clone)]
+pub struct UsGridJacobiApp {
+    /// The DSL system (needed to compute neighbour addresses at init time).
+    pub system: UsGridSystem,
+    /// Weight of the centre point.
+    pub alpha: f64,
+    /// Weight of each neighbour.
+    pub beta: f64,
+    /// Main-loop iterations.
+    pub loops: usize,
+    /// Where `Finalize` deposits the field, keyed by *logical* position.
+    pub sink: Option<FieldSink>,
+}
+
+impl UsGridJacobiApp {
+    /// Create the benchmark application.
+    pub fn new(system: UsGridSystem, loops: usize) -> Self {
+        UsGridJacobiApp { system, alpha: 0.5, beta: 0.125, loops, sink: None }
+    }
+
+    /// Attach a result sink.
+    pub fn with_sink(mut self, sink: FieldSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// App factory for the runtime driver.
+    pub fn factory(&self) -> Arc<dyn Fn(TaskSlot) -> UsGridJacobiApp + Send + Sync> {
+        let proto = self.clone();
+        Arc::new(move |_slot| proto.clone())
+    }
+
+    /// Deterministic initial condition of a *logical* point.
+    pub fn initial_value(x: i64, y: i64) -> f64 {
+        ((x * 13 + y * 7) % 97) as f64 / 97.0
+    }
+}
+
+impl HpcApp<UsCell> for UsGridJacobiApp {
+    fn loop_count(&self) -> usize {
+        self.loops
+    }
+
+    fn initialize(&mut self, ctx: &mut TaskCtx<UsCell>) {
+        // Iterate logical points; write each into its storage position if the
+        // owning block belongs to this rank.
+        let owned = ctx.owned_blocks();
+        let by_origin = origin_index(ctx.env().as_ref());
+        let owned_set: std::collections::HashSet<_> = owned.iter().copied().collect();
+        let (nx, ny) = (self.system.region.nx as i64, self.system.region.ny as i64);
+        let bs = self.system.block_size as i64;
+        for y in 0..ny {
+            for x in 0..nx {
+                let s = self.system.storage_of(x, y);
+                let origin = ((s.x / bs) * bs, (s.y / bs) * bs);
+                let Some(&bid) = by_origin.get(&origin) else { continue };
+                if !owned_set.contains(&bid) {
+                    continue;
+                }
+                let cell = UsCell {
+                    value: Self::initial_value(x, y),
+                    neighbors: [
+                        self.system.neighbor_address(x, y, 0, -1),
+                        self.system.neighbor_address(x, y, -1, 0),
+                        self.system.neighbor_address(x, y, 1, 0),
+                        self.system.neighbor_address(x, y, 0, 1),
+                    ],
+                };
+                let local = LocalAddress::new2d(s.x - origin.0, s.y - origin.1);
+                ctx.set_initial(bid, local, cell);
+            }
+        }
+    }
+
+    fn kernel(&mut self, ctx: &mut TaskCtx<UsCell>, _warmup: bool) -> bool {
+        let alpha = self.alpha;
+        let beta = self.beta;
+        for bid in ctx.get_blocks() {
+            let ext = ctx.env().block(bid).meta.extent;
+            for j in 0..ext.ny as i64 {
+                for i in 0..ext.nx as i64 {
+                    let la = LocalAddress::new2d(i, j);
+                    // Own value: always inside the block.
+                    let me = ctx.get_dd(bid, la);
+                    // Neighbours are indirect: no static in-block guarantee,
+                    // so the access goes through MMAT / the Env search.
+                    let mut sum = 0.0;
+                    for (nx, ny) in me.neighbors {
+                        let n = ctx.get_global(bid, GlobalAddress::new2d(nx, ny));
+                        sum += n.value;
+                    }
+                    let ans = alpha * me.value + beta * sum;
+                    ctx.set(bid, la, UsCell { value: ans, neighbors: me.neighbors });
+                }
+            }
+        }
+        ctx.refresh()
+    }
+
+    fn finalize(&mut self, ctx: &mut TaskCtx<UsCell>) {
+        if let Some(sink) = &self.sink {
+            // Report values keyed by storage address; tests invert the layout
+            // when they need logical positions.
+            let mut out = Vec::new();
+            for bid in ctx.owned_blocks() {
+                let (ext, origin) = {
+                    let b = ctx.env().block(bid);
+                    (b.meta.extent, b.meta.origin)
+                };
+                for j in 0..ext.ny as i64 {
+                    for i in 0..ext.nx as i64 {
+                        let v = ctx.get_dd(bid, LocalAddress::new2d(i, j));
+                        out.push((origin + LocalAddress::new2d(i, j), v.value));
+                    }
+                }
+            }
+            sink.lock().extend(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::new_field_sink;
+    use aohpc_aop::{Weaver, WovenProgram};
+    use aohpc_runtime::{execute, MpiAspect, RunConfig, Topology};
+
+    /// Handwritten reference on the logical grid (layout-independent).
+    fn reference(region: RegionSize, steps: usize) -> Vec<f64> {
+        let (nx, ny) = (region.nx as i64, region.ny as i64);
+        let mut cur: Vec<f64> =
+            (0..ny * nx).map(|k| UsGridJacobiApp::initial_value(k % nx, k / nx)).collect();
+        let get = |b: &Vec<f64>, x: i64, y: i64| {
+            if x < 0 || y < 0 || x >= nx || y >= ny {
+                0.0
+            } else {
+                b[(y * nx + x) as usize]
+            }
+        };
+        for _ in 0..steps {
+            let mut next = vec![0.0; (nx * ny) as usize];
+            for y in 0..ny {
+                for x in 0..nx {
+                    next[(y * nx + x) as usize] = 0.5 * get(&cur, x, y)
+                        + 0.125
+                            * (get(&cur, x, y - 1)
+                                + get(&cur, x - 1, y)
+                                + get(&cur, x + 1, y)
+                                + get(&cur, x, y + 1));
+                }
+            }
+            cur = next;
+        }
+        cur
+    }
+
+    fn run(layout: GridLayout, topology: Topology, woven: WovenProgram, mmat: bool) -> Vec<f64> {
+        let region = RegionSize::square(16);
+        let steps = 3;
+        let system = UsGridSystem::with_block_size(region, 8, layout);
+        let sink = new_field_sink();
+        let app = UsGridJacobiApp::new(system.clone(), steps).with_sink(sink.clone());
+        let sys_arc = Arc::new(system.clone());
+        let config = RunConfig::serial().with_topology(topology).with_mmat(mmat);
+        let report = execute(&config, woven, sys_arc.env_factory(), app.factory());
+        assert!(report.tasks.iter().all(|t| t.steps == steps as u64));
+        // Translate storage-addressed results back to logical order.
+        let (nx, ny) = (region.nx as i64, region.ny as i64);
+        let mut by_storage = std::collections::HashMap::new();
+        for (addr, v) in sink.lock().iter() {
+            by_storage.insert((addr.x, addr.y), *v);
+        }
+        let mut field = vec![f64::NAN; region.cells()];
+        for y in 0..ny {
+            for x in 0..nx {
+                let s = system.storage_of(x, y);
+                field[(y * nx + x) as usize] = by_storage[&(s.x, s.y)];
+            }
+        }
+        field
+    }
+
+    fn close(a: &[f64], b: &[f64]) {
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn casec_serial_matches_reference() {
+        let field = run(GridLayout::CaseC, Topology::serial(), WovenProgram::unwoven(), false);
+        close(&field, &reference(RegionSize::square(16), 3));
+    }
+
+    #[test]
+    fn casec_serial_with_mmat_matches_reference() {
+        let field = run(GridLayout::CaseC, Topology::serial(), WovenProgram::unwoven(), true);
+        close(&field, &reference(RegionSize::square(16), 3));
+    }
+
+    #[test]
+    fn caser_serial_matches_reference() {
+        // The scattered layout changes where data lives, not what is computed.
+        let field =
+            run(GridLayout::CaseR { seed: 11 }, Topology::serial(), WovenProgram::unwoven(), true);
+        close(&field, &reference(RegionSize::square(16), 3));
+    }
+
+    #[test]
+    fn casec_distributed_matches_reference() {
+        let woven = Weaver::new().with_aspect(Box::new(MpiAspect::<UsCell>::new())).weave();
+        let topo = Topology::new(vec![aohpc_runtime::LayerSpec::distributed(2)]);
+        let field = run(GridLayout::CaseC, topo, woven, true);
+        close(&field, &reference(RegionSize::square(16), 3));
+    }
+
+    #[test]
+    fn caser_distributed_matches_reference() {
+        let woven = Weaver::new().with_aspect(Box::new(MpiAspect::<UsCell>::new())).weave();
+        let topo = Topology::new(vec![aohpc_runtime::LayerSpec::distributed(2)]);
+        let field = run(GridLayout::CaseR { seed: 3 }, topo, woven, true);
+        close(&field, &reference(RegionSize::square(16), 3));
+    }
+
+    #[test]
+    fn caser_scatters_accesses_out_of_block() {
+        // The mechanism behind the paper's CaseC/CaseR gap: CaseR's neighbour
+        // accesses leave the starting block far more often.
+        let count_out_of_block = |layout: GridLayout| {
+            let region = RegionSize::square(32);
+            let system = UsGridSystem::with_block_size(region, 8, layout);
+            let app = UsGridJacobiApp::new(system.clone(), 2);
+            let config = RunConfig::serial();
+            let report = execute(
+                &config,
+                WovenProgram::unwoven(),
+                Arc::new(system).env_factory(),
+                app.factory(),
+            );
+            report.total_counters().out_of_block_reads
+        };
+        let casec = count_out_of_block(GridLayout::CaseC);
+        let caser = count_out_of_block(GridLayout::CaseR { seed: 5 });
+        assert!(
+            caser > casec * 3,
+            "CaseR must leave the block far more often (CaseC={casec}, CaseR={caser})"
+        );
+    }
+
+    #[test]
+    fn locality_joints_match_flat_and_reduce_search_cost_for_caser() {
+        // §III-B3: inserting bounded Empty joints must not change results and
+        // must cut the number of tree nodes visited by CaseR's out-of-block
+        // neighbour accesses (no MMAT, so every such access searches).
+        let run_counting = |tree: TreeTopology| {
+            // 8×8 blocks: large enough that the flat data branch is expensive
+            // to scan while the quadtree path stays logarithmic.
+            let region = RegionSize::square(64);
+            let system = UsGridSystem::with_block_size(region, 8, GridLayout::CaseR { seed: 5 })
+                .with_topology(tree);
+            let sink = new_field_sink();
+            let app = UsGridJacobiApp::new(system.clone(), 1).with_sink(sink.clone());
+            let config = RunConfig::serial();
+            let report = execute(
+                &config,
+                WovenProgram::unwoven(),
+                Arc::new(system).env_factory(),
+                app.factory(),
+            );
+            let mut field: Vec<(i64, i64, f64)> =
+                sink.lock().iter().map(|(a, v)| (a.x, a.y, *v)).collect();
+            field.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+            (report.total_counters().search_nodes_visited, field)
+        };
+        let (flat_visited, flat_field) = run_counting(TreeTopology::Flat);
+        let (quad_visited, quad_field) = run_counting(TreeTopology::Quadtree { max_leaf_blocks: 1 });
+        assert_eq!(flat_field.len(), quad_field.len());
+        for ((x1, y1, v1), (x2, y2, v2)) in flat_field.iter().zip(&quad_field) {
+            assert_eq!((x1, y1), (x2, y2));
+            assert!((v1 - v2).abs() < 1e-12);
+        }
+        assert!(
+            quad_visited * 2 < flat_visited,
+            "quadtree joints should at least halve the search cost \
+             (flat visited {flat_visited}, quadtree visited {quad_visited})"
+        );
+    }
+
+    #[test]
+    fn neighbor_addresses_point_to_static_row_outside_domain() {
+        let system = UsGridSystem::with_block_size(RegionSize::square(8), 4, GridLayout::CaseC);
+        assert_eq!(system.neighbor_address(0, 0, 0, -1), (0, 8));
+        assert_eq!(system.neighbor_address(7, 7, 1, 0), (7, 8));
+        assert_eq!(system.neighbor_address(3, 3, 1, 0), (4, 3));
+        let env = system.build_env();
+        // 4 data blocks + root + joint + static + arithmetic
+        assert_eq!(env.stats().num_data_blocks, 4);
+        assert_eq!(env.len(), 8);
+    }
+}

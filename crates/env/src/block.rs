@@ -1,0 +1,277 @@
+//! Blocks: the unit of data a subkernel updates.
+//!
+//! Every Block carries placement information (origin + extent), the two task
+//! ids the paper defines (`dm_tid`: data-manager task in charge of
+//! initialisation, buffering and communication; `ch_tid`: compute task), an
+//! `is_valid` flag, and a payload that depends on its kind.
+
+use crate::address::{Extent, GlobalAddress, LocalAddress};
+use aohpc_mem::MultiBuffer;
+use parking_lot::RwLock;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// Index of a block inside its [`crate::Env`] arena.
+pub type BlockId = usize;
+
+/// Sentinel for "no task assigned".
+pub const NO_TASK: i64 = -1;
+
+/// Closure generating cell values from a global address (Arithmetic blocks).
+pub type ArithFn<C> = Arc<dyn Fn(GlobalAddress) -> C + Send + Sync>;
+
+/// Closure remapping an address into another block's domain (Reference
+/// blocks, e.g. mirroring for Neumann boundaries).
+pub type RefMapFn = Arc<dyn Fn(GlobalAddress) -> GlobalAddress + Send + Sync>;
+
+/// The payload of a block — which of the paper's six kinds it is.
+pub enum BlockKind<C> {
+    /// Joint of the tree; holds no data.
+    Empty,
+    /// Entity block with multi-buffered data, assigned to tasks.
+    Data(RwLock<MultiBuffer<C>>),
+    /// Receive buffer for data whose `dm_tid` is another task.
+    BufferOnly(RwLock<MultiBuffer<C>>),
+    /// Read-only data provided by the DSL (out-of-domain values).
+    StaticData(Vec<C>),
+    /// Values computed from the address (Dirichlet boundaries, wall
+    /// particles).
+    Arithmetic(ArithFn<C>),
+    /// Redirects accesses to another block through an address mapping
+    /// (Neumann boundaries).
+    Reference {
+        /// Block the access is redirected to.
+        target: BlockId,
+        /// Address mapping applied before redirecting.
+        map: RefMapFn,
+    },
+}
+
+impl<C> BlockKind<C> {
+    /// Short, stable kind name (for reports and tests).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            BlockKind::Empty => "empty",
+            BlockKind::Data(_) => "data",
+            BlockKind::BufferOnly(_) => "buffer-only",
+            BlockKind::StaticData(_) => "static",
+            BlockKind::Arithmetic(_) => "arithmetic",
+            BlockKind::Reference { .. } => "reference",
+        }
+    }
+
+    /// Does this kind hold multi-buffered cell storage?
+    pub fn has_buffers(&self) -> bool {
+        matches!(self, BlockKind::Data(_) | BlockKind::BufferOnly(_))
+    }
+}
+
+impl<C> fmt::Debug for BlockKind<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BlockKind::{}", self.kind_name())
+    }
+}
+
+/// Placement and ownership metadata of a block.
+#[derive(Debug)]
+pub struct BlockMeta {
+    /// Identity within the Env arena.
+    pub id: BlockId,
+    /// Global address of the cell at local (0,0,0).
+    pub origin: GlobalAddress,
+    /// Size of the block in cells.
+    pub extent: Extent,
+    /// Z-order index of the block (None for virtual blocks).
+    pub morton: Option<u64>,
+    /// Whether this block matches addresses not covered by any other block
+    /// (the boundary block of Fig. 2, placed on its own branch so that it is
+    /// hit last by the search).
+    pub catch_all: bool,
+    /// Data-manager task id (valid only for Data blocks).
+    dm_tid: AtomicI64,
+    /// Compute task id.
+    ch_tid: AtomicI64,
+    /// Readability of the block's data.
+    is_valid: AtomicBool,
+    /// Parent block in the tree (None for the root).
+    pub parent: Option<BlockId>,
+    /// Children in the tree.
+    pub children: Vec<BlockId>,
+}
+
+impl BlockMeta {
+    pub(crate) fn new(id: BlockId, origin: GlobalAddress, extent: Extent) -> Self {
+        BlockMeta {
+            id,
+            origin,
+            extent,
+            morton: None,
+            catch_all: false,
+            dm_tid: AtomicI64::new(NO_TASK),
+            ch_tid: AtomicI64::new(NO_TASK),
+            is_valid: AtomicBool::new(false),
+            parent: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// Data-manager task id, if assigned.
+    pub fn dm_tid(&self) -> Option<usize> {
+        let v = self.dm_tid.load(Ordering::Acquire);
+        (v >= 0).then_some(v as usize)
+    }
+
+    /// Compute task id, if assigned.
+    pub fn ch_tid(&self) -> Option<usize> {
+        let v = self.ch_tid.load(Ordering::Acquire);
+        (v >= 0).then_some(v as usize)
+    }
+
+    /// Assign the data-manager task.
+    pub fn set_dm_tid(&self, t: Option<usize>) {
+        self.dm_tid.store(t.map(|v| v as i64).unwrap_or(NO_TASK), Ordering::Release);
+    }
+
+    /// Assign the compute task.
+    pub fn set_ch_tid(&self, t: Option<usize>) {
+        self.ch_tid.store(t.map(|v| v as i64).unwrap_or(NO_TASK), Ordering::Release);
+    }
+
+    /// Is the block's data currently readable?
+    pub fn is_valid(&self) -> bool {
+        self.is_valid.load(Ordering::Acquire)
+    }
+
+    /// Set the readability flag.
+    pub fn set_valid(&self, v: bool) {
+        self.is_valid.store(v, Ordering::Release);
+    }
+}
+
+/// A block of the Env tree.
+pub struct Block<C> {
+    /// Placement / ownership metadata.
+    pub meta: BlockMeta,
+    /// Payload determining the block kind.
+    pub kind: BlockKind<C>,
+}
+
+impl<C> Block<C> {
+    /// Does the block's spatial extent contain the global address?
+    ///
+    /// Catch-all blocks (boundary blocks) "contain" every address by
+    /// definition but are only consulted when nothing else matches.
+    pub fn contains(&self, addr: GlobalAddress) -> bool {
+        if self.meta.catch_all {
+            return true;
+        }
+        self.meta.extent.contains_local(addr - self.meta.origin)
+    }
+
+    /// Convert a global address to this block's local row-major cell index.
+    pub fn cell_index(&self, addr: GlobalAddress) -> Option<usize> {
+        let d = addr - self.meta.origin;
+        self.meta.extent.contains_local(d).then(|| self.meta.extent.linear_index(d))
+    }
+
+    /// Convert a local displacement to the corresponding global address.
+    pub fn to_global(&self, local: LocalAddress) -> GlobalAddress {
+        self.meta.origin + local
+    }
+
+    /// Short kind name.
+    pub fn kind_name(&self) -> &'static str {
+        self.kind.kind_name()
+    }
+
+    /// Is this an entity Data block (assigned to tasks for computation)?
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, BlockKind::Data(_))
+    }
+}
+
+impl<C> fmt::Debug for Block<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Block")
+            .field("id", &self.meta.id)
+            .field("kind", &self.kind_name())
+            .field("origin", &self.meta.origin)
+            .field("extent", &self.meta.extent)
+            .field("dm_tid", &self.meta.dm_tid())
+            .field("ch_tid", &self.meta.ch_tid())
+            .field("valid", &self.meta.is_valid())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_block(id: BlockId, ox: i64, oy: i64, n: usize) -> Block<f64> {
+        let mut meta = BlockMeta::new(id, GlobalAddress::new2d(ox, oy), Extent::new2d(n, n));
+        meta.morton = Some(0);
+        Block { meta, kind: BlockKind::Data(RwLock::new(MultiBuffer::unpooled(n * n, 2, 8))) }
+    }
+
+    #[test]
+    fn containment_and_indexing() {
+        let b = data_block(0, 16, 16, 8);
+        assert!(b.contains(GlobalAddress::new2d(16, 16)));
+        assert!(b.contains(GlobalAddress::new2d(23, 23)));
+        assert!(!b.contains(GlobalAddress::new2d(24, 16)));
+        assert!(!b.contains(GlobalAddress::new2d(15, 16)));
+        assert_eq!(b.cell_index(GlobalAddress::new2d(16, 16)), Some(0));
+        assert_eq!(b.cell_index(GlobalAddress::new2d(17, 16)), Some(1));
+        assert_eq!(b.cell_index(GlobalAddress::new2d(16, 17)), Some(8));
+        assert_eq!(b.cell_index(GlobalAddress::new2d(0, 0)), None);
+        assert_eq!(b.to_global(LocalAddress::new2d(2, 3)), GlobalAddress::new2d(18, 19));
+    }
+
+    #[test]
+    fn task_assignment_is_atomic_and_optional() {
+        let b = data_block(1, 0, 0, 4);
+        assert_eq!(b.meta.dm_tid(), None);
+        assert_eq!(b.meta.ch_tid(), None);
+        b.meta.set_dm_tid(Some(3));
+        b.meta.set_ch_tid(Some(7));
+        assert_eq!(b.meta.dm_tid(), Some(3));
+        assert_eq!(b.meta.ch_tid(), Some(7));
+        b.meta.set_ch_tid(None);
+        assert_eq!(b.meta.ch_tid(), None);
+    }
+
+    #[test]
+    fn validity_flag() {
+        let b = data_block(0, 0, 0, 2);
+        assert!(!b.meta.is_valid());
+        b.meta.set_valid(true);
+        assert!(b.meta.is_valid());
+    }
+
+    #[test]
+    fn catch_all_contains_everything() {
+        let mut meta = BlockMeta::new(9, GlobalAddress::default(), Extent::new2d(0, 0));
+        meta.catch_all = true;
+        let b: Block<f64> =
+            Block { meta, kind: BlockKind::Arithmetic(Arc::new(|_| 0.0)) };
+        assert!(b.contains(GlobalAddress::new2d(-100, 100)));
+        assert!(b.contains(GlobalAddress::new2d(1 << 30, 0)));
+        assert_eq!(b.cell_index(GlobalAddress::new2d(-1, 0)), None);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(BlockKind::<f64>::Empty.kind_name(), "empty");
+        assert_eq!(BlockKind::<f64>::StaticData(vec![]).kind_name(), "static");
+        assert_eq!(BlockKind::<f64>::Arithmetic(Arc::new(|_| 1.0)).kind_name(), "arithmetic");
+        let r = BlockKind::<f64>::Reference { target: 0, map: Arc::new(|a| a) };
+        assert_eq!(r.kind_name(), "reference");
+        assert!(!r.has_buffers());
+        let d = data_block(0, 0, 0, 2);
+        assert!(d.kind.has_buffers());
+        assert!(d.is_data());
+        assert!(format!("{d:?}").contains("data"));
+    }
+}

@@ -1,0 +1,1062 @@
+//! The Env: a distributed tree of Blocks plus its access interface.
+//!
+//! The Env is the global structure of the target data (§III-B3 of the paper).
+//! Its default shape places the boundary (Arithmetic / Reference / Static)
+//! blocks on a branch of the root that is *different* from the data blocks'
+//! branch, so that the locality-aware search visits data blocks (the common
+//! case under Assumption III) before falling back to the boundary.  DSL
+//! developers can insert additional Empty joints to encode more locality.
+
+use crate::access::AccessState;
+use crate::address::{Extent, GlobalAddress, LocalAddress};
+use crate::block::{ArithFn, Block, BlockId, BlockKind, BlockMeta, RefMapFn};
+use crate::mmat::MmatEntry;
+use crate::Cell;
+use aohpc_mem::{MultiBuffer, PageId, PoolError, PoolHandle};
+use parking_lot::RwLock;
+use serde::Serialize;
+use std::fmt;
+
+/// Errors produced while building or using an Env.
+#[derive(Debug)]
+pub enum EnvError {
+    /// The backing memory pool could not satisfy a buffer allocation.
+    Pool(PoolError),
+    /// A block id did not refer to an existing block.
+    UnknownBlock(BlockId),
+    /// The operation requires a Data or Buffer-only block.
+    NotABufferBlock(BlockId),
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvError::Pool(e) => write!(f, "memory pool error: {e}"),
+            EnvError::UnknownBlock(id) => write!(f, "unknown block id {id}"),
+            EnvError::NotABufferBlock(id) => write!(f, "block {id} has no cell buffers"),
+        }
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+impl From<PoolError> for EnvError {
+    fn from(e: PoolError) -> Self {
+        EnvError::Pool(e)
+    }
+}
+
+/// Summary statistics of an Env (used by the Fig. 12 harness).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct EnvStats {
+    /// Total number of blocks (all kinds).
+    pub num_blocks: usize,
+    /// Number of Data blocks.
+    pub num_data_blocks: usize,
+    /// Number of Buffer-only blocks.
+    pub num_buffer_only_blocks: usize,
+    /// Bytes of cell storage (all buffers of all buffer-bearing blocks).
+    pub data_bytes: usize,
+    /// Bytes of tree / page-table / metadata overhead ("working memory").
+    pub working_bytes: usize,
+}
+
+/// Builder for an [`Env`].
+pub struct EnvBuilder<C> {
+    blocks: Vec<Block<C>>,
+    cells_per_page: usize,
+    num_buffers: usize,
+    pool: PoolHandle,
+}
+
+impl<C: Cell> EnvBuilder<C> {
+    /// Start an Env whose buffer-bearing blocks draw space from `pool` and
+    /// use `cells_per_page` cells per page.
+    ///
+    /// The root Empty block (id 0) and the conventional "joint" Empty block
+    /// for data blocks are *not* created automatically; DSL parts create the
+    /// exact tree they want (see the `dsl` crate for the default layout of
+    /// Fig. 2).
+    pub fn new(pool: PoolHandle, cells_per_page: usize) -> Self {
+        assert!(cells_per_page > 0, "cells_per_page must be non-zero");
+        EnvBuilder { blocks: Vec::new(), cells_per_page, num_buffers: 2, pool }
+    }
+
+    /// Use `n ≥ 2` buffers per Data block (default 2, i.e. double buffering).
+    pub fn with_num_buffers(mut self, n: usize) -> Self {
+        assert!(n >= 2);
+        self.num_buffers = n;
+        self
+    }
+
+    fn push(&mut self, parent: Option<BlockId>, origin: GlobalAddress, extent: Extent, kind: BlockKind<C>) -> BlockId {
+        let id = self.blocks.len();
+        let mut meta = BlockMeta::new(id, origin, extent);
+        meta.parent = parent;
+        self.blocks.push(Block { meta, kind });
+        if let Some(p) = parent {
+            self.blocks[p].meta.children.push(id);
+        }
+        id
+    }
+
+    /// Add an Empty joint block.
+    pub fn add_empty(&mut self, parent: Option<BlockId>) -> BlockId {
+        self.push(parent, GlobalAddress::default(), Extent::new2d(0, 0), BlockKind::Empty)
+    }
+
+    /// Add an Empty joint block carrying a *bounding box* (origin + extent)
+    /// covering every block that will be attached below it.
+    ///
+    /// This is the paper's §III-B3 locality device: "DSL developers can modify
+    /// the tree by inserting Empty Blocks … as new joints to increase
+    /// locality".  The search prunes a bounded joint's whole subtree when the
+    /// requested address falls outside its box, so out-of-block accesses reach
+    /// nearby blocks without scanning the entire data branch.
+    pub fn add_joint(
+        &mut self,
+        parent: Option<BlockId>,
+        origin: GlobalAddress,
+        extent: Extent,
+    ) -> BlockId {
+        self.push(parent, origin, extent, BlockKind::Empty)
+    }
+
+    /// Add a Data block with the given placement and Z-order index.
+    pub fn add_data(
+        &mut self,
+        parent: BlockId,
+        origin: GlobalAddress,
+        extent: Extent,
+        morton: u64,
+    ) -> Result<BlockId, EnvError> {
+        let mb = MultiBuffer::allocate(extent.cells(), self.num_buffers, self.cells_per_page, &self.pool)?;
+        let id = self.push(Some(parent), origin, extent, BlockKind::Data(RwLock::new(mb)));
+        self.blocks[id].meta.morton = Some(morton);
+        self.blocks[id].meta.set_valid(true);
+        Ok(id)
+    }
+
+    /// Add a Buffer-only Data block (receive buffer; initially invalid).
+    pub fn add_buffer_only(
+        &mut self,
+        parent: BlockId,
+        origin: GlobalAddress,
+        extent: Extent,
+        morton: u64,
+    ) -> Result<BlockId, EnvError> {
+        let mb = MultiBuffer::allocate(extent.cells(), self.num_buffers, self.cells_per_page, &self.pool)?;
+        let id = self.push(Some(parent), origin, extent, BlockKind::BufferOnly(RwLock::new(mb)));
+        self.blocks[id].meta.morton = Some(morton);
+        self.blocks[id].meta.set_valid(false);
+        Ok(id)
+    }
+
+    /// Add a Static Data block covering `extent` cells starting at `origin`.
+    pub fn add_static(
+        &mut self,
+        parent: BlockId,
+        origin: GlobalAddress,
+        extent: Extent,
+        data: Vec<C>,
+    ) -> BlockId {
+        assert_eq!(data.len(), extent.cells(), "static data must cover the extent");
+        let id = self.push(Some(parent), origin, extent, BlockKind::StaticData(data));
+        self.blocks[id].meta.set_valid(true);
+        id
+    }
+
+    /// Add an Arithmetic block.  With `catch_all = true` it matches every
+    /// address not covered by other blocks (the usual boundary setup).
+    pub fn add_arithmetic(
+        &mut self,
+        parent: BlockId,
+        f: ArithFn<C>,
+        catch_all: bool,
+    ) -> BlockId {
+        let id = self.push(Some(parent), GlobalAddress::default(), Extent::new2d(0, 0), BlockKind::Arithmetic(f));
+        self.blocks[id].meta.catch_all = catch_all;
+        self.blocks[id].meta.set_valid(true);
+        id
+    }
+
+    /// Add a Reference block redirecting to `target` through `map`.
+    pub fn add_reference(
+        &mut self,
+        parent: BlockId,
+        target: BlockId,
+        map: RefMapFn,
+        catch_all: bool,
+    ) -> BlockId {
+        let id = self.push(Some(parent), GlobalAddress::default(), Extent::new2d(0, 0), BlockKind::Reference { target, map });
+        self.blocks[id].meta.catch_all = catch_all;
+        self.blocks[id].meta.set_valid(true);
+        id
+    }
+
+    /// Freeze the tree.
+    pub fn build(self) -> Env<C> {
+        Env {
+            blocks: self.blocks,
+            cells_per_page: self.cells_per_page,
+            num_buffers: self.num_buffers,
+            pool: self.pool,
+        }
+    }
+}
+
+/// The Env: an arena-allocated tree of blocks.
+pub struct Env<C> {
+    blocks: Vec<Block<C>>,
+    cells_per_page: usize,
+    num_buffers: usize,
+    pool: PoolHandle,
+}
+
+impl<C: Cell> Env<C> {
+    /// Number of blocks of any kind.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the Env has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Cells per page configured at build time.
+    pub fn cells_per_page(&self) -> usize {
+        self.cells_per_page
+    }
+
+    /// Number of buffers per Data block.
+    pub fn num_buffers(&self) -> usize {
+        self.num_buffers
+    }
+
+    /// The pool backing this Env's buffers.
+    pub fn pool(&self) -> &PoolHandle {
+        &self.pool
+    }
+
+    /// Access a block.
+    pub fn block(&self, id: BlockId) -> &Block<C> {
+        &self.blocks[id]
+    }
+
+    /// Checked access to a block.
+    pub fn try_block(&self, id: BlockId) -> Result<&Block<C>, EnvError> {
+        self.blocks.get(id).ok_or(EnvError::UnknownBlock(id))
+    }
+
+    /// Iterate over all blocks.
+    pub fn blocks(&self) -> impl Iterator<Item = &Block<C>> {
+        self.blocks.iter()
+    }
+
+    /// Ids of all Data blocks, ordered by Z-order index (the order used to
+    /// assign blocks to tasks).
+    pub fn data_block_ids(&self) -> Vec<BlockId> {
+        let mut ids: Vec<BlockId> =
+            self.blocks.iter().filter(|b| b.is_data()).map(|b| b.meta.id).collect();
+        ids.sort_by_key(|&id| (self.blocks[id].meta.morton.unwrap_or(u64::MAX), id));
+        ids
+    }
+
+    /// Ids of buffer-bearing blocks (Data or Buffer-only).
+    pub fn buffer_block_ids(&self) -> Vec<BlockId> {
+        self.blocks.iter().filter(|b| b.kind.has_buffers()).map(|b| b.meta.id).collect()
+    }
+
+    /// The raw `get_blocks` of the memory library: data blocks whose
+    /// `ch_tid` equals `task`.  (The platform dispatches this through the
+    /// `Memory::get_blocks` join point so AspectType II advice can refine
+    /// the assignment.)
+    pub fn get_blocks(&self, task: usize) -> Vec<BlockId> {
+        self.data_block_ids()
+            .into_iter()
+            .filter(|&id| self.blocks[id].meta.ch_tid() == Some(task))
+            .collect()
+    }
+
+    /// Split the data blocks into `parts` contiguous Z-order ranges of nearly
+    /// equal size (the prototype's assignment policy, §IV-C).
+    pub fn partition_by_morton(&self, parts: usize) -> Vec<Vec<BlockId>> {
+        assert!(parts > 0);
+        let ids = self.data_block_ids();
+        let mut out = vec![Vec::new(); parts];
+        if ids.is_empty() {
+            return out;
+        }
+        let per = ids.len().div_ceil(parts);
+        for (i, id) in ids.iter().enumerate() {
+            out[(i / per).min(parts - 1)].push(*id);
+        }
+        out
+    }
+
+    /// Demote a Data block to Buffer-only (used when building per-rank
+    /// replicas in the distributed layer: blocks owned by other ranks become
+    /// receive buffers and are marked invalid).
+    pub fn demote_to_buffer_only(&mut self, id: BlockId) -> Result<(), EnvError> {
+        let b = self.blocks.get_mut(id).ok_or(EnvError::UnknownBlock(id))?;
+        let kind = std::mem::replace(&mut b.kind, BlockKind::Empty);
+        match kind {
+            BlockKind::Data(buf) => {
+                b.kind = BlockKind::BufferOnly(buf);
+                b.meta.set_valid(false);
+                b.meta.set_ch_tid(None);
+                Ok(())
+            }
+            other => {
+                b.kind = other;
+                Err(EnvError::NotABufferBlock(id))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Search
+    // ------------------------------------------------------------------
+
+    /// Locality-aware search for the block containing `addr`, starting from
+    /// `start`.  Returns the block (if any) and the number of tree nodes
+    /// visited (fed to the cost model and to search-efficiency tests).
+    ///
+    /// Order: the starting block, then — walking up the ancestor chain —
+    /// each ancestor's other subtrees (siblings and their children first),
+    /// and only at the very end the catch-all boundary blocks.
+    pub fn find_block(&self, addr: GlobalAddress, start: BlockId) -> (Option<BlockId>, u64) {
+        let mut visited: u64 = 0;
+        if let Some(b) = self.blocks.get(start) {
+            visited += 1;
+            if !b.meta.catch_all && b.contains(addr) && self.holds_values(start) {
+                return (Some(start), visited);
+            }
+        } else {
+            return (None, visited);
+        }
+
+        let mut exclude = start;
+        let mut current = start;
+        loop {
+            let parent = match self.blocks[current].meta.parent {
+                Some(p) => p,
+                None => break,
+            };
+            for &child in &self.blocks[parent].meta.children {
+                if child == exclude {
+                    continue;
+                }
+                if let Some(found) = self.search_subtree(child, addr, &mut visited) {
+                    return (Some(found), visited);
+                }
+            }
+            exclude = parent;
+            current = parent;
+        }
+
+        // Catch-all (boundary) blocks are consulted last, in tree order.
+        for b in &self.blocks {
+            if b.meta.catch_all {
+                visited += 1;
+                return (Some(b.meta.id), visited);
+            }
+        }
+        (None, visited)
+    }
+
+    fn holds_values(&self, id: BlockId) -> bool {
+        !matches!(self.blocks[id].kind, BlockKind::Empty)
+    }
+
+    fn search_subtree(&self, id: BlockId, addr: GlobalAddress, visited: &mut u64) -> Option<BlockId> {
+        *visited += 1;
+        let b = &self.blocks[id];
+        if !b.meta.catch_all && self.holds_values(id) && b.contains(addr) {
+            return Some(id);
+        }
+        // Locality pruning (§III-B3): a bounded Empty joint covers every
+        // descendant, so if the address is outside its box the whole subtree
+        // can be skipped.  Joints built with `add_empty` have a degenerate
+        // (zero-cell) extent and are never pruned.
+        if matches!(b.kind, BlockKind::Empty) && b.meta.extent.cells() > 0 && !b.contains(addr) {
+            return None;
+        }
+        for &child in &b.meta.children {
+            if let Some(found) = self.search_subtree(child, addr, visited) {
+                return Some(found);
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Cell access
+    // ------------------------------------------------------------------
+
+    /// Read a cell through the platform's access path.
+    ///
+    /// `start` is the block the subkernel is currently updating;
+    /// `in_block_hint` is the statically/dynamically supplied flag asserting
+    /// that the address is inside `start` (the `GetDD` fast path).  When the
+    /// hint is false the resolution order is: MMAT memo (if enabled) → the
+    /// starting block → the Env search.
+    pub fn read(
+        &self,
+        start: BlockId,
+        addr: GlobalAddress,
+        in_block_hint: bool,
+        state: &mut AccessState,
+    ) -> Option<C> {
+        state.counters.reads += 1;
+
+        if in_block_hint {
+            state.counters.skip_search_hits += 1;
+            let block = &self.blocks[start];
+            let idx = block.cell_index(addr)?;
+            return self.read_buffered_cell(start, idx, addr, state);
+        }
+
+        if state.mmat_enabled {
+            if let Some(entry) = state.mmat.lookup(start, addr) {
+                state.counters.mmat_hits += 1;
+                return match entry {
+                    MmatEntry::InBlock(idx) => {
+                        state.counters.in_block_hits += 1;
+                        self.read_buffered_cell(start, idx, addr, state)
+                    }
+                    MmatEntry::Remote(bid) => {
+                        state.counters.out_of_block_reads += 1;
+                        self.read_value_at(bid, addr, state, 0)
+                    }
+                    MmatEntry::NonExistent => {
+                        state.counters.missing_accesses += 1;
+                        None
+                    }
+                };
+            }
+            state.counters.mmat_misses += 1;
+        }
+
+        // Fast path: the starting block itself.
+        let block = &self.blocks[start];
+        if !block.meta.catch_all && block.contains(addr) {
+            state.counters.in_block_hits += 1;
+            if let Some(idx) = block.cell_index(addr) {
+                if state.mmat_enabled {
+                    state.mmat.record(start, addr, MmatEntry::InBlock(idx));
+                }
+                return self.read_buffered_cell(start, idx, addr, state);
+            }
+        }
+
+        // Slow path: search the tree.
+        state.counters.env_searches += 1;
+        let (found, visited) = self.find_block(addr, start);
+        state.counters.search_nodes_visited += visited;
+        match found {
+            Some(bid) => {
+                state.counters.out_of_block_reads += 1;
+                if state.mmat_enabled {
+                    state.mmat.record(start, addr, MmatEntry::Remote(bid));
+                }
+                self.read_value_at(bid, addr, state, 0)
+            }
+            None => {
+                if state.mmat_enabled {
+                    state.mmat.record(start, addr, MmatEntry::NonExistent);
+                }
+                state.counters.missing_accesses += 1;
+                None
+            }
+        }
+    }
+
+    /// Read with a local (block-relative) address — the `GetD`/`GetDD` form.
+    pub fn read_local(
+        &self,
+        start: BlockId,
+        local: LocalAddress,
+        in_block_hint: bool,
+        state: &mut AccessState,
+    ) -> Option<C> {
+        let addr = self.blocks[start].to_global(local);
+        self.read(start, addr, in_block_hint, state)
+    }
+
+    /// Write a cell of the starting block's write buffer (the `SetD` form).
+    ///
+    /// Subkernels only write the block they were given; writes outside the
+    /// starting block are a programming error and return `false`.
+    pub fn write_local(
+        &self,
+        start: BlockId,
+        local: LocalAddress,
+        value: C,
+        state: &mut AccessState,
+    ) -> bool {
+        state.counters.writes += 1;
+        let block = &self.blocks[start];
+        if !block.meta.extent.contains_local(local) {
+            return false;
+        }
+        let idx = block.meta.extent.linear_index(local);
+        match &block.kind {
+            BlockKind::Data(buf) | BlockKind::BufferOnly(buf) => {
+                buf.write().write_cell(idx, value);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Write a cell of the starting block's *read* buffer (initialisation
+    /// path: sets the step-0 data without marking pages dirty).
+    pub fn write_initial(&self, start: BlockId, local: LocalAddress, value: C) -> bool {
+        let block = &self.blocks[start];
+        if !block.meta.extent.contains_local(local) {
+            return false;
+        }
+        let idx = block.meta.extent.linear_index(local);
+        match &block.kind {
+            BlockKind::Data(buf) | BlockKind::BufferOnly(buf) => {
+                buf.write().write_cell_to_read_buf(idx, value);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn read_buffered_cell(
+        &self,
+        bid: BlockId,
+        idx: usize,
+        addr: GlobalAddress,
+        state: &mut AccessState,
+    ) -> Option<C> {
+        let block = &self.blocks[bid];
+        match &block.kind {
+            BlockKind::Data(buf) | BlockKind::BufferOnly(buf) => {
+                let guard = buf.read();
+                let page = guard.pages().page_of(idx);
+                // A block is readable either as a whole (`is_valid`) or — for
+                // remote blocks whose data arrives page-wise — per page.
+                if !block.meta.is_valid() && !guard.pages().is_valid(page) {
+                    drop(guard);
+                    state.record_missing(bid, page);
+                    return None;
+                }
+                Some(guard.read_cell(idx).clone())
+            }
+            _ => self.read_value_at(bid, addr, state, 0),
+        }
+    }
+
+    fn read_value_at(
+        &self,
+        bid: BlockId,
+        addr: GlobalAddress,
+        state: &mut AccessState,
+        depth: usize,
+    ) -> Option<C> {
+        if depth > 4 {
+            // Reference cycles are a DSL bug; treat as non-existent.
+            state.counters.missing_accesses += 1;
+            return None;
+        }
+        let block = &self.blocks[bid];
+        match &block.kind {
+            BlockKind::Data(_) | BlockKind::BufferOnly(_) => {
+                let idx = match block.cell_index(addr) {
+                    Some(i) => i,
+                    None => {
+                        state.counters.missing_accesses += 1;
+                        return None;
+                    }
+                };
+                self.read_buffered_cell(bid, idx, addr, state)
+            }
+            BlockKind::StaticData(data) => {
+                state.counters.static_reads += 1;
+                block.cell_index(addr).map(|i| data[i].clone())
+            }
+            BlockKind::Arithmetic(f) => {
+                state.counters.arithmetic_reads += 1;
+                Some(f(addr))
+            }
+            BlockKind::Reference { target, map } => {
+                state.counters.reference_reads += 1;
+                let mapped = map(addr);
+                let tgt = *target;
+                if self.blocks[tgt].contains(mapped) {
+                    self.read_value_at(tgt, mapped, state, depth + 1)
+                } else {
+                    let (found, visited) = self.find_block(mapped, tgt);
+                    state.counters.search_nodes_visited += visited;
+                    match found {
+                        Some(fid) => self.read_value_at(fid, mapped, state, depth + 1),
+                        None => {
+                            state.counters.missing_accesses += 1;
+                            None
+                        }
+                    }
+                }
+            }
+            BlockKind::Empty => {
+                state.counters.missing_accesses += 1;
+                None
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Buffer / page management (used by refresh advice and the runtime)
+    // ------------------------------------------------------------------
+
+    /// Swap read/write buffers of every Data block whose `dm_tid` is `task`.
+    pub fn swap_owned_buffers(&self, task: usize) {
+        for b in &self.blocks {
+            if b.meta.dm_tid() == Some(task) {
+                if let BlockKind::Data(buf) = &b.kind {
+                    buf.write().swap();
+                }
+            }
+        }
+    }
+
+    /// Copy the read buffer into the write buffer for every Data block whose
+    /// `dm_tid` is `task` (for kernels updating only a subset of cells).
+    pub fn carry_forward_owned(&self, task: usize) {
+        for b in &self.blocks {
+            if b.meta.dm_tid() == Some(task) {
+                if let BlockKind::Data(buf) = &b.kind {
+                    buf.write().carry_forward();
+                }
+            }
+        }
+    }
+
+    /// Number of pages of a buffer-bearing block.
+    pub fn num_pages(&self, id: BlockId) -> Result<usize, EnvError> {
+        match &self.try_block(id)?.kind {
+            BlockKind::Data(buf) | BlockKind::BufferOnly(buf) => Ok(buf.read().pages().num_pages()),
+            _ => Err(EnvError::NotABufferBlock(id)),
+        }
+    }
+
+    /// Extract one page of a block's read buffer for shipping.
+    pub fn extract_page(&self, id: BlockId, page: PageId) -> Result<Vec<C>, EnvError> {
+        match &self.try_block(id)?.kind {
+            BlockKind::Data(buf) | BlockKind::BufferOnly(buf) => Ok(buf.read().extract_page(page)),
+            _ => Err(EnvError::NotABufferBlock(id)),
+        }
+    }
+
+    /// Install a received page into a block's read buffer and mark the block
+    /// valid once all its pages are valid.
+    pub fn install_page(&self, id: BlockId, page: PageId, cells: &[C]) -> Result<(), EnvError> {
+        let block = self.try_block(id)?;
+        match &block.kind {
+            BlockKind::Data(buf) | BlockKind::BufferOnly(buf) => {
+                let mut guard = buf.write();
+                guard.install_page(page, cells);
+                let all_valid = guard.pages().valid_count() == guard.pages().num_pages();
+                drop(guard);
+                if all_valid {
+                    block.meta.set_valid(true);
+                }
+                Ok(())
+            }
+            _ => Err(EnvError::NotABufferBlock(id)),
+        }
+    }
+
+    /// Mark a buffer-bearing block valid (all pages readable) or invalid.
+    pub fn set_block_valid(&self, id: BlockId, valid: bool) -> Result<(), EnvError> {
+        let block = self.try_block(id)?;
+        match &block.kind {
+            BlockKind::Data(buf) | BlockKind::BufferOnly(buf) => {
+                let mut guard = buf.write();
+                if valid {
+                    guard.pages_mut().validate_all();
+                } else {
+                    guard.pages_mut().invalidate_all();
+                }
+                drop(guard);
+                block.meta.set_valid(valid);
+                Ok(())
+            }
+            _ => Err(EnvError::NotABufferBlock(id)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accounting
+    // ------------------------------------------------------------------
+
+    /// Bytes of cell storage held by all buffer-bearing blocks.
+    pub fn data_bytes(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| match &b.kind {
+                BlockKind::Data(buf) | BlockKind::BufferOnly(buf) => buf.read().data_bytes(),
+                BlockKind::StaticData(d) => d.len() * std::mem::size_of::<C>(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Bytes of structural overhead: block metadata, page tables, arena.
+    pub fn working_bytes(&self) -> usize {
+        let meta_bytes = self.blocks.len() * std::mem::size_of::<Block<C>>();
+        let page_bytes: usize = self
+            .blocks
+            .iter()
+            .map(|b| match &b.kind {
+                BlockKind::Data(buf) | BlockKind::BufferOnly(buf) => {
+                    buf.read().footprint_bytes() - buf.read().data_bytes()
+                }
+                _ => 0,
+            })
+            .sum();
+        meta_bytes + page_bytes
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> EnvStats {
+        EnvStats {
+            num_blocks: self.blocks.len(),
+            num_data_blocks: self.blocks.iter().filter(|b| b.is_data()).count(),
+            num_buffer_only_blocks: self
+                .blocks
+                .iter()
+                .filter(|b| matches!(b.kind, BlockKind::BufferOnly(_)))
+                .count(),
+            data_bytes: self.data_bytes(),
+            working_bytes: self.working_bytes(),
+        }
+    }
+}
+
+impl<C> fmt::Debug for Env<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Env")
+            .field("blocks", &self.blocks.len())
+            .field("cells_per_page", &self.cells_per_page)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Build the Fig. 2a example: a root joint, a boundary Arithmetic block on
+    /// one branch and four 4x4 Data blocks (tiling an 8x8 domain) under a
+    /// second joint.
+    fn example_env() -> (Env<f64>, Vec<BlockId>) {
+        let pool = PoolHandle::unbounded();
+        let mut b = EnvBuilder::<f64>::new(pool, 4);
+        let root = b.add_empty(None);
+        let boundary = b.add_arithmetic(root, Arc::new(|_a| -1.0), true);
+        let joint = b.add_empty(Some(root));
+        let mut data = Vec::new();
+        for by in 0..2u32 {
+            for bx in 0..2u32 {
+                let origin = GlobalAddress::new2d(bx as i64 * 4, by as i64 * 4);
+                let id = b
+                    .add_data(joint, origin, Extent::new2d(4, 4), crate::morton::morton2d(bx, by))
+                    .unwrap();
+                data.push(id);
+            }
+        }
+        let _ = boundary;
+        (b.build(), data)
+    }
+
+    fn fill(env: &Env<f64>, data: &[BlockId]) {
+        for &bid in data {
+            let block = env.block(bid);
+            for dy in 0..4 {
+                for dx in 0..4 {
+                    let g = block.to_global(LocalAddress::new2d(dx, dy));
+                    env.write_initial(bid, LocalAddress::new2d(dx, dy), (g.x * 100 + g.y) as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_and_basic_queries() {
+        let (env, data) = example_env();
+        assert_eq!(env.len(), 7);
+        assert_eq!(env.data_block_ids(), data);
+        assert_eq!(env.stats().num_data_blocks, 4);
+        assert_eq!(env.stats().num_blocks, 7);
+        assert!(env.stats().data_bytes > 0);
+        assert!(env.stats().working_bytes > 0);
+        assert_eq!(env.cells_per_page(), 4);
+        assert_eq!(env.num_buffers(), 2);
+    }
+
+    #[test]
+    fn get_blocks_filters_by_ch_tid() {
+        let (env, data) = example_env();
+        env.block(data[0]).meta.set_ch_tid(Some(0));
+        env.block(data[1]).meta.set_ch_tid(Some(0));
+        env.block(data[2]).meta.set_ch_tid(Some(1));
+        env.block(data[3]).meta.set_ch_tid(Some(1));
+        assert_eq!(env.get_blocks(0), vec![data[0], data[1]]);
+        assert_eq!(env.get_blocks(1), vec![data[2], data[3]]);
+        assert!(env.get_blocks(2).is_empty());
+    }
+
+    #[test]
+    fn partition_by_morton_balances() {
+        let (env, _) = example_env();
+        let parts = env.partition_by_morton(2);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].len(), 2);
+        assert_eq!(parts[1].len(), 2);
+        let parts3 = env.partition_by_morton(3);
+        let total: usize = parts3.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 4);
+        let parts8 = env.partition_by_morton(8);
+        assert_eq!(parts8.iter().filter(|p| !p.is_empty()).count(), 4);
+    }
+
+    #[test]
+    fn in_block_read_write() {
+        let (env, data) = example_env();
+        fill(&env, &data);
+        let mut st = AccessState::new();
+        let v = env.read_local(data[0], LocalAddress::new2d(1, 2), false, &mut st).unwrap();
+        assert_eq!(v, 102.0);
+        assert_eq!(st.counters.in_block_hits, 1);
+        assert_eq!(st.counters.env_searches, 0);
+
+        // Write goes to the write buffer; visible only after swap.
+        env.block(data[0]).meta.set_dm_tid(Some(0));
+        assert!(env.write_local(data[0], LocalAddress::new2d(1, 2), 7.0, &mut st));
+        let before = env.read_local(data[0], LocalAddress::new2d(1, 2), false, &mut st).unwrap();
+        assert_eq!(before, 102.0);
+        env.swap_owned_buffers(0);
+        let after = env.read_local(data[0], LocalAddress::new2d(1, 2), false, &mut st).unwrap();
+        assert_eq!(after, 7.0);
+    }
+
+    #[test]
+    fn write_outside_block_rejected() {
+        let (env, data) = example_env();
+        let mut st = AccessState::new();
+        assert!(!env.write_local(data[0], LocalAddress::new2d(4, 0), 1.0, &mut st));
+        assert!(!env.write_local(data[0], LocalAddress::new2d(-1, 0), 1.0, &mut st));
+    }
+
+    #[test]
+    fn neighbour_block_access_via_search() {
+        let (env, data) = example_env();
+        fill(&env, &data);
+        let mut st = AccessState::new();
+        // From block 0 (origin 0,0), read the cell at (4,0) which belongs to
+        // block 1 (origin 4,0).
+        let v = env.read(data[0], GlobalAddress::new2d(4, 0), false, &mut st).unwrap();
+        assert_eq!(v, 400.0);
+        assert_eq!(st.counters.env_searches, 1);
+        assert_eq!(st.counters.out_of_block_reads, 1);
+        assert!(st.counters.search_nodes_visited > 0);
+    }
+
+    #[test]
+    fn boundary_access_hits_arithmetic_block_last() {
+        let (env, data) = example_env();
+        fill(&env, &data);
+        let mut st = AccessState::new();
+        let v = env.read(data[0], GlobalAddress::new2d(-1, 0), false, &mut st).unwrap();
+        assert_eq!(v, -1.0, "Dirichlet boundary value from the Arithmetic block");
+        assert_eq!(st.counters.arithmetic_reads, 1);
+        // The search had to scan the data branch before the boundary branch.
+        assert!(st.counters.search_nodes_visited >= 4);
+    }
+
+    #[test]
+    fn mmat_memorizes_and_replays() {
+        let (env, data) = example_env();
+        fill(&env, &data);
+        let mut st = AccessState::with_mmat();
+        let addr = GlobalAddress::new2d(4, 0);
+        let v1 = env.read(data[0], addr, false, &mut st).unwrap();
+        assert_eq!(st.counters.env_searches, 1);
+        assert_eq!(st.counters.mmat_misses, 1);
+        let v2 = env.read(data[0], addr, false, &mut st).unwrap();
+        assert_eq!(v1, v2);
+        assert_eq!(st.counters.env_searches, 1, "second access resolved by MMAT");
+        assert_eq!(st.counters.mmat_hits, 1);
+        // In-block accesses are memorised too.
+        let _ = env.read(data[0], GlobalAddress::new2d(1, 1), false, &mut st);
+        let _ = env.read(data[0], GlobalAddress::new2d(1, 1), false, &mut st);
+        assert_eq!(st.mmat.len(), 2);
+        st.reset_mmat();
+        assert_eq!(st.mmat.len(), 0);
+    }
+
+    #[test]
+    fn skip_search_hint_bypasses_search() {
+        let (env, data) = example_env();
+        fill(&env, &data);
+        let mut st = AccessState::new();
+        let v = env.read_local(data[2], LocalAddress::new2d(3, 3), true, &mut st).unwrap();
+        assert_eq!(v, 307.0);
+        assert_eq!(st.counters.skip_search_hits, 1);
+        assert_eq!(st.counters.env_searches, 0);
+        // A wrong hint (address outside the block) returns None rather than
+        // silently reading another block.
+        assert!(env.read_local(data[2], LocalAddress::new2d(9, 0), true, &mut st).is_none());
+    }
+
+    #[test]
+    fn invalid_block_records_missing_pages() {
+        let (env, data) = example_env();
+        fill(&env, &data);
+        env.set_block_valid(data[1], false).unwrap();
+        let mut st = AccessState::new();
+        let v = env.read(data[0], GlobalAddress::new2d(4, 0), false, &mut st);
+        assert!(v.is_none());
+        assert!(st.has_missing());
+        assert_eq!(st.missing()[0].0, data[1]);
+        assert_eq!(st.counters.missing_accesses, 1);
+        // Install the page and retry.
+        let page = st.take_missing()[0].1;
+        let payload = vec![42.0; env.block(data[1]).meta.extent.cells().min(4)];
+        env.install_page(data[1], page, &payload).unwrap();
+        // Only one page is valid, so the block as a whole may still be invalid
+        // unless it has a single page; force validity for the retry.
+        env.set_block_valid(data[1], true).unwrap();
+        let v = env.read(data[0], GlobalAddress::new2d(4, 0), false, &mut st);
+        assert!(v.is_some());
+    }
+
+    #[test]
+    fn reference_block_mirrors_neumann_boundary() {
+        let pool = PoolHandle::unbounded();
+        let mut b = EnvBuilder::<f64>::new(pool, 4);
+        let root = b.add_empty(None);
+        let joint = b.add_empty(Some(root));
+        let d0 = b.add_data(joint, GlobalAddress::new2d(0, 0), Extent::new2d(4, 4), 0).unwrap();
+        // Mirror x=-1 accesses back onto x=0 (zero-gradient boundary).
+        let _r = b.add_reference(
+            root,
+            d0,
+            Arc::new(|a: GlobalAddress| GlobalAddress::new2d(a.x.max(0), a.y)),
+            true,
+        );
+        let env = b.build();
+        let mut st = AccessState::new();
+        env.write_initial(d0, LocalAddress::new2d(0, 2), 5.5);
+        let v = env.read(d0, GlobalAddress::new2d(-1, 2), false, &mut st).unwrap();
+        assert_eq!(v, 5.5);
+        assert_eq!(st.counters.reference_reads, 1);
+    }
+
+    #[test]
+    fn static_block_reads() {
+        let pool = PoolHandle::unbounded();
+        let mut b = EnvBuilder::<f64>::new(pool, 4);
+        let root = b.add_empty(None);
+        let joint = b.add_empty(Some(root));
+        let d0 = b.add_data(joint, GlobalAddress::new2d(0, 0), Extent::new2d(2, 2), 0).unwrap();
+        let _s = b.add_static(
+            root,
+            GlobalAddress::new2d(2, 0),
+            Extent::new2d(2, 2),
+            vec![9.0, 8.0, 7.0, 6.0],
+        );
+        let env = b.build();
+        let mut st = AccessState::new();
+        let v = env.read(d0, GlobalAddress::new2d(3, 1), false, &mut st).unwrap();
+        assert_eq!(v, 6.0);
+        assert_eq!(st.counters.static_reads, 1);
+    }
+
+    #[test]
+    fn demote_to_buffer_only() {
+        let (mut env, data) = example_env();
+        env.demote_to_buffer_only(data[3]).unwrap();
+        assert_eq!(env.stats().num_data_blocks, 3);
+        assert_eq!(env.stats().num_buffer_only_blocks, 1);
+        assert!(!env.block(data[3]).meta.is_valid());
+        // Demoting a non-data block errors.
+        assert!(env.demote_to_buffer_only(0).is_err());
+        assert!(env.demote_to_buffer_only(999).is_err());
+    }
+
+    #[test]
+    fn page_extract_install_between_envs() {
+        let (env_a, data_a) = example_env();
+        let (env_b, data_b) = example_env();
+        fill(&env_a, &data_a);
+        // Ship all pages of block 2 from env_a to env_b.
+        let bid = data_a[2];
+        env_b.set_block_valid(data_b[2], false).unwrap();
+        for page in 0..env_a.num_pages(bid).unwrap() {
+            let payload = env_a.extract_page(bid, page).unwrap();
+            env_b.install_page(data_b[2], page, &payload).unwrap();
+        }
+        assert!(env_b.block(data_b[2]).meta.is_valid(), "block becomes valid once every page arrived");
+        let mut st = AccessState::new();
+        let want = env_a.read_local(bid, LocalAddress::new2d(2, 2), false, &mut st).unwrap();
+        let got = env_b.read_local(data_b[2], LocalAddress::new2d(2, 2), false, &mut st).unwrap();
+        assert_eq!(want, got);
+    }
+
+    mod search_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// From any starting block, the search finds a block that actually
+            /// contains the address (or the catch-all boundary), never visits
+            /// more nodes than the tree holds, and agrees with a brute-force
+            /// scan about whether a non-boundary block covers the address.
+            #[test]
+            fn find_block_is_sound_and_bounded(
+                start_sel in 0usize..4,
+                x in -6i64..14,
+                y in -6i64..14,
+            ) {
+                let (env, data) = example_env();
+                let addr = GlobalAddress::new2d(x, y);
+                let (found, visited) = env.find_block(addr, data[start_sel]);
+                prop_assert!(visited <= env.len() as u64 + 1);
+                let bid = found.expect("catch-all guarantees a hit");
+                prop_assert!(env.block(bid).contains(addr));
+                let brute = env
+                    .blocks()
+                    .find(|b| !b.meta.catch_all && !matches!(b.kind, BlockKind::Empty) && b.contains(addr))
+                    .map(|b| b.meta.id);
+                match brute {
+                    Some(expected) => prop_assert_eq!(bid, expected),
+                    None => prop_assert!(env.block(bid).meta.catch_all),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_exhaustion_surfaces_as_error() {
+        let pool = PoolHandle::single(64);
+        let mut b = EnvBuilder::<f64>::new(pool, 4);
+        let root = b.add_empty(None);
+        let joint = b.add_empty(Some(root));
+        let err = b.add_data(joint, GlobalAddress::new2d(0, 0), Extent::new2d(64, 64), 0);
+        assert!(matches!(err, Err(EnvError::Pool(_))));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(EnvError::UnknownBlock(3).to_string().contains("3"));
+        assert!(EnvError::NotABufferBlock(1).to_string().contains("1"));
+    }
+}

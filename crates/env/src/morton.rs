@@ -1,0 +1,131 @@
+//! Z-order (Morton) curve indexing.
+//!
+//! The prototype assigns Data Blocks to tasks by their Z-order index, which
+//! keeps spatially adjacent blocks on the same (or neighbouring) task and so
+//! minimises the surface area communicated between tasks.  The paper computes
+//! the index with the x86 `PDEP` instruction; this is the portable software
+//! equivalent (bit interleaving), which produces identical values.
+
+/// Spread the low 32 bits of `v` so that each bit occupies every other
+/// position (software PDEP with mask `0x5555_5555_5555_5555`).
+fn part1by1(v: u64) -> u64 {
+    let mut x = v & 0xffff_ffff;
+    x = (x | (x << 16)) & 0x0000_ffff_0000_ffff;
+    x = (x | (x << 8)) & 0x00ff_00ff_00ff_00ff;
+    x = (x | (x << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`part1by1`].
+fn compact1by1(v: u64) -> u64 {
+    let mut x = v & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x | (x >> 4)) & 0x00ff_00ff_00ff_00ff;
+    x = (x | (x >> 8)) & 0x0000_ffff_0000_ffff;
+    x = (x | (x >> 16)) & 0x0000_0000_ffff_ffff;
+    x
+}
+
+/// Spread the low 21 bits of `v` so that each bit occupies every third
+/// position (software PDEP with mask `0x1249…`).
+fn part1by2(v: u64) -> u64 {
+    let mut x = v & 0x1f_ffff;
+    x = (x | (x << 32)) & 0x1f00_0000_00ff_ffff;
+    x = (x | (x << 16)) & 0x1f00_00ff_0000_ffff;
+    x = (x | (x << 8)) & 0x100f_00f0_0f00_f00f;
+    x = (x | (x << 4)) & 0x10c3_0c30_c30c_30c3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// 2-D Morton index of block coordinates `(bx, by)`.
+pub fn morton2d(bx: u32, by: u32) -> u64 {
+    part1by1(bx as u64) | (part1by1(by as u64) << 1)
+}
+
+/// Inverse of [`morton2d`].
+pub fn morton_decode2d(code: u64) -> (u32, u32) {
+    (compact1by1(code) as u32, compact1by1(code >> 1) as u32)
+}
+
+/// 3-D Morton index of block coordinates `(bx, by, bz)` (21 bits per axis).
+pub fn morton3d(bx: u32, by: u32, bz: u32) -> u64 {
+    part1by2(bx as u64) | (part1by2(by as u64) << 1) | (part1by2(bz as u64) << 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_2d_values() {
+        assert_eq!(morton2d(0, 0), 0);
+        assert_eq!(morton2d(1, 0), 1);
+        assert_eq!(morton2d(0, 1), 2);
+        assert_eq!(morton2d(1, 1), 3);
+        assert_eq!(morton2d(2, 0), 4);
+        assert_eq!(morton2d(2, 2), 12);
+        assert_eq!(morton2d(3, 3), 15);
+        assert_eq!(morton2d(0, 2), 8);
+    }
+
+    #[test]
+    fn known_3d_values() {
+        assert_eq!(morton3d(0, 0, 0), 0);
+        assert_eq!(morton3d(1, 0, 0), 1);
+        assert_eq!(morton3d(0, 1, 0), 2);
+        assert_eq!(morton3d(0, 0, 1), 4);
+        assert_eq!(morton3d(1, 1, 1), 7);
+        assert_eq!(morton3d(2, 0, 0), 8);
+    }
+
+    #[test]
+    fn z_order_locality_property() {
+        // The four blocks of a 2x2 quad share a contiguous Morton range.
+        let quad: Vec<u64> =
+            vec![morton2d(4, 6), morton2d(5, 6), morton2d(4, 7), morton2d(5, 7)];
+        let min = *quad.iter().min().unwrap();
+        let max = *quad.iter().max().unwrap();
+        assert_eq!(max - min, 3, "an aligned 2x2 quad occupies 4 consecutive codes");
+    }
+
+    proptest! {
+        /// Encoding then decoding is the identity for 2-D.
+        #[test]
+        fn roundtrip_2d(x in 0u32..u32::MAX, y in 0u32..u32::MAX) {
+            let code = morton2d(x, y);
+            prop_assert_eq!(morton_decode2d(code), (x, y));
+        }
+
+        /// Morton codes are unique per coordinate pair (injectivity on a grid).
+        #[test]
+        fn injective_2d(a in 0u32..1024, b in 0u32..1024, c in 0u32..1024, d in 0u32..1024) {
+            if (a, b) != (c, d) {
+                prop_assert_ne!(morton2d(a, b), morton2d(c, d));
+            }
+        }
+
+        /// 3-D codes of distinct small coordinates are distinct.
+        #[test]
+        fn injective_3d(a in 0u32..64, b in 0u32..64, c in 0u32..64,
+                        d in 0u32..64, e in 0u32..64, f in 0u32..64) {
+            if (a, b, c) != (d, e, f) {
+                prop_assert_ne!(morton3d(a, b, c), morton3d(d, e, f));
+            }
+        }
+
+        /// Monotone along the diagonal: larger square quadrants have larger codes.
+        #[test]
+        fn quadrant_ordering(x in 0u32..30000, y in 0u32..30000) {
+            // A point strictly inside a higher power-of-two quadrant always has a
+            // larger Morton code than any point of the lower quadrant.
+            let code = morton2d(x, y);
+            let next_pow = (x.max(y) + 1).next_power_of_two();
+            prop_assert!(code < morton2d(next_pow, next_pow));
+        }
+    }
+}

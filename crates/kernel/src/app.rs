@@ -1,0 +1,446 @@
+//! Platform integration: run a compiled subkernel as an end-user application.
+//!
+//! [`IrStencilApp`] is an App-Part program (an [`HpcApp`]) whose `kernel` is
+//! not hand-written Rust but a [`StencilProgram`] compiled per block shape.
+//! One step per block is:
+//!
+//! 1. gather the block's current values with the `GetDD` fast path (one
+//!    platform access per cell instead of one per load — the access
+//!    resolution of all interior loads was cached at compile time);
+//! 2. execute the compiled kernel on the chosen backend, fetching only the
+//!    true out-of-block halo values through the platform (`GetD` without the
+//!    in-block assertion, so MMAT / Env-search accounting still applies);
+//! 3. write the results back with `SetD` and finish the step with `refresh`,
+//!    exactly like a hand-written kernel.
+//!
+//! Because steps 1–3 use the same Annotation/Memory-Library join points as
+//! Listing 1, every aspect module (MPI, OpenMP, hybrid) applies unchanged —
+//! which is the point of the paper's layering: the subkernel generator is a
+//! DSL-part concern, invisible to the aspect modules.
+
+use crate::backend::{ExecStats, Processor};
+use crate::hetero::{HeteroDispatcher, PerProcessorStats};
+use crate::opt::{OptLevel, OptStats};
+use crate::plan::CompiledKernel;
+use crate::program::StencilProgram;
+use aohpc_env::{Extent, GlobalAddress, LocalAddress};
+use aohpc_runtime::{HpcApp, TaskCtx, TaskSlot};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shared sink receiving `(address, value)` pairs from `Finalize` (same shape
+/// as the sample DSLs' sink, so harnesses can compare fields directly).
+pub type StencilFieldSink = Arc<Mutex<Vec<(GlobalAddress, f64)>>>;
+
+/// Shared sink receiving execution statistics from every task's `Finalize`.
+pub type StatsSink = Arc<Mutex<PerProcessorStats>>;
+
+/// Create an empty field sink.
+pub fn new_stencil_field_sink() -> StencilFieldSink {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
+/// Create an empty statistics sink.
+pub fn new_stats_sink() -> StatsSink {
+    Arc::new(Mutex::new(PerProcessorStats::default()))
+}
+
+/// Initial-condition closure: global address → value.
+pub type InitFn = Arc<dyn Fn(GlobalAddress) -> f64 + Send + Sync>;
+
+/// An end-user application whose kernel is an IR subkernel.
+#[derive(Clone)]
+pub struct IrStencilApp {
+    program: StencilProgram,
+    params: Vec<f64>,
+    loops: usize,
+    opt_level: OptLevel,
+    dispatcher: HeteroDispatcher,
+    init: InitFn,
+    field_sink: Option<StencilFieldSink>,
+    stats_sink: Option<StatsSink>,
+    compiled: HashMap<(usize, usize), Arc<CompiledKernel>>,
+}
+
+impl std::fmt::Debug for IrStencilApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IrStencilApp")
+            .field("program", &self.program.name())
+            .field("params", &self.params)
+            .field("loops", &self.loops)
+            .field("opt_level", &self.opt_level)
+            .finish()
+    }
+}
+
+impl IrStencilApp {
+    /// An application running `program` with the given parameters for `loops`
+    /// steps, scalar backend, full optimization and the sample DSLs' default
+    /// initial condition.
+    pub fn new(program: StencilProgram, params: Vec<f64>, loops: usize) -> Self {
+        assert!(
+            params.len() >= program.num_params(),
+            "program {} declares {} parameters, {} given",
+            program.name(),
+            program.num_params(),
+            params.len()
+        );
+        IrStencilApp {
+            program,
+            params,
+            loops,
+            opt_level: OptLevel::Full,
+            dispatcher: HeteroDispatcher::default(),
+            init: Arc::new(default_initial_value),
+            field_sink: None,
+            stats_sink: None,
+            compiled: HashMap::new(),
+        }
+    }
+
+    /// Use a different optimization level (for ablations).
+    pub fn with_opt_level(mut self, level: OptLevel) -> Self {
+        self.opt_level = level;
+        self
+    }
+
+    /// Use a heterogeneous dispatcher (which backend runs which block).
+    pub fn with_dispatcher(mut self, dispatcher: HeteroDispatcher) -> Self {
+        self.dispatcher = dispatcher;
+        self
+    }
+
+    /// Run every block on one backend.
+    pub fn with_processor(self, processor: Processor) -> Self {
+        self.with_dispatcher(HeteroDispatcher::single(processor))
+    }
+
+    /// Use a custom initial condition.
+    pub fn with_init(mut self, init: InitFn) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Deposit the final field into a sink.
+    pub fn with_field_sink(mut self, sink: StencilFieldSink) -> Self {
+        self.field_sink = Some(sink);
+        self
+    }
+
+    /// Deposit per-processor execution statistics into a sink.
+    pub fn with_stats_sink(mut self, sink: StatsSink) -> Self {
+        self.stats_sink = Some(sink);
+        self
+    }
+
+    /// The compile-time statistics of the program at this app's optimization
+    /// level (nodes before/after, folds, CSE merges).
+    pub fn opt_stats(&self) -> OptStats {
+        crate::opt::Dag::lower(self.program.expr(), self.opt_level).stats()
+    }
+
+    /// App factory for the runtime driver.
+    pub fn factory(&self) -> Arc<dyn Fn(TaskSlot) -> IrStencilApp + Send + Sync> {
+        let proto = self.clone();
+        Arc::new(move |_slot| proto.clone())
+    }
+
+    /// The compiled kernel for a block shape (compiling and caching it on
+    /// first use — Assumption II makes the cache hit on every later step).
+    fn compiled_for(&mut self, extent: Extent) -> Arc<CompiledKernel> {
+        let key = (extent.nx, extent.ny);
+        let program = &self.program;
+        let level = self.opt_level;
+        Arc::clone(
+            self.compiled
+                .entry(key)
+                .or_insert_with(|| Arc::new(CompiledKernel::compile(program, extent, level))),
+        )
+    }
+}
+
+/// The default initial condition shared with the sample SGrid DSL, so the two
+/// kernels can be compared field-for-field.
+pub fn default_initial_value(addr: GlobalAddress) -> f64 {
+    ((addr.x * 13 + addr.y * 7) % 97) as f64 / 97.0
+}
+
+impl HpcApp<f64> for IrStencilApp {
+    fn loop_count(&self) -> usize {
+        self.loops
+    }
+
+    fn initialize(&mut self, ctx: &mut TaskCtx<f64>) {
+        for bid in ctx.owned_blocks() {
+            let (ext, origin) = {
+                let b = ctx.env().block(bid);
+                (b.meta.extent, b.meta.origin)
+            };
+            for j in 0..ext.ny as i64 {
+                for i in 0..ext.nx as i64 {
+                    let g = origin + LocalAddress::new2d(i, j);
+                    ctx.set_initial(bid, LocalAddress::new2d(i, j), (self.init)(g));
+                }
+            }
+        }
+    }
+
+    fn kernel(&mut self, ctx: &mut TaskCtx<f64>, _warmup: bool) -> bool {
+        let params = self.params.clone();
+        let blocks = ctx.get_blocks();
+        let assignments = self.dispatcher.assign(&blocks);
+        // Per-step statistics, merged into the shared sink at the end of the
+        // step (Initialize/Finalize run on a different app instance, so state
+        // accumulated here would not survive until `finalize`).
+        let mut step_stats = PerProcessorStats::default();
+        for (bid, processor) in assignments {
+            let ext = ctx.env().block(bid).meta.extent;
+            // Compile (or reuse) the plan for this block shape.
+            let compiled = self.compiled_for(ext);
+            let (nx, ny) = (ext.nx, ext.ny);
+
+            // 1. Gather the block's current values (GetDD fast path).
+            let mut cells = vec![0.0f64; nx * ny];
+            for (idx, cell) in cells.iter_mut().enumerate() {
+                let la = ext.delinearize(idx);
+                *cell = ctx.get_dd(bid, la);
+            }
+
+            // 2. Execute on the assigned backend; halo loads go back through
+            //    the platform so MMAT / Env-search semantics are preserved.
+            let mut out = vec![0.0f64; nx * ny];
+            let mut stats = ExecStats::default();
+            compiled.execute_block(
+                &cells,
+                &params,
+                &mut |x, y| ctx.get(bid, LocalAddress::new2d(x, y), false),
+                &mut out,
+                processor,
+                &mut stats,
+            );
+            step_stats.record(processor, &stats);
+
+            // 3. Write the next-step values back (SetD).
+            for (idx, value) in out.into_iter().enumerate() {
+                ctx.set(bid, ext.delinearize(idx), value);
+            }
+        }
+        if let Some(sink) = &self.stats_sink {
+            sink.lock().merge(&step_stats);
+        }
+        ctx.refresh()
+    }
+
+    fn finalize(&mut self, ctx: &mut TaskCtx<f64>) {
+        if let Some(sink) = &self.field_sink {
+            let mut outputs = Vec::new();
+            for bid in ctx.owned_blocks() {
+                let (ext, origin) = {
+                    let b = ctx.env().block(bid);
+                    (b.meta.extent, b.meta.origin)
+                };
+                for j in 0..ext.ny as i64 {
+                    for i in 0..ext.nx as i64 {
+                        let v = ctx.get_dd(bid, LocalAddress::new2d(i, j));
+                        outputs.push((origin + LocalAddress::new2d(i, j), v));
+                    }
+                }
+            }
+            sink.lock().extend(outputs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::DenseField;
+    use aohpc_aop::{Weaver, WovenProgram};
+    use aohpc_dsl::{DslSystem, SGridJacobiApp, SGridSystem};
+    use aohpc_runtime::{execute, LayerSpec, MpiAspect, OmpAspect, RunConfig, Topology};
+    use aohpc_workloads::RegionSize;
+
+    const ALPHA: f64 = 0.5;
+    const BETA: f64 = 0.125;
+
+    fn reference_field(region: RegionSize, steps: usize) -> Vec<f64> {
+        let mut f = DenseField::new(
+            region.nx,
+            region.ny,
+            |x, y| default_initial_value(GlobalAddress::new2d(x, y)),
+            |_, _| 0.0,
+        );
+        f.run_interpreted(&StencilProgram::jacobi_5pt(), &[ALPHA, BETA], steps);
+        f.values().to_vec()
+    }
+
+    fn run_ir_app(
+        region: RegionSize,
+        block: usize,
+        topology: Topology,
+        woven: WovenProgram,
+        app: IrStencilApp,
+    ) -> (Vec<f64>, aohpc_runtime::RunReport) {
+        let system = Arc::new(SGridSystem::with_block_size(region, block));
+        let sink = new_stencil_field_sink();
+        let app = app.with_field_sink(sink.clone());
+        let config = RunConfig::serial().with_topology(topology);
+        let report = execute(&config, woven, system.env_factory(), app.factory());
+        let nx = region.nx as i64;
+        let mut field = vec![f64::NAN; region.cells()];
+        for (addr, v) in sink.lock().iter() {
+            field[(addr.y * nx + addr.x) as usize] = *v;
+        }
+        (field, report)
+    }
+
+    fn close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-12, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn serial_ir_app_matches_interpreter_reference() {
+        let region = RegionSize::square(24);
+        let app = IrStencilApp::new(StencilProgram::jacobi_5pt(), vec![ALPHA, BETA], 4);
+        let (field, _) = run_ir_app(region, 8, Topology::serial(), WovenProgram::unwoven(), app);
+        close(&field, &reference_field(region, 4));
+    }
+
+    #[test]
+    fn ir_app_matches_the_handwritten_sgrid_app() {
+        // The IR subkernel and the hand-written Listing-1-style kernel are the
+        // same mathematics; on the same platform they must produce the same
+        // field.
+        let region = RegionSize::square(24);
+        let system = Arc::new(SGridSystem::with_block_size(region, 8));
+        let sink = aohpc_dsl::common::new_field_sink();
+        let classic = SGridJacobiApp::new(4, 8).with_sink(sink.clone());
+        execute(
+            &RunConfig::serial(),
+            WovenProgram::unwoven(),
+            system.env_factory(),
+            classic.factory(),
+        );
+        let nx = region.nx as i64;
+        let mut classic_field = vec![f64::NAN; region.cells()];
+        for (addr, v) in sink.lock().iter() {
+            classic_field[(addr.y * nx + addr.x) as usize] = *v;
+        }
+
+        let app = IrStencilApp::new(StencilProgram::jacobi_5pt(), vec![ALPHA, BETA], 4);
+        let (ir_field, _) =
+            run_ir_app(region, 8, Topology::serial(), WovenProgram::unwoven(), app);
+        close(&ir_field, &classic_field);
+    }
+
+    #[test]
+    fn parallel_modes_match_reference_for_every_backend() {
+        let region = RegionSize::square(32);
+        let want = reference_field(region, 3);
+        for processor in [Processor::Scalar, Processor::Simd, Processor::Accelerator] {
+            let woven = Weaver::new()
+                .with_aspect(Box::new(MpiAspect::<f64>::new()))
+                .with_aspect(Box::new(OmpAspect::<f64>::new()))
+                .weave();
+            let app = IrStencilApp::new(StencilProgram::jacobi_5pt(), vec![ALPHA, BETA], 3)
+                .with_processor(processor);
+            let (field, report) =
+                run_ir_app(region, 8, Topology::hybrid(2, 2), woven, app);
+            assert_eq!(report.tasks.len(), 4);
+            close(&field, &want);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_schedule_matches_reference_and_records_stats() {
+        use crate::hetero::SchedulePolicy;
+        let region = RegionSize::square(32);
+        let stats_sink = new_stats_sink();
+        let app = IrStencilApp::new(StencilProgram::jacobi_5pt(), vec![ALPHA, BETA], 3)
+            .with_dispatcher(HeteroDispatcher::new(SchedulePolicy::RoundRobin(vec![
+                Processor::Simd,
+                Processor::Scalar,
+                Processor::Accelerator,
+            ])))
+            .with_stats_sink(stats_sink.clone());
+        let (field, _) = run_ir_app(region, 8, Topology::serial(), WovenProgram::unwoven(), app);
+        close(&field, &reference_field(region, 3));
+        let stats = stats_sink.lock();
+        assert!(stats.get(Processor::Scalar).is_some());
+        assert!(stats.get(Processor::Simd).is_some());
+        assert!(stats.get(Processor::Accelerator).is_some());
+        assert!(stats.get(Processor::Accelerator).unwrap().offload_bytes_in > 0);
+        // 16 blocks × (warm-up + 3 steps) = 64 block executions.
+        assert_eq!(stats.total().blocks, 64);
+    }
+
+    #[test]
+    fn resolution_cache_reduces_platform_accesses() {
+        // The classic kernel issues one platform access per load (5 per cell);
+        // the compiled plan gathers each cell once and only the halo goes back
+        // to the platform.
+        let region = RegionSize::square(32);
+        let system = Arc::new(SGridSystem::with_block_size(region, 8));
+        let classic = SGridJacobiApp::new(3, 8);
+        let classic_report = execute(
+            &RunConfig::serial(),
+            WovenProgram::unwoven(),
+            system.clone().env_factory(),
+            classic.factory(),
+        );
+
+        let ir = IrStencilApp::new(StencilProgram::jacobi_5pt(), vec![ALPHA, BETA], 3);
+        let ir_report = execute(
+            &RunConfig::serial(),
+            WovenProgram::unwoven(),
+            system.env_factory(),
+            ir.factory(),
+        );
+
+        let classic_reads = classic_report.total_counters().reads;
+        let ir_reads = ir_report.total_counters().reads;
+        assert!(
+            ir_reads * 2 < classic_reads,
+            "compiled plan should cut platform reads at least in half: {ir_reads} vs {classic_reads}"
+        );
+    }
+
+    #[test]
+    fn nine_point_program_runs_distributed() {
+        let region = RegionSize::square(24);
+        let mut reference = DenseField::new(
+            region.nx,
+            region.ny,
+            |x, y| default_initial_value(GlobalAddress::new2d(x, y)),
+            |_, _| 0.0,
+        );
+        reference.run_interpreted(&StencilProgram::smooth_9pt(), &[0.6, 0.05], 2);
+
+        let woven = Weaver::new().with_aspect(Box::new(MpiAspect::<f64>::new())).weave();
+        let topo = Topology::new(vec![LayerSpec::distributed(3)]);
+        let app = IrStencilApp::new(StencilProgram::smooth_9pt(), vec![0.6, 0.05], 2)
+            .with_processor(Processor::Simd);
+        let (field, report) = run_ir_app(region, 8, topo, woven, app);
+        assert_eq!(report.ranks.len(), 3);
+        close(&field, reference.values());
+    }
+
+    #[test]
+    fn opt_stats_reflect_the_level() {
+        let app = IrStencilApp::new(StencilProgram::jacobi_5pt(), vec![ALPHA, BETA], 1);
+        let full = app.opt_stats();
+        let none = app.with_opt_level(OptLevel::None).opt_stats();
+        assert!(full.dag_nodes <= none.dag_nodes);
+        assert_eq!(none.tree_nodes, full.tree_nodes);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameters")]
+    fn missing_params_are_rejected() {
+        IrStencilApp::new(StencilProgram::jacobi_5pt(), vec![ALPHA], 1);
+    }
+}

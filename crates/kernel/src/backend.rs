@@ -1,0 +1,483 @@
+//! Execution backends for compiled subkernels.
+//!
+//! The paper's future-work §VI proposes that "the platform generates kernels
+//! for multiple types of processors and executes them heterogeneously, using
+//! GPUs, SIMD, and other accelerators".  This module is that generation step
+//! for three processor models:
+//!
+//! * [`Processor::Scalar`] — one cell at a time, the shape a plain C++ loop
+//!   (or the paper's prototype) executes;
+//! * [`Processor::Simd`] — the interior region is processed in fixed-width
+//!   lanes (`LANES` cells per DAG evaluation), the shape a vectorising
+//!   compiler or explicit SIMD intrinsics produce;
+//! * [`Processor::Accelerator`] — lane execution plus explicit offload
+//!   accounting (bytes shipped to and from the device), the shape of a GPU
+//!   kernel launch.  Since this container has no GPU, the accelerator is
+//!   *simulated*: it executes the same arithmetic on the CPU and reports the
+//!   transfer volume a real device would have moved (see DESIGN.md §5).
+//!
+//! All three backends run the same optimized DAG over the same
+//! [`AccessPlan`](crate::plan::AccessPlan), so their results are bit-identical
+//! and tests compare them directly.
+
+use crate::opt::{Dag, Node};
+use crate::plan::{CompiledKernel, ResolvedAccess};
+use serde::Serialize;
+
+/// Number of cells one vector lane-group processes.
+pub const LANES: usize = 8;
+
+/// The processor model a block is executed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Processor {
+    /// One cell at a time.
+    Scalar,
+    /// Lane-parallel interior execution (width [`LANES`]).
+    Simd,
+    /// Lane-parallel execution with host↔device transfer accounting.
+    Accelerator,
+}
+
+impl Processor {
+    /// Short, stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Processor::Scalar => "scalar",
+            Processor::Simd => "simd",
+            Processor::Accelerator => "accelerator",
+        }
+    }
+}
+
+/// Counters accumulated while executing compiled kernels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ExecStats {
+    /// Blocks executed.
+    pub blocks: u64,
+    /// Cells updated.
+    pub cells: u64,
+    /// Cells updated through the interior fast path.
+    pub interior_cells: u64,
+    /// Cells updated through the resolved boundary path.
+    pub boundary_cells: u64,
+    /// Out-of-block loads that had to go back to the platform.
+    pub halo_fetches: u64,
+    /// DAG operations evaluated one cell at a time.
+    pub scalar_ops: u64,
+    /// DAG operations evaluated [`LANES`] cells at a time.
+    pub vector_ops: u64,
+    /// Bytes shipped host→device (Accelerator only).
+    pub offload_bytes_in: u64,
+    /// Bytes shipped device→host (Accelerator only).
+    pub offload_bytes_out: u64,
+}
+
+impl ExecStats {
+    /// Merge another stats record into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.blocks += other.blocks;
+        self.cells += other.cells;
+        self.interior_cells += other.interior_cells;
+        self.boundary_cells += other.boundary_cells;
+        self.halo_fetches += other.halo_fetches;
+        self.scalar_ops += other.scalar_ops;
+        self.vector_ops += other.vector_ops;
+        self.offload_bytes_in += other.offload_bytes_in;
+        self.offload_bytes_out += other.offload_bytes_out;
+    }
+}
+
+/// For every DAG node, the index of its offset in the plan's offset list
+/// (`usize::MAX` for non-load nodes).
+fn load_slots(dag: &Dag, offsets: &[(i64, i64)]) -> Vec<usize> {
+    dag.nodes()
+        .iter()
+        .map(|n| match n {
+            Node::Load { dx, dy } => offsets
+                .iter()
+                .position(|&o| o == (*dx, *dy))
+                .expect("plan offsets cover every live load"),
+            _ => usize::MAX,
+        })
+        .collect()
+}
+
+/// Number of evaluated operations (non-leaf nodes) in a DAG.
+fn op_count(dag: &Dag) -> u64 {
+    dag.nodes()
+        .iter()
+        .filter(|n| matches!(n, Node::Unary { .. } | Node::Binary { .. }))
+        .count() as u64
+}
+
+impl CompiledKernel {
+    /// Execute the kernel over one block.
+    ///
+    /// * `cells` — the block's current (read-buffer) values, row-major,
+    ///   `extent.cells()` long;
+    /// * `params` — runtime parameters;
+    /// * `halo` — resolves an out-of-block load given block-local target
+    ///   coordinates (the caller adds the block origin and goes through the
+    ///   platform's `GetD`, so MMAT / Env search accounting still applies);
+    /// * `out` — the block's next values, row-major (same length as `cells`);
+    /// * `processor` — which backend executes the interior region.
+    pub fn execute_block(
+        &self,
+        cells: &[f64],
+        params: &[f64],
+        halo: &mut impl FnMut(i64, i64) -> f64,
+        out: &mut [f64],
+        processor: Processor,
+        stats: &mut ExecStats,
+    ) {
+        let plan = self.plan();
+        assert_eq!(cells.len(), plan.cells(), "cells slice does not match the compiled extent");
+        assert_eq!(out.len(), plan.cells(), "out slice does not match the compiled extent");
+        let dag = self.dag();
+        let slots = load_slots(dag, &plan.offsets);
+        let ops = op_count(dag);
+
+        stats.blocks += 1;
+        stats.cells += plan.cells() as u64;
+
+        // Interior: precomputed linear offsets, sequential order.
+        match processor {
+            Processor::Scalar => {
+                self.run_interior_scalar(cells, params, out, &slots, stats, ops);
+            }
+            Processor::Simd | Processor::Accelerator => {
+                self.run_interior_lanes(cells, params, out, &slots, stats, ops);
+            }
+        }
+
+        // Boundary: resolved accesses, halo loads through the platform.
+        let mut operands = vec![0.0f64; plan.offsets.len()];
+        let mut values = vec![0.0f64; dag.len()];
+        for cell in &plan.boundary {
+            for (slot, access) in cell.accesses.iter().enumerate() {
+                operands[slot] = match *access {
+                    ResolvedAccess::InBlock(idx) => cells[idx],
+                    ResolvedAccess::Halo { x, y } => {
+                        stats.halo_fetches += 1;
+                        halo(x, y)
+                    }
+                };
+            }
+            out[cell.index] = eval_with_operands(dag, &slots, &operands, params, &mut values);
+            stats.boundary_cells += 1;
+            stats.scalar_ops += ops;
+        }
+
+        if processor == Processor::Accelerator {
+            // A real device would receive the block and its halo ring and send
+            // the updated block back.
+            let f64_bytes = std::mem::size_of::<f64>() as u64;
+            stats.offload_bytes_in += (plan.cells() as u64 + plan.halo_loads() as u64) * f64_bytes;
+            stats.offload_bytes_out += plan.cells() as u64 * f64_bytes;
+        }
+    }
+
+    fn run_interior_scalar(
+        &self,
+        cells: &[f64],
+        params: &[f64],
+        out: &mut [f64],
+        slots: &[usize],
+        stats: &mut ExecStats,
+        ops: u64,
+    ) {
+        let plan = self.plan();
+        let dag = self.dag();
+        let nx = plan.extent_nx as i64;
+        let mut values = vec![0.0f64; dag.len()];
+        for y in plan.interior.y0..plan.interior.y1 {
+            for x in plan.interior.x0..plan.interior.x1 {
+                let idx = (y * nx + x) as usize;
+                for (i, node) in dag.nodes().iter().enumerate() {
+                    values[i] = match *node {
+                        Node::Load { .. } => {
+                            let delta = plan.linear_offsets[slots[i]];
+                            cells[(idx as isize + delta) as usize]
+                        }
+                        Node::Const(bits) => f64::from_bits(bits),
+                        Node::Param(p) => params.get(p).copied().unwrap_or(0.0),
+                        Node::Unary { op, a } => op.apply(values[a]),
+                        Node::Binary { op, a, b } => op.apply(values[a], values[b]),
+                    };
+                }
+                out[idx] = values[dag.root()];
+                stats.interior_cells += 1;
+                stats.scalar_ops += ops;
+            }
+        }
+    }
+
+    fn run_interior_lanes(
+        &self,
+        cells: &[f64],
+        params: &[f64],
+        out: &mut [f64],
+        slots: &[usize],
+        stats: &mut ExecStats,
+        ops: u64,
+    ) {
+        let plan = self.plan();
+        let dag = self.dag();
+        let nx = plan.extent_nx as i64;
+        let mut lane_values = vec![[0.0f64; LANES]; dag.len()];
+        let mut scalar_values = vec![0.0f64; dag.len()];
+        for y in plan.interior.y0..plan.interior.y1 {
+            let mut x = plan.interior.x0;
+            // Full lane-groups.
+            while x + (LANES as i64) <= plan.interior.x1 {
+                let base = (y * nx + x) as usize;
+                for (i, node) in dag.nodes().iter().enumerate() {
+                    lane_values[i] = match *node {
+                        Node::Load { .. } => {
+                            let delta = plan.linear_offsets[slots[i]];
+                            let start = (base as isize + delta) as usize;
+                            let mut lane = [0.0f64; LANES];
+                            lane.copy_from_slice(&cells[start..start + LANES]);
+                            lane
+                        }
+                        Node::Const(bits) => [f64::from_bits(bits); LANES],
+                        Node::Param(p) => [params.get(p).copied().unwrap_or(0.0); LANES],
+                        Node::Unary { op, a } => {
+                            let mut lane = lane_values[a];
+                            for v in &mut lane {
+                                *v = op.apply(*v);
+                            }
+                            lane
+                        }
+                        Node::Binary { op, a, b } => {
+                            let (la, lb) = (lane_values[a], lane_values[b]);
+                            let mut lane = [0.0f64; LANES];
+                            for (k, v) in lane.iter_mut().enumerate() {
+                                *v = op.apply(la[k], lb[k]);
+                            }
+                            lane
+                        }
+                    };
+                }
+                out[base..base + LANES].copy_from_slice(&lane_values[dag.root()]);
+                stats.interior_cells += LANES as u64;
+                stats.vector_ops += ops;
+                x += LANES as i64;
+            }
+            // Remainder cells of the row.
+            while x < plan.interior.x1 {
+                let idx = (y * nx + x) as usize;
+                for (i, node) in dag.nodes().iter().enumerate() {
+                    scalar_values[i] = match *node {
+                        Node::Load { .. } => {
+                            let delta = plan.linear_offsets[slots[i]];
+                            cells[(idx as isize + delta) as usize]
+                        }
+                        Node::Const(bits) => f64::from_bits(bits),
+                        Node::Param(p) => params.get(p).copied().unwrap_or(0.0),
+                        Node::Unary { op, a } => op.apply(scalar_values[a]),
+                        Node::Binary { op, a, b } => op.apply(scalar_values[a], scalar_values[b]),
+                    };
+                }
+                out[idx] = scalar_values[dag.root()];
+                stats.interior_cells += 1;
+                stats.scalar_ops += ops;
+                x += 1;
+            }
+        }
+    }
+}
+
+/// Evaluate a DAG given pre-gathered operand values (one per plan offset).
+fn eval_with_operands(
+    dag: &Dag,
+    slots: &[usize],
+    operands: &[f64],
+    params: &[f64],
+    values: &mut [f64],
+) -> f64 {
+    for (i, node) in dag.nodes().iter().enumerate() {
+        values[i] = match *node {
+            Node::Load { .. } => operands[slots[i]],
+            Node::Const(bits) => f64::from_bits(bits),
+            Node::Param(p) => params.get(p).copied().unwrap_or(0.0),
+            Node::Unary { op, a } => op.apply(values[a]),
+            Node::Binary { op, a, b } => op.apply(values[a], values[b]),
+        };
+    }
+    values[dag.root()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::DenseField;
+    use crate::opt::OptLevel;
+    use crate::program::StencilProgram;
+    use aohpc_env::Extent;
+    use proptest::prelude::*;
+
+    fn init(x: i64, y: i64) -> f64 {
+        ((x * 13 + y * 7) % 23) as f64 / 23.0 + 0.1
+    }
+
+    fn boundary(x: i64, y: i64) -> f64 {
+        ((x - y) % 5) as f64 * 0.25
+    }
+
+    /// Run one step of `program` over an `nx × ny` block with a given backend
+    /// and compare against the tree-walking interpreter on a dense field.
+    fn one_step_matches_reference(program: &StencilProgram, nx: usize, ny: usize, proc: Processor) {
+        let params = [0.5, 0.125];
+        // Reference: interpreter over the dense field.
+        let mut reference = DenseField::new(nx, ny, init, boundary);
+        reference.run_interpreted(program, &params, 1);
+
+        // Compiled path.
+        let compiled = CompiledKernel::compile(program, Extent::new2d(nx, ny), OptLevel::Full);
+        let cells: Vec<f64> =
+            (0..nx * ny).map(|k| init((k % nx) as i64, (k / nx) as i64)).collect();
+        let mut out = vec![0.0; nx * ny];
+        let mut stats = ExecStats::default();
+        compiled.execute_block(&cells, &params, &mut |x, y| boundary(x, y), &mut out, proc, &mut stats);
+
+        for (i, (&got, &want)) in out.iter().zip(reference.values()).enumerate() {
+            assert!(
+                (got - want).abs() < 1e-12,
+                "{} {proc:?} {nx}x{ny} cell {i}: {got} vs {want}",
+                program.name()
+            );
+        }
+        assert_eq!(stats.cells as usize, nx * ny);
+        assert_eq!(stats.interior_cells + stats.boundary_cells, stats.cells);
+    }
+
+    #[test]
+    fn scalar_backend_matches_interpreter() {
+        one_step_matches_reference(&StencilProgram::jacobi_5pt(), 8, 8, Processor::Scalar);
+        one_step_matches_reference(&StencilProgram::smooth_9pt(), 8, 6, Processor::Scalar);
+    }
+
+    #[test]
+    fn simd_backend_matches_interpreter() {
+        // Widths around the lane count exercise full lanes + remainders.
+        for nx in [4usize, 8, 9, 16, 19] {
+            one_step_matches_reference(&StencilProgram::jacobi_5pt(), nx, 7, Processor::Simd);
+        }
+        one_step_matches_reference(&StencilProgram::smooth_9pt(), 21, 5, Processor::Simd);
+    }
+
+    #[test]
+    fn accelerator_backend_matches_interpreter_and_accounts_transfers() {
+        let program = StencilProgram::jacobi_5pt();
+        one_step_matches_reference(&program, 16, 16, Processor::Accelerator);
+
+        let compiled = CompiledKernel::compile(&program, Extent::new2d(16, 16), OptLevel::Full);
+        let cells = vec![1.0; 256];
+        let mut out = vec![0.0; 256];
+        let mut stats = ExecStats::default();
+        compiled.execute_block(
+            &cells,
+            &[0.5, 0.125],
+            &mut |_, _| 0.0,
+            &mut out,
+            Processor::Accelerator,
+            &mut stats,
+        );
+        assert_eq!(stats.offload_bytes_out, 256 * 8);
+        assert_eq!(stats.offload_bytes_in, (256 + 4 * 16) * 8);
+        assert!(stats.vector_ops > 0);
+    }
+
+    #[test]
+    fn scalar_backend_has_no_vector_ops_and_vice_versa() {
+        let program = StencilProgram::jacobi_5pt();
+        let compiled = CompiledKernel::compile(&program, Extent::new2d(16, 16), OptLevel::Full);
+        let cells = vec![1.0; 256];
+        let mut out = vec![0.0; 256];
+
+        let mut scalar = ExecStats::default();
+        compiled.execute_block(&cells, &[1.0, 0.0], &mut |_, _| 0.0, &mut out, Processor::Scalar, &mut scalar);
+        assert_eq!(scalar.vector_ops, 0);
+        assert!(scalar.scalar_ops > 0);
+        assert_eq!(scalar.offload_bytes_in, 0);
+
+        let mut simd = ExecStats::default();
+        compiled.execute_block(&cells, &[1.0, 0.0], &mut |_, _| 0.0, &mut out, Processor::Simd, &mut simd);
+        assert!(simd.vector_ops > 0);
+        assert!(simd.vector_ops < scalar.scalar_ops, "lanes amortise DAG evaluations");
+        assert_eq!(simd.offload_bytes_in, 0);
+    }
+
+    #[test]
+    fn halo_fetch_count_matches_the_plan() {
+        let program = StencilProgram::jacobi_5pt();
+        let n = 8usize;
+        let compiled = CompiledKernel::compile(&program, Extent::new2d(n, n), OptLevel::Full);
+        let cells = vec![2.0; n * n];
+        let mut out = vec![0.0; n * n];
+        let mut stats = ExecStats::default();
+        let mut fetches = 0u64;
+        compiled.execute_block(
+            &cells,
+            &[0.5, 0.125],
+            &mut |_, _| {
+                fetches += 1;
+                0.0
+            },
+            &mut out,
+            Processor::Scalar,
+            &mut stats,
+        );
+        assert_eq!(fetches, stats.halo_fetches);
+        assert_eq!(fetches as usize, compiled.plan().halo_loads());
+        assert_eq!(fetches as usize, 4 * n);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = ExecStats { blocks: 1, cells: 10, scalar_ops: 5, ..Default::default() };
+        let b = ExecStats { blocks: 2, cells: 20, vector_ops: 7, halo_fetches: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.blocks, 3);
+        assert_eq!(a.cells, 30);
+        assert_eq!(a.scalar_ops, 5);
+        assert_eq!(a.vector_ops, 7);
+        assert_eq!(a.halo_fetches, 3);
+    }
+
+    #[test]
+    fn processor_names() {
+        assert_eq!(Processor::Scalar.name(), "scalar");
+        assert_eq!(Processor::Simd.name(), "simd");
+        assert_eq!(Processor::Accelerator.name(), "accelerator");
+    }
+
+    proptest! {
+        /// All three backends agree with the interpreter for random block
+        /// shapes and parameters (Jacobi kernel).
+        #[test]
+        fn backends_agree_on_random_shapes(
+            nx in 1usize..24,
+            ny in 1usize..12,
+            alpha in -1.0f64..1.0,
+            beta in -0.5f64..0.5,
+        ) {
+            let program = StencilProgram::jacobi_5pt();
+            let params = [alpha, beta];
+            let mut reference = DenseField::new(nx, ny, init, boundary);
+            reference.run_interpreted(&program, &params, 1);
+            let compiled = CompiledKernel::compile(&program, Extent::new2d(nx, ny), OptLevel::Full);
+            let cells: Vec<f64> =
+                (0..nx * ny).map(|k| init((k % nx) as i64, (k / nx) as i64)).collect();
+            for proc in [Processor::Scalar, Processor::Simd, Processor::Accelerator] {
+                let mut out = vec![0.0; nx * ny];
+                let mut stats = ExecStats::default();
+                compiled.execute_block(&cells, &params, &mut |x, y| boundary(x, y), &mut out, proc, &mut stats);
+                for (got, want) in out.iter().zip(reference.values()) {
+                    prop_assert!((got - want).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

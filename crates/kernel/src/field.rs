@@ -1,0 +1,133 @@
+//! A dense double-buffered field used as the reference substrate for the
+//! subkernel pipeline.
+//!
+//! This is the kernel-crate equivalent of the paper's "Handwritten" baseline
+//! (Listing 2): a plain row-major array with a boundary closure, against
+//! which the optimizer, the compiled plans and the backends are checked and
+//! benchmarked in isolation from the platform.
+
+use crate::program::StencilProgram;
+
+/// A dense 2-D field with double buffering and a Dirichlet-style boundary
+/// closure for out-of-domain reads.
+pub struct DenseField {
+    nx: usize,
+    ny: usize,
+    read: Vec<f64>,
+    write: Vec<f64>,
+    boundary: Box<dyn Fn(i64, i64) -> f64 + Send + Sync>,
+}
+
+impl DenseField {
+    /// A field of `nx × ny` cells initialised by `init`, with `boundary`
+    /// supplying values outside the domain.
+    pub fn new(
+        nx: usize,
+        ny: usize,
+        init: impl Fn(i64, i64) -> f64,
+        boundary: impl Fn(i64, i64) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        assert!(nx > 0 && ny > 0);
+        let read = (0..nx * ny).map(|k| init((k % nx) as i64, (k / nx) as i64)).collect();
+        DenseField { nx, ny, read, write: vec![0.0; nx * ny], boundary: Box::new(boundary) }
+    }
+
+    /// Width in cells.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Height in cells.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Read the field at `(x, y)`, falling back to the boundary closure
+    /// outside the domain.
+    pub fn get(&self, x: i64, y: i64) -> f64 {
+        if x < 0 || y < 0 || x >= self.nx as i64 || y >= self.ny as i64 {
+            (self.boundary)(x, y)
+        } else {
+            self.read[y as usize * self.nx + x as usize]
+        }
+    }
+
+    /// Write the next-step value of `(x, y)`.
+    pub fn set(&mut self, x: i64, y: i64, v: f64) {
+        debug_assert!(x >= 0 && y >= 0 && (x as usize) < self.nx && (y as usize) < self.ny);
+        self.write[y as usize * self.nx + x as usize] = v;
+    }
+
+    /// Swap the read and write buffers (end of one step).
+    pub fn refresh(&mut self) {
+        std::mem::swap(&mut self.read, &mut self.write);
+    }
+
+    /// The current (read) buffer, row-major.
+    pub fn values(&self) -> &[f64] {
+        &self.read
+    }
+
+    /// Run `steps` iterations of a program with the tree-walking interpreter,
+    /// cell by cell — the reference every other execution path is compared
+    /// against.
+    pub fn run_interpreted(&mut self, program: &StencilProgram, params: &[f64], steps: usize) {
+        for _ in 0..steps {
+            for y in 0..self.ny as i64 {
+                for x in 0..self.nx as i64 {
+                    let mut loads = |dx: i64, dy: i64| self.get(x + dx, y + dy);
+                    let v = program.eval(&mut loads, params);
+                    self.write[y as usize * self.nx + x as usize] = v;
+                }
+            }
+            self.refresh();
+        }
+    }
+}
+
+impl std::fmt::Debug for DenseField {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DenseField").field("nx", &self.nx).field("ny", &self.ny).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(x: i64, y: i64) -> f64 {
+        (x * 3 + y) as f64
+    }
+
+    #[test]
+    fn get_set_refresh_roundtrip() {
+        let mut f = DenseField::new(4, 3, ramp, |_, _| -1.0);
+        assert_eq!(f.nx(), 4);
+        assert_eq!(f.ny(), 3);
+        assert_eq!(f.get(2, 1), 7.0);
+        assert_eq!(f.get(-1, 0), -1.0, "boundary closure");
+        assert_eq!(f.get(0, 3), -1.0);
+        f.set(2, 1, 42.0);
+        assert_eq!(f.get(2, 1), 7.0, "writes are invisible until refresh");
+        f.refresh();
+        assert_eq!(f.get(2, 1), 42.0);
+    }
+
+    #[test]
+    fn interpreted_jacobi_matches_manual_step() {
+        let p = StencilProgram::jacobi_5pt();
+        let mut f = DenseField::new(3, 3, ramp, |_, _| 0.0);
+        let expected_centre = 0.5 * f.get(1, 1)
+            + 0.125 * (f.get(1, 0) + f.get(0, 1) + f.get(2, 1) + f.get(1, 2));
+        f.run_interpreted(&p, &[0.5, 0.125], 1);
+        assert!((f.get(1, 1) - expected_centre).abs() < 1e-12);
+    }
+
+    #[test]
+    fn values_exposes_the_read_buffer() {
+        let mut f = DenseField::new(2, 2, |_, _| 1.0, |_, _| 0.0);
+        assert_eq!(f.values(), &[1.0, 1.0, 1.0, 1.0]);
+        f.run_interpreted(&StencilProgram::jacobi_5pt(), &[1.0, 0.0], 3);
+        assert_eq!(f.values(), &[1.0, 1.0, 1.0, 1.0], "alpha=1, beta=0 is the identity");
+    }
+}

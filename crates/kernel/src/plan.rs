@@ -1,0 +1,337 @@
+//! The access-resolution cache: a compiled, block-shaped execution plan.
+//!
+//! The paper's second future-work item ("Cache of data access resolution")
+//! observes that every memory access of the prototype resolves its address
+//! again, even when the same subkernel touches the same offsets at every cell
+//! and step.  A [`CompiledKernel`] removes that cost: for a given block shape
+//! and stencil it classifies, *once*, every (cell, offset) pair as
+//!
+//! * **interior** — all of the cell's loads stay inside the block, so they
+//!   become precomputed row-major index offsets (no in-block test, no Env
+//!   search, no MMAT lookup); interior cells are processed in sequential
+//!   memory order, which is exactly the "reordering the instruction sequence
+//!   [so that] memory accesses can be made sequential" the paper proposes;
+//! * **halo** — at least one load leaves the block; the in-block loads are
+//!   still precomputed indices and only the true out-of-block loads go back
+//!   to the platform (`GetD` with the search path / MMAT).
+//!
+//! Under Assumption II the classification never changes between steps, so the
+//! plan is computed once per (program, block shape) pair and reused — the
+//! compile-time analogue of MMAT's run-time memoization.
+
+use crate::opt::{Dag, OptLevel};
+use crate::program::StencilProgram;
+use aohpc_env::Extent;
+use serde::Serialize;
+
+/// How one load of one boundary cell resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ResolvedAccess {
+    /// The load stays inside the block: a precomputed row-major index.
+    InBlock(usize),
+    /// The load leaves the block: the executor must fetch the value at this
+    /// local coordinate (may be negative or ≥ extent) through the platform.
+    Halo {
+        /// Target X in block-local coordinates.
+        x: i64,
+        /// Target Y in block-local coordinates.
+        y: i64,
+    },
+}
+
+/// A boundary cell together with its fully resolved accesses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct BoundaryCell {
+    /// Local X of the cell.
+    pub x: i64,
+    /// Local Y of the cell.
+    pub y: i64,
+    /// Row-major index of the cell.
+    pub index: usize,
+    /// One resolution per stencil offset, aligned with
+    /// [`AccessPlan::offsets`].
+    pub accesses: Vec<ResolvedAccess>,
+}
+
+/// The rectangular interior region (half-open bounds) where every stencil
+/// offset stays inside the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct InteriorRegion {
+    /// First interior column.
+    pub x0: i64,
+    /// One past the last interior column.
+    pub x1: i64,
+    /// First interior row.
+    pub y0: i64,
+    /// One past the last interior row.
+    pub y1: i64,
+}
+
+impl InteriorRegion {
+    /// Number of interior cells.
+    pub fn cells(&self) -> usize {
+        ((self.x1 - self.x0).max(0) * (self.y1 - self.y0).max(0)) as usize
+    }
+
+    /// Whether a local coordinate lies inside the interior region.
+    pub fn contains(&self, x: i64, y: i64) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+}
+
+/// The resolved access pattern of one (stencil, block shape) pair.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AccessPlan {
+    /// Block shape the plan was compiled for.
+    pub extent_nx: usize,
+    /// Block shape the plan was compiled for.
+    pub extent_ny: usize,
+    /// The live stencil offsets (after optimization), in DAG order.
+    pub offsets: Vec<(i64, i64)>,
+    /// Row-major index deltas of `offsets`, valid for interior cells.
+    pub linear_offsets: Vec<isize>,
+    /// The interior region.
+    pub interior: InteriorRegion,
+    /// Every non-interior cell with its resolved accesses.
+    pub boundary: Vec<BoundaryCell>,
+}
+
+impl AccessPlan {
+    /// Build the plan for a stencil (`offsets`) over a `nx × ny` block.
+    pub fn build(offsets: &[(i64, i64)], nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "blocks must be non-empty");
+        let (inx, iny) = (nx as i64, ny as i64);
+        let min_dx = offsets.iter().map(|o| o.0).min().unwrap_or(0).min(0);
+        let max_dx = offsets.iter().map(|o| o.0).max().unwrap_or(0).max(0);
+        let min_dy = offsets.iter().map(|o| o.1).min().unwrap_or(0).min(0);
+        let max_dy = offsets.iter().map(|o| o.1).max().unwrap_or(0).max(0);
+        let interior = InteriorRegion {
+            x0: -min_dx,
+            x1: (inx - max_dx).max(-min_dx),
+            y0: -min_dy,
+            y1: (iny - max_dy).max(-min_dy),
+        };
+        let linear_offsets =
+            offsets.iter().map(|&(dx, dy)| dy as isize * nx as isize + dx as isize).collect();
+        let mut boundary = Vec::new();
+        for y in 0..iny {
+            for x in 0..inx {
+                if interior.contains(x, y) {
+                    continue;
+                }
+                let accesses = offsets
+                    .iter()
+                    .map(|&(dx, dy)| {
+                        let (tx, ty) = (x + dx, y + dy);
+                        if tx >= 0 && ty >= 0 && tx < inx && ty < iny {
+                            ResolvedAccess::InBlock((ty * inx + tx) as usize)
+                        } else {
+                            ResolvedAccess::Halo { x: tx, y: ty }
+                        }
+                    })
+                    .collect();
+                boundary.push(BoundaryCell { x, y, index: (y * inx + x) as usize, accesses });
+            }
+        }
+        AccessPlan {
+            extent_nx: nx,
+            extent_ny: ny,
+            offsets: offsets.to_vec(),
+            linear_offsets,
+            interior,
+            boundary,
+        }
+    }
+
+    /// Total number of cells in the block.
+    pub fn cells(&self) -> usize {
+        self.extent_nx * self.extent_ny
+    }
+
+    /// Number of out-of-block loads one execution of the plan performs.
+    pub fn halo_loads(&self) -> usize {
+        self.boundary
+            .iter()
+            .map(|c| c.accesses.iter().filter(|a| matches!(a, ResolvedAccess::Halo { .. })).count())
+            .sum()
+    }
+}
+
+/// A program compiled for one block shape: optimized DAG + access plan.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    name: String,
+    num_params: usize,
+    dag: Dag,
+    plan: AccessPlan,
+}
+
+impl CompiledKernel {
+    /// Compile a program for blocks of the given extent (must be 2-D).
+    pub fn compile(program: &StencilProgram, extent: Extent, level: OptLevel) -> Self {
+        assert_eq!(extent.nz, 1, "the subkernel IR targets 2-D blocks");
+        let dag = Dag::lower(program.expr(), level);
+        // Use the DAG's (post-optimization) offsets: loads removed by the
+        // optimizer do not cost halo fetches.
+        let plan = AccessPlan::build(&dag.offsets(), extent.nx, extent.ny);
+        CompiledKernel {
+            name: program.name().to_string(),
+            num_params: program.num_params(),
+            dag,
+            plan,
+        }
+    }
+
+    /// The program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of runtime parameters.
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// The optimized DAG.
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// The access plan.
+    pub fn plan(&self) -> &AccessPlan {
+        &self.plan
+    }
+
+    /// Block shape the kernel was compiled for.
+    pub fn extent(&self) -> Extent {
+        Extent::new2d(self.plan.extent_nx, self.plan.extent_ny)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::load;
+
+    #[test]
+    fn five_point_interior_is_the_inner_rectangle() {
+        let p = StencilProgram::jacobi_5pt();
+        let plan = AccessPlan::build(p.offsets(), 8, 6);
+        assert_eq!(plan.interior, InteriorRegion { x0: 1, x1: 7, y0: 1, y1: 5 });
+        assert_eq!(plan.interior.cells(), 6 * 4);
+        assert_eq!(plan.boundary.len(), 8 * 6 - 24);
+        // Every boundary cell is on the border ring.
+        for c in &plan.boundary {
+            assert!(c.x == 0 || c.x == 7 || c.y == 0 || c.y == 5);
+        }
+    }
+
+    #[test]
+    fn linear_offsets_match_row_major_layout() {
+        let p = StencilProgram::jacobi_5pt();
+        let plan = AccessPlan::build(p.offsets(), 8, 6);
+        // offsets order: (0,0), (0,-1), (-1,0), (1,0), (0,1)
+        assert_eq!(plan.offsets[0], (0, 0));
+        assert_eq!(plan.linear_offsets[0], 0);
+        let north = plan.offsets.iter().position(|&o| o == (0, -1)).unwrap();
+        assert_eq!(plan.linear_offsets[north], -8);
+        let east = plan.offsets.iter().position(|&o| o == (1, 0)).unwrap();
+        assert_eq!(plan.linear_offsets[east], 1);
+    }
+
+    #[test]
+    fn boundary_accesses_split_in_and_out_of_block() {
+        let p = StencilProgram::jacobi_5pt();
+        let plan = AccessPlan::build(p.offsets(), 4, 4);
+        // Corner cell (0,0): centre/E/S in block, N/W are halo.
+        let corner = plan.boundary.iter().find(|c| c.x == 0 && c.y == 0).unwrap();
+        let in_block =
+            corner.accesses.iter().filter(|a| matches!(a, ResolvedAccess::InBlock(_))).count();
+        assert_eq!(in_block, 3);
+        assert!(corner
+            .accesses
+            .iter()
+            .any(|a| matches!(a, ResolvedAccess::Halo { x: 0, y: -1 })));
+        assert!(corner
+            .accesses
+            .iter()
+            .any(|a| matches!(a, ResolvedAccess::Halo { x: -1, y: 0 })));
+        // An edge (not corner) cell has exactly one halo load for a 5-point
+        // stencil.
+        let edge = plan.boundary.iter().find(|c| c.x == 2 && c.y == 0).unwrap();
+        let halo =
+            edge.accesses.iter().filter(|a| matches!(a, ResolvedAccess::Halo { .. })).count();
+        assert_eq!(halo, 1);
+    }
+
+    #[test]
+    fn halo_load_count_for_five_point() {
+        // For an n×n block and the 5-point stencil the halo loads are exactly
+        // the 4n out-of-block neighbours.
+        let p = StencilProgram::jacobi_5pt();
+        for n in [2usize, 4, 8, 16] {
+            let plan = AccessPlan::build(p.offsets(), n, n);
+            assert_eq!(plan.halo_loads(), 4 * n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_stencils_shift_the_interior() {
+        // An upwind-style stencil reading only to the west keeps the east
+        // column interior.
+        let e = load(0, 0) + load(-2, 0);
+        let p = StencilProgram::new("upwind", e, 0).unwrap();
+        let plan = AccessPlan::build(p.offsets(), 8, 4);
+        assert_eq!(plan.interior, InteriorRegion { x0: 2, x1: 8, y0: 0, y1: 4 });
+    }
+
+    #[test]
+    fn stencil_larger_than_the_block_has_no_interior() {
+        let e = load(0, 0) + load(5, 0) + load(-5, 0);
+        let p = StencilProgram::new("wide", e, 0).unwrap();
+        let plan = AccessPlan::build(p.offsets(), 4, 4);
+        assert_eq!(plan.interior.cells(), 0);
+        assert_eq!(plan.boundary.len(), 16);
+    }
+
+    #[test]
+    fn every_cell_is_either_interior_or_boundary_exactly_once() {
+        let p = StencilProgram::smooth_9pt();
+        for (nx, ny) in [(8usize, 8usize), (5, 9), (1, 7), (16, 2)] {
+            let plan = AccessPlan::build(p.offsets(), nx, ny);
+            let mut seen = vec![false; nx * ny];
+            for c in &plan.boundary {
+                assert!(!seen[c.index]);
+                seen[c.index] = true;
+            }
+            for y in 0..ny as i64 {
+                for x in 0..nx as i64 {
+                    let idx = (y * nx as i64 + x) as usize;
+                    if plan.interior.contains(x, y) {
+                        assert!(!seen[idx], "interior cell {x},{y} also listed as boundary");
+                        seen[idx] = true;
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{nx}x{ny}: some cell is neither interior nor boundary");
+        }
+    }
+
+    #[test]
+    fn compile_uses_post_optimization_offsets() {
+        use crate::expr::lit;
+        // The load at (1,0) is dead after optimization, so it must not appear
+        // in the plan (and must not cost halo fetches).
+        let e = load(0, 0) + load(1, 0) * lit(0.0);
+        let p = StencilProgram::new("dead-east", e, 0).unwrap();
+        let compiled = CompiledKernel::compile(&p, Extent::new2d(4, 4), OptLevel::Full);
+        assert_eq!(compiled.plan().offsets, vec![(0, 0)]);
+        assert_eq!(compiled.plan().halo_loads(), 0);
+        assert_eq!(compiled.extent(), Extent::new2d(4, 4));
+        assert_eq!(compiled.name(), "dead-east");
+        // Without optimization the dead load stays.
+        let plain = CompiledKernel::compile(&p, Extent::new2d(4, 4), OptLevel::None);
+        assert_eq!(plain.plan().offsets.len(), 2);
+        assert!(plain.plan().halo_loads() > 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! A validated subkernel: expression + metadata.
+//!
+//! [`StencilProgram`] wraps a [`KernelExpr`] after checking the properties
+//! the rest of the pipeline relies on (bounded stencil radius, declared
+//! parameter count).  It is the unit the optimizer, the access-resolution
+//! cache and the backends consume, and the unit a DSL part would hand to the
+//! platform for the paper's future-work "subkernel modification".
+
+use crate::expr::KernelExpr;
+use serde::Serialize;
+use std::fmt;
+
+/// Errors produced while validating a program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum ProgramError {
+    /// The expression contains no load, so it does not depend on the field.
+    NoLoads,
+    /// The stencil radius exceeds the declared maximum.
+    RadiusTooLarge {
+        /// Radius found in the expression.
+        found: i64,
+        /// Maximum allowed radius.
+        max: i64,
+    },
+    /// The expression references more parameters than were declared.
+    TooManyParams {
+        /// Parameters referenced by the expression.
+        referenced: usize,
+        /// Parameters declared by the caller.
+        declared: usize,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::NoLoads => write!(f, "subkernel reads no field values"),
+            ProgramError::RadiusTooLarge { found, max } => {
+                write!(f, "stencil radius {found} exceeds the maximum {max}")
+            }
+            ProgramError::TooManyParams { referenced, declared } => {
+                write!(f, "expression references {referenced} parameters but only {declared} are declared")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// Maximum stencil radius accepted by default — larger stencils would need a
+/// halo deeper than one block, which the Env's Buffer-only-block protocol does
+/// not ship.
+pub const DEFAULT_MAX_RADIUS: i64 = 8;
+
+/// A validated subkernel program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilProgram {
+    name: String,
+    expr: KernelExpr,
+    num_params: usize,
+    offsets: Vec<(i64, i64)>,
+    radius: i64,
+}
+
+impl StencilProgram {
+    /// Validate an expression into a program, declaring `num_params` runtime
+    /// parameters and accepting stencils up to [`DEFAULT_MAX_RADIUS`].
+    pub fn new(
+        name: impl Into<String>,
+        expr: KernelExpr,
+        num_params: usize,
+    ) -> Result<Self, ProgramError> {
+        Self::with_max_radius(name, expr, num_params, DEFAULT_MAX_RADIUS)
+    }
+
+    /// [`StencilProgram::new`] with an explicit radius bound.
+    pub fn with_max_radius(
+        name: impl Into<String>,
+        expr: KernelExpr,
+        num_params: usize,
+        max_radius: i64,
+    ) -> Result<Self, ProgramError> {
+        let offsets = expr.offsets();
+        if offsets.is_empty() {
+            return Err(ProgramError::NoLoads);
+        }
+        let radius = expr.radius();
+        if radius > max_radius {
+            return Err(ProgramError::RadiusTooLarge { found: radius, max: max_radius });
+        }
+        let referenced = expr.num_params();
+        if referenced > num_params {
+            return Err(ProgramError::TooManyParams { referenced, declared: num_params });
+        }
+        Ok(StencilProgram { name: name.into(), expr, num_params, offsets, radius })
+    }
+
+    /// The program's name (used in reports and benchmark labels).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying expression.
+    pub fn expr(&self) -> &KernelExpr {
+        &self.expr
+    }
+
+    /// Number of declared runtime parameters.
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// The distinct load offsets, in first-appearance order.
+    pub fn offsets(&self) -> &[(i64, i64)] {
+        &self.offsets
+    }
+
+    /// The stencil radius.
+    pub fn radius(&self) -> i64 {
+        self.radius
+    }
+
+    /// Evaluate the program at one cell with `loads` supplying field values —
+    /// the reference semantics used by tests and by the unoptimized
+    /// interpreter backend.
+    pub fn eval(&self, loads: &mut impl FnMut(i64, i64) -> f64, params: &[f64]) -> f64 {
+        self.expr.eval(loads, params)
+    }
+
+    /// The 5-point Jacobi program of Listing 1.
+    pub fn jacobi_5pt() -> Self {
+        StencilProgram::new("jacobi-5pt", crate::expr::jacobi_5pt(), 2)
+            .expect("stock kernel is valid")
+    }
+
+    /// The 9-point box-smoothing program.
+    pub fn smooth_9pt() -> Self {
+        StencilProgram::new("smooth-9pt", crate::expr::smooth_9pt(), 2)
+            .expect("stock kernel is valid")
+    }
+}
+
+impl fmt::Display for StencilProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: out = {}", self.name, self.expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{lit, load, param};
+
+    #[test]
+    fn valid_programs_expose_metadata() {
+        let p = StencilProgram::jacobi_5pt();
+        assert_eq!(p.name(), "jacobi-5pt");
+        assert_eq!(p.num_params(), 2);
+        assert_eq!(p.offsets().len(), 5);
+        assert_eq!(p.radius(), 1);
+        assert!(p.to_string().contains("jacobi-5pt"));
+    }
+
+    #[test]
+    fn rejects_programs_without_loads() {
+        let err = StencilProgram::new("bad", lit(1.0) + param(0), 1).unwrap_err();
+        assert_eq!(err, ProgramError::NoLoads);
+        assert!(err.to_string().contains("no field"));
+    }
+
+    #[test]
+    fn rejects_overlong_stencils() {
+        let err = StencilProgram::with_max_radius("far", load(9, 0) + load(0, 0), 0, 4).unwrap_err();
+        assert_eq!(err, ProgramError::RadiusTooLarge { found: 9, max: 4 });
+        assert!(err.to_string().contains("radius"));
+    }
+
+    #[test]
+    fn rejects_undeclared_params() {
+        let err = StencilProgram::new("p", load(0, 0) * param(2), 1).unwrap_err();
+        assert_eq!(err, ProgramError::TooManyParams { referenced: 3, declared: 1 });
+        assert!(err.to_string().contains("parameters"));
+    }
+
+    #[test]
+    fn extra_declared_params_are_allowed() {
+        let p = StencilProgram::new("extra", load(0, 0) * param(0), 4).unwrap();
+        assert_eq!(p.num_params(), 4);
+    }
+
+    #[test]
+    fn eval_delegates_to_expr() {
+        let p = StencilProgram::jacobi_5pt();
+        let mut loads = |dx: i64, dy: i64| if dx == 0 && dy == 0 { 2.0 } else { 1.0 };
+        let v = p.eval(&mut loads, &[0.5, 0.125]);
+        assert!((v - (1.0 + 0.5)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,186 @@
+//! The Annotation Library: the `Initialize` / `Processing` / `Finalize`
+//! contract between end-user applications and the platform.
+//!
+//! In the paper the annotation library is a C++ virtual class whose three
+//! functions the platform calls in order, and whose names are the pointcuts
+//! the aspect modules advise.  Here it is the [`HpcApp`] trait.  End-users
+//! (or DSL parts, on their behalf) implement:
+//!
+//! * [`HpcApp::initialize`] — fill the Data Blocks owned by this task;
+//! * [`HpcApp::kernel`] — one step over the task's blocks, ending in
+//!   `ctx.refresh()`; returns that refresh's outcome;
+//! * [`HpcApp::finalize`] — post-processing (reductions, output);
+//! * [`HpcApp::loop_count`] — the number of main-loop iterations.
+//!
+//! [`HpcApp::processing`] has a default implementation reproducing Listing 1:
+//! one warm-up (dry-run) execution of the kernel, then `loop_count` real
+//! steps, re-executing any step whose refresh failed (the platform's
+//! recompute-on-miss semantics).
+
+use crate::ctx::TaskCtx;
+use aohpc_env::Cell;
+
+/// Hard cap on consecutive re-executions of one step; exceeding it means the
+/// data needed never arrives (a deadlock in user logic), so processing stops.
+pub const MAX_RETRIES_PER_STEP: u64 = 16;
+
+/// An end-user application (the App Part of the paper).
+pub trait HpcApp<C: Cell> {
+    /// Number of main-loop iterations (`LOOP_NUM` of Listing 1).
+    fn loop_count(&self) -> usize;
+
+    /// Initialise the data of the blocks owned by this task.
+    fn initialize(&mut self, ctx: &mut TaskCtx<C>);
+
+    /// One kernel step: update every block returned by `ctx.get_blocks()`,
+    /// then call `ctx.refresh()` and return its result.
+    fn kernel(&mut self, ctx: &mut TaskCtx<C>, warmup: bool) -> bool;
+
+    /// Post-processing after the main loop.
+    fn finalize(&mut self, ctx: &mut TaskCtx<C>);
+
+    /// The Processing function of the annotation library (overridable).
+    fn processing(&mut self, ctx: &mut TaskCtx<C>) {
+        // Warm-up: dry-run execution that gathers the communication pattern
+        // (Dry-run plan) and rebuilds MMAT from scratch.
+        ctx.begin_warmup();
+        let _ = ctx.run_kernel_step(true, |ctx| self.kernel(ctx, true));
+        ctx.end_warmup();
+
+        let loops = self.loop_count();
+        let mut consecutive_failures = 0u64;
+        while (ctx.steps_done() as usize) < loops {
+            let ok = ctx.run_kernel_step(false, |ctx| self.kernel(ctx, false));
+            if ok {
+                consecutive_failures = 0;
+            } else {
+                consecutive_failures += 1;
+                if consecutive_failures > MAX_RETRIES_PER_STEP {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::RankShared;
+    use crate::task::Topology;
+    use aohpc_aop::WovenProgram;
+    use aohpc_env::{Env, EnvBuilder, Extent, GlobalAddress, LocalAddress};
+    use aohpc_mem::PoolHandle;
+    use std::sync::Arc;
+
+    struct Counting {
+        loops: usize,
+        kernel_calls: usize,
+        warmup_calls: usize,
+        fail_first_n: usize,
+        block: usize,
+    }
+
+    impl HpcApp<f64> for Counting {
+        fn loop_count(&self) -> usize {
+            self.loops
+        }
+        fn initialize(&mut self, ctx: &mut TaskCtx<f64>) {
+            ctx.set_initial(self.block, LocalAddress::new2d(0, 0), 1.0);
+        }
+        fn kernel(&mut self, ctx: &mut TaskCtx<f64>, warmup: bool) -> bool {
+            self.kernel_calls += 1;
+            if warmup {
+                self.warmup_calls += 1;
+            }
+            let blocks = ctx.get_blocks();
+            for b in blocks {
+                let v = ctx.get_dd(b, LocalAddress::new2d(0, 0));
+                ctx.set(b, LocalAddress::new2d(0, 0), v + 1.0);
+            }
+            if !warmup && self.fail_first_n > 0 {
+                self.fail_first_n -= 1;
+                // Simulate a failed data update without touching the Env.
+                return false;
+            }
+            ctx.refresh()
+        }
+        fn finalize(&mut self, _ctx: &mut TaskCtx<f64>) {}
+    }
+
+    fn setup() -> (Arc<Env<f64>>, usize) {
+        let mut b = EnvBuilder::<f64>::new(PoolHandle::unbounded(), 4);
+        let root = b.add_empty(None);
+        let joint = b.add_empty(Some(root));
+        let id = b.add_data(joint, GlobalAddress::new2d(0, 0), Extent::new2d(2, 2), 0).unwrap();
+        let env = b.build();
+        env.block(id).meta.set_dm_tid(Some(0));
+        env.block(id).meta.set_ch_tid(Some(0));
+        (Arc::new(env), id)
+    }
+
+    fn ctx(env: Arc<Env<f64>>) -> TaskCtx<f64> {
+        let topo = Topology::serial();
+        let shared = Arc::new(RankShared::new(topo.clone(), 0, None, true));
+        TaskCtx::new(topo.slot(0, 0), env, shared, WovenProgram::unwoven(), true, false)
+    }
+
+    #[test]
+    fn default_processing_runs_warmup_plus_loops() {
+        let (env, block) = setup();
+        let mut app = Counting { loops: 5, kernel_calls: 0, warmup_calls: 0, fail_first_n: 0, block };
+        let mut c = ctx(env);
+        app.initialize(&mut c);
+        app.processing(&mut c);
+        assert_eq!(app.warmup_calls, 1);
+        assert_eq!(app.kernel_calls, 6, "1 warm-up + 5 steps");
+        assert_eq!(c.steps_done(), 5);
+        assert_eq!(c.retries(), 0);
+    }
+
+    #[test]
+    fn failed_steps_are_reexecuted() {
+        let (env, block) = setup();
+        let mut app = Counting { loops: 3, kernel_calls: 0, warmup_calls: 0, fail_first_n: 2, block };
+        let mut c = ctx(env);
+        app.initialize(&mut c);
+        app.processing(&mut c);
+        assert_eq!(c.steps_done(), 3);
+        assert_eq!(c.retries(), 2);
+        assert_eq!(app.kernel_calls, 1 + 3 + 2);
+    }
+
+    #[test]
+    fn runaway_retries_abort_processing() {
+        struct AlwaysFails;
+        impl HpcApp<f64> for AlwaysFails {
+            fn loop_count(&self) -> usize {
+                4
+            }
+            fn initialize(&mut self, _ctx: &mut TaskCtx<f64>) {}
+            fn kernel(&mut self, _ctx: &mut TaskCtx<f64>, _warmup: bool) -> bool {
+                false
+            }
+            fn finalize(&mut self, _ctx: &mut TaskCtx<f64>) {}
+        }
+        let (env, _block) = setup();
+        let mut c = ctx(env);
+        AlwaysFails.processing(&mut c);
+        assert_eq!(c.steps_done(), 0);
+        assert!(c.retries() >= MAX_RETRIES_PER_STEP);
+    }
+
+    #[test]
+    fn initialization_is_visible_to_first_step() {
+        let (env, block) = setup();
+        let mut app = Counting { loops: 2, kernel_calls: 0, warmup_calls: 0, fail_first_n: 0, block };
+        let mut c = ctx(env);
+        app.initialize(&mut c);
+        app.processing(&mut c);
+        // Step semantics: the value starts at 1.0 (initialised), each step adds
+        // 1 to the previous step's value.  Warm-up writes are discarded (no
+        // swap), so after 2 real steps the value is 3.0.
+        let v = c.get_dd(block, LocalAddress::new2d(0, 0));
+        assert_eq!(v, 3.0);
+    }
+}

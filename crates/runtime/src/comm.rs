@@ -1,0 +1,392 @@
+//! The simulated distributed-memory fabric.
+//!
+//! The paper's distributed layer is MPI over Omni-Path; this environment has
+//! neither, so ranks are OS threads connected by a full mesh of channels.
+//! The crucial property is preserved: **ranks never share Env memory** — the
+//! only way data crosses rank boundaries is an explicit page transfer through
+//! a [`Communicator`], and every transfer is metered, so the communication
+//! pattern (and therefore the Dry-run optimisation and the scaling behaviour)
+//! is exercised exactly as with real MPI.
+//!
+//! The exchange protocol is a deadlock-free superstep, matching the paper's
+//! statement that `refresh` "is synchronously executed when there are
+//! multiple tasks": every rank sends one request message to every other rank
+//! (possibly empty, always carrying its local success flag), serves the
+//! requests it receives, and then collects the page data addressed to it.
+//! The global success flag is the conjunction of all local flags, so all
+//! ranks re-execute a failed step together.
+
+use aohpc_env::BlockId;
+use aohpc_mem::PageId;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use serde::Serialize;
+use std::fmt;
+
+/// One page in flight: which block/page it is and its cells.
+#[derive(Debug, Clone)]
+pub struct PagePayload<C> {
+    /// Block the page belongs to (block ids are identical across replicas).
+    pub block: BlockId,
+    /// Page index within the block.
+    pub page: PageId,
+    /// The page's cells.
+    pub cells: Vec<C>,
+}
+
+/// Messages exchanged between ranks.
+#[derive(Debug, Clone)]
+pub enum RankMessage<C> {
+    /// A boolean contribution to a collective AND (the refresh success flag).
+    Flag {
+        /// Sending rank.
+        from: usize,
+        /// The sender's local flag.
+        value: bool,
+    },
+    /// Phase 1 of a superstep: page requests plus the sender's success flag.
+    Requests {
+        /// Sending rank.
+        from: usize,
+        /// Pages the sender needs from the receiver.
+        reqs: Vec<(BlockId, PageId)>,
+        /// Whether the sender's step succeeded locally.
+        local_success: bool,
+    },
+    /// Phase 2 of a superstep: the pages the receiver asked for.
+    Pages {
+        /// Sending rank.
+        from: usize,
+        /// Served pages.
+        pages: Vec<PagePayload<C>>,
+    },
+}
+
+/// Communication counters of one rank (inputs to the cost model and to the
+/// weak-scaling analysis).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct CommStats {
+    /// Supersteps (collective refreshes) executed.
+    pub supersteps: u64,
+    /// Request messages sent (excluding empty ones is NOT done: MPI would
+    /// still need the synchronisation, so every message is counted).
+    pub messages_sent: u64,
+    /// Pages shipped to other ranks.
+    pub pages_sent: u64,
+    /// Pages received from other ranks.
+    pub pages_received: u64,
+    /// Payload bytes shipped to other ranks.
+    pub bytes_sent: u64,
+}
+
+/// A rank's endpoint of the full-mesh fabric.
+pub struct Communicator<C> {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<RankMessage<C>>>,
+    receiver: Receiver<RankMessage<C>>,
+    /// Requests that arrived early (a peer already started the *next*
+    /// superstep while this rank was still finishing the current one).
+    pending_requests: std::collections::VecDeque<RankMessage<C>>,
+    cell_bytes: usize,
+    stats: CommStats,
+}
+
+impl<C: Clone + Send + 'static> Communicator<C> {
+    /// Create a fully connected mesh of `size` communicators.
+    pub fn mesh(size: usize) -> Vec<Communicator<C>> {
+        assert!(size > 0);
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(r);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| Communicator {
+                rank,
+                size,
+                senders: senders.clone(),
+                receiver,
+                pending_requests: std::collections::VecDeque::new(),
+                cell_bytes: std::mem::size_of::<C>().max(1),
+                stats: CommStats::default(),
+            })
+            .collect()
+    }
+
+    /// This endpoint's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the mesh.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Communication counters so far.
+    pub fn stats(&self) -> CommStats {
+        self.stats
+    }
+
+    /// Receive the next message satisfying `wanted`, buffering everything
+    /// else for later phases (messages from faster peers can arrive out of
+    /// phase; see the protocol notes on [`Communicator::exchange`]).
+    fn recv_matching(
+        &mut self,
+        mut wanted: impl FnMut(&RankMessage<C>) -> bool,
+    ) -> RankMessage<C> {
+        if let Some(pos) = self.pending_requests.iter().position(&mut wanted) {
+            return self.pending_requests.remove(pos).expect("position just found");
+        }
+        loop {
+            let msg = self.receiver.recv().expect("mesh disconnected");
+            if wanted(&msg) {
+                return msg;
+            }
+            self.pending_requests.push_back(msg);
+        }
+    }
+
+    /// Collective AND over all ranks (used for the global refresh-success
+    /// decision before any buffer is rotated).
+    pub fn allreduce_and(&mut self, local: bool) -> bool {
+        if self.size == 1 {
+            return local;
+        }
+        for peer in 0..self.size {
+            if peer == self.rank {
+                continue;
+            }
+            self.stats.messages_sent += 1;
+            self.senders[peer]
+                .send(RankMessage::Flag { from: self.rank, value: local })
+                .expect("peer rank hung up during allreduce");
+        }
+        let mut result = local;
+        for _ in 0..self.size - 1 {
+            match self.recv_matching(|m| matches!(m, RankMessage::Flag { .. })) {
+                RankMessage::Flag { value, .. } => result &= value,
+                _ => unreachable!("recv_matching only returns Flag messages here"),
+            }
+        }
+        result
+    }
+
+    /// Execute one superstep.
+    ///
+    /// * `requests` — pages this rank needs, keyed by owning rank.
+    /// * `local_success` — whether this rank's step succeeded locally.
+    /// * `serve` — callback extracting a page of this rank's data for
+    ///   shipping.
+    ///
+    /// Returns the pages received and the global success flag (AND of all
+    /// ranks' local flags).
+    pub fn exchange(
+        &mut self,
+        requests: &[(usize, Vec<(BlockId, PageId)>)],
+        local_success: bool,
+        mut serve: impl FnMut(BlockId, PageId) -> Vec<C>,
+    ) -> (Vec<PagePayload<C>>, bool) {
+        self.stats.supersteps += 1;
+        if self.size == 1 {
+            return (Vec::new(), local_success);
+        }
+
+        // Phase 1: send a request message to every other rank.
+        for peer in 0..self.size {
+            if peer == self.rank {
+                continue;
+            }
+            let reqs = requests
+                .iter()
+                .find(|(owner, _)| *owner == peer)
+                .map(|(_, r)| r.clone())
+                .unwrap_or_default();
+            self.stats.messages_sent += 1;
+            self.senders[peer]
+                .send(RankMessage::Requests { from: self.rank, reqs, local_success })
+                .expect("peer rank hung up during phase 1");
+        }
+
+        // Phase 1 receive: one Requests message from every other rank.
+        //
+        // Messages can interleave: a peer that already received all *its*
+        // requests may send us its Pages reply (for this superstep) before a
+        // slower peer's Requests arrive, and a peer that finished this
+        // superstep entirely may already be in its next allreduce/superstep.
+        // `recv_matching` buffers whatever does not belong to this phase.
+        let mut incoming_reqs: Vec<(usize, Vec<(BlockId, PageId)>)> = Vec::new();
+        let mut global_success = local_success;
+        let mut received: Vec<PagePayload<C>> = Vec::new();
+        let mut pages_msgs_seen = 0usize;
+        let mut reqs_seen = std::collections::HashSet::new();
+        while incoming_reqs.len() < self.size - 1 {
+            let msg = self.recv_matching(|m| match m {
+                RankMessage::Requests { from, .. } => !reqs_seen.contains(from),
+                RankMessage::Pages { .. } => true,
+                RankMessage::Flag { .. } => false,
+            });
+            match msg {
+                RankMessage::Requests { from, reqs, local_success } => {
+                    global_success &= local_success;
+                    reqs_seen.insert(from);
+                    incoming_reqs.push((from, reqs));
+                }
+                RankMessage::Pages { pages, .. } => {
+                    self.stats.pages_received += pages.len() as u64;
+                    received.extend(pages);
+                    pages_msgs_seen += 1;
+                }
+                RankMessage::Flag { .. } => unreachable!("flags are filtered out"),
+            }
+        }
+
+        // Phase 2: serve every request.
+        for (peer, reqs) in incoming_reqs {
+            let pages: Vec<PagePayload<C>> = reqs
+                .into_iter()
+                .map(|(block, page)| {
+                    let cells = serve(block, page);
+                    self.stats.bytes_sent += (cells.len() * self.cell_bytes) as u64;
+                    PagePayload { block, page, cells }
+                })
+                .collect();
+            self.stats.pages_sent += pages.len() as u64;
+            self.stats.messages_sent += 1;
+            self.senders[peer]
+                .send(RankMessage::Pages { from: self.rank, pages })
+                .expect("peer rank hung up during phase 2");
+        }
+
+        // Phase 2 receive: one Pages message from every other rank.  Requests
+        // or Flags arriving now belong to the next superstep and are buffered
+        // by `recv_matching`.
+        while pages_msgs_seen < self.size - 1 {
+            match self.recv_matching(|m| matches!(m, RankMessage::Pages { .. })) {
+                RankMessage::Pages { pages, .. } => {
+                    self.stats.pages_received += pages.len() as u64;
+                    received.extend(pages);
+                    pages_msgs_seen += 1;
+                }
+                _ => unreachable!("recv_matching only returns Pages messages here"),
+            }
+        }
+        (received, global_success)
+    }
+}
+
+impl<C> fmt::Debug for Communicator<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Communicator")
+            .field("rank", &self.rank)
+            .field("size", &self.size)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn single_rank_exchange_is_trivial() {
+        let mut comms = Communicator::<f64>::mesh(1);
+        let mut c = comms.pop().unwrap();
+        let (pages, ok) = c.exchange(&[], true, |_, _| vec![]);
+        assert!(pages.is_empty());
+        assert!(ok);
+        let (_, ok) = c.exchange(&[], false, |_, _| vec![]);
+        assert!(!ok);
+        assert_eq!(c.stats().supersteps, 2);
+        assert_eq!(c.stats().messages_sent, 0);
+    }
+
+    #[test]
+    fn two_ranks_exchange_pages() {
+        let comms = Communicator::<f64>::mesh(2);
+        let mut iter = comms.into_iter();
+        let mut c0 = iter.next().unwrap();
+        let mut c1 = iter.next().unwrap();
+
+        let t1 = thread::spawn(move || {
+            // Rank 1 requests page (block 7, page 2) from rank 0.
+            let (pages, ok) =
+                c1.exchange(&[(0, vec![(7, 2)])], true, |b, p| vec![(b * 100 + p) as f64]);
+            (pages, ok, c1.stats())
+        });
+
+        // Rank 0 requests nothing and serves block 7 page 2.
+        let (pages0, ok0) = c0.exchange(&[], true, |b, p| vec![(b * 10 + p) as f64; 3]);
+        let (pages1, ok1, stats1) = t1.join().unwrap();
+
+        assert!(ok0 && ok1);
+        assert!(pages0.is_empty());
+        assert_eq!(pages1.len(), 1);
+        assert_eq!(pages1[0].block, 7);
+        assert_eq!(pages1[0].page, 2);
+        assert_eq!(pages1[0].cells, vec![72.0, 72.0, 72.0]);
+        assert_eq!(stats1.pages_received, 1);
+        assert_eq!(c0.stats().pages_sent, 1);
+        assert_eq!(c0.stats().bytes_sent, 3 * 8);
+    }
+
+    #[test]
+    fn global_success_is_conjunction() {
+        let comms = Communicator::<u32>::mesh(3);
+        let mut handles = Vec::new();
+        for (i, mut c) in comms.into_iter().enumerate() {
+            handles.push(thread::spawn(move || {
+                // Only rank 1 fails locally; everyone must observe failure.
+                let local = i != 1;
+                let (_, ok) = c.exchange(&[], local, |_, _| vec![0u32]);
+                ok
+            }));
+        }
+        for h in handles {
+            assert!(!h.join().unwrap());
+        }
+    }
+
+    #[test]
+    fn repeated_supersteps_stay_in_lockstep() {
+        let comms = Communicator::<u8>::mesh(4);
+        let mut handles = Vec::new();
+        for (rank, mut c) in comms.into_iter().enumerate() {
+            handles.push(thread::spawn(move || {
+                let mut received_total = 0usize;
+                for step in 0..20 {
+                    // Everyone asks the next rank for one page each step.
+                    let peer = (rank + 1) % 4;
+                    let reqs = vec![(peer, vec![(step, 0)])];
+                    let (pages, ok) = c.exchange(&reqs, true, |b, _| vec![b as u8; 4]);
+                    assert!(ok);
+                    received_total += pages.len();
+                }
+                (received_total, c.stats())
+            }));
+        }
+        for h in handles {
+            let (total, stats) = h.join().unwrap();
+            assert_eq!(total, 20);
+            assert_eq!(stats.supersteps, 20);
+            assert_eq!(stats.pages_sent, 20);
+            assert_eq!(stats.pages_received, 20);
+        }
+    }
+
+    #[test]
+    fn mesh_size_and_ranks() {
+        let comms = Communicator::<f32>::mesh(5);
+        assert_eq!(comms.len(), 5);
+        for (i, c) in comms.iter().enumerate() {
+            assert_eq!(c.rank(), i);
+            assert_eq!(c.size(), 5);
+        }
+    }
+}

@@ -1,0 +1,599 @@
+//! Task context, rank-shared state and the join-point payloads.
+//!
+//! A [`TaskCtx`] is what an end-user application sees: the Block-based memory
+//! interface (`get` / `get_dd` / `set`), `get_blocks`, `refresh`, and a
+//! handful of introspection helpers.  Internally every one of those calls is
+//! dispatched through the woven program, so aspect modules can intercept them
+//! — this is the runtime analogue of the AspectC++ pointcuts on the memory
+//! and annotation libraries.
+//!
+//! [`RankShared`] is the state one rank's tasks share: the barrier of the
+//! shared-memory layer, the communicator of the distributed layer, the merged
+//! missing-page list and the Dry-run prefetch plan.
+
+use crate::comm::Communicator;
+use crate::task::{TaskSlot, Topology};
+use aohpc_aop::{attr, JoinPointKind, WovenProgram, GET_BLOCKS, KERNEL_STEP, REFRESH, WARM_UP};
+use aohpc_env::{AccessState, BlockId, Cell, Env, GlobalAddress, LocalAddress};
+use aohpc_mem::PageId;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashSet;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Barrier};
+
+// ---------------------------------------------------------------------------
+// Join-point payloads
+// ---------------------------------------------------------------------------
+
+/// Payload of the `Program::main` execution join point.
+pub struct MainPayload<C: Cell> {
+    /// Parallelism of the distributed layer.
+    pub ranks: usize,
+    /// Runs one rank's whole program (build Env replica, initialise, process,
+    /// finalise).  The body runs it once for rank 0; the distributed-layer
+    /// aspect runs it once per rank on its own thread with a communicator.
+    pub run_rank: Arc<dyn Fn(usize, Option<Communicator<C>>) + Send + Sync>,
+    /// Runtime-control log (AspectType I events such as `mpi:init`).
+    pub runtime_log: Arc<Mutex<Vec<String>>>,
+}
+
+/// Payload of the `Annotation::Processing` execution join point.
+pub struct ProcessingPayload {
+    /// Parallelism of the shared-memory layer.
+    pub threads: usize,
+    /// Runs the processing loop of one shared-layer task.  The body runs it
+    /// once for thread 0; the shared-layer aspect runs it once per thread.
+    pub run_thread: Arc<dyn Fn(usize) + Send + Sync>,
+    /// Runtime-control log (AspectType I events such as `omp:spawn`).
+    pub runtime_log: Arc<Mutex<Vec<String>>>,
+}
+
+/// Payload of the `Memory::get_blocks` call join point.
+pub struct GetBlocksPayload {
+    /// Blocks to iterate (body: all blocks managed by this task's rank;
+    /// AspectType II advice narrows this to the calling task's share).
+    pub blocks: Vec<BlockId>,
+    /// Calling task's thread index within its rank.
+    pub thread: usize,
+    /// Shared-layer parallelism.
+    pub threads: usize,
+    /// Calling task's global id.
+    pub task_id: usize,
+}
+
+/// Payload of the `Memory::refresh` call join point.
+pub struct RefreshPayload<C: Cell> {
+    /// Whether this refresh belongs to the warm-up (dry-run) pass.
+    pub warmup: bool,
+    /// Calling task's slot.
+    pub slot: TaskSlot,
+    /// Shared-layer parallelism.
+    pub threads: usize,
+    /// The Env of this rank.
+    pub env: Arc<Env<C>>,
+    /// Rank-shared state (missing pages, prefetch plan, communicator,
+    /// barrier).
+    pub shared: Arc<RankShared<C>>,
+    /// Pages the calling task found missing during this step (drained from
+    /// its access state).  Advice merges this into the rank-shared list.
+    pub local_missing: Vec<(BlockId, PageId)>,
+    /// Set by the distributed layer's advice: the buffer rotation must wait
+    /// until the *global* success is known (the advice performs it), so the
+    /// original body must not rotate on local success alone.
+    pub defer_swap: bool,
+    /// The refresh outcome: true when the step's data update succeeded and
+    /// the program may proceed to the next step.
+    pub success: bool,
+}
+
+/// Payload of the `Annotation::KernelStep` execution join point.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelStepPayload {
+    /// Step index.
+    pub step: u64,
+    /// Whether this is a warm-up execution.
+    pub warmup: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Rank-shared state
+// ---------------------------------------------------------------------------
+
+/// State shared by all tasks of one rank.
+pub struct RankShared<C> {
+    /// The topology of the run.
+    pub topology: Topology,
+    /// This rank.
+    pub rank: usize,
+    /// Barrier across the rank's shared-layer tasks.
+    pub barrier: Barrier,
+    /// The distributed-layer endpoint (None for single-rank runs).
+    pub comm: Option<Mutex<Communicator<C>>>,
+    /// Missing pages merged from all tasks of the rank for the current
+    /// refresh.
+    pub missing: Mutex<Vec<(BlockId, PageId)>>,
+    /// The Dry-run prefetch plan: pages this rank had to fetch at least once.
+    pub prefetch_plan: Mutex<HashSet<(BlockId, PageId)>>,
+    /// Whether the Dry-run prefetch is enabled.
+    pub dry_run: bool,
+    /// Outcome of the last collective refresh (written by the master task).
+    pub last_success: AtomicBool,
+}
+
+impl<C: Cell> RankShared<C> {
+    /// Create the shared state of one rank.
+    pub fn new(
+        topology: Topology,
+        rank: usize,
+        comm: Option<Communicator<C>>,
+        dry_run: bool,
+    ) -> Self {
+        let threads = topology.threads_per_rank();
+        RankShared {
+            topology,
+            rank,
+            barrier: Barrier::new(threads),
+            comm: comm.map(Mutex::new),
+            missing: Mutex::new(Vec::new()),
+            prefetch_plan: Mutex::new(HashSet::new()),
+            dry_run,
+            last_success: AtomicBool::new(true),
+        }
+    }
+
+    /// Merge a task's missing pages into the rank-level list (deduplicated).
+    pub fn merge_missing(&self, pages: &[(BlockId, PageId)]) {
+        if pages.is_empty() {
+            return;
+        }
+        let mut guard = self.missing.lock();
+        for p in pages {
+            if !guard.contains(p) {
+                guard.push(*p);
+            }
+        }
+    }
+
+    /// Drain the rank-level missing list.
+    pub fn take_missing(&self) -> Vec<(BlockId, PageId)> {
+        std::mem::take(&mut self.missing.lock())
+    }
+
+    /// Record fetched pages in the prefetch plan (Dry-run bookkeeping).
+    pub fn extend_plan(&self, pages: impl IntoIterator<Item = (BlockId, PageId)>) {
+        self.prefetch_plan.lock().extend(pages);
+    }
+
+    /// Snapshot of the prefetch plan.
+    pub fn plan_snapshot(&self) -> Vec<(BlockId, PageId)> {
+        let mut v: Vec<_> = self.prefetch_plan.lock().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Task context
+// ---------------------------------------------------------------------------
+
+/// Everything one task needs to run its part of the application.
+pub struct TaskCtx<C: Cell> {
+    slot: TaskSlot,
+    env: Arc<Env<C>>,
+    shared: Arc<RankShared<C>>,
+    woven: WovenProgram,
+    use_weaver: bool,
+    /// Task-local access state (counters, MMAT, missing pages).
+    pub state: AccessState,
+    warmup: bool,
+    step: u64,
+    steps_done: u64,
+    retries: u64,
+}
+
+impl<C: Cell> TaskCtx<C> {
+    /// Create a context for one task.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        slot: TaskSlot,
+        env: Arc<Env<C>>,
+        shared: Arc<RankShared<C>>,
+        woven: WovenProgram,
+        use_weaver: bool,
+        mmat: bool,
+    ) -> Self {
+        TaskCtx {
+            slot,
+            env,
+            shared,
+            woven,
+            use_weaver,
+            state: if mmat { AccessState::with_mmat() } else { AccessState::new() },
+            warmup: false,
+            step: 0,
+            steps_done: 0,
+            retries: 0,
+        }
+    }
+
+    /// The task's slot (global id, rank, thread).
+    pub fn slot(&self) -> TaskSlot {
+        self.slot
+    }
+
+    /// Global task id.
+    pub fn task_id(&self) -> usize {
+        self.slot.task_id
+    }
+
+    /// Rank within the distributed layer.
+    pub fn rank(&self) -> usize {
+        self.slot.rank
+    }
+
+    /// Thread within the shared layer.
+    pub fn thread(&self) -> usize {
+        self.slot.thread
+    }
+
+    /// The Env this task computes on.
+    pub fn env(&self) -> &Arc<Env<C>> {
+        &self.env
+    }
+
+    /// The rank-shared state.
+    pub fn shared(&self) -> &Arc<RankShared<C>> {
+        &self.shared
+    }
+
+    /// The topology of the run.
+    pub fn topology(&self) -> &Topology {
+        &self.shared.topology
+    }
+
+    /// Whether the current kernel execution is the warm-up (dry-run) pass.
+    pub fn is_warmup(&self) -> bool {
+        self.warmup
+    }
+
+    /// Current step index.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Completed steps.
+    pub fn steps_done(&self) -> u64 {
+        self.steps_done
+    }
+
+    /// Re-executed steps.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    fn dispatch(
+        &self,
+        name: &str,
+        kind: JoinPointKind,
+        attrs: &[(&'static str, i64)],
+        payload: &mut dyn Any,
+        body: &mut dyn FnMut(&mut aohpc_aop::JoinPointCtx<'_>),
+    ) {
+        if self.use_weaver {
+            self.woven.dispatch_with(name, kind, attrs, payload, body);
+        } else {
+            let mut ctx = aohpc_aop::JoinPointCtx::new(name, kind, payload);
+            for (k, v) in attrs {
+                ctx.set_attr(k, *v);
+            }
+            body(&mut ctx);
+        }
+    }
+
+    // -- Annotation-library support ---------------------------------------
+
+    /// Begin the warm-up pass: clears MMAT (as the paper's `WarmUp` macro
+    /// does) and switches the access mode to dry-run.
+    pub fn begin_warmup(&mut self) {
+        // The WarmUp macro clears previously collected MMAT information.
+        self.state.reset_mmat();
+        if self.use_weaver {
+            let mut payload = ();
+            let attrs = [(attr::TASK_ID, self.slot.task_id as i64), (attr::WARMUP, 1)];
+            let woven = self.woven.clone();
+            woven.dispatch_with(WARM_UP, JoinPointKind::Execution, &attrs, &mut payload, &mut |_| {});
+        }
+        self.warmup = true;
+    }
+
+    /// End the warm-up pass.
+    pub fn end_warmup(&mut self) {
+        self.warmup = false;
+    }
+
+    /// Execute one kernel step through the `Annotation::KernelStep` join
+    /// point, handling step/retry accounting.  `body` is the user kernel and
+    /// returns the refresh outcome.
+    pub fn run_kernel_step(&mut self, warmup: bool, body: impl FnOnce(&mut Self) -> bool) -> bool {
+        let step = self.step;
+        let mut payload = KernelStepPayload { step, warmup };
+        // The kernel needs `&mut self`, so it cannot run inside a dispatch
+        // closure that also borrows `self.woven`.  Dispatch the join point
+        // around a marker body, then run the kernel; instrumentation aspects
+        // observe the step boundaries, which is what they need.
+        let attrs = [
+            (attr::TASK_ID, self.slot.task_id as i64),
+            (attr::STEP, step as i64),
+            (attr::WARMUP, i64::from(warmup)),
+        ];
+        if self.use_weaver {
+            let woven = self.woven.clone();
+            woven.dispatch_with(KERNEL_STEP, JoinPointKind::Execution, &attrs, &mut payload, &mut |_| {});
+        }
+        let ok = body(self);
+        if !warmup {
+            if ok {
+                self.steps_done += 1;
+                self.step += 1;
+            } else {
+                self.retries += 1;
+            }
+        }
+        ok
+    }
+
+    // -- Memory-library Block-based interface -------------------------------
+
+    /// The blocks this task must update this step (`Env::get_blocks` routed
+    /// through the `Memory::get_blocks` join point so AspectType II advice
+    /// can divide them).
+    pub fn get_blocks(&mut self) -> Vec<BlockId> {
+        let master = self.shared.topology.rank_master_task(self.slot.rank);
+        let env = self.env.clone();
+        let mut payload = GetBlocksPayload {
+            blocks: Vec::new(),
+            thread: self.slot.thread,
+            threads: self.shared.topology.threads_per_rank(),
+            task_id: self.slot.task_id,
+        };
+        let attrs = [
+            (attr::TASK_ID, self.slot.task_id as i64),
+            (attr::THREAD, self.slot.thread as i64),
+            (attr::PARALLELISM, self.shared.topology.threads_per_rank() as i64),
+        ];
+        self.dispatch(GET_BLOCKS, JoinPointKind::Call, &attrs, &mut payload, &mut |ctx| {
+            let p = ctx.payload_mut::<GetBlocksPayload>().expect("GetBlocksPayload");
+            p.blocks = env
+                .data_block_ids()
+                .into_iter()
+                .filter(|&id| env.block(id).meta.dm_tid() == Some(master))
+                .collect();
+        });
+        payload.blocks
+    }
+
+    /// All blocks whose data this task's rank manages (`dm_tid` = the rank's
+    /// master task), regardless of how the shared layer divides them for
+    /// computation.
+    ///
+    /// This is the enumeration the data-manager task uses in `Initialize` and
+    /// `Finalize`: those run once per rank (outside `Processing`, so outside
+    /// the shared layer's task split), and must cover every block the rank
+    /// owns.  The per-step computation uses [`TaskCtx::get_blocks`] instead,
+    /// which is the advised join point.
+    pub fn owned_blocks(&self) -> Vec<BlockId> {
+        let master = self.shared.topology.rank_master_task(self.slot.rank);
+        self.env
+            .data_block_ids()
+            .into_iter()
+            .filter(|&id| self.env.block(id).meta.dm_tid() == Some(master))
+            .collect()
+    }
+
+    /// Try to publish this step's data (`Env::refresh` routed through the
+    /// `Memory::refresh` join point so AspectType III advice can fetch the
+    /// recorded non-existent pages from other tasks).
+    ///
+    /// Returns `true` when the update succeeded and the program may proceed
+    /// to the next step; `false` when the step must be re-executed.
+    pub fn refresh(&mut self) -> bool {
+        let local_missing = self.state.take_missing();
+        let dm_task = self.shared.topology.rank_master_task(self.slot.rank);
+        let mut payload = RefreshPayload {
+            warmup: self.warmup,
+            slot: self.slot,
+            threads: self.shared.topology.threads_per_rank(),
+            env: self.env.clone(),
+            shared: self.shared.clone(),
+            local_missing,
+            defer_swap: false,
+            success: false,
+        };
+        let attrs = [
+            (attr::TASK_ID, self.slot.task_id as i64),
+            (attr::THREAD, self.slot.thread as i64),
+            (attr::WARMUP, i64::from(self.warmup)),
+        ];
+        self.dispatch(REFRESH, JoinPointKind::Call, &attrs, &mut payload, &mut |ctx| {
+            let p = ctx.payload_mut::<RefreshPayload<C>>().expect("RefreshPayload");
+            // Original (single-task) refresh: succeed iff no non-existent data
+            // was accessed; on success, rotate the owned blocks' buffers to
+            // publish the new step.  When the distributed layer is woven in,
+            // its advice defers the rotation until the global outcome is
+            // known.
+            let ok = p.local_missing.is_empty() && p.shared.missing.lock().is_empty();
+            if ok && !p.warmup && !p.defer_swap {
+                p.env.swap_owned_buffers(dm_task);
+            }
+            p.success = ok;
+        });
+        payload.success
+    }
+
+    // -- Cell accessors (the GetD / GetDD / SetD macros of Listing 1) -------
+
+    /// Read a cell via a block-relative address.  `in_block` is the caller's
+    /// assertion that the address lies inside `block` (skips the Env search).
+    /// Missing data reads as `C::default()` and is recorded for `refresh`.
+    pub fn get(&mut self, block: BlockId, local: LocalAddress, in_block: bool) -> C {
+        self.env.read_local(block, local, in_block, &mut self.state).unwrap_or_default()
+    }
+
+    /// Read a cell asserting it is inside the block (`GetDD`).
+    pub fn get_dd(&mut self, block: BlockId, local: LocalAddress) -> C {
+        self.get(block, local, true)
+    }
+
+    /// Read a cell by global address.
+    pub fn get_global(&mut self, block: BlockId, addr: GlobalAddress) -> C {
+        self.env.read(block, addr, false, &mut self.state).unwrap_or_default()
+    }
+
+    /// Read a cell by global address, returning `None` for missing data.
+    pub fn try_get_global(&mut self, block: BlockId, addr: GlobalAddress) -> Option<C> {
+        self.env.read(block, addr, false, &mut self.state)
+    }
+
+    /// Write a cell of the block being updated (`SetD`).
+    pub fn set(&mut self, block: BlockId, local: LocalAddress, value: C) -> bool {
+        self.env.write_local(block, local, value, &mut self.state)
+    }
+
+    /// Write the initial (step-0) value of a cell.
+    pub fn set_initial(&mut self, block: BlockId, local: LocalAddress, value: C) -> bool {
+        self.env.write_initial(block, local, value)
+    }
+
+    /// Finish the task and emit its report.
+    pub fn into_report(self) -> crate::report::TaskReport {
+        crate::report::TaskReport {
+            slot: self.slot,
+            counters: self.state.counters,
+            mmat_entries: self.state.mmat.len(),
+            mmat_hits: self.state.mmat.hits(),
+            steps: self.steps_done,
+            retries: self.retries,
+            state_bytes: self.state.footprint_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aohpc_env::{EnvBuilder, Extent};
+    use aohpc_mem::PoolHandle;
+
+    fn tiny_env() -> (Arc<Env<f64>>, Vec<BlockId>) {
+        let mut b = EnvBuilder::<f64>::new(PoolHandle::unbounded(), 4);
+        let root = b.add_empty(None);
+        let joint = b.add_empty(Some(root));
+        let mut ids = Vec::new();
+        for i in 0..2 {
+            let id = b
+                .add_data(joint, GlobalAddress::new2d(i * 4, 0), Extent::new2d(4, 4), i as u64)
+                .unwrap();
+            ids.push(id);
+        }
+        let env = b.build();
+        for id in &ids {
+            env.block(*id).meta.set_dm_tid(Some(0));
+            env.block(*id).meta.set_ch_tid(Some(0));
+        }
+        (Arc::new(env), ids)
+    }
+
+    fn serial_ctx(env: Arc<Env<f64>>) -> TaskCtx<f64> {
+        let topo = Topology::serial();
+        let shared = Arc::new(RankShared::new(topo.clone(), 0, None, true));
+        TaskCtx::new(topo.slot(0, 0), env, shared, WovenProgram::unwoven(), true, false)
+    }
+
+    #[test]
+    fn get_blocks_returns_rank_owned_blocks() {
+        let (env, ids) = tiny_env();
+        let mut ctx = serial_ctx(env);
+        assert_eq!(ctx.get_blocks(), ids);
+    }
+
+    #[test]
+    fn get_set_refresh_cycle() {
+        let (env, ids) = tiny_env();
+        let mut ctx = serial_ctx(env);
+        ctx.set(ids[0], LocalAddress::new2d(1, 1), 3.5);
+        assert_eq!(ctx.get(ids[0], LocalAddress::new2d(1, 1), true), 0.0, "write buffer not visible yet");
+        assert!(ctx.refresh());
+        assert_eq!(ctx.get(ids[0], LocalAddress::new2d(1, 1), true), 3.5);
+        assert_eq!(ctx.get_dd(ids[0], LocalAddress::new2d(1, 1)), 3.5);
+    }
+
+    #[test]
+    fn warmup_flag_and_mmat_reset() {
+        let (env, ids) = tiny_env();
+        let mut ctx = TaskCtx::new(
+            Topology::serial().slot(0, 0),
+            env,
+            Arc::new(RankShared::new(Topology::serial(), 0, None, true)),
+            WovenProgram::unwoven(),
+            true,
+            true,
+        );
+        // Populate the MMAT memo, then begin_warmup must clear it.
+        let _ = ctx.get(ids[0], LocalAddress::new2d(1, 0), false);
+        assert!(ctx.state.mmat.len() > 0);
+        ctx.begin_warmup();
+        assert!(ctx.is_warmup());
+        assert_eq!(ctx.state.mmat.len(), 0);
+        ctx.end_warmup();
+        assert!(!ctx.is_warmup());
+    }
+
+    #[test]
+    fn kernel_step_accounting() {
+        let (env, _ids) = tiny_env();
+        let mut ctx = serial_ctx(env);
+        assert!(ctx.run_kernel_step(false, |_| true));
+        assert!(!ctx.run_kernel_step(false, |_| false));
+        assert!(ctx.run_kernel_step(false, |_| true));
+        assert!(ctx.run_kernel_step(true, |_| true), "warm-up steps are not counted");
+        assert_eq!(ctx.steps_done(), 2);
+        assert_eq!(ctx.retries(), 1);
+        assert_eq!(ctx.step(), 2);
+    }
+
+    #[test]
+    fn report_captures_counters() {
+        let (env, ids) = tiny_env();
+        let mut ctx = serial_ctx(env);
+        let _ = ctx.get(ids[0], LocalAddress::new2d(0, 0), true);
+        ctx.set(ids[0], LocalAddress::new2d(0, 0), 1.0);
+        let report = ctx.into_report();
+        assert_eq!(report.counters.reads, 1);
+        assert_eq!(report.counters.writes, 1);
+        assert!(report.state_bytes > 0);
+    }
+
+    #[test]
+    fn rank_shared_missing_and_plan() {
+        let shared: RankShared<f64> = RankShared::new(Topology::serial(), 0, None, true);
+        shared.merge_missing(&[(1, 0), (2, 1)]);
+        shared.merge_missing(&[(1, 0), (3, 0)]);
+        assert_eq!(shared.take_missing(), vec![(1, 0), (2, 1), (3, 0)]);
+        assert!(shared.take_missing().is_empty());
+        shared.extend_plan(vec![(5, 0), (5, 1), (5, 0)]);
+        assert_eq!(shared.plan_snapshot(), vec![(5, 0), (5, 1)]);
+    }
+
+    #[test]
+    fn unwoven_mode_skips_dispatch() {
+        let (env, _) = tiny_env();
+        let topo = Topology::serial();
+        let shared = Arc::new(RankShared::new(topo.clone(), 0, None, true));
+        let woven = WovenProgram::unwoven();
+        let mut ctx = TaskCtx::new(topo.slot(0, 0), env, shared, woven.clone(), false, false);
+        let _ = ctx.get_blocks();
+        assert!(ctx.refresh());
+        assert_eq!(woven.stats().dispatches(), 0, "Direct mode never touches the weaver");
+    }
+}

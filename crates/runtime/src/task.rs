@@ -1,0 +1,207 @@
+//! Layers, topology and hierarchical task ids.
+//!
+//! The execution model is task-based: the area to be computed is blocked into
+//! fixed-size Blocks and each task updates the Blocks assigned to it.  A
+//! concrete machine is described as a stack of layers; each layer's aspect
+//! module splits the Blocks allocated by the upper layer among the tasks it
+//! creates.  The prototype supports a distributed-memory layer (MPI-like) on
+//! top of a shared-memory layer (OpenMP-like), which yields `ranks × threads`
+//! tasks with task id `rank * threads + thread`.
+
+use serde::Serialize;
+use std::fmt;
+
+/// The kind of a parallel layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum LayerKind {
+    /// Distributed-memory layer: tasks do not share an Env; data moves by
+    /// page communication (MPI in the paper).
+    Distributed,
+    /// Shared-memory layer: tasks share one Env (OpenMP in the paper).
+    Shared,
+}
+
+/// One layer of the machine description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct LayerSpec {
+    /// Kind of parallel resource this layer manages.
+    pub kind: LayerKind,
+    /// Number of tasks this layer creates per task of the upper layer.
+    pub parallelism: usize,
+}
+
+impl LayerSpec {
+    /// A distributed layer of `ranks` ranks.
+    pub fn distributed(ranks: usize) -> Self {
+        LayerSpec { kind: LayerKind::Distributed, parallelism: ranks }
+    }
+
+    /// A shared layer of `threads` threads.
+    pub fn shared(threads: usize) -> Self {
+        LayerSpec { kind: LayerKind::Shared, parallelism: threads }
+    }
+}
+
+/// The position of a task within the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct TaskSlot {
+    /// Global task id (`ch_tid` in the paper's terminology).
+    pub task_id: usize,
+    /// Rank within the distributed layer.
+    pub rank: usize,
+    /// Thread index within the shared layer.
+    pub thread: usize,
+}
+
+/// The machine description: how many ranks and how many threads per rank.
+///
+/// This is intentionally the two-layer shape the prototype evaluates; the
+/// layer list is kept so that additional layers (accelerators, NUMA domains)
+/// can be described without changing the public API.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Topology {
+    layers: Vec<LayerSpec>,
+}
+
+impl Topology {
+    /// Build a topology from a layer stack (outermost first).
+    ///
+    /// Unspecified kinds default to one serial task.  Parallelism values must
+    /// be non-zero.
+    pub fn new(layers: Vec<LayerSpec>) -> Self {
+        assert!(layers.iter().all(|l| l.parallelism > 0), "layer parallelism must be non-zero");
+        Topology { layers }
+    }
+
+    /// Serial topology: one rank, one thread.
+    pub fn serial() -> Self {
+        Topology { layers: vec![] }
+    }
+
+    /// `ranks × threads` topology.
+    pub fn hybrid(ranks: usize, threads: usize) -> Self {
+        Topology::new(vec![LayerSpec::distributed(ranks), LayerSpec::shared(threads)])
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// Number of ranks in the distributed layer (1 if absent).
+    pub fn ranks(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| l.kind == LayerKind::Distributed)
+            .map(|l| l.parallelism)
+            .product::<usize>()
+            .max(1)
+    }
+
+    /// Number of threads per rank in the shared layer (1 if absent).
+    pub fn threads_per_rank(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| l.kind == LayerKind::Shared)
+            .map(|l| l.parallelism)
+            .product::<usize>()
+            .max(1)
+    }
+
+    /// Total number of tasks.
+    pub fn total_tasks(&self) -> usize {
+        self.ranks() * self.threads_per_rank()
+    }
+
+    /// The task slot of `(rank, thread)`.
+    pub fn slot(&self, rank: usize, thread: usize) -> TaskSlot {
+        debug_assert!(rank < self.ranks() && thread < self.threads_per_rank());
+        TaskSlot { task_id: rank * self.threads_per_rank() + thread, rank, thread }
+    }
+
+    /// The slot owning a global task id.
+    pub fn slot_of_task(&self, task_id: usize) -> TaskSlot {
+        let t = self.threads_per_rank();
+        TaskSlot { task_id, rank: task_id / t, thread: task_id % t }
+    }
+
+    /// The global task id of a rank's master task (thread 0) — the paper's
+    /// `dm_tid` for every block owned by that rank.
+    pub fn rank_master_task(&self, rank: usize) -> usize {
+        rank * self.threads_per_rank()
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} rank(s) x {} thread(s)", self.ranks(), self.threads_per_rank())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn serial_topology() {
+        let t = Topology::serial();
+        assert_eq!(t.ranks(), 1);
+        assert_eq!(t.threads_per_rank(), 1);
+        assert_eq!(t.total_tasks(), 1);
+        assert_eq!(t.slot(0, 0), TaskSlot { task_id: 0, rank: 0, thread: 0 });
+        assert_eq!(t.to_string(), "1 rank(s) x 1 thread(s)");
+    }
+
+    #[test]
+    fn hybrid_task_ids() {
+        let t = Topology::hybrid(4, 2);
+        assert_eq!(t.total_tasks(), 8);
+        assert_eq!(t.slot(0, 0).task_id, 0);
+        assert_eq!(t.slot(0, 1).task_id, 1);
+        assert_eq!(t.slot(1, 0).task_id, 2);
+        assert_eq!(t.slot(3, 1).task_id, 7);
+        assert_eq!(t.rank_master_task(2), 4);
+        assert_eq!(t.layers().len(), 2);
+    }
+
+    #[test]
+    fn single_layer_topologies() {
+        let mpi = Topology::new(vec![LayerSpec::distributed(8)]);
+        assert_eq!(mpi.ranks(), 8);
+        assert_eq!(mpi.threads_per_rank(), 1);
+        let omp = Topology::new(vec![LayerSpec::shared(16)]);
+        assert_eq!(omp.ranks(), 1);
+        assert_eq!(omp.threads_per_rank(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_parallelism_rejected() {
+        let _ = Topology::new(vec![LayerSpec::distributed(0)]);
+    }
+
+    proptest! {
+        /// slot / slot_of_task are mutually inverse and cover 0..total_tasks.
+        #[test]
+        fn slot_roundtrip(ranks in 1usize..12, threads in 1usize..12, sel in 0usize..200) {
+            let topo = Topology::hybrid(ranks, threads);
+            let tid = sel % topo.total_tasks();
+            let slot = topo.slot_of_task(tid);
+            prop_assert!(slot.rank < ranks);
+            prop_assert!(slot.thread < threads);
+            prop_assert_eq!(topo.slot(slot.rank, slot.thread), slot);
+            prop_assert_eq!(slot.task_id, tid);
+        }
+
+        /// Master tasks are spaced by the thread count.
+        #[test]
+        fn master_task_spacing(ranks in 1usize..10, threads in 1usize..10) {
+            let topo = Topology::hybrid(ranks, threads);
+            for r in 0..ranks {
+                prop_assert_eq!(topo.rank_master_task(r), r * threads);
+                prop_assert_eq!(topo.slot_of_task(r * threads).thread, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Memory layouts for the unstructured-grid sample (CaseC / CaseR).
+//!
+//! The unstructured-grid DSL stores, with every grid point, the global
+//! addresses of its four neighbours; the two evaluation cases differ only in
+//! where points live in memory:
+//!
+//! * **CaseC** — points are stored at their spatial position, so neighbour
+//!   accesses are consecutive and mostly fall inside the same Block
+//!   (Assumption III holds);
+//! * **CaseR** — points are scattered by a pseudo-random permutation, so
+//!   neighbour accesses have no spatial locality (Assumption III is violated)
+//!   and most of them leave the Block — which is exactly the stress case the
+//!   paper uses to expose Env-search and communication overheads.
+//!
+//! The paper builds CaseR by permuting the data array.  To avoid materialising
+//! a permutation table for large domains, this crate uses a bijective affine
+//! permutation `i ↦ (a·i + b) mod n` with `gcd(a, n) = 1`: deterministic,
+//! seedable, O(1) memory, and with the same "neighbours are far away"
+//! property.
+
+use serde::Serialize;
+
+/// A bijective affine permutation of `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct AffinePermutation {
+    n: u64,
+    a: u64,
+    b: u64,
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl AffinePermutation {
+    /// Build a permutation of `0..n` from a seed.  The multiplier is derived
+    /// from the seed and adjusted until it is coprime with `n`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        assert!(n > 0);
+        // For n <= 2 the only multiplier coprime with n and different from 0
+        // is 1, so the scrambling degenerates to a (possibly shifted)
+        // identity; the scan below assumes a coprime >= 2 exists, which holds
+        // only for n >= 3 (n - 1 is always one).
+        let a = if n <= 2 {
+            1
+        } else {
+            let mut a =
+                (0x9e37_79b9_7f4a_7c15u64 ^ seed.wrapping_mul(0x2545_f491_4f6c_dd1d)) % n;
+            if a < 2 {
+                a = 2;
+            }
+            while gcd(a, n) != 1 {
+                a += 1;
+                if a == n {
+                    a = 2;
+                }
+            }
+            a
+        };
+        let b = seed.wrapping_mul(0x9e37_79b9) % n;
+        AffinePermutation { n, a, b }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether the domain is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Apply the permutation.
+    pub fn apply(&self, i: u64) -> u64 {
+        debug_assert!(i < self.n);
+        (self.a.wrapping_mul(i) % self.n + self.b) % self.n
+    }
+}
+
+/// The memory layout of the unstructured-grid sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum GridLayout {
+    /// Consecutive layout with spatial locality.
+    CaseC,
+    /// Scattered layout without spatial locality, derived from a seed.
+    CaseR {
+        /// Seed of the scattering permutation.
+        seed: u64,
+    },
+}
+
+impl GridLayout {
+    /// Map a logical grid point `(x, y)` of an `nx × ny` domain to the storage
+    /// position where the unstructured-grid DSL places it.
+    pub fn storage_of(&self, x: i64, y: i64, nx: i64, ny: i64) -> (i64, i64) {
+        debug_assert!(x >= 0 && y >= 0 && x < nx && y < ny);
+        match self {
+            GridLayout::CaseC => (x, y),
+            GridLayout::CaseR { seed } => {
+                let n = (nx * ny) as u64;
+                let perm = AffinePermutation::new(n, *seed);
+                let flat = perm.apply((y * nx + x) as u64) as i64;
+                (flat % nx, flat / nx)
+            }
+        }
+    }
+
+    /// Short name used in reports ("CaseC" / "CaseR").
+    pub fn name(&self) -> &'static str {
+        match self {
+            GridLayout::CaseC => "CaseC",
+            GridLayout::CaseR { .. } => "CaseR",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn casec_is_identity() {
+        assert_eq!(GridLayout::CaseC.storage_of(3, 5, 16, 16), (3, 5));
+        assert_eq!(GridLayout::CaseC.name(), "CaseC");
+    }
+
+    #[test]
+    fn caser_is_a_permutation_of_the_domain() {
+        let layout = GridLayout::CaseR { seed: 42 };
+        let (nx, ny) = (16i64, 12i64);
+        let mut seen = HashSet::new();
+        for y in 0..ny {
+            for x in 0..nx {
+                let (sx, sy) = layout.storage_of(x, y, nx, ny);
+                assert!(sx >= 0 && sx < nx && sy >= 0 && sy < ny);
+                assert!(seen.insert((sx, sy)), "storage position reused");
+            }
+        }
+        assert_eq!(seen.len(), (nx * ny) as usize);
+        assert_eq!(layout.name(), "CaseR");
+    }
+
+    #[test]
+    fn caser_destroys_spatial_locality() {
+        let layout = GridLayout::CaseR { seed: 7 };
+        let (nx, ny) = (64i64, 64i64);
+        // Measure the average storage distance of logically adjacent points;
+        // it must be far larger than 1 (the CaseC distance).
+        let mut total = 0.0;
+        let mut count = 0.0;
+        for y in 0..ny {
+            for x in 0..nx - 1 {
+                let (ax, ay) = layout.storage_of(x, y, nx, ny);
+                let (bx, by) = layout.storage_of(x + 1, y, nx, ny);
+                total += ((ax - bx).abs() + (ay - by).abs()) as f64;
+                count += 1.0;
+            }
+        }
+        assert!(total / count > 8.0, "neighbours are scattered far apart");
+    }
+
+    #[test]
+    fn tiny_domains_terminate_and_are_bijective() {
+        // Regression: n = 2 used to loop forever in `new` because the only
+        // valid multiplier (1) was excluded by the "bump to 2" rule.
+        for n in 1u64..=8 {
+            for seed in 0..16 {
+                let p = AffinePermutation::new(n, seed);
+                let mut seen = vec![false; n as usize];
+                for i in 0..n {
+                    let j = p.apply(i);
+                    assert!(j < n);
+                    assert!(!seen[j as usize], "n={n} seed={seed} not a bijection");
+                    seen[j as usize] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = GridLayout::CaseR { seed: 1 }.storage_of(5, 5, 32, 32);
+        let b = GridLayout::CaseR { seed: 2 }.storage_of(5, 5, 32, 32);
+        assert_ne!(a, b);
+    }
+
+    proptest! {
+        /// The affine map is a bijection for arbitrary sizes and seeds.
+        #[test]
+        fn affine_permutation_is_bijective(n in 1u64..3000, seed in 0u64..u64::MAX) {
+            let p = AffinePermutation::new(n, seed);
+            let mut seen = vec![false; n as usize];
+            for i in 0..n {
+                let j = p.apply(i);
+                prop_assert!(j < n);
+                prop_assert!(!seen[j as usize]);
+                seen[j as usize] = true;
+            }
+        }
+
+        /// storage_of stays inside the domain for both cases.
+        #[test]
+        fn storage_in_bounds(x in 0i64..64, y in 0i64..64, seed in 0u64..1000) {
+            let (nx, ny) = (64, 64);
+            for layout in [GridLayout::CaseC, GridLayout::CaseR { seed }] {
+                let (sx, sy) = layout.storage_of(x, y, nx, ny);
+                prop_assert!(sx >= 0 && sx < nx);
+                prop_assert!(sy >= 0 && sy < ny);
+            }
+        }
+    }
+}

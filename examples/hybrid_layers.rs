@@ -1,0 +1,36 @@
+//! Layer composition: sweep the (ranks × threads) combinations of the paper's
+//! Fig. 11 for a fixed total task count and show how the aspect modules
+//! compose without touching application code.
+//!
+//! ```sh
+//! cargo run --release --example hybrid_layers
+//! ```
+
+use aohpc::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let region = RegionSize::square(128);
+    let block = 16;
+    let loops = 6;
+    let total_tasks = 8;
+
+    println!("{:<14} {:>8} {:>14} {:>14}", "ranks x thr", "tasks", "sim time [ms]", "pages sent");
+    let mut ranks = 1;
+    while ranks <= total_tasks {
+        let threads = total_tasks / ranks;
+        let mode = ExecutionMode::PlatformHybrid { ranks, threads };
+        let system = Arc::new(SGridSystem::with_block_size(region, block));
+        let app = SGridJacobiApp::new(loops, block);
+        let outcome = Platform::new(mode).with_mmat(true).run_system(system, app.factory());
+        println!(
+            "{:<14} {:>8} {:>14.3} {:>14}",
+            format!("{ranks} x {threads}"),
+            outcome.report.tasks.len(),
+            outcome.simulated_seconds * 1e3,
+            outcome.report.total_pages_sent()
+        );
+        ranks *= 2;
+    }
+    println!("\nMore ranks mean more page traffic; more threads mean more shared-memory contention — the Fig. 11 trade-off.");
+}

@@ -1,0 +1,7 @@
+//! `aohpc-suite`: the workspace-level package hosting the runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`).  The library
+//! itself simply re-exports the platform facade so examples and tests can use
+//! `aohpc_suite::prelude::*`.
+
+pub use aohpc::prelude;
+pub use aohpc::{ExecutionMode, Platform, RunOutcome};

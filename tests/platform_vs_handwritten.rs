@@ -1,0 +1,171 @@
+//! Cross-crate integration tests: the platform's three sample DSLs must
+//! reproduce the handwritten baselines' results in every execution mode, and
+//! the mechanisms the paper credits (MMAT, Dry-run, page communication) must
+//! be observable in the run reports.
+
+use aohpc::prelude::*;
+use aohpc_baselines::{HandwrittenSGrid, HandwrittenUsGrid};
+use std::sync::Arc;
+
+fn init(x: i64, y: i64) -> f64 {
+    SGridJacobiApp::initial_value(GlobalAddress::new2d(x, y))
+}
+
+const ALL_MODES: [ExecutionMode; 6] = [
+    ExecutionMode::PlatformDirect,
+    ExecutionMode::PlatformNop,
+    ExecutionMode::PlatformOmp { threads: 2 },
+    ExecutionMode::PlatformMpi { ranks: 2 },
+    ExecutionMode::PlatformMpi { ranks: 4 },
+    ExecutionMode::PlatformHybrid { ranks: 2, threads: 2 },
+];
+
+#[test]
+fn sgrid_matches_handwritten_in_every_mode() {
+    let region = RegionSize::square(48);
+    let block = 16;
+    let loops = 5;
+    let (grid, _) = HandwrittenSGrid::new(region, loops, init).run();
+    let expected = checksum(grid.field().iter().copied());
+
+    for mode in ALL_MODES {
+        let system = Arc::new(SGridSystem::with_block_size(region, block));
+        let sink = new_field_sink();
+        let app = SGridJacobiApp::new(loops, block).with_sink(sink.clone());
+        let outcome = Platform::new(mode).with_mmat(true).run_system(system, app.factory());
+        assert!(outcome.report.tasks.iter().all(|t| t.steps == loops as u64), "{}", mode.label());
+        let got = checksum(sink.lock().iter().map(|(_, v)| *v));
+        assert!(
+            (got - expected).abs() < 1e-9,
+            "{}: checksum {got} != handwritten {expected}",
+            mode.label()
+        );
+    }
+}
+
+#[test]
+fn usgrid_caser_matches_handwritten_under_mpi() {
+    let region = RegionSize::square(32);
+    let loops = 3;
+    let layout = GridLayout::CaseR { seed: 123 };
+    let (expected_field, _) = HandwrittenUsGrid::new(region, layout, loops, init).run();
+    let expected = checksum(expected_field.iter().copied());
+
+    let system = UsGridSystem::with_block_size(region, 8, layout);
+    let sink = new_field_sink();
+    let app = UsGridJacobiApp::new(system.clone(), loops).with_sink(sink.clone());
+    let outcome = Platform::new(ExecutionMode::PlatformMpi { ranks: 4 })
+        .with_mmat(true)
+        .run_system(Arc::new(system), app.factory());
+    // The sink is keyed by storage position; the checksum is order-insensitive
+    // and layout is a bijection, so it can be compared directly.
+    let got = checksum(sink.lock().iter().map(|(_, v)| *v));
+    assert!((got - expected).abs() < 1e-9, "checksum {got} != {expected}");
+    assert!(outcome.report.total_pages_sent() > 0, "CaseR must communicate pages across ranks");
+}
+
+#[test]
+fn mmat_eliminates_repeated_env_searches() {
+    let region = RegionSize::square(32);
+    let run = |mmat: bool| {
+        let system = UsGridSystem::with_block_size(region, 8, GridLayout::CaseC);
+        let app = UsGridJacobiApp::new(system.clone(), 6);
+        Platform::new(ExecutionMode::PlatformDirect)
+            .with_mmat(mmat)
+            .run_system(Arc::new(system), app.factory())
+            .report
+            .total_counters()
+    };
+    let without = run(false);
+    let with = run(true);
+    assert!(
+        with.env_searches * 3 < without.env_searches,
+        "MMAT must remove most searches: {} vs {}",
+        with.env_searches,
+        without.env_searches
+    );
+    assert!(with.mmat_hits > 0);
+    assert!(
+        Platform::new(ExecutionMode::PlatformDirect).cost_model().task_compute_seconds(&with, 1)
+            < Platform::new(ExecutionMode::PlatformDirect)
+                .cost_model()
+                .task_compute_seconds(&without, 1),
+        "the cost model must reward MMAT"
+    );
+}
+
+#[test]
+fn dry_run_avoids_recomputation_under_mpi() {
+    let region = RegionSize::square(32);
+    let run = |dry_run: bool| {
+        let system = Arc::new(SGridSystem::with_block_size(region, 8));
+        let app = SGridJacobiApp::new(4, 8);
+        Platform::new(ExecutionMode::PlatformMpi { ranks: 2 })
+            .with_dry_run(dry_run)
+            .run_system(system, app.factory())
+            .report
+    };
+    let with = run(true);
+    let without = run(false);
+    assert_eq!(with.total_retries(), 0, "Dry-run prefetch removes all re-executions");
+    assert!(without.total_retries() > 0, "without Dry-run, failed steps must be recomputed");
+}
+
+#[test]
+fn weave_report_documents_the_modules() {
+    let system = Arc::new(SGridSystem::with_block_size(RegionSize::square(16), 8));
+    let app = SGridJacobiApp::new(1, 8);
+    let outcome = Platform::new(ExecutionMode::PlatformHybrid { ranks: 2, threads: 2 })
+        .run_system(system, app.factory());
+    let aspects = outcome.weave.active_aspects();
+    assert_eq!(aspects.len(), 2);
+    assert!(aspects.iter().any(|a| a.contains("distributed")));
+    assert!(aspects.iter().any(|a| a.contains("shared")));
+    assert!(outcome.report.runtime_events.iter().any(|e| e.starts_with("mpi:init")));
+    assert!(outcome.report.runtime_events.iter().any(|e| e.starts_with("omp:spawn")));
+}
+
+#[test]
+fn more_parallelism_reduces_simulated_time_for_all_dsls() {
+    // Strong-scaling sanity across all three DSLs (the shape behind Figs. 7/9).
+    // The problem must be large enough that per-step communication latency
+    // does not dominate (the paper's strong-scaling runs use 4096² cells).
+    let scale_modes = |mode1: ExecutionMode, mode4: ExecutionMode| -> Vec<(f64, f64)> {
+        let region = RegionSize::square(160);
+        let mut pairs = Vec::new();
+        // SGrid
+        let t = |mode: ExecutionMode| {
+            let system = Arc::new(SGridSystem::with_block_size(region, 16));
+            Platform::new(mode).run_system(system, SGridJacobiApp::new(3, 16).factory()).simulated_seconds
+        };
+        pairs.push((t(mode1), t(mode4)));
+        // USGrid CaseC
+        let t = |mode: ExecutionMode| {
+            let system = UsGridSystem::with_block_size(region, 16, GridLayout::CaseC);
+            let app = UsGridJacobiApp::new(system.clone(), 3);
+            Platform::new(mode).with_mmat(true).run_system(Arc::new(system), app.factory()).simulated_seconds
+        };
+        pairs.push((t(mode1), t(mode4)));
+        // Particle
+        let t = |mode: ExecutionMode| {
+            let system = ParticleSystem::for_particles(ParticleSize::new(4096));
+            let app = ParticleApp::new(system.clone(), 3);
+            Platform::new(mode).run_system(Arc::new(system), app.factory()).simulated_seconds
+        };
+        pairs.push((t(mode1), t(mode4)));
+        pairs
+    };
+
+    for (one, four) in scale_modes(
+        ExecutionMode::PlatformMpi { ranks: 1 },
+        ExecutionMode::PlatformMpi { ranks: 4 },
+    ) {
+        assert!(four < one, "4 ranks must beat 1 rank ({four} !< {one})");
+    }
+    for (one, four) in scale_modes(
+        ExecutionMode::PlatformOmp { threads: 1 },
+        ExecutionMode::PlatformOmp { threads: 4 },
+    ) {
+        assert!(four < one, "4 threads must beat 1 thread ({four} !< {one})");
+    }
+}
