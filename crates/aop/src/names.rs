@@ -48,9 +48,8 @@ pub const WARM_UP: &str = "Annotation::WarmUp";
 
 /// All names, useful for exhaustiveness checks in tests and for the weave
 /// report.
-pub const ALL_JOIN_POINTS: &[&str] = &[
-    MAIN, INITIALIZE, PROCESSING, FINALIZE, KERNEL_STEP, GET_BLOCKS, REFRESH, WARM_UP,
-];
+pub const ALL_JOIN_POINTS: &[&str] =
+    &[MAIN, INITIALIZE, PROCESSING, FINALIZE, KERNEL_STEP, GET_BLOCKS, REFRESH, WARM_UP];
 
 #[cfg(test)]
 mod tests {

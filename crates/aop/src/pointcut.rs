@@ -475,7 +475,7 @@ mod tests {
         // Display form is parseable except for `any()` capitalisation nuances;
         // here it is exactly parseable.
         let reparsed = Pointcut::parse(&text).unwrap();
-        assert_eq!(reparsed.matches("Annotation::Initialize", JoinPointKind::Execution), true);
+        assert!(reparsed.matches("Annotation::Initialize", JoinPointKind::Execution));
     }
 
     proptest! {

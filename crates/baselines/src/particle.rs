@@ -41,7 +41,14 @@ impl HandwrittenParticle {
         let needed = particles.count.div_ceil(fill).max(1);
         let side = (needed as f64).sqrt().ceil() as usize;
         let side = side.div_ceil(8) * 8;
-        HandwrittenParticle { particles, buckets: side, fill_per_bucket: fill, dt: 1e-3, radius: 1.0, loops }
+        HandwrittenParticle {
+            particles,
+            buckets: side,
+            fill_per_bucket: fill,
+            dt: 1e-3,
+            radius: 1.0,
+            loops,
+        }
     }
 
     fn offset(k: usize) -> (f64, f64) {
@@ -103,15 +110,12 @@ impl HandwrittenParticle {
                         for dj in -1..=1i64 {
                             for di in -1..=1i64 {
                                 let (ni, njj) = (bi + di, bj + dj);
-                                let neighbours: Vec<BaselineParticle> = if ni < 0
-                                    || njj < 0
-                                    || ni >= nb as i64
-                                    || njj >= nb as i64
-                                {
-                                    wall(ni as f64, njj as f64)
-                                } else {
-                                    snapshot[(njj * nb as i64 + ni) as usize].clone()
-                                };
+                                let neighbours: Vec<BaselineParticle> =
+                                    if ni < 0 || njj < 0 || ni >= nb as i64 || njj >= nb as i64 {
+                                        wall(ni as f64, njj as f64)
+                                    } else {
+                                        snapshot[(njj * nb as i64 + ni) as usize].clone()
+                                    };
                                 for q in &neighbours {
                                     if q.id == p.id {
                                         continue;

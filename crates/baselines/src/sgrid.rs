@@ -98,7 +98,10 @@ impl HandwrittenSGrid {
                 for x in 0..nx {
                     let v1 = self.alpha * mem.get(x, y);
                     let v2 = self.beta
-                        * (mem.get(x - 1, y) + mem.get(x + 1, y) + mem.get(x, y - 1) + mem.get(x, y + 1));
+                        * (mem.get(x - 1, y)
+                            + mem.get(x + 1, y)
+                            + mem.get(x, y - 1)
+                            + mem.get(x, y + 1));
                     mem.set(x, y, v1 + v2);
                     work.updates += 1;
                     work.reads += 5;

@@ -43,8 +43,7 @@ impl HandwrittenUsGrid {
     }
 
     fn storage_index(&self, x: i64, y: i64) -> usize {
-        let (sx, sy) =
-            self.layout.storage_of(x, y, self.region.nx as i64, self.region.ny as i64);
+        let (sx, sy) = self.layout.storage_of(x, y, self.region.nx as i64, self.region.ny as i64);
         (sy * self.region.nx as i64 + sx) as usize
     }
 
@@ -127,7 +126,8 @@ mod tests {
 
     #[test]
     fn work_accounting() {
-        let (_, work) = HandwrittenUsGrid::new(RegionSize::square(8), GridLayout::CaseC, 2, init).run();
+        let (_, work) =
+            HandwrittenUsGrid::new(RegionSize::square(8), GridLayout::CaseC, 2, init).run();
         assert_eq!(work.steps, 2);
         assert_eq!(work.updates, 2 * 64);
         assert_eq!(work.reads, 2 * 64 * 4);

@@ -40,9 +40,15 @@ fn bench_dry_run_ablation(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 black_box(
-                    run_platform(workload, ExecutionMode::PlatformMpi { ranks: 2 }, false, dry_run, scale)
-                        .report
-                        .total_retries(),
+                    run_platform(
+                        workload,
+                        ExecutionMode::PlatformMpi { ranks: 2 },
+                        false,
+                        dry_run,
+                        scale,
+                    )
+                    .report
+                    .total_retries(),
                 )
             })
         });
@@ -57,9 +63,8 @@ fn bench_skip_search_ablation(c: &mut Criterion) {
     let root = builder.add_empty(None);
     builder.add_arithmetic(root, Arc::new(|_| 0.0), true);
     let joint = builder.add_empty(Some(root));
-    let block = builder
-        .add_data(joint, GlobalAddress::new2d(0, 0), Extent::new2d(64, 64), 0)
-        .unwrap();
+    let block =
+        builder.add_data(joint, GlobalAddress::new2d(0, 0), Extent::new2d(64, 64), 0).unwrap();
     let env = builder.build();
     let mut group = c.benchmark_group("ablation_skip_search");
     group.bench_function("get_with_hint", |b| {
@@ -92,8 +97,7 @@ fn bench_tree_topology_ablation(c: &mut Criterion) {
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let system =
-                    UsGridSystem::with_block_size(region, 8, layout).with_topology(tree);
+                let system = UsGridSystem::with_block_size(region, 8, layout).with_topology(tree);
                 let app = UsGridJacobiApp::new(system.clone(), 1);
                 let outcome = Platform::new(ExecutionMode::PlatformDirect)
                     .run_system(Arc::new(system), app.factory());

@@ -112,8 +112,7 @@ fn bench_resolution_cache_on_platform(c: &mut Criterion) {
     group.bench_function("ir_app_with_resolution_cache", |b| {
         b.iter(|| {
             let system = Arc::new(SGridSystem::with_block_size(region, block));
-            let app =
-                IrStencilApp::new(StencilProgram::jacobi_5pt(), vec![0.5, 0.125], loops);
+            let app = IrStencilApp::new(StencilProgram::jacobi_5pt(), vec![0.5, 0.125], loops);
             black_box(
                 Platform::new(ExecutionMode::PlatformDirect)
                     .run_system(system, app.factory())

@@ -15,8 +15,19 @@ fn bench_dsl_kernels(c: &mut Criterion) {
     group.sample_size(10);
     let cases = [
         ("sgrid", Workload::SGrid { region: RegionSize::square(48) }, false),
-        ("usgrid_casec", Workload::UsGrid { region: RegionSize::square(48), layout: GridLayout::CaseC }, true),
-        ("usgrid_caser", Workload::UsGrid { region: RegionSize::square(48), layout: GridLayout::CaseR { seed: 42 } }, true),
+        (
+            "usgrid_casec",
+            Workload::UsGrid { region: RegionSize::square(48), layout: GridLayout::CaseC },
+            true,
+        ),
+        (
+            "usgrid_caser",
+            Workload::UsGrid {
+                region: RegionSize::square(48),
+                layout: GridLayout::CaseR { seed: 42 },
+            },
+            true,
+        ),
         ("particle", Workload::Particle { count: ParticleSize::new(512) }, false),
     ];
     for (name, workload, mmat) in cases {

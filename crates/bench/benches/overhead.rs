@@ -25,12 +25,20 @@ fn bench_overhead(c: &mut Criterion) {
     });
     group.bench_function("platform_direct", |b| {
         b.iter(|| {
-            black_box(run_platform(workload, ExecutionMode::PlatformDirect, false, true, scale).report.dispatches)
+            black_box(
+                run_platform(workload, ExecutionMode::PlatformDirect, false, true, scale)
+                    .report
+                    .dispatches,
+            )
         })
     });
     group.bench_function("platform_nop", |b| {
         b.iter(|| {
-            black_box(run_platform(workload, ExecutionMode::PlatformNop, false, true, scale).report.dispatches)
+            black_box(
+                run_platform(workload, ExecutionMode::PlatformNop, false, true, scale)
+                    .report
+                    .dispatches,
+            )
         })
     });
     group.bench_function("platform_mpi1", |b| {
@@ -45,9 +53,15 @@ fn bench_overhead(c: &mut Criterion) {
     group.bench_function("platform_omp1", |b| {
         b.iter(|| {
             black_box(
-                run_platform(workload, ExecutionMode::PlatformOmp { threads: 1 }, false, true, scale)
-                    .report
-                    .dispatches,
+                run_platform(
+                    workload,
+                    ExecutionMode::PlatformOmp { threads: 1 },
+                    false,
+                    true,
+                    scale,
+                )
+                .report
+                .dispatches,
             )
         })
     });

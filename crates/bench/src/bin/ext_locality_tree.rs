@@ -15,7 +15,10 @@ fn main() {
     let block = scale.grid_block_size();
     let loops = scale.loop_count();
 
-    println!("# Extension — Env-tree locality joints (§III-B3), USGrid CaseR {}, scale = {scale}", region.nx);
+    println!(
+        "# Extension — Env-tree locality joints (§III-B3), USGrid CaseR {}, scale = {scale}",
+        region.nx
+    );
     println!(
         "{:<22} {:>14} {:>18} {:>16} {:>12}",
         "topology", "env searches", "nodes visited", "sim time [ms]", "tree blocks"

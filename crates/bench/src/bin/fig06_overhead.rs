@@ -8,7 +8,9 @@ use aohpc_bench::{baseline_seconds, fig6_workloads, relative, run_handwritten, r
 fn main() {
     let scale = Scale::from_env();
     let cost = CostModel::default();
-    println!("# Fig. 6 — relative execution time vs Handwritten (=100%), single task, scale = {scale}");
+    println!(
+        "# Fig. 6 — relative execution time vs Handwritten (=100%), single task, scale = {scale}"
+    );
     println!(
         "{:<22} {:>12} {:>16} {:>16} {:>16} {:>16}",
         "benchmark", "mmat", "Platform", "Platform NOP", "Platform MPI", "Platform OMP"
@@ -24,7 +26,10 @@ fn main() {
     for workload in fig6_workloads(scale) {
         let handwritten = baseline_seconds(&run_handwritten(workload, scale), &cost);
         for mmat in [false, true] {
-            let mut cells = vec![format!("{:<22}", workload.label()), format!("{:>12}", if mmat { "w MMAT" } else { "w/o MMAT" })];
+            let mut cells = vec![
+                format!("{:<22}", workload.label()),
+                format!("{:>12}", if mmat { "w MMAT" } else { "w/o MMAT" }),
+            ];
             for mode in modes {
                 let outcome = run_platform(workload, mode, mmat, true, scale);
                 cells.push(format!("{:>15.0}%", relative(outcome.simulated_seconds, handwritten)));

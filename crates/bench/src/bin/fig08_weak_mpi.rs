@@ -3,7 +3,7 @@
 //! execution time relative to 1 rank (= 100%).
 
 use aohpc::prelude::*;
-use aohpc_bench::{relative, run_platform, Workload};
+use aohpc_bench::{relative, run_platform, WeakCase, Workload};
 
 fn main() {
     let scale = Scale::from_env();
@@ -18,7 +18,7 @@ fn main() {
     }
     println!();
 
-    let cases: Vec<(&str, Box<dyn Fn(usize) -> Workload>, bool)> = vec![
+    let cases: Vec<WeakCase> = vec![
         (
             "SGrid",
             Box::new(move |p: usize| {
@@ -48,8 +48,8 @@ fn main() {
         ),
         (
             "Particle",
-            Box::new(move |p: usize| {
-                Workload::Particle { count: ParticleSize::new(per_task_particles.count * p) }
+            Box::new(move |p: usize| Workload::Particle {
+                count: ParticleSize::new(per_task_particles.count * p),
             }),
             false,
         ),

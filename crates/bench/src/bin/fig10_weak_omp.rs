@@ -3,7 +3,7 @@
 //! (= 100%).
 
 use aohpc::prelude::*;
-use aohpc_bench::{relative, run_platform, Workload};
+use aohpc_bench::{relative, run_platform, WeakCase, Workload};
 
 fn main() {
     let scale = Scale::from_env();
@@ -21,7 +21,7 @@ fn main() {
     }
     println!();
 
-    let cases: Vec<(&str, Box<dyn Fn(usize) -> Workload>, bool)> = vec![
+    let cases: Vec<WeakCase> = vec![
         (
             "SGrid",
             Box::new(move |t: usize| {
@@ -51,8 +51,8 @@ fn main() {
         ),
         (
             "Particle",
-            Box::new(move |t: usize| {
-                Workload::Particle { count: ParticleSize::new(per_task_particles.count * t) }
+            Box::new(move |t: usize| Workload::Particle {
+                count: ParticleSize::new(per_task_particles.count * t),
             }),
             false,
         ),
@@ -62,13 +62,8 @@ fn main() {
         let mut baseline = None;
         print!("{:<26}", label);
         for &t in &threads {
-            let outcome = run_platform(
-                make(t),
-                ExecutionMode::PlatformOmp { threads: t },
-                mmat,
-                true,
-                scale,
-            );
+            let outcome =
+                run_platform(make(t), ExecutionMode::PlatformOmp { threads: t }, mmat, true, scale);
             let time = outcome.simulated_seconds;
             let base = *baseline.get_or_insert(time);
             print!(" {:>9.0}%", relative(time, base));

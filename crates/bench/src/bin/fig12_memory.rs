@@ -81,7 +81,10 @@ fn main() {
         label: "Particle H".into(),
         unused_pool_mb: 0.0,
         used_pool_mb: 0.0,
-        working_mb: mb((speeds.len() * 16 * std::mem::size_of::<aohpc_baselines::particle::BaselineParticle>()) as u64),
+        working_mb: mb((speeds.len()
+            * 16
+            * std::mem::size_of::<aohpc_baselines::particle::BaselineParticle>())
+            as u64),
     });
 
     // Platform: SGrid.

@@ -39,7 +39,10 @@ fn main() {
         let mut rows: Vec<(String, u64)> = Vec::new();
         for bin in find_binaries(&base) {
             let name = bin.file_name().unwrap().to_string_lossy().to_string();
-            if name.starts_with("size_probe") || name.starts_with("fig") || name.starts_with("table") {
+            if name.starts_with("size_probe")
+                || name.starts_with("fig")
+                || name.starts_with("table")
+            {
                 if let Some(kb) = size_kb(&bin) {
                     rows.push((format!("{profile}/{name}"), kb));
                 }

@@ -10,7 +10,17 @@ fn main() {
     println!("# Table II — lines of code without blanks and comments");
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let rows = [
-        ("Platform Part (aop + mem + env + runtime + core + kernel)", vec!["crates/aop/src", "crates/mem/src", "crates/env/src", "crates/runtime/src", "crates/core/src", "crates/kernel/src"]),
+        (
+            "Platform Part (aop + mem + env + runtime + core + kernel)",
+            vec![
+                "crates/aop/src",
+                "crates/mem/src",
+                "crates/env/src",
+                "crates/runtime/src",
+                "crates/core/src",
+                "crates/kernel/src",
+            ],
+        ),
         ("DSL Part (sgrid + usgrid + particle systems)", vec!["crates/dsl/src"]),
         ("App Part (end-user examples)", vec!["examples"]),
         ("Handwritten baselines", vec!["crates/baselines/src"]),
@@ -21,5 +31,7 @@ fn main() {
         println!("{label:<55} {total:>8}");
     }
     println!();
-    println!("(paper: Platform Part ~1.1-3.2k, DSL Part ~0.4-0.6k, App Part comparable to handwritten)");
+    println!(
+        "(paper: Platform Part ~1.1-3.2k, DSL Part ~0.4-0.6k, App Part comparable to handwritten)"
+    );
 }

@@ -109,8 +109,7 @@ pub fn run_handwritten(workload: Workload, scale: Scale) -> BaselineWork {
 /// Fig. 6 normalisation uses one time axis for every configuration.
 pub fn baseline_seconds(work: &BaselineWork, cost: &CostModel) -> f64 {
     let p = cost.params;
-    work.reads as f64 * p.t_read_skip
-        + work.updates as f64 * (p.t_write + p.t_cell_arithmetic)
+    work.reads as f64 * p.t_read_skip + work.updates as f64 * (p.t_write + p.t_cell_arithmetic)
 }
 
 /// Format a value as a percentage of a reference (the paper's relative
@@ -138,7 +137,14 @@ pub fn fig6_workloads(scale: Scale) -> Vec<Workload> {
 }
 
 /// The four workloads used by every scaling figure (Figs. 7–11).
-pub fn scaling_workloads(scale: Scale, region: RegionSize, particles: ParticleSize) -> Vec<(Workload, bool)> {
+/// One weak-scaling table row: label, per-task workload builder, MMAT flag.
+pub type WeakCase = (&'static str, Box<dyn Fn(usize) -> Workload>, bool);
+
+pub fn scaling_workloads(
+    scale: Scale,
+    region: RegionSize,
+    particles: ParticleSize,
+) -> Vec<(Workload, bool)> {
     let _ = scale;
     vec![
         (Workload::SGrid { region }, false),
@@ -167,7 +173,12 @@ pub fn count_loc(dir: &std::path::Path) -> usize {
                 total += text
                     .lines()
                     .map(str::trim)
-                    .filter(|l| !l.is_empty() && !l.starts_with("//") && !l.starts_with("//!") && !l.starts_with("///"))
+                    .filter(|l| {
+                        !l.is_empty()
+                            && !l.starts_with("//")
+                            && !l.starts_with("//!")
+                            && !l.starts_with("///")
+                    })
                     .count();
             }
         }
@@ -202,7 +213,8 @@ mod tests {
     fn smoke_platform_and_baseline_run() {
         let scale = Scale::Smoke;
         for w in fig6_workloads(scale) {
-            let outcome = run_platform(w, ExecutionMode::PlatformDirect, w.uses_mmat(), true, scale);
+            let outcome =
+                run_platform(w, ExecutionMode::PlatformDirect, w.uses_mmat(), true, scale);
             assert!(outcome.simulated_seconds > 0.0, "{}", w.label());
             let work = run_handwritten(w, scale);
             assert!(baseline_seconds(&work, &CostModel::default()) > 0.0);

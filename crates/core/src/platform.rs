@@ -222,8 +222,7 @@ mod tests {
     #[test]
     fn nop_weave_has_no_advice_but_dispatches() {
         let (system, app) = small_system();
-        let outcome =
-            Platform::new(ExecutionMode::PlatformNop).run_system(system, app.factory());
+        let outcome = Platform::new(ExecutionMode::PlatformNop).run_system(system, app.factory());
         assert!(outcome.report.dispatches > 0);
         assert_eq!(outcome.report.advised_dispatches, 0);
         assert!(outcome.weave.lines.is_empty());

@@ -5,11 +5,11 @@
 pub use crate::platform::{ExecutionMode, Platform, RunOutcome};
 
 pub use aohpc_aop::{Advice, AdviceBinding, Aspect, Pointcut, Weaver, WovenProgram};
+pub use aohpc_dsl::common::new_field_sink;
 pub use aohpc_dsl::{
     Bucket, DslSystem, FieldSink, Particle, ParticleApp, ParticleSystem, SGridJacobiApp,
     SGridSystem, UsCell, UsGridJacobiApp, UsGridSystem,
 };
-pub use aohpc_dsl::common::new_field_sink;
 pub use aohpc_env::{
     AccessState, Block, BlockId, BlockKind, Env, EnvBuilder, Extent, GlobalAddress, LocalAddress,
     TreeTopology,

@@ -1,6 +1,8 @@
 //! Shared machinery of the sample DSL processing systems.
 
-use aohpc_env::{Cell, Env, EnvBuilder, Extent, GlobalAddress, TilePlacement, TreeTopology, morton2d};
+use aohpc_env::{
+    morton2d, Cell, Env, EnvBuilder, Extent, GlobalAddress, TilePlacement, TreeTopology,
+};
 use aohpc_mem::PoolHandle;
 use parking_lot::Mutex;
 use std::collections::HashMap;

@@ -147,7 +147,11 @@ impl ParticleSystem {
         for k in 0..4 {
             b.push(Particle {
                 id: u32::MAX,
-                pos: [addr.x as f64 + 0.25 + 0.5 * (k % 2) as f64, addr.y as f64 + 0.25 + 0.5 * (k / 2) as f64, 0.5],
+                pos: [
+                    addr.x as f64 + 0.25 + 0.5 * (k % 2) as f64,
+                    addr.y as f64 + 0.25 + 0.5 * (k / 2) as f64,
+                    0.5,
+                ],
                 vel: [0.0; 3],
                 acc: [0.0; 3],
             });
@@ -311,9 +315,12 @@ impl ParticleApp {
                     let mut neighbours: Vec<Bucket> = Vec::with_capacity(9);
                     for dj in -1..=1i64 {
                         for di in -1..=1i64 {
-                            let inside =
-                                i + di >= 0 && j + dj >= 0 && i + di < bx && j + dj < by;
-                            neighbours.push(ctx.get(bid, LocalAddress::new2d(i + di, j + dj), inside));
+                            let inside = i + di >= 0 && j + dj >= 0 && i + di < bx && j + dj < by;
+                            neighbours.push(ctx.get(
+                                bid,
+                                LocalAddress::new2d(i + di, j + dj),
+                                inside,
+                            ));
                         }
                     }
                     let neighbour_refs: Vec<&Bucket> = neighbours.iter().collect();
@@ -356,8 +363,7 @@ impl ParticleApp {
                     let mut patch: Vec<Bucket> = Vec::with_capacity(25);
                     for dj in -2..=2i64 {
                         for di in -2..=2i64 {
-                            let inside =
-                                i + di >= 0 && j + dj >= 0 && i + di < bx && j + dj < by;
+                            let inside = i + di >= 0 && j + dj >= 0 && i + di < bx && j + dj < by;
                             patch.push(ctx.get(bid, LocalAddress::new2d(i + di, j + dj), inside));
                         }
                     }
@@ -411,13 +417,13 @@ impl ParticleApp {
             p.vel[d] += p.acc[d] * self.dt;
             p.pos[d] += p.vel[d] * self.dt;
         }
-        for d in 0..2 {
+        for (d, &dom) in domain.iter().enumerate() {
             if p.pos[d] < 0.0 {
                 p.pos[d] = -p.pos[d];
                 p.vel[d] = -p.vel[d];
             }
-            if p.pos[d] >= domain[d] {
-                p.pos[d] = 2.0 * domain[d] - p.pos[d];
+            if p.pos[d] >= dom {
+                p.pos[d] = 2.0 * dom - p.pos[d];
                 p.vel[d] = -p.vel[d];
             }
             p.pos[d] = p.pos[d].clamp(0.0, domain[d] - 1e-9);
@@ -585,12 +591,9 @@ mod tests {
         assert!(report.tasks.iter().all(|t| t.steps == loops as u64));
         let counts: std::collections::HashMap<(i64, i64), f64> =
             count_sink.lock().iter().map(|(a, c)| ((a.x, a.y), *c)).collect();
-        let mut out: Vec<((i64, i64), f64, f64)> = speed_sink
-            .lock()
-            .iter()
-            .map(|(a, s)| ((a.x, a.y), counts[&(a.x, a.y)], *s))
-            .collect();
-        out.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out: Vec<((i64, i64), f64, f64)> =
+            speed_sink.lock().iter().map(|(a, s)| ((a.x, a.y), counts[&(a.x, a.y)], *s)).collect();
+        out.sort_by_key(|&(key, _, _)| key);
         out
     }
 
@@ -618,7 +621,8 @@ mod tests {
 
     #[test]
     fn migration_is_identical_under_the_distributed_aspect() {
-        let serial = run_migrating(Topology::serial(), WovenProgram::unwoven(), 3, [1.5, -0.5, 0.0]);
+        let serial =
+            run_migrating(Topology::serial(), WovenProgram::unwoven(), 3, [1.5, -0.5, 0.0]);
         let woven = Weaver::new().with_aspect(Box::new(MpiAspect::<Bucket>::new())).weave();
         let topo = Topology::new(vec![aohpc_runtime::LayerSpec::distributed(2)]);
         let dist = run_migrating(topo, woven, 3, [1.5, -0.5, 0.0]);

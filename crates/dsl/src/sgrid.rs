@@ -279,7 +279,13 @@ mod tests {
         cur
     }
 
-    fn run(region: RegionSize, block: usize, topology: Topology, woven: WovenProgram, mmat: bool) -> Vec<f64> {
+    fn run(
+        region: RegionSize,
+        block: usize,
+        topology: Topology,
+        woven: WovenProgram,
+        mmat: bool,
+    ) -> Vec<f64> {
         let system = Arc::new(SGridSystem::with_block_size(region, block));
         let sink = new_field_sink();
         let app = SGridJacobiApp::new(4, block).with_sink(sink.clone());
@@ -337,9 +343,7 @@ mod tests {
             aohpc_env::TreeTopology::MortonGroups { blocks_per_joint: 2 },
             aohpc_env::TreeTopology::Quadtree { max_leaf_blocks: 1 },
         ] {
-            let system = Arc::new(
-                SGridSystem::with_block_size(region, 8).with_topology(tree),
-            );
+            let system = Arc::new(SGridSystem::with_block_size(region, 8).with_topology(tree));
             let sink = new_field_sink();
             let app = SGridJacobiApp::new(4, 8).with_sink(sink.clone());
             let report = execute(
@@ -378,9 +382,9 @@ mod tests {
             e
         });
         let topo = Topology::serial();
-        let shared =
-            Arc::new(aohpc_runtime::RankShared::new(topo.clone(), 0, None, true));
-        let mut ctx = TaskCtx::new(topo.slot(0, 0), env, shared, WovenProgram::unwoven(), true, false);
+        let shared = Arc::new(aohpc_runtime::RankShared::new(topo.clone(), 0, None, true));
+        let mut ctx =
+            TaskCtx::new(topo.slot(0, 0), env, shared, WovenProgram::unwoven(), true, false);
         let blocks = ctx.get_blocks();
         ctx.set_initial(blocks[0], LocalAddress::new2d(0, 0), 9.0);
         let mut view = SGridBlockView::new(&mut ctx, blocks[0]);

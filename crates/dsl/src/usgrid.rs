@@ -439,11 +439,12 @@ mod tests {
             );
             let mut field: Vec<(i64, i64, f64)> =
                 sink.lock().iter().map(|(a, v)| (a.x, a.y, *v)).collect();
-            field.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+            field.sort_by_key(|&(x, y, _)| (x, y));
             (report.total_counters().search_nodes_visited, field)
         };
         let (flat_visited, flat_field) = run_counting(TreeTopology::Flat);
-        let (quad_visited, quad_field) = run_counting(TreeTopology::Quadtree { max_leaf_blocks: 1 });
+        let (quad_visited, quad_field) =
+            run_counting(TreeTopology::Quadtree { max_leaf_blocks: 1 });
         assert_eq!(flat_field.len(), quad_field.len());
         for ((x1, y1, v1), (x2, y2, v2)) in flat_field.iter().zip(&quad_field) {
             assert_eq!((x1, y1), (x2, y2));

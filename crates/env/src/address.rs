@@ -12,7 +12,9 @@ use std::ops::{Add, Sub};
 
 /// A position in the global computation domain (may be outside it, e.g. for
 /// boundary accesses).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub struct GlobalAddress {
     /// X coordinate.
     pub x: i64,

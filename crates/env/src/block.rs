@@ -254,8 +254,7 @@ mod tests {
     fn catch_all_contains_everything() {
         let mut meta = BlockMeta::new(9, GlobalAddress::default(), Extent::new2d(0, 0));
         meta.catch_all = true;
-        let b: Block<f64> =
-            Block { meta, kind: BlockKind::Arithmetic(Arc::new(|_| 0.0)) };
+        let b: Block<f64> = Block { meta, kind: BlockKind::Arithmetic(Arc::new(|_| 0.0)) };
         assert!(b.contains(GlobalAddress::new2d(-100, 100)));
         assert!(b.contains(GlobalAddress::new2d(1 << 30, 0)));
         assert_eq!(b.cell_index(GlobalAddress::new2d(-1, 0)), None);

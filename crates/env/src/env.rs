@@ -89,7 +89,13 @@ impl<C: Cell> EnvBuilder<C> {
         self
     }
 
-    fn push(&mut self, parent: Option<BlockId>, origin: GlobalAddress, extent: Extent, kind: BlockKind<C>) -> BlockId {
+    fn push(
+        &mut self,
+        parent: Option<BlockId>,
+        origin: GlobalAddress,
+        extent: Extent,
+        kind: BlockKind<C>,
+    ) -> BlockId {
         let id = self.blocks.len();
         let mut meta = BlockMeta::new(id, origin, extent);
         meta.parent = parent;
@@ -130,7 +136,12 @@ impl<C: Cell> EnvBuilder<C> {
         extent: Extent,
         morton: u64,
     ) -> Result<BlockId, EnvError> {
-        let mb = MultiBuffer::allocate(extent.cells(), self.num_buffers, self.cells_per_page, &self.pool)?;
+        let mb = MultiBuffer::allocate(
+            extent.cells(),
+            self.num_buffers,
+            self.cells_per_page,
+            &self.pool,
+        )?;
         let id = self.push(Some(parent), origin, extent, BlockKind::Data(RwLock::new(mb)));
         self.blocks[id].meta.morton = Some(morton);
         self.blocks[id].meta.set_valid(true);
@@ -145,7 +156,12 @@ impl<C: Cell> EnvBuilder<C> {
         extent: Extent,
         morton: u64,
     ) -> Result<BlockId, EnvError> {
-        let mb = MultiBuffer::allocate(extent.cells(), self.num_buffers, self.cells_per_page, &self.pool)?;
+        let mb = MultiBuffer::allocate(
+            extent.cells(),
+            self.num_buffers,
+            self.cells_per_page,
+            &self.pool,
+        )?;
         let id = self.push(Some(parent), origin, extent, BlockKind::BufferOnly(RwLock::new(mb)));
         self.blocks[id].meta.morton = Some(morton);
         self.blocks[id].meta.set_valid(false);
@@ -168,13 +184,13 @@ impl<C: Cell> EnvBuilder<C> {
 
     /// Add an Arithmetic block.  With `catch_all = true` it matches every
     /// address not covered by other blocks (the usual boundary setup).
-    pub fn add_arithmetic(
-        &mut self,
-        parent: BlockId,
-        f: ArithFn<C>,
-        catch_all: bool,
-    ) -> BlockId {
-        let id = self.push(Some(parent), GlobalAddress::default(), Extent::new2d(0, 0), BlockKind::Arithmetic(f));
+    pub fn add_arithmetic(&mut self, parent: BlockId, f: ArithFn<C>, catch_all: bool) -> BlockId {
+        let id = self.push(
+            Some(parent),
+            GlobalAddress::default(),
+            Extent::new2d(0, 0),
+            BlockKind::Arithmetic(f),
+        );
         self.blocks[id].meta.catch_all = catch_all;
         self.blocks[id].meta.set_valid(true);
         id
@@ -188,7 +204,12 @@ impl<C: Cell> EnvBuilder<C> {
         map: RefMapFn,
         catch_all: bool,
     ) -> BlockId {
-        let id = self.push(Some(parent), GlobalAddress::default(), Extent::new2d(0, 0), BlockKind::Reference { target, map });
+        let id = self.push(
+            Some(parent),
+            GlobalAddress::default(),
+            Extent::new2d(0, 0),
+            BlockKind::Reference { target, map },
+        );
         self.blocks[id].meta.catch_all = catch_all;
         self.blocks[id].meta.set_valid(true);
         id
@@ -339,11 +360,7 @@ impl<C: Cell> Env<C> {
 
         let mut exclude = start;
         let mut current = start;
-        loop {
-            let parent = match self.blocks[current].meta.parent {
-                Some(p) => p,
-                None => break,
-            };
+        while let Some(parent) = self.blocks[current].meta.parent {
             for &child in &self.blocks[parent].meta.children {
                 if child == exclude {
                     continue;
@@ -370,7 +387,12 @@ impl<C: Cell> Env<C> {
         !matches!(self.blocks[id].kind, BlockKind::Empty)
     }
 
-    fn search_subtree(&self, id: BlockId, addr: GlobalAddress, visited: &mut u64) -> Option<BlockId> {
+    fn search_subtree(
+        &self,
+        id: BlockId,
+        addr: GlobalAddress,
+        visited: &mut u64,
+    ) -> Option<BlockId> {
         *visited += 1;
         let b = &self.blocks[id];
         if !b.meta.catch_all && self.holds_values(id) && b.contains(addr) {
@@ -1004,7 +1026,10 @@ mod tests {
             let payload = env_a.extract_page(bid, page).unwrap();
             env_b.install_page(data_b[2], page, &payload).unwrap();
         }
-        assert!(env_b.block(data_b[2]).meta.is_valid(), "block becomes valid once every page arrived");
+        assert!(
+            env_b.block(data_b[2]).meta.is_valid(),
+            "block becomes valid once every page arrived"
+        );
         let mut st = AccessState::new();
         let want = env_a.read_local(bid, LocalAddress::new2d(2, 2), false, &mut st).unwrap();
         let got = env_b.read_local(data_b[2], LocalAddress::new2d(2, 2), false, &mut st).unwrap();

@@ -86,8 +86,7 @@ mod tests {
     #[test]
     fn z_order_locality_property() {
         // The four blocks of a 2x2 quad share a contiguous Morton range.
-        let quad: Vec<u64> =
-            vec![morton2d(4, 6), morton2d(5, 6), morton2d(4, 7), morton2d(5, 7)];
+        let quad: Vec<u64> = vec![morton2d(4, 6), morton2d(5, 6), morton2d(4, 7), morton2d(5, 7)];
         let min = *quad.iter().min().unwrap();
         let max = *quad.iter().max().unwrap();
         assert_eq!(max - min, 3, "an aligned 2x2 quad occupies 4 consecutive codes");

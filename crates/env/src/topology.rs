@@ -71,19 +71,16 @@ fn bounding_box(tiles: &[&TilePlacement]) -> (GlobalAddress, Extent) {
     }
     (
         GlobalAddress::new3d(min.0, min.1, min.2),
-        Extent::new3d(
-            (max.0 - min.0) as usize,
-            (max.1 - min.1) as usize,
-            (max.2 - min.2) as usize,
-        ),
+        Extent::new3d((max.0 - min.0) as usize, (max.1 - min.1) as usize, (max.2 - min.2) as usize),
     )
 }
 
 /// How the data branch of the Env tree groups Data blocks under joints.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub enum TreeTopology {
     /// All data blocks under a single unbounded joint (the paper's default
     /// tree of Fig. 2a).
+    #[default]
     Flat,
     /// One level of bounded joints over runs of consecutive Z-order indices.
     MortonGroups {
@@ -96,12 +93,6 @@ pub enum TreeTopology {
         /// Maximum number of data blocks per leaf joint (≥ 1).
         max_leaf_blocks: usize,
     },
-}
-
-impl Default for TreeTopology {
-    fn default() -> Self {
-        TreeTopology::Flat
-    }
 }
 
 impl TreeTopology {

@@ -332,8 +332,7 @@ mod tests {
         }
 
         let app = IrStencilApp::new(StencilProgram::jacobi_5pt(), vec![ALPHA, BETA], 4);
-        let (ir_field, _) =
-            run_ir_app(region, 8, Topology::serial(), WovenProgram::unwoven(), app);
+        let (ir_field, _) = run_ir_app(region, 8, Topology::serial(), WovenProgram::unwoven(), app);
         close(&ir_field, &classic_field);
     }
 
@@ -348,8 +347,7 @@ mod tests {
                 .weave();
             let app = IrStencilApp::new(StencilProgram::jacobi_5pt(), vec![ALPHA, BETA], 3)
                 .with_processor(processor);
-            let (field, report) =
-                run_ir_app(region, 8, Topology::hybrid(2, 2), woven, app);
+            let (field, report) = run_ir_app(region, 8, Topology::hybrid(2, 2), woven, app);
             assert_eq!(report.tasks.len(), 4);
             close(&field, &want);
         }

@@ -104,10 +104,8 @@ fn load_slots(dag: &Dag, offsets: &[(i64, i64)]) -> Vec<usize> {
 
 /// Number of evaluated operations (non-leaf nodes) in a DAG.
 fn op_count(dag: &Dag) -> u64 {
-    dag.nodes()
-        .iter()
-        .filter(|n| matches!(n, Node::Unary { .. } | Node::Binary { .. }))
-        .count() as u64
+    dag.nodes().iter().filter(|n| matches!(n, Node::Unary { .. } | Node::Binary { .. })).count()
+        as u64
 }
 
 impl CompiledKernel {
@@ -339,7 +337,14 @@ mod tests {
             (0..nx * ny).map(|k| init((k % nx) as i64, (k / nx) as i64)).collect();
         let mut out = vec![0.0; nx * ny];
         let mut stats = ExecStats::default();
-        compiled.execute_block(&cells, &params, &mut |x, y| boundary(x, y), &mut out, proc, &mut stats);
+        compiled.execute_block(
+            &cells,
+            &params,
+            &mut |x, y| boundary(x, y),
+            &mut out,
+            proc,
+            &mut stats,
+        );
 
         for (i, (&got, &want)) in out.iter().zip(reference.values()).enumerate() {
             assert!(
@@ -397,13 +402,27 @@ mod tests {
         let mut out = vec![0.0; 256];
 
         let mut scalar = ExecStats::default();
-        compiled.execute_block(&cells, &[1.0, 0.0], &mut |_, _| 0.0, &mut out, Processor::Scalar, &mut scalar);
+        compiled.execute_block(
+            &cells,
+            &[1.0, 0.0],
+            &mut |_, _| 0.0,
+            &mut out,
+            Processor::Scalar,
+            &mut scalar,
+        );
         assert_eq!(scalar.vector_ops, 0);
         assert!(scalar.scalar_ops > 0);
         assert_eq!(scalar.offload_bytes_in, 0);
 
         let mut simd = ExecStats::default();
-        compiled.execute_block(&cells, &[1.0, 0.0], &mut |_, _| 0.0, &mut out, Processor::Simd, &mut simd);
+        compiled.execute_block(
+            &cells,
+            &[1.0, 0.0],
+            &mut |_, _| 0.0,
+            &mut out,
+            Processor::Simd,
+            &mut simd,
+        );
         assert!(simd.vector_ops > 0);
         assert!(simd.vector_ops < scalar.scalar_ops, "lanes amortise DAG evaluations");
         assert_eq!(simd.offload_bytes_in, 0);
@@ -437,7 +456,13 @@ mod tests {
     #[test]
     fn stats_merge_accumulates() {
         let mut a = ExecStats { blocks: 1, cells: 10, scalar_ops: 5, ..Default::default() };
-        let b = ExecStats { blocks: 2, cells: 20, vector_ops: 7, halo_fetches: 3, ..Default::default() };
+        let b = ExecStats {
+            blocks: 2,
+            cells: 20,
+            vector_ops: 7,
+            halo_fetches: 3,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.blocks, 3);
         assert_eq!(a.cells, 30);

@@ -117,8 +117,8 @@ mod tests {
     fn interpreted_jacobi_matches_manual_step() {
         let p = StencilProgram::jacobi_5pt();
         let mut f = DenseField::new(3, 3, ramp, |_, _| 0.0);
-        let expected_centre = 0.5 * f.get(1, 1)
-            + 0.125 * (f.get(1, 0) + f.get(0, 1) + f.get(2, 1) + f.get(1, 2));
+        let expected_centre =
+            0.5 * f.get(1, 1) + 0.125 * (f.get(1, 0) + f.get(0, 1) + f.get(2, 1) + f.get(1, 2));
         f.run_interpreted(&p, &[0.5, 0.125], 1);
         assert!((f.get(1, 1) - expected_centre).abs() < 1e-12);
     }

@@ -43,7 +43,10 @@ impl HeteroDispatcher {
         if let SchedulePolicy::Weighted(list) = &policy {
             assert!(!list.is_empty(), "weighted scheduling needs at least one processor");
             assert!(list.iter().all(|(_, w)| *w >= 0.0), "weights must be non-negative");
-            assert!(list.iter().map(|(_, w)| *w).sum::<f64>() > 0.0, "weights must not all be zero");
+            assert!(
+                list.iter().map(|(_, w)| *w).sum::<f64>() > 0.0,
+                "weights must not all be zero"
+            );
         }
         HeteroDispatcher { policy }
     }
@@ -82,11 +85,7 @@ impl HeteroDispatcher {
 
     /// Assign every block of a task, returning `(block, processor)` pairs.
     pub fn assign<B: Copy>(&self, blocks: &[B]) -> Vec<(B, Processor)> {
-        blocks
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| (b, self.processor_for(i, blocks.len())))
-            .collect()
+        blocks.iter().enumerate().map(|(i, &b)| (b, self.processor_for(i, blocks.len()))).collect()
     }
 }
 
@@ -201,7 +200,10 @@ mod tests {
     fn per_processor_stats_aggregate() {
         let mut stats = PerProcessorStats::default();
         stats.record(Processor::Scalar, &ExecStats { cells: 10, blocks: 1, ..Default::default() });
-        stats.record(Processor::Simd, &ExecStats { cells: 30, blocks: 2, vector_ops: 9, ..Default::default() });
+        stats.record(
+            Processor::Simd,
+            &ExecStats { cells: 30, blocks: 2, vector_ops: 9, ..Default::default() },
+        );
         stats.record(Processor::Scalar, &ExecStats { cells: 5, blocks: 1, ..Default::default() });
         assert_eq!(stats.get(Processor::Scalar).unwrap().cells, 15);
         assert_eq!(stats.get(Processor::Simd).unwrap().vector_ops, 9);

@@ -56,8 +56,8 @@ pub mod plan;
 pub mod program;
 
 pub use app::{
-    default_initial_value, new_stats_sink, new_stencil_field_sink, InitFn, IrStencilApp,
-    StatsSink, StencilFieldSink,
+    default_initial_value, new_stats_sink, new_stencil_field_sink, InitFn, IrStencilApp, StatsSink,
+    StencilFieldSink,
 };
 pub use backend::{ExecStats, Processor, LANES};
 pub use expr::{jacobi_5pt, lit, load, param, smooth_9pt, BinOp, KernelExpr, UnaryOp};

@@ -409,11 +409,8 @@ mod tests {
         // a*b and b*a must become the same node under full optimization.
         let e = load(1, 0) * load(0, 1) + load(0, 1) * load(1, 0);
         let dag = Dag::optimized(&e);
-        let muls = dag
-            .nodes()
-            .iter()
-            .filter(|n| matches!(n, Node::Binary { op: BinOp::Mul, .. }))
-            .count();
+        let muls =
+            dag.nodes().iter().filter(|n| matches!(n, Node::Binary { op: BinOp::Mul, .. })).count();
         assert_eq!(muls, 1);
     }
 
@@ -454,10 +451,22 @@ mod tests {
         ];
         leaf.prop_recursive(5, 64, 3, |inner| {
             prop_oneof![
-                (inner.clone(), inner.clone(), prop_oneof![
-                    Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Min), Just(BinOp::Max)
-                ])
-                    .prop_map(|(a, b, op)| KernelExpr::Binary { op, a: Box::new(a), b: Box::new(b) }),
+                (
+                    inner.clone(),
+                    inner.clone(),
+                    prop_oneof![
+                        Just(BinOp::Add),
+                        Just(BinOp::Sub),
+                        Just(BinOp::Mul),
+                        Just(BinOp::Min),
+                        Just(BinOp::Max)
+                    ]
+                )
+                    .prop_map(|(a, b, op)| KernelExpr::Binary {
+                        op,
+                        a: Box::new(a),
+                        b: Box::new(b)
+                    }),
                 inner.clone().prop_map(|a| -a),
                 inner.prop_map(|a| a.abs()),
             ]

@@ -248,14 +248,8 @@ mod tests {
         let in_block =
             corner.accesses.iter().filter(|a| matches!(a, ResolvedAccess::InBlock(_))).count();
         assert_eq!(in_block, 3);
-        assert!(corner
-            .accesses
-            .iter()
-            .any(|a| matches!(a, ResolvedAccess::Halo { x: 0, y: -1 })));
-        assert!(corner
-            .accesses
-            .iter()
-            .any(|a| matches!(a, ResolvedAccess::Halo { x: -1, y: 0 })));
+        assert!(corner.accesses.iter().any(|a| matches!(a, ResolvedAccess::Halo { x: 0, y: -1 })));
+        assert!(corner.accesses.iter().any(|a| matches!(a, ResolvedAccess::Halo { x: -1, y: 0 })));
         // An edge (not corner) cell has exactly one halo load for a 5-point
         // stencil.
         let edge = plan.boundary.iter().find(|c| c.x == 2 && c.y == 0).unwrap();
@@ -313,7 +307,10 @@ mod tests {
                     }
                 }
             }
-            assert!(seen.iter().all(|&s| s), "{nx}x{ny}: some cell is neither interior nor boundary");
+            assert!(
+                seen.iter().all(|&s| s),
+                "{nx}x{ny}: some cell is neither interior nor boundary"
+            );
         }
     }
 

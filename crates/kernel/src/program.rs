@@ -170,7 +170,8 @@ mod tests {
 
     #[test]
     fn rejects_overlong_stencils() {
-        let err = StencilProgram::with_max_radius("far", load(9, 0) + load(0, 0), 0, 4).unwrap_err();
+        let err =
+            StencilProgram::with_max_radius("far", load(9, 0) + load(0, 0), 0, 4).unwrap_err();
         assert_eq!(err, ProgramError::RadiusTooLarge { found: 9, max: 4 });
         assert!(err.to_string().contains("radius"));
     }

@@ -128,7 +128,8 @@ mod tests {
     #[test]
     fn default_processing_runs_warmup_plus_loops() {
         let (env, block) = setup();
-        let mut app = Counting { loops: 5, kernel_calls: 0, warmup_calls: 0, fail_first_n: 0, block };
+        let mut app =
+            Counting { loops: 5, kernel_calls: 0, warmup_calls: 0, fail_first_n: 0, block };
         let mut c = ctx(env);
         app.initialize(&mut c);
         app.processing(&mut c);
@@ -141,7 +142,8 @@ mod tests {
     #[test]
     fn failed_steps_are_reexecuted() {
         let (env, block) = setup();
-        let mut app = Counting { loops: 3, kernel_calls: 0, warmup_calls: 0, fail_first_n: 2, block };
+        let mut app =
+            Counting { loops: 3, kernel_calls: 0, warmup_calls: 0, fail_first_n: 2, block };
         let mut c = ctx(env);
         app.initialize(&mut c);
         app.processing(&mut c);
@@ -173,7 +175,8 @@ mod tests {
     #[test]
     fn initialization_is_visible_to_first_step() {
         let (env, block) = setup();
-        let mut app = Counting { loops: 2, kernel_calls: 0, warmup_calls: 0, fail_first_n: 0, block };
+        let mut app =
+            Counting { loops: 2, kernel_calls: 0, warmup_calls: 0, fail_first_n: 0, block };
         let mut c = ctx(env);
         app.initialize(&mut c);
         app.processing(&mut c);

@@ -151,11 +151,8 @@ impl<C: Cell> Aspect for MpiAspect<C> {
                         env.swap_owned_buffers(dm_task);
                         let threads = shared.topology.threads_per_rank();
                         for bid in env.buffer_block_ids() {
-                            let owner_rank = env
-                                .block(bid)
-                                .meta
-                                .dm_tid()
-                                .map(|t| t / threads.max(1));
+                            let owner_rank =
+                                env.block(bid).meta.dm_tid().map(|t| t / threads.max(1));
                             if owner_rank != Some(shared.rank) {
                                 let _ = env.set_block_valid(bid, false);
                             }
@@ -184,7 +181,8 @@ impl<C: Cell> Aspect for MpiAspect<C> {
                             by_rank.entry(owner_rank).or_default().push((bid, page));
                         }
                     }
-                    let requests: Vec<(usize, Vec<(BlockId, PageId)>)> = by_rank.into_iter().collect();
+                    let requests: Vec<(usize, Vec<(BlockId, PageId)>)> =
+                        by_rank.into_iter().collect();
 
                     let env_for_serve = env.clone();
                     let (pages, _) = comm.exchange(&requests, local_success, move |block, page| {

@@ -135,10 +135,7 @@ impl<C: Clone + Send + 'static> Communicator<C> {
     /// Receive the next message satisfying `wanted`, buffering everything
     /// else for later phases (messages from faster peers can arrive out of
     /// phase; see the protocol notes on [`Communicator::exchange`]).
-    fn recv_matching(
-        &mut self,
-        mut wanted: impl FnMut(&RankMessage<C>) -> bool,
-    ) -> RankMessage<C> {
+    fn recv_matching(&mut self, mut wanted: impl FnMut(&RankMessage<C>) -> bool) -> RankMessage<C> {
         if let Some(pos) = self.pending_requests.iter().position(&mut wanted) {
             return self.pending_requests.remove(pos).expect("position just found");
         }

@@ -99,7 +99,8 @@ impl CostModel {
             + (c.arithmetic_reads + c.static_reads + c.reference_reads) as f64 * p.t_boundary_read
             + c.out_of_block_reads as f64 * p.t_out_of_block_penalty;
         let arithmetic = c.writes as f64 * p.t_cell_arithmetic;
-        let contention = 1.0 + p.shared_contention_per_thread * (threads_sharing.saturating_sub(1)) as f64;
+        let contention =
+            1.0 + p.shared_contention_per_thread * (threads_sharing.saturating_sub(1)) as f64;
         memory * contention + arithmetic
     }
 

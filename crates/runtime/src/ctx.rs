@@ -302,7 +302,13 @@ impl<C: Cell> TaskCtx<C> {
             let mut payload = ();
             let attrs = [(attr::TASK_ID, self.slot.task_id as i64), (attr::WARMUP, 1)];
             let woven = self.woven.clone();
-            woven.dispatch_with(WARM_UP, JoinPointKind::Execution, &attrs, &mut payload, &mut |_| {});
+            woven.dispatch_with(
+                WARM_UP,
+                JoinPointKind::Execution,
+                &attrs,
+                &mut payload,
+                &mut |_| {},
+            );
         }
         self.warmup = true;
     }
@@ -329,7 +335,13 @@ impl<C: Cell> TaskCtx<C> {
         ];
         if self.use_weaver {
             let woven = self.woven.clone();
-            woven.dispatch_with(KERNEL_STEP, JoinPointKind::Execution, &attrs, &mut payload, &mut |_| {});
+            woven.dispatch_with(
+                KERNEL_STEP,
+                JoinPointKind::Execution,
+                &attrs,
+                &mut payload,
+                &mut |_| {},
+            );
         }
         let ok = body(self);
         if !warmup {
@@ -522,7 +534,11 @@ mod tests {
         let (env, ids) = tiny_env();
         let mut ctx = serial_ctx(env);
         ctx.set(ids[0], LocalAddress::new2d(1, 1), 3.5);
-        assert_eq!(ctx.get(ids[0], LocalAddress::new2d(1, 1), true), 0.0, "write buffer not visible yet");
+        assert_eq!(
+            ctx.get(ids[0], LocalAddress::new2d(1, 1), true),
+            0.0,
+            "write buffer not visible yet"
+        );
         assert!(ctx.refresh());
         assert_eq!(ctx.get(ids[0], LocalAddress::new2d(1, 1), true), 3.5);
         assert_eq!(ctx.get_dd(ids[0], LocalAddress::new2d(1, 1)), 3.5);
@@ -541,7 +557,7 @@ mod tests {
         );
         // Populate the MMAT memo, then begin_warmup must clear it.
         let _ = ctx.get(ids[0], LocalAddress::new2d(1, 0), false);
-        assert!(ctx.state.mmat.len() > 0);
+        assert!(!ctx.state.mmat.is_empty());
         ctx.begin_warmup();
         assert!(ctx.is_warmup());
         assert_eq!(ctx.state.mmat.len(), 0);

@@ -16,7 +16,9 @@ use crate::comm::Communicator;
 use crate::ctx::{MainPayload, ProcessingPayload, RankShared, TaskCtx};
 use crate::report::{RankReport, RunReport, TaskReport};
 use crate::task::{TaskSlot, Topology};
-use aohpc_aop::{attr, JoinPointCtx, JoinPointKind, WovenProgram, FINALIZE, INITIALIZE, MAIN, PROCESSING};
+use aohpc_aop::{
+    attr, JoinPointCtx, JoinPointKind, WovenProgram, FINALIZE, INITIALIZE, MAIN, PROCESSING,
+};
 use aohpc_env::{Cell, Env, EnvStats};
 use aohpc_mem::PoolStats;
 use parking_lot::Mutex;
@@ -201,7 +203,8 @@ where
                 use_weaver,
                 mmat,
             );
-            let init_attrs = [(attr::TASK_ID, master_slot.task_id as i64), (attr::RANK, rank as i64)];
+            let init_attrs =
+                [(attr::TASK_ID, master_slot.task_id as i64), (attr::RANK, rank as i64)];
             dispatch(
                 &woven,
                 use_weaver,
@@ -236,15 +239,9 @@ where
                     task_reports.lock().push(ctx.into_report());
                 })
             };
-            let mut processing_payload = ProcessingPayload {
-                threads,
-                run_thread,
-                runtime_log: runtime_log.clone(),
-            };
-            let proc_attrs = [
-                (attr::RANK, rank as i64),
-                (attr::PARALLELISM, threads as i64),
-            ];
+            let mut processing_payload =
+                ProcessingPayload { threads, run_thread, runtime_log: runtime_log.clone() };
+            let proc_attrs = [(attr::RANK, rank as i64), (attr::PARALLELISM, threads as i64)];
             dispatch(
                 &woven,
                 use_weaver,
@@ -276,11 +273,8 @@ where
     // The entry point: the distributed layer's aspect brackets it with
     // runtime init/finalise and spawns the ranks; without it, rank 0 runs
     // inline.
-    let mut main_payload = MainPayload {
-        ranks: topology.ranks(),
-        run_rank,
-        runtime_log: runtime_log.clone(),
-    };
+    let mut main_payload =
+        MainPayload { ranks: topology.ranks(), run_rank, runtime_log: runtime_log.clone() };
     let main_attrs = [(attr::PARALLELISM, topology.ranks() as i64)];
     dispatch(
         &woven,

@@ -145,8 +145,14 @@ mod tests {
         t1.state_bytes = 50;
         report.tasks = vec![t0, t1];
         report.ranks = vec![
-            RankReport { rank: 0, comm: CommStats { pages_sent: 3, bytes_sent: 24, ..Default::default() } },
-            RankReport { rank: 1, comm: CommStats { pages_sent: 2, bytes_sent: 16, ..Default::default() } },
+            RankReport {
+                rank: 0,
+                comm: CommStats { pages_sent: 3, bytes_sent: 24, ..Default::default() },
+            },
+            RankReport {
+                rank: 1,
+                comm: CommStats { pages_sent: 2, bytes_sent: 16, ..Default::default() },
+            },
         ];
         assert_eq!(report.total_counters().reads, 15);
         assert_eq!(report.total_counters().writes, 7);

@@ -26,8 +26,13 @@ fn build_env() -> Env<f64> {
     for by in 0..blocks_per_side {
         for bx in 0..blocks_per_side {
             let origin = GlobalAddress::new2d(bx as i64 * BLOCK, by as i64 * BLOCK);
-            b.add_data(joint, origin, Extent::new2d(BLOCK as usize, BLOCK as usize), aohpc_env::morton2d(bx, by))
-                .unwrap();
+            b.add_data(
+                joint,
+                origin,
+                Extent::new2d(BLOCK as usize, BLOCK as usize),
+                aohpc_env::morton2d(bx, by),
+            )
+            .unwrap();
         }
     }
     b.build()
@@ -101,7 +106,10 @@ fn reference_result() -> Vec<f64> {
         for y in 0..DOMAIN {
             for x in 0..DOMAIN {
                 let e = get(&cur, x, y);
-                let sum = get(&cur, x, y - 1) + get(&cur, x - 1, y) + get(&cur, x + 1, y) + get(&cur, x, y + 1);
+                let sum = get(&cur, x, y - 1)
+                    + get(&cur, x - 1, y)
+                    + get(&cur, x + 1, y)
+                    + get(&cur, x, y + 1);
                 next[y as usize * n + x as usize] = 0.5 * e + 0.125 * sum;
             }
         }

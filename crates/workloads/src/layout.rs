@@ -49,8 +49,7 @@ impl AffinePermutation {
         let a = if n <= 2 {
             1
         } else {
-            let mut a =
-                (0x9e37_79b9_7f4a_7c15u64 ^ seed.wrapping_mul(0x2545_f491_4f6c_dd1d)) % n;
+            let mut a = (0x9e37_79b9_7f4a_7c15u64 ^ seed.wrapping_mul(0x2545_f491_4f6c_dd1d)) % n;
             if a < 2 {
                 a = 2;
             }

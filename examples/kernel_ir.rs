@@ -14,8 +14,8 @@ use std::sync::Arc;
 
 fn main() {
     // 1. The subkernel as an expression: alpha * centre + beta * (N + W + E + S).
-    let expr = param(0) * load(0, 0)
-        + param(1) * (load(0, -1) + load(-1, 0) + load(1, 0) + load(0, 1));
+    let expr =
+        param(0) * load(0, 0) + param(1) * (load(0, -1) + load(-1, 0) + load(1, 0) + load(0, 1));
     let program = StencilProgram::new("jacobi-5pt", expr, 2).expect("valid subkernel");
     println!("subkernel      : {program}");
 
@@ -24,7 +24,11 @@ fn main() {
     let opt = app.opt_stats();
     println!(
         "optimizer      : {} tree nodes -> {} DAG nodes ({} CSE merges, {} folds, {} identities)",
-        opt.tree_nodes, opt.dag_nodes, opt.cse_merges, opt.constants_folded, opt.identities_simplified
+        opt.tree_nodes,
+        opt.dag_nodes,
+        opt.cse_merges,
+        opt.constants_folded,
+        opt.identities_simplified
     );
 
     // 3. Run it on the platform, heterogeneously: the accelerator takes half
@@ -52,7 +56,10 @@ fn main() {
         outcome.simulated_seconds * 1e3
     );
 
-    println!("{:<14} {:>10} {:>12} {:>12} {:>12} {:>14}", "backend", "blocks", "cells", "scalar ops", "vector ops", "offload bytes");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>12} {:>14}",
+        "backend", "blocks", "cells", "scalar ops", "vector ops", "offload bytes"
+    );
     for (name, stats) in stats_sink.lock().iter() {
         println!(
             "{:<14} {:>10} {:>12} {:>12} {:>12} {:>14}",

@@ -18,8 +18,8 @@ fn run(tree: TreeTopology) -> (f64, u64, u64, usize) {
     let system = UsGridSystem::with_block_size(region, 8, GridLayout::CaseR { seed: 42 })
         .with_topology(tree);
     let app = UsGridJacobiApp::new(system.clone(), 4);
-    let outcome = Platform::new(ExecutionMode::PlatformDirect)
-        .run_system(Arc::new(system), app.factory());
+    let outcome =
+        Platform::new(ExecutionMode::PlatformDirect).run_system(Arc::new(system), app.factory());
     let counters = outcome.report.total_counters();
     (
         outcome.simulated_seconds,

@@ -41,7 +41,10 @@ fn run_migration(mode: ExecutionMode) -> (f64, usize, usize) {
 
 fn main() {
     let (serial_speed, serial_time, _) = run(ExecutionMode::PlatformDirect);
-    println!("serial:  total particle speed {serial_speed:.6}, sim time {:.3} ms", serial_time * 1e3);
+    println!(
+        "serial:  total particle speed {serial_speed:.6}, sim time {:.3} ms",
+        serial_time * 1e3
+    );
 
     let (hybrid_speed, hybrid_time, tasks) =
         run(ExecutionMode::PlatformHybrid { ranks: 2, threads: 2 });

@@ -17,7 +17,10 @@ fn main() {
     // Listing-1-style kernel).
     let app = SGridJacobiApp::new(8, 32);
 
-    println!("{:<22} {:>8} {:>12} {:>14} {:>12}", "mode", "tasks", "steps", "sim time [ms]", "pages sent");
+    println!(
+        "{:<22} {:>8} {:>12} {:>14} {:>12}",
+        "mode", "tasks", "steps", "sim time [ms]", "pages sent"
+    );
     for mode in [
         ExecutionMode::PlatformDirect,
         ExecutionMode::PlatformNop,

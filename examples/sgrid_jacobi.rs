@@ -27,8 +27,8 @@ fn main() {
     let system = Arc::new(SGridSystem::with_block_size(region, block));
     let sink = new_field_sink();
     let app = SGridJacobiApp::new(loops, block).with_sink(sink.clone());
-    let outcome = Platform::new(ExecutionMode::PlatformMpi { ranks: 4 })
-        .run_system(system, app.factory());
+    let outcome =
+        Platform::new(ExecutionMode::PlatformMpi { ranks: 4 }).run_system(system, app.factory());
 
     let platform_checksum = checksum(sink.lock().iter().map(|(_, v)| *v));
     println!(

@@ -21,7 +21,10 @@ fn run(layout: GridLayout, mmat: bool) -> (f64, u64, u64) {
 }
 
 fn main() {
-    println!("{:<10} {:<8} {:>14} {:>14} {:>12}", "layout", "MMAT", "sim time [ms]", "env searches", "mmat hits");
+    println!(
+        "{:<10} {:<8} {:>14} {:>14} {:>12}",
+        "layout", "MMAT", "sim time [ms]", "env searches", "mmat hits"
+    );
     for layout in [GridLayout::CaseC, GridLayout::CaseR { seed: 42 }] {
         for mmat in [false, true] {
             let (secs, searches, hits) = run(layout, mmat);

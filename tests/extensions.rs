@@ -183,7 +183,7 @@ fn particle_migration_is_mode_invariant_and_conservative() {
         assert!(outcome.report.tasks.iter().all(|t| t.steps == 4), "{}", mode.label());
         let mut counts: Vec<((i64, i64), f64)> =
             count_sink.lock().iter().map(|(a, c)| ((a.x, a.y), *c)).collect();
-        counts.sort_by(|a, b| a.0.cmp(&b.0));
+        counts.sort_by_key(|&(key, _)| key);
         counts
     };
     let reference = run(ExecutionMode::PlatformDirect);

@@ -136,14 +136,19 @@ fn more_parallelism_reduces_simulated_time_for_all_dsls() {
         // SGrid
         let t = |mode: ExecutionMode| {
             let system = Arc::new(SGridSystem::with_block_size(region, 16));
-            Platform::new(mode).run_system(system, SGridJacobiApp::new(3, 16).factory()).simulated_seconds
+            Platform::new(mode)
+                .run_system(system, SGridJacobiApp::new(3, 16).factory())
+                .simulated_seconds
         };
         pairs.push((t(mode1), t(mode4)));
         // USGrid CaseC
         let t = |mode: ExecutionMode| {
             let system = UsGridSystem::with_block_size(region, 16, GridLayout::CaseC);
             let app = UsGridJacobiApp::new(system.clone(), 3);
-            Platform::new(mode).with_mmat(true).run_system(Arc::new(system), app.factory()).simulated_seconds
+            Platform::new(mode)
+                .with_mmat(true)
+                .run_system(Arc::new(system), app.factory())
+                .simulated_seconds
         };
         pairs.push((t(mode1), t(mode4)));
         // Particle

@@ -1,0 +1,29 @@
+//! Workspace-level smoke test: the `aohpc_suite` facade must keep re-exporting
+//! the platform entry points so examples and downstream users can rely on
+//! `aohpc_suite::prelude::*` alone.
+
+use aohpc_suite::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn prelude_reexports_platform_entry_points() {
+    // Using the names as types/values is the assertion: a missing re-export
+    // fails to compile.  `RunOutcome` is the annotated result type, and
+    // `ExecutionMode` + `Platform` drive a minimal end-to-end run.
+    let system = Arc::new(SGridSystem::with_block_size(RegionSize::square(16), 8));
+    let app = SGridJacobiApp::new(1, 8);
+    let outcome: RunOutcome =
+        Platform::new(ExecutionMode::PlatformDirect).run_system(system, app.factory());
+    assert_eq!(outcome.report.tasks.len(), 1);
+    assert!(outcome.simulated_seconds > 0.0);
+}
+
+#[test]
+fn facade_reexports_match_prelude() {
+    // The crate-root re-exports must be the same items as the prelude's.
+    fn assert_same_type<T>(_: fn() -> T, _: fn() -> T) {}
+    assert_same_type::<aohpc_suite::ExecutionMode>(
+        || aohpc_suite::ExecutionMode::PlatformDirect,
+        || ExecutionMode::PlatformDirect,
+    );
+}

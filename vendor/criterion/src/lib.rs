@@ -1,0 +1,234 @@
+//! Offline shim for `criterion`: a minimal benchmark harness exposing the
+//! subset of the criterion API the workspace benches use —
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! crates.io is unreachable in this build environment, so no statistics
+//! engine, plotting or HTML reports are provided; each benchmark runs a
+//! warm-up iteration plus `sample_size` timed samples and prints the mean,
+//! min and max wall-clock time per iteration.  Command-line compatibility:
+//! `--test`/`--quick` run each benchmark once (this is what `cargo test`
+//! passes to `harness = false` bench targets), `--bench` and other flags are
+//! accepted and ignored, and a positional argument filters benchmarks by
+//! substring, like the real crate.
+//!
+//! Swap in the real `criterion` (same manifest name) when the environment
+//! gains network access — bench sources need no changes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmarks actually executed by this process; see [`exit_if_filter_matched_nothing`].
+static BENCHES_RUN: AtomicUsize = AtomicUsize::new(0);
+
+/// Called by `criterion_main!` after all groups: if a positional filter was
+/// given but matched no benchmark id, fail loudly instead of exiting 0 having
+/// silently run nothing (e.g. a mistyped filter, or a flag value mistaken for
+/// a filter).
+pub fn exit_if_filter_matched_nothing() {
+    let config = Config::from_args();
+    if let Some(filter) = config.filter {
+        if BENCHES_RUN.load(Ordering::Relaxed) == 0 {
+            eprintln!("error: no benchmark matched filter {filter:?}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Harness configuration shared by every group in one bench binary.
+#[derive(Debug, Clone)]
+struct Config {
+    /// Run each benchmark exactly once, without timing output (used by
+    /// `cargo test` on `harness = false` targets, and by `--quick`).
+    test_mode: bool,
+    /// Substring filter over `group_name/bench_name` ids.
+    filter: Option<String>,
+}
+
+/// Real-criterion flags that consume a value; their value must not be
+/// mistaken for a positional benchmark filter.
+const VALUE_FLAGS: &[&str] = &[
+    "--baseline",
+    "--color",
+    "--confidence-level",
+    "--load-baseline",
+    "--measurement-time",
+    "--noise-threshold",
+    "--nresamples",
+    "--output-format",
+    "--profile-time",
+    "--sample-size",
+    "--save-baseline",
+    "--significance-level",
+    "--warm-up-time",
+];
+
+impl Config {
+    fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" | "--quick" => test_mode = true,
+                s if VALUE_FLAGS.contains(&s) => {
+                    // Flag is ignored by the shim, but its value must be
+                    // consumed so it does not become a filter.
+                    let _ = args.next();
+                }
+                s if s.starts_with('-') => {} // --bench and friends: accepted, ignored
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Self { test_mode, filter }
+    }
+}
+
+/// The benchmark manager handed to each `criterion_group!` function.
+pub struct Criterion {
+    config: Config,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { config: Config::from_args(), sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = name.into();
+        let samples = self.sample_size;
+        self.run_one(&id, samples, f);
+        self
+    }
+
+    fn run_one<F>(&self, id: &str, samples: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.config.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        BENCHES_RUN.fetch_add(1, Ordering::Relaxed);
+        let mut bencher = Bencher {
+            samples: if self.config.test_mode { 1 } else { samples },
+            durations: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.config.test_mode {
+            println!("test {id} ... ok");
+            return;
+        }
+        if bencher.durations.is_empty() {
+            println!("{id}: no samples recorded");
+            return;
+        }
+        let total: Duration = bencher.durations.iter().sum();
+        let mean = total / bencher.durations.len() as u32;
+        let min = bencher.durations.iter().min().copied().unwrap_or_default();
+        let max = bencher.durations.iter().max().copied().unwrap_or_default();
+        println!(
+            "{id}: mean {mean:?} min {min:?} max {max:?} ({} samples)",
+            bencher.durations.len()
+        );
+    }
+}
+
+/// A named collection of benchmarks sharing a sample-size override.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Register and immediately run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&id, samples, f);
+        self
+    }
+
+    /// Finish the group.  No-op in the shim; kept for API compatibility.
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, running it once as warm-up and then `sample_size`
+    /// measured times.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        black_box(routine()); // warm-up
+        self.durations.reserve(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+/// Bundle benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main()` running the given groups, mirroring
+/// `criterion::criterion_main!`.  Requires `harness = false` on the bench
+/// target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::exit_if_filter_matched_nothing();
+        }
+    };
+}

@@ -1,0 +1,35 @@
+//! Offline shim for `crossbeam`, backed by `std::sync::mpsc`.
+//!
+//! crates.io is unreachable in this build environment.  The workspace only
+//! uses `crossbeam::channel::{unbounded, Sender, Receiver}` to wire the
+//! simulated rank mesh, and `std`'s mpsc channel provides the same semantics
+//! for that pattern (clonable senders, blocking `recv`).  `select!`, bounded
+//! channels and the scoped-thread API are not reproduced; swap in the real
+//! crate if a later PR needs them.
+
+pub mod channel {
+    //! Multi-producer channels with the `crossbeam-channel` surface the
+    //! workspace uses.
+
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Create an unbounded MPSC channel, mirroring `crossbeam_channel::unbounded`.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn unbounded_fan_in() {
+            let (s, r) = super::unbounded();
+            let s2 = s.clone();
+            s.send(1).unwrap();
+            s2.send(2).unwrap();
+            drop((s, s2));
+            let mut got: Vec<i32> = r.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+        }
+    }
+}

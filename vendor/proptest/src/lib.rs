@@ -1,0 +1,92 @@
+//! Offline shim for `proptest`: a minimal property-based testing harness
+//! exposing the subset of the proptest API this workspace's tests use.
+//!
+//! crates.io is unreachable in this build environment, so this vendored crate
+//! provides: the [`Strategy`] trait with `prop_map` / `prop_recursive` /
+//! `boxed`, integer and float range strategies, a character-class string
+//! strategy, tuple strategies, [`collection::vec`], [`any`], `Just`,
+//! `prop_oneof!`, and the `proptest!` / `prop_assert*!` macros.
+//!
+//! Differences from the real crate, chosen for simplicity:
+//!
+//! - **Deterministic RNG.**  Each test derives its seed from its own name, so
+//!   failures reproduce exactly on every run and machine (CI included).
+//! - **No shrinking.**  A failing case reports the case index and message; the
+//!   deterministic RNG makes it reproducible without minimisation.
+//! - **Case count** defaults to 64 and can be raised via `PROPTEST_CASES`.
+//!
+//! Swap in the real `proptest` (same manifest name) when the environment
+//! gains network access — test sources need no changes.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections (`vec`).
+
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy producing `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait and [`any`] entry point.
+
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an arbitrary value of this type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy for any value of `T`, mirroring `proptest::arbitrary::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite, sign-symmetric values; avoids NaN/inf surprises.
+            (rng.unit() - 0.5) * 2e9
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            ((rng.unit() - 0.5) * 2e9) as f32
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude::*`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}

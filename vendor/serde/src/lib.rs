@@ -1,0 +1,19 @@
+//! Offline shim for the `serde` facade crate.
+//!
+//! crates.io is unreachable in this build environment.  The workspace uses
+//! serde only as `#[derive(Serialize)]` annotations on report/config structs
+//! (no serializer is ever invoked), so this shim supplies just enough for
+//! those annotations to compile: marker traits named `Serialize` and
+//! `Deserialize`, plus the no-op derive macros re-exported under the same
+//! names exactly like the real crate does with its `derive` feature.
+//!
+//! If a later PR needs real serialization, replace this shim with the real
+//! `serde` (same manifest name/version) — call sites need no changes.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

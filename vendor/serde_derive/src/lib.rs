@@ -1,0 +1,22 @@
+//! Offline shim for the `serde_derive` proc-macro crate.
+//!
+//! The build environment has no access to crates.io, and the workspace only
+//! uses `#[derive(Serialize)]` / `#[derive(Deserialize)]` as structured-output
+//! annotations — nothing drives an actual serializer, and no API takes a
+//! `Serialize` bound.  The derives therefore expand to nothing; the traits in
+//! the companion `serde` shim exist purely so the usual
+//! `use serde::{Serialize, Deserialize};` imports resolve.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
