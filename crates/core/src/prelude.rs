@@ -14,9 +14,17 @@ pub use aohpc_env::{
     AccessState, Block, BlockId, BlockKind, Env, EnvBuilder, Extent, GlobalAddress, LocalAddress,
     TreeTopology,
 };
+pub use aohpc_kernel::{
+    HeteroDispatcher, IrStencilApp, OptLevel, Processor, ProgramFingerprint, SchedulePolicy,
+    StencilProgram,
+};
 pub use aohpc_mem::{MemoryPool, MultiBuffer, PageTable, PoolHandle, PoolSet};
 pub use aohpc_runtime::{
-    CostModel, CostParams, HpcApp, LayerSpec, MpiAspect, OmpAspect, RunConfig, RunReport, TaskCtx,
-    TaskSlot, Topology,
+    CostModel, CostParams, HpcApp, LayerSpec, MpiAspect, OmpAspect, RunConfig, RunReport,
+    RunSummary, TaskCtx, TaskSlot, Topology,
+};
+pub use aohpc_service::{
+    BatchError, JobId, JobReport, JobSpec, KernelService, PlanCache, PlanCacheStats, ServiceConfig,
+    SessionCtx, SessionId, SessionMeter, SessionSpec, SubmitError,
 };
 pub use aohpc_workloads::{checksum, GridLayout, ParticleSize, RegionSize, Scale};

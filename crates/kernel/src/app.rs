@@ -21,7 +21,7 @@
 use crate::backend::{ExecStats, Processor};
 use crate::hetero::{HeteroDispatcher, PerProcessorStats};
 use crate::opt::{OptLevel, OptStats};
-use crate::plan::CompiledKernel;
+use crate::plan::{CompiledKernel, PlanSource};
 use crate::program::StencilProgram;
 use aohpc_env::{Extent, GlobalAddress, LocalAddress};
 use aohpc_runtime::{HpcApp, TaskCtx, TaskSlot};
@@ -60,6 +60,7 @@ pub struct IrStencilApp {
     init: InitFn,
     field_sink: Option<StencilFieldSink>,
     stats_sink: Option<StatsSink>,
+    plan_source: Option<Arc<dyn PlanSource>>,
     compiled: HashMap<(usize, usize), Arc<CompiledKernel>>,
 }
 
@@ -95,6 +96,7 @@ impl IrStencilApp {
             init: Arc::new(default_initial_value),
             field_sink: None,
             stats_sink: None,
+            plan_source: None,
             compiled: HashMap::new(),
         }
     }
@@ -134,6 +136,15 @@ impl IrStencilApp {
         self
     }
 
+    /// Resolve compiled plans through a shared [`PlanSource`] (e.g. the
+    /// service layer's sharded cache) instead of compiling privately.  Each
+    /// task instance still keeps a local memo per block shape, so the shared
+    /// source is consulted once per (task, shape), not once per step.
+    pub fn with_plan_source(mut self, source: Arc<dyn PlanSource>) -> Self {
+        self.plan_source = Some(source);
+        self
+    }
+
     /// The compile-time statistics of the program at this app's optimization
     /// level (nodes before/after, folds, CSE merges).
     pub fn opt_stats(&self) -> OptStats {
@@ -152,11 +163,11 @@ impl IrStencilApp {
         let key = (extent.nx, extent.ny);
         let program = &self.program;
         let level = self.opt_level;
-        Arc::clone(
-            self.compiled
-                .entry(key)
-                .or_insert_with(|| Arc::new(CompiledKernel::compile(program, extent, level))),
-        )
+        let source = self.plan_source.as_deref();
+        Arc::clone(self.compiled.entry(key).or_insert_with(|| match source {
+            Some(src) => src.plan_for(program, extent, level),
+            None => Arc::new(CompiledKernel::compile(program, extent, level)),
+        }))
     }
 }
 

@@ -223,6 +223,39 @@ impl KernelExpr {
         }
     }
 
+    /// Feed a canonical byte encoding of the expression into `sink`:
+    /// pre-order traversal, one tag byte per node kind, fixed-width
+    /// little-endian operands.  Constants are encoded by their IEEE-754 bits,
+    /// so `0.0` and `-0.0` — which compare equal but are not interchangeable
+    /// bit-for-bit under the optimizer — encode differently.  This is the
+    /// input to [`StencilProgram::fingerprint`](crate::program::StencilProgram::fingerprint).
+    pub(crate) fn encode_canonical(&self, sink: &mut impl FnMut(&[u8])) {
+        match self {
+            KernelExpr::Load { dx, dy } => {
+                sink(&[1]);
+                sink(&dx.to_le_bytes());
+                sink(&dy.to_le_bytes());
+            }
+            KernelExpr::Const(c) => {
+                sink(&[2]);
+                sink(&c.to_bits().to_le_bytes());
+            }
+            KernelExpr::Param(i) => {
+                sink(&[3]);
+                sink(&(*i as u64).to_le_bytes());
+            }
+            KernelExpr::Unary { op, a } => {
+                sink(&[4, *op as u8]);
+                a.encode_canonical(sink);
+            }
+            KernelExpr::Binary { op, a, b } => {
+                sink(&[5, *op as u8]);
+                a.encode_canonical(sink);
+                b.encode_canonical(sink);
+            }
+        }
+    }
+
     /// Evaluate the expression with `loads(dx, dy)` supplying field values and
     /// `params` the runtime parameters.  This is the reference semantics every
     /// optimized/compiled form must reproduce.

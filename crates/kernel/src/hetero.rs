@@ -9,6 +9,45 @@
 use crate::backend::{ExecStats, Processor};
 use serde::Serialize;
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a [`SchedulePolicy`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum ScheduleError {
+    /// A round-robin or weighted policy listed no processors.
+    EmptyProcessorList,
+    /// A weight is NaN or infinite.
+    NonFiniteWeight {
+        /// Index of the offending `(processor, weight)` entry.
+        index: usize,
+    },
+    /// A weight is negative.
+    NegativeWeight {
+        /// Index of the offending `(processor, weight)` entry.
+        index: usize,
+    },
+    /// Every weight is zero, so no processor would receive any block.
+    ZeroTotalWeight,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::EmptyProcessorList => {
+                write!(f, "scheduling needs at least one processor")
+            }
+            ScheduleError::NonFiniteWeight { index } => {
+                write!(f, "weight at index {index} is NaN or infinite")
+            }
+            ScheduleError::NegativeWeight { index } => {
+                write!(f, "weight at index {index} is negative")
+            }
+            ScheduleError::ZeroTotalWeight => write!(f, "weights must not all be zero"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
 
 /// How blocks are mapped onto processor backends.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -35,20 +74,50 @@ pub struct HeteroDispatcher {
 }
 
 impl HeteroDispatcher {
-    /// A dispatcher with the given policy.
+    /// Validate a policy into a dispatcher.
+    ///
+    /// Round-robin and weighted policies must list at least one processor;
+    /// weights must be finite and non-negative.  One normalization rule is
+    /// applied (and documented here): **zero-weight entries are dropped** —
+    /// a zero share means "this processor receives no blocks", so the entry
+    /// is removed rather than kept in the cumulative-share walk.  If every
+    /// entry is dropped the policy is rejected with
+    /// [`ScheduleError::ZeroTotalWeight`].
+    pub fn try_new(policy: SchedulePolicy) -> Result<Self, ScheduleError> {
+        let policy = match policy {
+            SchedulePolicy::RoundRobin(list) => {
+                if list.is_empty() {
+                    return Err(ScheduleError::EmptyProcessorList);
+                }
+                SchedulePolicy::RoundRobin(list)
+            }
+            SchedulePolicy::Weighted(list) => {
+                if list.is_empty() {
+                    return Err(ScheduleError::EmptyProcessorList);
+                }
+                for (index, (_, w)) in list.iter().enumerate() {
+                    if !w.is_finite() {
+                        return Err(ScheduleError::NonFiniteWeight { index });
+                    }
+                    if *w < 0.0 {
+                        return Err(ScheduleError::NegativeWeight { index });
+                    }
+                }
+                let kept: Vec<(Processor, f64)> =
+                    list.into_iter().filter(|(_, w)| *w > 0.0).collect();
+                if kept.is_empty() {
+                    return Err(ScheduleError::ZeroTotalWeight);
+                }
+                SchedulePolicy::Weighted(kept)
+            }
+            single => single,
+        };
+        Ok(HeteroDispatcher { policy })
+    }
+
+    /// [`HeteroDispatcher::try_new`], panicking on an invalid policy.
     pub fn new(policy: SchedulePolicy) -> Self {
-        if let SchedulePolicy::RoundRobin(list) = &policy {
-            assert!(!list.is_empty(), "round-robin needs at least one processor");
-        }
-        if let SchedulePolicy::Weighted(list) = &policy {
-            assert!(!list.is_empty(), "weighted scheduling needs at least one processor");
-            assert!(list.iter().all(|(_, w)| *w >= 0.0), "weights must be non-negative");
-            assert!(
-                list.iter().map(|(_, w)| *w).sum::<f64>() > 0.0,
-                "weights must not all be zero"
-            );
-        }
-        HeteroDispatcher { policy }
+        Self::try_new(policy).unwrap_or_else(|e| panic!("invalid schedule policy: {e}"))
     }
 
     /// Homogeneous execution on one backend.
@@ -194,6 +263,78 @@ mod tests {
     #[should_panic(expected = "at least one processor")]
     fn empty_round_robin_is_rejected() {
         HeteroDispatcher::new(SchedulePolicy::RoundRobin(vec![]));
+    }
+
+    #[test]
+    fn degenerate_weighted_policies_are_rejected() {
+        assert_eq!(
+            HeteroDispatcher::try_new(SchedulePolicy::Weighted(vec![])),
+            Err(ScheduleError::EmptyProcessorList)
+        );
+        assert_eq!(
+            HeteroDispatcher::try_new(SchedulePolicy::Weighted(vec![
+                (Processor::Scalar, 1.0),
+                (Processor::Simd, f64::NAN),
+            ])),
+            Err(ScheduleError::NonFiniteWeight { index: 1 })
+        );
+        assert_eq!(
+            HeteroDispatcher::try_new(SchedulePolicy::Weighted(vec![(
+                Processor::Scalar,
+                f64::INFINITY
+            )])),
+            Err(ScheduleError::NonFiniteWeight { index: 0 })
+        );
+        assert_eq!(
+            HeteroDispatcher::try_new(SchedulePolicy::Weighted(vec![
+                (Processor::Scalar, -0.5),
+                (Processor::Simd, 1.0),
+            ])),
+            Err(ScheduleError::NegativeWeight { index: 0 })
+        );
+        assert_eq!(
+            HeteroDispatcher::try_new(SchedulePolicy::Weighted(vec![
+                (Processor::Scalar, 0.0),
+                (Processor::Simd, 0.0),
+            ])),
+            Err(ScheduleError::ZeroTotalWeight)
+        );
+        assert_eq!(
+            HeteroDispatcher::try_new(SchedulePolicy::RoundRobin(vec![])),
+            Err(ScheduleError::EmptyProcessorList)
+        );
+        // Error values render a reason.
+        assert!(ScheduleError::ZeroTotalWeight.to_string().contains("zero"));
+        assert!(ScheduleError::EmptyProcessorList.to_string().contains("at least one"));
+    }
+
+    #[test]
+    fn zero_weight_entries_are_normalized_out() {
+        let d = HeteroDispatcher::try_new(SchedulePolicy::Weighted(vec![
+            (Processor::Simd, 0.0),
+            (Processor::Scalar, 2.0),
+        ]))
+        .unwrap();
+        // The documented rule: a zero share means "no blocks", so the entry
+        // disappears from the stored policy and every block goes elsewhere.
+        assert_eq!(d.policy(), &SchedulePolicy::Weighted(vec![(Processor::Scalar, 2.0)]));
+        for i in 0..8 {
+            assert_eq!(d.processor_for(i, 8), Processor::Scalar);
+        }
+    }
+
+    #[test]
+    fn valid_policies_pass_try_new() {
+        assert!(HeteroDispatcher::try_new(SchedulePolicy::Single(Processor::Simd)).is_ok());
+        assert!(
+            HeteroDispatcher::try_new(SchedulePolicy::RoundRobin(vec![Processor::Scalar])).is_ok()
+        );
+        let d = HeteroDispatcher::try_new(SchedulePolicy::Weighted(vec![
+            (Processor::Accelerator, 3.0),
+            (Processor::Scalar, 1.0),
+        ]))
+        .unwrap();
+        assert_eq!(d.processor_for(0, 16), Processor::Accelerator);
     }
 
     #[test]

@@ -62,10 +62,10 @@ pub use app::{
 pub use backend::{ExecStats, Processor, LANES};
 pub use expr::{jacobi_5pt, lit, load, param, smooth_9pt, BinOp, KernelExpr, UnaryOp};
 pub use field::DenseField;
-pub use hetero::{HeteroDispatcher, PerProcessorStats, SchedulePolicy};
+pub use hetero::{HeteroDispatcher, PerProcessorStats, ScheduleError, SchedulePolicy};
 pub use opt::{Dag, OptLevel, OptStats};
-pub use plan::{AccessPlan, CompiledKernel, ResolvedAccess};
-pub use program::{ProgramError, StencilProgram};
+pub use plan::{AccessPlan, CompiledKernel, PlanSource, ResolvedAccess};
+pub use program::{ProgramError, ProgramFingerprint, StencilProgram};
 
 /// Convenience re-exports for downstream users (examples, benches).
 pub mod prelude {
@@ -75,9 +75,9 @@ pub mod prelude {
     pub use crate::backend::{ExecStats, Processor};
     pub use crate::expr::{lit, load, param, KernelExpr};
     pub use crate::field::DenseField;
-    pub use crate::hetero::{HeteroDispatcher, PerProcessorStats, SchedulePolicy};
+    pub use crate::hetero::{HeteroDispatcher, PerProcessorStats, ScheduleError, SchedulePolicy};
     pub use crate::opt::{Dag, OptLevel, OptStats};
-    pub use crate::plan::{AccessPlan, CompiledKernel};
-    pub use crate::program::StencilProgram;
+    pub use crate::plan::{AccessPlan, CompiledKernel, PlanSource};
+    pub use crate::program::{ProgramFingerprint, StencilProgram};
     pub use aohpc_env::Extent;
 }

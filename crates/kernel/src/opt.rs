@@ -57,7 +57,7 @@ pub enum Node {
 }
 
 /// How aggressively [`Dag::lower`] rewrites the expression.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Default)]
 pub enum OptLevel {
     /// Hash-consing only (CSE); arithmetic is preserved bit-for-bit.
     None,

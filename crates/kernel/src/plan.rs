@@ -23,6 +23,24 @@ use crate::opt::{Dag, OptLevel};
 use crate::program::StencilProgram;
 use aohpc_env::Extent;
 use serde::Serialize;
+use std::sync::Arc;
+
+/// A provider of compiled kernels: given a program, a block shape and an
+/// optimization level, return the (possibly shared) compiled plan.
+///
+/// [`IrStencilApp`](crate::app::IrStencilApp) compiles privately by default;
+/// installing a `PlanSource` redirects every compile through it, which is how
+/// the multi-tenant service layer shares one plan cache across concurrent
+/// submissions of the same program.
+pub trait PlanSource: Send + Sync {
+    /// Resolve (compiling if needed) the plan for `(program, extent, level)`.
+    fn plan_for(
+        &self,
+        program: &StencilProgram,
+        extent: Extent,
+        level: OptLevel,
+    ) -> Arc<CompiledKernel>;
+}
 
 /// How one load of one boundary cell resolves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]

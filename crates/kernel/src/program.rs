@@ -9,6 +9,7 @@
 use crate::expr::KernelExpr;
 use serde::Serialize;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Errors produced while validating a program.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
@@ -46,6 +47,43 @@ impl fmt::Display for ProgramError {
 }
 
 impl std::error::Error for ProgramError {}
+
+/// A stable 128-bit structural fingerprint of a [`StencilProgram`].
+///
+/// Structurally identical programs (expression trees equal with constants
+/// compared at the IEEE-754 bit level, same declared parameter count) always
+/// share a fingerprint.  The program *name* is a reporting label and
+/// deliberately does **not** participate: a plan cache keyed on the
+/// fingerprint lets differently-named submissions of the same mathematics
+/// share one compiled kernel.  The converse holds only up to hash collision —
+/// FNV-1a is not collision-resistant, so code that maps a fingerprint back to
+/// a compiled artefact must verify with
+/// [`StencilProgram::same_structure`] (as the service plan cache does).
+///
+/// The value is computed with two independently-seeded FNV-1a passes over the
+/// canonical expression encoding, so it is stable across processes, platforms
+/// and releases of the standard library (unlike `DefaultHasher`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub struct ProgramFingerprint {
+    hi: u64,
+    lo: u64,
+}
+
+impl ProgramFingerprint {
+    /// The fingerprint as one 128-bit integer.
+    pub fn as_u128(&self) -> u128 {
+        (u128::from(self.hi) << 64) | u128::from(self.lo)
+    }
+}
+
+impl fmt::Display for ProgramFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// Maximum stencil radius accepted by default — larger stencils would need a
 /// halo deeper than one block, which the Env's Buffer-only-block protocol does
@@ -120,6 +158,33 @@ impl StencilProgram {
         self.radius
     }
 
+    /// Whether another program is structurally interchangeable with this one:
+    /// same expression tree (constants compared numerically) and same
+    /// declared parameter count, names ignored.  This is the ground truth the
+    /// fingerprint approximates — caches use it to verify a fingerprint hit.
+    pub fn same_structure(&self, other: &StencilProgram) -> bool {
+        self.num_params == other.num_params && self.expr == other.expr
+    }
+
+    /// The program's structural fingerprint (see [`ProgramFingerprint`]).
+    ///
+    /// Cheap enough to recompute on demand (one pass over the expression
+    /// tree), deterministic across processes, and independent of the
+    /// program's name.
+    pub fn fingerprint(&self) -> ProgramFingerprint {
+        let mut lo = FNV_OFFSET;
+        let mut hi = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+        let mut write = |bytes: &[u8]| {
+            for &b in bytes {
+                lo = (lo ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+                hi = (hi ^ u64::from(b ^ 0xa5)).wrapping_mul(FNV_PRIME);
+            }
+        };
+        write(&(self.num_params as u64).to_le_bytes());
+        self.expr.encode_canonical(&mut write);
+        ProgramFingerprint { hi, lo }
+    }
+
     /// Evaluate the program at one cell with `loads` supplying field values —
     /// the reference semantics used by tests and by the unoptimized
     /// interpreter backend.
@@ -137,6 +202,24 @@ impl StencilProgram {
     pub fn smooth_9pt() -> Self {
         StencilProgram::new("smooth-9pt", crate::expr::smooth_9pt(), 2)
             .expect("stock kernel is valid")
+    }
+}
+
+/// Hashes the name, parameter count and load-offset set.
+///
+/// Deliberately *not* the [`StencilProgram::fingerprint`]: `PartialEq`
+/// compares `f64` constants numerically (`0.0 == -0.0`) while the
+/// fingerprint distinguishes their bits, so hashing the fingerprint would
+/// break the `Hash`/`Eq` contract for programs differing only in a zero's
+/// sign.  The fields hashed here are equal whenever the programs are, which
+/// is all the contract needs — map lookups resolve residual collisions
+/// through `PartialEq`.  Plan caches should key on the fingerprint directly.
+impl Hash for StencilProgram {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.name.hash(state);
+        self.num_params.hash(state);
+        self.offsets.hash(state);
+        self.radius.hash(state);
     }
 }
 
@@ -187,6 +270,70 @@ mod tests {
     fn extra_declared_params_are_allowed() {
         let p = StencilProgram::new("extra", load(0, 0) * param(0), 4).unwrap();
         assert_eq!(p.num_params(), 4);
+    }
+
+    #[test]
+    fn fingerprint_is_structural_and_name_independent() {
+        let a = StencilProgram::new("a", load(0, 0) + param(0), 1).unwrap();
+        let b = StencilProgram::new("b", load(0, 0) + param(0), 1).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "name does not matter");
+        assert_eq!(a.fingerprint(), a.clone().fingerprint(), "stable under clone");
+
+        let shifted = StencilProgram::new("a", load(1, 0) + param(0), 1).unwrap();
+        assert_ne!(a.fingerprint(), shifted.fingerprint(), "offsets matter");
+        let swapped = StencilProgram::new("a", param(0) + load(0, 0), 1).unwrap();
+        assert_ne!(a.fingerprint(), swapped.fingerprint(), "operand order matters");
+        let more_params = StencilProgram::new("a", load(0, 0) + param(0), 2).unwrap();
+        assert_ne!(a.fingerprint(), more_params.fingerprint(), "declared params matter");
+        let other_const = StencilProgram::new("c", load(0, 0) + lit(1.0), 0).unwrap();
+        let other_const2 = StencilProgram::new("c", load(0, 0) + lit(1.5), 0).unwrap();
+        assert_ne!(other_const.fingerprint(), other_const2.fingerprint(), "constants matter");
+    }
+
+    #[test]
+    fn same_structure_ignores_names_but_not_structure() {
+        let a = StencilProgram::new("a", load(0, 0) + param(0), 1).unwrap();
+        let b = StencilProgram::new("b", load(0, 0) + param(0), 1).unwrap();
+        assert!(a.same_structure(&b), "names are labels");
+        let shifted = StencilProgram::new("a", load(1, 0) + param(0), 1).unwrap();
+        assert!(!a.same_structure(&shifted));
+        let more_params = StencilProgram::new("a", load(0, 0) + param(0), 2).unwrap();
+        assert!(!a.same_structure(&more_params));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_processes() {
+        // Pinned value: the fingerprint is part of the plan-cache key and must
+        // not drift between builds (it is FNV-1a over a canonical encoding,
+        // not DefaultHasher).  Update this constant only with a deliberate
+        // cache-format change.
+        let p = StencilProgram::jacobi_5pt();
+        assert_eq!(p.fingerprint().to_string(), "8156f965671e84dfdbfd78a4365e8f99");
+        assert_eq!(p.fingerprint().to_string(), format!("{:032x}", p.fingerprint().as_u128()));
+        assert_eq!(p.fingerprint(), StencilProgram::jacobi_5pt().fingerprint());
+    }
+
+    #[test]
+    fn hash_respects_the_partial_eq_contract() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |p: &StencilProgram| {
+            let mut s = DefaultHasher::new();
+            p.hash(&mut s);
+            s.finish()
+        };
+        let a = StencilProgram::new("same", load(0, 0) * param(0), 1).unwrap();
+        let b = StencilProgram::new("same", load(0, 0) * param(0), 1).unwrap();
+        assert_eq!(h(&a), h(&b));
+        let renamed = StencilProgram::new("other", load(0, 0) * param(0), 1).unwrap();
+        assert_ne!(h(&a), h(&renamed), "the name participates in Hash");
+        // The f64 edge the fingerprint must distinguish but Hash must not:
+        // 0.0 and -0.0 compare equal, so equal programs must hash equal.
+        let pos = StencilProgram::new("z", load(0, 0) + lit(0.0), 0).unwrap();
+        let neg = StencilProgram::new("z", load(0, 0) + lit(-0.0), 0).unwrap();
+        assert_eq!(pos, neg, "PartialEq is numeric");
+        assert_eq!(h(&pos), h(&neg), "Hash must follow PartialEq");
+        assert_ne!(pos.fingerprint(), neg.fingerprint(), "the plan key stays bit-level");
     }
 
     #[test]

@@ -40,5 +40,5 @@ pub use comm::{CommStats, Communicator, PagePayload, RankMessage};
 pub use cost::{CostModel, CostParams};
 pub use ctx::{RankShared, TaskCtx};
 pub use driver::{execute, RunConfig, WeaveMode};
-pub use report::{RankReport, RunReport, TaskReport};
+pub use report::{RankReport, RunReport, RunSummary, TaskReport};
 pub use task::{LayerKind, LayerSpec, TaskSlot, Topology};

@@ -57,6 +57,36 @@ pub struct RankReport {
     pub comm: CommStats,
 }
 
+/// A compact, owner-free digest of a [`RunReport`].
+///
+/// The service layer attaches one of these to every job result: shipping the
+/// full `RunReport` (per-task counter vectors, runtime event log) per job
+/// would dominate the result queue, while the summary carries exactly the
+/// figures the metering, admission and cost paths consume.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RunSummary {
+    /// Tasks that executed.
+    pub tasks: usize,
+    /// Ranks that executed.
+    pub ranks: usize,
+    /// Completed steps of the slowest task.
+    pub steps: u64,
+    /// Re-executed steps over all tasks.
+    pub retries: u64,
+    /// Platform reads over all tasks.
+    pub reads: u64,
+    /// Platform writes over all tasks.
+    pub writes: u64,
+    /// Pages shipped between ranks.
+    pub pages_sent: u64,
+    /// Payload bytes shipped between ranks.
+    pub bytes_sent: u64,
+    /// Join-point dispatches performed.
+    pub dispatches: u64,
+    /// Wall-clock time of the run.
+    pub wall_time: Duration,
+}
+
 /// The complete outcome of one run.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunReport {
@@ -94,6 +124,23 @@ impl RunReport {
             dispatches: 0,
             advised_dispatches: 0,
             runtime_events: Vec::new(),
+        }
+    }
+
+    /// Digest the report into a [`RunSummary`].
+    pub fn summary(&self) -> RunSummary {
+        let counters = self.total_counters();
+        RunSummary {
+            tasks: self.tasks.len(),
+            ranks: self.ranks.len(),
+            steps: self.tasks.iter().map(|t| t.steps).max().unwrap_or(0),
+            retries: self.total_retries(),
+            reads: counters.reads,
+            writes: counters.writes,
+            pages_sent: self.total_pages_sent(),
+            bytes_sent: self.total_bytes_sent(),
+            dispatches: self.dispatches,
+            wall_time: self.wall_time,
         }
     }
 
@@ -160,6 +207,40 @@ mod tests {
         assert_eq!(report.total_bytes_sent(), 40);
         assert_eq!(report.total_retries(), 1);
         assert_eq!(report.working_memory_bytes(), 150);
+    }
+
+    #[test]
+    fn summary_digests_the_report() {
+        let topo = Topology::hybrid(2, 1);
+        let mut report = RunReport::empty(topo.clone());
+        let mut t0 = TaskReport::empty(topo.slot(0, 0));
+        t0.counters.reads = 10;
+        t0.counters.writes = 4;
+        t0.steps = 3;
+        let mut t1 = TaskReport::empty(topo.slot(1, 0));
+        t1.counters.reads = 6;
+        t1.steps = 5;
+        t1.retries = 2;
+        report.tasks = vec![t0, t1];
+        report.ranks = vec![
+            RankReport {
+                rank: 0,
+                comm: CommStats { pages_sent: 3, bytes_sent: 24, ..Default::default() },
+            },
+            RankReport { rank: 1, comm: CommStats::default() },
+        ];
+        report.dispatches = 9;
+        let s = report.summary();
+        assert_eq!(s.tasks, 2);
+        assert_eq!(s.ranks, 2);
+        assert_eq!(s.steps, 5, "slowest task's completed steps");
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.reads, 16);
+        assert_eq!(s.writes, 4);
+        assert_eq!(s.pages_sent, 3);
+        assert_eq!(s.bytes_sent, 24);
+        assert_eq!(s.dispatches, 9);
+        assert_eq!(RunReport::empty(Topology::serial()).summary().steps, 0);
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! The sharded compiled-plan cache.
+//!
+//! The paper's future-work "cache of data access resolution" is reified
+//! per-process by [`CompiledKernel::compile`]; this module makes it a shared,
+//! concurrent resource: plans are keyed by the *structural* program
+//! fingerprint plus block shape and optimization level, so concurrent tenants
+//! submitting the same mathematics share one `Arc<CompiledKernel>` instead of
+//! each paying the compile.
+//!
+//! Design points:
+//!
+//! * **Sharding.**  Keys hash onto `N` independent `Mutex<HashMap>` shards,
+//!   so unrelated programs never contend on one lock.
+//! * **Single-flight compilation.**  A miss compiles *while holding the shard
+//!   lock*: concurrent requests for the same key serialize behind the first
+//!   one and then hit, so each distinct plan is compiled exactly once (the
+//!   invariant the multi-tenant integration test asserts).  Other shards stay
+//!   available throughout.
+//! * **Bounded LRU.**  Each shard holds at most `ceil(capacity / shards)`
+//!   entries; inserting past that evicts the least-recently-used entry of the
+//!   shard.  Recency is a global atomic tick, not a clock, so behaviour is
+//!   deterministic under test.
+
+use aohpc_env::Extent;
+use aohpc_kernel::{CompiledKernel, OptLevel, PlanSource, ProgramFingerprint, StencilProgram};
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cache key: what makes two compilations interchangeable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Structural fingerprint of the program (name-independent).
+    pub fingerprint: ProgramFingerprint,
+    /// Block width the plan was compiled for.
+    pub nx: usize,
+    /// Block height the plan was compiled for.
+    pub ny: usize,
+    /// Optimization level the DAG was lowered at.
+    pub level: OptLevel,
+}
+
+/// Counters of one cache (point-in-time snapshot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct PlanCacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+    /// Lookups whose fingerprint matched a resident entry for a *different*
+    /// program (hash collision); served by an uncached compile.
+    pub collisions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct Entry {
+    /// The program the kernel was compiled from, kept to verify hits:
+    /// FNV-1a fingerprints are not collision-resistant, and in a multi-tenant
+    /// cache a false hit would silently serve another tenant's kernel.
+    program: StencilProgram,
+    kernel: Arc<CompiledKernel>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<PlanKey, Entry>,
+}
+
+/// A sharded, LRU-bounded cache of compiled kernels.
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    collisions: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache of `shards` independent shards holding at most `capacity`
+    /// plans in total (rounded up to a whole number per shard).
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        assert!(shards > 0, "the cache needs at least one shard");
+        assert!(capacity >= shards, "capacity must allow one entry per shard");
+        PlanCache {
+            shard_capacity: capacity.div_ceil(shards),
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &PlanKey) -> &Mutex<Shard> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Resolve the plan for `(program, extent, level)`, compiling on a miss.
+    ///
+    /// Returns the shared kernel and whether the lookup was a hit.
+    pub fn get_or_compile(
+        &self,
+        program: &StencilProgram,
+        extent: Extent,
+        level: OptLevel,
+    ) -> (Arc<CompiledKernel>, bool) {
+        let key =
+            PlanKey { fingerprint: program.fingerprint(), nx: extent.nx, ny: extent.ny, level };
+        let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut shard = self.shard_for(&key).lock();
+        if let Some(entry) = shard.entries.get_mut(&key) {
+            // Verify the hit: the fingerprint is a hash, and serving a
+            // colliding tenant another program's kernel would be a silent
+            // wrong answer.  A collision falls through to an uncached
+            // compile (the resident entry keeps its slot).
+            if entry.program.same_structure(program) {
+                entry.last_used = now;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (Arc::clone(&entry.kernel), true);
+            }
+            self.collisions.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return (Arc::new(CompiledKernel::compile(program, extent, level)), false);
+        }
+        // Single-flight: compile under the shard lock (see module docs).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let kernel = Arc::new(CompiledKernel::compile(program, extent, level));
+        if shard.entries.len() >= self.shard_capacity {
+            if let Some(victim) =
+                shard.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| *k)
+            {
+                shard.entries.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.entries.insert(
+            key,
+            Entry { program: program.clone(), kernel: Arc::clone(&kernel), last_used: now },
+        );
+        (kernel, false)
+    }
+
+    /// Whether a key is currently resident (does not touch recency).
+    pub fn contains(&self, key: &PlanKey) -> bool {
+        self.shard_for(key).lock().entries.contains_key(key)
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            collisions: self.collisions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+impl PlanSource for PlanCache {
+    fn plan_for(
+        &self,
+        program: &StencilProgram,
+        extent: Extent,
+        level: OptLevel,
+    ) -> Arc<CompiledKernel> {
+        self.get_or_compile(program, extent, level).0
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("shards", &self.shards.len())
+            .field("shard_capacity", &self.shard_capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aohpc_kernel::{load, param, StencilProgram};
+    use std::thread;
+
+    fn program(name: &str, dx: i64) -> StencilProgram {
+        StencilProgram::new(name, load(0, 0) + load(dx, 0) * param(0), 1).unwrap()
+    }
+
+    #[test]
+    fn hit_after_miss_shares_the_same_kernel() {
+        let cache = PlanCache::new(4, 16);
+        let p = program("p", 1);
+        let (a, hit_a) = cache.get_or_compile(&p, Extent::new2d(8, 8), OptLevel::Full);
+        let (b, hit_b) = cache.get_or_compile(&p, Extent::new2d(8, 8), OptLevel::Full);
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b), "hits return the same compiled kernel");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn key_is_fingerprint_extent_and_level() {
+        let cache = PlanCache::new(2, 16);
+        let p = program("named-one-way", 1);
+        let renamed = program("named-another-way", 1);
+        cache.get_or_compile(&p, Extent::new2d(8, 8), OptLevel::Full);
+        // Same structure under a different name: a hit (the anti-collision
+        // verification compares structure, not the name label).
+        let (_, hit) = cache.get_or_compile(&renamed, Extent::new2d(8, 8), OptLevel::Full);
+        assert!(hit, "the cache keys on structure, not the name label");
+        assert_eq!(cache.stats().collisions, 0);
+        // Different shape or level: misses.
+        let (_, hit) = cache.get_or_compile(&p, Extent::new2d(8, 4), OptLevel::Full);
+        assert!(!hit);
+        let (_, hit) = cache.get_or_compile(&p, Extent::new2d(8, 8), OptLevel::None);
+        assert!(!hit);
+        // Different structure: a miss.
+        let (_, hit) = cache.get_or_compile(&program("p", 2), Extent::new2d(8, 8), OptLevel::Full);
+        assert!(!hit);
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn lru_eviction_bounds_each_shard() {
+        // One shard, two slots: inserting a third evicts the least recently
+        // used.
+        let cache = PlanCache::new(1, 2);
+        let (p1, p2, p3) = (program("p1", 1), program("p2", 2), program("p3", 3));
+        let ext = Extent::new2d(8, 8);
+        cache.get_or_compile(&p1, ext, OptLevel::Full);
+        cache.get_or_compile(&p2, ext, OptLevel::Full);
+        // Touch p1 so p2 becomes the LRU victim.
+        let (_, hit) = cache.get_or_compile(&p1, ext, OptLevel::Full);
+        assert!(hit);
+        cache.get_or_compile(&p3, ext, OptLevel::Full);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        let key = |p: &StencilProgram| PlanKey {
+            fingerprint: p.fingerprint(),
+            nx: 8,
+            ny: 8,
+            level: OptLevel::Full,
+        };
+        assert!(cache.contains(&key(&p1)), "recently used survives");
+        assert!(!cache.contains(&key(&p2)), "LRU entry evicted");
+        assert!(cache.contains(&key(&p3)));
+        // The evicted plan recompiles on next use.
+        let (_, hit) = cache.get_or_compile(&p2, ext, OptLevel::Full);
+        assert!(!hit);
+    }
+
+    #[test]
+    fn concurrent_same_key_compiles_exactly_once() {
+        let cache = Arc::new(PlanCache::new(8, 64));
+        let p = StencilProgram::jacobi_5pt();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let p = p.clone();
+            handles.push(thread::spawn(move || {
+                cache.get_or_compile(&p, Extent::new2d(16, 16), OptLevel::Full).0
+            }));
+        }
+        let kernels: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for k in &kernels[1..] {
+            assert!(Arc::ptr_eq(&kernels[0], k));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "single-flight: one compilation total");
+        assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn plan_source_trait_resolves_through_the_cache() {
+        let cache = PlanCache::new(2, 8);
+        let p = StencilProgram::jacobi_5pt();
+        let a = cache.plan_for(&p, Extent::new2d(8, 8), OptLevel::Full);
+        let b = cache.plan_for(&p, Extent::new2d(8, 8), OptLevel::Full);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().hits, 1);
+        assert!(!cache.is_empty());
+        assert_eq!(cache.shard_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        PlanCache::new(0, 8);
+    }
+}

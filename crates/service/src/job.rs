@@ -1,0 +1,179 @@
+//! Job descriptions and results.
+//!
+//! A [`JobSpec`] is everything one submission needs: the program, its runtime
+//! parameters, the region to sweep, how it is blocked, how many steps to run,
+//! and the execution knobs the one-shot harnesses already understand
+//! ([`SchedulePolicy`], [`Topology`], [`WeaveMode`], [`OptLevel`]).  A
+//! [`JobReport`] is the compact result the service hands back per job.
+
+use crate::session::SessionId;
+use aohpc_kernel::{OptLevel, ProgramFingerprint, SchedulePolicy, StencilProgram};
+use aohpc_runtime::{RunSummary, Topology, WeaveMode};
+use aohpc_workloads::{RegionSize, Scale};
+use serde::Serialize;
+
+/// Identifier of a job within one [`KernelService`](crate::KernelService).
+pub type JobId = u64;
+
+/// One unit of work a tenant submits.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The subkernel to execute.
+    pub program: StencilProgram,
+    /// Runtime parameters (must cover `program.num_params()`).
+    pub params: Vec<f64>,
+    /// Region the job sweeps.
+    pub region: RegionSize,
+    /// Block side length the region is partitioned into.
+    pub block: usize,
+    /// Time steps to run.
+    pub steps: usize,
+    /// Optimization level for the compiled plan.
+    pub opt_level: OptLevel,
+    /// Which backend executes which block.
+    pub policy: SchedulePolicy,
+    /// Parallel topology of the run.
+    pub topology: Topology,
+    /// Whether join points dispatch through the weaver.
+    pub weave_mode: WeaveMode,
+}
+
+impl JobSpec {
+    /// A serial, fully-optimized job over `region` (block 8, one step).
+    pub fn new(program: StencilProgram, params: Vec<f64>, region: RegionSize) -> Self {
+        JobSpec {
+            program,
+            params,
+            region,
+            block: 8,
+            steps: 1,
+            opt_level: OptLevel::Full,
+            policy: SchedulePolicy::default(),
+            topology: Topology::serial(),
+            weave_mode: WeaveMode::Woven,
+        }
+    }
+
+    /// The stock 5-point Jacobi job sized for a [`Scale`].
+    pub fn jacobi(scale: Scale) -> Self {
+        JobSpec::new(StencilProgram::jacobi_5pt(), vec![0.5, 0.125], scale.service_region())
+            .with_block(scale.service_block_size())
+            .with_steps(scale.service_steps())
+    }
+
+    /// The stock 9-point smoothing job sized for a [`Scale`].
+    pub fn smooth(scale: Scale) -> Self {
+        JobSpec::new(StencilProgram::smooth_9pt(), vec![0.6, 0.05], scale.service_region())
+            .with_block(scale.service_block_size())
+            .with_steps(scale.service_steps())
+    }
+
+    /// Set the block side length.
+    pub fn with_block(mut self, block: usize) -> Self {
+        self.block = block;
+        self
+    }
+
+    /// Set the step count.
+    pub fn with_steps(mut self, steps: usize) -> Self {
+        self.steps = steps;
+        self
+    }
+
+    /// Set the optimization level.
+    pub fn with_opt_level(mut self, level: OptLevel) -> Self {
+        self.opt_level = level;
+        self
+    }
+
+    /// Set the block-to-processor policy.
+    pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the parallel topology.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Set the weave mode.
+    pub fn with_weave_mode(mut self, mode: WeaveMode) -> Self {
+        self.weave_mode = mode;
+        self
+    }
+}
+
+/// The result of one completed job.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobReport {
+    /// Job id (submission order within the service).
+    pub job: JobId,
+    /// Session the job ran under.
+    pub session: SessionId,
+    /// Tenant label of that session.
+    pub tenant: String,
+    /// Program name (the submitter's label).
+    pub program: String,
+    /// Structural fingerprint the plan cache keyed on.
+    pub fingerprint: ProgramFingerprint,
+    /// Whether the job's primary plan was already cached when a worker began
+    /// executing it (a job queued behind one that compiles the same plan
+    /// reports a hit even if the plan was absent at submission time).
+    /// Meaningless when `error` is set and the failure preceded plan
+    /// resolution — only count hit rates over reports with `error: None`.
+    pub plan_cache_hit: bool,
+    /// Checksum of the final field.  Accumulated in sink order, so runs with
+    /// the same topology agree bit-for-bit; across different topologies the
+    /// summation order changes and equality holds only to float-accumulation
+    /// tolerance (compare with a relative epsilon).
+    pub checksum: f64,
+    /// Deterministic simulated execution time of the run.
+    pub simulated_seconds: f64,
+    /// Digest of the underlying run.
+    pub summary: RunSummary,
+    /// Panic message if the job failed (bookkeeping still settles).
+    pub error: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aohpc_kernel::Processor;
+
+    #[test]
+    fn builders_override_defaults() {
+        let spec =
+            JobSpec::new(StencilProgram::jacobi_5pt(), vec![0.5, 0.125], RegionSize::square(32))
+                .with_block(16)
+                .with_steps(5)
+                .with_opt_level(OptLevel::None)
+                .with_policy(SchedulePolicy::Single(Processor::Simd))
+                .with_topology(Topology::hybrid(2, 2))
+                .with_weave_mode(WeaveMode::Direct);
+        assert_eq!(spec.block, 16);
+        assert_eq!(spec.steps, 5);
+        assert_eq!(spec.opt_level, OptLevel::None);
+        assert_eq!(spec.policy, SchedulePolicy::Single(Processor::Simd));
+        assert_eq!(spec.topology.total_tasks(), 4);
+        assert_eq!(spec.weave_mode, WeaveMode::Direct);
+    }
+
+    #[test]
+    fn scale_sized_stock_jobs() {
+        for scale in [Scale::Smoke, Scale::Default, Scale::Paper] {
+            for spec in [JobSpec::jacobi(scale), JobSpec::smooth(scale)] {
+                assert_eq!(spec.region, scale.service_region());
+                assert_eq!(spec.block, scale.service_block_size());
+                assert_eq!(spec.steps, scale.service_steps());
+                assert!(spec.params.len() >= spec.program.num_params());
+                assert_eq!(spec.region.nx % spec.block, 0, "one block shape per job");
+            }
+        }
+        assert_ne!(
+            JobSpec::jacobi(Scale::Smoke).program.fingerprint(),
+            JobSpec::smooth(Scale::Smoke).program.fingerprint(),
+        );
+    }
+}

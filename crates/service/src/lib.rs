@@ -1,0 +1,54 @@
+//! # aohpc-service — multi-tenant kernel execution as a persistent service
+//!
+//! The paper's platform weaves a DSL program once and runs it as a one-shot
+//! batch job.  This crate is the layer the roadmap's production goal needs on
+//! top of that pipeline: a **persistent service** that many tenants submit
+//! kernel jobs to concurrently, built from four pieces:
+//!
+//! * [`SessionCtx`] / [`SessionSpec`] — per-tenant execution contexts every
+//!   submission flows through: environment and metadata key-value stores,
+//!   accumulated metering, and parent/child nesting for scoped sub-sessions.
+//! * [`PlanCache`] — a sharded, LRU-bounded cache of compiled execution
+//!   plans, keyed by the structural [`ProgramFingerprint`] plus block shape
+//!   and optimization level.  Concurrent tenants submitting the same
+//!   mathematics share one `Arc<CompiledKernel>`; compilation is
+//!   single-flight per key.
+//! * [`JobSpec`] / [`JobReport`] — the submission unit (program, region,
+//!   blocking, steps, schedule policy, topology, weave mode) and its result
+//!   (field checksum, deterministic simulated time, run digest).
+//! * [`KernelService`] — the front door: `open_session` → `submit` /
+//!   `submit_batch` → `drain`, with per-session admission quotas and a
+//!   crossbeam-channel worker pool executing jobs through the existing
+//!   `runtime::execute` + `IrStencilApp` path.
+//!
+//! ```
+//! use aohpc_service::{JobSpec, KernelService, ServiceConfig, SessionSpec};
+//! use aohpc_workloads::Scale;
+//!
+//! let service = KernelService::new(ServiceConfig::default().with_workers(2));
+//! let session = service.open_session(SessionSpec::tenant("demo"));
+//! service.submit_batch(session, vec![JobSpec::jacobi(Scale::Smoke); 4]).unwrap();
+//! let reports = service.drain();
+//! assert_eq!(reports.len(), 4);
+//! // Four submissions of the same program: one compile; every other lookup
+//! // (admission pre-warm + per-task plan resolution) hits.
+//! assert_eq!(service.cache_stats().misses, 1);
+//! assert!(service.cache_stats().hits >= 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod job;
+pub mod service;
+pub mod session;
+
+pub use cache::{PlanCache, PlanCacheStats, PlanKey};
+pub use job::{JobId, JobReport, JobSpec};
+pub use service::{BatchError, KernelService, ServiceConfig, SubmitError};
+pub use session::{SessionCtx, SessionId, SessionMeter, SessionSpec};
+
+// Re-exported so service callers can name the fingerprint type without
+// depending on `aohpc-kernel` directly.
+pub use aohpc_kernel::ProgramFingerprint;

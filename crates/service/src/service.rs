@@ -1,0 +1,828 @@
+//! The kernel-execution service: admission, queue, worker pool, results.
+//!
+//! [`KernelService`] owns a [`PlanCache`], a session registry and a pool of
+//! worker threads draining one MPMC job queue.  A submission flows:
+//!
+//! 1. **Admission** — the session must exist and be active, the spec must be
+//!    well-formed, and the session's in-flight count must be under its quota;
+//!    rejections are metered and returned as [`SubmitError`]s without ever
+//!    reaching the queue.
+//! 2. **Queue** — accepted jobs carry their id onto the crossbeam channel;
+//!    any idle worker picks them up (work stealing, no per-worker queues).
+//! 3. **Execution** — the worker resolves the job's primary plan through the
+//!    shared cache (attributing the hit/miss to the job), then drives the
+//!    existing `runtime::execute` + `IrStencilApp` path with the cache
+//!    installed as the app's [`PlanSource`](aohpc_kernel::PlanSource).
+//! 4. **Results** — a [`JobReport`] (checksum, deterministic simulated time,
+//!    run digest) is recorded, session metering is updated, and
+//!    [`KernelService::drain`] wakes when nothing is left in flight.
+
+use crate::cache::{PlanCache, PlanCacheStats};
+use crate::job::{JobId, JobReport, JobSpec};
+use crate::session::{SessionCtx, SessionId, SessionMeter, SessionSpec};
+use aohpc_aop::Weaver;
+use aohpc_dsl::{DslSystem, SGridSystem};
+use aohpc_env::Extent;
+use aohpc_kernel::{new_stencil_field_sink, HeteroDispatcher, IrStencilApp};
+use aohpc_runtime::{execute, CostModel, MpiAspect, OmpAspect, RunConfig, Topology};
+use aohpc_workloads::{checksum, Scale};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+
+/// Sizing of a [`KernelService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue.  `0` is admission-only mode: jobs
+    /// queue but never execute (used by tests to pin in-flight counts).
+    pub workers: usize,
+    /// Shards of the plan cache.
+    pub cache_shards: usize,
+    /// Total plan-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Maximum jobs one session may have in flight; further submissions are
+    /// rejected with [`SubmitError::QuotaExceeded`].
+    pub max_in_flight_per_session: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            cache_shards: 8,
+            cache_capacity: 64,
+            max_in_flight_per_session: 32,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sizing for an evaluation [`Scale`].
+    pub fn for_scale(scale: Scale) -> Self {
+        ServiceConfig { workers: scale.service_workers(), ..Default::default() }
+    }
+
+    /// One worker per task of a [`Topology`] (the service-side analogue of
+    /// "one task per core").
+    pub fn for_topology(topology: &Topology) -> Self {
+        ServiceConfig { workers: topology.total_tasks(), ..Default::default() }
+    }
+
+    /// Set the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the plan-cache geometry.
+    pub fn with_cache(mut self, shards: usize, capacity: usize) -> Self {
+        self.cache_shards = shards;
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Set the per-session in-flight quota.
+    pub fn with_quota(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight_per_session = max_in_flight;
+        self
+    }
+}
+
+/// Why a submission was refused at admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No session with this id was ever opened.
+    UnknownSession(SessionId),
+    /// The session has been closed.
+    SessionClosed(SessionId),
+    /// The session is at its in-flight quota.
+    QuotaExceeded {
+        /// The session at quota.
+        session: SessionId,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The spec itself is malformed (reason inside).
+    InvalidJob(String),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            SubmitError::SessionClosed(id) => write!(f, "session {id} is closed"),
+            SubmitError::QuotaExceeded { session, limit } => {
+                write!(f, "session {session} is at its in-flight quota ({limit})")
+            }
+            SubmitError::InvalidJob(reason) => write!(f, "invalid job: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A batch submission that was cut short: the accepted prefix keeps running,
+/// and this error says exactly where admission stopped and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError {
+    /// Ids of the specs accepted before the rejection (in submission order).
+    pub accepted: Vec<JobId>,
+    /// Index (into the submitted `Vec`) of the rejected spec.
+    pub index: usize,
+    /// Why that spec was rejected.
+    pub error: SubmitError,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "batch stopped at spec {} after accepting {} jobs: {}",
+            self.index,
+            self.accepted.len(),
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+struct Queued {
+    job: JobId,
+    session: SessionId,
+    spec: JobSpec,
+}
+
+struct Inner {
+    config: ServiceConfig,
+    cache: Arc<PlanCache>,
+    sessions: Mutex<HashMap<SessionId, SessionCtx>>,
+    results: Mutex<Vec<JobReport>>,
+    pending: StdMutex<u64>,
+    idle: Condvar,
+    next_session: AtomicU64,
+    next_job: AtomicU64,
+    /// Set by shutdown/Drop: workers abandon queued-but-unstarted jobs
+    /// instead of executing the backlog (mpsc buffers survive sender drop, so
+    /// without this flag Drop would block until every queued job ran).
+    shutting_down: AtomicBool,
+}
+
+/// A multi-tenant, concurrent kernel-execution service.
+///
+/// See the [module docs](self) for the submission pipeline.  Dropping the
+/// service (or calling [`KernelService::shutdown`]) closes the queue and
+/// joins the workers; queued-but-unstarted jobs are abandoned, so call
+/// [`KernelService::drain`] first if their results matter.
+pub struct KernelService {
+    inner: Arc<Inner>,
+    queue: Option<Sender<Queued>>,
+    // Kept so `submit` stays valid in admission-only mode (0 workers), where
+    // no worker thread holds a receiver clone.
+    _queue_rx: Receiver<Queued>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl KernelService {
+    /// Start a service with the given sizing.
+    pub fn new(config: ServiceConfig) -> Self {
+        let cache = Arc::new(PlanCache::new(config.cache_shards, config.cache_capacity));
+        let inner = Arc::new(Inner {
+            config,
+            cache,
+            sessions: Mutex::new(HashMap::new()),
+            results: Mutex::new(Vec::new()),
+            pending: StdMutex::new(0),
+            idle: Condvar::new(),
+            next_session: AtomicU64::new(0),
+            next_job: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+        });
+        let (tx, rx) = unbounded::<Queued>();
+        let workers = (0..config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("aohpc-service-{i}"))
+                    .spawn(move || {
+                        while let Ok(queued) = rx.recv() {
+                            if inner.shutting_down.load(Ordering::Relaxed) {
+                                abandon_one(&inner, queued);
+                            } else {
+                                run_one(&inner, queued);
+                            }
+                        }
+                    })
+                    .expect("spawn service worker")
+            })
+            .collect();
+        KernelService { inner, queue: Some(tx), _queue_rx: rx, workers }
+    }
+
+    /// A service sized for an evaluation [`Scale`].
+    pub fn for_scale(scale: Scale) -> Self {
+        Self::new(ServiceConfig::for_scale(scale))
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Plan-cache counters.
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// The shared plan cache (e.g. to install into an out-of-band app).
+    pub fn plan_cache(&self) -> Arc<PlanCache> {
+        Arc::clone(&self.inner.cache)
+    }
+
+    /// Open a session for a tenant.
+    pub fn open_session(&self, spec: SessionSpec) -> SessionId {
+        self.open(spec, None)
+    }
+
+    /// Open a child session nested under `parent` (its accounting stays
+    /// separate; the link records provenance).
+    pub fn open_child_session(
+        &self,
+        parent: SessionId,
+        spec: SessionSpec,
+    ) -> Result<SessionId, SubmitError> {
+        if !self.inner.sessions.lock().contains_key(&parent) {
+            return Err(SubmitError::UnknownSession(parent));
+        }
+        Ok(self.open(spec, Some(parent)))
+    }
+
+    fn open(&self, spec: SessionSpec, parent: Option<SessionId>) -> SessionId {
+        let id = self.inner.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inner.sessions.lock().insert(id, SessionCtx::create(id, spec, parent));
+        id
+    }
+
+    /// Snapshot a session's context (None if never opened).
+    pub fn session(&self, id: SessionId) -> Option<SessionCtx> {
+        self.inner.sessions.lock().get(&id).cloned()
+    }
+
+    /// Close a session: further submissions are rejected, in-flight jobs
+    /// finish normally.  Returns the final meter (None if never opened).
+    pub fn close_session(&self, id: SessionId) -> Option<SessionMeter> {
+        let mut sessions = self.inner.sessions.lock();
+        let ctx = sessions.get_mut(&id)?;
+        ctx.close();
+        Some(*ctx.meter())
+    }
+
+    /// Submit one job under a session.
+    ///
+    /// Admission checks run in the order the module docs list them: the
+    /// session must exist and be active (so callers keying re-auth logic on
+    /// [`SubmitError::UnknownSession`] / [`SubmitError::SessionClosed`] see
+    /// them regardless of the spec), then the spec itself, then the quota.
+    pub fn submit(&self, session: SessionId, spec: JobSpec) -> Result<JobId, SubmitError> {
+        {
+            let mut sessions = self.inner.sessions.lock();
+            let ctx = sessions.get_mut(&session).ok_or(SubmitError::UnknownSession(session))?;
+            if !ctx.is_active() {
+                return Err(SubmitError::SessionClosed(session));
+            }
+            if let Err(reason) = validate(&spec) {
+                ctx.note_rejected();
+                return Err(SubmitError::InvalidJob(reason));
+            }
+            if ctx.in_flight() >= self.inner.config.max_in_flight_per_session {
+                ctx.note_rejected();
+                return Err(SubmitError::QuotaExceeded {
+                    session,
+                    limit: self.inner.config.max_in_flight_per_session,
+                });
+            }
+            ctx.note_submitted();
+        }
+        let job = self.inner.next_job.fetch_add(1, Ordering::Relaxed) + 1;
+        *self.inner.pending.lock().expect("pending lock") += 1;
+        self.queue
+            .as_ref()
+            .expect("queue open while service exists")
+            .send(Queued { job, session, spec })
+            .expect("workers hold the receiver while the service exists");
+        Ok(job)
+    }
+
+    /// Submit a batch under one session, stopping at the first rejection.
+    ///
+    /// Returns the ids of the accepted jobs on success.  On a rejection the
+    /// already accepted prefix keeps running (its results arrive via `drain`);
+    /// the returned [`BatchError`] carries that prefix's ids and the index of
+    /// the rejected spec so the caller can correlate and retry only the rest.
+    pub fn submit_batch(
+        &self,
+        session: SessionId,
+        specs: Vec<JobSpec>,
+    ) -> Result<Vec<JobId>, BatchError> {
+        let mut accepted = Vec::with_capacity(specs.len());
+        for (index, spec) in specs.into_iter().enumerate() {
+            match self.submit(session, spec) {
+                Ok(id) => accepted.push(id),
+                Err(error) => return Err(BatchError { accepted, index, error }),
+            }
+        }
+        Ok(accepted)
+    }
+
+    /// Block until nothing is in flight, then take **all** accumulated
+    /// reports — every session's — ordered by job id.
+    ///
+    /// This is the orchestrator-level collection point: it is destructive
+    /// across tenants, so use it from the single caller that owns the
+    /// service.  Independent tenants sharing one service should collect with
+    /// [`KernelService::drain_session`] instead.
+    ///
+    /// In admission-only mode (0 workers) queued jobs can never complete, so
+    /// `drain` does not wait for them — it returns whatever has been recorded
+    /// (nothing) instead of blocking forever.
+    pub fn drain(&self) -> Vec<JobReport> {
+        if !self.workers.is_empty() {
+            let mut pending = self.inner.pending.lock().expect("pending lock");
+            while *pending > 0 {
+                pending = self.inner.idle.wait(pending).expect("pending lock");
+            }
+        }
+        let mut out = std::mem::take(&mut *self.inner.results.lock());
+        out.sort_by_key(|r| r.job);
+        out
+    }
+
+    /// Block until `session` has nothing in flight, then take *its* reports
+    /// only (ordered by job id).  Other sessions' results stay queued for
+    /// their own owners — the tenant-safe counterpart of
+    /// [`KernelService::drain`].
+    ///
+    /// A session that was never opened (or has nothing in flight) returns
+    /// whatever is already recorded for it without blocking; admission-only
+    /// mode (0 workers) never blocks, as with `drain`.
+    pub fn drain_session(&self, session: SessionId) -> Vec<JobReport> {
+        if !self.workers.is_empty() {
+            let mut pending = self.inner.pending.lock().expect("pending lock");
+            loop {
+                let in_flight = self
+                    .inner
+                    .sessions
+                    .lock()
+                    .get(&session)
+                    .map(|ctx| ctx.in_flight())
+                    .unwrap_or(0);
+                if in_flight == 0 {
+                    break;
+                }
+                pending = self.inner.idle.wait(pending).expect("pending lock");
+            }
+        }
+        let mut results = self.inner.results.lock();
+        let (mut out, rest): (Vec<_>, Vec<_>) =
+            results.drain(..).partition(|r| r.session == session);
+        *results = rest;
+        drop(results);
+        out.sort_by_key(|r| r.job);
+        out
+    }
+
+    /// Close the queue and join the workers.  Implied by `Drop`; explicit
+    /// form for callers that want to observe worker termination.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        // The flag makes workers discard the remaining backlog (the mpsc
+        // buffer survives the sender drop); the in-flight job of each worker
+        // still finishes.
+        self.inner.shutting_down.store(true, Ordering::Relaxed);
+        drop(self.queue.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for KernelService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+impl fmt::Debug for KernelService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KernelService")
+            .field("workers", &self.workers.len())
+            .field("config", &self.inner.config)
+            .field("cache", &self.inner.cache.stats())
+            .finish()
+    }
+}
+
+fn validate(spec: &JobSpec) -> Result<(), String> {
+    if spec.params.len() < spec.program.num_params() {
+        return Err(format!(
+            "program {} declares {} parameters, {} given",
+            spec.program.name(),
+            spec.program.num_params(),
+            spec.params.len()
+        ));
+    }
+    if spec.block == 0 {
+        return Err("block side length must be non-zero".to_string());
+    }
+    if spec.region.nx == 0 || spec.region.ny == 0 {
+        return Err("region must be non-empty".to_string());
+    }
+    if let Err(e) = HeteroDispatcher::try_new(spec.policy.clone()) {
+        return Err(format!("schedule policy: {e}"));
+    }
+    Ok(())
+}
+
+/// Discard a queued job during shutdown, settling the counters so a
+/// concurrent `drain` cannot hang on work that will never run.
+fn abandon_one(inner: &Inner, queued: Queued) {
+    if let Some(ctx) = inner.sessions.lock().get_mut(&queued.session) {
+        ctx.note_abandoned();
+    }
+    let mut pending = inner.pending.lock().expect("pending lock");
+    *pending -= 1;
+    drop(pending);
+    inner.idle.notify_all();
+}
+
+/// Execute one queued job on the calling worker thread and record the result.
+fn run_one(inner: &Inner, queued: Queued) {
+    let Queued { job, session, spec } = queued;
+    let fingerprint = spec.program.fingerprint();
+    let program_name = spec.program.name().to_string();
+    let topology = spec.topology.clone();
+
+    // Everything fallible runs inside the unwind guard so a panicking job can
+    // never strand the pending counter (which would hang every later drain).
+    // The pre-warm outcome escapes through a Cell so a panic *after* plan
+    // resolution still meters the hit/miss it already charged to the cache.
+    let prewarm_hit: std::cell::Cell<Option<bool>> = std::cell::Cell::new(None);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        // Resolve the job's primary plan up front so the hit/miss is
+        // attributable to *this* job; the app's own plan lookups then hit the
+        // warm entry.  The primary shape is the block-(0,0) tile, which the
+        // DSL tiling clips to the region, so small regions pre-warm the plan
+        // that actually executes.
+        let primary = Extent::new2d(spec.block.min(spec.region.nx), spec.block.min(spec.region.ny));
+        let (_, hit) = inner.cache.get_or_compile(&spec.program, primary, spec.opt_level);
+        prewarm_hit.set(Some(hit));
+        execute_spec(inner, &spec)
+    }));
+    let cache_hit = prewarm_hit.get();
+    let (checksum_value, simulated_seconds, summary, error) = match outcome {
+        Ok((cks, sim, summary)) => (cks, sim, summary, None),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "job panicked".to_string());
+            (f64::NAN, 0.0, aohpc_runtime::RunReport::empty(topology).summary(), Some(msg))
+        }
+    };
+
+    // Meter the session *without* releasing its in-flight slot yet: the
+    // report must be in `results` before in_flight drops to zero, or a
+    // concurrent `drain_session` could observe an idle session and miss its
+    // final report.
+    let tenant = {
+        let mut sessions = inner.sessions.lock();
+        match sessions.get_mut(&session) {
+            Some(ctx) => {
+                let meter = ctx.meter_mut();
+                match cache_hit {
+                    Some(true) => meter.plan_cache_hits += 1,
+                    Some(false) => meter.plan_cache_misses += 1,
+                    None => {} // panicked before/while resolving the plan
+                }
+                meter.cells_updated += summary.writes;
+                meter.simulated_seconds += simulated_seconds;
+                ctx.tenant().to_string()
+            }
+            None => "unknown".to_string(),
+        }
+    };
+
+    inner.results.lock().push(JobReport {
+        job,
+        session,
+        tenant,
+        program: program_name,
+        fingerprint,
+        plan_cache_hit: cache_hit.unwrap_or(false),
+        checksum: checksum_value,
+        simulated_seconds,
+        summary,
+        error,
+    });
+
+    // The report is visible; now settle the counters the drains wait on.
+    if let Some(ctx) = inner.sessions.lock().get_mut(&session) {
+        ctx.note_completed();
+    }
+    let mut pending = inner.pending.lock().expect("pending lock");
+    *pending -= 1;
+    drop(pending);
+    // Every completion wakes the waiters: `drain` re-checks the global count,
+    // `drain_session` its session's in-flight count.
+    inner.idle.notify_all();
+}
+
+/// The execution core: the same compile-and-run pipeline the one-shot
+/// harnesses use, with the shared cache installed as the plan source.
+fn execute_spec(inner: &Inner, spec: &JobSpec) -> (f64, f64, aohpc_runtime::RunSummary) {
+    let system = Arc::new(SGridSystem::with_block_size(spec.region, spec.block));
+    let sink = new_stencil_field_sink();
+    let dispatcher =
+        HeteroDispatcher::try_new(spec.policy.clone()).expect("policy validated at submit");
+    let app = IrStencilApp::new(spec.program.clone(), spec.params.clone(), spec.steps)
+        .with_opt_level(spec.opt_level)
+        .with_dispatcher(dispatcher)
+        .with_plan_source(inner.cache.clone())
+        .with_field_sink(sink.clone());
+
+    let mut weaver = Weaver::new();
+    if spec.topology.ranks() > 1 {
+        weaver = weaver.with_aspect(Box::new(MpiAspect::<f64>::new()));
+    }
+    if spec.topology.threads_per_rank() > 1 {
+        weaver = weaver.with_aspect(Box::new(OmpAspect::<f64>::new()));
+    }
+    let woven = weaver.weave();
+
+    let config =
+        RunConfig::serial().with_topology(spec.topology.clone()).with_weave_mode(spec.weave_mode);
+    let report = execute(&config, woven, system.env_factory(), app.factory());
+
+    let cks = checksum(sink.lock().iter().map(|(_, v)| *v));
+    let sim = CostModel::default().makespan_seconds(&report);
+    (cks, sim, report.summary())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aohpc_kernel::{Processor, SchedulePolicy, StencilProgram};
+    use aohpc_workloads::RegionSize;
+
+    fn smoke_job() -> JobSpec {
+        JobSpec::jacobi(Scale::Smoke)
+    }
+
+    #[test]
+    fn submit_drain_roundtrip_reports_every_job() {
+        let service = KernelService::new(ServiceConfig::default().with_workers(2));
+        let session = service.open_session(SessionSpec::tenant("acme"));
+        let ids =
+            service.submit_batch(session, vec![smoke_job(), smoke_job(), smoke_job()]).unwrap();
+        assert_eq!(ids, vec![1, 2, 3]);
+        let reports = service.drain();
+        assert_eq!(reports.len(), 3);
+        for (report, id) in reports.iter().zip(&ids) {
+            assert_eq!(report.job, *id);
+            assert_eq!(report.session, session);
+            assert_eq!(report.tenant, "acme");
+            assert_eq!(report.program, "jacobi-5pt");
+            assert!(report.error.is_none());
+            assert!(report.checksum.is_finite());
+            assert!(report.simulated_seconds > 0.0);
+            assert!(report.summary.writes > 0);
+        }
+        // Same program, same shape: one compile, the rest shared.
+        assert_eq!(service.cache_stats().misses, 1);
+        let ctx = service.session(session).unwrap();
+        assert_eq!(ctx.meter().jobs_submitted, 3);
+        assert_eq!(ctx.meter().jobs_completed, 3);
+        assert_eq!(ctx.meter().plan_cache_misses, 1);
+        assert_eq!(ctx.meter().plan_cache_hits, 2);
+        assert!(ctx.meter().simulated_seconds > 0.0);
+        assert_eq!(ctx.in_flight(), 0);
+    }
+
+    #[test]
+    fn results_match_across_backends_and_sessions() {
+        let service = KernelService::new(ServiceConfig::default().with_workers(3));
+        let a = service.open_session(SessionSpec::tenant("a"));
+        let b = service.open_session(SessionSpec::tenant("b"));
+        for processor in [Processor::Scalar, Processor::Simd, Processor::Accelerator] {
+            service.submit(a, smoke_job().with_policy(SchedulePolicy::Single(processor))).unwrap();
+            service.submit(b, smoke_job().with_policy(SchedulePolicy::Single(processor))).unwrap();
+        }
+        let reports = service.drain();
+        assert_eq!(reports.len(), 6);
+        let first = reports[0].checksum;
+        for r in &reports {
+            assert_eq!(r.checksum, first, "all backends and tenants agree bit-for-bit");
+        }
+    }
+
+    #[test]
+    fn admission_enforces_sessions_and_quotas() {
+        // Admission-only mode (no workers): in-flight counts never drop, so
+        // quota behaviour is deterministic.
+        let service = KernelService::new(ServiceConfig::default().with_workers(0).with_quota(2));
+        assert_eq!(service.worker_count(), 0);
+
+        assert_eq!(service.submit(99, smoke_job()), Err(SubmitError::UnknownSession(99)),);
+
+        let session = service.open_session(SessionSpec::tenant("t"));
+        service.submit(session, smoke_job()).unwrap();
+        service.submit(session, smoke_job()).unwrap();
+        assert_eq!(
+            service.submit(session, smoke_job()),
+            Err(SubmitError::QuotaExceeded { session, limit: 2 }),
+        );
+        let ctx = service.session(session).unwrap();
+        assert_eq!(ctx.in_flight(), 2);
+        assert_eq!(ctx.meter().jobs_rejected, 1);
+
+        let closed = service.open_session(SessionSpec::tenant("u"));
+        service.close_session(closed).unwrap();
+        assert_eq!(service.submit(closed, smoke_job()), Err(SubmitError::SessionClosed(closed)));
+        assert!(service.close_session(404).is_none());
+
+        // Session errors take precedence over spec errors: a caller keying
+        // re-auth logic on UnknownSession/SessionClosed sees them even when
+        // the spec is also malformed.
+        let bad_spec = smoke_job().with_block(0);
+        assert_eq!(service.submit(99, bad_spec.clone()), Err(SubmitError::UnknownSession(99)));
+        assert_eq!(service.submit(closed, bad_spec), Err(SubmitError::SessionClosed(closed)));
+        assert_eq!(
+            service.session(closed).unwrap().meter().jobs_rejected,
+            0,
+            "closed sessions do not meter submissions they could never run"
+        );
+    }
+
+    #[test]
+    fn invalid_jobs_are_rejected_at_admission() {
+        let service = KernelService::new(ServiceConfig::default().with_workers(1));
+        let session = service.open_session(SessionSpec::tenant("t"));
+
+        let missing_params =
+            JobSpec::new(StencilProgram::jacobi_5pt(), vec![0.5], RegionSize::square(16));
+        let err = service.submit(session, missing_params).unwrap_err();
+        assert!(matches!(err, SubmitError::InvalidJob(ref m) if m.contains("parameters")), "{err}");
+
+        let zero_block = smoke_job().with_block(0);
+        assert!(matches!(
+            service.submit(session, zero_block),
+            Err(SubmitError::InvalidJob(ref m)) if m.contains("block")
+        ));
+
+        let bad_policy = smoke_job().with_policy(SchedulePolicy::Weighted(vec![]));
+        assert!(matches!(
+            service.submit(session, bad_policy),
+            Err(SubmitError::InvalidJob(ref m)) if m.contains("at least one processor")
+        ));
+
+        assert_eq!(service.session(session).unwrap().meter().jobs_rejected, 3);
+        assert!(service.drain().is_empty(), "nothing malformed reached the queue");
+    }
+
+    #[test]
+    fn child_sessions_link_to_their_parent() {
+        let service = KernelService::new(ServiceConfig::default().with_workers(1));
+        let parent = service.open_session(SessionSpec::tenant("proj"));
+        let child =
+            service.open_child_session(parent, SessionSpec::tenant("proj/sweep-1")).unwrap();
+        assert_eq!(service.session(child).unwrap().parent(), Some(parent));
+        assert_eq!(service.session(parent).unwrap().parent(), None);
+        assert_eq!(
+            service.open_child_session(12345, SessionSpec::tenant("x")),
+            Err(SubmitError::UnknownSession(12345)),
+        );
+        // Child accounting is separate from the parent's.
+        service.submit(child, smoke_job()).unwrap();
+        service.drain();
+        assert_eq!(service.session(child).unwrap().meter().jobs_completed, 1);
+        assert_eq!(service.session(parent).unwrap().meter().jobs_completed, 0);
+    }
+
+    #[test]
+    fn parallel_topology_jobs_run_under_aspects() {
+        let service = KernelService::new(ServiceConfig::default().with_workers(2));
+        let session = service.open_session(SessionSpec::tenant("hybrid"));
+        let serial = smoke_job();
+        let hybrid = smoke_job().with_topology(Topology::hybrid(2, 2));
+        service.submit(session, serial).unwrap();
+        service.submit(session, hybrid).unwrap();
+        let reports = service.drain();
+        assert_eq!(reports.len(), 2);
+        // The fields are identical cell-for-cell; the checksum accumulates in
+        // sink order (which differs across topologies), so compare with a
+        // float-summation tolerance.
+        let (a, b) = (reports[0].checksum, reports[1].checksum);
+        assert!((a - b).abs() < 1e-9 * a.abs().max(1.0), "topology changed results: {a} vs {b}");
+        assert_eq!(reports[1].summary.tasks, 4);
+        assert!(reports[1].summary.pages_sent > 0, "ranks exchanged halo pages");
+    }
+
+    #[test]
+    fn drain_session_takes_only_that_sessions_reports() {
+        let service = KernelService::new(ServiceConfig::default().with_workers(2));
+        let a = service.open_session(SessionSpec::tenant("a"));
+        let b = service.open_session(SessionSpec::tenant("b"));
+        service.submit_batch(a, vec![smoke_job(), smoke_job()]).unwrap();
+        service.submit(b, smoke_job()).unwrap();
+
+        let a_reports = service.drain_session(a);
+        assert_eq!(a_reports.len(), 2);
+        assert!(a_reports.iter().all(|r| r.session == a && r.tenant == "a"));
+
+        // B's results were not consumed by A's drain.
+        let b_reports = service.drain_session(b);
+        assert_eq!(b_reports.len(), 1);
+        assert_eq!(b_reports[0].session, b);
+
+        // Nothing left for the global drain; unknown sessions return empty.
+        assert!(service.drain().is_empty());
+        assert!(service.drain_session(999).is_empty());
+    }
+
+    #[test]
+    fn batch_errors_carry_the_accepted_prefix() {
+        // Admission-only mode keeps in-flight counts pinned, so the quota
+        // trips deterministically mid-batch.
+        let service = KernelService::new(ServiceConfig::default().with_workers(0).with_quota(2));
+        let session = service.open_session(SessionSpec::tenant("t"));
+        let err = service
+            .submit_batch(session, vec![smoke_job(), smoke_job(), smoke_job(), smoke_job()])
+            .unwrap_err();
+        assert_eq!(err.accepted, vec![1, 2], "the accepted prefix is reported");
+        assert_eq!(err.index, 2, "the failing spec's position is reported");
+        assert_eq!(err.error, SubmitError::QuotaExceeded { session, limit: 2 });
+        assert!(err.to_string().contains("after accepting 2 jobs"));
+        // With no workers, queued jobs can never finish — drain must not hang.
+        assert!(service.drain().is_empty());
+    }
+
+    #[test]
+    fn small_regions_prewarm_the_clipped_plan() {
+        // Region smaller than the block: the tiling clips the single tile to
+        // 4x4, and the admission pre-warm must key on that same shape — one
+        // compile total, no dead 8x8 entry.
+        let service = KernelService::new(ServiceConfig::default().with_workers(1));
+        let session = service.open_session(SessionSpec::tenant("t"));
+        let tiny =
+            JobSpec::new(StencilProgram::jacobi_5pt(), vec![0.5, 0.125], RegionSize::square(4))
+                .with_block(8)
+                .with_steps(2);
+        service.submit(session, tiny.clone()).unwrap();
+        service.submit(session, tiny).unwrap();
+        let reports = service.drain();
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.error.is_none()));
+        let stats = service.cache_stats();
+        assert_eq!(stats.misses, 1, "exactly one plan compiled: {stats:?}");
+        assert_eq!(stats.entries, 1, "no dead full-block entry: {stats:?}");
+        assert!(!reports[0].plan_cache_hit);
+        assert!(reports[1].plan_cache_hit);
+    }
+
+    #[test]
+    fn shutdown_with_a_backlog_abandons_queued_jobs() {
+        // One worker, a deep queue: shutdown must not execute the backlog
+        // (each job takes ~ms; a hung Drop would blow the test timeout), and
+        // the worker's in-flight job still settles its counters.
+        let service = KernelService::new(ServiceConfig::default().with_workers(1).with_quota(1000));
+        let session = service.open_session(SessionSpec::tenant("t"));
+        for _ in 0..64 {
+            service.submit(session, smoke_job()).unwrap();
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn drain_on_idle_service_returns_immediately() {
+        let service = KernelService::new(ServiceConfig::default().with_workers(1));
+        assert!(service.drain().is_empty());
+        let errors = SubmitError::InvalidJob("x".into());
+        assert!(errors.to_string().contains("invalid job"));
+        assert!(SubmitError::UnknownSession(1).to_string().contains("unknown"));
+        assert!(SubmitError::QuotaExceeded { session: 1, limit: 2 }.to_string().contains("quota"));
+    }
+}

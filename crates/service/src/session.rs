@@ -1,0 +1,216 @@
+//! Session contexts: the per-tenant execution state every submission flows
+//! through.
+//!
+//! A [`SessionCtx`] is the service-layer analogue of the runtime's `TaskCtx`:
+//! where a task context carries one task's view of one run, a session context
+//! carries one tenant's view of the *service* — an environment/metadata
+//! key-value store, accumulated metering, and an optional parent link so a
+//! tenant can nest scoped child sessions (a sweep inside an experiment inside
+//! a project) whose accounting stays separable.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Identifier of a session within one [`KernelService`](crate::KernelService).
+pub type SessionId = u64;
+
+/// What a session has consumed so far.
+///
+/// All figures are cumulative since `open_session`.  Simulated seconds come
+/// from the runtime's deterministic [`CostModel`](aohpc_runtime::CostModel),
+/// so metering is reproducible across hosts — the property that makes the
+/// numbers usable for admission decisions and tests alike.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct SessionMeter {
+    /// Jobs accepted through `submit`.
+    pub jobs_submitted: u64,
+    /// Jobs whose report has been recorded.
+    pub jobs_completed: u64,
+    /// Submissions rejected at admission (quota, validation).
+    pub jobs_rejected: u64,
+    /// Jobs whose primary plan was already cached.
+    pub plan_cache_hits: u64,
+    /// Jobs whose primary plan had to be compiled.
+    pub plan_cache_misses: u64,
+    /// Cell updates (platform writes) executed on behalf of the session.
+    pub cells_updated: u64,
+    /// Deterministic simulated execution time consumed.
+    pub simulated_seconds: f64,
+}
+
+/// What a caller supplies when opening a session: a tenant label plus
+/// arbitrary environment / metadata key-value pairs.
+#[derive(Debug, Clone, Default)]
+pub struct SessionSpec {
+    pub(crate) tenant: String,
+    pub(crate) environment: BTreeMap<String, String>,
+    pub(crate) metadata: BTreeMap<String, String>,
+}
+
+impl SessionSpec {
+    /// A spec for the given tenant.
+    pub fn tenant(name: impl Into<String>) -> Self {
+        SessionSpec { tenant: name.into(), ..Default::default() }
+    }
+
+    /// Add an environment entry.  Recorded on the session for callers to
+    /// read back via [`SessionCtx::env`] (e.g. a data-source label shared by
+    /// the client code that builds this session's jobs); the execution
+    /// pipeline itself does not consult it.
+    pub fn with_env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.environment.insert(key.into(), value.into());
+        self
+    }
+
+    /// Add a metadata entry (opaque to the service; e.g. a priority label).
+    pub fn with_metadata(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.metadata.insert(key.into(), value.into());
+        self
+    }
+}
+
+/// One tenant's execution context.
+///
+/// Obtained as a point-in-time snapshot from
+/// [`KernelService::session`](crate::KernelService::session); the service
+/// owns the live copy.
+#[derive(Debug, Clone, Serialize)]
+pub struct SessionCtx {
+    id: SessionId,
+    tenant: String,
+    environment: BTreeMap<String, String>,
+    metadata: BTreeMap<String, String>,
+    parent: Option<SessionId>,
+    active: bool,
+    in_flight: usize,
+    meter: SessionMeter,
+}
+
+impl SessionCtx {
+    pub(crate) fn create(id: SessionId, spec: SessionSpec, parent: Option<SessionId>) -> Self {
+        SessionCtx {
+            id,
+            tenant: spec.tenant,
+            environment: spec.environment,
+            metadata: spec.metadata,
+            parent,
+            active: true,
+            in_flight: 0,
+            meter: SessionMeter::default(),
+        }
+    }
+
+    /// The session's id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The tenant label.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Look up an environment entry.
+    pub fn env(&self, key: &str) -> Option<&str> {
+        self.environment.get(key).map(String::as_str)
+    }
+
+    /// Look up a metadata entry.
+    pub fn metadata(&self, key: &str) -> Option<&str> {
+        self.metadata.get(key).map(String::as_str)
+    }
+
+    /// The parent session, if this one was opened as a child.
+    pub fn parent(&self) -> Option<SessionId> {
+        self.parent
+    }
+
+    /// Whether the session still accepts submissions.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Jobs submitted but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Accumulated metering.
+    pub fn meter(&self) -> &SessionMeter {
+        &self.meter
+    }
+
+    pub(crate) fn close(&mut self) {
+        self.active = false;
+    }
+
+    pub(crate) fn meter_mut(&mut self) -> &mut SessionMeter {
+        &mut self.meter
+    }
+
+    pub(crate) fn note_submitted(&mut self) {
+        self.in_flight += 1;
+        self.meter.jobs_submitted += 1;
+    }
+
+    pub(crate) fn note_rejected(&mut self) {
+        self.meter.jobs_rejected += 1;
+    }
+
+    pub(crate) fn note_completed(&mut self) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.meter.jobs_completed += 1;
+    }
+
+    /// A queued job discarded at shutdown: releases the in-flight slot
+    /// without counting a completion.
+    pub(crate) fn note_abandoned(&mut self) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builders_populate_the_context() {
+        let spec = SessionSpec::tenant("acme")
+            .with_env("data_source", "s3://bucket")
+            .with_env("precision", "f64")
+            .with_metadata("priority", "high");
+        let ctx = SessionCtx::create(7, spec, Some(3));
+        assert_eq!(ctx.id(), 7);
+        assert_eq!(ctx.tenant(), "acme");
+        assert_eq!(ctx.env("data_source"), Some("s3://bucket"));
+        assert_eq!(ctx.env("precision"), Some("f64"));
+        assert_eq!(ctx.env("missing"), None);
+        assert_eq!(ctx.metadata("priority"), Some("high"));
+        assert_eq!(ctx.metadata("absent"), None);
+        assert_eq!(ctx.parent(), Some(3));
+        assert!(ctx.is_active());
+        assert_eq!(ctx.in_flight(), 0);
+        assert_eq!(ctx.meter(), &SessionMeter::default());
+    }
+
+    #[test]
+    fn lifecycle_bookkeeping() {
+        let mut ctx = SessionCtx::create(1, SessionSpec::tenant("t"), None);
+        ctx.note_submitted();
+        ctx.note_submitted();
+        assert_eq!(ctx.in_flight(), 2);
+        assert_eq!(ctx.meter().jobs_submitted, 2);
+        ctx.note_completed();
+        assert_eq!(ctx.in_flight(), 1);
+        assert_eq!(ctx.meter().jobs_completed, 1);
+        ctx.note_rejected();
+        assert_eq!(ctx.meter().jobs_rejected, 1);
+        ctx.close();
+        assert!(!ctx.is_active());
+        // Completion after close still settles in-flight accounting.
+        ctx.note_completed();
+        assert_eq!(ctx.in_flight(), 0);
+        ctx.note_completed();
+        assert_eq!(ctx.in_flight(), 0, "saturates at zero");
+    }
+}

@@ -24,7 +24,7 @@ pub mod layout;
 pub mod scale;
 
 pub use layout::{AffinePermutation, GridLayout};
-pub use scale::{ParticleSize, RegionSize, Scale};
+pub use scale::{ParticleSize, RegionSize, Scale, ScaleParseError};
 
 /// Order-insensitive checksum of a scalar field (sum and sum of squares
 /// folded together).  Used to compare results across execution modes without

@@ -29,20 +29,54 @@ pub enum Scale {
     Paper,
 }
 
+/// Error returned by [`Scale::parse`] for an unrecognised size class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ScaleParseError {
+    /// The rejected input.
+    pub value: String,
+}
+
+impl fmt::Display for ScaleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown scale {:?} (expected one of: smoke, ci, default, paper, full)",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for ScaleParseError {}
+
 impl Scale {
-    /// Parse from a string (case-insensitive); unknown values fall back to
-    /// `Default`.
-    pub fn parse(s: &str) -> Scale {
+    /// Parse from a string (case-insensitive).
+    ///
+    /// Unknown values are an error — they used to fall back to `Default`
+    /// silently, which turned a typo in `AOHPC_SCALE=paper` into a quietly
+    /// wrong (400× smaller) experiment.
+    pub fn parse(s: &str) -> Result<Scale, ScaleParseError> {
         match s.to_ascii_lowercase().as_str() {
-            "smoke" | "ci" => Scale::Smoke,
-            "paper" | "full" => Scale::Paper,
-            _ => Scale::Default,
+            "smoke" | "ci" => Ok(Scale::Smoke),
+            "default" => Ok(Scale::Default),
+            "paper" | "full" => Ok(Scale::Paper),
+            _ => Err(ScaleParseError { value: s.to_string() }),
         }
     }
 
     /// Read the scale from the `AOHPC_SCALE` environment variable.
+    ///
+    /// An unset variable means `Default`; a set-but-unrecognised value also
+    /// falls back to `Default` but prints a warning to stderr (the harness
+    /// binaries have no other channel, and aborting a long sweep over a typo
+    /// in an auxiliary knob would be worse).
     pub fn from_env() -> Scale {
-        std::env::var("AOHPC_SCALE").map(|s| Scale::parse(&s)).unwrap_or_default()
+        match std::env::var("AOHPC_SCALE") {
+            Err(_) => Scale::Default,
+            Ok(raw) => Scale::parse(&raw).unwrap_or_else(|e| {
+                eprintln!("warning: AOHPC_SCALE: {e}; using the default scale");
+                Scale::Default
+            }),
+        }
     }
 
     /// The region sizes of the single-task overhead experiment (Fig. 6):
@@ -178,6 +212,63 @@ impl Scale {
             _ => vec![(1, 16), (2, 8), (4, 4), (8, 2), (16, 1)],
         }
     }
+
+    // --- kernel-execution service workloads -------------------------------
+
+    /// Number of concurrent tenants the service harnesses simulate.
+    pub fn service_tenants(&self) -> usize {
+        match self {
+            Scale::Smoke => 4,
+            Scale::Default => 6,
+            Scale::Paper => 16,
+        }
+    }
+
+    /// Jobs each tenant submits per round.
+    pub fn service_jobs_per_tenant(&self) -> usize {
+        match self {
+            Scale::Smoke => 2,
+            Scale::Default => 4,
+            Scale::Paper => 16,
+        }
+    }
+
+    /// Region size of one service job (small relative to the figure harnesses
+    /// — a service run executes many jobs).
+    pub fn service_region(&self) -> RegionSize {
+        match self {
+            Scale::Smoke => RegionSize::square(24),
+            Scale::Default => RegionSize::square(64),
+            Scale::Paper => RegionSize::square(256),
+        }
+    }
+
+    /// Block size (cells per side) of a service job.
+    pub fn service_block_size(&self) -> usize {
+        match self {
+            Scale::Smoke => 8,
+            Scale::Default => 16,
+            Scale::Paper => 64,
+        }
+    }
+
+    /// Time steps of one service job.
+    pub fn service_steps(&self) -> usize {
+        match self {
+            Scale::Smoke => 2,
+            Scale::Default => 4,
+            Scale::Paper => 16,
+        }
+    }
+
+    /// Worker-pool size of the service harnesses.
+    pub fn service_workers(&self) -> usize {
+        match self {
+            Scale::Smoke => 4,
+            Scale::Default => 4,
+            Scale::Paper => 8,
+        }
+    }
 }
 
 impl fmt::Display for Scale {
@@ -247,11 +338,40 @@ mod tests {
 
     #[test]
     fn parse_and_display() {
-        assert_eq!(Scale::parse("paper"), Scale::Paper);
-        assert_eq!(Scale::parse("SMOKE"), Scale::Smoke);
-        assert_eq!(Scale::parse("anything"), Scale::Default);
+        assert_eq!(Scale::parse("paper"), Ok(Scale::Paper));
+        assert_eq!(Scale::parse("SMOKE"), Ok(Scale::Smoke));
+        assert_eq!(Scale::parse("ci"), Ok(Scale::Smoke));
+        assert_eq!(Scale::parse("default"), Ok(Scale::Default));
+        assert_eq!(Scale::parse("full"), Ok(Scale::Paper));
         assert_eq!(Scale::Paper.to_string(), "paper");
         assert_eq!(Scale::default(), Scale::Default);
+    }
+
+    #[test]
+    fn unknown_scales_are_an_error_not_a_silent_default() {
+        let err = Scale::parse("anything").unwrap_err();
+        assert_eq!(err.value, "anything");
+        assert!(err.to_string().contains("anything"));
+        assert!(err.to_string().contains("smoke"), "the message lists the accepted values");
+        assert!(Scale::parse("").is_err());
+    }
+
+    #[test]
+    fn service_dimensions_shrink_with_scale() {
+        for (small, big) in [(Scale::Smoke, Scale::Default), (Scale::Default, Scale::Paper)] {
+            assert!(small.service_region().cells() <= big.service_region().cells());
+            assert!(small.service_tenants() <= big.service_tenants());
+            assert!(small.service_jobs_per_tenant() <= big.service_jobs_per_tenant());
+            assert!(small.service_steps() <= big.service_steps());
+        }
+        // Regions divide evenly into blocks at every scale, so a service run
+        // exercises exactly one block shape (one plan-cache entry per
+        // program).
+        for s in [Scale::Smoke, Scale::Default, Scale::Paper] {
+            assert_eq!(s.service_region().nx % s.service_block_size(), 0);
+            assert_eq!(s.service_region().ny % s.service_block_size(), 0);
+            assert!(s.service_workers() >= 1);
+        }
     }
 
     #[test]

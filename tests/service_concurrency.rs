@@ -1,0 +1,90 @@
+//! Cross-crate integration: concurrent multi-tenant submissions share one
+//! compiled plan, and the shared result is identical to a solo run.
+
+use aohpc::prelude::*;
+use aohpc_service::PlanKey;
+
+const TENANTS: usize = 4;
+const WORKERS: usize = 4;
+
+/// The acceptance scenario: the same program from ≥4 tenants across ≥4
+/// workers compiles exactly once (one cache miss; every other lookup hits),
+/// and every tenant's result equals a solo run's.
+#[test]
+fn four_tenants_share_one_compiled_plan() {
+    // Solo reference: a fresh single-worker service running the job once.
+    let solo = KernelService::new(ServiceConfig::default().with_workers(1));
+    let session = solo.open_session(SessionSpec::tenant("solo"));
+    solo.submit(session, JobSpec::jacobi(Scale::Smoke)).unwrap();
+    let solo_report = solo.drain().pop().expect("solo job completed");
+    assert!(solo_report.error.is_none());
+
+    // Concurrent run: TENANTS sessions, one job each, WORKERS workers.
+    let service = KernelService::new(ServiceConfig::default().with_workers(WORKERS));
+    assert_eq!(service.worker_count(), WORKERS);
+    for t in 0..TENANTS {
+        let session = service.open_session(SessionSpec::tenant(format!("tenant-{t}")));
+        service.submit(session, JobSpec::jacobi(Scale::Smoke)).unwrap();
+    }
+    let reports = service.drain();
+    assert_eq!(reports.len(), TENANTS);
+
+    // Exactly one cache miss: the plan compiled once, every other lookup —
+    // the other tenants' admission pre-warms and all per-task resolutions —
+    // hit the shared entry.
+    let stats = service.cache_stats();
+    assert_eq!(stats.misses, 1, "exactly one compilation: {stats:?}");
+    assert!(stats.hits >= (TENANTS - 1) as u64, "the rest were hits: {stats:?}");
+    assert_eq!(stats.entries, 1);
+    let hit_jobs = reports.iter().filter(|r| r.plan_cache_hit).count();
+    assert_eq!(hit_jobs, TENANTS - 1, "one job owned the miss, the rest hit");
+
+    // Results identical to the solo run (same sink order ⇒ same checksum
+    // bits), and consistent metadata.
+    let fp = JobSpec::jacobi(Scale::Smoke).program.fingerprint();
+    for r in &reports {
+        assert!(r.error.is_none());
+        assert_eq!(r.checksum, solo_report.checksum, "tenant {} diverged", r.tenant);
+        assert_eq!(r.fingerprint, fp);
+        assert_eq!(r.summary.steps, solo_report.summary.steps);
+    }
+
+    // Per-tenant metering saw the same split.
+    let misses: u64 = (1..=TENANTS as u64)
+        .filter_map(|s| service.session(s))
+        .map(|ctx| ctx.meter().plan_cache_misses)
+        .sum();
+    assert_eq!(misses, 1);
+}
+
+/// The cache respects the full key: a different block shape or optimization
+/// level is a different plan even for the same program.
+#[test]
+fn distinct_shapes_do_not_collide() {
+    let service = KernelService::new(ServiceConfig::default().with_workers(2));
+    let session = service.open_session(SessionSpec::tenant("t"));
+    let base = JobSpec::jacobi(Scale::Smoke);
+    let spec_a = base.clone();
+    let spec_b = base.clone().with_block(base.region.nx / 2);
+    let spec_c = base.clone().with_opt_level(OptLevel::None);
+    service.submit_batch(session, vec![spec_a, spec_b, spec_c]).unwrap();
+    let reports = service.drain();
+    assert_eq!(reports.len(), 3);
+    assert_eq!(service.cache_stats().misses, 3, "three distinct plan keys");
+    let cache = service.plan_cache();
+    assert!(cache.contains(&PlanKey {
+        fingerprint: base.program.fingerprint(),
+        nx: base.block,
+        ny: base.block,
+        level: OptLevel::Full,
+    }));
+    // Same mathematics, same answer regardless of block shape or opt level.
+    for r in &reports {
+        assert!(
+            (r.checksum - reports[0].checksum).abs() < 1e-9 * reports[0].checksum.abs().max(1.0),
+            "{} vs {}",
+            r.checksum,
+            reports[0].checksum
+        );
+    }
+}

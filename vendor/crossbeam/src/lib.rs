@@ -1,25 +1,114 @@
 //! Offline shim for `crossbeam`, backed by `std::sync::mpsc`.
 //!
-//! crates.io is unreachable in this build environment.  The workspace only
-//! uses `crossbeam::channel::{unbounded, Sender, Receiver}` to wire the
-//! simulated rank mesh, and `std`'s mpsc channel provides the same semantics
-//! for that pattern (clonable senders, blocking `recv`).  `select!`, bounded
-//! channels and the scoped-thread API are not reproduced; swap in the real
-//! crate if a later PR needs them.
+//! crates.io is unreachable in this build environment.  The workspace uses
+//! `crossbeam::channel::{unbounded, Sender, Receiver}` to wire the simulated
+//! rank mesh and the kernel-execution service's worker pool, so this shim
+//! reproduces the crossbeam-channel property both rely on: **multi-producer,
+//! multi-consumer** channels whose `Sender` *and* `Receiver` are clonable and
+//! shareable across threads.  `std`'s mpsc receiver is single-consumer, so the
+//! shim wraps it in an `Arc<Mutex<..>>`; each message is still delivered to
+//! exactly one receiver, which is the semantics a work queue needs.
+//! `select!`, bounded channels and the scoped-thread API are not reproduced;
+//! swap in the real crate if a later PR needs them.
 
 pub mod channel {
-    //! Multi-producer channels with the `crossbeam-channel` surface the
-    //! workspace uses.
+    //! Multi-producer multi-consumer channels with the `crossbeam-channel`
+    //! surface the workspace uses.
 
-    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    use std::sync::{mpsc, Arc, Mutex};
 
-    /// Create an unbounded MPSC channel, mirroring `crossbeam_channel::unbounded`.
+    /// Clonable sending half, mirroring `crossbeam_channel::Sender`.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Sender<T> {
+        /// Send a value, failing only when every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Clonable receiving half, mirroring `crossbeam_channel::Receiver`.
+    ///
+    /// Cloned receivers *share* the queue: each message is delivered to
+    /// exactly one of them (the work-stealing pattern of a worker pool), not
+    /// broadcast.  A receiver blocked in [`Receiver::recv`] holds the internal
+    /// lock, so other consumers queue behind it — correct MPMC delivery, with
+    /// fairness left to the OS scheduler.
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn guard(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            match self.inner.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            }
+        }
+
+        /// Block until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.guard().recv()
+        }
+
+        /// Receive without blocking.
+        ///
+        /// Never parks: if another consumer holds the internal lock (e.g. it
+        /// is blocked inside [`Receiver::recv`]), this reports `Empty` rather
+        /// than waiting — any message that arrives while the lock is held
+        /// will be taken by that blocked consumer anyway.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            match self.inner.try_lock() {
+                Ok(g) => g.try_recv(),
+                Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner().try_recv(),
+                Err(std::sync::TryLockError::WouldBlock) => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking iterator over incoming messages; ends when every sender
+        /// is dropped.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// See [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Create an unbounded MPMC channel, mirroring `crossbeam_channel::unbounded`.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        std::sync::mpsc::channel()
+        let (s, r) = mpsc::channel();
+        (Sender(s), Receiver { inner: Arc::new(Mutex::new(r)) })
     }
 
     #[cfg(test)]
     mod tests {
+        use std::collections::HashSet;
+        use std::thread;
+
         #[test]
         fn unbounded_fan_in() {
             let (s, r) = super::unbounded();
@@ -30,6 +119,52 @@ pub mod channel {
             let mut got: Vec<i32> = r.iter().collect();
             got.sort_unstable();
             assert_eq!(got, vec![1, 2]);
+        }
+
+        #[test]
+        fn cloned_receivers_share_the_queue() {
+            let (s, r) = super::unbounded();
+            for i in 0..100 {
+                s.send(i).unwrap();
+            }
+            drop(s);
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let rx = r.clone();
+                handles.push(thread::spawn(move || rx.iter().collect::<Vec<i32>>()));
+            }
+            drop(r);
+            let mut seen = HashSet::new();
+            for h in handles {
+                for v in h.join().unwrap() {
+                    assert!(seen.insert(v), "message {v} delivered twice");
+                }
+            }
+            assert_eq!(seen.len(), 100, "every message delivered exactly once");
+        }
+
+        #[test]
+        fn try_recv_does_not_block_behind_a_parked_recv() {
+            let (s, r) = super::unbounded::<u32>();
+            let parked = r.clone();
+            let consumer = thread::spawn(move || parked.recv().unwrap());
+            // Give the consumer time to park inside recv() holding the lock.
+            thread::sleep(std::time::Duration::from_millis(50));
+            let start = std::time::Instant::now();
+            assert!(matches!(r.try_recv(), Err(super::TryRecvError::Empty)));
+            assert!(start.elapsed() < std::time::Duration::from_millis(500), "try_recv parked");
+            s.send(7).unwrap();
+            assert_eq!(consumer.join().unwrap(), 7);
+        }
+
+        #[test]
+        fn try_recv_reports_empty_and_disconnected() {
+            let (s, r) = super::unbounded::<u8>();
+            assert!(matches!(r.try_recv(), Err(super::TryRecvError::Empty)));
+            s.send(7).unwrap();
+            assert_eq!(r.try_recv().unwrap(), 7);
+            drop(s);
+            assert!(matches!(r.try_recv(), Err(super::TryRecvError::Disconnected)));
         }
     }
 }
