@@ -35,10 +35,26 @@ fn bench_backends_on_a_block(c: &mut Criterion) {
             black_box(field.values()[0])
         })
     });
+    group.bench_function("tree_walk_scalar", |b| {
+        let mut out = vec![0.0; n * n];
+        b.iter(|| {
+            let mut stats = ExecStats::default();
+            compiled.execute_block_tree(
+                &cells,
+                &params,
+                &mut |_, _| 0.0,
+                &mut out,
+                Processor::Scalar,
+                &mut stats,
+            );
+            black_box(out[n + 1])
+        })
+    });
     for proc in [Processor::Scalar, Processor::Simd, Processor::Accelerator] {
         group.bench_function(proc.name(), |b| {
+            let mut out = vec![0.0; n * n];
+            let mut scratch = ExecScratch::new();
             b.iter(|| {
-                let mut out = vec![0.0; n * n];
                 let mut stats = ExecStats::default();
                 compiled.execute_block(
                     &cells,
@@ -47,6 +63,7 @@ fn bench_backends_on_a_block(c: &mut Criterion) {
                     &mut out,
                     proc,
                     &mut stats,
+                    &mut scratch,
                 );
                 black_box(out[n + 1])
             })
@@ -70,8 +87,9 @@ fn bench_optimizer_ablation(c: &mut Criterion) {
     for (name, level) in [("unoptimized", OptLevel::None), ("optimized", OptLevel::Full)] {
         let compiled = CompiledKernel::compile(&program, Extent::new2d(n, n), level);
         group.bench_function(name, |b| {
+            let mut out = vec![0.0; n * n];
+            let mut scratch = ExecScratch::new();
             b.iter(|| {
-                let mut out = vec![0.0; n * n];
                 let mut stats = ExecStats::default();
                 compiled.execute_block(
                     &cells,
@@ -80,6 +98,7 @@ fn bench_optimizer_ablation(c: &mut Criterion) {
                     &mut out,
                     Processor::Scalar,
                     &mut stats,
+                    &mut scratch,
                 );
                 black_box(out[n + 1])
             })

@@ -1,0 +1,213 @@
+//! Kernel microbench: register-allocated tape vs the legacy tree-walk
+//! interpreter on the Fig. 6 SGrid workload (5-point Jacobi), cold vs warm
+//! scratch, with allocation counting.
+//!
+//! Writes machine-readable `BENCH_kernel.json` (cells/sec, ops/sec,
+//! allocs/block per variant) to the current directory so CI can track the
+//! perf trajectory, and prints a human-readable table.  Problem size follows
+//! `AOHPC_SCALE=smoke|default|paper`.
+
+use aohpc_kernel::{CompiledKernel, ExecScratch, ExecStats, OptLevel, Processor, StencilProgram};
+use aohpc_workloads::Scale;
+use std::time::Instant;
+
+// Thread-scoped counting allocator shared with the kernel crate's no_alloc
+// regression test (the tape's warm path must report 0 allocs/block).
+#[global_allocator]
+static GLOBAL: aohpc_testalloc::CountingAlloc = aohpc_testalloc::CountingAlloc;
+
+fn init(x: i64, y: i64) -> f64 {
+    ((x * 13 + y * 7) % 97) as f64 / 97.0
+}
+
+/// One measured variant.
+struct Outcome {
+    name: &'static str,
+    cells_per_sec: f64,
+    ops_per_sec: f64,
+    allocs_per_block: f64,
+    checksum: f64,
+}
+
+/// Time `reps` executions of one block-step variant.
+fn measure(
+    name: &'static str,
+    n: usize,
+    reps: u32,
+    ops_per_cell: u64,
+    mut step: impl FnMut(&mut Vec<f64>),
+) -> Outcome {
+    let mut out = vec![0.0f64; n * n];
+    // Warm-up (grows any lazily-sized buffer the variant owns).
+    step(&mut out);
+    let start = Instant::now();
+    let (_, allocations) = aohpc_testalloc::count_in(|| {
+        for _ in 0..reps {
+            step(&mut out);
+        }
+    });
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let cells = (n * n) as f64 * reps as f64;
+    Outcome {
+        name,
+        cells_per_sec: cells / secs,
+        ops_per_sec: cells * ops_per_cell as f64 / secs,
+        allocs_per_block: allocations as f64 / reps as f64,
+        checksum: out[n + 1],
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    // The Fig. 6 SGrid workload's kernel, on one block of the scale's figure
+    // region (the figure's smallest region; one block isolates the per-cell
+    // executor from the platform access path).
+    let n = scale.fig6_regions()[0].nx;
+    let reps: u32 = match scale {
+        Scale::Smoke => 200,
+        Scale::Default => 50,
+        Scale::Paper => 5,
+    };
+    let program = StencilProgram::jacobi_5pt();
+    let params = [0.5, 0.125];
+    let compiled = CompiledKernel::compile(
+        &program,
+        aohpc_kernel::prelude::Extent::new2d(n, n),
+        OptLevel::Full,
+    );
+    let cells: Vec<f64> = (0..n * n).map(|k| init((k % n) as i64, (k / n) as i64)).collect();
+    let tape_stats = compiled.tape().stats();
+
+    println!("# bench_kernel — tape vs tree-walk, {n}x{n} jacobi-5pt block, scale = {scale}");
+    println!(
+        "tape: {} dag nodes -> {} body instrs ({} fused loads, {} mul-adds), {} regs (max live {})",
+        tape_stats.dag_nodes,
+        tape_stats.body_len,
+        tape_stats.fused_loads,
+        tape_stats.fused_muladds,
+        tape_stats.registers,
+        tape_stats.max_live,
+    );
+
+    let ops = compiled.op_count();
+    let mut outcomes: Vec<Outcome> = Vec::new();
+
+    // Warm tape: one scratch reused across blocks (the production path).
+    for (name, proc) in [
+        ("tape_scalar_warm", Processor::Scalar),
+        ("tape_simd_warm", Processor::Simd),
+        ("tape_accel_warm", Processor::Accelerator),
+    ] {
+        let mut scratch = ExecScratch::new();
+        outcomes.push(measure(name, n, reps, ops, |out| {
+            let mut stats = ExecStats::default();
+            compiled.execute_block(
+                &cells,
+                &params,
+                &mut |_, _| 0.0,
+                out,
+                proc,
+                &mut stats,
+                &mut scratch,
+            );
+        }));
+    }
+
+    // Cold tape: a fresh scratch per block (what a pool-less host would pay).
+    outcomes.push(measure("tape_scalar_cold", n, reps, ops, |out| {
+        let mut scratch = ExecScratch::new();
+        let mut stats = ExecStats::default();
+        compiled.execute_block(
+            &cells,
+            &params,
+            &mut |_, _| 0.0,
+            out,
+            Processor::Scalar,
+            &mut stats,
+            &mut scratch,
+        );
+    }));
+
+    // Legacy tree-walk interpreter (reference/oracle, `--features tree-walk`).
+    for (name, proc) in
+        [("tree_walk_scalar", Processor::Scalar), ("tree_walk_simd", Processor::Simd)]
+    {
+        outcomes.push(measure(name, n, reps, ops, |out| {
+            let mut stats = ExecStats::default();
+            compiled.execute_block_tree(&cells, &params, &mut |_, _| 0.0, out, proc, &mut stats);
+        }));
+    }
+
+    println!("{:<18} {:>14} {:>14} {:>13}", "variant", "cells/sec", "ops/sec", "allocs/block");
+    for o in &outcomes {
+        println!(
+            "{:<18} {:>14.3e} {:>14.3e} {:>13.1}",
+            o.name, o.cells_per_sec, o.ops_per_sec, o.allocs_per_block
+        );
+    }
+
+    let get = |name: &str| {
+        outcomes
+            .iter()
+            .find(|o| o.name == name)
+            .unwrap_or_else(|| panic!("variant {name} measured"))
+    };
+    let speedup_scalar =
+        get("tape_scalar_warm").cells_per_sec / get("tree_walk_scalar").cells_per_sec;
+    let speedup_simd = get("tape_simd_warm").cells_per_sec / get("tree_walk_simd").cells_per_sec;
+    println!("speedup (tape/tree-walk): scalar {speedup_scalar:.2}x, simd {speedup_simd:.2}x");
+
+    // Every variant computes the same field bit-for-bit.
+    let reference = outcomes[0].checksum;
+    for o in &outcomes {
+        assert_eq!(
+            o.checksum.to_bits(),
+            reference.to_bits(),
+            "{} diverged from {}",
+            o.name,
+            outcomes[0].name
+        );
+    }
+    assert_eq!(
+        get("tape_scalar_warm").allocs_per_block,
+        0.0,
+        "warm tape execution must be allocation-free"
+    );
+
+    // Machine-readable trajectory record (no external JSON dependency in the
+    // offline workspace, so the document is assembled by hand).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"kernel_tape\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    json.push_str("  \"workload\": \"fig06_sgrid_jacobi_5pt\",\n");
+    json.push_str(&format!("  \"block\": {n},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!(
+        "  \"tape\": {{\"dag_nodes\": {}, \"prelude_len\": {}, \"body_len\": {}, \"fused_loads\": {}, \"fused_muladds\": {}, \"registers\": {}, \"max_live\": {}}},\n",
+        tape_stats.dag_nodes,
+        tape_stats.prelude_len,
+        tape_stats.body_len,
+        tape_stats.fused_loads,
+        tape_stats.fused_muladds,
+        tape_stats.registers,
+        tape_stats.max_live,
+    ));
+    json.push_str("  \"variants\": {\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"cells_per_sec\": {:.1}, \"ops_per_sec\": {:.1}, \"allocs_per_block\": {:.2}}}{}\n",
+            o.name,
+            o.cells_per_sec,
+            o.ops_per_sec,
+            o.allocs_per_block,
+            if i + 1 < outcomes.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!("  \"speedup_scalar\": {speedup_scalar:.3},\n"));
+    json.push_str(&format!("  \"speedup_simd\": {speedup_simd:.3}\n"));
+    json.push_str("}\n");
+    std::fs::write("BENCH_kernel.json", &json).expect("write BENCH_kernel.json");
+    println!("wrote BENCH_kernel.json");
+}

@@ -23,11 +23,50 @@ use crate::hetero::{HeteroDispatcher, PerProcessorStats};
 use crate::opt::{OptLevel, OptStats};
 use crate::plan::{CompiledKernel, PlanSource};
 use crate::program::StencilProgram;
+use crate::tape::{ExecScratch, ScratchPool};
 use aohpc_env::{Extent, GlobalAddress, LocalAddress};
 use aohpc_runtime::{HpcApp, TaskCtx, TaskSlot};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Per-task reusable kernel buffers: the tape's [`ExecScratch`] plus the
+/// gather/result staging vectors of the block loop.
+///
+/// The app parks one of these in the task context's scratch slot
+/// ([`TaskCtx::take_scratch`] / [`TaskCtx::put_scratch`]), so after the first
+/// block of the first step every buffer is warm and the whole per-step path
+/// allocates nothing.  When the task context drops at the end of the run, a
+/// pool-backed instance returns its `ExecScratch` to the owning
+/// [`ScratchPool`] (how the multi-tenant service recycles buffers across jobs
+/// per worker); the block-shaped staging vectors are task-sized and simply
+/// drop.
+#[derive(Debug, Default)]
+pub struct KernelScratch {
+    /// Tape register files and boundary operand buffer.
+    pub exec: ExecScratch,
+    /// Staging for the block's current (read-buffer) values.
+    pub cells: Vec<f64>,
+    /// Staging for the block's next values.
+    pub out: Vec<f64>,
+    pool: Option<Arc<ScratchPool>>,
+}
+
+impl KernelScratch {
+    /// Check out a scratch, warm from `pool` when one is configured.
+    fn acquire(pool: Option<Arc<ScratchPool>>) -> Self {
+        let exec = pool.as_deref().map(ScratchPool::acquire).unwrap_or_default();
+        KernelScratch { exec, cells: Vec::new(), out: Vec::new(), pool }
+    }
+}
+
+impl Drop for KernelScratch {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.release(std::mem::take(&mut self.exec));
+        }
+    }
+}
 
 /// Shared sink receiving `(address, value)` pairs from `Finalize` (same shape
 /// as the sample DSLs' sink, so harnesses can compare fields directly).
@@ -61,6 +100,7 @@ pub struct IrStencilApp {
     field_sink: Option<StencilFieldSink>,
     stats_sink: Option<StatsSink>,
     plan_source: Option<Arc<dyn PlanSource>>,
+    scratch_pool: Option<Arc<ScratchPool>>,
     compiled: HashMap<(usize, usize), Arc<CompiledKernel>>,
 }
 
@@ -97,6 +137,7 @@ impl IrStencilApp {
             field_sink: None,
             stats_sink: None,
             plan_source: None,
+            scratch_pool: None,
             compiled: HashMap::new(),
         }
     }
@@ -142,6 +183,15 @@ impl IrStencilApp {
     /// source is consulted once per (task, shape), not once per step.
     pub fn with_plan_source(mut self, source: Arc<dyn PlanSource>) -> Self {
         self.plan_source = Some(source);
+        self
+    }
+
+    /// Check execution scratch out of (and back into) a shared
+    /// [`ScratchPool`] instead of growing fresh buffers per task — long-lived
+    /// hosts running many short jobs (the service's workers) keep their
+    /// buffers warm across jobs this way.
+    pub fn with_scratch_pool(mut self, pool: Arc<ScratchPool>) -> Self {
+        self.scratch_pool = Some(pool);
         self
     }
 
@@ -198,9 +248,15 @@ impl HpcApp<f64> for IrStencilApp {
     }
 
     fn kernel(&mut self, ctx: &mut TaskCtx<f64>, _warmup: bool) -> bool {
-        let params = self.params.clone();
         let blocks = ctx.get_blocks();
         let assignments = self.dispatcher.assign(&blocks);
+        // Per-task reusable buffers: taking them out of the context sidesteps
+        // borrow entanglement with the halo closure below, and putting them
+        // back keeps them warm across steps (and retries) — after the first
+        // block the whole step allocates nothing.
+        let mut scratch = ctx
+            .take_scratch::<KernelScratch>()
+            .unwrap_or_else(|| KernelScratch::acquire(self.scratch_pool.clone()));
         // Per-step statistics, merged into the shared sink at the end of the
         // step (Initialize/Finalize run on a different app instance, so state
         // accumulated here would not survive until `finalize`).
@@ -212,31 +268,34 @@ impl HpcApp<f64> for IrStencilApp {
             let (nx, ny) = (ext.nx, ext.ny);
 
             // 1. Gather the block's current values (GetDD fast path).
-            let mut cells = vec![0.0f64; nx * ny];
-            for (idx, cell) in cells.iter_mut().enumerate() {
+            scratch.cells.resize(nx * ny, 0.0);
+            for idx in 0..nx * ny {
                 let la = ext.delinearize(idx);
-                *cell = ctx.get_dd(bid, la);
+                scratch.cells[idx] = ctx.get_dd(bid, la);
             }
 
             // 2. Execute on the assigned backend; halo loads go back through
             //    the platform so MMAT / Env-search semantics are preserved.
-            let mut out = vec![0.0f64; nx * ny];
+            scratch.out.resize(nx * ny, 0.0);
             let mut stats = ExecStats::default();
+            let KernelScratch { exec, cells, out, .. } = &mut scratch;
             compiled.execute_block(
-                &cells,
-                &params,
+                cells,
+                &self.params,
                 &mut |x, y| ctx.get(bid, LocalAddress::new2d(x, y), false),
-                &mut out,
+                out,
                 processor,
                 &mut stats,
+                exec,
             );
             step_stats.record(processor, &stats);
 
             // 3. Write the next-step values back (SetD).
-            for (idx, value) in out.into_iter().enumerate() {
+            for (idx, &value) in scratch.out.iter().enumerate() {
                 ctx.set(bid, ext.delinearize(idx), value);
             }
         }
+        ctx.put_scratch(scratch);
         if let Some(sink) = &self.stats_sink {
             sink.lock().merge(&step_stats);
         }

@@ -8,7 +8,7 @@
 //! * [`Processor::Scalar`] — one cell at a time, the shape a plain C++ loop
 //!   (or the paper's prototype) executes;
 //! * [`Processor::Simd`] — the interior region is processed in fixed-width
-//!   lanes (`LANES` cells per DAG evaluation), the shape a vectorising
+//!   lanes (`LANES` cells per tape evaluation), the shape a vectorising
 //!   compiler or explicit SIMD intrinsics produce;
 //! * [`Processor::Accelerator`] — lane execution plus explicit offload
 //!   accounting (bytes shipped to and from the device), the shape of a GPU
@@ -16,16 +16,24 @@
 //!   *simulated*: it executes the same arithmetic on the CPU and reports the
 //!   transfer volume a real device would have moved (see DESIGN.md §5).
 //!
-//! All three backends run the same optimized DAG over the same
-//! [`AccessPlan`](crate::plan::AccessPlan), so their results are bit-identical
-//! and tests compare them directly.
+//! All three backends interpret the same register-allocated
+//! [`ExecTape`](crate::tape::ExecTape) over the same
+//! [`AccessPlan`](crate::plan::AccessPlan) from a caller-provided
+//! [`ExecScratch`], so their results are bit-identical, tests compare them
+//! directly, and the steady-state block path performs **zero heap
+//! allocations** (see `tests/no_alloc.rs`).
+//!
+//! The previous tree-walking interpreter survives as a reference oracle
+//! behind the `tree-walk` feature ([`CompiledKernel::execute_block_tree`]):
+//! property tests assert the tape is bit-identical to it for random programs,
+//! extents and backends, and the `bench_kernel` harness measures what the
+//! lowering buys.
 
-use crate::opt::{Dag, Node};
 use crate::plan::{CompiledKernel, ResolvedAccess};
+use crate::tape::ExecScratch;
 use serde::Serialize;
 
-/// Number of cells one vector lane-group processes.
-pub const LANES: usize = 8;
+pub use crate::tape::{LANES, WIDE};
 
 /// The processor model a block is executed on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
@@ -87,38 +95,37 @@ impl ExecStats {
     }
 }
 
-/// For every DAG node, the index of its offset in the plan's offset list
-/// (`usize::MAX` for non-load nodes).
-fn load_slots(dag: &Dag, offsets: &[(i64, i64)]) -> Vec<usize> {
-    dag.nodes()
-        .iter()
-        .map(|n| match n {
-            Node::Load { dx, dy } => offsets
-                .iter()
-                .position(|&o| o == (*dx, *dy))
-                .expect("plan offsets cover every live load"),
-            _ => usize::MAX,
-        })
-        .collect()
-}
-
-/// Number of evaluated operations (non-leaf nodes) in a DAG.
-fn op_count(dag: &Dag) -> u64 {
-    dag.nodes().iter().filter(|n| matches!(n, Node::Unary { .. } | Node::Binary { .. })).count()
-        as u64
-}
-
 impl CompiledKernel {
-    /// Execute the kernel over one block.
+    /// Validate the shared `execute_block*` preconditions.
+    fn check_block_args(&self, cells: &[f64], params: &[f64], out: &[f64]) {
+        let plan = self.plan();
+        assert_eq!(cells.len(), plan.cells(), "cells slice does not match the compiled extent");
+        assert_eq!(out.len(), plan.cells(), "out slice does not match the compiled extent");
+        assert!(
+            params.len() >= self.num_params(),
+            "kernel {}: {} runtime parameter(s) supplied but the program declares {}",
+            self.name(),
+            params.len(),
+            self.num_params()
+        );
+    }
+
+    /// Execute the kernel over one block by interpreting the compiled tape.
     ///
     /// * `cells` — the block's current (read-buffer) values, row-major,
     ///   `extent.cells()` long;
-    /// * `params` — runtime parameters;
+    /// * `params` — runtime parameters; must cover
+    ///   [`num_params`](CompiledKernel::num_params) (validated here — a short
+    ///   slice would otherwise silently zero-fill, which is a wrong answer,
+    ///   not a fallback);
     /// * `halo` — resolves an out-of-block load given block-local target
     ///   coordinates (the caller adds the block origin and goes through the
     ///   platform's `GetD`, so MMAT / Env search accounting still applies);
     /// * `out` — the block's next values, row-major (same length as `cells`);
-    /// * `processor` — which backend executes the interior region.
+    /// * `processor` — which backend executes the interior region;
+    /// * `scratch` — reusable register/operand buffers; grown on first use,
+    ///   then reused allocation-free for every later block.
+    #[allow(clippy::too_many_arguments)]
     pub fn execute_block(
         &self,
         cells: &[f64],
@@ -127,30 +134,72 @@ impl CompiledKernel {
         out: &mut [f64],
         processor: Processor,
         stats: &mut ExecStats,
+        scratch: &mut ExecScratch,
     ) {
+        self.check_block_args(cells, params, out);
         let plan = self.plan();
-        assert_eq!(cells.len(), plan.cells(), "cells slice does not match the compiled extent");
-        assert_eq!(out.len(), plan.cells(), "out slice does not match the compiled extent");
-        let dag = self.dag();
-        let slots = load_slots(dag, &plan.offsets);
-        let ops = op_count(dag);
+        let tape = self.tape();
+        let lanes = processor != Processor::Scalar;
+        scratch.ensure(tape.num_regs(), plan.offsets.len(), lanes);
 
         stats.blocks += 1;
         stats.cells += plan.cells() as u64;
 
-        // Interior: precomputed linear offsets, sequential order.
+        let ExecScratch { regs, lane_regs, wide_regs, operands } = scratch;
+        // Prelude: constants and runtime parameters land in pinned registers
+        // once per block, not once per cell.
+        tape.run_prelude(params, regs);
+
+        // Interior: baked linear offsets, sequential order.
+        let ops = tape.ops_per_cell();
+        let nx = plan.extent_nx as i64;
         match processor {
             Processor::Scalar => {
-                self.run_interior_scalar(cells, params, out, &slots, stats, ops);
+                for y in plan.interior.y0..plan.interior.y1 {
+                    for x in plan.interior.x0..plan.interior.x1 {
+                        let idx = (y * nx + x) as usize;
+                        out[idx] = tape.exec_cell(cells, idx, regs);
+                        stats.interior_cells += 1;
+                        stats.scalar_ops += ops;
+                    }
+                }
             }
             Processor::Simd | Processor::Accelerator => {
-                self.run_interior_lanes(cells, params, out, &slots, stats, ops);
+                tape.broadcast_prelude(regs, lane_regs);
+                tape.broadcast_prelude(regs, wide_regs);
+                for y in plan.interior.y0..plan.interior.y1 {
+                    let mut x = plan.interior.x0;
+                    // Super-groups of WIDE cells (4 lane-groups per tape
+                    // dispatch); the accounting stays one vector op per
+                    // LANES-wide group, matching the modelled SIMD width.
+                    while x + (WIDE as i64) <= plan.interior.x1 {
+                        let base = (y * nx + x) as usize;
+                        tape.exec_lanes(cells, base, wide_regs, &mut out[base..base + WIDE]);
+                        stats.interior_cells += WIDE as u64;
+                        stats.vector_ops += ops * (WIDE / LANES) as u64;
+                        x += WIDE as i64;
+                    }
+                    // Full lane-groups.
+                    while x + (LANES as i64) <= plan.interior.x1 {
+                        let base = (y * nx + x) as usize;
+                        tape.exec_lanes(cells, base, lane_regs, &mut out[base..base + LANES]);
+                        stats.interior_cells += LANES as u64;
+                        stats.vector_ops += ops;
+                        x += LANES as i64;
+                    }
+                    // Remainder cells of the row.
+                    while x < plan.interior.x1 {
+                        let idx = (y * nx + x) as usize;
+                        out[idx] = tape.exec_cell(cells, idx, regs);
+                        stats.interior_cells += 1;
+                        stats.scalar_ops += ops;
+                        x += 1;
+                    }
+                }
             }
         }
 
         // Boundary: resolved accesses, halo loads through the platform.
-        let mut operands = vec![0.0f64; plan.offsets.len()];
-        let mut values = vec![0.0f64; dag.len()];
         for cell in &plan.boundary {
             for (slot, access) in cell.accesses.iter().enumerate() {
                 operands[slot] = match *access {
@@ -161,7 +210,7 @@ impl CompiledKernel {
                     }
                 };
             }
-            out[cell.index] = eval_with_operands(dag, &slots, &operands, params, &mut values);
+            out[cell.index] = tape.exec_operands(operands, regs);
             stats.boundary_cells += 1;
             stats.scalar_ops += ops;
         }
@@ -174,136 +223,181 @@ impl CompiledKernel {
             stats.offload_bytes_out += plan.cells() as u64 * f64_bytes;
         }
     }
-
-    fn run_interior_scalar(
-        &self,
-        cells: &[f64],
-        params: &[f64],
-        out: &mut [f64],
-        slots: &[usize],
-        stats: &mut ExecStats,
-        ops: u64,
-    ) {
-        let plan = self.plan();
-        let dag = self.dag();
-        let nx = plan.extent_nx as i64;
-        let mut values = vec![0.0f64; dag.len()];
-        for y in plan.interior.y0..plan.interior.y1 {
-            for x in plan.interior.x0..plan.interior.x1 {
-                let idx = (y * nx + x) as usize;
-                for (i, node) in dag.nodes().iter().enumerate() {
-                    values[i] = match *node {
-                        Node::Load { .. } => {
-                            let delta = plan.linear_offsets[slots[i]];
-                            cells[(idx as isize + delta) as usize]
-                        }
-                        Node::Const(bits) => f64::from_bits(bits),
-                        Node::Param(p) => params.get(p).copied().unwrap_or(0.0),
-                        Node::Unary { op, a } => op.apply(values[a]),
-                        Node::Binary { op, a, b } => op.apply(values[a], values[b]),
-                    };
-                }
-                out[idx] = values[dag.root()];
-                stats.interior_cells += 1;
-                stats.scalar_ops += ops;
-            }
-        }
-    }
-
-    fn run_interior_lanes(
-        &self,
-        cells: &[f64],
-        params: &[f64],
-        out: &mut [f64],
-        slots: &[usize],
-        stats: &mut ExecStats,
-        ops: u64,
-    ) {
-        let plan = self.plan();
-        let dag = self.dag();
-        let nx = plan.extent_nx as i64;
-        let mut lane_values = vec![[0.0f64; LANES]; dag.len()];
-        let mut scalar_values = vec![0.0f64; dag.len()];
-        for y in plan.interior.y0..plan.interior.y1 {
-            let mut x = plan.interior.x0;
-            // Full lane-groups.
-            while x + (LANES as i64) <= plan.interior.x1 {
-                let base = (y * nx + x) as usize;
-                for (i, node) in dag.nodes().iter().enumerate() {
-                    lane_values[i] = match *node {
-                        Node::Load { .. } => {
-                            let delta = plan.linear_offsets[slots[i]];
-                            let start = (base as isize + delta) as usize;
-                            let mut lane = [0.0f64; LANES];
-                            lane.copy_from_slice(&cells[start..start + LANES]);
-                            lane
-                        }
-                        Node::Const(bits) => [f64::from_bits(bits); LANES],
-                        Node::Param(p) => [params.get(p).copied().unwrap_or(0.0); LANES],
-                        Node::Unary { op, a } => {
-                            let mut lane = lane_values[a];
-                            for v in &mut lane {
-                                *v = op.apply(*v);
-                            }
-                            lane
-                        }
-                        Node::Binary { op, a, b } => {
-                            let (la, lb) = (lane_values[a], lane_values[b]);
-                            let mut lane = [0.0f64; LANES];
-                            for (k, v) in lane.iter_mut().enumerate() {
-                                *v = op.apply(la[k], lb[k]);
-                            }
-                            lane
-                        }
-                    };
-                }
-                out[base..base + LANES].copy_from_slice(&lane_values[dag.root()]);
-                stats.interior_cells += LANES as u64;
-                stats.vector_ops += ops;
-                x += LANES as i64;
-            }
-            // Remainder cells of the row.
-            while x < plan.interior.x1 {
-                let idx = (y * nx + x) as usize;
-                for (i, node) in dag.nodes().iter().enumerate() {
-                    scalar_values[i] = match *node {
-                        Node::Load { .. } => {
-                            let delta = plan.linear_offsets[slots[i]];
-                            cells[(idx as isize + delta) as usize]
-                        }
-                        Node::Const(bits) => f64::from_bits(bits),
-                        Node::Param(p) => params.get(p).copied().unwrap_or(0.0),
-                        Node::Unary { op, a } => op.apply(scalar_values[a]),
-                        Node::Binary { op, a, b } => op.apply(scalar_values[a], scalar_values[b]),
-                    };
-                }
-                out[idx] = scalar_values[dag.root()];
-                stats.interior_cells += 1;
-                stats.scalar_ops += ops;
-                x += 1;
-            }
-        }
-    }
 }
 
-/// Evaluate a DAG given pre-gathered operand values (one per plan offset).
-fn eval_with_operands(
-    dag: &Dag,
-    slots: &[usize],
-    operands: &[f64],
-    params: &[f64],
-    values: &mut [f64],
-) -> f64 {
-    for (i, node) in dag.nodes().iter().enumerate() {
-        values[i] = match *node {
-            Node::Load { .. } => operands[slots[i]],
-            Node::Const(bits) => f64::from_bits(bits),
-            Node::Param(p) => params.get(p).copied().unwrap_or(0.0),
-            Node::Unary { op, a } => op.apply(values[a]),
-            Node::Binary { op, a, b } => op.apply(values[a], values[b]),
-        };
+/// The legacy tree-walking interpreter, kept as the reference/oracle the tape
+/// is property-tested against (and the baseline `bench_kernel` measures the
+/// lowering's speedup over).  Enable with `--features tree-walk`; always
+/// available to this crate's own tests.
+#[cfg(any(test, feature = "tree-walk"))]
+mod tree_walk {
+    use super::{ExecStats, Processor, LANES};
+    use crate::opt::{Dag, Node};
+    use crate::plan::{CompiledKernel, ResolvedAccess};
+
+    /// Evaluate a DAG by walking the node list, with `loads` supplied per
+    /// slot.  `slots` is the compile-time load→slot table.
+    fn eval_with_operands(
+        dag: &Dag,
+        slots: &[usize],
+        operands: &[f64],
+        params: &[f64],
+        values: &mut [f64],
+    ) -> f64 {
+        for (i, node) in dag.nodes().iter().enumerate() {
+            values[i] = match *node {
+                Node::Load { .. } => operands[slots[i]],
+                Node::Const(bits) => f64::from_bits(bits),
+                Node::Param(p) => params.get(p).copied().unwrap_or(0.0),
+                Node::Unary { op, a } => op.apply(values[a]),
+                Node::Binary { op, a, b } => op.apply(values[a], values[b]),
+            };
+        }
+        values[dag.root()]
     }
-    values[dag.root()]
+
+    impl CompiledKernel {
+        /// Execute one block with the tree-walking interpreter (same
+        /// signature and bit-identical results as
+        /// [`execute_block`](CompiledKernel::execute_block), minus the
+        /// scratch: this path heap-allocates its value buffers per block,
+        /// which is exactly the cost the tape removes).
+        ///
+        /// The per-node offset search and the operation count *are* hoisted
+        /// to compile time ([`CompiledKernel::load_slots`] /
+        /// [`CompiledKernel::op_count`]), so what this oracle measures
+        /// against the tape is purely the per-cell interpretation overhead.
+        pub fn execute_block_tree(
+            &self,
+            cells: &[f64],
+            params: &[f64],
+            halo: &mut impl FnMut(i64, i64) -> f64,
+            out: &mut [f64],
+            processor: Processor,
+            stats: &mut ExecStats,
+        ) {
+            self.check_block_args(cells, params, out);
+            let plan = self.plan();
+            let dag = self.dag();
+            let slots = self.load_slots();
+            let ops = self.op_count();
+
+            stats.blocks += 1;
+            stats.cells += plan.cells() as u64;
+
+            let nx = plan.extent_nx as i64;
+            let mut values = vec![0.0f64; dag.len()];
+            match processor {
+                Processor::Scalar => {
+                    for y in plan.interior.y0..plan.interior.y1 {
+                        for x in plan.interior.x0..plan.interior.x1 {
+                            let idx = (y * nx + x) as usize;
+                            for (i, node) in dag.nodes().iter().enumerate() {
+                                values[i] = match *node {
+                                    Node::Load { .. } => {
+                                        let delta = plan.linear_offsets[slots[i]];
+                                        cells[(idx as isize + delta) as usize]
+                                    }
+                                    Node::Const(bits) => f64::from_bits(bits),
+                                    Node::Param(p) => params.get(p).copied().unwrap_or(0.0),
+                                    Node::Unary { op, a } => op.apply(values[a]),
+                                    Node::Binary { op, a, b } => op.apply(values[a], values[b]),
+                                };
+                            }
+                            out[idx] = values[dag.root()];
+                            stats.interior_cells += 1;
+                            stats.scalar_ops += ops;
+                        }
+                    }
+                }
+                Processor::Simd | Processor::Accelerator => {
+                    let mut lane_values = vec![[0.0f64; LANES]; dag.len()];
+                    for y in plan.interior.y0..plan.interior.y1 {
+                        let mut x = plan.interior.x0;
+                        while x + (LANES as i64) <= plan.interior.x1 {
+                            let base = (y * nx + x) as usize;
+                            for (i, node) in dag.nodes().iter().enumerate() {
+                                lane_values[i] = match *node {
+                                    Node::Load { .. } => {
+                                        let delta = plan.linear_offsets[slots[i]];
+                                        let start = (base as isize + delta) as usize;
+                                        let mut lane = [0.0f64; LANES];
+                                        lane.copy_from_slice(&cells[start..start + LANES]);
+                                        lane
+                                    }
+                                    Node::Const(bits) => [f64::from_bits(bits); LANES],
+                                    Node::Param(p) => {
+                                        [params.get(p).copied().unwrap_or(0.0); LANES]
+                                    }
+                                    Node::Unary { op, a } => {
+                                        let mut lane = lane_values[a];
+                                        for v in &mut lane {
+                                            *v = op.apply(*v);
+                                        }
+                                        lane
+                                    }
+                                    Node::Binary { op, a, b } => {
+                                        let (la, lb) = (lane_values[a], lane_values[b]);
+                                        let mut lane = [0.0f64; LANES];
+                                        for (k, v) in lane.iter_mut().enumerate() {
+                                            *v = op.apply(la[k], lb[k]);
+                                        }
+                                        lane
+                                    }
+                                };
+                            }
+                            out[base..base + LANES].copy_from_slice(&lane_values[dag.root()]);
+                            stats.interior_cells += LANES as u64;
+                            stats.vector_ops += ops;
+                            x += LANES as i64;
+                        }
+                        while x < plan.interior.x1 {
+                            let idx = (y * nx + x) as usize;
+                            for (i, node) in dag.nodes().iter().enumerate() {
+                                values[i] = match *node {
+                                    Node::Load { .. } => {
+                                        let delta = plan.linear_offsets[slots[i]];
+                                        cells[(idx as isize + delta) as usize]
+                                    }
+                                    Node::Const(bits) => f64::from_bits(bits),
+                                    Node::Param(p) => params.get(p).copied().unwrap_or(0.0),
+                                    Node::Unary { op, a } => op.apply(values[a]),
+                                    Node::Binary { op, a, b } => op.apply(values[a], values[b]),
+                                };
+                            }
+                            out[idx] = values[dag.root()];
+                            stats.interior_cells += 1;
+                            stats.scalar_ops += ops;
+                            x += 1;
+                        }
+                    }
+                }
+            }
+
+            let mut operands = vec![0.0f64; plan.offsets.len()];
+            for cell in &plan.boundary {
+                for (slot, access) in cell.accesses.iter().enumerate() {
+                    operands[slot] = match *access {
+                        ResolvedAccess::InBlock(idx) => cells[idx],
+                        ResolvedAccess::Halo { x, y } => {
+                            stats.halo_fetches += 1;
+                            halo(x, y)
+                        }
+                    };
+                }
+                out[cell.index] = eval_with_operands(dag, slots, &operands, params, &mut values);
+                stats.boundary_cells += 1;
+                stats.scalar_ops += ops;
+            }
+
+            if processor == Processor::Accelerator {
+                let f64_bytes = std::mem::size_of::<f64>() as u64;
+                stats.offload_bytes_in +=
+                    (plan.cells() as u64 + plan.halo_loads() as u64) * f64_bytes;
+                stats.offload_bytes_out += plan.cells() as u64 * f64_bytes;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -337,6 +431,7 @@ mod tests {
             (0..nx * ny).map(|k| init((k % nx) as i64, (k / nx) as i64)).collect();
         let mut out = vec![0.0; nx * ny];
         let mut stats = ExecStats::default();
+        let mut scratch = ExecScratch::new();
         compiled.execute_block(
             &cells,
             &params,
@@ -344,6 +439,7 @@ mod tests {
             &mut out,
             proc,
             &mut stats,
+            &mut scratch,
         );
 
         for (i, (&got, &want)) in out.iter().zip(reference.values()).enumerate() {
@@ -381,6 +477,7 @@ mod tests {
         let cells = vec![1.0; 256];
         let mut out = vec![0.0; 256];
         let mut stats = ExecStats::default();
+        let mut scratch = ExecScratch::new();
         compiled.execute_block(
             &cells,
             &[0.5, 0.125],
@@ -388,6 +485,7 @@ mod tests {
             &mut out,
             Processor::Accelerator,
             &mut stats,
+            &mut scratch,
         );
         assert_eq!(stats.offload_bytes_out, 256 * 8);
         assert_eq!(stats.offload_bytes_in, (256 + 4 * 16) * 8);
@@ -400,6 +498,7 @@ mod tests {
         let compiled = CompiledKernel::compile(&program, Extent::new2d(16, 16), OptLevel::Full);
         let cells = vec![1.0; 256];
         let mut out = vec![0.0; 256];
+        let mut scratch = ExecScratch::new();
 
         let mut scalar = ExecStats::default();
         compiled.execute_block(
@@ -409,6 +508,7 @@ mod tests {
             &mut out,
             Processor::Scalar,
             &mut scalar,
+            &mut scratch,
         );
         assert_eq!(scalar.vector_ops, 0);
         assert!(scalar.scalar_ops > 0);
@@ -422,6 +522,7 @@ mod tests {
             &mut out,
             Processor::Simd,
             &mut simd,
+            &mut scratch,
         );
         assert!(simd.vector_ops > 0);
         assert!(simd.vector_ops < scalar.scalar_ops, "lanes amortise DAG evaluations");
@@ -436,6 +537,7 @@ mod tests {
         let cells = vec![2.0; n * n];
         let mut out = vec![0.0; n * n];
         let mut stats = ExecStats::default();
+        let mut scratch = ExecScratch::new();
         let mut fetches = 0u64;
         compiled.execute_block(
             &cells,
@@ -447,10 +549,109 @@ mod tests {
             &mut out,
             Processor::Scalar,
             &mut stats,
+            &mut scratch,
         );
         assert_eq!(fetches, stats.halo_fetches);
         assert_eq!(fetches as usize, compiled.plan().halo_loads());
         assert_eq!(fetches as usize, 4 * n);
+    }
+
+    #[test]
+    #[should_panic(expected = "runtime parameter")]
+    fn short_params_are_rejected_not_zero_filled() {
+        let program = StencilProgram::jacobi_5pt();
+        let compiled = CompiledKernel::compile(&program, Extent::new2d(8, 8), OptLevel::Full);
+        let cells = vec![1.0; 64];
+        let mut out = vec![0.0; 64];
+        let mut stats = ExecStats::default();
+        let mut scratch = ExecScratch::new();
+        // jacobi declares 2 params; passing 1 must panic loudly instead of
+        // silently computing with beta = 0.
+        compiled.execute_block(
+            &cells,
+            &[0.5],
+            &mut |_, _| 0.0,
+            &mut out,
+            Processor::Scalar,
+            &mut stats,
+            &mut scratch,
+        );
+    }
+
+    /// Blocks wide enough for the 32-cell super-group path must agree with
+    /// the tree-walk oracle bit-for-bit, including the `vector_ops`
+    /// accounting (one op per LANES-wide group regardless of how groups are
+    /// batched).  The proptest below also reaches these widths, but this
+    /// pins the instantiation deterministically: widths are chosen to hit
+    /// super-groups only (64), super-groups + lane groups (43 → interior 41 =
+    /// 32 + 8 + 1), lane groups + remainder, and every unfused form.
+    #[test]
+    fn wide_supergroups_match_tree_walk() {
+        use crate::expr::{lit, load, param};
+        let programs = [
+            StencilProgram::jacobi_5pt(),
+            StencilProgram::smooth_9pt(),
+            // Exercises LoadUnary/Unary/Binary/AccLoads (not just the fused
+            // jacobi shape) on the wide path.
+            StencilProgram::new(
+                "mixed",
+                (-load(0, 0)).abs()
+                    + param(0) * (load(1, 0) - load(-1, 0)) / lit(2.0)
+                    + (load(0, 1) + load(0, -1) + load(1, 1)),
+                1,
+            )
+            .unwrap(),
+        ];
+        for program in &programs {
+            for (nx, ny) in [(64usize, 4usize), (43, 5), (36, 3)] {
+                let compiled =
+                    CompiledKernel::compile(program, Extent::new2d(nx, ny), OptLevel::Full);
+                let cells: Vec<f64> =
+                    (0..nx * ny).map(|k| ((k * 37 + 11) % 89) as f64 / 89.0 - 0.3).collect();
+                let params = [0.25, 0.5];
+                let mut scratch = ExecScratch::new();
+                for proc in [Processor::Scalar, Processor::Simd, Processor::Accelerator] {
+                    let mut tape_out = vec![0.0; nx * ny];
+                    let mut tape_stats = ExecStats::default();
+                    compiled.execute_block(
+                        &cells,
+                        &params,
+                        &mut boundary,
+                        &mut tape_out,
+                        proc,
+                        &mut tape_stats,
+                        &mut scratch,
+                    );
+                    let mut tree_out = vec![0.0; nx * ny];
+                    let mut tree_stats = ExecStats::default();
+                    compiled.execute_block_tree(
+                        &cells,
+                        &params,
+                        &mut boundary,
+                        &mut tree_out,
+                        proc,
+                        &mut tree_stats,
+                    );
+                    for (i, (a, b)) in tape_out.iter().zip(&tree_out).enumerate() {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "{} {nx}x{ny} {proc:?} cell {i}",
+                            program.name()
+                        );
+                    }
+                    assert_eq!(
+                        tape_stats,
+                        tree_stats,
+                        "{} {nx}x{ny} {proc:?} stats",
+                        program.name()
+                    );
+                    if proc != Processor::Scalar && nx >= 32 + 2 {
+                        assert!(tape_stats.vector_ops > 0);
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -478,7 +679,83 @@ mod tests {
         assert_eq!(Processor::Accelerator.name(), "accelerator");
     }
 
+    /// Random subkernel expressions for tape-vs-oracle equivalence: loads,
+    /// constants, params at the leaves; arithmetic, min/max, neg, abs above.
+    /// Division is excluded so no ±∞/NaN enters the bit comparison.
+    fn arb_expr() -> BoxedStrategy<crate::expr::KernelExpr> {
+        use crate::expr::{lit, load, param, BinOp, KernelExpr};
+        let leaf = prop_oneof![
+            ((-2i64..=2), (-2i64..=2)).prop_map(|(dx, dy)| load(dx, dy)),
+            (-3.0f64..3.0).prop_map(lit),
+            (0usize..3).prop_map(param),
+        ];
+        leaf.prop_recursive(4, 40, 3, |inner| {
+            prop_oneof![
+                (
+                    inner.clone(),
+                    inner.clone(),
+                    prop_oneof![
+                        Just(BinOp::Add),
+                        Just(BinOp::Sub),
+                        Just(BinOp::Mul),
+                        Just(BinOp::Min),
+                        Just(BinOp::Max)
+                    ]
+                )
+                    .prop_map(|(a, b, op)| KernelExpr::Binary {
+                        op,
+                        a: Box::new(a),
+                        b: Box::new(b)
+                    }),
+                inner.clone().prop_map(|a| -a),
+                inner.prop_map(|a| a.abs()),
+            ]
+        })
+        .boxed()
+    }
+
     proptest! {
+        /// The tape is bit-identical to the tree-walk oracle — same output
+        /// bits *and* same ExecStats counters — for random programs, random
+        /// extents, both optimization levels and all three processors.
+        #[test]
+        fn tape_is_bit_identical_to_tree_walk(
+            expr in arb_expr(),
+            // nx reaches past WIDE + halo so random cases also cover the
+            // 32-cell super-group interior path.
+            nx in 1usize..44,
+            ny in 1usize..10,
+            level in prop_oneof![Just(OptLevel::None), Just(OptLevel::Full)],
+            params in proptest::collection::vec(-2.0f64..2.0, 3..=3),
+        ) {
+            use crate::expr::load;
+            let program = StencilProgram::new("prop", load(0, 0) + expr, 3).expect("valid");
+            let compiled = CompiledKernel::compile(&program, Extent::new2d(nx, ny), level);
+            let cells: Vec<f64> =
+                (0..nx * ny).map(|k| ((k * 29 + 3) % 67) as f64 / 67.0 - 0.4).collect();
+            let mut scratch = ExecScratch::new();
+            for proc in [Processor::Scalar, Processor::Simd, Processor::Accelerator] {
+                let mut tape_out = vec![0.0; nx * ny];
+                let mut tape_stats = ExecStats::default();
+                compiled.execute_block(
+                    &cells, &params, &mut boundary, &mut tape_out, proc, &mut tape_stats,
+                    &mut scratch,
+                );
+                let mut tree_out = vec![0.0; nx * ny];
+                let mut tree_stats = ExecStats::default();
+                compiled.execute_block_tree(
+                    &cells, &params, &mut boundary, &mut tree_out, proc, &mut tree_stats,
+                );
+                for (i, (a, b)) in tape_out.iter().zip(&tree_out).enumerate() {
+                    prop_assert_eq!(
+                        a.to_bits(), b.to_bits(),
+                        "cell {} differs on {:?} ({} vs {})", i, proc, a, b
+                    );
+                }
+                prop_assert_eq!(tape_stats, tree_stats, "ExecStats diverged on {:?}", proc);
+            }
+        }
+
         /// All three backends agree with the interpreter for random block
         /// shapes and parameters (Jacobi kernel).
         #[test]
@@ -495,10 +772,11 @@ mod tests {
             let compiled = CompiledKernel::compile(&program, Extent::new2d(nx, ny), OptLevel::Full);
             let cells: Vec<f64> =
                 (0..nx * ny).map(|k| init((k % nx) as i64, (k / nx) as i64)).collect();
+            let mut scratch = ExecScratch::new();
             for proc in [Processor::Scalar, Processor::Simd, Processor::Accelerator] {
                 let mut out = vec![0.0; nx * ny];
                 let mut stats = ExecStats::default();
-                compiled.execute_block(&cells, &params, &mut |x, y| boundary(x, y), &mut out, proc, &mut stats);
+                compiled.execute_block(&cells, &params, &mut |x, y| boundary(x, y), &mut out, proc, &mut stats, &mut scratch);
                 for (got, want) in out.iter().zip(reference.values()) {
                     prop_assert!((got - want).abs() < 1e-12);
                 }

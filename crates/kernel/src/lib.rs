@@ -21,6 +21,12 @@
 //! [`app::IrStencilApp`] to run on the platform under any aspect-module
 //! combination.
 //!
+//! The compiled kernel carries a register-allocated execution [`tape`]
+//! (lowered once at compile time: constants/params hoisted to a per-block
+//! prelude, loads fused into their consumers, scratch reduced to the liveness
+//! peak), which all three backends interpret from a reusable
+//! [`ExecScratch`] — so the steady-state block loop allocates nothing.
+//!
 //! ```
 //! use aohpc_kernel::prelude::*;
 //!
@@ -30,6 +36,7 @@
 //! let cells = vec![1.0; 256];
 //! let mut out = vec![0.0; 256];
 //! let mut stats = ExecStats::default();
+//! let mut scratch = ExecScratch::new(); // reusable across blocks: zero allocs when warm
 //! compiled.execute_block(
 //!     &cells,
 //!     &[0.5, 0.125],
@@ -37,6 +44,7 @@
 //!     &mut out,
 //!     Processor::Simd,
 //!     &mut stats,
+//!     &mut scratch,
 //! );
 //! assert!(stats.vector_ops > 0);
 //! // Interior cells see four neighbours of 1.0: 0.5*1 + 0.125*4 = 1.0.
@@ -54,10 +62,11 @@ pub mod hetero;
 pub mod opt;
 pub mod plan;
 pub mod program;
+pub mod tape;
 
 pub use app::{
-    default_initial_value, new_stats_sink, new_stencil_field_sink, InitFn, IrStencilApp, StatsSink,
-    StencilFieldSink,
+    default_initial_value, new_stats_sink, new_stencil_field_sink, InitFn, IrStencilApp,
+    KernelScratch, StatsSink, StencilFieldSink,
 };
 pub use backend::{ExecStats, Processor, LANES};
 pub use expr::{jacobi_5pt, lit, load, param, smooth_9pt, BinOp, KernelExpr, UnaryOp};
@@ -66,11 +75,13 @@ pub use hetero::{HeteroDispatcher, PerProcessorStats, ScheduleError, SchedulePol
 pub use opt::{Dag, OptLevel, OptStats};
 pub use plan::{AccessPlan, CompiledKernel, PlanSource, ResolvedAccess};
 pub use program::{ProgramError, ProgramFingerprint, StencilProgram};
+pub use tape::{ExecScratch, ExecTape, ScratchPool, ScratchPoolStats, TapeStats};
 
 /// Convenience re-exports for downstream users (examples, benches).
 pub mod prelude {
     pub use crate::app::{
-        new_stats_sink, new_stencil_field_sink, IrStencilApp, StatsSink, StencilFieldSink,
+        new_stats_sink, new_stencil_field_sink, IrStencilApp, KernelScratch, StatsSink,
+        StencilFieldSink,
     };
     pub use crate::backend::{ExecStats, Processor};
     pub use crate::expr::{lit, load, param, KernelExpr};
@@ -79,5 +90,6 @@ pub mod prelude {
     pub use crate::opt::{Dag, OptLevel, OptStats};
     pub use crate::plan::{AccessPlan, CompiledKernel, PlanSource};
     pub use crate::program::{ProgramFingerprint, StencilProgram};
+    pub use crate::tape::{ExecScratch, ExecTape, ScratchPool, TapeStats};
     pub use aohpc_env::Extent;
 }

@@ -21,6 +21,7 @@
 
 use crate::opt::{Dag, OptLevel};
 use crate::program::StencilProgram;
+use crate::tape::ExecTape;
 use aohpc_env::Extent;
 use serde::Serialize;
 use std::sync::Arc;
@@ -175,13 +176,27 @@ impl AccessPlan {
     }
 }
 
-/// A program compiled for one block shape: optimized DAG + access plan.
+/// A program compiled for one block shape: optimized DAG + access plan +
+/// register-allocated execution tape.
+///
+/// Everything the executor needs per block is resolved here, once:
+/// the [`ExecTape`] (instructions with baked offset slots and linear deltas),
+/// the load→slot table and the operation count the legacy tree-walk
+/// interpreter uses.  Plan caches that share `Arc<CompiledKernel>` therefore
+/// share the lowered tape too — a warm cache hit skips lowering entirely.
 #[derive(Debug, Clone)]
 pub struct CompiledKernel {
     name: String,
     num_params: usize,
     dag: Dag,
     plan: AccessPlan,
+    tape: ExecTape,
+    /// For every DAG node, the index of its offset in `plan.offsets`
+    /// (`usize::MAX` for non-load nodes).  Hoisted out of the per-block path
+    /// so even the tree-walk oracle never searches at run time; only that
+    /// oracle reads it, so production builds don't carry it.
+    #[cfg(any(test, feature = "tree-walk"))]
+    load_slots: Vec<usize>,
 }
 
 impl CompiledKernel {
@@ -192,11 +207,17 @@ impl CompiledKernel {
         // Use the DAG's (post-optimization) offsets: loads removed by the
         // optimizer do not cost halo fetches.
         let plan = AccessPlan::build(&dag.offsets(), extent.nx, extent.ny);
+        let tape = ExecTape::lower(&dag, &plan);
+        #[cfg(any(test, feature = "tree-walk"))]
+        let load_slots = crate::tape::load_slot_table(&dag, &plan);
         CompiledKernel {
             name: program.name().to_string(),
             num_params: program.num_params(),
             dag,
             plan,
+            tape,
+            #[cfg(any(test, feature = "tree-walk"))]
+            load_slots,
         }
     }
 
@@ -218,6 +239,23 @@ impl CompiledKernel {
     /// The access plan.
     pub fn plan(&self) -> &AccessPlan {
         &self.plan
+    }
+
+    /// The register-allocated execution tape (lowered once, at compile time).
+    pub fn tape(&self) -> &ExecTape {
+        &self.tape
+    }
+
+    /// The compile-time load→offset-slot table (`usize::MAX` for non-load
+    /// nodes), used by the tree-walk reference interpreter.
+    #[cfg(any(test, feature = "tree-walk"))]
+    pub fn load_slots(&self) -> &[usize] {
+        &self.load_slots
+    }
+
+    /// Evaluated DAG operations per cell.
+    pub fn op_count(&self) -> u64 {
+        self.tape.ops_per_cell()
     }
 
     /// Block shape the kernel was compiled for.

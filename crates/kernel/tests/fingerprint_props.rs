@@ -4,7 +4,8 @@
 
 use aohpc_env::Extent;
 use aohpc_kernel::{
-    lit, load, param, CompiledKernel, ExecStats, KernelExpr, OptLevel, Processor, StencilProgram,
+    lit, load, param, CompiledKernel, ExecScratch, ExecStats, KernelExpr, OptLevel, Processor,
+    StencilProgram,
 };
 use proptest::collection;
 use proptest::prelude::*;
@@ -44,7 +45,8 @@ fn halo(x: i64, y: i64) -> f64 {
 fn run_bits(kernel: &CompiledKernel, cells: &[f64], params: &[f64], proc: Processor) -> Vec<u64> {
     let mut out = vec![0.0f64; cells.len()];
     let mut stats = ExecStats::default();
-    kernel.execute_block(cells, params, &mut halo, &mut out, proc, &mut stats);
+    let mut scratch = ExecScratch::new();
+    kernel.execute_block(cells, params, &mut halo, &mut out, proc, &mut stats, &mut scratch);
     out.into_iter().map(f64::to_bits).collect()
 }
 

@@ -1,0 +1,71 @@
+//! Regression test: once the scratch is warm, `execute_block` performs
+//! **zero** heap allocations per block on every backend — interior *and*
+//! boundary path (the boundary's operand/value buffers used to be allocated
+//! per `execute_block` call; they now live in [`ExecScratch`]).
+//!
+//! Counted with `aohpc-testalloc`'s thread-scoped tracking allocator, so
+//! concurrent libtest harness threads cannot contribute stray counts.
+
+use aohpc_env::Extent;
+use aohpc_kernel::{
+    lit, load, param, CompiledKernel, ExecScratch, ExecStats, OptLevel, Processor, StencilProgram,
+};
+
+#[global_allocator]
+static GLOBAL: aohpc_testalloc::CountingAlloc = aohpc_testalloc::CountingAlloc;
+
+#[test]
+fn warm_execute_block_is_allocation_free() {
+    // A kernel exercising every tape form: loads (fused and not), a constant,
+    // params, unary ops, mul-add — plus a 5-point halo so the boundary path
+    // runs too.
+    let expr = param(0) * load(0, 0)
+        + param(1) * (load(0, -1) + load(-1, 0) + load(1, 0) + load(0, 1))
+        + (-load(0, 0)).abs() * lit(0.125);
+    let program = StencilProgram::new("alloc-probe", expr, 2).unwrap();
+    // Wide enough that the lane backends hit the 32-cell super-group path.
+    let n = 40usize;
+    let compiled = CompiledKernel::compile(&program, Extent::new2d(n, n), OptLevel::Full);
+    let cells: Vec<f64> = (0..n * n).map(|k| (k % 13) as f64 * 0.25 + 0.5).collect();
+    let params = [0.5, 0.125];
+    let mut out = vec![0.0f64; n * n];
+    let mut scratch = ExecScratch::new();
+    let mut checksum = 0.0f64;
+
+    for proc in [Processor::Scalar, Processor::Simd, Processor::Accelerator] {
+        // Warm-up: first call may grow the scratch buffers.
+        let mut stats = ExecStats::default();
+        compiled.execute_block(
+            &cells,
+            &params,
+            &mut |x, y| (x + y) as f64 * 0.1,
+            &mut out,
+            proc,
+            &mut stats,
+            &mut scratch,
+        );
+
+        // Steady state: many blocks, zero allocations.
+        let (_, allocs) = aohpc_testalloc::count_in(|| {
+            for _ in 0..32 {
+                let mut stats = ExecStats::default();
+                compiled.execute_block(
+                    &cells,
+                    &params,
+                    &mut |x, y| (x + y) as f64 * 0.1,
+                    &mut out,
+                    proc,
+                    &mut stats,
+                    &mut scratch,
+                );
+                checksum += out[n + 1];
+                assert!(stats.boundary_cells > 0, "the probe must exercise the boundary path");
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "{proc:?}: warm execute_block must not touch the heap ({allocs} allocs over 32 blocks)"
+        );
+    }
+    assert!(checksum.is_finite());
+}

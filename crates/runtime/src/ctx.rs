@@ -12,7 +12,7 @@
 //! missing-page list and the Dry-run prefetch plan.
 
 use crate::comm::Communicator;
-use crate::task::{TaskSlot, Topology};
+use crate::task::{ScratchSlot, TaskSlot, Topology};
 use aohpc_aop::{attr, JoinPointKind, WovenProgram, GET_BLOCKS, KERNEL_STEP, REFRESH, WARM_UP};
 use aohpc_env::{AccessState, BlockId, Cell, Env, GlobalAddress, LocalAddress};
 use aohpc_mem::PageId;
@@ -186,6 +186,10 @@ pub struct TaskCtx<C: Cell> {
     use_weaver: bool,
     /// Task-local access state (counters, MMAT, missing pages).
     pub state: AccessState,
+    /// Task-local scratch (reusable kernel working buffers, see
+    /// [`ScratchSlot`]).  Persists across steps and retries; dropped with the
+    /// context when the task finishes.
+    scratch: ScratchSlot,
     warmup: bool,
     step: u64,
     steps_done: u64,
@@ -210,6 +214,7 @@ impl<C: Cell> TaskCtx<C> {
             woven,
             use_weaver,
             state: if mmat { AccessState::with_mmat() } else { AccessState::new() },
+            scratch: ScratchSlot::new(),
             warmup: false,
             step: 0,
             steps_done: 0,
@@ -270,6 +275,20 @@ impl<C: Cell> TaskCtx<C> {
     /// Re-executed steps.
     pub fn retries(&self) -> u64 {
         self.retries
+    }
+
+    /// Take the task-local scratch of type `T` (None on first use or type
+    /// mismatch).  Taking transfers ownership, so the kernel can hold the
+    /// scratch mutably while it also borrows the context for platform
+    /// accesses; put it back with [`TaskCtx::put_scratch`] before returning.
+    pub fn take_scratch<T: std::any::Any + Send>(&mut self) -> Option<T> {
+        self.scratch.take::<T>()
+    }
+
+    /// Store the task-local scratch for the next step (replacing any held
+    /// value).
+    pub fn put_scratch<T: std::any::Any + Send>(&mut self, value: T) {
+        self.scratch.put(value);
     }
 
     fn dispatch(
@@ -576,6 +595,22 @@ mod tests {
         assert_eq!(ctx.steps_done(), 2);
         assert_eq!(ctx.retries(), 1);
         assert_eq!(ctx.step(), 2);
+    }
+
+    #[test]
+    fn scratch_persists_across_kernel_steps() {
+        let (env, _ids) = tiny_env();
+        let mut ctx = serial_ctx(env);
+        assert_eq!(ctx.take_scratch::<Vec<f64>>(), None, "first use starts empty");
+        ctx.put_scratch(vec![1.0f64; 8]);
+        // A later step sees the same buffer (no reallocation per step).
+        assert!(ctx.run_kernel_step(false, |ctx| {
+            let buf = ctx.take_scratch::<Vec<f64>>().expect("scratch survives");
+            assert_eq!(buf.len(), 8);
+            ctx.put_scratch(buf);
+            true
+        }));
+        assert!(ctx.take_scratch::<Vec<f64>>().is_some());
     }
 
     #[test]

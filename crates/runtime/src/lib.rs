@@ -41,4 +41,4 @@ pub use cost::{CostModel, CostParams};
 pub use ctx::{RankShared, TaskCtx};
 pub use driver::{execute, RunConfig, WeaveMode};
 pub use report::{RankReport, RunReport, RunSummary, TaskReport};
-pub use task::{LayerKind, LayerSpec, TaskSlot, Topology};
+pub use task::{LayerKind, LayerSpec, ScratchSlot, TaskSlot, Topology};

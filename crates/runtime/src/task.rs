@@ -9,7 +9,63 @@
 //! tasks with task id `rank * threads + thread`.
 
 use serde::Serialize;
+use std::any::Any;
 use std::fmt;
+
+/// Type-erased, task-local scratch storage.
+///
+/// A task's kernel often needs reusable working buffers (register files,
+/// gather/scatter staging) that must survive across steps — re-allocating
+/// them per step or per block is exactly the overhead the compiled-kernel
+/// tape removes.  The runtime cannot know the concrete buffer types (they
+/// belong to whatever app runs on top), so the slot stores one value behind
+/// `dyn Any` and hands it back by type: the app *takes* its scratch at the
+/// start of a step (ownership sidesteps any borrow entanglement with the
+/// context) and *puts* it back when done.  Dropping the slot drops the value,
+/// which lets pooled buffers return themselves to their pool via `Drop`.
+#[derive(Default)]
+pub struct ScratchSlot {
+    inner: Option<Box<dyn Any + Send>>,
+}
+
+impl ScratchSlot {
+    /// An empty slot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take the stored value if it has type `T`.  A stored value of a
+    /// different type stays in place (and `None` is returned), so two apps
+    /// sharing a context cannot corrupt each other's scratch.
+    pub fn take<T: Any + Send>(&mut self) -> Option<T> {
+        match self.inner.take() {
+            Some(boxed) => match boxed.downcast::<T>() {
+                Ok(value) => Some(*value),
+                Err(other) => {
+                    self.inner = Some(other);
+                    None
+                }
+            },
+            None => None,
+        }
+    }
+
+    /// Store a value, replacing (and dropping) whatever was there.
+    pub fn put<T: Any + Send>(&mut self, value: T) {
+        self.inner = Some(Box::new(value));
+    }
+
+    /// Whether the slot currently holds a value.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_none()
+    }
+}
+
+impl fmt::Debug for ScratchSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScratchSlot").field("occupied", &self.inner.is_some()).finish()
+    }
+}
 
 /// The kind of a parallel layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -179,6 +235,25 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_parallelism_rejected() {
         let _ = Topology::new(vec![LayerSpec::distributed(0)]);
+    }
+
+    #[test]
+    fn scratch_slot_roundtrips_by_type() {
+        let mut slot = ScratchSlot::new();
+        assert!(slot.is_empty());
+        assert_eq!(slot.take::<Vec<f64>>(), None);
+        slot.put(vec![1.0f64, 2.0]);
+        assert!(!slot.is_empty());
+        // A mismatched type leaves the value in place.
+        assert_eq!(slot.take::<String>(), None);
+        assert!(!slot.is_empty());
+        assert_eq!(slot.take::<Vec<f64>>(), Some(vec![1.0, 2.0]));
+        assert!(slot.is_empty());
+        // put replaces the previous value.
+        slot.put(1u32);
+        slot.put(2u32);
+        assert_eq!(slot.take::<u32>(), Some(2));
+        assert!(format!("{slot:?}").contains("occupied"));
     }
 
     proptest! {

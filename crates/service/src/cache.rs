@@ -20,6 +20,10 @@
 //!   entries; inserting past that evicts the least-recently-used entry of the
 //!   shard.  Recency is a global atomic tick, not a clock, so behaviour is
 //!   deterministic under test.
+//! * **Tape included.**  A [`CompiledKernel`] carries its register-allocated
+//!   execution tape (lowered once, inside `compile`), so a warm hit hands the
+//!   tenant a ready-to-run tape — no per-job lowering, no per-job register
+//!   allocation.
 
 use aohpc_env::Extent;
 use aohpc_kernel::{CompiledKernel, OptLevel, PlanSource, ProgramFingerprint, StencilProgram};
@@ -299,6 +303,21 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1, "single-flight: one compilation total");
         assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn warm_hits_share_the_lowered_tape() {
+        // The tape is lowered inside CompiledKernel::compile, so a hit (the
+        // same Arc) necessarily skips lowering: one miss, one tape, shared.
+        let cache = PlanCache::new(2, 8);
+        let p = StencilProgram::jacobi_5pt();
+        let (cold, hit_cold) = cache.get_or_compile(&p, Extent::new2d(8, 8), OptLevel::Full);
+        let (warm, hit_warm) = cache.get_or_compile(&p, Extent::new2d(8, 8), OptLevel::Full);
+        assert!(!hit_cold);
+        assert!(hit_warm);
+        assert!(Arc::ptr_eq(&cold, &warm));
+        assert!(std::ptr::eq(cold.tape(), warm.tape()), "one lowering, shared tape");
+        assert!(warm.tape().stats().registers > 0);
     }
 
     #[test]

@@ -23,7 +23,9 @@ use crate::session::{SessionCtx, SessionId, SessionMeter, SessionSpec};
 use aohpc_aop::Weaver;
 use aohpc_dsl::{DslSystem, SGridSystem};
 use aohpc_env::Extent;
-use aohpc_kernel::{new_stencil_field_sink, HeteroDispatcher, IrStencilApp};
+use aohpc_kernel::{
+    new_stencil_field_sink, HeteroDispatcher, IrStencilApp, ScratchPool, ScratchPoolStats,
+};
 use aohpc_runtime::{execute, CostModel, MpiAspect, OmpAspect, RunConfig, Topology};
 use aohpc_workloads::{checksum, Scale};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -165,6 +167,10 @@ struct Queued {
 struct Inner {
     config: ServiceConfig,
     cache: Arc<PlanCache>,
+    /// Execution-scratch recycling across jobs: each job's tasks check their
+    /// tape register files out of this pool and the task-context drop returns
+    /// them, so a worker's steady-state jobs run on warm buffers.
+    scratch: Arc<ScratchPool>,
     sessions: Mutex<HashMap<SessionId, SessionCtx>>,
     results: Mutex<Vec<JobReport>>,
     pending: StdMutex<u64>,
@@ -196,9 +202,13 @@ impl KernelService {
     /// Start a service with the given sizing.
     pub fn new(config: ServiceConfig) -> Self {
         let cache = Arc::new(PlanCache::new(config.cache_shards, config.cache_capacity));
+        // Enough idle scratches for every worker to run a hybrid-topology job
+        // (a few tasks each) without dropping warm buffers on release.
+        let scratch = ScratchPool::new(config.workers.max(1) * 4);
         let inner = Arc::new(Inner {
             config,
             cache,
+            scratch,
             sessions: Mutex::new(HashMap::new()),
             results: Mutex::new(Vec::new()),
             pending: StdMutex::new(0),
@@ -242,6 +252,11 @@ impl KernelService {
     /// Plan-cache counters.
     pub fn cache_stats(&self) -> PlanCacheStats {
         self.inner.cache.stats()
+    }
+
+    /// Execution-scratch pool counters (created / reused / idle).
+    pub fn scratch_stats(&self) -> ScratchPoolStats {
+        self.inner.scratch.stats()
     }
 
     /// The shared plan cache (e.g. to install into an out-of-band app).
@@ -562,6 +577,7 @@ fn execute_spec(inner: &Inner, spec: &JobSpec) -> (f64, f64, aohpc_runtime::RunS
         .with_opt_level(spec.opt_level)
         .with_dispatcher(dispatcher)
         .with_plan_source(inner.cache.clone())
+        .with_scratch_pool(inner.scratch.clone())
         .with_field_sink(sink.clone());
 
     let mut weaver = Weaver::new();
@@ -701,6 +717,23 @@ mod tests {
 
         assert_eq!(service.session(session).unwrap().meter().jobs_rejected, 3);
         assert!(service.drain().is_empty(), "nothing malformed reached the queue");
+    }
+
+    #[test]
+    fn worker_scratch_is_pooled_across_jobs() {
+        // One worker runs three jobs back to back: the first creates the
+        // scratch, the later two reuse it warm.
+        let service = KernelService::new(ServiceConfig::default().with_workers(1));
+        let session = service.open_session(SessionSpec::tenant("t"));
+        for _ in 0..3 {
+            service.submit(session, smoke_job()).unwrap();
+        }
+        let reports = service.drain();
+        assert_eq!(reports.len(), 3);
+        let stats = service.scratch_stats();
+        assert_eq!(stats.created, 1, "one worker grows exactly one scratch: {stats:?}");
+        assert_eq!(stats.reused, 2, "later jobs run on warm buffers: {stats:?}");
+        assert_eq!(stats.idle, 1, "the scratch is parked between jobs: {stats:?}");
     }
 
     #[test]

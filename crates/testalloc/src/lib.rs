@@ -1,0 +1,112 @@
+//! A thread-scoped counting global allocator for allocation-regression tests
+//! and benches.
+//!
+//! The naive version of this (count *every* allocation routed through the
+//! global allocator) is flaky under `cargo test`: libtest's own harness
+//! threads allocate concurrently with the measured window, so a
+//! "zero allocations" assertion intermittently sees their strays.  This
+//! counter therefore only counts allocations made **while the current thread
+//! is inside [`count_in`]** — other threads never contribute.
+//!
+//! Usage: declare the allocator in the binary under test, then measure:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static GLOBAL: aohpc_testalloc::CountingAlloc = aohpc_testalloc::CountingAlloc;
+//!
+//! let (result, allocs) = aohpc_testalloc::count_in(|| hot_path());
+//! assert_eq!(allocs, 0);
+//! ```
+//!
+//! Deallocations are not counted — the assertions are about *new* heap
+//! traffic.  `realloc` counts as one allocation.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+    // Per-thread count, so two threads inside `count_in` at once (e.g. two
+    // parallel libtest cases) never attribute each other's allocations.
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A `#[global_allocator]` that counts allocations made by threads currently
+/// inside [`count_in`], forwarding all actual work to [`System`].
+pub struct CountingAlloc;
+
+#[inline]
+fn note_alloc() {
+    // try_with: the thread-locals may be unavailable during thread teardown;
+    // allocations there are simply not counted.
+    if TRACKING.try_with(Cell::get).unwrap_or(false) {
+        let _ = ALLOCS.try_with(|a| a.set(a.get() + 1));
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note_alloc();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note_alloc();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Run `f` with allocation tracking enabled on the current thread, returning
+/// its result and the number of allocations *this thread* performed inside
+/// it.  Nests safely (the inner scope's allocations also count toward the
+/// outer one).
+pub fn count_in<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let was = TRACKING.with(|t| t.replace(true));
+    let before = ALLOCS.with(Cell::get);
+    let result = f();
+    let after = ALLOCS.with(Cell::get);
+    TRACKING.with(|t| t.set(was));
+    (result, after - before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    // The allocator must be registered for the counter to see anything.
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    #[test]
+    fn counts_only_inside_the_scope_and_only_this_thread() {
+        let warm: Vec<u64> = (0..4).collect(); // outside: not counted
+        let (sum, allocs) = count_in(|| {
+            let v: Vec<u64> = (0..128).collect();
+            v.iter().sum::<u64>()
+        });
+        assert_eq!(sum, 127 * 128 / 2);
+        assert!(allocs >= 1, "the Vec allocation is counted");
+        drop(warm);
+
+        // No allocation inside the scope: zero, even if another thread is
+        // allocating at full tilt concurrently.
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let noisy = {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::hint::black_box(vec![0u8; 64]);
+                }
+            })
+        };
+        let (_, allocs) = count_in(|| std::hint::black_box(1 + 1));
+        stop.store(true, Ordering::Relaxed);
+        noisy.join().unwrap();
+        assert_eq!(allocs, 0, "other threads' allocations are not attributed");
+    }
+}
