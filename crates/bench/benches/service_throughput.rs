@@ -47,6 +47,14 @@ fn submit_round(service: &KernelService, session: SessionId) -> f64 {
     reports.iter().map(|r| r.simulated_seconds).sum()
 }
 
+/// The same round through the async front door: handles in, per-job waits
+/// out, no global drain barrier.
+fn submit_async_round(service: &KernelService, session: SessionId) -> f64 {
+    let handles = service.submit_batch(session, job_variants()).expect("admission");
+    assert_eq!(handles.len(), JOBS);
+    handles.iter().map(|h| h.wait().expect("job executed").simulated_seconds).sum()
+}
+
 fn bench_service(c: &mut Criterion) {
     let mut group = c.benchmark_group("service_throughput");
     group.sample_size(10);
@@ -74,6 +82,26 @@ fn bench_service(c: &mut Criterion) {
             service.cache_stats().misses,
             JOBS as u64,
             "warm rounds must not recompile (workers={workers})"
+        );
+    }
+
+    // Async front door: the same warm stream collected per job through
+    // `JobHandle::wait` instead of the global drain barrier (report
+    // retention off — handles are the only collection point, so the
+    // undrained buffer cannot grow across iterations).
+    for workers in [1usize, 4] {
+        let service = KernelService::new(
+            ServiceConfig::default().with_workers(workers).with_report_retention(false),
+        );
+        let session = service.open_session(SessionSpec::tenant("bench-async"));
+        submit_async_round(&service, session); // pre-warm, unmeasured
+        group.bench_function(format!("warm_cache_async_{workers}workers"), |b| {
+            b.iter(|| black_box(submit_async_round(&service, session)))
+        });
+        assert_eq!(
+            service.cache_stats().misses,
+            JOBS as u64,
+            "async warm rounds must not recompile (workers={workers})"
         );
     }
 

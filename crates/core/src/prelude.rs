@@ -24,7 +24,8 @@ pub use aohpc_runtime::{
     RunSummary, TaskCtx, TaskSlot, Topology,
 };
 pub use aohpc_service::{
-    BatchError, JobId, JobReport, JobSpec, KernelService, PlanCache, PlanCacheStats, ServiceConfig,
-    SessionCtx, SessionId, SessionMeter, SessionSpec, SubmitError,
+    AdmissionStats, BatchError, CompletionStream, JobError, JobErrorKind, JobHandle, JobId,
+    JobOutcome, JobReport, JobSpec, JobStatus, KernelService, PlanCache, PlanCacheStats,
+    ServiceConfig, SessionCtx, SessionId, SessionMeter, SessionSpec, SubmitError,
 };
 pub use aohpc_workloads::{checksum, GridLayout, ParticleSize, RegionSize, Scale};

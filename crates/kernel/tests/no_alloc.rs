@@ -8,7 +8,8 @@
 
 use aohpc_env::Extent;
 use aohpc_kernel::{
-    lit, load, param, CompiledKernel, ExecScratch, ExecStats, OptLevel, Processor, StencilProgram,
+    lit, load, param, CompiledKernel, ExecScratch, ExecStats, OptLevel, Processor, ScratchPool,
+    StencilProgram,
 };
 
 #[global_allocator]
@@ -68,4 +69,86 @@ fn warm_execute_block_is_allocation_free() {
         );
     }
     assert!(checksum.is_finite());
+}
+
+/// Regression: `ExecScratch` recycled through a [`ScratchPool`] across jobs
+/// stays zero-alloc warm under worker churn — acquire/release cycles, a
+/// second transient "worker" forcing a cold scratch, and a capacity
+/// overflow dropping one.  Only a *cold* scratch (fresh from an empty pool)
+/// may allocate; every pooled check-out must run its whole job without
+/// touching the heap.
+#[test]
+fn pooled_scratch_stays_warm_across_job_churn() {
+    let expr =
+        param(0) * load(0, 0) + param(1) * (load(0, -1) + load(-1, 0) + load(1, 0) + load(0, 1));
+    let program = StencilProgram::new("churn-probe", expr, 2).unwrap();
+    let n = 24usize;
+    let compiled = CompiledKernel::compile(&program, Extent::new2d(n, n), OptLevel::Full);
+    let cells: Vec<f64> = (0..n * n).map(|k| (k % 7) as f64 * 0.5).collect();
+    let params = [0.5, 0.125];
+    let mut out = vec![0.0f64; n * n];
+
+    // One "job": a few blocks on every backend, like a service worker's
+    // steady-state unit of work.
+    let mut run_job = |scratch: &mut ExecScratch| {
+        for proc in [Processor::Scalar, Processor::Simd, Processor::Accelerator] {
+            for _ in 0..4 {
+                let mut stats = ExecStats::default();
+                compiled.execute_block(
+                    &cells,
+                    &params,
+                    &mut |x, y| (x + y) as f64 * 0.1,
+                    &mut out,
+                    proc,
+                    &mut stats,
+                    scratch,
+                );
+            }
+        }
+    };
+
+    // Pool of one idle slot, as a single service worker would see.  Job 1 is
+    // cold: the pool is empty, the scratch grows, the release's first push
+    // grows the free list.  All of that may allocate.
+    let pool = ScratchPool::new(1);
+    let mut scratch = pool.acquire();
+    run_job(&mut scratch);
+    pool.release(scratch);
+    assert_eq!(pool.stats().created, 1);
+
+    // Jobs 2..6: every check-out is warm, and the whole
+    // acquire → execute → release cycle performs zero allocations.
+    let (_, allocs) = aohpc_testalloc::count_in(|| {
+        for _ in 0..5 {
+            let mut scratch = pool.acquire();
+            run_job(&mut scratch);
+            pool.release(scratch);
+        }
+    });
+    assert_eq!(allocs, 0, "recycled scratches must stay warm ({allocs} allocs over 5 jobs)");
+    let stats = pool.stats();
+    assert_eq!(stats.reused, 5, "every warm job reused the pooled scratch: {stats:?}");
+    assert_eq!(stats.idle, 1);
+
+    // Churn: a second transient worker checks out while the pool is empty —
+    // a cold scratch (allocations expected) — and its release overflows the
+    // one-slot pool, dropping one scratch silently.
+    let held = pool.acquire(); // pool now empty
+    let mut transient = pool.acquire(); // cold: created, may allocate
+    run_job(&mut transient);
+    pool.release(held);
+    pool.release(transient); // over capacity: dropped
+    let stats = pool.stats();
+    assert_eq!(stats.created, 2, "the transient worker forced a second scratch: {stats:?}");
+    assert_eq!(stats.idle, 1, "the overflow release was dropped, not pooled: {stats:?}");
+
+    // After the churn the surviving pooled scratch is still warm: the next
+    // job is again allocation-free.
+    let (_, allocs) = aohpc_testalloc::count_in(|| {
+        let mut scratch = pool.acquire();
+        run_job(&mut scratch);
+        pool.release(scratch);
+    });
+    assert_eq!(allocs, 0, "churn must not cool the surviving scratch");
+    assert_eq!(pool.stats().reused, 7, "jobs 2..6, the held check-out, and the final job");
 }

@@ -17,9 +17,10 @@ use aohpc_aop::{attr, JoinPointKind, WovenProgram, GET_BLOCKS, KERNEL_STEP, REFR
 use aohpc_env::{AccessState, BlockId, Cell, Env, GlobalAddress, LocalAddress};
 use aohpc_mem::PageId;
 use parking_lot::Mutex;
+use serde::Serialize;
 use std::any::Any;
 use std::collections::HashSet;
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
 // ---------------------------------------------------------------------------
@@ -94,6 +95,77 @@ pub struct KernelStepPayload {
     pub step: u64,
     /// Whether this is a warm-up execution.
     pub warmup: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Progress notification
+// ---------------------------------------------------------------------------
+
+/// A point-in-time progress snapshot of one run (see [`ProgressNotifier`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct Progress {
+    /// Kernel steps completed across all tasks (non-warm-up, successful).
+    pub steps: u64,
+    /// Tasks whose processing loop has finished.
+    pub tasks_finished: u64,
+}
+
+/// Live progress counters a run publishes while it executes.
+///
+/// Install one into a [`RunConfig`](crate::RunConfig) with
+/// [`RunConfig::with_progress`](crate::RunConfig::with_progress); the driver
+/// hands it to every task context, [`TaskCtx::run_kernel_step`] bumps the
+/// step counter on each successful non-warm-up step, and
+/// [`TaskCtx::into_report`] marks the task finished.  An observer on another
+/// thread (a job handle, a monitoring endpoint) samples
+/// [`ProgressNotifier::snapshot`] without synchronizing with the run — the
+/// counters are plain atomics, so a mid-step read is always a valid
+/// lower bound on completed work.
+#[derive(Default)]
+pub struct ProgressNotifier {
+    steps: AtomicU64,
+    tasks_finished: AtomicU64,
+}
+
+impl ProgressNotifier {
+    /// Fresh counters, shared via `Arc`.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Record one completed (successful, non-warm-up) kernel step.
+    pub fn record_step(&self) {
+        self.steps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one task's processing loop finishing.
+    pub fn record_task_finished(&self) {
+        self.tasks_finished.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completed steps so far (across all tasks).
+    pub fn steps_done(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    /// Finished tasks so far.
+    pub fn tasks_finished(&self) -> u64 {
+        self.tasks_finished.load(Ordering::Relaxed)
+    }
+
+    /// Both counters, read together.
+    pub fn snapshot(&self) -> Progress {
+        Progress { steps: self.steps_done(), tasks_finished: self.tasks_finished() }
+    }
+}
+
+impl std::fmt::Debug for ProgressNotifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressNotifier")
+            .field("steps", &self.steps_done())
+            .field("tasks_finished", &self.tasks_finished())
+            .finish()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -190,6 +262,8 @@ pub struct TaskCtx<C: Cell> {
     /// [`ScratchSlot`]).  Persists across steps and retries; dropped with the
     /// context when the task finishes.
     scratch: ScratchSlot,
+    /// Run-level progress counters, bumped as this task completes steps.
+    progress: Option<Arc<ProgressNotifier>>,
     warmup: bool,
     step: u64,
     steps_done: u64,
@@ -215,6 +289,7 @@ impl<C: Cell> TaskCtx<C> {
             use_weaver,
             state: if mmat { AccessState::with_mmat() } else { AccessState::new() },
             scratch: ScratchSlot::new(),
+            progress: None,
             warmup: false,
             step: 0,
             steps_done: 0,
@@ -289,6 +364,14 @@ impl<C: Cell> TaskCtx<C> {
     /// value).
     pub fn put_scratch<T: std::any::Any + Send>(&mut self, value: T) {
         self.scratch.put(value);
+    }
+
+    /// Install run-level progress counters: every successful non-warm-up
+    /// step this task completes bumps them, and [`TaskCtx::into_report`]
+    /// marks the task finished.  The driver calls this for every task when
+    /// the [`RunConfig`](crate::RunConfig) carries a notifier.
+    pub fn set_progress(&mut self, progress: Arc<ProgressNotifier>) {
+        self.progress = Some(progress);
     }
 
     fn dispatch(
@@ -367,6 +450,9 @@ impl<C: Cell> TaskCtx<C> {
             if ok {
                 self.steps_done += 1;
                 self.step += 1;
+                if let Some(progress) = &self.progress {
+                    progress.record_step();
+                }
             } else {
                 self.retries += 1;
             }
@@ -498,6 +584,9 @@ impl<C: Cell> TaskCtx<C> {
 
     /// Finish the task and emit its report.
     pub fn into_report(self) -> crate::report::TaskReport {
+        if let Some(progress) = &self.progress {
+            progress.record_task_finished();
+        }
         crate::report::TaskReport {
             slot: self.slot,
             counters: self.state.counters,
@@ -611,6 +700,24 @@ mod tests {
             true
         }));
         assert!(ctx.take_scratch::<Vec<f64>>().is_some());
+    }
+
+    #[test]
+    fn progress_notifier_tracks_steps_and_task_completion() {
+        let (env, _ids) = tiny_env();
+        let mut ctx = serial_ctx(env);
+        let progress = ProgressNotifier::new();
+        ctx.set_progress(progress.clone());
+        assert_eq!(progress.snapshot(), Progress::default());
+        assert!(ctx.run_kernel_step(false, |_| true));
+        assert!(!ctx.run_kernel_step(false, |_| false), "retries are not progress");
+        assert!(ctx.run_kernel_step(true, |_| true), "warm-up steps are not progress");
+        assert!(ctx.run_kernel_step(false, |_| true));
+        assert_eq!(progress.steps_done(), 2);
+        assert_eq!(progress.tasks_finished(), 0);
+        let _ = ctx.into_report();
+        assert_eq!(progress.snapshot(), Progress { steps: 2, tasks_finished: 1 });
+        assert!(format!("{progress:?}").contains("steps"));
     }
 
     #[test]

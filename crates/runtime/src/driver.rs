@@ -21,7 +21,7 @@
 
 use crate::annotation::HpcApp;
 use crate::comm::Communicator;
-use crate::ctx::{MainPayload, ProcessingPayload, RankShared, TaskCtx};
+use crate::ctx::{MainPayload, ProcessingPayload, ProgressNotifier, RankShared, TaskCtx};
 use crate::report::{RankReport, RunReport, TaskReport};
 use crate::task::{TaskSlot, Topology};
 use aohpc_aop::{
@@ -56,6 +56,11 @@ pub struct RunConfig {
     pub dry_run: bool,
     /// Whether join points are dispatched through the weaver.
     pub weave_mode: WeaveMode,
+    /// Live progress counters every task reports into (completed steps,
+    /// finished tasks).  `None` (the default) skips the bookkeeping; a
+    /// long-lived host (e.g. the kernel-execution service) installs one per
+    /// job so in-flight work is observable from outside the run.
+    pub progress: Option<Arc<ProgressNotifier>>,
 }
 
 impl RunConfig {
@@ -67,6 +72,7 @@ impl RunConfig {
             mmat: false,
             dry_run: true,
             weave_mode: WeaveMode::Woven,
+            progress: None,
         }
     }
 
@@ -91,6 +97,13 @@ impl RunConfig {
     /// Set the weave mode.
     pub fn with_weave_mode(mut self, mode: WeaveMode) -> Self {
         self.weave_mode = mode;
+        self
+    }
+
+    /// Install progress counters the run's tasks report into (see
+    /// [`ProgressNotifier`]).
+    pub fn with_progress(mut self, progress: Arc<ProgressNotifier>) -> Self {
+        self.progress = Some(progress);
         self
     }
 }
@@ -144,6 +157,7 @@ where
     let use_weaver = config.weave_mode == WeaveMode::Woven;
     let mmat = config.mmat;
     let dry_run = config.dry_run;
+    let progress = config.progress.clone();
 
     let task_reports: Arc<Mutex<Vec<TaskReport>>> = Arc::new(Mutex::new(Vec::new()));
     let rank_reports: Arc<Mutex<Vec<RankReport>>> = Arc::new(Mutex::new(Vec::new()));
@@ -161,6 +175,7 @@ where
         let env_stats_cell = env_stats_cell.clone();
         let pool_stats_cell = pool_stats_cell.clone();
         let runtime_log = runtime_log.clone();
+        let progress = progress.clone();
 
         Arc::new(move |rank: usize, comm: Option<Communicator<C>>| {
             let ranks = topology.ranks();
@@ -232,6 +247,7 @@ where
                 let woven = woven.clone();
                 let app_factory = app_factory.clone();
                 let task_reports = task_reports.clone();
+                let progress = progress.clone();
                 Arc::new(move |thread: usize| {
                     let slot = topology.slot(rank, thread);
                     let mut app = (app_factory)(slot);
@@ -243,6 +259,9 @@ where
                         use_weaver,
                         mmat,
                     );
+                    if let Some(progress) = &progress {
+                        ctx.set_progress(progress.clone());
+                    }
                     app.processing(&mut ctx);
                     task_reports.lock().push(ctx.into_report());
                 })

@@ -38,7 +38,7 @@ pub use annotation::HpcApp;
 pub use aspects::{MpiAspect, OmpAspect};
 pub use comm::{CommStats, Communicator, PagePayload, RankMessage};
 pub use cost::{CostModel, CostParams};
-pub use ctx::{RankShared, TaskCtx};
+pub use ctx::{Progress, ProgressNotifier, RankShared, TaskCtx};
 pub use driver::{execute, RunConfig, WeaveMode};
 pub use report::{RankReport, RunReport, RunSummary, TaskReport};
-pub use task::{LayerKind, LayerSpec, ScratchSlot, TaskSlot, Topology};
+pub use task::{CompletionSlot, LayerKind, LayerSpec, ScratchSlot, TaskSlot, Topology};

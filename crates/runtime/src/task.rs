@@ -11,6 +11,9 @@
 use serde::Serialize;
 use std::any::Any;
 use std::fmt;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::task::Waker;
+use std::time::Duration;
 
 /// Type-erased, task-local scratch storage.
 ///
@@ -64,6 +67,138 @@ impl ScratchSlot {
 impl fmt::Debug for ScratchSlot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ScratchSlot").field("occupied", &self.inner.is_some()).finish()
+    }
+}
+
+/// A one-shot completion cell: written once, observable by any number of
+/// waiters, pollable both synchronously (condvar) and asynchronously (stored
+/// [`Waker`]s).
+///
+/// This is the runtime's completion-notification primitive: a producer (a
+/// worker finishing a task or a service finishing a job) calls
+/// [`CompletionSlot::complete`] exactly once; consumers either block in
+/// [`CompletionSlot::wait`] / [`CompletionSlot::wait_timeout`], sample with
+/// [`CompletionSlot::poll`], or register interest through
+/// [`CompletionSlot::poll_with_waker`] (what a `Future` implementation
+/// calls).  The first `complete` wins — later calls return `false` and drop
+/// their value — which is what makes "every job resolves exactly once"
+/// assertable.
+pub struct CompletionSlot<T> {
+    state: Mutex<SlotInner<T>>,
+    cv: Condvar,
+}
+
+struct SlotInner<T> {
+    value: Option<T>,
+    wakers: Vec<Waker>,
+}
+
+impl<T> Default for CompletionSlot<T> {
+    fn default() -> Self {
+        CompletionSlot {
+            state: Mutex::new(SlotInner { value: None, wakers: Vec::new() }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+impl<T> CompletionSlot<T> {
+    /// An unresolved slot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SlotInner<T>> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Resolve the slot.  Returns `true` if this call was the one that
+    /// resolved it; a slot resolves at most once and later values are
+    /// dropped.  All waiters are woken and all registered wakers fired.
+    pub fn complete(&self, value: T) -> bool {
+        let wakers = {
+            let mut inner = self.lock();
+            if inner.value.is_some() {
+                return false;
+            }
+            inner.value = Some(value);
+            std::mem::take(&mut inner.wakers)
+        };
+        self.cv.notify_all();
+        for waker in wakers {
+            waker.wake();
+        }
+        true
+    }
+
+    /// Whether the slot has been resolved.
+    pub fn is_complete(&self) -> bool {
+        self.lock().value.is_some()
+    }
+}
+
+impl<T: Clone> CompletionSlot<T> {
+    /// The resolved value, if any (non-blocking).
+    pub fn poll(&self) -> Option<T> {
+        self.lock().value.clone()
+    }
+
+    /// The resolved value, or register `waker` to be fired on resolution —
+    /// the shape `Future::poll` needs.  Re-polling with a waker that would
+    /// wake the same task replaces the old registration instead of
+    /// accumulating.
+    pub fn poll_with_waker(&self, waker: &Waker) -> Option<T> {
+        let mut inner = self.lock();
+        if let Some(value) = &inner.value {
+            return Some(value.clone());
+        }
+        if let Some(existing) = inner.wakers.iter_mut().find(|w| w.will_wake(waker)) {
+            existing.clone_from(waker);
+        } else {
+            inner.wakers.push(waker.clone());
+        }
+        None
+    }
+
+    /// Block until the slot resolves.
+    pub fn wait(&self) -> T {
+        let mut inner = self.lock();
+        loop {
+            if let Some(value) = &inner.value {
+                return value.clone();
+            }
+            inner = self.cv.wait(inner).unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Block until the slot resolves or `timeout` elapses.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.lock();
+        loop {
+            if let Some(value) = &inner.value {
+                return Some(value.clone());
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(inner, remaining)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            inner = guard;
+        }
+    }
+}
+
+impl<T> fmt::Debug for CompletionSlot<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("CompletionSlot")
+            .field("complete", &inner.value.is_some())
+            .field("wakers", &inner.wakers.len())
+            .finish()
     }
 }
 
@@ -254,6 +389,60 @@ mod tests {
         slot.put(2u32);
         assert_eq!(slot.take::<u32>(), Some(2));
         assert!(format!("{slot:?}").contains("occupied"));
+    }
+
+    #[test]
+    fn completion_slot_resolves_exactly_once() {
+        let slot = CompletionSlot::new();
+        assert!(!slot.is_complete());
+        assert_eq!(slot.poll(), None);
+        assert!(slot.complete(7u32), "first completion wins");
+        assert!(!slot.complete(9u32), "second completion is dropped");
+        assert!(slot.is_complete());
+        assert_eq!(slot.poll(), Some(7));
+        assert_eq!(slot.wait(), 7);
+        assert_eq!(slot.wait_timeout(std::time::Duration::ZERO), Some(7));
+        assert!(format!("{slot:?}").contains("complete: true"));
+    }
+
+    #[test]
+    fn completion_slot_wakes_blocked_waiters() {
+        let slot = std::sync::Arc::new(CompletionSlot::<u64>::new());
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let slot = slot.clone();
+                std::thread::spawn(move || slot.wait())
+            })
+            .collect();
+        assert_eq!(slot.wait_timeout(Duration::from_millis(1)), None, "unresolved: times out");
+        slot.complete(42);
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), 42);
+        }
+    }
+
+    #[test]
+    fn completion_slot_fires_registered_wakers() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        struct CountingWake(AtomicUsize);
+        impl std::task::Wake for CountingWake {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let counter = Arc::new(CountingWake(AtomicUsize::new(0)));
+        let waker = std::task::Waker::from(counter.clone());
+        let slot = CompletionSlot::<u8>::new();
+        assert_eq!(slot.poll_with_waker(&waker), None);
+        // Re-registering the same task does not accumulate wakers.
+        assert_eq!(slot.poll_with_waker(&waker), None);
+        slot.complete(1);
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1, "woken exactly once");
+        assert_eq!(slot.poll_with_waker(&waker), Some(1), "resolved slots return immediately");
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1);
     }
 
     proptest! {

@@ -1,16 +1,33 @@
-//! Job descriptions and results.
+//! Job descriptions, results and the asynchronous job lifecycle.
 //!
 //! A [`JobSpec`] is everything one submission needs: the program, its runtime
 //! parameters, the region to sweep, how it is blocked, how many steps to run,
 //! and the execution knobs the one-shot harnesses already understand
 //! ([`SchedulePolicy`], [`Topology`], [`WeaveMode`], [`OptLevel`]).  A
 //! [`JobReport`] is the compact result the service hands back per job.
+//!
+//! Submission returns a [`JobHandle`] — a poll/wait future backed by a
+//! shared [`CompletionSlot`].  Every accepted job **resolves exactly once**
+//! with a [`JobOutcome`]: `Ok(JobReport)` when it executed (even if the
+//! kernel panicked — the report carries the error), or `Err(JobError)` when
+//! it was [cancelled](JobHandle::cancel) before a worker picked it up or
+//! abandoned at shutdown.  The handle can be polled ([`JobHandle::poll`]),
+//! blocked on ([`JobHandle::wait`] / [`JobHandle::wait_timeout`]), awaited
+//! (it implements [`Future`]), or dropped — dropping never leaks the
+//! worker slot, the outcome still settles all accounting.
 
 use crate::session::SessionId;
 use aohpc_kernel::{OptLevel, ProgramFingerprint, SchedulePolicy, StencilProgram};
-use aohpc_runtime::{RunSummary, Topology, WeaveMode};
+use aohpc_runtime::{CompletionSlot, Progress, ProgressNotifier, RunSummary, Topology, WeaveMode};
 use aohpc_workloads::{RegionSize, Scale};
 use serde::Serialize;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Weak};
+use std::task::{Context, Poll};
+use std::time::Duration;
 
 /// Identifier of a job within one [`KernelService`](crate::KernelService).
 pub type JobId = u64;
@@ -135,6 +152,243 @@ pub struct JobReport {
     pub summary: RunSummary,
     /// Panic message if the job failed (bookkeeping still settles).
     pub error: Option<String>,
+}
+
+/// Why a job resolved without a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum JobErrorKind {
+    /// [`JobHandle::cancel`] won the race: the job was dequeued unexecuted.
+    Cancelled,
+    /// The service shut down with the job still queued.
+    Abandoned,
+}
+
+/// The error half of a [`JobOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct JobError {
+    /// The job that resolved without running.
+    pub job: JobId,
+    /// The session it was submitted under.
+    pub session: SessionId,
+    /// Why it never ran.
+    pub kind: JobErrorKind,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            JobErrorKind::Cancelled => write!(f, "job {} was cancelled before execution", self.job),
+            JobErrorKind::Abandoned => {
+                write!(f, "job {} was abandoned at service shutdown", self.job)
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// How every accepted job resolves, exactly once: a report, or the reason it
+/// never ran.
+pub type JobOutcome = Result<JobReport, JobError>;
+
+/// Where a job currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum JobStatus {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Resolved with a report.
+    Completed,
+    /// Resolved by [`JobHandle::cancel`].
+    Cancelled,
+    /// Resolved by service shutdown.
+    Abandoned,
+}
+
+const STATE_QUEUED: u8 = 0;
+const STATE_RUNNING: u8 = 1;
+const STATE_COMPLETED: u8 = 2;
+const STATE_CANCELLED: u8 = 3;
+const STATE_ABANDONED: u8 = 4;
+
+/// The shared per-job cell: lifecycle state, the one-shot completion slot,
+/// and the live progress counters.  One `Arc` is carried by the queue
+/// message, one by every [`JobHandle`] clone.
+pub(crate) struct JobCell {
+    pub(crate) job: JobId,
+    pub(crate) session: SessionId,
+    state: AtomicU8,
+    pub(crate) slot: CompletionSlot<JobOutcome>,
+    pub(crate) progress: Arc<ProgressNotifier>,
+}
+
+impl JobCell {
+    pub(crate) fn new(job: JobId, session: SessionId) -> Arc<Self> {
+        Arc::new(JobCell {
+            job,
+            session,
+            state: AtomicU8::new(STATE_QUEUED),
+            slot: CompletionSlot::new(),
+            progress: ProgressNotifier::new(),
+        })
+    }
+
+    /// Worker-side claim: `Queued -> Running`.  `false` means the job was
+    /// cancelled first and must not execute.
+    pub(crate) fn begin_running(&self) -> bool {
+        self.state
+            .compare_exchange(STATE_QUEUED, STATE_RUNNING, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Cancel-side claim: `Queued -> Cancelled`.  `false` means a worker got
+    /// there first (or the job already resolved).
+    pub(crate) fn mark_cancelled(&self) -> bool {
+        self.state
+            .compare_exchange(STATE_QUEUED, STATE_CANCELLED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Shutdown-side claim: `Queued -> Abandoned`.
+    pub(crate) fn mark_abandoned(&self) -> bool {
+        self.state
+            .compare_exchange(STATE_QUEUED, STATE_ABANDONED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Completion: `Running -> Completed` (no contention possible).
+    pub(crate) fn mark_completed(&self) {
+        self.state.store(STATE_COMPLETED, Ordering::Release);
+    }
+
+    pub(crate) fn status(&self) -> JobStatus {
+        match self.state.load(Ordering::Acquire) {
+            STATE_QUEUED => JobStatus::Queued,
+            STATE_RUNNING => JobStatus::Running,
+            STATE_COMPLETED => JobStatus::Completed,
+            STATE_CANCELLED => JobStatus::Cancelled,
+            _ => JobStatus::Abandoned,
+        }
+    }
+}
+
+/// A poll/wait future for one submitted job.
+///
+/// Returned by [`KernelService::submit`](crate::KernelService::submit) and
+/// friends.  All clones observe the same [`JobOutcome`] through a shared
+/// [`CompletionSlot`]; the handle can be freely dropped — resolution and
+/// session accounting do not depend on it.
+///
+/// Synchronous callers use [`JobHandle::wait`] /
+/// [`JobHandle::wait_timeout`]; pollers use [`JobHandle::poll`]; async
+/// callers `.await` it (the slot stores the waker).  [`JobHandle::cancel`]
+/// revokes a still-queued job, and [`JobHandle::progress`] samples the
+/// runtime's live step counters while the job executes.
+#[derive(Clone)]
+pub struct JobHandle {
+    pub(crate) cell: Arc<JobCell>,
+    pub(crate) service: Weak<crate::service::Inner>,
+}
+
+impl JobHandle {
+    /// The job's id (submission order within the service).
+    pub fn id(&self) -> JobId {
+        self.cell.job
+    }
+
+    /// The session the job was submitted under.
+    pub fn session(&self) -> SessionId {
+        self.cell.session
+    }
+
+    /// Where the job currently is in its lifecycle.
+    pub fn status(&self) -> JobStatus {
+        self.cell.status()
+    }
+
+    /// Whether the job has resolved (report or error).
+    pub fn is_complete(&self) -> bool {
+        self.cell.slot.is_complete()
+    }
+
+    /// The outcome, if resolved (non-blocking).
+    pub fn poll(&self) -> Option<JobOutcome> {
+        self.cell.slot.poll()
+    }
+
+    /// Block until the job resolves.
+    ///
+    /// This is the per-job migration target for
+    /// [`KernelService::drain`](crate::KernelService::drain) callers.  On an
+    /// admission-only service (zero workers) a queued job only resolves at
+    /// shutdown, so prefer [`JobHandle::wait_timeout`] when the worker pool
+    /// may be empty.
+    pub fn wait(&self) -> JobOutcome {
+        self.cell.slot.wait()
+    }
+
+    /// Block until the job resolves or `timeout` elapses (`None`).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobOutcome> {
+        self.cell.slot.wait_timeout(timeout)
+    }
+
+    /// Revoke the job if no worker has picked it up yet.
+    ///
+    /// `true` means the cancel won: the job will never execute, the handle
+    /// resolves with [`JobErrorKind::Cancelled`], and its **session quota
+    /// slot** is released immediately (unblocking submitters parked on
+    /// `WouldBlock`).  The job's **bounded-queue slot** is different: the
+    /// cancelled message stays in the channel as a tombstone until a worker
+    /// dequeues and discards it, so submitters parked on `QueueFull` are
+    /// unblocked by worker progress, not by the cancel itself (and never in
+    /// admission-only mode, where no worker exists to drain tombstones).
+    /// `false` means the job already runs or has resolved; it proceeds
+    /// normally.
+    pub fn cancel(&self) -> bool {
+        if !self.cell.mark_cancelled() {
+            return false;
+        }
+        if let Some(inner) = self.service.upgrade() {
+            inner.settle_cancelled(&self.cell);
+        } else {
+            // The service is gone; just resolve the slot so waiters return.
+            self.cell.slot.complete(Err(JobError {
+                job: self.cell.job,
+                session: self.cell.session,
+                kind: JobErrorKind::Cancelled,
+            }));
+        }
+        true
+    }
+
+    /// Live progress of the executing job (completed kernel steps across its
+    /// tasks, finished tasks).  Always a valid lower bound; zeros before a
+    /// worker starts the job.
+    pub fn progress(&self) -> Progress {
+        self.cell.progress.snapshot()
+    }
+}
+
+impl Future for JobHandle {
+    type Output = JobOutcome;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<JobOutcome> {
+        match self.cell.slot.poll_with_waker(cx.waker()) {
+            Some(outcome) => Poll::Ready(outcome),
+            None => Poll::Pending,
+        }
+    }
+}
+
+impl fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("job", &self.cell.job)
+            .field("session", &self.cell.session)
+            .field("status", &self.cell.status())
+            .finish()
+    }
 }
 
 #[cfg(test)]

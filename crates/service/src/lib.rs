@@ -17,9 +17,16 @@
 //!   blocking, steps, schedule policy, topology, weave mode) and its result
 //!   (field checksum, deterministic simulated time, run digest).
 //! * [`KernelService`] — the front door: `open_session` → `submit` /
-//!   `submit_batch` → `drain`, with per-session admission quotas and a
+//!   `try_submit` / `submit_timeout` / `submit_batch`, with per-session
+//!   admission quotas applied as **backpressure** and a bounded
 //!   crossbeam-channel worker pool executing jobs through the existing
 //!   `runtime::execute` + `IrStencilApp` path.
+//! * [`JobHandle`] / [`CompletionStream`] — the asynchronous result surface:
+//!   every accepted job resolves its handle exactly once (report or
+//!   [`JobError`]), and a session's stream delivers outcomes in submission
+//!   order.  The synchronous [`KernelService::drain`] /
+//!   [`KernelService::drain_session`] remain as thin wrappers over the same
+//!   completion plumbing.
 //!
 //! ```
 //! use aohpc_service::{JobSpec, KernelService, ServiceConfig, SessionSpec};
@@ -27,14 +34,36 @@
 //!
 //! let service = KernelService::new(ServiceConfig::default().with_workers(2));
 //! let session = service.open_session(SessionSpec::tenant("demo"));
-//! service.submit_batch(session, vec![JobSpec::jacobi(Scale::Smoke); 4]).unwrap();
-//! let reports = service.drain();
-//! assert_eq!(reports.len(), 4);
+//! // The async front door: submission returns a handle per job...
+//! let handles = service
+//!     .submit_batch(session, vec![JobSpec::jacobi(Scale::Smoke); 4])
+//!     .unwrap();
+//! // ...each resolving exactly once with the job's outcome.
+//! for handle in &handles {
+//!     let report = handle.wait().expect("job executed");
+//!     assert!(report.error.is_none());
+//! }
 //! // Four submissions of the same program: one compile; every other lookup
 //! // (admission pre-warm + per-task plan resolution) hits.
 //! assert_eq!(service.cache_stats().misses, 1);
 //! assert!(service.cache_stats().hits >= 3);
 //! ```
+//!
+//! # Migrating from `drain` to `JobHandle::wait`
+//!
+//! `drain()` still works unchanged — it waits for quiescence and returns
+//! every retained report.  New code should prefer the per-job surface:
+//!
+//! | blocking pattern                        | async replacement                         |
+//! |-----------------------------------------|-------------------------------------------|
+//! | `submit(...)?; ...; drain()`            | `let h = submit(...)?; h.wait()`          |
+//! | `drain_session(s)`                      | `completion_stream(s)` + `next()`         |
+//! | quota hit ⇒ `Err(QuotaExceeded)`        | `try_submit` ⇒ `Err(WouldBlock)` (retry), |
+//! |                                         | or `submit_timeout` (bounded wait)        |
+//!
+//! Handle/stream-only deployments should disable
+//! [`ServiceConfig::retain_reports`] so the undrained report buffer cannot
+//! grow without bound.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,10 +74,14 @@ pub mod service;
 pub mod session;
 
 pub use cache::{PlanCache, PlanCacheStats, PlanKey};
-pub use job::{JobId, JobReport, JobSpec};
-pub use service::{BatchError, KernelService, ServiceConfig, SubmitError};
-pub use session::{SessionCtx, SessionId, SessionMeter, SessionSpec};
+pub use job::{
+    JobError, JobErrorKind, JobHandle, JobId, JobOutcome, JobReport, JobSpec, JobStatus,
+};
+pub use service::{AdmissionStats, BatchError, KernelService, ServiceConfig, SubmitError};
+pub use session::{CompletionStream, SessionCtx, SessionId, SessionMeter, SessionSpec};
 
 // Re-exported so service callers can name the fingerprint type without
-// depending on `aohpc-kernel` directly.
+// depending on `aohpc-kernel` directly — and the runtime's progress type,
+// which `JobHandle::progress` returns.
 pub use aohpc_kernel::ProgramFingerprint;
+pub use aohpc_runtime::Progress;

@@ -1,25 +1,42 @@
 //! The kernel-execution service: admission, queue, worker pool, results.
 //!
 //! [`KernelService`] owns a [`PlanCache`], a session registry and a pool of
-//! worker threads draining one MPMC job queue.  A submission flows:
+//! worker threads draining one bounded MPMC job queue.  A submission flows:
 //!
-//! 1. **Admission** — the session must exist and be active, the spec must be
-//!    well-formed, and the session's in-flight count must be under its quota;
-//!    rejections are metered and returned as [`SubmitError`]s without ever
-//!    reaching the queue.
-//! 2. **Queue** — accepted jobs carry their id onto the crossbeam channel;
-//!    any idle worker picks them up (work stealing, no per-worker queues).
-//! 3. **Execution** — the worker resolves the job's primary plan through the
-//!    shared cache (attributing the hit/miss to the job), then drives the
-//!    existing `runtime::execute` + `IrStencilApp` path with the cache
-//!    installed as the app's [`PlanSource`](aohpc_kernel::PlanSource).
-//! 4. **Results** — a [`JobReport`] (checksum, deterministic simulated time,
-//!    run digest) is recorded, session metering is updated, and
-//!    [`KernelService::drain`] wakes when nothing is left in flight.
+//! 1. **Admission** — the session must exist and be active and the spec must
+//!    be well-formed (fatal rejections, returned as [`SubmitError`]s).  A
+//!    full per-session quota or a full global queue is *not* fatal: it is
+//!    **backpressure**.  [`KernelService::try_submit`] reports it immediately
+//!    as [`SubmitError::WouldBlock`] / [`SubmitError::QueueFull`];
+//!    [`KernelService::submit_timeout`] (and [`KernelService::submit`], which
+//!    uses the configured default deadline) parks the caller until capacity
+//!    frees or the deadline passes.
+//! 2. **Queue** — accepted jobs carry a shared [`JobCell`](crate::job) onto
+//!    the bounded crossbeam channel; any idle worker picks them up (work
+//!    stealing, no per-worker queues).  The admission bound guarantees the
+//!    channel never overflows.
+//! 3. **Execution** — the worker claims the cell (losing the claim means the
+//!    job was [cancelled](JobHandle::cancel)), resolves the job's primary
+//!    plan through the shared cache (attributing the hit/miss to the job),
+//!    then drives the existing `runtime::execute` + `IrStencilApp` path with
+//!    the cache installed as the app's
+//!    [`PlanSource`](aohpc_kernel::PlanSource) and the job's live
+//!    [`ProgressNotifier`](aohpc_runtime::ProgressNotifier) installed in the
+//!    run config.
+//! 4. **Results** — the job **resolves exactly once**: its [`JobHandle`]
+//!    completes (report or [`JobError`]), the session's
+//!    [`CompletionStream`] receives the outcome in submission order, and —
+//!    for the synchronous path — the [`JobReport`] is recorded so
+//!    [`KernelService::drain`] / [`KernelService::drain_session`] keep
+//!    working exactly as before.  The synchronous drains are now thin
+//!    wrappers over the same completion plumbing: they wait for the pending
+//!    count the resolution paths settle.
 
 use crate::cache::{PlanCache, PlanCacheStats};
-use crate::job::{JobId, JobReport, JobSpec};
-use crate::session::{SessionCtx, SessionId, SessionMeter, SessionSpec};
+use crate::job::{JobCell, JobError, JobErrorKind, JobHandle, JobId, JobReport, JobSpec};
+use crate::session::{
+    CompletionStream, SessionCtx, SessionId, SessionMeter, SessionSpec, StreamState,
+};
 use aohpc_aop::Weaver;
 use aohpc_dsl::{DslSystem, SGridSystem};
 use aohpc_env::Extent;
@@ -27,15 +44,18 @@ use aohpc_kernel::{
     new_stencil_field_sink, HeteroDispatcher, IrStencilApp, ScratchPool, ScratchPoolStats,
 };
 use aohpc_runtime::{execute, CostModel, MpiAspect, OmpAspect, RunConfig, Topology};
+use aohpc_testalloc::sync::FakeClock;
 use aohpc_workloads::{checksum, Scale};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
+use serde::Serialize;
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Sizing of a [`KernelService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,8 +68,21 @@ pub struct ServiceConfig {
     /// Total plan-cache capacity (entries).
     pub cache_capacity: usize,
     /// Maximum jobs one session may have in flight; further submissions are
-    /// rejected with [`SubmitError::QuotaExceeded`].
+    /// backpressured ([`SubmitError::WouldBlock`] from `try_submit`, a
+    /// bounded wait from `submit` / `submit_timeout`).
     pub max_in_flight_per_session: usize,
+    /// Maximum jobs admitted but not yet picked up by a worker, across all
+    /// sessions — the depth of the bounded admission queue.
+    pub max_queued_jobs: usize,
+    /// How long a plain [`KernelService::submit`] waits for capacity before
+    /// giving up with the backpressure error.  `Duration::ZERO` makes
+    /// `submit` behave exactly like [`KernelService::try_submit`].
+    pub admission_timeout: Duration,
+    /// Whether completed [`JobReport`]s are retained for the synchronous
+    /// [`KernelService::drain`] / [`KernelService::drain_session`] path.
+    /// Handle/stream-only deployments can switch this off so an undrained
+    /// service does not accumulate reports without bound.
+    pub retain_reports: bool,
 }
 
 impl Default for ServiceConfig {
@@ -59,6 +92,9 @@ impl Default for ServiceConfig {
             cache_shards: 8,
             cache_capacity: 64,
             max_in_flight_per_session: 32,
+            max_queued_jobs: 1024,
+            admission_timeout: Duration::from_secs(30),
+            retain_reports: true,
         }
     }
 }
@@ -93,24 +129,63 @@ impl ServiceConfig {
         self.max_in_flight_per_session = max_in_flight;
         self
     }
+
+    /// Set the bounded admission queue's depth.
+    pub fn with_queue_bound(mut self, max_queued: usize) -> Self {
+        self.max_queued_jobs = max_queued.max(1);
+        self
+    }
+
+    /// Set how long a plain `submit` waits under backpressure.
+    pub fn with_admission_timeout(mut self, timeout: Duration) -> Self {
+        self.admission_timeout = timeout;
+        self
+    }
+
+    /// Enable or disable report retention for the synchronous drain path.
+    pub fn with_report_retention(mut self, retain: bool) -> Self {
+        self.retain_reports = retain;
+        self
+    }
 }
 
-/// Why a submission was refused at admission.
+/// Why a submission was refused.
+///
+/// [`SubmitError::UnknownSession`], [`SubmitError::SessionClosed`],
+/// [`SubmitError::InvalidJob`] and [`SubmitError::ShuttingDown`] are fatal —
+/// retrying cannot help.  [`SubmitError::WouldBlock`] and
+/// [`SubmitError::QueueFull`] are **backpressure**: capacity is momentarily
+/// exhausted and a later retry (or a blocking
+/// [`KernelService::submit_timeout`]) can succeed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
     /// No session with this id was ever opened.
     UnknownSession(SessionId),
     /// The session has been closed.
     SessionClosed(SessionId),
-    /// The session is at its in-flight quota.
-    QuotaExceeded {
+    /// The session is at its in-flight quota; admitting now would block.
+    WouldBlock {
         /// The session at quota.
         session: SessionId,
         /// The configured limit.
         limit: usize,
     },
+    /// The global admission queue is at its bound.
+    QueueFull {
+        /// The configured queue depth.
+        limit: usize,
+    },
     /// The spec itself is malformed (reason inside).
     InvalidJob(String),
+    /// The service is shutting down and accepts no further work.
+    ShuttingDown,
+}
+
+impl SubmitError {
+    /// Whether the error is backpressure (retryable) rather than fatal.
+    pub fn is_backpressure(&self) -> bool {
+        matches!(self, SubmitError::WouldBlock { .. } | SubmitError::QueueFull { .. })
+    }
 }
 
 impl fmt::Display for SubmitError {
@@ -118,10 +193,17 @@ impl fmt::Display for SubmitError {
         match self {
             SubmitError::UnknownSession(id) => write!(f, "unknown session {id}"),
             SubmitError::SessionClosed(id) => write!(f, "session {id} is closed"),
-            SubmitError::QuotaExceeded { session, limit } => {
-                write!(f, "session {session} is at its in-flight quota ({limit})")
+            SubmitError::WouldBlock { session, limit } => {
+                write!(
+                    f,
+                    "session {session} is at its in-flight quota ({limit}); admission would block"
+                )
+            }
+            SubmitError::QueueFull { limit } => {
+                write!(f, "the admission queue is full ({limit} jobs queued)")
             }
             SubmitError::InvalidJob(reason) => write!(f, "invalid job: {reason}"),
+            SubmitError::ShuttingDown => write!(f, "the service is shutting down"),
         }
     }
 }
@@ -158,13 +240,80 @@ impl std::error::Error for BatchError {
     }
 }
 
+/// Point-in-time admission/backpressure counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct AdmissionStats {
+    /// Submitters currently parked waiting for capacity.
+    pub waiting: usize,
+    /// Jobs admitted but not yet picked up by a worker.
+    pub queued: usize,
+    /// The configured queue depth ([`ServiceConfig::max_queued_jobs`]).
+    pub queue_limit: usize,
+}
+
+/// The clock admission deadlines are measured on: the wall clock in
+/// production, a test-controlled [`FakeClock`] under the deterministic
+/// harness (see [`KernelService::with_fake_clock`]).
+enum ServiceClock {
+    Real(Instant),
+    Fake(Arc<FakeClock>),
+}
+
+impl ServiceClock {
+    fn now(&self) -> Duration {
+        match self {
+            ServiceClock::Real(start) => start.elapsed(),
+            ServiceClock::Fake(clock) => clock.now(),
+        }
+    }
+
+    fn is_fake(&self) -> bool {
+        matches!(self, ServiceClock::Fake(_))
+    }
+}
+
+/// When parked on a fake clock, re-check at this real cadence as a safety
+/// net; the primary wake-up is the clock's `on_advance` hook bumping the
+/// capacity epoch.
+const FAKE_CLOCK_WAIT_SLICE: Duration = Duration::from_millis(100);
+
+/// The capacity condition submitters park on: an epoch bumped (and
+/// broadcast) whenever queue or quota capacity may have changed — a worker
+/// dequeued, a job completed or was cancelled, a session closed, the fake
+/// clock advanced, the service began shutting down.
+pub(crate) struct CapacitySignal {
+    epoch: StdMutex<u64>,
+    cv: Condvar,
+    waiting: AtomicUsize,
+}
+
+impl CapacitySignal {
+    fn new() -> Arc<Self> {
+        Arc::new(CapacitySignal {
+            epoch: StdMutex::new(0),
+            cv: Condvar::new(),
+            waiting: AtomicUsize::new(0),
+        })
+    }
+
+    pub(crate) fn bump(&self) {
+        let mut epoch = self.epoch.lock().unwrap_or_else(|p| p.into_inner());
+        *epoch += 1;
+        drop(epoch);
+        self.cv.notify_all();
+    }
+
+    fn current(&self) -> u64 {
+        *self.epoch.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
 struct Queued {
-    job: JobId,
-    session: SessionId,
+    cell: Arc<JobCell>,
     spec: JobSpec,
 }
 
-struct Inner {
+pub(crate) struct Inner {
     config: ServiceConfig,
     cache: Arc<PlanCache>,
     /// Execution-scratch recycling across jobs: each job's tasks check their
@@ -172,52 +321,127 @@ struct Inner {
     /// them, so a worker's steady-state jobs run on warm buffers.
     scratch: Arc<ScratchPool>,
     sessions: Mutex<HashMap<SessionId, SessionCtx>>,
+    /// Per-session completion streams (attached lazily; see
+    /// [`KernelService::completion_stream`]).  Lock order: `sessions` may be
+    /// held while taking this lock, never the reverse.
+    streams: Mutex<HashMap<SessionId, Arc<StreamState>>>,
     results: Mutex<Vec<JobReport>>,
     pending: StdMutex<u64>,
     idle: Condvar,
+    capacity: Arc<CapacitySignal>,
+    /// Jobs admitted but not yet dequeued by a worker.  Checked and
+    /// incremented under the `sessions` lock, so it never exceeds
+    /// `config.max_queued_jobs` — which is also the channel's capacity, so
+    /// sends never block.
+    queued: AtomicUsize,
     next_session: AtomicU64,
     next_job: AtomicU64,
     /// Set by shutdown/Drop: workers abandon queued-but-unstarted jobs
-    /// instead of executing the backlog (mpsc buffers survive sender drop, so
-    /// without this flag Drop would block until every queued job ran).
+    /// (resolving their handles with [`JobErrorKind::Abandoned`]) instead of
+    /// executing the backlog.
     shutting_down: AtomicBool,
+    clock: ServiceClock,
+}
+
+impl Inner {
+    /// The session's stream state, if one is attached *and* has a live
+    /// consumer — callers skip building the outcome (a report clone on the
+    /// completion hot path) entirely otherwise.
+    fn consumer_stream(&self, session: SessionId) -> Option<Arc<StreamState>> {
+        self.streams.lock().get(&session).filter(|s| s.has_consumers()).cloned()
+    }
+
+    /// Deliver an outcome to the session's stream, if a consumer is
+    /// attached.
+    fn push_stream_outcome(&self, session: SessionId, job: JobId, outcome: crate::job::JobOutcome) {
+        if let Some(stream) = self.consumer_stream(session) {
+            stream.resolve(job, outcome);
+        }
+    }
+
+    /// Settle a job [`JobHandle::cancel`] has claimed: resolve the handle,
+    /// deliver the stream outcome, release the quota slot and wake both the
+    /// drains and any backpressured submitters.  The bounded-queue slot is
+    /// *not* released here — the message stays in the channel as a tombstone
+    /// until a worker dequeues it (see [`JobHandle::cancel`]).
+    pub(crate) fn settle_cancelled(&self, cell: &JobCell) {
+        let error =
+            JobError { job: cell.job, session: cell.session, kind: JobErrorKind::Cancelled };
+        cell.slot.complete(Err(error));
+        self.push_stream_outcome(cell.session, cell.job, Err(error));
+        if let Some(ctx) = self.sessions.lock().get_mut(&cell.session) {
+            ctx.note_cancelled();
+        }
+        let mut pending = self.pending.lock().expect("pending lock");
+        *pending -= 1;
+        drop(pending);
+        self.idle.notify_all();
+        self.capacity.bump();
+    }
 }
 
 /// A multi-tenant, concurrent kernel-execution service.
 ///
 /// See the [module docs](self) for the submission pipeline.  Dropping the
 /// service (or calling [`KernelService::shutdown`]) closes the queue and
-/// joins the workers; queued-but-unstarted jobs are abandoned, so call
-/// [`KernelService::drain`] first if their results matter.
+/// joins the workers; queued-but-unstarted jobs are abandoned — their
+/// handles and streams resolve with [`JobErrorKind::Abandoned`] — so call
+/// [`KernelService::drain`] (or wait the handles) first if their results
+/// matter.
 pub struct KernelService {
     inner: Arc<Inner>,
     queue: Option<Sender<Queued>>,
-    // Kept so `submit` stays valid in admission-only mode (0 workers), where
-    // no worker thread holds a receiver clone.
-    _queue_rx: Receiver<Queued>,
+    // Kept so `submit` stays valid in admission-only mode (0 workers), and
+    // so shutdown can abandon a backlog no worker will ever drain.
+    queue_rx: Receiver<Queued>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl KernelService {
-    /// Start a service with the given sizing.
+    /// Start a service with the given sizing (wall clock).
     pub fn new(config: ServiceConfig) -> Self {
+        Self::start(config, ServiceClock::Real(Instant::now()))
+    }
+
+    /// Start a service whose admission deadlines run on a test-controlled
+    /// [`FakeClock`]: `submit_timeout` deadlines only pass when the test
+    /// calls [`FakeClock::advance`], which also wakes parked submitters so
+    /// timeout tests signal instead of sleeping.
+    pub fn with_fake_clock(config: ServiceConfig, clock: Arc<FakeClock>) -> Self {
+        Self::start(config, ServiceClock::Fake(clock))
+    }
+
+    fn start(config: ServiceConfig, clock: ServiceClock) -> Self {
+        // Normalize directly-constructed configs (the builder already
+        // clamps): a zero queue bound would make every admission QueueFull
+        // forever.
+        let config = ServiceConfig { max_queued_jobs: config.max_queued_jobs.max(1), ..config };
         let cache = Arc::new(PlanCache::new(config.cache_shards, config.cache_capacity));
         // Enough idle scratches for every worker to run a hybrid-topology job
         // (a few tasks each) without dropping warm buffers on release.
         let scratch = ScratchPool::new(config.workers.max(1) * 4);
+        let capacity = CapacitySignal::new();
+        if let ServiceClock::Fake(fake) = &clock {
+            let capacity = Arc::clone(&capacity);
+            fake.on_advance(move || capacity.bump());
+        }
         let inner = Arc::new(Inner {
             config,
             cache,
             scratch,
             sessions: Mutex::new(HashMap::new()),
+            streams: Mutex::new(HashMap::new()),
             results: Mutex::new(Vec::new()),
             pending: StdMutex::new(0),
             idle: Condvar::new(),
+            capacity,
+            queued: AtomicUsize::new(0),
             next_session: AtomicU64::new(0),
             next_job: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
+            clock,
         });
-        let (tx, rx) = unbounded::<Queued>();
+        let (tx, rx) = bounded::<Queued>(config.max_queued_jobs.max(1));
         let workers = (0..config.workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
@@ -226,8 +450,12 @@ impl KernelService {
                     .name(format!("aohpc-service-{i}"))
                     .spawn(move || {
                         while let Ok(queued) = rx.recv() {
+                            // The queue slot frees as soon as the job is
+                            // dequeued; tell backpressured submitters.
+                            inner.queued.fetch_sub(1, Ordering::SeqCst);
+                            inner.capacity.bump();
                             if inner.shutting_down.load(Ordering::Relaxed) {
-                                abandon_one(&inner, queued);
+                                abandon_one(&inner, &queued.cell);
                             } else {
                                 run_one(&inner, queued);
                             }
@@ -236,7 +464,7 @@ impl KernelService {
                     .expect("spawn service worker")
             })
             .collect();
-        KernelService { inner, queue: Some(tx), _queue_rx: rx, workers }
+        KernelService { inner, queue: Some(tx), queue_rx: rx, workers }
     }
 
     /// A service sized for an evaluation [`Scale`].
@@ -257,6 +485,15 @@ impl KernelService {
     /// Execution-scratch pool counters (created / reused / idle).
     pub fn scratch_stats(&self) -> ScratchPoolStats {
         self.inner.scratch.stats()
+    }
+
+    /// Admission/backpressure counters (parked submitters, queue depth).
+    pub fn admission_stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            waiting: self.inner.capacity.waiting.load(Ordering::SeqCst),
+            queued: self.inner.queued.load(Ordering::SeqCst),
+            queue_limit: self.inner.config.max_queued_jobs,
+        }
     }
 
     /// The shared plan cache (e.g. to install into an out-of-band app).
@@ -295,65 +532,192 @@ impl KernelService {
 
     /// Close a session: further submissions are rejected, in-flight jobs
     /// finish normally.  Returns the final meter (None if never opened).
+    /// Submitters parked on the session's quota wake and fail with
+    /// [`SubmitError::SessionClosed`].
     pub fn close_session(&self, id: SessionId) -> Option<SessionMeter> {
-        let mut sessions = self.inner.sessions.lock();
-        let ctx = sessions.get_mut(&id)?;
-        ctx.close();
-        Some(*ctx.meter())
+        let meter = {
+            let mut sessions = self.inner.sessions.lock();
+            let ctx = sessions.get_mut(&id)?;
+            ctx.close();
+            *ctx.meter()
+        };
+        self.inner.capacity.bump();
+        Some(meter)
     }
 
-    /// Submit one job under a session.
+    /// Attach (or re-obtain) the session's [`CompletionStream`]: jobs
+    /// submitted to the session **from this point on** are delivered on it
+    /// in submission order, as `Ok(JobReport)` or `Err(JobError)` for
+    /// cancelled/abandoned jobs.  Handles from repeated calls share one
+    /// buffer — each outcome is delivered to exactly one consumer.
+    pub fn completion_stream(&self, session: SessionId) -> Result<CompletionStream, SubmitError> {
+        if !self.inner.sessions.lock().contains_key(&session) {
+            return Err(SubmitError::UnknownSession(session));
+        }
+        let state =
+            self.inner.streams.lock().entry(session).or_insert_with(StreamState::new).clone();
+        Ok(CompletionStream::new(session, state))
+    }
+
+    /// Submit one job under a session, waiting up to the configured
+    /// [`ServiceConfig::admission_timeout`] for quota/queue capacity.
     ///
-    /// Admission checks run in the order the module docs list them: the
-    /// session must exist and be active (so callers keying re-auth logic on
-    /// [`SubmitError::UnknownSession`] / [`SubmitError::SessionClosed`] see
-    /// them regardless of the spec), then the spec itself, then the quota.
-    pub fn submit(&self, session: SessionId, spec: JobSpec) -> Result<JobId, SubmitError> {
-        {
-            let mut sessions = self.inner.sessions.lock();
-            let ctx = sessions.get_mut(&session).ok_or(SubmitError::UnknownSession(session))?;
+    /// Returns a [`JobHandle`] that resolves exactly once with the job's
+    /// outcome — poll it, block on [`JobHandle::wait`], `.await` it, or
+    /// ignore it and collect through [`KernelService::drain`] /
+    /// [`CompletionStream`] as before.
+    ///
+    /// Fatal admission checks run in the order the module docs list them:
+    /// the session must exist and be active (so callers keying re-auth logic
+    /// on [`SubmitError::UnknownSession`] / [`SubmitError::SessionClosed`]
+    /// see them regardless of the spec), then the spec itself; only then is
+    /// capacity considered.
+    pub fn submit(&self, session: SessionId, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        self.submit_timeout(session, spec, self.inner.config.admission_timeout)
+    }
+
+    /// Submit without waiting: a full quota or queue returns the
+    /// backpressure error ([`SubmitError::WouldBlock`] /
+    /// [`SubmitError::QueueFull`]) immediately.
+    pub fn try_submit(&self, session: SessionId, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        self.submit_timeout(session, spec, Duration::ZERO)
+    }
+
+    /// Submit, parking the caller up to `timeout` while the session quota or
+    /// the global queue is full.  Admission happens as soon as capacity
+    /// frees (a job completes or is cancelled, a worker dequeues); if the
+    /// deadline passes first, the backpressure error that blocked admission
+    /// is returned and the attempt is metered as throttled.
+    pub fn submit_timeout(
+        &self,
+        session: SessionId,
+        spec: JobSpec,
+        timeout: Duration,
+    ) -> Result<JobHandle, SubmitError> {
+        let inner = &self.inner;
+        let deadline = inner.clock.now().saturating_add(timeout);
+        let capacity = &inner.capacity;
+        let mut seen = capacity.current();
+        let mut registered = false;
+        let result = loop {
+            match self.admit_once(session, &spec) {
+                Ok(handle) => break Ok(handle),
+                Err(AdmitDenied::Fatal(error)) => break Err(error),
+                Err(AdmitDenied::Throttled(error)) => {
+                    if timeout.is_zero() || inner.clock.now() >= deadline {
+                        break Err(error);
+                    }
+                }
+            }
+            if !registered {
+                registered = true;
+                capacity.waiting.fetch_add(1, Ordering::SeqCst);
+            }
+            // Park until the capacity epoch moves or the deadline passes.
+            // The epoch is re-read under the lock, so a release between the
+            // failed admission above and this wait is never lost.
+            let guard = capacity.epoch.lock().unwrap_or_else(|p| p.into_inner());
+            if *guard == seen {
+                let wait_for = if inner.clock.is_fake() {
+                    FAKE_CLOCK_WAIT_SLICE
+                } else {
+                    deadline.saturating_sub(inner.clock.now())
+                };
+                let (guard, _) =
+                    capacity.cv.wait_timeout(guard, wait_for).unwrap_or_else(|p| p.into_inner());
+                seen = *guard;
+            } else {
+                seen = *guard;
+            }
+        };
+        if registered {
+            capacity.waiting.fetch_sub(1, Ordering::SeqCst);
+        }
+        if let Err(error) = &result {
+            if error.is_backpressure() {
+                if let Some(ctx) = inner.sessions.lock().get_mut(&session) {
+                    ctx.note_throttled();
+                }
+            }
+        }
+        result
+    }
+
+    /// One admission attempt.  On success the job is queued and its handle
+    /// returned; `Throttled` means capacity was momentarily exhausted.
+    fn admit_once(&self, session: SessionId, spec: &JobSpec) -> Result<JobHandle, AdmitDenied> {
+        let inner = &self.inner;
+        if inner.shutting_down.load(Ordering::Relaxed) {
+            return Err(AdmitDenied::Fatal(SubmitError::ShuttingDown));
+        }
+        let cell = {
+            let mut sessions = inner.sessions.lock();
+            let ctx = sessions
+                .get_mut(&session)
+                .ok_or(AdmitDenied::Fatal(SubmitError::UnknownSession(session)))?;
             if !ctx.is_active() {
-                return Err(SubmitError::SessionClosed(session));
+                return Err(AdmitDenied::Fatal(SubmitError::SessionClosed(session)));
             }
-            if let Err(reason) = validate(&spec) {
+            if let Err(reason) = validate(spec) {
                 ctx.note_rejected();
-                return Err(SubmitError::InvalidJob(reason));
+                return Err(AdmitDenied::Fatal(SubmitError::InvalidJob(reason)));
             }
-            if ctx.in_flight() >= self.inner.config.max_in_flight_per_session {
-                ctx.note_rejected();
-                return Err(SubmitError::QuotaExceeded {
+            if inner.queued.load(Ordering::SeqCst) >= inner.config.max_queued_jobs {
+                return Err(AdmitDenied::Throttled(SubmitError::QueueFull {
+                    limit: inner.config.max_queued_jobs,
+                }));
+            }
+            if ctx.in_flight() >= inner.config.max_in_flight_per_session {
+                return Err(AdmitDenied::Throttled(SubmitError::WouldBlock {
                     session,
-                    limit: self.inner.config.max_in_flight_per_session,
-                });
+                    limit: inner.config.max_in_flight_per_session,
+                }));
             }
             ctx.note_submitted();
+            // Job id assignment and the stream's expected-order entry happen
+            // under the session lock, so per-session stream order always
+            // matches ascending job ids.
+            let job = inner.next_job.fetch_add(1, Ordering::Relaxed) + 1;
+            let cell = JobCell::new(job, session);
+            if let Some(stream) = inner.streams.lock().get(&session) {
+                stream.expect(job);
+            }
+            inner.queued.fetch_add(1, Ordering::SeqCst);
+            cell
+        };
+        *inner.pending.lock().expect("pending lock") += 1;
+        let queued = Queued { cell: Arc::clone(&cell), spec: spec.clone() };
+        if self.queue.as_ref().expect("queue open while service exists").try_send(queued).is_err() {
+            unreachable!("admission bounds the queue and workers hold the receiver");
         }
-        let job = self.inner.next_job.fetch_add(1, Ordering::Relaxed) + 1;
-        *self.inner.pending.lock().expect("pending lock") += 1;
-        self.queue
-            .as_ref()
-            .expect("queue open while service exists")
-            .send(Queued { job, session, spec })
-            .expect("workers hold the receiver while the service exists");
-        Ok(job)
+        Ok(JobHandle { cell, service: Arc::downgrade(inner) })
     }
 
     /// Submit a batch under one session, stopping at the first rejection.
     ///
-    /// Returns the ids of the accepted jobs on success.  On a rejection the
-    /// already accepted prefix keeps running (its results arrive via `drain`);
-    /// the returned [`BatchError`] carries that prefix's ids and the index of
-    /// the rejected spec so the caller can correlate and retry only the rest.
+    /// Returns the handles of the accepted jobs on success.  On a rejection
+    /// the already accepted prefix keeps running (its results arrive via the
+    /// handles, the stream, or `drain`); the returned [`BatchError`] carries
+    /// that prefix's ids and the index of the rejected spec so the caller
+    /// can correlate and retry only the rest.  Each spec is admitted with
+    /// the plain [`KernelService::submit`] semantics, so backpressure inside
+    /// a batch waits rather than failing (up to the configured timeout).
     pub fn submit_batch(
         &self,
         session: SessionId,
         specs: Vec<JobSpec>,
-    ) -> Result<Vec<JobId>, BatchError> {
+    ) -> Result<Vec<JobHandle>, BatchError> {
         let mut accepted = Vec::with_capacity(specs.len());
         for (index, spec) in specs.into_iter().enumerate() {
             match self.submit(session, spec) {
-                Ok(id) => accepted.push(id),
-                Err(error) => return Err(BatchError { accepted, index, error }),
+                Ok(handle) => accepted.push(handle),
+                Err(error) => {
+                    return Err(BatchError {
+                        accepted: accepted.iter().map(JobHandle::id).collect(),
+                        index,
+                        error,
+                    })
+                }
             }
         }
         Ok(accepted)
@@ -362,14 +726,19 @@ impl KernelService {
     /// Block until nothing is in flight, then take **all** accumulated
     /// reports — every session's — ordered by job id.
     ///
-    /// This is the orchestrator-level collection point: it is destructive
-    /// across tenants, so use it from the single caller that owns the
-    /// service.  Independent tenants sharing one service should collect with
-    /// [`KernelService::drain_session`] instead.
+    /// This is the synchronous wrapper over the async completion plumbing:
+    /// it waits on the same pending counter every resolution path settles,
+    /// then hands back the retained reports.  It is destructive across
+    /// tenants, so use it from the single caller that owns the service.
+    /// Independent tenants sharing one service should collect with
+    /// [`KernelService::drain_session`], a [`CompletionStream`], or their
+    /// own [`JobHandle`]s instead.  With
+    /// [`ServiceConfig::retain_reports`] off, `drain` still waits for
+    /// quiescence but returns nothing.
     ///
     /// In admission-only mode (0 workers) queued jobs can never complete, so
-    /// `drain` does not wait for them — it returns whatever has been recorded
-    /// (nothing) instead of blocking forever.
+    /// `drain` does not wait for them — it returns whatever has been
+    /// recorded instead of blocking forever.
     pub fn drain(&self) -> Vec<JobReport> {
         if !self.workers.is_empty() {
             let mut pending = self.inner.pending.lock().expect("pending lock");
@@ -423,13 +792,21 @@ impl KernelService {
     }
 
     fn shutdown_in_place(&mut self) {
-        // The flag makes workers discard the remaining backlog (the mpsc
-        // buffer survives the sender drop); the in-flight job of each worker
-        // still finishes.
+        // The flag makes workers discard the remaining backlog (resolving
+        // every queued handle with `Abandoned`); the in-flight job of each
+        // worker still finishes.  Parked submitters wake and fail fast.
         self.inner.shutting_down.store(true, Ordering::Relaxed);
+        self.inner.capacity.bump();
         drop(self.queue.take());
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        // Whatever no worker drained (always the case in admission-only
+        // mode) is abandoned inline so every job still resolves exactly
+        // once.
+        while let Ok(queued) = self.queue_rx.try_recv() {
+            self.inner.queued.fetch_sub(1, Ordering::SeqCst);
+            abandon_one(&self.inner, &queued.cell);
         }
     }
 }
@@ -446,8 +823,18 @@ impl fmt::Debug for KernelService {
             .field("workers", &self.workers.len())
             .field("config", &self.inner.config)
             .field("cache", &self.inner.cache.stats())
+            .field("admission", &self.admission_stats())
             .finish()
     }
+}
+
+/// How one admission attempt failed.
+enum AdmitDenied {
+    /// Retrying cannot help (unknown/closed session, malformed spec,
+    /// shutdown).
+    Fatal(SubmitError),
+    /// Capacity was momentarily exhausted; a later attempt can succeed.
+    Throttled(SubmitError),
 }
 
 fn validate(spec: &JobSpec) -> Result<(), String> {
@@ -471,21 +858,36 @@ fn validate(spec: &JobSpec) -> Result<(), String> {
     Ok(())
 }
 
-/// Discard a queued job during shutdown, settling the counters so a
-/// concurrent `drain` cannot hang on work that will never run.
-fn abandon_one(inner: &Inner, queued: Queued) {
-    if let Some(ctx) = inner.sessions.lock().get_mut(&queued.session) {
+/// Discard a queued job during shutdown: resolve its handle and stream entry
+/// with [`JobErrorKind::Abandoned`] and settle the counters so a concurrent
+/// `drain` cannot hang on work that will never run.  A job already claimed
+/// by [`JobHandle::cancel`] was settled there.
+fn abandon_one(inner: &Inner, cell: &JobCell) {
+    if !cell.mark_abandoned() {
+        return;
+    }
+    let error = JobError { job: cell.job, session: cell.session, kind: JobErrorKind::Abandoned };
+    cell.slot.complete(Err(error));
+    inner.push_stream_outcome(cell.session, cell.job, Err(error));
+    if let Some(ctx) = inner.sessions.lock().get_mut(&cell.session) {
         ctx.note_abandoned();
     }
     let mut pending = inner.pending.lock().expect("pending lock");
     *pending -= 1;
     drop(pending);
     inner.idle.notify_all();
+    inner.capacity.bump();
 }
 
-/// Execute one queued job on the calling worker thread and record the result.
+/// Execute one queued job on the calling worker thread and resolve it.
 fn run_one(inner: &Inner, queued: Queued) {
-    let Queued { job, session, spec } = queued;
+    let Queued { cell, spec } = queued;
+    if !cell.begin_running() {
+        // A cancel won the race; it settled every counter already.
+        return;
+    }
+    let job = cell.job;
+    let session = cell.session;
     let fingerprint = spec.program.fingerprint();
     let program_name = spec.program.name().to_string();
     let topology = spec.topology.clone();
@@ -504,7 +906,7 @@ fn run_one(inner: &Inner, queued: Queued) {
         let primary = Extent::new2d(spec.block.min(spec.region.nx), spec.block.min(spec.region.ny));
         let (_, hit) = inner.cache.get_or_compile(&spec.program, primary, spec.opt_level);
         prewarm_hit.set(Some(hit));
-        execute_spec(inner, &spec)
+        execute_spec(inner, &spec, &cell)
     }));
     let cache_hit = prewarm_hit.get();
     let (checksum_value, simulated_seconds, summary, error) = match outcome {
@@ -541,7 +943,7 @@ fn run_one(inner: &Inner, queued: Queued) {
         }
     };
 
-    inner.results.lock().push(JobReport {
+    let report = JobReport {
         job,
         session,
         tenant,
@@ -552,23 +954,44 @@ fn run_one(inner: &Inner, queued: Queued) {
         simulated_seconds,
         summary,
         error,
-    });
+    };
+    if inner.config.retain_reports {
+        inner.results.lock().push(report.clone());
+    }
+    // Resolve the stream first (clone only when a consumer actually exists —
+    // the drain/handle-only common case skips it).
+    if let Some(stream) = inner.consumer_stream(session) {
+        stream.resolve(job, Ok(report.clone()));
+    }
+    cell.mark_completed();
 
-    // The report is visible; now settle the counters the drains wait on.
+    // Settle the session's accounting *before* resolving the handle, so a
+    // caller returning from `JobHandle::wait` observes its completion in the
+    // meter; the report is already in `results`, preserving the
+    // `drain_session` ordering invariant above.
     if let Some(ctx) = inner.sessions.lock().get_mut(&session) {
         ctx.note_completed();
     }
+    cell.slot.complete(Ok(report));
+
     let mut pending = inner.pending.lock().expect("pending lock");
     *pending -= 1;
     drop(pending);
     // Every completion wakes the waiters: `drain` re-checks the global count,
-    // `drain_session` its session's in-flight count.
+    // `drain_session` its session's in-flight count, parked submitters the
+    // freed quota slot.
     inner.idle.notify_all();
+    inner.capacity.bump();
 }
 
 /// The execution core: the same compile-and-run pipeline the one-shot
-/// harnesses use, with the shared cache installed as the plan source.
-fn execute_spec(inner: &Inner, spec: &JobSpec) -> (f64, f64, aohpc_runtime::RunSummary) {
+/// harnesses use, with the shared cache installed as the plan source and the
+/// job's progress counters installed in the run config.
+fn execute_spec(
+    inner: &Inner,
+    spec: &JobSpec,
+    cell: &JobCell,
+) -> (f64, f64, aohpc_runtime::RunSummary) {
     let system = Arc::new(SGridSystem::with_block_size(spec.region, spec.block));
     let sink = new_stencil_field_sink();
     let dispatcher =
@@ -589,8 +1012,10 @@ fn execute_spec(inner: &Inner, spec: &JobSpec) -> (f64, f64, aohpc_runtime::RunS
     }
     let woven = weaver.weave();
 
-    let config =
-        RunConfig::serial().with_topology(spec.topology.clone()).with_weave_mode(spec.weave_mode);
+    let config = RunConfig::serial()
+        .with_topology(spec.topology.clone())
+        .with_weave_mode(spec.weave_mode)
+        .with_progress(cell.progress.clone());
     let report = execute(&config, woven, system.env_factory(), app.factory());
 
     let cks = checksum(sink.lock().iter().map(|(_, v)| *v));
@@ -601,6 +1026,7 @@ fn execute_spec(inner: &Inner, spec: &JobSpec) -> (f64, f64, aohpc_runtime::RunS
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::{JobErrorKind, JobStatus};
     use aohpc_kernel::{Processor, SchedulePolicy, StencilProgram};
     use aohpc_workloads::RegionSize;
 
@@ -608,12 +1034,19 @@ mod tests {
         JobSpec::jacobi(Scale::Smoke)
     }
 
+    /// Admission-only configs must not block `submit` (no worker ever frees
+    /// capacity), so they pin the admission timeout to zero.
+    fn admission_only() -> ServiceConfig {
+        ServiceConfig::default().with_workers(0).with_admission_timeout(Duration::ZERO)
+    }
+
     #[test]
     fn submit_drain_roundtrip_reports_every_job() {
         let service = KernelService::new(ServiceConfig::default().with_workers(2));
         let session = service.open_session(SessionSpec::tenant("acme"));
-        let ids =
+        let handles =
             service.submit_batch(session, vec![smoke_job(), smoke_job(), smoke_job()]).unwrap();
+        let ids: Vec<JobId> = handles.iter().map(JobHandle::id).collect();
         assert_eq!(ids, vec![1, 2, 3]);
         let reports = service.drain();
         assert_eq!(reports.len(), 3);
@@ -636,6 +1069,71 @@ mod tests {
         assert_eq!(ctx.meter().plan_cache_hits, 2);
         assert!(ctx.meter().simulated_seconds > 0.0);
         assert_eq!(ctx.in_flight(), 0);
+        // The handles resolved too — drain and handles observe the same job.
+        for (handle, id) in handles.iter().zip(&ids) {
+            let outcome = handle.poll().expect("resolved after drain");
+            assert_eq!(outcome.unwrap().job, *id);
+            assert_eq!(handle.status(), JobStatus::Completed);
+        }
+    }
+
+    #[test]
+    fn handle_wait_resolves_with_report_and_progress() {
+        let service = KernelService::new(ServiceConfig::default().with_workers(1));
+        let session = service.open_session(SessionSpec::tenant("t"));
+        let handle = service.submit(session, smoke_job()).unwrap();
+        assert_eq!(handle.session(), session);
+        let report = handle.wait().expect("job ran");
+        assert!(report.error.is_none());
+        assert!(report.checksum.is_finite());
+        assert!(handle.is_complete());
+        // The runtime's progress plumbing saw the run: the slowest task
+        // completed `summary.steps` steps, so the total is at least that.
+        let progress = handle.progress();
+        assert!(progress.steps >= report.summary.steps, "{progress:?} vs {report:?}");
+        assert_eq!(progress.tasks_finished as usize, report.summary.tasks);
+        // Cancelling a completed job is a no-op.
+        assert!(!handle.cancel());
+        // wait() on a resolved handle returns immediately, as does a clone.
+        assert_eq!(handle.clone().wait().unwrap().job, report.job);
+    }
+
+    #[test]
+    fn handle_is_a_future() {
+        use std::sync::atomic::AtomicBool;
+        use std::task::{Context, Poll, Wake, Waker};
+
+        struct ThreadWaker {
+            woken: AtomicBool,
+            thread: std::thread::Thread,
+        }
+        impl Wake for ThreadWaker {
+            fn wake(self: Arc<Self>) {
+                self.woken.store(true, Ordering::SeqCst);
+                self.thread.unpark();
+            }
+        }
+
+        let service = KernelService::new(ServiceConfig::default().with_workers(1));
+        let session = service.open_session(SessionSpec::tenant("t"));
+        let mut handle = service.submit(session, smoke_job()).unwrap();
+
+        // A minimal single-future block_on: poll, park until woken, repeat.
+        let waker_state =
+            Arc::new(ThreadWaker { woken: AtomicBool::new(false), thread: std::thread::current() });
+        let waker = Waker::from(waker_state.clone());
+        let mut cx = Context::from_waker(&waker);
+        let outcome = loop {
+            match std::future::Future::poll(std::pin::Pin::new(&mut handle), &mut cx) {
+                Poll::Ready(outcome) => break outcome,
+                Poll::Pending => {
+                    while !waker_state.woken.swap(false, Ordering::SeqCst) {
+                        std::thread::park_timeout(Duration::from_millis(50));
+                    }
+                }
+            }
+        };
+        assert_eq!(outcome.unwrap().job, handle.id());
     }
 
     #[test]
@@ -656,41 +1154,160 @@ mod tests {
     }
 
     #[test]
-    fn admission_enforces_sessions_and_quotas() {
+    fn admission_enforces_sessions_and_backpressures_quotas() {
         // Admission-only mode (no workers): in-flight counts never drop, so
         // quota behaviour is deterministic.
-        let service = KernelService::new(ServiceConfig::default().with_workers(0).with_quota(2));
+        let service = KernelService::new(admission_only().with_quota(2));
         assert_eq!(service.worker_count(), 0);
 
-        assert_eq!(service.submit(99, smoke_job()), Err(SubmitError::UnknownSession(99)),);
+        assert_eq!(service.submit(99, smoke_job()).unwrap_err(), SubmitError::UnknownSession(99),);
 
         let session = service.open_session(SessionSpec::tenant("t"));
         service.submit(session, smoke_job()).unwrap();
         service.submit(session, smoke_job()).unwrap();
-        assert_eq!(
-            service.submit(session, smoke_job()),
-            Err(SubmitError::QuotaExceeded { session, limit: 2 }),
-        );
+        let err = service.try_submit(session, smoke_job()).unwrap_err();
+        assert_eq!(err, SubmitError::WouldBlock { session, limit: 2 });
+        assert!(err.is_backpressure(), "quota exhaustion is backpressure, not a hard rejection");
         let ctx = service.session(session).unwrap();
         assert_eq!(ctx.in_flight(), 2);
-        assert_eq!(ctx.meter().jobs_rejected, 1);
+        assert_eq!(ctx.meter().jobs_throttled, 1);
+        assert_eq!(ctx.meter().jobs_rejected, 0, "throttles are not fatal rejections");
 
         let closed = service.open_session(SessionSpec::tenant("u"));
         service.close_session(closed).unwrap();
-        assert_eq!(service.submit(closed, smoke_job()), Err(SubmitError::SessionClosed(closed)));
+        assert_eq!(
+            service.submit(closed, smoke_job()).unwrap_err(),
+            SubmitError::SessionClosed(closed)
+        );
         assert!(service.close_session(404).is_none());
 
         // Session errors take precedence over spec errors: a caller keying
         // re-auth logic on UnknownSession/SessionClosed sees them even when
         // the spec is also malformed.
         let bad_spec = smoke_job().with_block(0);
-        assert_eq!(service.submit(99, bad_spec.clone()), Err(SubmitError::UnknownSession(99)));
-        assert_eq!(service.submit(closed, bad_spec), Err(SubmitError::SessionClosed(closed)));
+        assert_eq!(
+            service.submit(99, bad_spec.clone()).unwrap_err(),
+            SubmitError::UnknownSession(99)
+        );
+        assert_eq!(
+            service.submit(closed, bad_spec).unwrap_err(),
+            SubmitError::SessionClosed(closed)
+        );
         assert_eq!(
             service.session(closed).unwrap().meter().jobs_rejected,
             0,
             "closed sessions do not meter submissions they could never run"
         );
+    }
+
+    #[test]
+    fn queue_bound_backpressures_globally() {
+        // Queue depth 2, generous quota: the third admission hits the global
+        // bound, not the per-session one.
+        let service = KernelService::new(admission_only().with_quota(100).with_queue_bound(2));
+        let session = service.open_session(SessionSpec::tenant("t"));
+        service.submit(session, smoke_job()).unwrap();
+        service.submit(session, smoke_job()).unwrap();
+        let err = service.try_submit(session, smoke_job()).unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull { limit: 2 });
+        assert!(err.is_backpressure());
+        assert_eq!(service.admission_stats().queued, 2);
+        assert_eq!(service.admission_stats().queue_limit, 2);
+    }
+
+    #[test]
+    fn cancel_releases_the_quota_slot() {
+        let service = KernelService::new(admission_only().with_quota(1));
+        let session = service.open_session(SessionSpec::tenant("t"));
+        let first = service.submit(session, smoke_job()).unwrap();
+        assert_eq!(
+            service.try_submit(session, smoke_job()).unwrap_err(),
+            SubmitError::WouldBlock { session, limit: 1 },
+        );
+        assert!(first.cancel(), "a queued job can be cancelled");
+        assert!(!first.cancel(), "cancel resolves at most once");
+        assert_eq!(first.status(), JobStatus::Cancelled);
+        let outcome = first.poll().expect("cancel resolves the handle");
+        assert_eq!(outcome.unwrap_err().kind, JobErrorKind::Cancelled);
+        // The slot freed: the next submission is admitted.
+        let second = service.submit(session, smoke_job()).unwrap();
+        assert_eq!(service.session(session).unwrap().in_flight(), 1);
+        assert_eq!(service.session(session).unwrap().meter().jobs_cancelled, 1);
+        assert_eq!(second.status(), JobStatus::Queued);
+        // A cancelled job never reaches the results buffer.
+        assert!(service.drain().is_empty());
+    }
+
+    #[test]
+    fn completion_stream_delivers_in_submission_order() {
+        let service = KernelService::new(ServiceConfig::default().with_workers(3));
+        let session = service.open_session(SessionSpec::tenant("t"));
+        let stream = service.completion_stream(session).unwrap();
+        assert_eq!(stream.session(), session);
+        assert_eq!(service.completion_stream(999).unwrap_err(), SubmitError::UnknownSession(999));
+
+        let handles = service
+            .submit_batch(session, vec![smoke_job(), smoke_job(), smoke_job(), smoke_job()])
+            .unwrap();
+        let mut delivered = Vec::new();
+        for _ in 0..handles.len() {
+            let outcome = stream.next().expect("stream owes four outcomes");
+            delivered.push(outcome.expect("jobs ran").job);
+        }
+        let expected: Vec<JobId> = handles.iter().map(JobHandle::id).collect();
+        assert_eq!(delivered, expected, "in submission order despite 3 racing workers");
+        assert!(stream.next().is_none(), "nothing further owed");
+        assert!(stream.try_next().is_none());
+        assert_eq!(stream.pending(), 0);
+    }
+
+    #[test]
+    fn completion_stream_is_an_iterator_and_covers_cancels() {
+        let service = KernelService::new(admission_only().with_quota(10));
+        let session = service.open_session(SessionSpec::tenant("t"));
+        let stream = service.completion_stream(session).unwrap();
+        let a = service.submit(session, smoke_job()).unwrap();
+        let b = service.submit(session, smoke_job()).unwrap();
+        // Cancel the *second* job: the stream must not deliver it before the
+        // first (order is submission order, holes are filled with errors).
+        assert!(b.cancel());
+        assert!(stream.try_next().is_none(), "job A unresolved, B's error waits its turn");
+        assert!(a.cancel());
+        let outcomes: Vec<_> = stream.collect();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].as_ref().unwrap_err().job, a.id());
+        assert_eq!(outcomes[1].as_ref().unwrap_err().job, b.id());
+    }
+
+    #[test]
+    fn detached_streams_do_not_accumulate_outcomes() {
+        let service = KernelService::new(ServiceConfig::default().with_workers(1));
+        let session = service.open_session(SessionSpec::tenant("t"));
+        // Attach, then drop the only consumer: the stream detaches and jobs
+        // submitted meanwhile must not buffer anywhere.
+        drop(service.completion_stream(session).unwrap());
+        service.submit(session, smoke_job()).unwrap().wait().unwrap();
+
+        // Re-attach: nothing is owed from the detached period...
+        let stream = service.completion_stream(session).unwrap();
+        assert_eq!(stream.pending(), 0, "detached-period jobs are not owed");
+        assert!(stream.try_next().is_none());
+        // ...but delivery resumes for jobs submitted from here on.
+        let handle = service.submit(session, smoke_job()).unwrap();
+        let outcome = stream.next().expect("owed after re-attach").expect("job ran");
+        assert_eq!(outcome.job, handle.id());
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn zero_queue_bound_is_normalized() {
+        // A directly-constructed config bypasses the builder clamp; the
+        // service must normalize it rather than livelock every admission.
+        let config = ServiceConfig { max_queued_jobs: 0, workers: 1, ..ServiceConfig::default() };
+        let service = KernelService::new(config);
+        let session = service.open_session(SessionSpec::tenant("t"));
+        assert_eq!(service.admission_stats().queue_limit, 1);
+        service.submit(session, smoke_job()).unwrap().wait().unwrap();
     }
 
     #[test]
@@ -702,6 +1319,7 @@ mod tests {
             JobSpec::new(StencilProgram::jacobi_5pt(), vec![0.5], RegionSize::square(16));
         let err = service.submit(session, missing_params).unwrap_err();
         assert!(matches!(err, SubmitError::InvalidJob(ref m) if m.contains("parameters")), "{err}");
+        assert!(!err.is_backpressure());
 
         let zero_block = smoke_job().with_block(0);
         assert!(matches!(
@@ -745,8 +1363,8 @@ mod tests {
         assert_eq!(service.session(child).unwrap().parent(), Some(parent));
         assert_eq!(service.session(parent).unwrap().parent(), None);
         assert_eq!(
-            service.open_child_session(12345, SessionSpec::tenant("x")),
-            Err(SubmitError::UnknownSession(12345)),
+            service.open_child_session(12345, SessionSpec::tenant("x")).unwrap_err(),
+            SubmitError::UnknownSession(12345),
         );
         // Child accounting is separate from the parent's.
         service.submit(child, smoke_job()).unwrap();
@@ -762,7 +1380,7 @@ mod tests {
         let serial = smoke_job();
         let hybrid = smoke_job().with_topology(Topology::hybrid(2, 2));
         service.submit(session, serial).unwrap();
-        service.submit(session, hybrid).unwrap();
+        let hybrid_handle = service.submit(session, hybrid).unwrap();
         let reports = service.drain();
         assert_eq!(reports.len(), 2);
         // The fields are identical cell-for-cell; the checksum accumulates in
@@ -772,6 +1390,8 @@ mod tests {
         assert!((a - b).abs() < 1e-9 * a.abs().max(1.0), "topology changed results: {a} vs {b}");
         assert_eq!(reports[1].summary.tasks, 4);
         assert!(reports[1].summary.pages_sent > 0, "ranks exchanged halo pages");
+        // Progress saw all four tasks of the hybrid run finish.
+        assert_eq!(hybrid_handle.progress().tasks_finished, 4);
     }
 
     #[test]
@@ -799,15 +1419,16 @@ mod tests {
     #[test]
     fn batch_errors_carry_the_accepted_prefix() {
         // Admission-only mode keeps in-flight counts pinned, so the quota
-        // trips deterministically mid-batch.
-        let service = KernelService::new(ServiceConfig::default().with_workers(0).with_quota(2));
+        // trips deterministically mid-batch (the zero admission timeout
+        // makes the blocking `submit` inside the batch fail fast).
+        let service = KernelService::new(admission_only().with_quota(2));
         let session = service.open_session(SessionSpec::tenant("t"));
         let err = service
             .submit_batch(session, vec![smoke_job(), smoke_job(), smoke_job(), smoke_job()])
             .unwrap_err();
         assert_eq!(err.accepted, vec![1, 2], "the accepted prefix is reported");
         assert_eq!(err.index, 2, "the failing spec's position is reported");
-        assert_eq!(err.error, SubmitError::QuotaExceeded { session, limit: 2 });
+        assert_eq!(err.error, SubmitError::WouldBlock { session, limit: 2 });
         assert!(err.to_string().contains("after accepting 2 jobs"));
         // With no workers, queued jobs can never finish — drain must not hang.
         assert!(service.drain().is_empty());
@@ -837,25 +1458,70 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_with_a_backlog_abandons_queued_jobs() {
+    fn shutdown_with_a_backlog_abandons_and_resolves_queued_jobs() {
         // One worker, a deep queue: shutdown must not execute the backlog
         // (each job takes ~ms; a hung Drop would blow the test timeout), and
-        // the worker's in-flight job still settles its counters.
+        // every abandoned job's handle must still resolve.
         let service = KernelService::new(ServiceConfig::default().with_workers(1).with_quota(1000));
         let session = service.open_session(SessionSpec::tenant("t"));
-        for _ in 0..64 {
-            service.submit(session, smoke_job()).unwrap();
-        }
+        let handles: Vec<JobHandle> =
+            (0..64).map(|_| service.submit(session, smoke_job()).unwrap()).collect();
         service.shutdown();
+        let mut completed = 0;
+        let mut abandoned = 0;
+        for handle in &handles {
+            match handle.poll().expect("every job resolves at shutdown") {
+                Ok(report) => {
+                    assert!(report.error.is_none());
+                    completed += 1;
+                }
+                Err(e) => {
+                    assert_eq!(e.kind, JobErrorKind::Abandoned);
+                    abandoned += 1;
+                }
+            }
+        }
+        assert_eq!(completed + abandoned, 64);
+        assert!(abandoned > 0, "a 64-deep backlog cannot all have run before shutdown");
+    }
+
+    #[test]
+    fn zero_worker_shutdown_resolves_every_queued_handle() {
+        let service = KernelService::new(admission_only().with_quota(8));
+        let session = service.open_session(SessionSpec::tenant("t"));
+        let handles: Vec<JobHandle> =
+            (0..4).map(|_| service.submit(session, smoke_job()).unwrap()).collect();
+        assert!(handles.iter().all(|h| !h.is_complete()));
+        drop(service);
+        for handle in &handles {
+            assert_eq!(
+                handle.poll().expect("resolved by Drop").unwrap_err().kind,
+                JobErrorKind::Abandoned
+            );
+        }
+    }
+
+    #[test]
+    fn report_retention_can_be_disabled() {
+        let service = KernelService::new(
+            ServiceConfig::default().with_workers(1).with_report_retention(false),
+        );
+        let session = service.open_session(SessionSpec::tenant("t"));
+        let handle = service.submit(session, smoke_job()).unwrap();
+        let report = handle.wait().expect("handles still resolve");
+        assert!(report.error.is_none());
+        assert!(service.drain().is_empty(), "nothing retained for the sync path");
+        assert_eq!(service.session(session).unwrap().meter().jobs_completed, 1);
     }
 
     #[test]
     fn drain_on_idle_service_returns_immediately() {
         let service = KernelService::new(ServiceConfig::default().with_workers(1));
         assert!(service.drain().is_empty());
-        let errors = SubmitError::InvalidJob("x".into());
-        assert!(errors.to_string().contains("invalid job"));
+        assert!(SubmitError::InvalidJob("x".into()).to_string().contains("invalid job"));
         assert!(SubmitError::UnknownSession(1).to_string().contains("unknown"));
-        assert!(SubmitError::QuotaExceeded { session: 1, limit: 2 }.to_string().contains("quota"));
+        assert!(SubmitError::WouldBlock { session: 1, limit: 2 }.to_string().contains("quota"));
+        assert!(SubmitError::QueueFull { limit: 2 }.to_string().contains("full"));
+        assert!(SubmitError::ShuttingDown.to_string().contains("shutting down"));
     }
 }

@@ -7,9 +7,20 @@
 //! key-value store, accumulated metering, and an optional parent link so a
 //! tenant can nest scoped child sessions (a sweep inside an experiment inside
 //! a project) whose accounting stays separable.
+//!
+//! The module also hosts the session's asynchronous delivery surface: a
+//! [`CompletionStream`] attached via
+//! [`KernelService::completion_stream`](crate::KernelService::completion_stream)
+//! receives every subsequently-submitted job's [`JobOutcome`] **in
+//! submission order**, regardless of the order workers finish them (an
+//! internal reorder buffer holds early finishers until their turn).
 
+use crate::job::{JobId, JobOutcome};
 use serde::Serialize;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Identifier of a session within one [`KernelService`](crate::KernelService).
 pub type SessionId = u64;
@@ -26,8 +37,15 @@ pub struct SessionMeter {
     pub jobs_submitted: u64,
     /// Jobs whose report has been recorded.
     pub jobs_completed: u64,
-    /// Submissions rejected at admission (quota, validation).
+    /// Submissions rejected at admission (unknown/closed session or a
+    /// malformed spec — the fatal rejections).
     pub jobs_rejected: u64,
+    /// Submissions that gave up under backpressure: `try_submit` at a full
+    /// quota/queue, or a `submit_timeout` deadline expiring unadmitted.
+    pub jobs_throttled: u64,
+    /// Jobs revoked by [`JobHandle::cancel`](crate::JobHandle::cancel)
+    /// before a worker picked them up.
+    pub jobs_cancelled: u64,
     /// Jobs whose primary plan was already cached.
     pub plan_cache_hits: u64,
     /// Jobs whose primary plan had to be compiled.
@@ -157,6 +175,17 @@ impl SessionCtx {
         self.meter.jobs_rejected += 1;
     }
 
+    pub(crate) fn note_throttled(&mut self) {
+        self.meter.jobs_throttled += 1;
+    }
+
+    /// A queued job revoked by `JobHandle::cancel`: releases the in-flight
+    /// slot (unblocking backpressured submitters) without a completion.
+    pub(crate) fn note_cancelled(&mut self) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.meter.jobs_cancelled += 1;
+    }
+
     pub(crate) fn note_completed(&mut self) {
         self.in_flight = self.in_flight.saturating_sub(1);
         self.meter.jobs_completed += 1;
@@ -166,6 +195,228 @@ impl SessionCtx {
     /// without counting a completion.
     pub(crate) fn note_abandoned(&mut self) {
         self.in_flight = self.in_flight.saturating_sub(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Completion streams
+// ---------------------------------------------------------------------------
+
+/// Upper bound on a single condvar wait inside the blocking stream methods.
+/// This is a missed-notification safety net, **not** an overall deadline:
+/// [`CompletionStream::next`] keeps re-waiting in these slices for as long
+/// as an undelivered job is owed, so it blocks indefinitely when that job
+/// never resolves (e.g. queued on an admission-only service).  Callers
+/// needing a bounded wait use [`CompletionStream::next_timeout`].
+const STREAM_WAIT_SLICE: Duration = Duration::from_millis(200);
+
+struct StreamInner {
+    /// Job ids this stream owes the consumer, in submission order.
+    expected: VecDeque<JobId>,
+    /// Outcomes that arrived ahead of their turn (reorder buffer).
+    ready: BTreeMap<JobId, JobOutcome>,
+    /// The first job id ever owed.  Job ids are global and ascending and
+    /// `expect` is called in admission order, so "is this job owed?" is the
+    /// O(1) comparison `job >= watermark` — no scan of `expected` (jobs
+    /// submitted before the stream attached all have smaller ids).
+    watermark: Option<JobId>,
+}
+
+/// Shared state between a session's [`CompletionStream`] handles and the
+/// service's completion paths.
+///
+/// Delivery is gated on live consumers: while at least one
+/// [`CompletionStream`] handle exists, admissions are owed and outcomes
+/// buffered; when the last handle drops, the buffers are cleared and both
+/// sides become no-ops, so an attached-then-abandoned stream cannot
+/// accumulate reports without bound.  Re-attaching resumes delivery for
+/// jobs submitted from that point on.
+pub(crate) struct StreamState {
+    inner: Mutex<StreamInner>,
+    cv: Condvar,
+    /// Live `CompletionStream` handles sharing this state.
+    consumers: AtomicUsize,
+}
+
+impl StreamState {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(StreamState {
+            inner: Mutex::new(StreamInner {
+                expected: VecDeque::new(),
+                ready: BTreeMap::new(),
+                watermark: None,
+            }),
+            cv: Condvar::new(),
+            consumers: AtomicUsize::new(0),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, StreamInner> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Whether any consumer handle is attached (completion paths skip the
+    /// report clone entirely when none is).
+    pub(crate) fn has_consumers(&self) -> bool {
+        self.consumers.load(Ordering::SeqCst) > 0
+    }
+
+    /// Admission-side: the stream owes the consumer this job's outcome.
+    /// Called in submission order (under the service's session lock).  A
+    /// no-op while no consumer is attached.
+    pub(crate) fn expect(&self, job: JobId) {
+        let mut inner = self.lock();
+        // Re-checked under the lock: a concurrent last-consumer drop clears
+        // the buffers under this same lock, so either this push lands before
+        // the clear (and is cleared) or the check below sees zero consumers.
+        if !self.has_consumers() {
+            return;
+        }
+        inner.watermark.get_or_insert(job);
+        inner.expected.push_back(job);
+    }
+
+    /// Completion-side: a job resolved.  Outcomes for jobs submitted before
+    /// the stream was attached (or while it was detached — the watermark
+    /// resets when the last consumer drops) are not owed and are dropped;
+    /// the ownership test is an O(1) watermark comparison, not a scan of
+    /// the backlog.
+    pub(crate) fn resolve(&self, job: JobId, outcome: JobOutcome) {
+        let mut inner = self.lock();
+        if inner.watermark.is_some_and(|first_owed| job >= first_owed) {
+            inner.ready.insert(job, outcome);
+            drop(inner);
+            self.cv.notify_all();
+        }
+    }
+
+    fn pop_ready(inner: &mut StreamInner) -> Option<JobOutcome> {
+        let next = *inner.expected.front()?;
+        let outcome = inner.ready.remove(&next)?;
+        inner.expected.pop_front();
+        Some(outcome)
+    }
+}
+
+/// In-order delivery of one session's [`JobOutcome`]s.
+///
+/// Obtained from
+/// [`KernelService::completion_stream`](crate::KernelService::completion_stream);
+/// jobs submitted to the session **after** the stream is attached are
+/// delivered here in submission order — a job that finishes early waits in a
+/// reorder buffer until every earlier job of the session has been delivered.
+/// Cancelled and abandoned jobs are delivered too (as `Err`), so the stream
+/// never stalls on a hole.
+///
+/// Further `completion_stream` calls for the same session return handles
+/// sharing this buffer; each outcome goes to exactly one consumer.  The
+/// stream is also a blocking [`Iterator`], ending (`None`) when no
+/// undelivered job remains.
+pub struct CompletionStream {
+    session: SessionId,
+    state: Arc<StreamState>,
+}
+
+impl CompletionStream {
+    pub(crate) fn new(session: SessionId, state: Arc<StreamState>) -> Self {
+        state.consumers.fetch_add(1, Ordering::SeqCst);
+        CompletionStream { session, state }
+    }
+
+    /// The session this stream delivers for.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// Jobs submitted-but-not-yet-delivered (including ones still running).
+    pub fn pending(&self) -> usize {
+        self.state.lock().expected.len()
+    }
+
+    /// The next in-order outcome if it is already available (non-blocking).
+    pub fn try_next(&self) -> Option<JobOutcome> {
+        StreamState::pop_ready(&mut self.state.lock())
+    }
+
+    /// Block until the next in-order outcome is available and return it.
+    /// Returns `None` immediately when the stream owes nothing (no
+    /// undelivered submission) — the natural end-of-batch signal.
+    #[allow(clippy::should_implement_trait)] // the Iterator impl delegates here
+    pub fn next(&self) -> Option<JobOutcome> {
+        let mut inner = self.state.lock();
+        loop {
+            if let Some(outcome) = StreamState::pop_ready(&mut inner) {
+                return Some(outcome);
+            }
+            if inner.expected.is_empty() {
+                return None;
+            }
+            let (guard, _) = self
+                .state
+                .cv
+                .wait_timeout(inner, STREAM_WAIT_SLICE)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            inner = guard;
+        }
+    }
+
+    /// Like [`CompletionStream::next`], but gives up after `timeout` even if
+    /// an undelivered job is still in flight.
+    pub fn next_timeout(&self, timeout: Duration) -> Option<JobOutcome> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.state.lock();
+        loop {
+            if let Some(outcome) = StreamState::pop_ready(&mut inner) {
+                return Some(outcome);
+            }
+            if inner.expected.is_empty() {
+                return None;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let (guard, _) = self
+                .state
+                .cv
+                .wait_timeout(inner, remaining.min(STREAM_WAIT_SLICE))
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            inner = guard;
+        }
+    }
+}
+
+impl Drop for CompletionStream {
+    fn drop(&mut self) {
+        if self.state.consumers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last consumer gone: nobody can ever read the buffers, so clear
+            // them and reset the watermark — completions for in-flight and
+            // future jobs become no-ops until a new stream attaches (which
+            // starts a fresh watermark at its first admission).
+            let mut inner = self.state.lock();
+            inner.expected.clear();
+            inner.ready.clear();
+            inner.watermark = None;
+        }
+    }
+}
+
+impl Iterator for CompletionStream {
+    type Item = JobOutcome;
+
+    fn next(&mut self) -> Option<JobOutcome> {
+        CompletionStream::next(self)
+    }
+}
+
+impl std::fmt::Debug for CompletionStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.state.lock();
+        f.debug_struct("CompletionStream")
+            .field("session", &self.session)
+            .field("pending", &inner.expected.len())
+            .field("buffered", &inner.ready.len())
+            .finish()
     }
 }
 

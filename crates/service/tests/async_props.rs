@@ -1,0 +1,248 @@
+//! Property test over random submit/cancel/drain interleavings of the async
+//! front door.
+//!
+//! Invariants asserted for every interleaving:
+//!
+//! 1. **Exactly-once resolution** — every accepted job's handle resolves
+//!    with a report or an error: by a worker, by `cancel`, or (at the
+//!    latest) by shutdown, and repeated polls observe the same outcome.
+//! 2. **Cancel consistency** — `cancel() == true` iff the handle resolves
+//!    `Err(Cancelled)`; a losing cancel means the job ran and reported.
+//! 3. **Stream order** — the session's `CompletionStream` delivers outcomes
+//!    in submission order (ascending job ids), covering cancelled and
+//!    abandoned jobs, and ends exactly when everything submitted since
+//!    attach has been delivered.
+//! 4. **No leaked slots** — after quiescing, nothing is in flight or
+//!    queued, and the per-session meters tie out:
+//!    `submitted == completed + cancelled (+ abandoned at shutdown)`.
+
+use aohpc_kernel::StencilProgram;
+use aohpc_service::{
+    JobErrorKind, JobHandle, JobSpec, KernelService, ServiceConfig, SessionSpec, SubmitError,
+};
+use aohpc_testalloc::sync::spin_until;
+use aohpc_workloads::RegionSize;
+use proptest::collection;
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// A small job (one 8x8 block, one step) so 256 interleavings stay fast.
+fn tiny_job() -> JobSpec {
+    JobSpec::new(StencilProgram::jacobi_5pt(), vec![0.5, 0.125], RegionSize::square(8))
+        .with_block(8)
+        .with_steps(1)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Op {
+    /// `try_submit` under session A (the streamed session).
+    SubmitA,
+    /// `try_submit` under session B.
+    SubmitB,
+    /// Cancel the (i mod len)-th handle issued so far.
+    Cancel(usize),
+    /// Consume whatever the stream has ready.
+    PollStream,
+    /// Synchronously drain session B (the legacy path, mid-interleaving).
+    DrainB,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::SubmitA),
+        Just(Op::SubmitA), // weight submissions so interleavings have work
+        Just(Op::SubmitB),
+        (0usize..16).prop_map(Op::Cancel),
+        Just(Op::PollStream),
+        Just(Op::DrainB),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn async_interleavings_resolve_every_job_exactly_once(
+        ops in collection::vec(op_strategy(), 1..14),
+        workers in 0usize..3,
+    ) {
+        let service = KernelService::new(
+            ServiceConfig::default()
+                .with_workers(workers)
+                .with_quota(4)
+                .with_admission_timeout(Duration::ZERO),
+        );
+        let session_a = service.open_session(SessionSpec::tenant("a"));
+        let session_b = service.open_session(SessionSpec::tenant("b"));
+        let stream = service.completion_stream(session_a).unwrap();
+
+        let mut handles: Vec<JobHandle> = Vec::new();
+        let mut cancel_won: HashSet<u64> = HashSet::new();
+        let mut streamed: Vec<_> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::SubmitA | Op::SubmitB => {
+                    let session = if *op == Op::SubmitA { session_a } else { session_b };
+                    match service.try_submit(session, tiny_job()) {
+                        Ok(handle) => handles.push(handle),
+                        // Admission-only interleavings fill the quota; that
+                        // is backpressure, not an accepted job.
+                        Err(e) => prop_assert!(e.is_backpressure(), "unexpected error: {e}"),
+                    }
+                }
+                Op::Cancel(i) => {
+                    if !handles.is_empty() {
+                        let handle = &handles[i % handles.len()];
+                        if handle.cancel() {
+                            prop_assert!(
+                                cancel_won.insert(handle.id()),
+                                "cancel() returned true twice for job {}",
+                                handle.id()
+                            );
+                        }
+                    }
+                }
+                Op::PollStream => {
+                    while let Some(outcome) = stream.try_next() {
+                        streamed.push(outcome);
+                    }
+                }
+                Op::DrainB => {
+                    for report in service.drain_session(session_b) {
+                        prop_assert_eq!(report.session, session_b);
+                    }
+                }
+            }
+        }
+
+        // Quiesce the worker pool (a no-op wait in admission-only mode).
+        service.drain();
+
+        if workers > 0 {
+            // Every accepted job has resolved; outcomes agree with the
+            // cancel bookkeeping, and re-polling is stable.
+            for handle in &handles {
+                let outcome = handle.poll();
+                prop_assert!(outcome.is_some(), "job {} unresolved after drain", handle.id());
+                match outcome.clone().unwrap() {
+                    Ok(report) => {
+                        prop_assert_eq!(report.job, handle.id());
+                        prop_assert!(
+                            !cancel_won.contains(&handle.id()),
+                            "job {} reported but its cancel had won",
+                            handle.id()
+                        );
+                    }
+                    Err(error) => {
+                        prop_assert_eq!(error.kind, JobErrorKind::Cancelled);
+                        prop_assert!(cancel_won.contains(&error.job));
+                    }
+                }
+                let again = handle.poll().unwrap();
+                prop_assert_eq!(
+                    outcome.unwrap().is_ok(), again.is_ok(),
+                    "outcome changed between polls"
+                );
+            }
+
+            // No leaked worker or quota slots.
+            prop_assert_eq!(service.session(session_a).unwrap().in_flight(), 0);
+            prop_assert_eq!(service.session(session_b).unwrap().in_flight(), 0);
+            // Cancelled jobs leave a tombstone message in the channel until a
+            // worker dequeues it; the workers drain those promptly but
+            // asynchronously, so this is an eventually-zero observation.
+            spin_until("tombstones dequeued", || service.admission_stats().queued == 0);
+            for session in [session_a, session_b] {
+                let meter = *service.session(session).unwrap().meter();
+                prop_assert_eq!(
+                    meter.jobs_submitted,
+                    meter.jobs_completed + meter.jobs_cancelled,
+                    "session {} meters do not tie out: {:?}", session, meter
+                );
+            }
+            // Capacity fully restored: a fresh submission is admitted.
+            let probe = service.try_submit(session_a, tiny_job());
+            prop_assert!(probe.is_ok(), "freed capacity rejected a submit: {:?}", probe.err());
+            let probe = probe.unwrap();
+            probe.wait().unwrap();
+            handles.push(probe); // the stream owes (and delivers) it too
+        }
+
+        // Shutdown resolves everything still queued (admission-only mode
+        // leaves all uncancelled jobs queued).
+        drop(service);
+        let mut abandoned = 0u64;
+        for handle in &handles {
+            let outcome = handle.poll();
+            prop_assert!(outcome.is_some(), "job {} unresolved after shutdown", handle.id());
+            if let Err(error) = outcome.unwrap() {
+                match error.kind {
+                    JobErrorKind::Cancelled => {
+                        prop_assert!(cancel_won.contains(&error.job));
+                    }
+                    JobErrorKind::Abandoned => {
+                        prop_assert!(workers == 0 || !cancel_won.contains(&error.job));
+                        abandoned += 1;
+                    }
+                }
+            }
+        }
+        prop_assert!(
+            workers > 0 || abandoned as usize ==
+                handles.iter().filter(|h| h.session() == session_a || h.session() == session_b)
+                    .count() - cancel_won.len(),
+            "admission-only: every uncancelled job resolves Abandoned"
+        );
+
+        // The stream delivered session A's outcomes in submission order —
+        // cancelled/abandoned holes included — and owes nothing more.
+        while let Some(outcome) = stream.try_next() {
+            streamed.push(outcome);
+        }
+        let delivered: Vec<u64> = streamed
+            .iter()
+            .map(|o| o.as_ref().map(|r| r.job).unwrap_or_else(|e| e.job))
+            .collect();
+        let mut sorted = delivered.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(
+            &delivered, &sorted,
+            "stream delivery is not in submission order (or duplicated)"
+        );
+        let expected: Vec<u64> = handles
+            .iter()
+            .filter(|h| h.session() == session_a)
+            .map(JobHandle::id)
+            .collect();
+        prop_assert_eq!(delivered, expected, "stream must deliver exactly session A's jobs");
+        prop_assert_eq!(stream.pending(), 0);
+        prop_assert!(stream.try_next().is_none());
+    }
+
+    /// `try_submit` at quota always reports retryable backpressure and the
+    /// error names the configured limit.
+    #[test]
+    fn try_submit_backpressure_is_always_retryable(
+        quota in 1usize..4,
+        extra in 1usize..4,
+    ) {
+        let service = KernelService::new(
+            ServiceConfig::default().with_workers(0).with_quota(quota)
+                .with_admission_timeout(Duration::ZERO),
+        );
+        let session = service.open_session(SessionSpec::tenant("t"));
+        for _ in 0..quota {
+            prop_assert!(service.try_submit(session, tiny_job()).is_ok());
+        }
+        for _ in 0..extra {
+            let err = service.try_submit(session, tiny_job()).unwrap_err();
+            prop_assert_eq!(err.clone(), SubmitError::WouldBlock { session, limit: quota });
+            prop_assert!(err.is_backpressure());
+        }
+        let meter = *service.session(session).unwrap().meter();
+        prop_assert_eq!(meter.jobs_throttled, extra as u64);
+        prop_assert_eq!(meter.jobs_submitted, quota as u64);
+    }
+}

@@ -20,6 +20,14 @@
 //!
 //! Deallocations are not counted — the assertions are about *new* heap
 //! traffic.  `realloc` counts as one allocation.
+//!
+//! The crate also hosts the workspace's deterministic concurrency test
+//! harness ([`sync`]): a step-controlled [`FakeClock`](sync::FakeClock), the
+//! [`StepLine`](sync::StepLine) thread coordinator, and
+//! [`spin_until`](sync::spin_until) — the building blocks that let
+//! backpressure and timeout tests signal instead of sleep.
+
+pub mod sync;
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;

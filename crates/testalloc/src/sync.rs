@@ -1,0 +1,230 @@
+//! Deterministic concurrency test utilities: a step-controlled fake clock and
+//! a label-based thread coordinator.
+//!
+//! Concurrency tests that `thread::sleep` and hope the other thread got there
+//! first are flaky by construction.  The utilities here replace timing with
+//! *signalling*:
+//!
+//! * [`FakeClock`] — a virtual monotonic clock.  Code under test reads
+//!   [`FakeClock::now`] instead of the wall clock; the test advances it
+//!   explicitly with [`FakeClock::advance`], which also fires registered
+//!   wake-up callbacks so condvar waiters re-check their deadlines
+//!   immediately.  A timeout test becomes: park the waiter, advance past the
+//!   deadline, observe the timeout — no real time elapses.
+//! * [`StepLine`] — named checkpoints threads `reach` and other threads
+//!   `wait_for`.  Orderings that would otherwise be racy ("cancel only after
+//!   the submitter has entered `submit`") become explicit edges.
+//! * [`spin_until`] — a bounded progress wait on an arbitrary condition, for
+//!   the rare cases where the observed state is a counter rather than an
+//!   event.  It panics (rather than hangs) when the condition never holds.
+//!
+//! All waits are capped by [`COORDINATION_TIMEOUT`]: a coordination bug shows
+//! up as a panic with the label that never arrived, not a hung test run.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Upper bound on every blocking wait in this module.  Long enough that a
+/// loaded CI machine cannot trip it, short enough that a deadlocked test
+/// fails instead of timing the whole suite out.
+pub const COORDINATION_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A virtual monotonic clock advanced explicitly by the test.
+///
+/// Holders read [`FakeClock::now`]; the controlling test calls
+/// [`FakeClock::advance`].  Components that park on a condition variable
+/// while waiting for a deadline register a wake-up callback with
+/// [`FakeClock::on_advance`] so an advance is observed immediately instead of
+/// at the next poll.
+#[derive(Default)]
+pub struct FakeClock {
+    nanos: AtomicU64,
+    #[allow(clippy::type_complexity)]
+    wakers: Mutex<Vec<Arc<dyn Fn() + Send + Sync>>>,
+}
+
+impl FakeClock {
+    /// A clock starting at zero.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Current virtual time (since the clock's creation).
+    pub fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+
+    /// Advance the clock and fire every registered wake-up callback.
+    ///
+    /// The callback list is snapshotted out of the internal lock before
+    /// invocation, so callbacks may themselves call [`FakeClock::advance`]
+    /// or [`FakeClock::on_advance`] without deadlocking.
+    pub fn advance(&self, by: Duration) {
+        let by = u64::try_from(by.as_nanos()).unwrap_or(u64::MAX);
+        self.nanos.fetch_add(by, Ordering::SeqCst);
+        let wakers: Vec<_> = lock(&self.wakers).clone();
+        for waker in &wakers {
+            waker();
+        }
+    }
+
+    /// Register a callback fired after every [`FakeClock::advance`] (e.g.
+    /// "notify the admission condvar so deadline checks re-run").
+    ///
+    /// Registrations live as long as the clock (there is no deregistration),
+    /// so share one clock only across components with the clock's lifetime —
+    /// the intended shape is one `FakeClock` per service under test.
+    pub fn on_advance(&self, waker: impl Fn() + Send + Sync + 'static) {
+        lock(&self.wakers).push(Arc::new(waker));
+    }
+}
+
+impl std::fmt::Debug for FakeClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FakeClock")
+            .field("now", &self.now())
+            .field("wakers", &lock(&self.wakers).len())
+            .finish()
+    }
+}
+
+/// Named checkpoints for ordering threads without sleeping.
+///
+/// A thread calls [`StepLine::reach`] when it passes a point of interest;
+/// any other thread blocks in [`StepLine::wait_for`] until that label has
+/// been reached.  Labels are permanent (a `wait_for` after the fact returns
+/// immediately), so the coordinator never needs to win a race.
+#[derive(Default)]
+pub struct StepLine {
+    reached: Mutex<HashSet<String>>,
+    cv: Condvar,
+}
+
+impl StepLine {
+    /// A line with no labels reached yet.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Mark `label` reached and wake all waiters.
+    pub fn reach(&self, label: &str) {
+        lock(&self.reached).insert(label.to_string());
+        self.cv.notify_all();
+    }
+
+    /// Whether `label` has been reached.
+    pub fn has_reached(&self, label: &str) -> bool {
+        lock(&self.reached).contains(label)
+    }
+
+    /// Block until `label` is reached.  Panics after
+    /// [`COORDINATION_TIMEOUT`] — a missing checkpoint is a test bug, not a
+    /// reason to hang.
+    pub fn wait_for(&self, label: &str) {
+        let deadline = Instant::now() + COORDINATION_TIMEOUT;
+        let mut reached = lock(&self.reached);
+        while !reached.contains(label) {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            assert!(!remaining.is_zero(), "step label `{label}` never reached");
+            let (guard, _) = self
+                .cv
+                .wait_timeout(reached, remaining)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            reached = guard;
+        }
+    }
+}
+
+impl std::fmt::Debug for StepLine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut labels: Vec<_> = lock(&self.reached).iter().cloned().collect();
+        labels.sort();
+        f.debug_struct("StepLine").field("reached", &labels).finish()
+    }
+}
+
+/// Spin (yielding) until `cond` holds.  Panics with `what` after
+/// [`COORDINATION_TIMEOUT`].  For observing monotone state (a waiter count,
+/// a queue depth) that has no event to wait on.
+pub fn spin_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + COORDINATION_TIMEOUT;
+    while !cond() {
+        assert!(Instant::now() < deadline, "condition `{what}` never became true");
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    #[test]
+    fn fake_clock_advances_and_wakes() {
+        let clock = FakeClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        let fired = Arc::new(AtomicU64::new(0));
+        let observer = fired.clone();
+        clock.on_advance(move || {
+            observer.fetch_add(1, Ordering::SeqCst);
+        });
+        clock.advance(Duration::from_secs(3));
+        clock.advance(Duration::from_millis(500));
+        assert_eq!(clock.now(), Duration::from_millis(3500));
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        assert!(format!("{clock:?}").contains("wakers"));
+    }
+
+    #[test]
+    fn step_line_orders_two_threads() {
+        let line = StepLine::new();
+        let flag = Arc::new(AtomicBool::new(false));
+        let worker = {
+            let line = line.clone();
+            let flag = flag.clone();
+            thread::spawn(move || {
+                line.wait_for("go");
+                flag.store(true, Ordering::SeqCst);
+                line.reach("done");
+            })
+        };
+        assert!(!line.has_reached("done"));
+        assert!(!flag.load(Ordering::SeqCst), "worker must not run before `go`");
+        line.reach("go");
+        line.wait_for("done");
+        assert!(flag.load(Ordering::SeqCst));
+        worker.join().unwrap();
+        // Labels are permanent: waiting again returns immediately.
+        line.wait_for("go");
+    }
+
+    #[test]
+    fn spin_until_observes_progress() {
+        let n = Arc::new(AtomicU64::new(0));
+        let bump = {
+            let n = n.clone();
+            thread::spawn(move || {
+                for _ in 0..10 {
+                    n.fetch_add(1, Ordering::SeqCst);
+                    thread::yield_now();
+                }
+            })
+        };
+        spin_until("count reaches 10", || n.load(Ordering::SeqCst) == 10);
+        bump.join().unwrap();
+    }
+
+    #[test]
+    fn fake_clock_saturates_oversized_advances() {
+        let clock = FakeClock::new();
+        clock.advance(Duration::MAX);
+        assert_eq!(clock.now(), Duration::from_nanos(u64::MAX));
+    }
+}

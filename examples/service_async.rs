@@ -1,0 +1,134 @@
+//! The asynchronous service front door: non-blocking submission with
+//! [`JobHandle`]s, an in-order per-session [`CompletionStream`] consumed on
+//! its own thread, cancellation, and quota **backpressure** (`try_submit`
+//! reporting `WouldBlock`, `submit_timeout` waiting capacity out).
+//!
+//! ```sh
+//! AOHPC_SCALE=smoke cargo run --release --example service_async
+//! ```
+
+use aohpc::prelude::*;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let scale = Scale::from_env();
+    let jobs = (scale.service_tenants() * scale.service_jobs_per_tenant()).max(8);
+    // A small quota so backpressure is observable; handle-only collection, so
+    // report retention for the legacy drain path is off.
+    let config = ServiceConfig::for_scale(scale).with_quota(4).with_report_retention(false);
+    let service = KernelService::new(config);
+    println!(
+        "service        : {} workers, quota {} in flight/session, scale `{scale}`",
+        service.worker_count(),
+        4
+    );
+
+    let session = service.open_session(SessionSpec::tenant("async-demo"));
+    let stream = service.completion_stream(session).expect("session exists");
+
+    // A dedicated consumer drains the stream in submission order while the
+    // main thread keeps submitting — production's submit/consume split.  It
+    // stops after `jobs` outcomes (every submitted job resolves exactly
+    // once, cancellations included); `next_timeout` rides out the moments
+    // where the stream momentarily owes nothing because the main thread is
+    // still parked on backpressure.
+    let consumer = std::thread::spawn(move || {
+        let mut delivered: Vec<JobId> = Vec::new();
+        let mut cancelled = 0usize;
+        while delivered.len() + cancelled < jobs {
+            let Some(outcome) = stream.next_timeout(Duration::from_millis(100)) else {
+                continue;
+            };
+            match outcome {
+                Ok(report) => {
+                    delivered.push(report.job);
+                    if delivered.len().is_multiple_of(8) {
+                        println!(
+                            "  stream        : {} reports, latest job {} (checksum {:.6})",
+                            delivered.len(),
+                            report.job,
+                            report.checksum
+                        );
+                    }
+                }
+                Err(error) => {
+                    assert_eq!(error.kind, JobErrorKind::Cancelled);
+                    cancelled += 1;
+                }
+            }
+        }
+        (delivered, cancelled)
+    });
+
+    // Submit the workload through the backpressured front door.  `submit`
+    // waits (bounded) when the quota is full; count how often `try_submit`
+    // would have had to retry to show the backpressure is real.
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    let mut would_block = 0usize;
+    for j in 0..jobs {
+        let spec = if j % 3 == 2 { JobSpec::smooth(scale) } else { JobSpec::jacobi(scale) };
+        match service.try_submit(session, spec.clone()) {
+            Ok(handle) => handles.push(handle),
+            Err(err) if err.is_backpressure() => {
+                would_block += 1;
+                // The blocking form parks until a slot frees, then admits.
+                let handle = service
+                    .submit_timeout(session, spec, Duration::from_secs(60))
+                    .expect("capacity frees as workers finish");
+                handles.push(handle);
+            }
+            Err(err) => panic!("fatal admission error: {err}"),
+        }
+    }
+
+    // Cancel the last still-queued job, if any (races with the workers; both
+    // outcomes are valid — that is the point of the API).
+    let cancelled_here = handles.iter().rev().find_map(|h| h.cancel().then(|| h.id()));
+
+    // Per-job wait: the migration target for `drain()` callers.
+    let mut completed = 0usize;
+    for handle in &handles {
+        match handle.wait() {
+            Ok(report) => {
+                assert!(report.error.is_none(), "job {} failed: {:?}", report.job, report.error);
+                completed += 1;
+            }
+            Err(error) => assert_eq!(Some(error.job), cancelled_here),
+        }
+    }
+    let elapsed = started.elapsed();
+
+    let (delivered, cancelled_on_stream) = consumer.join().expect("consumer thread");
+    assert!(delivered.windows(2).all(|w| w[0] < w[1]), "stream must deliver in submission order");
+    assert_eq!(delivered.len(), completed, "stream and handles saw the same completions");
+    assert_eq!(cancelled_on_stream, usize::from(cancelled_here.is_some()));
+
+    let stats = service.admission_stats();
+    println!(
+        "submitted      : {} jobs in {:.1} ms ({} throttled into a bounded wait, {} cancelled)",
+        handles.len(),
+        elapsed.as_secs_f64() * 1e3,
+        would_block,
+        cancelled_here.map_or(0, |_| 1),
+    );
+    println!(
+        "stream         : {} reports in submission order; queue now {}/{} ({} waiting)",
+        delivered.len(),
+        stats.queued,
+        stats.queue_limit,
+        stats.waiting
+    );
+    let meter = *service.session(session).expect("session").meter();
+    println!(
+        "meter          : submitted {} / completed {} / cancelled {} / throttled {}",
+        meter.jobs_submitted, meter.jobs_completed, meter.jobs_cancelled, meter.jobs_throttled
+    );
+    let cache = service.cache_stats();
+    println!(
+        "plan cache     : {} misses / {} hits across {} structurally distinct programs",
+        cache.misses, cache.hits, cache.entries
+    );
+    assert_eq!(meter.jobs_completed as usize, completed);
+    println!("all {completed} completions observed via handle, stream and meter consistently");
+}

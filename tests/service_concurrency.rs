@@ -1,8 +1,14 @@
 //! Cross-crate integration: concurrent multi-tenant submissions share one
 //! compiled plan, and the shared result is identical to a solo run.
+//!
+//! The racing-submitter tests coordinate with `std::sync::Barrier` (all
+//! submitters released at once) and assert scheduling-independent cache
+//! invariants — single-flight compilation holds on *every* interleaving, so
+//! no test here sleeps or retries.
 
 use aohpc::prelude::*;
 use aohpc_service::PlanKey;
+use std::sync::Barrier;
 
 const TENANTS: usize = 4;
 const WORKERS: usize = 4;
@@ -55,6 +61,64 @@ fn four_tenants_share_one_compiled_plan() {
         .map(|ctx| ctx.meter().plan_cache_misses)
         .sum();
     assert_eq!(misses, 1);
+}
+
+/// Single-flight compilation under *concurrent async* submits: N threads
+/// race `submit` for the same program through the handle front door, all
+/// released by one barrier.  However the workers interleave, the plan
+/// compiles exactly once — one cache miss owns the compile, every other
+/// lookup (racing pre-warms and per-task resolutions) hits the shared entry.
+#[test]
+fn racing_async_submits_compile_once() {
+    const RACERS: usize = 8;
+    let service = KernelService::new(ServiceConfig::default().with_workers(WORKERS));
+    let sessions: Vec<SessionId> = (0..RACERS)
+        .map(|t| service.open_session(SessionSpec::tenant(format!("racer-{t}"))))
+        .collect();
+    let barrier = Barrier::new(RACERS);
+
+    let reports: Vec<JobReport> = std::thread::scope(|scope| {
+        let submitters: Vec<_> = sessions
+            .iter()
+            .map(|&session| {
+                let service = &service;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let handle = service.submit(session, JobSpec::jacobi(Scale::Smoke)).unwrap();
+                    handle.wait().expect("racing job executed")
+                })
+            })
+            .collect();
+        submitters.into_iter().map(|s| s.join().unwrap()).collect()
+    });
+
+    // The invariant is interleaving-independent: exactly one compilation.
+    let stats = service.cache_stats();
+    assert_eq!(stats.misses, 1, "single-flight must hold under racing handles: {stats:?}");
+    assert!(
+        stats.hits >= (RACERS - 1) as u64,
+        "the other racers' pre-warms hit the shared entry: {stats:?}"
+    );
+    assert_eq!(stats.entries, 1);
+    assert_eq!(stats.collisions, 0);
+
+    // Exactly one job owned the miss; per-session metering saw the same.
+    let owned_miss = reports.iter().filter(|r| !r.plan_cache_hit).count();
+    assert_eq!(owned_miss, 1, "one racer compiled, the rest hit");
+    let metered_misses: u64 =
+        sessions.iter().map(|&s| service.session(s).unwrap().meter().plan_cache_misses).sum();
+    assert_eq!(metered_misses, 1);
+
+    // All racers computed the same field from the same shared kernel.
+    for r in &reports {
+        assert!(r.error.is_none());
+        assert_eq!(r.checksum, reports[0].checksum, "racer {} diverged", r.tenant);
+    }
+    // Handles were the only collection point; nothing waits in the sync path
+    // that a later drain would double-report... except the retained buffer,
+    // which must hold exactly these jobs.
+    assert_eq!(service.drain().len(), RACERS);
 }
 
 /// The cache respects the full key: a different block shape or optimization

@@ -8,29 +8,57 @@
 //! shareable across threads.  `std`'s mpsc receiver is single-consumer, so the
 //! shim wraps it in an `Arc<Mutex<..>>`; each message is still delivered to
 //! exactly one receiver, which is the semantics a work queue needs.
-//! `select!`, bounded channels and the scoped-thread API are not reproduced;
-//! swap in the real crate if a later PR needs them.
+//! Both `unbounded` and `bounded` channels are provided (`bounded` is backed
+//! by `std::sync::mpsc::sync_channel`, so a full channel blocks `send` and
+//! reports [`channel::TrySendError::Full`] from `try_send` — the
+//! backpressure surface the service's admission queue leans on).  `select!`
+//! and the scoped-thread API are not reproduced; swap in the real crate if a
+//! later PR needs them.
 
 pub mod channel {
     //! Multi-producer multi-consumer channels with the `crossbeam-channel`
     //! surface the workspace uses.
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError, TrySendError};
     use std::sync::{mpsc, Arc, Mutex};
 
+    enum SenderInner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
     /// Clonable sending half, mirroring `crossbeam_channel::Sender`.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    pub struct Sender<T>(SenderInner<T>);
 
     impl<T> Sender<T> {
-        /// Send a value, failing only when every receiver is gone.
+        /// Send a value, failing only when every receiver is gone.  On a
+        /// bounded channel this blocks while the channel is full.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value)
+            match &self.0 {
+                SenderInner::Unbounded(tx) => tx.send(value),
+                SenderInner::Bounded(tx) => tx.send(value),
+            }
+        }
+
+        /// Send without blocking: a full bounded channel reports
+        /// [`TrySendError::Full`] instead of parking the caller (unbounded
+        /// channels are never full).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                SenderInner::Unbounded(tx) => {
+                    tx.send(value).map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v))
+                }
+                SenderInner::Bounded(tx) => tx.try_send(value),
+            }
         }
     }
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            Sender(match &self.0 {
+                SenderInner::Unbounded(tx) => SenderInner::Unbounded(tx.clone()),
+                SenderInner::Bounded(tx) => SenderInner::Bounded(tx.clone()),
+            })
         }
     }
 
@@ -101,7 +129,17 @@ pub mod channel {
     /// Create an unbounded MPMC channel, mirroring `crossbeam_channel::unbounded`.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (s, r) = mpsc::channel();
-        (Sender(s), Receiver { inner: Arc::new(Mutex::new(r)) })
+        (Sender(SenderInner::Unbounded(s)), Receiver { inner: Arc::new(Mutex::new(r)) })
+    }
+
+    /// Create a bounded MPMC channel holding at most `capacity` in-flight
+    /// messages, mirroring `crossbeam_channel::bounded`.  `send` on a full
+    /// channel blocks until a consumer makes room; `try_send` reports
+    /// [`TrySendError::Full`] instead.  Capacity `0` is a rendezvous channel
+    /// (every send waits for a matching receive).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (s, r) = mpsc::sync_channel(capacity);
+        (Sender(SenderInner::Bounded(s)), Receiver { inner: Arc::new(Mutex::new(r)) })
     }
 
     #[cfg(test)]
@@ -155,6 +193,57 @@ pub mod channel {
             assert!(start.elapsed() < std::time::Duration::from_millis(500), "try_recv parked");
             s.send(7).unwrap();
             assert_eq!(consumer.join().unwrap(), 7);
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full_then_admits() {
+            let (s, r) = super::bounded::<u32>(2);
+            s.try_send(1).unwrap();
+            s.try_send(2).unwrap();
+            match s.try_send(3) {
+                Err(super::TrySendError::Full(v)) => assert_eq!(v, 3, "value handed back"),
+                other => panic!("expected Full, got {other:?}"),
+            }
+            // A consumer makes room; the retry succeeds.
+            assert_eq!(r.recv().unwrap(), 1);
+            s.try_send(3).unwrap();
+            drop(r);
+            assert!(matches!(s.try_send(4), Err(super::TrySendError::Disconnected(4))));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_room() {
+            let (s, r) = super::bounded::<u32>(1);
+            s.send(1).unwrap();
+            let producer = thread::spawn(move || {
+                // Blocks on the full channel until the main thread receives.
+                s.send(2).unwrap();
+            });
+            assert_eq!(r.recv().unwrap(), 1);
+            assert_eq!(r.recv().unwrap(), 2);
+            producer.join().unwrap();
+        }
+
+        #[test]
+        fn bounded_receivers_share_the_queue() {
+            let (s, r) = super::bounded::<u32>(64);
+            for i in 0..64 {
+                s.send(i).unwrap();
+            }
+            drop(s);
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let rx = r.clone();
+                handles.push(thread::spawn(move || rx.iter().collect::<Vec<u32>>()));
+            }
+            drop(r);
+            let mut seen = HashSet::new();
+            for h in handles {
+                for v in h.join().unwrap() {
+                    assert!(seen.insert(v), "message {v} delivered twice");
+                }
+            }
+            assert_eq!(seen.len(), 64, "every message delivered exactly once");
         }
 
         #[test]

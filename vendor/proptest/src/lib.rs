@@ -13,7 +13,9 @@
 //!   failures reproduce exactly on every run and machine (CI included).
 //! - **No shrinking.**  A failing case reports the case index and message; the
 //!   deterministic RNG makes it reproducible without minimisation.
-//! - **Case count** defaults to 64 and can be raised via `PROPTEST_CASES`.
+//! - **Case count** defaults to 64; a block can pin its own count with
+//!   `#![proptest_config(ProptestConfig::with_cases(N))]`, and the
+//!   `PROPTEST_CASES` environment variable overrides both.
 //!
 //! Swap in the real `proptest` (same manifest name) when the environment
 //! gains network access — test sources need no changes.
@@ -87,6 +89,6 @@ pub mod prelude {
 
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
-    pub use crate::test_runner::TestCaseError;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }

@@ -387,6 +387,38 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
 /// with the case index.
 #[macro_export]
 macro_rules! proptest {
+    // Block-level config: `#![proptest_config(ProptestConfig::with_cases(N))]`
+    // applies to every property in the invocation (env `PROPTEST_CASES`
+    // still overrides), mirroring the real crate's attribute form.
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let __cases = $crate::test_runner::ProptestConfig::resolved_cases(&($config));
+            for __case in 0..__cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "property {} failed at case {}/{} (deterministic seed): {}",
+                        stringify!($name), __case + 1, __cases, e
+                    );
+                }
+            }
+        }
+    )*};
     ($(
         $(#[$meta:meta])*
         fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block

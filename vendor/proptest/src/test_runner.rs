@@ -24,11 +24,46 @@ impl fmt::Display for TestCaseError {
 
 /// Number of cases each property runs: `PROPTEST_CASES` or 64.
 pub fn cases() -> u32 {
+    cases_with_default(64)
+}
+
+/// Number of cases with an explicit default: the `PROPTEST_CASES`
+/// environment variable still wins (so CI can turn the dial globally), the
+/// given default applies otherwise.
+pub fn cases_with_default(default: u32) -> u32 {
     std::env::var("PROPTEST_CASES")
         .ok()
         .and_then(|v| v.parse().ok())
         .filter(|&n| n > 0)
-        .unwrap_or(64)
+        .unwrap_or(default)
+}
+
+/// Per-block configuration, mirroring `proptest::test_runner::Config` as
+/// named by the `#![proptest_config(..)]` attribute the `proptest!` macro
+/// accepts.  Only the `cases` knob is reproduced.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Cases each property in the block runs (before the `PROPTEST_CASES`
+    /// environment override).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Resolve the effective case count (environment override applied).
+    pub fn resolved_cases(&self) -> u32 {
+        cases_with_default(self.cases)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: cases() }
+    }
 }
 
 /// A small, fast, deterministic PRNG (splitmix64).
