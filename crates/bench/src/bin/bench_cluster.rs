@@ -1,0 +1,196 @@
+//! Cluster microbench: compile-once-per-cluster plan sharing vs independent
+//! nodes, cold vs warm.
+//!
+//! Three variants run the same workload — `programs × nodes × reps` jobs,
+//! spread one tenant per node:
+//!
+//! * `independent_cold` — N unconnected `KernelService`s (the pre-cluster
+//!   deployment): every node compiles every program itself.
+//! * `cluster_cold` — a fresh `ClusterService`: each program compiles once
+//!   cluster-wide, every other node fetches the portable plan.
+//! * `cluster_warm` — the same cluster again: everything hits.
+//!
+//! Writes machine-readable `BENCH_cluster.json` (jobs/sec, compiles,
+//! fetches, control frames per variant) alongside `BENCH_kernel.json` so CI
+//! can track the trajectory.  Problem size follows
+//! `AOHPC_SCALE=smoke|default|paper`.
+
+use aohpc_service::{ClusterService, JobSpec, KernelService, ServiceConfig, SessionSpec};
+use aohpc_workloads::Scale;
+use std::time::Instant;
+
+struct Outcome {
+    name: &'static str,
+    jobs: usize,
+    secs: f64,
+    compiles: u64,
+    fetches: u64,
+    control_frames: u64,
+    checksum_bits: u64,
+}
+
+impl Outcome {
+    fn jobs_per_sec(&self) -> f64 {
+        self.jobs as f64 / self.secs.max(1e-9)
+    }
+}
+
+fn workload(scale: Scale) -> Vec<JobSpec> {
+    vec![JobSpec::jacobi(scale), JobSpec::smooth(scale)]
+}
+
+/// Submit `reps` copies of every program under one session per node and
+/// wait for all of them; returns (first job's checksum bits, job count).
+fn run_jobs(
+    submit: impl Fn(usize, JobSpec) -> aohpc_service::JobHandle,
+    nodes: usize,
+    jobs: &[JobSpec],
+    reps: usize,
+) -> (u64, usize) {
+    let mut handles = Vec::new();
+    for node in 0..nodes {
+        for job in jobs {
+            for _ in 0..reps {
+                handles.push(submit(node, job.clone()));
+            }
+        }
+    }
+    let mut first_bits = 0u64;
+    for (i, handle) in handles.iter().enumerate() {
+        let report = handle.wait().expect("job executed");
+        assert!(report.error.is_none(), "bench job failed: {:?}", report.error);
+        if i == 0 {
+            first_bits = report.checksum.to_bits();
+        }
+    }
+    (first_bits, handles.len())
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let nodes: usize = 4;
+    let reps: usize = match scale {
+        Scale::Smoke => 2,
+        Scale::Default => 8,
+        Scale::Paper => 16,
+    };
+    let jobs = workload(scale);
+    let config = ServiceConfig::default().with_workers(scale.service_workers());
+    println!(
+        "# bench_cluster — {} programs x {nodes} nodes x {reps} reps, scale = {scale}",
+        jobs.len()
+    );
+
+    let mut outcomes: Vec<Outcome> = Vec::new();
+
+    // Independent nodes: the pre-cluster deployment, compiles = P x N.
+    {
+        let services: Vec<KernelService> = (0..nodes).map(|_| KernelService::new(config)).collect();
+        let sessions: Vec<_> =
+            services.iter().map(|s| s.open_session(SessionSpec::tenant("bench"))).collect();
+        let start = Instant::now();
+        let (bits, count) =
+            run_jobs(|n, job| services[n].submit(sessions[n], job).unwrap(), nodes, &jobs, reps);
+        let secs = start.elapsed().as_secs_f64();
+        let compiles: u64 = services.iter().map(|s| s.cache_stats().compiles).sum();
+        outcomes.push(Outcome {
+            name: "independent_cold",
+            jobs: count,
+            secs,
+            compiles,
+            fetches: 0,
+            control_frames: 0,
+            checksum_bits: bits,
+        });
+        assert_eq!(compiles as usize, jobs.len() * nodes, "no sharing: every node compiles");
+    }
+
+    // The cluster: cold (compile-once-per-cluster), then warm (all hits).
+    let cluster = ClusterService::new(nodes, config);
+    let sessions: Vec<_> = (0..nodes)
+        .map(|n| cluster.open_session_on(n, SessionSpec::tenant(format!("bench-{n}"))))
+        .collect();
+    for (name, expect_compiles) in
+        [("cluster_cold", Some(jobs.len() as u64)), ("cluster_warm", None)]
+    {
+        let before_cache = cluster.cache_stats().total;
+        let before_comm = cluster.comm_stats().total;
+        let start = Instant::now();
+        let (bits, count) =
+            run_jobs(|n, job| cluster.submit(sessions[n], job).unwrap(), nodes, &jobs, reps);
+        let secs = start.elapsed().as_secs_f64();
+        let cache = cluster.cache_stats().total;
+        let comm = cluster.comm_stats().total;
+        let compiles = cache.compiles - before_cache.compiles;
+        outcomes.push(Outcome {
+            name,
+            jobs: count,
+            secs,
+            compiles,
+            fetches: cache.fetches - before_cache.fetches,
+            control_frames: comm.control_sent - before_comm.control_sent,
+            checksum_bits: bits,
+        });
+        if let Some(expected) = expect_compiles {
+            assert_eq!(compiles, expected, "compile-once-per-cluster violated");
+        } else {
+            assert_eq!(compiles, 0, "warm cluster recompiled");
+        }
+    }
+    cluster.shutdown();
+
+    // Every variant computed the same field bit-for-bit.
+    for o in &outcomes[1..] {
+        assert_eq!(o.checksum_bits, outcomes[0].checksum_bits, "{} diverged", o.name);
+    }
+
+    println!(
+        "{:<17} {:>6} {:>12} {:>9} {:>8} {:>15}",
+        "variant", "jobs", "jobs/sec", "compiles", "fetches", "control frames"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<17} {:>6} {:>12.1} {:>9} {:>8} {:>15}",
+            o.name,
+            o.jobs,
+            o.jobs_per_sec(),
+            o.compiles,
+            o.fetches,
+            o.control_frames
+        );
+    }
+    let cold = outcomes.iter().find(|o| o.name == "cluster_cold").unwrap();
+    let indep = outcomes.iter().find(|o| o.name == "independent_cold").unwrap();
+    println!(
+        "compiles per cluster: {} (vs {} unshared) — {:.0}% of the compile work elided",
+        cold.compiles,
+        indep.compiles,
+        100.0 * (1.0 - cold.compiles as f64 / indep.compiles as f64),
+    );
+
+    // Machine-readable trajectory record (no external JSON dependency in the
+    // offline workspace, so the document is assembled by hand).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"cluster_plan_sharing\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale}\",\n"));
+    json.push_str(&format!("  \"nodes\": {nodes},\n"));
+    json.push_str(&format!("  \"programs\": {},\n", jobs.len()));
+    json.push_str(&format!("  \"reps_per_node\": {reps},\n"));
+    json.push_str("  \"variants\": {\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"jobs\": {}, \"jobs_per_sec\": {:.1}, \"compiles\": {}, \"fetches\": {}, \"control_frames\": {}}}{}\n",
+            o.name,
+            o.jobs,
+            o.jobs_per_sec(),
+            o.compiles,
+            o.fetches,
+            o.control_frames,
+            if i + 1 == outcomes.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_cluster.json", json).expect("write BENCH_cluster.json");
+    println!("wrote BENCH_cluster.json");
+}

@@ -256,6 +256,102 @@ impl KernelExpr {
         }
     }
 
+    /// Decode one expression from the canonical byte encoding produced by
+    /// [`KernelExpr::encode_canonical`], advancing `pos` past it.
+    ///
+    /// The format is self-delimiting (pre-order, fixed-width operands), so a
+    /// payload can embed an expression followed by further fields.  The
+    /// decoder is iterative (an explicit work stack), so any tree the
+    /// encoder produced round-trips regardless of nesting depth; the stack
+    /// is bounded only as a guard against hostile frames claiming absurd
+    /// sizes.
+    pub(crate) fn decode_canonical(bytes: &[u8], pos: &mut usize) -> Result<KernelExpr, String> {
+        /// More pending operators than any real subkernel: a frame deeper
+        /// than this is rejected as hostile rather than decoded.
+        const MAX_PENDING: usize = 1 << 20;
+
+        /// An operator waiting for its remaining operand(s).
+        enum Pending {
+            Unary(UnaryOp),
+            BinaryLhs(BinOp),
+            BinaryRhs(BinOp, KernelExpr),
+        }
+
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], String> {
+            let end = pos.checked_add(n).filter(|&e| e <= bytes.len());
+            let end = end.ok_or_else(|| "truncated expression payload".to_string())?;
+            let slice = &bytes[*pos..end];
+            *pos = end;
+            Ok(slice)
+        };
+        let take8 = |pos: &mut usize| -> Result<[u8; 8], String> {
+            Ok(take(pos, 8)?.try_into().expect("exactly eight bytes"))
+        };
+
+        let mut stack: Vec<Pending> = Vec::new();
+        loop {
+            // Decode operators until a leaf completes a subtree.
+            let mut node = loop {
+                if stack.len() > MAX_PENDING {
+                    return Err(format!("expression nests deeper than {MAX_PENDING}"));
+                }
+                let tag = take(pos, 1)?[0];
+                match tag {
+                    1 => {
+                        let dx = i64::from_le_bytes(take8(pos)?);
+                        let dy = i64::from_le_bytes(take8(pos)?);
+                        break KernelExpr::Load { dx, dy };
+                    }
+                    2 => break KernelExpr::Const(f64::from_bits(u64::from_le_bytes(take8(pos)?))),
+                    3 => {
+                        let i = u64::from_le_bytes(take8(pos)?);
+                        let i = usize::try_from(i)
+                            .map_err(|_| "parameter index overflow".to_string())?;
+                        break KernelExpr::Param(i);
+                    }
+                    4 => {
+                        let op = match take(pos, 1)?[0] {
+                            0 => UnaryOp::Neg,
+                            1 => UnaryOp::Abs,
+                            2 => UnaryOp::Sqrt,
+                            b => return Err(format!("unknown unary op tag {b}")),
+                        };
+                        stack.push(Pending::Unary(op));
+                    }
+                    5 => {
+                        let op = match take(pos, 1)?[0] {
+                            0 => BinOp::Add,
+                            1 => BinOp::Sub,
+                            2 => BinOp::Mul,
+                            3 => BinOp::Div,
+                            4 => BinOp::Min,
+                            5 => BinOp::Max,
+                            b => return Err(format!("unknown binary op tag {b}")),
+                        };
+                        stack.push(Pending::BinaryLhs(op));
+                    }
+                    t => return Err(format!("unknown expression node tag {t}")),
+                }
+            };
+            // Fold the completed subtree into the pending operators.
+            loop {
+                match stack.pop() {
+                    None => return Ok(node),
+                    Some(Pending::Unary(op)) => {
+                        node = KernelExpr::Unary { op, a: Box::new(node) };
+                    }
+                    Some(Pending::BinaryLhs(op)) => {
+                        stack.push(Pending::BinaryRhs(op, node));
+                        break; // the right operand comes next off the wire
+                    }
+                    Some(Pending::BinaryRhs(op, a)) => {
+                        node = KernelExpr::Binary { op, a: Box::new(a), b: Box::new(node) };
+                    }
+                }
+            }
+        }
+    }
+
     /// Evaluate the expression with `loads(dx, dy)` supplying field values and
     /// `params` the runtime parameters.  This is the reference semantics every
     /// optimized/compiled form must reproduce.

@@ -61,6 +61,7 @@ pub mod field;
 pub mod hetero;
 pub mod opt;
 pub mod plan;
+pub mod portable;
 pub mod program;
 pub mod tape;
 
@@ -74,6 +75,7 @@ pub use field::DenseField;
 pub use hetero::{HeteroDispatcher, PerProcessorStats, ScheduleError, SchedulePolicy};
 pub use opt::{Dag, OptLevel, OptStats};
 pub use plan::{AccessPlan, CompiledKernel, PlanSource, ResolvedAccess};
+pub use portable::{PortableError, PortableKernel};
 pub use program::{ProgramError, ProgramFingerprint, StencilProgram};
 pub use tape::{ExecScratch, ExecTape, ScratchPool, ScratchPoolStats, TapeStats};
 
@@ -89,6 +91,7 @@ pub mod prelude {
     pub use crate::hetero::{HeteroDispatcher, PerProcessorStats, ScheduleError, SchedulePolicy};
     pub use crate::opt::{Dag, OptLevel, OptStats};
     pub use crate::plan::{AccessPlan, CompiledKernel, PlanSource};
+    pub use crate::portable::PortableKernel;
     pub use crate::program::{ProgramFingerprint, StencilProgram};
     pub use crate::tape::{ExecScratch, ExecTape, ScratchPool, TapeStats};
     pub use aohpc_env::Extent;

@@ -74,6 +74,12 @@ impl ProgramFingerprint {
     pub fn as_u128(&self) -> u128 {
         (u128::from(self.hi) << 64) | u128::from(self.lo)
     }
+
+    /// Rebuild a fingerprint from its [`ProgramFingerprint::as_u128`] form
+    /// (used by wire formats that ship fingerprints between ranks).
+    pub fn from_u128(v: u128) -> Self {
+        ProgramFingerprint { hi: (v >> 64) as u64, lo: v as u64 }
+    }
 }
 
 impl fmt::Display for ProgramFingerprint {

@@ -8,9 +8,13 @@
 //!   total), and generates the hierarchical task ids of §III-B7.
 //! * [`Communicator`] is the simulated message-passing fabric of the
 //!   distributed layer: ranks are OS threads, pages move only through
-//!   explicit channels, and every transfer is metered (message count, bytes)
-//!   for the cost model.  This substitutes for MPI over Omni-Path, which is
-//!   not available in this environment (see DESIGN.md §5).
+//!   explicit channels, and every transfer is metered (message count, bytes,
+//!   symmetric send/receive) for the cost model.  The fabric is a
+//!   multiplexed transport — the superstep data plane shares the mesh with a
+//!   tagged control plane ([`ControlFrame`]) used for out-of-band
+//!   coordination such as the service cluster's plan sharing.  This
+//!   substitutes for MPI over Omni-Path, which is not available in this
+//!   environment (see DESIGN.md §5).
 //! * [`MpiAspect`] and [`OmpAspect`] are the two prototype aspect modules of
 //!   §IV-A, implementing AspectType I (runtime/task control), II (block
 //!   assignment) and III (inter-task communication incl. the Dry-run
@@ -36,7 +40,9 @@ pub mod task;
 
 pub use annotation::HpcApp;
 pub use aspects::{MpiAspect, OmpAspect};
-pub use comm::{CommStats, Communicator, PagePayload, RankMessage};
+pub use comm::{
+    CommProbe, CommStats, Communicator, ControlFrame, ControlHandle, PagePayload, RankMessage,
+};
 pub use cost::{CostModel, CostParams};
 pub use ctx::{Progress, ProgressNotifier, RankShared, TaskCtx};
 pub use driver::{execute, RunConfig, WeaveMode};

@@ -1,24 +1,40 @@
-//! The sharded compiled-plan cache.
+//! The sharded compiled-plan cache, with pluggable eviction and a chained
+//! resolution path.
 //!
 //! The paper's future-work "cache of data access resolution" is reified
 //! per-process by [`CompiledKernel::compile`]; this module makes it a shared,
-//! concurrent resource: plans are keyed by the *structural* program
-//! fingerprint plus block shape and optimization level, so concurrent tenants
-//! submitting the same mathematics share one `Arc<CompiledKernel>` instead of
-//! each paying the compile.
+//! concurrent, *cluster-aware* resource: plans are keyed by the structural
+//! program fingerprint plus block shape and optimization level, so concurrent
+//! tenants submitting the same mathematics share one `Arc<CompiledKernel>`
+//! instead of each paying the compile — and a mesh of service nodes shares
+//! them across ranks instead of each node paying it once.
 //!
 //! Design points:
 //!
 //! * **Sharding.**  Keys hash onto `N` independent `Mutex<HashMap>` shards,
 //!   so unrelated programs never contend on one lock.
-//! * **Single-flight compilation.**  A miss compiles *while holding the shard
-//!   lock*: concurrent requests for the same key serialize behind the first
-//!   one and then hit, so each distinct plan is compiled exactly once (the
-//!   invariant the multi-tenant integration test asserts).  Other shards stay
-//!   available throughout.
-//! * **Bounded LRU.**  Each shard holds at most `ceil(capacity / shards)`
-//!   entries; inserting past that evicts the least-recently-used entry of the
-//!   shard.  Recency is a global atomic tick, not a clock, so behaviour is
+//! * **Single-flight resolution.**  A miss registers an in-flight *flight*
+//!   for its key; concurrent requests for the same key wait on the flight
+//!   instead of compiling again, so each distinct plan is resolved exactly
+//!   once per node.  The leader resolves **outside** every lock — a shard is
+//!   never blocked behind a compilation, and (crucially for the cluster) a
+//!   node waiting on a remote fetch holds no lock a peer-serving thread
+//!   could need, which is what keeps the cross-node request/serve cycle
+//!   deadlock-free.
+//! * **Chained sources.**  A miss resolves through up to three stages:
+//!   local shard → cluster fetch (an installed [`PlanFetcher`], e.g. the
+//!   cluster fabric asking the key's owner rank) → local compile.  Stats
+//!   split misses into [`PlanCacheStats::compiles`] and
+//!   [`PlanCacheStats::fetches`], so "each fingerprint is compiled exactly
+//!   once per cluster" is directly assertable from aggregated stats.
+//! * **Pluggable eviction.**  Each shard holds at most
+//!   `ceil(capacity / shards)` entries; inserting past that asks the
+//!   configured [`EvictionPolicy`] for a victim.  [`LruPolicy`] (default)
+//!   preserves the original behaviour; [`CostAwarePolicy`] weighs entries by
+//!   recompile cost (block cells × live offsets) so a burst of cheap plans
+//!   cannot flush an expensive one.  Entries can be **pinned** (hot tenants):
+//!   policies spare pinned entries while any unpinned candidate exists.
+//!   Recency is a global atomic tick, not a clock, so behaviour is
 //!   deterministic under test.
 //! * **Tape included.**  A [`CompiledKernel`] carries its register-allocated
 //!   execution tape (lowered once, inside `compile`), so a warm hit hands the
@@ -26,14 +42,17 @@
 //!   allocation.
 
 use aohpc_env::Extent;
-use aohpc_kernel::{CompiledKernel, OptLevel, PlanSource, ProgramFingerprint, StencilProgram};
+use aohpc_kernel::{
+    CompiledKernel, OptLevel, PlanSource, PortableKernel, ProgramFingerprint, StencilProgram,
+};
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 /// Cache key: what makes two compilations interchangeable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -48,13 +67,42 @@ pub struct PlanKey {
     pub level: OptLevel,
 }
 
+impl PlanKey {
+    /// The key `(program, extent, level)` resolves under.
+    pub fn of(program: &StencilProgram, extent: Extent, level: OptLevel) -> Self {
+        PlanKey { fingerprint: program.fingerprint(), nx: extent.nx, ny: extent.ny, level }
+    }
+}
+
+/// How a lookup obtained its plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PlanOrigin {
+    /// Served from a resident entry (or by waiting on a concurrent flight).
+    Hit,
+    /// Compiled locally on this node.
+    Compiled,
+    /// Fetched from the cluster through the installed [`PlanFetcher`] and
+    /// re-lowered locally.
+    Fetched,
+}
+
 /// Counters of one cache (point-in-time snapshot).
+///
+/// Invariant: `misses == compiles + fetches` — every miss is resolved by
+/// exactly one of the two non-cache sources (collision fall-throughs count a
+/// miss *and* a compile, keeping the identity).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct PlanCacheStats {
-    /// Lookups that found a live entry.
+    /// Lookups that found a live entry (or joined an in-progress flight for
+    /// the same plan).
     pub hits: u64,
-    /// Lookups that had to compile.
+    /// Lookups that had to go past the local shards.
     pub misses: u64,
+    /// Misses resolved by a local [`CompiledKernel::compile`] — the number
+    /// summed across a cluster to assert compile-once-per-cluster.
+    pub compiles: u64,
+    /// Misses resolved by fetching the plan from a peer node.
+    pub fetches: u64,
     /// Entries displaced by the capacity bound.
     pub evictions: u64,
     /// Lookups whose fingerprint matched a resident entry for a *different*
@@ -62,6 +110,118 @@ pub struct PlanCacheStats {
     pub collisions: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Resident entries currently pinned.
+    pub pinned_entries: usize,
+}
+
+/// Element-wise sum — the aggregation the cluster layer folds per-node
+/// snapshots with.
+impl std::ops::Add for PlanCacheStats {
+    type Output = PlanCacheStats;
+
+    fn add(self, rhs: PlanCacheStats) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            compiles: self.compiles + rhs.compiles,
+            fetches: self.fetches + rhs.fetches,
+            evictions: self.evictions + rhs.evictions,
+            collisions: self.collisions + rhs.collisions,
+            entries: self.entries + rhs.entries,
+            pinned_entries: self.pinned_entries + rhs.pinned_entries,
+        }
+    }
+}
+
+/// Per-entry accounting the eviction policy decides on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct EntryMeta {
+    /// Global recency tick of the last lookup that touched the entry.
+    pub last_used: u64,
+    /// Number of lookups served by the entry.
+    pub uses: u64,
+    /// Recompile cost estimate: block cells × live (post-optimization)
+    /// stencil offsets — proportional to the plan/tape lowering work a
+    /// re-miss would pay.
+    pub cost: u64,
+    /// Whether the entry is pinned (hot tenant); policies spare pinned
+    /// entries while any unpinned candidate exists.
+    pub pinned: bool,
+}
+
+/// Strategy choosing which resident plan a full shard sacrifices.
+///
+/// Implementations pick among `(key, meta)` candidates; returning `None`
+/// (e.g. every candidate is pinned) makes the cache fall back to global LRU
+/// over *all* candidates — capacity stays bounded, pinning is advisory under
+/// pressure, never a way to wedge a shard.
+pub trait EvictionPolicy: Send + Sync + fmt::Debug {
+    /// The policy's display name (shows up in `Debug` output and benches).
+    fn name(&self) -> &'static str;
+
+    /// Choose the victim among a full shard's entries.
+    fn victim(&self, candidates: &mut dyn Iterator<Item = (PlanKey, EntryMeta)>)
+        -> Option<PlanKey>;
+}
+
+/// Evict the least-recently-used unpinned entry (the default policy, and the
+/// pre-policy behaviour of the cache).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LruPolicy;
+
+impl EvictionPolicy for LruPolicy {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn victim(
+        &self,
+        candidates: &mut dyn Iterator<Item = (PlanKey, EntryMeta)>,
+    ) -> Option<PlanKey> {
+        candidates.filter(|(_, m)| !m.pinned).min_by_key(|(_, m)| m.last_used).map(|(k, _)| k)
+    }
+}
+
+/// Evict the *cheapest-to-recompile* unpinned entry, breaking ties by
+/// recency.
+///
+/// Rationale: an eviction's true price is the recompile a future miss pays,
+/// which for this pipeline is proportional to block cells × live offsets
+/// (plan resolution and tape lowering both walk that product).  Under a
+/// burst of small cheap plans, plain LRU happily flushes a large expensive
+/// plan that is merely *slightly* stale; this policy keeps it and drops a
+/// cheap entry instead (the retention the cache tests assert).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostAwarePolicy;
+
+impl EvictionPolicy for CostAwarePolicy {
+    fn name(&self) -> &'static str {
+        "cost-aware"
+    }
+
+    fn victim(
+        &self,
+        candidates: &mut dyn Iterator<Item = (PlanKey, EntryMeta)>,
+    ) -> Option<PlanKey> {
+        candidates
+            .filter(|(_, m)| !m.pinned)
+            .min_by_key(|(_, m)| (m.cost, m.last_used))
+            .map(|(k, _)| k)
+    }
+}
+
+/// A remote source of compiled plans, consulted between the local shards and
+/// a local compile (the "cluster fetch" stage of the resolution chain).
+///
+/// Implementations must not assume any cache lock is held (none is), and may
+/// block — e.g. on a control-plane round trip to the key's owner rank.
+/// Returning `None` means "resolve locally": the key has no remote owner,
+/// the fabric is shutting down, or the fetch failed; the cache then compiles.
+pub trait PlanFetcher: Send + Sync {
+    /// Fetch the portable form of the plan for `key`, or `None` to make the
+    /// cache compile locally.  `program` is the requesting program — wire
+    /// protocols ship it so the owner can compile a plan it never saw.
+    fn fetch(&self, key: &PlanKey, program: &StencilProgram) -> Option<PortableKernel>;
 }
 
 struct Entry {
@@ -70,7 +230,7 @@ struct Entry {
     /// cache a false hit would silently serve another tenant's kernel.
     program: StencilProgram,
     kernel: Arc<CompiledKernel>,
-    last_used: u64,
+    meta: EntryMeta,
 }
 
 #[derive(Default)]
@@ -78,32 +238,145 @@ struct Shard {
     entries: HashMap<PlanKey, Entry>,
 }
 
-/// A sharded, LRU-bounded cache of compiled kernels.
+/// What one shard probe found.
+enum Resident {
+    /// A structurally verified entry (recency/pin updated, hit metered).
+    Hit(Arc<CompiledKernel>),
+    /// A fingerprint collision: the slot is taken by a different program.
+    Collision,
+}
+
+/// One in-progress resolution: the leader fills `done`, waiters block on the
+/// condvar.  The stored program lets waiters verify structure (a colliding
+/// program joining the flight must not accept the leader's kernel).  A
+/// flight can also **abort** (its leader panicked mid-resolution): waiters
+/// observe `None` and retry the whole resolution rather than hanging on a
+/// result that will never come.
+/// A settled flight's payload: the leader's program + kernel, or `None` if
+/// the leader failed before resolving.
+type FlightResult = Option<(StencilProgram, Arc<CompiledKernel>)>;
+
+struct Flight {
+    /// `None` = in progress; `Some(None)` = aborted; `Some(Some(..))` = done.
+    done: StdMutex<Option<FlightResult>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Arc<Self> {
+        Arc::new(Flight { done: StdMutex::new(None), cv: Condvar::new() })
+    }
+
+    fn complete(&self, program: StencilProgram, kernel: Arc<CompiledKernel>) {
+        let mut done = self.done.lock().unwrap_or_else(|p| p.into_inner());
+        if done.is_none() {
+            *done = Some(Some((program, kernel)));
+        }
+        drop(done);
+        self.cv.notify_all();
+    }
+
+    /// Mark the flight failed if it has not completed (idempotent).
+    fn abort(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|p| p.into_inner());
+        if done.is_none() {
+            *done = Some(None);
+        }
+        drop(done);
+        self.cv.notify_all();
+    }
+
+    /// Block until the flight settles; `None` means the leader failed and
+    /// the caller must retry resolution itself.
+    fn wait(&self) -> Option<(StencilProgram, Arc<CompiledKernel>)> {
+        let mut done = self.done.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(settled) = done.as_ref() {
+                return settled
+                    .as_ref()
+                    .map(|(program, kernel)| (program.clone(), Arc::clone(kernel)));
+            }
+            done = self.cv.wait(done).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// Unconditional cleanup for a flight's leader: however the leader exits —
+/// return, or an unwinding panic inside the fetcher or the compiler — the
+/// flight settles (abort is a no-op after `complete`) and leaves the map, so
+/// no waiter can block forever on an orphaned flight and no later leader's
+/// flight can be removed by mistake (`ptr_eq`-guarded).
+struct FlightGuard<'a> {
+    cache: &'a PlanCache,
+    key: PlanKey,
+    flight: Arc<Flight>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.flight.abort();
+        let mut flights = self.cache.flights.lock();
+        if let Some(current) = flights.get(&self.key) {
+            if Arc::ptr_eq(current, &self.flight) {
+                flights.remove(&self.key);
+            }
+        }
+    }
+}
+
+/// A sharded, policy-bounded, cluster-chainable cache of compiled kernels.
 pub struct PlanCache {
     shards: Vec<Mutex<Shard>>,
     shard_capacity: usize,
+    policy: Arc<dyn EvictionPolicy>,
+    fetcher: Option<Arc<dyn PlanFetcher>>,
+    flights: Mutex<HashMap<PlanKey, Arc<Flight>>>,
     tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    compiles: AtomicU64,
+    fetches: AtomicU64,
     evictions: AtomicU64,
     collisions: AtomicU64,
 }
 
 impl PlanCache {
     /// A cache of `shards` independent shards holding at most `capacity`
-    /// plans in total (rounded up to a whole number per shard).
+    /// plans in total (rounded up to a whole number per shard), evicting LRU.
     pub fn new(shards: usize, capacity: usize) -> Self {
+        Self::with_policy(shards, capacity, Arc::new(LruPolicy))
+    }
+
+    /// [`PlanCache::new`] with an explicit eviction policy.
+    pub fn with_policy(shards: usize, capacity: usize, policy: Arc<dyn EvictionPolicy>) -> Self {
         assert!(shards > 0, "the cache needs at least one shard");
         assert!(capacity >= shards, "capacity must allow one entry per shard");
         PlanCache {
             shard_capacity: capacity.div_ceil(shards),
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            policy,
+            fetcher: None,
+            flights: Mutex::new(HashMap::new()),
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+            fetches: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             collisions: AtomicU64::new(0),
         }
+    }
+
+    /// Install the cluster-fetch stage of the resolution chain (builder
+    /// style, before the cache is shared).
+    pub fn with_fetcher(mut self, fetcher: Arc<dyn PlanFetcher>) -> Self {
+        self.fetcher = Some(fetcher);
+        self
+    }
+
+    /// The active eviction policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
     }
 
     fn shard_for(&self, key: &PlanKey) -> &Mutex<Shard> {
@@ -114,47 +387,266 @@ impl PlanCache {
 
     /// Resolve the plan for `(program, extent, level)`, compiling on a miss.
     ///
-    /// Returns the shared kernel and whether the lookup was a hit.
+    /// Returns the shared kernel and whether the lookup was a hit — the
+    /// compatibility wrapper over [`PlanCache::resolve`].
     pub fn get_or_compile(
         &self,
         program: &StencilProgram,
         extent: Extent,
         level: OptLevel,
     ) -> (Arc<CompiledKernel>, bool) {
-        let key =
-            PlanKey { fingerprint: program.fingerprint(), nx: extent.nx, ny: extent.ny, level };
-        let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut shard = self.shard_for(&key).lock();
-        if let Some(entry) = shard.entries.get_mut(&key) {
-            // Verify the hit: the fingerprint is a hash, and serving a
-            // colliding tenant another program's kernel would be a silent
-            // wrong answer.  A collision falls through to an uncached
-            // compile (the resident entry keeps its slot).
-            if entry.program.same_structure(program) {
-                entry.last_used = now;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return (Arc::clone(&entry.kernel), true);
+        let (kernel, origin) = self.resolve(program, extent, level, false);
+        (kernel, origin == PlanOrigin::Hit)
+    }
+
+    /// Resolve the plan for `(program, extent, level)` through the full
+    /// chain: local shard → in-progress flight → cluster fetch → compile.
+    /// `pin` marks the entry pinned (set by hot-tenant sessions); pins stick
+    /// until [`PlanCache::unpin`] or eviction-under-total-pin-pressure.
+    pub fn resolve(
+        &self,
+        program: &StencilProgram,
+        extent: Extent,
+        level: OptLevel,
+        pin: bool,
+    ) -> (Arc<CompiledKernel>, PlanOrigin) {
+        let key = PlanKey::of(program, extent, level);
+        // The loop restarts resolution when a joined flight aborts (its
+        // leader panicked): the failed leader's guard removed the flight, so
+        // a retry either hits the shard, joins a healthier flight, or leads.
+        loop {
+            let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+
+            // Stage 1: the local shard.
+            match self.probe_resident(&key, program, now, pin) {
+                Some(Resident::Hit(kernel)) => return (kernel, PlanOrigin::Hit),
+                Some(Resident::Collision) => {
+                    return (self.collision_compile(program, extent, level), PlanOrigin::Compiled)
+                }
+                None => {}
             }
-            self.collisions.fetch_add(1, Ordering::Relaxed);
+
+            // Stage 2: join an in-progress flight for the same key, or lead
+            // one.
+            let flight = {
+                let mut flights = self.flights.lock();
+                match flights.get(&key) {
+                    Some(flight) => {
+                        let flight = Arc::clone(flight);
+                        drop(flights);
+                        match flight.wait() {
+                            Some((leader_program, kernel)) => {
+                                if leader_program.same_structure(program) {
+                                    // Metered like a shard hit: the plan was
+                                    // resolved once and this lookup shared it.
+                                    self.hits.fetch_add(1, Ordering::Relaxed);
+                                    self.touch(&key, now, pin);
+                                    return (kernel, PlanOrigin::Hit);
+                                }
+                                return (
+                                    self.collision_compile(program, extent, level),
+                                    PlanOrigin::Compiled,
+                                );
+                            }
+                            // The leader failed without resolving: retry.
+                            None => continue,
+                        }
+                    }
+                    None => {
+                        let flight = Flight::new();
+                        flights.insert(key, Arc::clone(&flight));
+                        flight
+                    }
+                }
+            };
+            return self.lead_flight(flight, key, program, extent, level, now, pin);
+        }
+    }
+
+    /// The flight leader's path: re-check the shard, then resolve through
+    /// fetcher/compile with no locks held, publish and settle the flight.
+    #[allow(clippy::too_many_arguments)]
+    fn lead_flight(
+        &self,
+        flight: Arc<Flight>,
+        key: PlanKey,
+        program: &StencilProgram,
+        extent: Extent,
+        level: OptLevel,
+        now: u64,
+        pin: bool,
+    ) -> (Arc<CompiledKernel>, PlanOrigin) {
+        // However this leader exits — including a panic inside the fetcher
+        // or the compiler — the guard settles the flight and removes it, so
+        // waiters retry instead of hanging and the key never wedges.
+        let _guard = FlightGuard { cache: self, key, flight: Arc::clone(&flight) };
+
+        // Re-check the shard: between this lookup's shard miss and its
+        // flight registration, a previous leader may have published its
+        // entry and retired its flight.  Without this check that window
+        // would compile the same key twice.
+        match self.probe_resident(&key, program, now, pin) {
+            Some(Resident::Hit(kernel)) => {
+                // Wake any joiners (they verify structure themselves); the
+                // probe already verified the resident entry is structurally
+                // identical to `program`, so complete with it directly.
+                // The guard retires the flight.
+                flight.complete(program.clone(), Arc::clone(&kernel));
+                return (kernel, PlanOrigin::Hit);
+            }
+            Some(Resident::Collision) => {
+                // The resident entry collides with *this* program, but it is
+                // exactly what same-key joiners asked the flight for.
+                if let Some(entry) = self.shard_for(&key).lock().entries.get(&key) {
+                    flight.complete(entry.program.clone(), Arc::clone(&entry.kernel));
+                }
+                return (self.collision_compile(program, extent, level), PlanOrigin::Compiled);
+            }
+            None => {}
+        }
+
+        // Resolve with NO locks held: a cluster fetch may block on a peer
+        // whose own threads are resolving against this cache.  Counters move
+        // only once the resolution succeeded, so `misses == compiles +
+        // fetches` holds even across leader panics.
+        let mut resolved: Option<(StencilProgram, Arc<CompiledKernel>, PlanOrigin)> = None;
+        if let Some(fetcher) = &self.fetcher {
+            if let Some(portable) = fetcher.fetch(&key, program) {
+                // Trust nothing off the wire: the portable form must be the
+                // plan this lookup wants (same structure, same shape/level),
+                // or the fetch is discarded and the chain falls through to a
+                // local compile.
+                if portable.fingerprint() == key.fingerprint
+                    && portable.program().same_structure(program)
+                    && portable.extent() == extent
+                    && portable.level() == level
+                {
+                    let (remote_program, kernel) = portable.hydrate();
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.fetches.fetch_add(1, Ordering::Relaxed);
+                    resolved = Some((remote_program, kernel, PlanOrigin::Fetched));
+                }
+            }
+        }
+        let (entry_program, kernel, origin) = resolved.unwrap_or_else(|| {
+            let kernel = Arc::new(CompiledKernel::compile(program, extent, level));
             self.misses.fetch_add(1, Ordering::Relaxed);
-            return (Arc::new(CompiledKernel::compile(program, extent, level)), false);
-        }
-        // Single-flight: compile under the shard lock (see module docs).
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let kernel = Arc::new(CompiledKernel::compile(program, extent, level));
-        if shard.entries.len() >= self.shard_capacity {
-            if let Some(victim) =
-                shard.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| *k)
-            {
-                shard.entries.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.compiles.fetch_add(1, Ordering::Relaxed);
+            (program.clone(), kernel, PlanOrigin::Compiled)
+        });
+
+        // Publish: insert into the shard (evicting by policy), then complete
+        // the flight.  Insert-before-complete means no lookup can miss both.
+        let cost = (kernel.plan().cells() * kernel.plan().offsets.len().max(1)) as u64;
+        {
+            let mut shard = self.shard_for(&key).lock();
+            if shard.entries.len() >= self.shard_capacity && !shard.entries.contains_key(&key) {
+                let victim = {
+                    let mut candidates = shard.entries.iter().map(|(k, e)| (*k, e.meta));
+                    self.policy.victim(&mut candidates).or_else(|| {
+                        // Everything pinned (or the policy abstained): fall
+                        // back to global LRU so capacity stays bounded.
+                        shard.entries.iter().min_by_key(|(_, e)| e.meta.last_used).map(|(k, _)| *k)
+                    })
+                };
+                if let Some(victim) = victim {
+                    shard.entries.remove(&victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
             }
+            shard.entries.insert(
+                key,
+                Entry {
+                    program: entry_program.clone(),
+                    kernel: Arc::clone(&kernel),
+                    meta: EntryMeta { last_used: now, uses: 1, cost, pinned: pin },
+                },
+            );
         }
-        shard.entries.insert(
-            key,
-            Entry { program: program.clone(), kernel: Arc::clone(&kernel), last_used: now },
-        );
-        (kernel, false)
+        flight.complete(entry_program, Arc::clone(&kernel));
+        (kernel, origin)
+    }
+
+    /// One shard probe: a verified hit (meta touched), a fingerprint
+    /// collision, or nothing resident.
+    fn probe_resident(
+        &self,
+        key: &PlanKey,
+        program: &StencilProgram,
+        now: u64,
+        pin: bool,
+    ) -> Option<Resident> {
+        let mut shard = self.shard_for(key).lock();
+        let entry = shard.entries.get_mut(key)?;
+        // Verify the hit: the fingerprint is a hash, and serving a colliding
+        // tenant another program's kernel would be a silent wrong answer.  A
+        // collision falls through to an uncached compile (the resident entry
+        // keeps its slot).
+        if entry.program.same_structure(program) {
+            entry.meta.last_used = now;
+            entry.meta.uses += 1;
+            entry.meta.pinned |= pin;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(Resident::Hit(Arc::clone(&entry.kernel)))
+        } else {
+            Some(Resident::Collision)
+        }
+    }
+
+    /// A fingerprint collision: compile privately, never caching (the
+    /// resident entry keeps its slot, the colliding tenant still gets a
+    /// correct kernel).
+    fn collision_compile(
+        &self,
+        program: &StencilProgram,
+        extent: Extent,
+        level: OptLevel,
+    ) -> Arc<CompiledKernel> {
+        self.collisions.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        Arc::new(CompiledKernel::compile(program, extent, level))
+    }
+
+    /// Refresh recency (and optionally pin) after a flight-shared resolve.
+    fn touch(&self, key: &PlanKey, now: u64, pin: bool) {
+        let mut shard = self.shard_for(key).lock();
+        if let Some(entry) = shard.entries.get_mut(key) {
+            entry.meta.last_used = entry.meta.last_used.max(now);
+            entry.meta.uses += 1;
+            entry.meta.pinned |= pin;
+        }
+    }
+
+    /// Pin a resident entry (returns `false` if the key is not resident).
+    /// Pinned entries are spared by eviction while any unpinned candidate
+    /// exists.
+    pub fn pin(&self, key: &PlanKey) -> bool {
+        let mut shard = self.shard_for(key).lock();
+        match shard.entries.get_mut(key) {
+            Some(entry) => {
+                entry.meta.pinned = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Clear a resident entry's pin (returns `false` if not resident).
+    pub fn unpin(&self, key: &PlanKey) -> bool {
+        let mut shard = self.shard_for(key).lock();
+        match shard.entries.get_mut(key) {
+            Some(entry) => {
+                entry.meta.pinned = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// A resident entry's accounting snapshot (None if not resident).
+    pub fn entry_meta(&self, key: &PlanKey) -> Option<EntryMeta> {
+        self.shard_for(key).lock().entries.get(key).map(|e| e.meta)
     }
 
     /// Whether a key is currently resident (does not touch recency).
@@ -179,12 +671,22 @@ impl PlanCache {
 
     /// Counter snapshot.
     pub fn stats(&self) -> PlanCacheStats {
+        let (entries, pinned_entries) = self.shards.iter().fold((0, 0), |(e, p), s| {
+            let shard = s.lock();
+            (
+                e + shard.entries.len(),
+                p + shard.entries.values().filter(|entry| entry.meta.pinned).count(),
+            )
+        });
         PlanCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            fetches: self.fetches.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             collisions: self.collisions.load(Ordering::Relaxed),
-            entries: self.len(),
+            entries,
+            pinned_entries,
         }
     }
 }
@@ -200,11 +702,13 @@ impl PlanSource for PlanCache {
     }
 }
 
-impl std::fmt::Debug for PlanCache {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PlanCache")
             .field("shards", &self.shards.len())
             .field("shard_capacity", &self.shard_capacity)
+            .field("policy", &self.policy.name())
+            .field("chained", &self.fetcher.is_some())
             .field("stats", &self.stats())
             .finish()
     }
@@ -214,10 +718,20 @@ impl std::fmt::Debug for PlanCache {
 mod tests {
     use super::*;
     use aohpc_kernel::{load, param, StencilProgram};
+    use std::sync::atomic::AtomicUsize;
     use std::thread;
 
     fn program(name: &str, dx: i64) -> StencilProgram {
         StencilProgram::new(name, load(0, 0) + load(dx, 0) * param(0), 1).unwrap()
+    }
+
+    /// A program whose plan cost scales with its live offset count.
+    fn wide_program(name: &str, width: i64) -> StencilProgram {
+        let mut expr = load(0, 0);
+        for dx in 1..=width {
+            expr = expr + load(dx, 0);
+        }
+        StencilProgram::new(name, expr, 0).unwrap()
     }
 
     #[test]
@@ -231,6 +745,7 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "hits return the same compiled kernel");
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!((stats.compiles, stats.fetches), (1, 0), "the miss was a local compile");
     }
 
     #[test]
@@ -260,6 +775,7 @@ mod tests {
         // One shard, two slots: inserting a third evicts the least recently
         // used.
         let cache = PlanCache::new(1, 2);
+        assert_eq!(cache.policy_name(), "lru");
         let (p1, p2, p3) = (program("p1", 1), program("p2", 2), program("p3", 3));
         let ext = Extent::new2d(8, 8);
         cache.get_or_compile(&p1, ext, OptLevel::Full);
@@ -270,18 +786,87 @@ mod tests {
         cache.get_or_compile(&p3, ext, OptLevel::Full);
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().evictions, 1);
-        let key = |p: &StencilProgram| PlanKey {
-            fingerprint: p.fingerprint(),
-            nx: 8,
-            ny: 8,
-            level: OptLevel::Full,
-        };
+        let key = |p: &StencilProgram| PlanKey::of(p, ext, OptLevel::Full);
         assert!(cache.contains(&key(&p1)), "recently used survives");
         assert!(!cache.contains(&key(&p2)), "LRU entry evicted");
         assert!(cache.contains(&key(&p3)));
         // The evicted plan recompiles on next use.
         let (_, hit) = cache.get_or_compile(&p2, ext, OptLevel::Full);
         assert!(!hit);
+    }
+
+    #[test]
+    fn cost_aware_policy_retains_expensive_plans() {
+        // One shard, two slots, cost-aware eviction.  The expensive wide
+        // plan is the LRU entry when the third plan arrives — plain LRU
+        // would flush it (asserted below); cost-aware drops the cheap
+        // fresher entry instead.
+        let ext = Extent::new2d(16, 16);
+        let expensive = wide_program("expensive", 6); // 7 live offsets
+        let cheap1 = program("cheap1", 1); // 2 live offsets
+        let cheap2 = program("cheap2", 2);
+        let key = |p: &StencilProgram| PlanKey::of(p, ext, OptLevel::Full);
+
+        let cost_aware = PlanCache::with_policy(1, 2, Arc::new(CostAwarePolicy));
+        assert_eq!(cost_aware.policy_name(), "cost-aware");
+        cost_aware.get_or_compile(&expensive, ext, OptLevel::Full);
+        cost_aware.get_or_compile(&cheap1, ext, OptLevel::Full);
+        let meta_exp = cost_aware.entry_meta(&key(&expensive)).unwrap();
+        let meta_cheap = cost_aware.entry_meta(&key(&cheap1)).unwrap();
+        assert!(meta_exp.cost > meta_cheap.cost, "{meta_exp:?} vs {meta_cheap:?}");
+        assert!(meta_exp.last_used < meta_cheap.last_used, "expensive is the LRU entry");
+        cost_aware.get_or_compile(&cheap2, ext, OptLevel::Full);
+        assert!(cost_aware.contains(&key(&expensive)), "expensive plan retained");
+        assert!(!cost_aware.contains(&key(&cheap1)), "cheap plan sacrificed");
+
+        // Control: under the same sequence, LRU evicts the expensive plan.
+        let lru = PlanCache::new(1, 2);
+        lru.get_or_compile(&expensive, ext, OptLevel::Full);
+        lru.get_or_compile(&cheap1, ext, OptLevel::Full);
+        lru.get_or_compile(&cheap2, ext, OptLevel::Full);
+        assert!(!lru.contains(&key(&expensive)), "LRU would have dropped it");
+    }
+
+    #[test]
+    fn pinned_entries_survive_eviction_pressure() {
+        let ext = Extent::new2d(8, 8);
+        let cache = PlanCache::new(1, 2);
+        let (hot, cold, newcomer) = (program("hot", 1), program("cold", 2), program("p", 3));
+        let key = |p: &StencilProgram| PlanKey::of(p, ext, OptLevel::Full);
+
+        // Resolve-with-pin (the hot-session path) pins the entry.
+        cache.resolve(&hot, ext, OptLevel::Full, true);
+        cache.get_or_compile(&cold, ext, OptLevel::Full);
+        // `hot` is the LRU entry, but it is pinned: `cold` goes instead.
+        cache.get_or_compile(&newcomer, ext, OptLevel::Full);
+        assert!(cache.contains(&key(&hot)), "pinned survives despite being LRU");
+        assert!(!cache.contains(&key(&cold)));
+        assert_eq!(cache.stats().pinned_entries, 1);
+
+        // Unpin: the entry competes normally again.
+        assert!(cache.unpin(&key(&hot)));
+        cache.get_or_compile(&program("q", 4), ext, OptLevel::Full);
+        assert!(!cache.contains(&key(&hot)), "unpinned LRU entry evicts normally");
+
+        // Pin APIs on absent keys are no-ops.
+        assert!(!cache.pin(&key(&cold)));
+        assert!(!cache.unpin(&key(&cold)));
+        // Explicit pin of a resident entry works too.
+        assert!(cache.pin(&key(&newcomer)));
+        assert!(cache.entry_meta(&key(&newcomer)).unwrap().pinned);
+    }
+
+    #[test]
+    fn all_pinned_shard_still_bounds_capacity() {
+        let ext = Extent::new2d(8, 8);
+        let cache = PlanCache::new(1, 2);
+        cache.resolve(&program("a", 1), ext, OptLevel::Full, true);
+        cache.resolve(&program("b", 2), ext, OptLevel::Full, true);
+        // Both residents pinned: the policy abstains, the LRU fallback still
+        // evicts so the shard cannot grow without bound.
+        cache.resolve(&program("c", 3), ext, OptLevel::Full, true);
+        assert_eq!(cache.len(), 2, "capacity bound holds under total pin pressure");
+        assert_eq!(cache.stats().evictions, 1);
     }
 
     #[test]
@@ -302,6 +887,7 @@ mod tests {
         }
         let stats = cache.stats();
         assert_eq!(stats.misses, 1, "single-flight: one compilation total");
+        assert_eq!(stats.compiles, 1);
         assert_eq!(stats.hits, 7);
     }
 
@@ -330,6 +916,131 @@ mod tests {
         assert_eq!(cache.stats().hits, 1);
         assert!(!cache.is_empty());
         assert_eq!(cache.shard_count(), 2);
+    }
+
+    /// A scripted fetcher: serves the compiled portable form (DAG attached,
+    /// like a real cluster reply) for every key it can, recording how often
+    /// it was consulted.
+    #[derive(Debug)]
+    struct ScriptedFetcher {
+        calls: AtomicUsize,
+        serve: bool,
+    }
+
+    impl PlanFetcher for ScriptedFetcher {
+        fn fetch(&self, key: &PlanKey, program: &StencilProgram) -> Option<PortableKernel> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            if !self.serve {
+                return None;
+            }
+            let extent = Extent::new2d(key.nx, key.ny);
+            let kernel = CompiledKernel::compile(program, extent, key.level);
+            Some(PortableKernel::from_compiled(program, &kernel, key.level))
+        }
+    }
+
+    #[test]
+    fn chained_resolution_prefers_the_fetcher_over_compiling() {
+        let fetcher = Arc::new(ScriptedFetcher { calls: AtomicUsize::new(0), serve: true });
+        let cache = PlanCache::new(2, 8).with_fetcher(Arc::clone(&fetcher) as Arc<dyn PlanFetcher>);
+        let p = StencilProgram::jacobi_5pt();
+        let (kernel, origin) = cache.resolve(&p, Extent::new2d(8, 8), OptLevel::Full, false);
+        assert_eq!(origin, PlanOrigin::Fetched);
+        assert_eq!(kernel.extent(), Extent::new2d(8, 8));
+        assert_eq!(fetcher.calls.load(Ordering::SeqCst), 1);
+
+        // The fetched plan is resident: the next lookup never re-fetches.
+        let (_, origin) = cache.resolve(&p, Extent::new2d(8, 8), OptLevel::Full, false);
+        assert_eq!(origin, PlanOrigin::Hit);
+        assert_eq!(fetcher.calls.load(Ordering::SeqCst), 1, "hits skip the chain");
+
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.fetches, stats.compiles), (1, 1, 0));
+        assert_eq!(stats.hits, 1);
+
+        // The fetched plan matches a local compilation bit-for-bit — DAG
+        // included (the sender's optimization travelled; it did not re-run).
+        let local = CompiledKernel::compile(&p, Extent::new2d(8, 8), OptLevel::Full);
+        assert_eq!(kernel.tape(), local.tape());
+        assert_eq!(kernel.dag(), local.dag());
+    }
+
+    /// A fetcher that panics on its first call (the leader's resolution
+    /// dies) and declines afterwards.
+    #[derive(Debug)]
+    struct PanicOnceFetcher {
+        panicked: std::sync::atomic::AtomicBool,
+    }
+
+    impl PlanFetcher for PanicOnceFetcher {
+        fn fetch(&self, _key: &PlanKey, _program: &StencilProgram) -> Option<PortableKernel> {
+            if !self.panicked.swap(true, Ordering::SeqCst) {
+                panic!("fetcher exploded mid-flight");
+            }
+            None
+        }
+    }
+
+    #[test]
+    fn leader_panic_does_not_wedge_the_key() {
+        let cache = PlanCache::new(2, 8)
+            .with_fetcher(Arc::new(PanicOnceFetcher { panicked: Default::default() }));
+        let p = StencilProgram::jacobi_5pt();
+        let ext = Extent::new2d(8, 8);
+
+        // The first resolve leads a flight whose resolution panics; the
+        // flight guard must settle and retire the flight on the way out.
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.resolve(&p, ext, OptLevel::Full, false)
+        }));
+        assert!(unwound.is_err(), "the panic propagates to the caller");
+
+        // The key is not wedged: the next resolve leads a fresh flight and
+        // compiles normally (the fetcher now declines).
+        let (_, origin) = cache.resolve(&p, ext, OptLevel::Full, false);
+        assert_eq!(origin, PlanOrigin::Compiled);
+        let (_, origin) = cache.resolve(&p, ext, OptLevel::Full, false);
+        assert_eq!(origin, PlanOrigin::Hit);
+
+        // The panicked attempt moved no counters: the ledger still ties.
+        let stats = cache.stats();
+        assert_eq!(stats.misses, stats.compiles + stats.fetches, "{stats:?}");
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+    }
+
+    #[test]
+    fn declining_fetcher_falls_back_to_local_compile() {
+        let fetcher = Arc::new(ScriptedFetcher { calls: AtomicUsize::new(0), serve: false });
+        let cache = PlanCache::new(2, 8).with_fetcher(Arc::clone(&fetcher) as Arc<dyn PlanFetcher>);
+        let p = StencilProgram::jacobi_5pt();
+        let (_, origin) = cache.resolve(&p, Extent::new2d(8, 8), OptLevel::Full, false);
+        assert_eq!(origin, PlanOrigin::Compiled);
+        assert_eq!(fetcher.calls.load(Ordering::SeqCst), 1, "the chain consulted the fetcher");
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.fetches, stats.compiles), (1, 0, 1));
+    }
+
+    /// A fetcher returning the wrong plan (different block shape): the cache
+    /// must reject it and compile locally rather than serve a mis-shaped
+    /// kernel.
+    #[derive(Debug)]
+    struct WrongShapeFetcher;
+
+    impl PlanFetcher for WrongShapeFetcher {
+        fn fetch(&self, _key: &PlanKey, program: &StencilProgram) -> Option<PortableKernel> {
+            Some(PortableKernel::pack(program, Extent::new2d(2, 2), OptLevel::Full))
+        }
+    }
+
+    #[test]
+    fn mismatched_fetch_results_are_discarded() {
+        let cache = PlanCache::new(2, 8).with_fetcher(Arc::new(WrongShapeFetcher));
+        let p = StencilProgram::jacobi_5pt();
+        let (kernel, origin) = cache.resolve(&p, Extent::new2d(8, 8), OptLevel::Full, false);
+        assert_eq!(origin, PlanOrigin::Compiled, "bad fetch falls through to compile");
+        assert_eq!(kernel.extent(), Extent::new2d(8, 8), "the local compile is correctly shaped");
+        assert_eq!(cache.stats().fetches, 0);
+        assert_eq!(cache.stats().compiles, 1);
     }
 
     #[test]

@@ -1,0 +1,576 @@
+//! The cluster mesh: N service nodes sharing compiled plans over the
+//! simulated fabric.
+//!
+//! A [`ClusterService`] stands up `N` [`KernelService`] nodes — each with its
+//! own worker pool, session registry and [`PlanCache`] — connected by a
+//! [`Communicator::mesh`] whose **control plane** carries the plan-sharing
+//! protocol.  The result is the MPI-scale deployment shape the paper targets:
+//! tenants land on a node (session affinity), execution stays node-local, and
+//! the only cross-node traffic is metered control frames.
+//!
+//! # The plan-sharing protocol
+//!
+//! Every [`PlanKey`] has a deterministic **owner rank**
+//! (`hash(fingerprint, shape, level) % N`), the cluster's single-flight
+//! arbiter for that plan:
+//!
+//! 1. A node missing locally asks its cache's chained
+//!    [`PlanFetcher`](crate::cache::PlanFetcher) — here a [`ClusterFetcher`]
+//!    holding a [`ControlHandle`] onto the mesh.  If the node *is* the
+//!    owner (or the cluster is shutting down), the fetcher declines and the
+//!    cache compiles locally.
+//! 2. Otherwise the fetcher sends a `PLAN_REQ` control frame to the owner:
+//!    a request id plus the [`PortableKernel`] wire form of the wanted plan
+//!    (program, block shape, opt level — enough for the owner to compile a
+//!    plan it has never seen).
+//! 3. The owner's **fabric thread** — the thread owning the node's
+//!    [`Communicator`] endpoint — resolves the request against the owner's
+//!    own cache (compiling at most once, its local single-flight) and
+//!    replies with a `PLAN_REP` frame carrying the portable form.
+//! 4. The requester hydrates the portable form (re-lowering to a
+//!    bit-identical tape; see [`aohpc_kernel::portable`]) and caches it.
+//!
+//! Each distinct plan is therefore **compiled exactly once per cluster** —
+//! on its owner — and fetched (not recompiled) everywhere else: summed over
+//! all nodes, [`PlanCacheStats::compiles`] equals the number of distinct
+//! plans, the invariant the cluster tests assert.  A fetch that times out or
+//! races shutdown degrades to a local compile, trading the invariant for
+//! availability (never a wrong answer, at worst a duplicate compile).
+//!
+//! Requesters block on a reply holding **no lock** (the cache resolves
+//! flights outside its shards), and owners serve requests with node-local
+//! compilation only (the owner of a key never forwards), so the
+//! request/serve mesh cannot deadlock.
+
+use crate::cache::{EvictionPolicy, LruPolicy, PlanCache, PlanCacheStats, PlanFetcher, PlanKey};
+use crate::job::{JobHandle, JobReport, JobSpec};
+use crate::service::{KernelService, ServiceClock, ServiceConfig, SubmitError};
+use crate::session::{CompletionStream, SessionCtx, SessionId, SessionMeter, SessionSpec};
+use aohpc_kernel::{OptLevel, PortableKernel, StencilProgram};
+use aohpc_runtime::{CommProbe, CommStats, Communicator, ControlHandle};
+use aohpc_testalloc::sync::FakeClock;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Control-plane tag: stop the receiving fabric thread.
+const TAG_SHUTDOWN: u32 = 0;
+/// Control-plane tag: plan request (`req_id` + portable kernel bytes).
+const TAG_PLAN_REQ: u32 = 1;
+/// Control-plane tag: plan reply (`req_id` + status + portable kernel bytes).
+const TAG_PLAN_REP: u32 = 2;
+
+/// How long a requester waits for the owner's reply before degrading to a
+/// local compile (a liveness bound, not a correctness knob: the fabric is
+/// in-process, so in practice replies arrive in microseconds).
+const FETCH_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The owner rank of a plan key: the cluster-wide single-flight arbiter that
+/// compiles it.  Deterministic and uniform-ish over ranks; every node
+/// computes the same owner for the same key.
+fn owner_of(key: &PlanKey, ranks: usize) -> usize {
+    let fp = key.fingerprint.as_u128();
+    let mix = (fp as u64)
+        ^ ((fp >> 64) as u64)
+        ^ ((key.nx as u64) << 32)
+        ^ (key.ny as u64)
+        ^ match key.level {
+            OptLevel::None => 0,
+            OptLevel::Full => 1 << 16,
+        };
+    (mix % ranks as u64) as usize
+}
+
+/// One in-flight plan request: the fabric thread resolves it with the reply
+/// payload (`Some(bytes)`) or a decline (`None`).
+struct ReplySlot {
+    state: StdMutex<Option<Option<Vec<u8>>>>,
+    cv: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Arc<Self> {
+        Arc::new(ReplySlot { state: StdMutex::new(None), cv: Condvar::new() })
+    }
+
+    fn resolve(&self, payload: Option<Vec<u8>>) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if state.is_none() {
+            *state = Some(payload);
+        }
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self, timeout: Duration) -> Option<Vec<u8>> {
+        // A fixed deadline, not a per-iteration timeout: spurious condvar
+        // wakeups (which std permits) must not restart the window.
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(payload) = state.take() {
+                return payload;
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let (next, _) =
+                self.cv.wait_timeout(state, remaining).unwrap_or_else(|p| p.into_inner());
+            state = next;
+        }
+    }
+}
+
+/// The reply router one node's fetchers and fabric thread share.
+struct PendingReplies {
+    next_req: AtomicU64,
+    slots: StdMutex<HashMap<u64, Arc<ReplySlot>>>,
+}
+
+impl PendingReplies {
+    fn new() -> Arc<Self> {
+        Arc::new(PendingReplies {
+            next_req: AtomicU64::new(0),
+            slots: StdMutex::new(HashMap::new()),
+        })
+    }
+
+    fn register(&self) -> (u64, Arc<ReplySlot>) {
+        let id = self.next_req.fetch_add(1, Ordering::Relaxed) + 1;
+        let slot = ReplySlot::new();
+        self.slots.lock().unwrap_or_else(|p| p.into_inner()).insert(id, Arc::clone(&slot));
+        (id, slot)
+    }
+
+    fn take(&self, id: u64) -> Option<Arc<ReplySlot>> {
+        self.slots.lock().unwrap_or_else(|p| p.into_inner()).remove(&id)
+    }
+
+    /// Fail every outstanding request (fabric thread exit): waiters wake and
+    /// degrade to local compiles.
+    fn fail_all(&self) {
+        let slots: Vec<_> = {
+            let mut map = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+            map.drain().map(|(_, slot)| slot).collect()
+        };
+        for slot in slots {
+            slot.resolve(None);
+        }
+    }
+}
+
+/// The cluster-fetch stage of one node's plan-resolution chain: asks the
+/// key's owner rank for the portable plan over the mesh's control plane.
+pub struct ClusterFetcher {
+    rank: usize,
+    ranks: usize,
+    handle: ControlHandle<f64>,
+    pending: Arc<PendingReplies>,
+    shutting_down: Arc<AtomicBool>,
+}
+
+impl PlanFetcher for ClusterFetcher {
+    fn fetch(&self, key: &PlanKey, program: &StencilProgram) -> Option<PortableKernel> {
+        if self.ranks <= 1 || self.shutting_down.load(Ordering::SeqCst) {
+            return None;
+        }
+        let owner = owner_of(key, self.ranks);
+        if owner == self.rank {
+            // This node IS the single-flight arbiter: compile locally.
+            return None;
+        }
+        let (req_id, slot) = self.pending.register();
+        let portable =
+            PortableKernel::pack(program, aohpc_env::Extent::new2d(key.nx, key.ny), key.level);
+        let mut payload = req_id.to_le_bytes().to_vec();
+        payload.extend_from_slice(&portable.to_bytes());
+        if !self.handle.send(owner, TAG_PLAN_REQ, payload) {
+            self.pending.take(req_id);
+            return None;
+        }
+        let bytes = slot.wait(FETCH_TIMEOUT);
+        self.pending.take(req_id);
+        PortableKernel::from_bytes(&bytes?).ok()
+    }
+}
+
+impl fmt::Debug for ClusterFetcher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterFetcher")
+            .field("rank", &self.rank)
+            .field("ranks", &self.ranks)
+            .finish()
+    }
+}
+
+/// The per-node fabric loop: owns the node's [`Communicator`] endpoint,
+/// serves `PLAN_REQ` frames from its cache and routes `PLAN_REP` frames to
+/// waiting fetchers.  Exits on `TAG_SHUTDOWN` (the only reliable stop
+/// signal — a live endpoint's channel never disconnects, see
+/// [`Communicator::recv_control`]), failing all outstanding requests on the
+/// way out.
+fn fabric_loop(mut comm: Communicator<f64>, cache: Arc<PlanCache>, pending: Arc<PendingReplies>) {
+    while let Some(frame) = comm.recv_control() {
+        match frame.tag {
+            TAG_SHUTDOWN => break,
+            TAG_PLAN_REQ => {
+                if frame.bytes.len() < 8 {
+                    continue; // malformed: no req id to even decline under
+                }
+                let req_id: [u8; 8] = frame.bytes[..8].try_into().expect("eight bytes");
+                let mut reply = req_id.to_vec();
+                match PortableKernel::from_bytes(&frame.bytes[8..]) {
+                    Ok(portable) => {
+                        // Resolve against the local cache: the owner's local
+                        // single-flight makes this the cluster's one compile
+                        // for the key (its own fetcher declines owned keys,
+                        // so no forwarding loop is possible).  The reply
+                        // carries the *compiled* form — optimized DAG
+                        // attached — so the requester skips the optimizer
+                        // and only re-lowers plan and tape.
+                        let (kernel, _) = cache.resolve(
+                            portable.program(),
+                            portable.extent(),
+                            portable.level(),
+                            false,
+                        );
+                        let compiled = PortableKernel::from_compiled(
+                            portable.program(),
+                            &kernel,
+                            portable.level(),
+                        );
+                        reply.push(1);
+                        reply.extend_from_slice(&compiled.to_bytes());
+                    }
+                    Err(_) => reply.push(0),
+                }
+                // A vanished requester is not an error mid-shutdown.
+                let _ = comm.send_control(frame.from, TAG_PLAN_REP, reply);
+            }
+            TAG_PLAN_REP => {
+                if frame.bytes.len() < 9 {
+                    continue;
+                }
+                let req_id = u64::from_le_bytes(frame.bytes[..8].try_into().expect("eight bytes"));
+                let payload = (frame.bytes[8] == 1).then(|| frame.bytes[9..].to_vec());
+                if let Some(slot) = pending.take(req_id) {
+                    slot.resolve(payload);
+                }
+            }
+            _ => {} // unknown tags are ignored (future protocol extensions)
+        }
+    }
+    pending.fail_all();
+}
+
+/// A session opened on a cluster: which node owns it plus the node-local id.
+///
+/// All job routing is **session-affine**: every submission under this id
+/// executes on `node`, so per-session ordering, quotas and completion
+/// streams behave exactly as on a single [`KernelService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClusterSessionId {
+    /// The node the session lives on.
+    pub node: usize,
+    /// The node-local session id.
+    pub session: SessionId,
+}
+
+impl fmt::Display for ClusterSessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}/session{}", self.node, self.session)
+    }
+}
+
+/// Cluster-aggregated cache counters plus the per-node breakdown.
+#[derive(Debug, Clone)]
+pub struct ClusterCacheStats {
+    /// Sum over all nodes (entries included — cluster-resident plan count).
+    pub total: PlanCacheStats,
+    /// One snapshot per node, indexed by rank.
+    pub per_node: Vec<PlanCacheStats>,
+}
+
+/// Cluster-aggregated fabric counters plus the per-node breakdown.
+#[derive(Debug, Clone)]
+pub struct ClusterCommStats {
+    /// Sum over all nodes.
+    pub total: CommStats,
+    /// One snapshot per node, indexed by rank.
+    pub per_node: Vec<CommStats>,
+}
+
+/// `N` kernel-service nodes over a simulated fabric, sharing compiled plans
+/// so each distinct plan is compiled once per **cluster**, not once per node.
+///
+/// See the [module docs](self) for the protocol.  Dropping the cluster (or
+/// calling [`ClusterService::shutdown`]) drains every node, stops the fabric
+/// threads and joins all workers.
+pub struct ClusterService {
+    nodes: Vec<KernelService>,
+    probes: Vec<CommProbe>,
+    control: Vec<ControlHandle<f64>>,
+    fabrics: Vec<JoinHandle<()>>,
+    shutting_down: Arc<AtomicBool>,
+}
+
+impl ClusterService {
+    /// Start a cluster of `nodes` services, each sized by `config`, with the
+    /// default (LRU) eviction policy on every node's plan cache.
+    pub fn new(nodes: usize, config: ServiceConfig) -> Self {
+        Self::start(nodes, config, Arc::new(LruPolicy), None)
+    }
+
+    /// [`ClusterService::new`] with an explicit eviction policy (shared by
+    /// every node's cache — policies are stateless strategies).
+    pub fn with_policy(
+        nodes: usize,
+        config: ServiceConfig,
+        policy: Arc<dyn EvictionPolicy>,
+    ) -> Self {
+        Self::start(nodes, config, policy, None)
+    }
+
+    /// A cluster whose nodes' admission deadlines run on one shared
+    /// test-controlled [`FakeClock`] (the deterministic-harness seam; see
+    /// [`KernelService::with_fake_clock`]).
+    pub fn with_fake_clock(nodes: usize, config: ServiceConfig, clock: Arc<FakeClock>) -> Self {
+        Self::start(nodes, config, Arc::new(LruPolicy), Some(clock))
+    }
+
+    fn start(
+        nodes: usize,
+        config: ServiceConfig,
+        policy: Arc<dyn EvictionPolicy>,
+        clock: Option<Arc<FakeClock>>,
+    ) -> Self {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        let comms = Communicator::<f64>::mesh(nodes);
+        let shutting_down = Arc::new(AtomicBool::new(false));
+        let probes: Vec<CommProbe> = comms.iter().map(Communicator::probe).collect();
+        let control: Vec<ControlHandle<f64>> =
+            comms.iter().map(Communicator::control_handle).collect();
+
+        let mut services = Vec::with_capacity(nodes);
+        let mut fabrics = Vec::with_capacity(nodes);
+        for comm in comms {
+            let rank = comm.rank();
+            let pending = PendingReplies::new();
+            let fetcher = ClusterFetcher {
+                rank,
+                ranks: nodes,
+                handle: comm.control_handle(),
+                pending: Arc::clone(&pending),
+                shutting_down: Arc::clone(&shutting_down),
+            };
+            let cache = Arc::new(
+                PlanCache::with_policy(
+                    config.cache_shards,
+                    config.cache_capacity,
+                    Arc::clone(&policy),
+                )
+                .with_fetcher(Arc::new(fetcher)),
+            );
+            let fabric_cache = Arc::clone(&cache);
+            fabrics.push(
+                std::thread::Builder::new()
+                    .name(format!("aohpc-fabric-{rank}"))
+                    .spawn(move || fabric_loop(comm, fabric_cache, pending))
+                    .expect("spawn fabric thread"),
+            );
+            let service_clock = match &clock {
+                Some(fake) => ServiceClock::Fake(Arc::clone(fake)),
+                None => ServiceClock::real(),
+            };
+            services.push(KernelService::start(config, service_clock, Some(cache)));
+        }
+        ClusterService { nodes: services, probes, control, fabrics, shutting_down }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Direct access to one node's service (stats, completion streams, or
+    /// node-local administration).
+    pub fn node(&self, rank: usize) -> &KernelService {
+        &self.nodes[rank]
+    }
+
+    /// The node a tenant label is affine to: a stable hash, so every session
+    /// a tenant opens lands on the same node and reuses its warm plans and
+    /// scratches.
+    pub fn home_node(&self, tenant: &str) -> usize {
+        let mut hasher = DefaultHasher::new();
+        tenant.hash(&mut hasher);
+        (hasher.finish() % self.nodes.len() as u64) as usize
+    }
+
+    /// Open a session on the tenant's [`ClusterService::home_node`].
+    pub fn open_session(&self, spec: SessionSpec) -> ClusterSessionId {
+        let node = self.home_node(&spec.tenant);
+        self.open_session_on(node, spec)
+    }
+
+    /// Open a session on an explicit node (placement override).
+    pub fn open_session_on(&self, node: usize, spec: SessionSpec) -> ClusterSessionId {
+        ClusterSessionId { node, session: self.nodes[node].open_session(spec) }
+    }
+
+    /// Submit one job under a cluster session (session-affine: runs on the
+    /// session's node).  Semantics match [`KernelService::submit`].
+    pub fn submit(&self, id: ClusterSessionId, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        self.nodes[id.node].submit(id.session, spec)
+    }
+
+    /// Non-blocking submit; see [`KernelService::try_submit`].
+    pub fn try_submit(
+        &self,
+        id: ClusterSessionId,
+        spec: JobSpec,
+    ) -> Result<JobHandle, SubmitError> {
+        self.nodes[id.node].try_submit(id.session, spec)
+    }
+
+    /// Attach the session's completion stream on its node.
+    pub fn completion_stream(&self, id: ClusterSessionId) -> Result<CompletionStream, SubmitError> {
+        self.nodes[id.node].completion_stream(id.session)
+    }
+
+    /// Snapshot a cluster session's context.
+    pub fn session(&self, id: ClusterSessionId) -> Option<SessionCtx> {
+        self.nodes[id.node].session(id.session)
+    }
+
+    /// Close a cluster session; see [`KernelService::close_session`].
+    pub fn close_session(&self, id: ClusterSessionId) -> Option<SessionMeter> {
+        self.nodes[id.node].close_session(id.session)
+    }
+
+    /// Drain one session's reports on its node.
+    pub fn drain_session(&self, id: ClusterSessionId) -> Vec<JobReport> {
+        self.nodes[id.node].drain_session(id.session)
+    }
+
+    /// Drain every node (waiting for cluster-wide quiescence) and return all
+    /// reports in node-major order (node 0's reports by job id, then node
+    /// 1's, ...; job ids are node-local).
+    pub fn drain(&self) -> Vec<JobReport> {
+        self.nodes.iter().flat_map(KernelService::drain).collect()
+    }
+
+    /// Per-node and cluster-aggregated plan-cache counters.  The
+    /// compile-once-per-cluster invariant reads directly off the aggregate:
+    /// `total.compiles` equals the number of distinct plans resolved anywhere
+    /// in the cluster.
+    pub fn cache_stats(&self) -> ClusterCacheStats {
+        let per_node: Vec<PlanCacheStats> = self.nodes.iter().map(|n| n.cache_stats()).collect();
+        let total = per_node.iter().fold(PlanCacheStats::default(), |acc, s| acc + *s);
+        ClusterCacheStats { total, per_node }
+    }
+
+    /// Per-node and cluster-aggregated fabric counters (the control plane's
+    /// request/reply traffic; send/receive totals balance once quiesced).
+    pub fn comm_stats(&self) -> ClusterCommStats {
+        let per_node: Vec<CommStats> = self.probes.iter().map(CommProbe::stats).collect();
+        let total = per_node.iter().fold(CommStats::default(), |acc, s| acc + *s);
+        ClusterCommStats { total, per_node }
+    }
+
+    /// Clean shutdown: drain every node to quiescence (in-flight fetches
+    /// need the fabric alive), stop the fabric threads, then stop every
+    /// node's workers.  Implied by `Drop`.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if self.fabrics.is_empty() {
+            return;
+        }
+        // Quiesce the data path first: a worker blocked on a plan fetch
+        // needs its peer's fabric thread to still be serving.
+        for node in &self.nodes {
+            let _ = node.drain();
+        }
+        // New fetches decline from here on (degrading to local compiles).
+        self.shutting_down.store(true, Ordering::SeqCst);
+        for (rank, handle) in self.control.iter().enumerate() {
+            let _ = handle.send(rank, TAG_SHUTDOWN, Vec::new());
+        }
+        for fabric in self.fabrics.drain(..) {
+            let _ = fabric.join();
+        }
+        // Worker pools stop when the services drop; doing it explicitly here
+        // keeps shutdown observable and ordered.
+        for node in self.nodes.drain(..) {
+            node.shutdown();
+        }
+    }
+}
+
+impl Drop for ClusterService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+impl fmt::Debug for ClusterService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterService")
+            .field("nodes", &self.nodes.len())
+            .field("cache", &self.cache_stats().total)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owners_are_deterministic_and_in_range() {
+        let p = aohpc_kernel::StencilProgram::jacobi_5pt();
+        for ranks in 1..=7 {
+            for nx in [4usize, 8, 16] {
+                let key = PlanKey::of(&p, aohpc_env::Extent::new2d(nx, nx), OptLevel::Full);
+                let owner = owner_of(&key, ranks);
+                assert!(owner < ranks);
+                assert_eq!(owner, owner_of(&key, ranks), "stable");
+            }
+        }
+    }
+
+    #[test]
+    fn reply_slot_timeout_returns_none() {
+        let slot = ReplySlot::new();
+        assert_eq!(slot.wait(Duration::from_millis(5)), None);
+        slot.resolve(Some(vec![1]));
+        assert_eq!(slot.wait(Duration::from_millis(5)), Some(vec![1]));
+        // Resolve-at-most-once: a second resolve cannot overwrite.
+        let slot = ReplySlot::new();
+        slot.resolve(None);
+        slot.resolve(Some(vec![2]));
+        assert_eq!(slot.wait(Duration::from_millis(5)), None);
+    }
+
+    #[test]
+    fn pending_replies_route_and_fail() {
+        let pending = PendingReplies::new();
+        let (id_a, slot_a) = pending.register();
+        let (id_b, _slot_b) = pending.register();
+        assert_ne!(id_a, id_b);
+        pending.take(id_a).expect("registered").resolve(Some(vec![7]));
+        assert_eq!(slot_a.wait(Duration::from_millis(5)), Some(vec![7]));
+        assert!(pending.take(id_a).is_none(), "taken slots leave the router");
+        pending.fail_all();
+        assert!(pending.take(id_b).is_none());
+    }
+}

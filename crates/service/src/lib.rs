@@ -8,11 +8,14 @@
 //! * [`SessionCtx`] / [`SessionSpec`] — per-tenant execution contexts every
 //!   submission flows through: environment and metadata key-value stores,
 //!   accumulated metering, and parent/child nesting for scoped sub-sessions.
-//! * [`PlanCache`] — a sharded, LRU-bounded cache of compiled execution
+//! * [`PlanCache`] — a sharded, policy-bounded cache of compiled execution
 //!   plans, keyed by the structural [`ProgramFingerprint`] plus block shape
 //!   and optimization level.  Concurrent tenants submitting the same
-//!   mathematics share one `Arc<CompiledKernel>`; compilation is
-//!   single-flight per key.
+//!   mathematics share one `Arc<CompiledKernel>`; resolution is
+//!   single-flight per key and chains local shard → cluster fetch
+//!   ([`PlanFetcher`]) → compile.  Eviction is pluggable
+//!   ([`EvictionPolicy`]: [`LruPolicy`] default, [`CostAwarePolicy`], entry
+//!   pinning for hot sessions).
 //! * [`JobSpec`] / [`JobReport`] — the submission unit (program, region,
 //!   blocking, steps, schedule policy, topology, weave mode) and its result
 //!   (field checksum, deterministic simulated time, run digest).
@@ -27,6 +30,12 @@
 //!   order.  The synchronous [`KernelService::drain`] /
 //!   [`KernelService::drain_session`] remain as thin wrappers over the same
 //!   completion plumbing.
+//! * [`ClusterService`] — N service nodes over a simulated
+//!   `Communicator::mesh`, with tenant-affine session routing and
+//!   control-plane plan sharing: each distinct plan is compiled exactly
+//!   once per **cluster** (on its fingerprint-owner rank) and shipped as a
+//!   fingerprint-stamped [`aohpc_kernel::PortableKernel`] everywhere else.
+//!   See the [cluster module docs](cluster) for the protocol.
 //!
 //! ```
 //! use aohpc_service::{JobSpec, KernelService, ServiceConfig, SessionSpec};
@@ -69,11 +78,16 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod cluster;
 pub mod job;
 pub mod service;
 pub mod session;
 
-pub use cache::{PlanCache, PlanCacheStats, PlanKey};
+pub use cache::{
+    CostAwarePolicy, EntryMeta, EvictionPolicy, LruPolicy, PlanCache, PlanCacheStats, PlanFetcher,
+    PlanKey, PlanOrigin,
+};
+pub use cluster::{ClusterCacheStats, ClusterCommStats, ClusterService, ClusterSessionId};
 pub use job::{
     JobError, JobErrorKind, JobHandle, JobId, JobOutcome, JobReport, JobSpec, JobStatus,
 };

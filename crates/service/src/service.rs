@@ -32,7 +32,7 @@
 //!    wrappers over the same completion plumbing: they wait for the pending
 //!    count the resolution paths settle.
 
-use crate::cache::{PlanCache, PlanCacheStats};
+use crate::cache::{PlanCache, PlanCacheStats, PlanOrigin};
 use crate::job::{JobCell, JobError, JobErrorKind, JobHandle, JobId, JobReport, JobSpec};
 use crate::session::{
     CompletionStream, SessionCtx, SessionId, SessionMeter, SessionSpec, StreamState,
@@ -254,9 +254,15 @@ pub struct AdmissionStats {
 /// The clock admission deadlines are measured on: the wall clock in
 /// production, a test-controlled [`FakeClock`] under the deterministic
 /// harness (see [`KernelService::with_fake_clock`]).
-enum ServiceClock {
+pub(crate) enum ServiceClock {
     Real(Instant),
     Fake(Arc<FakeClock>),
+}
+
+impl ServiceClock {
+    pub(crate) fn real() -> Self {
+        ServiceClock::Real(Instant::now())
+    }
 }
 
 impl ServiceClock {
@@ -400,7 +406,7 @@ pub struct KernelService {
 impl KernelService {
     /// Start a service with the given sizing (wall clock).
     pub fn new(config: ServiceConfig) -> Self {
-        Self::start(config, ServiceClock::Real(Instant::now()))
+        Self::start(config, ServiceClock::real(), None)
     }
 
     /// Start a service whose admission deadlines run on a test-controlled
@@ -408,15 +414,32 @@ impl KernelService {
     /// calls [`FakeClock::advance`], which also wakes parked submitters so
     /// timeout tests signal instead of sleeping.
     pub fn with_fake_clock(config: ServiceConfig, clock: Arc<FakeClock>) -> Self {
-        Self::start(config, ServiceClock::Fake(clock))
+        Self::start(config, ServiceClock::Fake(clock), None)
     }
 
-    fn start(config: ServiceConfig, clock: ServiceClock) -> Self {
+    /// Start a service around an externally built plan cache — a cache with
+    /// a non-default [`EvictionPolicy`](crate::cache::EvictionPolicy) or a
+    /// chained [`PlanFetcher`](crate::cache::PlanFetcher) (how each
+    /// [`ClusterService`](crate::cluster::ClusterService) node joins the
+    /// cluster-wide plan-sharing path).  The `cache_shards` /
+    /// `cache_capacity` fields of `config` are ignored; the cache's own
+    /// geometry governs.
+    pub fn with_plan_cache(config: ServiceConfig, cache: Arc<PlanCache>) -> Self {
+        Self::start(config, ServiceClock::real(), Some(cache))
+    }
+
+    pub(crate) fn start(
+        config: ServiceConfig,
+        clock: ServiceClock,
+        cache: Option<Arc<PlanCache>>,
+    ) -> Self {
         // Normalize directly-constructed configs (the builder already
         // clamps): a zero queue bound would make every admission QueueFull
         // forever.
         let config = ServiceConfig { max_queued_jobs: config.max_queued_jobs.max(1), ..config };
-        let cache = Arc::new(PlanCache::new(config.cache_shards, config.cache_capacity));
+        let cache = cache.unwrap_or_else(|| {
+            Arc::new(PlanCache::new(config.cache_shards, config.cache_capacity))
+        });
         // Enough idle scratches for every worker to run a hybrid-topology job
         // (a few tasks each) without dropping warm buffers on release.
         let scratch = ScratchPool::new(config.workers.max(1) * 4);
@@ -891,6 +914,10 @@ fn run_one(inner: &Inner, queued: Queued) {
     let fingerprint = spec.program.fingerprint();
     let program_name = spec.program.name().to_string();
     let topology = spec.topology.clone();
+    // Hot sessions pin the plans they resolve, so eviction pressure from
+    // other tenants cannot flush them (see SessionSpec::pin_plans).
+    let pin_plans =
+        inner.sessions.lock().get(&session).map(|ctx| ctx.pins_plans()).unwrap_or(false);
 
     // Everything fallible runs inside the unwind guard so a panicking job can
     // never strand the pending counter (which would hang every later drain).
@@ -904,8 +931,8 @@ fn run_one(inner: &Inner, queued: Queued) {
         // DSL tiling clips to the region, so small regions pre-warm the plan
         // that actually executes.
         let primary = Extent::new2d(spec.block.min(spec.region.nx), spec.block.min(spec.region.ny));
-        let (_, hit) = inner.cache.get_or_compile(&spec.program, primary, spec.opt_level);
-        prewarm_hit.set(Some(hit));
+        let (_, origin) = inner.cache.resolve(&spec.program, primary, spec.opt_level, pin_plans);
+        prewarm_hit.set(Some(origin == PlanOrigin::Hit));
         execute_spec(inner, &spec, &cell)
     }));
     let cache_hit = prewarm_hit.get();

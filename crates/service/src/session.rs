@@ -63,6 +63,7 @@ pub struct SessionSpec {
     pub(crate) tenant: String,
     pub(crate) environment: BTreeMap<String, String>,
     pub(crate) metadata: BTreeMap<String, String>,
+    pub(crate) pin_plans: bool,
 }
 
 impl SessionSpec {
@@ -85,6 +86,15 @@ impl SessionSpec {
         self.metadata.insert(key.into(), value.into());
         self
     }
+
+    /// Mark the session *hot*: every plan it resolves is pinned in the plan
+    /// cache, so eviction pressure from other tenants' churn cannot flush
+    /// this tenant's working set (pins are advisory — a shard whose entries
+    /// are all pinned still evicts; see the cache module docs).
+    pub fn pin_plans(mut self) -> Self {
+        self.pin_plans = true;
+        self
+    }
 }
 
 /// One tenant's execution context.
@@ -100,6 +110,7 @@ pub struct SessionCtx {
     metadata: BTreeMap<String, String>,
     parent: Option<SessionId>,
     active: bool,
+    pin_plans: bool,
     in_flight: usize,
     meter: SessionMeter,
 }
@@ -113,6 +124,7 @@ impl SessionCtx {
             metadata: spec.metadata,
             parent,
             active: true,
+            pin_plans: spec.pin_plans,
             in_flight: 0,
             meter: SessionMeter::default(),
         }
@@ -146,6 +158,12 @@ impl SessionCtx {
     /// Whether the session still accepts submissions.
     pub fn is_active(&self) -> bool {
         self.active
+    }
+
+    /// Whether the session pins every plan it resolves (hot tenant; see
+    /// [`SessionSpec::pin_plans`]).
+    pub fn pins_plans(&self) -> bool {
+        self.pin_plans
     }
 
     /// Jobs submitted but not yet completed.
