@@ -15,6 +15,7 @@
 //! can track the trajectory.  Problem size follows
 //! `AOHPC_SCALE=smoke|default|paper`.
 
+use aohpc_kernel::KernelFamilyId;
 use aohpc_service::{ClusterService, JobSpec, KernelService, ServiceConfig, SessionSpec};
 use aohpc_workloads::Scale;
 use std::time::Instant;
@@ -37,6 +38,12 @@ impl Outcome {
 
 fn workload(scale: Scale) -> Vec<JobSpec> {
     vec![JobSpec::jacobi(scale), JobSpec::smooth(scale)]
+}
+
+/// One program per kernel family: the heterogeneous workload the
+/// family-generic pipeline exists for.
+fn mixed_workload(scale: Scale) -> Vec<JobSpec> {
+    vec![JobSpec::jacobi(scale), JobSpec::particle(scale), JobSpec::usgrid(scale)]
 }
 
 /// Submit `reps` copies of every program under one session per node and
@@ -139,6 +146,48 @@ fn main() {
     }
     cluster.shutdown();
 
+    // Mixed-family workload on a fresh cluster: stencil + particle + usgrid
+    // through one plan-sharing fabric, compiles broken down per family.
+    let mixed = mixed_workload(scale);
+    let (mixed_outcome, family_lanes) = {
+        let cluster = ClusterService::new(nodes, config);
+        let sessions: Vec<_> = (0..nodes)
+            .map(|n| cluster.open_session_on(n, SessionSpec::tenant(format!("mix-{n}"))))
+            .collect();
+        let start = Instant::now();
+        let (bits, count) =
+            run_jobs(|n, job| cluster.submit(sessions[n], job).unwrap(), nodes, &mixed, reps);
+        let secs = start.elapsed().as_secs_f64();
+        let cache = cluster.cache_stats().total;
+        let comm = cluster.comm_stats().total;
+        // One distinct program per family, so compile-once-per-cluster means
+        // exactly one compile per family; the lanes attribute the traffic.
+        assert_eq!(cache.compiles as usize, mixed.len(), "one compile per family");
+        let lanes: Vec<(KernelFamilyId, u64, u64, u64)> = KernelFamilyId::all()
+            .iter()
+            .map(|&f| {
+                let lane = cache.for_family(f);
+                let compiles = lane.misses - (nodes as u64 - 1);
+                assert_eq!(compiles, 1, "{f:?} compiled more than once cluster-wide");
+                (f, compiles, lane.hits, lane.misses)
+            })
+            .collect();
+        cluster.shutdown();
+        (
+            Outcome {
+                name: "family_mix_cold",
+                jobs: count,
+                secs,
+                compiles: cache.compiles,
+                fetches: cache.fetches,
+                control_frames: comm.control_sent,
+                checksum_bits: bits,
+            },
+            lanes,
+        )
+    };
+    outcomes.push(mixed_outcome);
+
     // Every variant computed the same field bit-for-bit.
     for o in &outcomes[1..] {
         assert_eq!(o.checksum_bits, outcomes[0].checksum_bits, "{} diverged", o.name);
@@ -188,6 +237,18 @@ fn main() {
             o.fetches,
             o.control_frames,
             if i + 1 == outcomes.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"family_mix\": {\n");
+    for (i, (family, compiles, hits, misses)) in family_lanes.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{:?}\": {{\"compiles\": {}, \"hits\": {}, \"misses\": {}}}{}\n",
+            family,
+            compiles,
+            hits,
+            misses,
+            if i + 1 == family_lanes.len() { "" } else { "," },
         ));
     }
     json.push_str("  }\n}\n");

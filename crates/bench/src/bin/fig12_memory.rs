@@ -104,7 +104,7 @@ fn main() {
     }));
     // Platform: Particle.
     rows.extend(platform_rows("Particle", pool_bytes, |mode| {
-        let mut system = ParticleSystem::for_particles(particles);
+        let mut system = ParticleSystem::paper(particles);
         system.pool_bytes = Some(pool_bytes);
         let app = ParticleApp::new(system.clone(), loops);
         Platform::new(mode).run_system(Arc::new(system), app.factory())

@@ -10,7 +10,7 @@ fn main() {
     let block = scale.grid_block_size();
     let sgrid = Arc::new(SGridSystem::with_block_size(RegionSize::square(32), block));
     let usgrid = UsGridSystem::with_block_size(RegionSize::square(32), block, GridLayout::CaseC);
-    let particle = ParticleSystem::for_particles(ParticleSize::new(128));
+    let particle = ParticleSystem::paper(ParticleSize::new(128));
 
     let a = Platform::new(ExecutionMode::PlatformHybrid { ranks: 2, threads: 2 })
         .with_mmat(true)

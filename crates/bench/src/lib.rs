@@ -86,7 +86,7 @@ pub fn run_platform(
             platform.run_system(Arc::new(system), app.factory())
         }
         Workload::Particle { count } => {
-            let system = ParticleSystem::for_particles(count);
+            let system = ParticleSystem::paper(count);
             let app = ParticleApp::new(system.clone(), loops);
             platform.run_system(Arc::new(system), app.factory())
         }

@@ -15,8 +15,8 @@ pub use aohpc_env::{
     TreeTopology,
 };
 pub use aohpc_kernel::{
-    HeteroDispatcher, IrStencilApp, OptLevel, Processor, ProgramFingerprint, SchedulePolicy,
-    StencilProgram,
+    FamilyProgram, HeteroDispatcher, IrStencilApp, KernelFamilyId, OptLevel, ParticleProgram,
+    Processor, ProgramFingerprint, SchedulePolicy, StencilProgram, UsGridProgram,
 };
 pub use aohpc_mem::{MemoryPool, MultiBuffer, PageTable, PoolHandle, PoolSet};
 pub use aohpc_runtime::{
@@ -24,8 +24,9 @@ pub use aohpc_runtime::{
     RunSummary, TaskCtx, TaskSlot, Topology,
 };
 pub use aohpc_service::{
-    AdmissionStats, BatchError, CompletionStream, JobError, JobErrorKind, JobHandle, JobId,
-    JobOutcome, JobReport, JobSpec, JobStatus, KernelService, PlanCache, PlanCacheStats,
-    ServiceConfig, SessionCtx, SessionId, SessionMeter, SessionSpec, SubmitError,
+    AdmissionStats, BatchError, CompletionStream, FamilyLaneStats, JobError, JobErrorKind,
+    JobHandle, JobId, JobOutcome, JobReport, JobSpec, JobSpecError, JobStatus, KernelService,
+    PlanCache, PlanCacheStats, ServiceConfig, SessionCtx, SessionId, SessionMeter, SessionSpec,
+    SubmitError,
 };
 pub use aohpc_workloads::{checksum, GridLayout, ParticleSize, RegionSize, Scale};

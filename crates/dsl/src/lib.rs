@@ -32,7 +32,7 @@ pub mod particle;
 pub mod sgrid;
 pub mod usgrid;
 
-pub use common::{DslSystem, FieldSink};
-pub use particle::{Bucket, Particle, ParticleApp, ParticleSystem};
+pub use common::{new_field_sink, DslSystem, FieldSink};
+pub use particle::{Bucket, PairForce, Particle, ParticleApp, ParticleSystem};
 pub use sgrid::{SGridJacobiApp, SGridSystem};
-pub use usgrid::{UsCell, UsGridJacobiApp, UsGridSystem};
+pub use usgrid::{UsCell, UsGridJacobiApp, UsGridSystem, UsUpdate};

@@ -103,9 +103,12 @@ pub struct ParticleSystem {
 }
 
 impl ParticleSystem {
-    /// Derive a roughly square bucket grid for a particle count, filling each
-    /// bucket to half capacity as the paper's uniform placement does.
-    pub fn for_particles(particles: ParticleSize) -> Self {
+    /// The paper's configuration: derive a roughly square bucket grid for a
+    /// particle count, filling each bucket to half capacity as the paper's
+    /// uniform placement does.  This is the builder front door, matching
+    /// `SGridSystem::paper` and `UsGridSystem::paper`; refine with the
+    /// `with_*` methods.
+    pub fn paper(particles: ParticleSize) -> Self {
         let fill = BUCKET_CAPACITY / 2;
         let buckets_needed = particles.count.div_ceil(fill).max(1);
         let side = (buckets_needed as f64).sqrt().ceil() as usize;
@@ -120,6 +123,12 @@ impl ParticleSystem {
             fill_per_bucket: fill,
             tree: TreeTopology::Flat,
         }
+    }
+
+    /// Deprecated alias for [`ParticleSystem::paper`].
+    #[deprecated(note = "use `ParticleSystem::paper` — the common builder front door")]
+    pub fn for_particles(particles: ParticleSize) -> Self {
+        Self::paper(particles)
     }
 
     /// Use a non-default data-branch topology (locality joints, §III-B3).
@@ -177,6 +186,28 @@ impl DslSystem for ParticleSystem {
     }
 }
 
+/// The pair-force hook signature: `(p_pos, q_pos, force_accumulator)`.
+///
+/// Structurally identical to the kernel crate's lowered pair-force routine,
+/// so compiled artifacts plug in without a dependency edge between the
+/// crates.
+pub type PairForceFn = Arc<dyn Fn(&[f64; 3], &[f64; 3], &mut [f64; 3]) + Send + Sync>;
+
+/// A pluggable pairwise force law: `(p_pos, q_pos, force_accumulator)`.
+///
+/// Installed by [`ParticleApp::with_pair_force`], typically from a compiled
+/// particle-family kernel artifact so that service-submitted jobs execute the
+/// cached plan's arithmetic.  When absent, the app's built-in quadratic
+/// drop-off law runs; the stock compiled law reproduces it bit-for-bit.
+#[derive(Clone)]
+pub struct PairForce(pub PairForceFn);
+
+impl std::fmt::Debug for PairForce {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PairForce(..)")
+    }
+}
+
 /// The end-user application: one force-integration step per iteration over
 /// the 3×3 bucket neighbourhood.
 #[derive(Debug, Clone)]
@@ -202,6 +233,8 @@ pub struct ParticleApp {
     /// `Finalize` deposits per-bucket particle counts here (keyed by bucket
     /// coordinates), used by the migration/conservation tests.
     pub count_sink: Option<FieldSink>,
+    /// Pluggable pair-force law (None = the built-in quadratic drop-off).
+    pub pair_force: Option<PairForce>,
 }
 
 impl ParticleApp {
@@ -216,7 +249,14 @@ impl ParticleApp {
             initial_velocity: [0.0; 3],
             sink: None,
             count_sink: None,
+            pair_force: None,
         }
+    }
+
+    /// Install a pluggable pair-force law (see [`PairForce`]).
+    pub fn with_pair_force(mut self, law: PairForce) -> Self {
+        self.pair_force = Some(law);
+        self
     }
 
     /// Attach a result sink.
@@ -278,6 +318,17 @@ impl ParticleApp {
     /// Repulsive force on `p` from every particle of the given buckets.
     fn force_on(&self, p: &Particle, neighbourhood: &[&Bucket]) -> [f64; 3] {
         let mut force = [0.0f64; 3];
+        if let Some(law) = &self.pair_force {
+            for nb in neighbourhood {
+                for q in nb.live() {
+                    if q.id == p.id {
+                        continue;
+                    }
+                    (law.0)(&p.pos, &q.pos, &mut force);
+                }
+            }
+            return force;
+        }
         for nb in neighbourhood {
             for q in nb.live() {
                 if q.id == p.id {
@@ -527,7 +578,7 @@ mod tests {
     use aohpc_runtime::{execute, MpiAspect, OmpAspect, RunConfig, Topology};
 
     fn run(topology: Topology, woven: WovenProgram) -> Vec<((i64, i64), f64)> {
-        let system = ParticleSystem::for_particles(ParticleSize::new(400));
+        let system = ParticleSystem::paper(ParticleSize::new(400));
         let sink = new_field_sink();
         let app = ParticleApp::new(system.clone(), 3).with_sink(sink.clone());
         let config = RunConfig::serial().with_topology(topology);
@@ -550,8 +601,64 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_alias_matches_the_paper_front_door() {
+        let via_paper = ParticleSystem::paper(ParticleSize::new(400));
+        let via_alias = ParticleSystem::for_particles(ParticleSize::new(400));
+        assert_eq!(via_paper.buckets_x, via_alias.buckets_x);
+        assert_eq!(via_paper.buckets_y, via_alias.buckets_y);
+        assert_eq!(via_paper.fill_per_bucket, via_alias.fill_per_bucket);
+        assert_eq!(via_paper.buckets_per_page, via_alias.buckets_per_page);
+    }
+
+    #[test]
+    fn installed_pair_force_matching_the_builtin_is_bit_identical() {
+        let radius = 1.0f64;
+        let law = PairForce(Arc::new(move |p: &[f64; 3], q: &[f64; 3], force: &mut [f64; 3]| {
+            let dx = p[0] - q[0];
+            let dy = p[1] - q[1];
+            let dz = p[2] - q[2];
+            let dist = (dx * dx + dy * dy + dz * dz).sqrt();
+            let w = if dist >= radius || dist <= 1e-9 {
+                0.0
+            } else {
+                let x = 1.0 - dist / radius;
+                x * x
+            };
+            if w > 0.0 {
+                force[0] += w * dx / dist;
+                force[1] += w * dy / dist;
+                force[2] += w * dz / dist;
+            }
+        }));
+        let system = ParticleSystem::paper(ParticleSize::new(256));
+        let sink_a = new_field_sink();
+        let sink_b = new_field_sink();
+        let config = RunConfig::serial();
+        let app = ParticleApp::new(system.clone(), 3).with_sink(sink_a.clone());
+        execute(
+            &config,
+            WovenProgram::unwoven(),
+            Arc::new(system.clone()).env_factory(),
+            app.factory(),
+        );
+        let hooked =
+            ParticleApp::new(system.clone(), 3).with_sink(sink_b.clone()).with_pair_force(law);
+        execute(&config, WovenProgram::unwoven(), Arc::new(system).env_factory(), hooked.factory());
+        let collect = |s: &FieldSink| {
+            let mut v: Vec<((i64, i64), f64)> =
+                s.lock().iter().map(|(a, x)| ((a.x, a.y), *x)).collect();
+            v.sort_by_key(|(k, _)| *k);
+            v
+        };
+        let a = collect(&sink_a);
+        assert!(!a.is_empty());
+        assert_eq!(a, collect(&sink_b), "hooked law must be bit-identical");
+    }
+
+    #[test]
     fn system_sizing_matches_particle_count() {
-        let sys = ParticleSystem::for_particles(ParticleSize::new(1 << 10));
+        let sys = ParticleSystem::paper(ParticleSize::new(1 << 10));
         assert_eq!(sys.buckets_x % BUCKETS_PER_BLOCK_SIDE, 0);
         assert!(sys.buckets_x * sys.buckets_y * sys.fill_per_bucket >= 1 << 10);
         let env = sys.build_env();
@@ -576,7 +683,7 @@ mod tests {
         loops: usize,
         velocity: [f64; 3],
     ) -> Vec<((i64, i64), f64, f64)> {
-        let mut system = ParticleSystem::for_particles(ParticleSize::new(256));
+        let mut system = ParticleSystem::paper(ParticleSize::new(256));
         system.fill_per_bucket = 4;
         let speed_sink = new_field_sink();
         let count_sink = new_field_sink();
@@ -646,7 +753,7 @@ mod tests {
     #[test]
     fn without_migration_occupancy_never_changes() {
         // The prototype semantics: positions drift, bucket membership does not.
-        let system = ParticleSystem::for_particles(ParticleSize::new(256));
+        let system = ParticleSystem::paper(ParticleSize::new(256));
         let count_sink = new_field_sink();
         let app = ParticleApp::new(system.clone(), 4)
             .with_dt(0.25)

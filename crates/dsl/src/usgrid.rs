@@ -165,6 +165,29 @@ impl DslSystem for UsGridSystem {
     }
 }
 
+/// The update hook signature: `(own_value, neighbour_values) -> new`.
+///
+/// Structurally identical to the kernel crate's lowered update routine, so
+/// compiled artifacts plug in without a dependency edge between the crates.
+pub type UsUpdateFn = Arc<dyn Fn(f64, &[f64]) -> f64 + Send + Sync>;
+
+/// A pluggable per-point update law: `(own_value, neighbour_values) -> new`.
+///
+/// Installed by [`UsGridJacobiApp::with_update`], typically from a compiled
+/// usgrid-family kernel artifact so that service-submitted jobs execute the
+/// cached plan's arithmetic.  Neighbour values arrive in the program's
+/// declared neighbour order.  When absent, the app's built-in
+/// `alpha·me + beta·Σ` law runs; the stock compiled law reproduces it
+/// bit-for-bit.
+#[derive(Clone)]
+pub struct UsUpdate(pub UsUpdateFn);
+
+impl std::fmt::Debug for UsUpdate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("UsUpdate(..)")
+    }
+}
+
 /// The end-user application: Jacobi relaxation over the indirect neighbour
 /// lists (same arithmetic as SGrid, different memory behaviour).
 #[derive(Debug, Clone)]
@@ -179,17 +202,25 @@ pub struct UsGridJacobiApp {
     pub loops: usize,
     /// Where `Finalize` deposits the field, keyed by *logical* position.
     pub sink: Option<FieldSink>,
+    /// Pluggable update law (None = the built-in `alpha·me + beta·Σ`).
+    pub update: Option<UsUpdate>,
 }
 
 impl UsGridJacobiApp {
     /// Create the benchmark application.
     pub fn new(system: UsGridSystem, loops: usize) -> Self {
-        UsGridJacobiApp { system, alpha: 0.5, beta: 0.125, loops, sink: None }
+        UsGridJacobiApp { system, alpha: 0.5, beta: 0.125, loops, sink: None, update: None }
     }
 
     /// Attach a result sink.
     pub fn with_sink(mut self, sink: FieldSink) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Install a pluggable update law (see [`UsUpdate`]).
+    pub fn with_update(mut self, update: UsUpdate) -> Self {
+        self.update = Some(update);
         self
     }
 
@@ -253,12 +284,21 @@ impl HpcApp<UsCell> for UsGridJacobiApp {
                     let me = ctx.get_dd(bid, la);
                     // Neighbours are indirect: no static in-block guarantee,
                     // so the access goes through MMAT / the Env search.
-                    let mut sum = 0.0;
-                    for (nx, ny) in me.neighbors {
+                    let mut vals = [0.0f64; 4];
+                    for (slot, (nx, ny)) in me.neighbors.into_iter().enumerate() {
                         let n = ctx.get_global(bid, GlobalAddress::new2d(nx, ny));
-                        sum += n.value;
+                        vals[slot] = n.value;
                     }
-                    let ans = alpha * me.value + beta * sum;
+                    let ans = match &self.update {
+                        Some(update) => (update.0)(me.value, &vals),
+                        None => {
+                            let mut sum = 0.0;
+                            for v in vals {
+                                sum += v;
+                            }
+                            alpha * me.value + beta * sum
+                        }
+                    };
                     ctx.set(bid, la, UsCell { value: ans, neighbors: me.neighbors });
                 }
             }

@@ -57,6 +57,7 @@
 pub mod app;
 pub mod backend;
 pub mod expr;
+pub mod family;
 pub mod field;
 pub mod hetero;
 pub mod opt;
@@ -71,6 +72,10 @@ pub use app::{
 };
 pub use backend::{ExecStats, Processor, LANES};
 pub use expr::{jacobi_5pt, lit, load, param, smooth_9pt, BinOp, KernelExpr, UnaryOp};
+pub use family::{
+    FamilyArtifact, FamilyError, FamilyProgram, KernelFamilyId, PairForceFn, PairLaw,
+    ParticleKernel, ParticleProgram, UsGridKernel, UsGridProgram, UsUpdateFn,
+};
 pub use field::DenseField;
 pub use hetero::{HeteroDispatcher, PerProcessorStats, ScheduleError, SchedulePolicy};
 pub use opt::{Dag, OptLevel, OptStats};
@@ -87,6 +92,9 @@ pub mod prelude {
     };
     pub use crate::backend::{ExecStats, Processor};
     pub use crate::expr::{lit, load, param, KernelExpr};
+    pub use crate::family::{
+        FamilyArtifact, FamilyProgram, KernelFamilyId, ParticleProgram, UsGridProgram,
+    };
     pub use crate::field::DenseField;
     pub use crate::hetero::{HeteroDispatcher, PerProcessorStats, ScheduleError, SchedulePolicy};
     pub use crate::opt::{Dag, OptLevel, OptStats};

@@ -33,6 +33,13 @@ use std::sync::Arc;
 /// installing a `PlanSource` redirects every compile through it, which is how
 /// the multi-tenant service layer shares one plan cache across concurrent
 /// submissions of the same program.
+///
+/// The trait is **family-generic**: [`PlanSource::family_plan_for`] resolves
+/// a plan for any [`FamilyProgram`](crate::family::FamilyProgram).  Stencil
+/// implementors only need `plan_for`; the provided default routes stencil
+/// programs through it and compiles other families directly.  Caching
+/// sources (the service's `PlanCache`) override `family_plan_for` so every
+/// family shares the cache.
 pub trait PlanSource: Send + Sync {
     /// Resolve (compiling if needed) the plan for `(program, extent, level)`.
     fn plan_for(
@@ -41,6 +48,26 @@ pub trait PlanSource: Send + Sync {
         extent: Extent,
         level: OptLevel,
     ) -> Arc<CompiledKernel>;
+
+    /// Resolve a plan for a program of **any** kernel family.
+    ///
+    /// The default delegates stencil programs to [`PlanSource::plan_for`]
+    /// and compiles the other families on the spot (their lowering is
+    /// cheap); caching implementations override this to make every family
+    /// cache-resident.
+    fn family_plan_for(
+        &self,
+        program: &crate::family::FamilyProgram,
+        extent: Extent,
+        level: OptLevel,
+    ) -> crate::family::FamilyArtifact {
+        match program {
+            crate::family::FamilyProgram::Stencil(p) => {
+                crate::family::FamilyArtifact::Stencil(self.plan_for(p, extent, level))
+            }
+            other => other.compile(extent, level),
+        }
+    }
 }
 
 /// How one load of one boundary cell resolves.

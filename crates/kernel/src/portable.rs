@@ -1,18 +1,19 @@
 //! The wire form of a compiled kernel: what crosses rank boundaries.
 //!
 //! A [`PortableKernel`] is the serializable, fingerprint-stamped form of a
-//! compiled plan — the validated program, the block shape its access plan is
-//! resolved for, the optimization level, and (in the *compiled* form) the
+//! compiled plan — the validated program of **any kernel family** (see
+//! [`crate::family`]), the block shape its plan is resolved for, the
+//! optimization level, and (for the stencil family's *compiled* form) the
 //! sender's **optimized DAG**.  It is what the cluster's plan-sharing
 //! protocol ships between service nodes: ranks never share address space
 //! (see `aohpc_runtime::comm`), so a plan travels as bytes and is
 //! **re-lowered** on the receiving rank — but only the address-space-local
-//! stages re-run.  [`PortableKernel::hydrate`] of a compiled form skips
-//! `Dag::lower` entirely (the optimizer pipeline — CSE, constant folding,
-//! algebraic simplification — runs once per cluster, on the compiling rank)
-//! and only re-resolves the access plan and re-lowers the execution tape.
-//! Every stage is deterministic, so hydration yields an
-//! [`ExecTape`](crate::tape::ExecTape) bit-identical to the sender's — the
+//! stages re-run.  [`PortableKernel::hydrate`] of a compiled stencil form
+//! skips `Dag::lower` entirely (the optimizer pipeline — CSE, constant
+//! folding, algebraic simplification — runs once per cluster, on the
+//! compiling rank) and only re-resolves the access plan and re-lowers the
+//! execution tape.  Every stage is deterministic for every family, so
+//! hydration yields an artifact bit-identical to the sender's — the
 //! property the cluster equivalence tests assert.
 //!
 //! Two forms share the codec:
@@ -20,14 +21,18 @@
 //! * [`PortableKernel::pack`] — the *request* form (program + shape + level,
 //!   no DAG): cheap to build, enough for a peer to compile a plan it has
 //!   never seen.
-//! * [`PortableKernel::from_compiled`] — the *compiled* form (adds the
-//!   optimized DAG cloned out of an existing kernel, no re-lowering on the
-//!   sending side): what plan replies carry.
+//! * [`PortableKernel::from_compiled`] — the *compiled* form: for stencils
+//!   it adds the optimized DAG cloned out of an existing kernel (no
+//!   re-lowering on the sending side); the particle and usgrid families'
+//!   lowering is a deterministic constant-time step, so their compiled form
+//!   coincides with the request form.
 //!
 //! The encoding is versioned and self-validating:
 //!
 //! * a magic/version header rejects frames from foreign protocols or future
-//!   incompatible releases;
+//!   incompatible releases, and a **family tag** right after the version
+//!   routes the payload decoder — a frame can never hydrate under the wrong
+//!   family;
 //! * the sender's [`ProgramFingerprint`] is stamped into the frame, and
 //!   [`PortableKernel::from_bytes`] recomputes the fingerprint of the decoded
 //!   program and refuses the frame on mismatch — a corrupted or mis-routed
@@ -42,22 +47,26 @@
 //!   request cannot make the serving rank compile a terabyte-scale plan.
 //!
 //! No external serialization dependency exists in this offline workspace, so
-//! the codec is a small hand-rolled little-endian format reusing the
-//! expression IR's canonical encoding (the same bytes the fingerprint is
-//! computed over, which is what makes the stamp verifiable).
+//! the codec is a small hand-rolled little-endian format reusing each
+//! family's canonical encoding (the same bytes the fingerprint is computed
+//! over, which is what makes the stamp verifiable).
 
 use crate::expr::KernelExpr;
+use crate::family::{
+    FamilyArtifact, FamilyProgram, KernelFamilyId, PairLaw, ParticleProgram, UsGridProgram,
+    MAX_USGRID_NEIGHBORS,
+};
 use crate::opt::{Dag, Node, OptLevel, OptStats};
-use crate::plan::CompiledKernel;
 use crate::program::{ProgramFingerprint, StencilProgram};
 use aohpc_env::Extent;
 use std::fmt;
-use std::sync::Arc;
 
 /// Frame magic: "AOPK" (AOhpc Portable Kernel).
 const MAGIC: [u8; 4] = *b"AOPK";
-/// Current wire-format version.
-const VERSION: u16 = 1;
+/// Current wire-format version.  Version 2 added the family tag byte to the
+/// header (version 1 frames were implicitly stencil-only and are refused —
+/// no compatibility shim, the cluster is always homogeneous).
+const VERSION: u16 = 2;
 /// Upper bound on wire-claimed DAG sizes (a hostility guard far above any
 /// real subkernel, not a functional limit).
 const MAX_DAG_NODES: usize = 1 << 20;
@@ -79,6 +88,9 @@ pub enum PortableError {
     BadMagic,
     /// The frame's version is newer than this build understands.
     UnsupportedVersion(u16),
+    /// The frame's family tag names a kernel family this build does not
+    /// implement.
+    UnsupportedFamily(u8),
     /// The optimization-level byte is out of range.
     BadLevel(u8),
     /// The claimed block extent is degenerate or implausibly large
@@ -95,7 +107,7 @@ pub enum PortableError {
     CorruptFrame,
     /// The embedded expression failed to decode (reason inside).
     BadExpr(String),
-    /// The decoded expression failed program validation (reason inside).
+    /// The decoded program payload failed validation (reason inside).
     BadProgram(String),
     /// The embedded DAG is malformed or inconsistent with the program
     /// (reason inside).
@@ -120,6 +132,9 @@ impl fmt::Display for PortableError {
             PortableError::UnsupportedVersion(v) => {
                 write!(f, "portable kernel version {v} is not supported (this build: {VERSION})")
             }
+            PortableError::UnsupportedFamily(t) => {
+                write!(f, "unknown kernel family tag {t}")
+            }
             PortableError::BadLevel(b) => write!(f, "unknown optimization level byte {b}"),
             PortableError::BadExtent { nx, ny } => {
                 write!(f, "block extent {nx}x{ny} is degenerate or implausibly large")
@@ -143,7 +158,7 @@ impl fmt::Display for PortableError {
 
 impl std::error::Error for PortableError {}
 
-/// A serializable, fingerprint-stamped compiled-kernel form.
+/// A serializable, fingerprint-stamped compiled-kernel form of any family.
 ///
 /// See the [module docs](self) for the two forms and the role they play in
 /// cluster plan sharing.  Ship via [`PortableKernel::to_bytes`], rebuild
@@ -151,13 +166,13 @@ impl std::error::Error for PortableError {}
 /// plan with [`PortableKernel::hydrate`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct PortableKernel {
-    program: StencilProgram,
+    program: FamilyProgram,
     nx: usize,
     ny: usize,
     level: OptLevel,
     fingerprint: ProgramFingerprint,
-    /// The sender's optimized DAG (compiled form only): hydration reuses it
-    /// instead of re-running the optimizer.
+    /// The sender's optimized DAG (stencil compiled form only): hydration
+    /// reuses it instead of re-running the optimizer.
     dag: Option<Dag>,
 }
 
@@ -165,7 +180,7 @@ impl PortableKernel {
     /// Capture the *request* form of `(program, extent, level)` — the exact
     /// key the plan caches compile under, with no compiled artifact
     /// attached.  Cheap: no lowering happens here.
-    pub fn pack(program: &StencilProgram, extent: Extent, level: OptLevel) -> Self {
+    pub fn pack(program: &FamilyProgram, extent: Extent, level: OptLevel) -> Self {
         PortableKernel {
             fingerprint: program.fingerprint(),
             program: program.clone(),
@@ -176,22 +191,30 @@ impl PortableKernel {
         }
     }
 
-    /// Capture the *compiled* form: the request fields plus the optimized
-    /// DAG cloned out of `kernel` (compiled at `level`), so the receiver
-    /// skips the optimizer.  No re-lowering happens on this side either.
+    /// Capture the *compiled* form: the request fields plus — for the
+    /// stencil family — the optimized DAG cloned out of `artifact`, so the
+    /// receiver skips the optimizer.  No re-lowering happens on this side
+    /// either.  For the particle and usgrid families, whose lowering is a
+    /// constant-time deterministic step, the compiled form equals the
+    /// request form.
     pub fn from_compiled(
-        program: &StencilProgram,
-        kernel: &CompiledKernel,
+        program: &FamilyProgram,
+        artifact: &FamilyArtifact,
         level: OptLevel,
     ) -> Self {
         PortableKernel {
             fingerprint: program.fingerprint(),
             program: program.clone(),
-            nx: kernel.extent().nx,
-            ny: kernel.extent().ny,
+            nx: artifact.extent().nx,
+            ny: artifact.extent().ny,
             level,
-            dag: Some(kernel.dag().clone()),
+            dag: artifact.as_stencil().map(|k| k.dag().clone()),
         }
+    }
+
+    /// The frame's kernel family.
+    pub fn family(&self) -> KernelFamilyId {
+        self.program.family()
     }
 
     /// The stamped structural fingerprint.
@@ -200,7 +223,7 @@ impl PortableKernel {
     }
 
     /// The embedded program.
-    pub fn program(&self) -> &StencilProgram {
+    pub fn program(&self) -> &FamilyProgram {
         &self.program
     }
 
@@ -214,7 +237,7 @@ impl PortableKernel {
         self.level
     }
 
-    /// Whether this is the compiled form (carries the sender's DAG).
+    /// Whether this is the compiled stencil form (carries the sender's DAG).
     pub fn carries_dag(&self) -> bool {
         self.dag.is_some()
     }
@@ -224,6 +247,7 @@ impl PortableKernel {
         let mut out = Vec::with_capacity(96 + self.program.name().len());
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(self.program.family().tag());
         out.push(match self.level {
             OptLevel::None => 0,
             OptLevel::Full => 1,
@@ -235,12 +259,27 @@ impl PortableKernel {
         let name = self.program.name().as_bytes();
         out.extend_from_slice(&(name.len() as u32).to_le_bytes());
         out.extend_from_slice(name);
-        self.program.expr().encode_canonical(&mut |bytes| out.extend_from_slice(bytes));
-        match &self.dag {
-            None => out.push(0),
-            Some(dag) => {
-                out.push(1);
-                encode_dag(dag, &mut out);
+        match &self.program {
+            FamilyProgram::Stencil(p) => {
+                p.expr().encode_canonical(&mut |bytes| out.extend_from_slice(bytes));
+                match &self.dag {
+                    None => out.push(0),
+                    Some(dag) => {
+                        out.push(1);
+                        encode_dag(dag, &mut out);
+                    }
+                }
+            }
+            FamilyProgram::Particle(p) => {
+                out.push(p.law().tag());
+                out.push(p.neighbor_reach());
+            }
+            FamilyProgram::UsGrid(p) => {
+                out.extend_from_slice(&(p.neighbors().len() as u32).to_le_bytes());
+                for &(dx, dy) in p.neighbors() {
+                    out.extend_from_slice(&dx.to_le_bytes());
+                    out.extend_from_slice(&dy.to_le_bytes());
+                }
             }
         }
         // Integrity digest over everything above.  The fingerprint stamp
@@ -254,9 +293,10 @@ impl PortableKernel {
         out
     }
 
-    /// Decode and fully validate a frame: magic, version, program validity,
-    /// the fingerprint stamp (recomputed from the decoded expression), and —
-    /// for the compiled form — DAG soundness and program consistency.
+    /// Decode and fully validate a frame: magic, version, family, program
+    /// validity, the fingerprint stamp (recomputed from the decoded
+    /// payload), and — for the compiled stencil form — DAG soundness and
+    /// program consistency.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, PortableError> {
         let mut pos = 0usize;
         if take(bytes, &mut pos, 4)? != MAGIC {
@@ -266,6 +306,9 @@ impl PortableKernel {
         if version != VERSION {
             return Err(PortableError::UnsupportedVersion(version));
         }
+        let family_tag = take(bytes, &mut pos, 1)?[0];
+        let family = KernelFamilyId::from_tag(family_tag)
+            .ok_or(PortableError::UnsupportedFamily(family_tag))?;
         let level = match take(bytes, &mut pos, 1)?[0] {
             0 => OptLevel::None,
             1 => OptLevel::Full,
@@ -285,24 +328,62 @@ impl PortableKernel {
         let num_params = take_u64(bytes, &mut pos)? as usize;
         let name_len = take_u32(bytes, &mut pos)? as usize;
         let name = String::from_utf8_lossy(take(bytes, &mut pos, name_len)?).into_owned();
-        let expr = KernelExpr::decode_canonical(bytes, &mut pos).map_err(PortableError::BadExpr)?;
-        let dag = match take(bytes, &mut pos, 1)?[0] {
-            0 => None,
-            1 => Some(decode_dag(bytes, &mut pos)?),
-            b => return Err(PortableError::BadDag(format!("unknown DAG presence flag {b}"))),
+        let mut dag = None;
+        let program = match family {
+            KernelFamilyId::Stencil => {
+                let expr = KernelExpr::decode_canonical(bytes, &mut pos)
+                    .map_err(PortableError::BadExpr)?;
+                dag = match take(bytes, &mut pos, 1)?[0] {
+                    0 => None,
+                    1 => Some(decode_dag(bytes, &mut pos)?),
+                    b => {
+                        return Err(PortableError::BadDag(format!("unknown DAG presence flag {b}")))
+                    }
+                };
+                FamilyProgram::Stencil(
+                    StencilProgram::new(name, expr, num_params)
+                        .map_err(|e| PortableError::BadProgram(e.to_string()))?,
+                )
+            }
+            KernelFamilyId::Particle => {
+                let payload = take(bytes, &mut pos, 2)?;
+                let law = PairLaw::from_tag(payload[0]).ok_or_else(|| {
+                    PortableError::BadProgram(format!("unknown pair-law tag {}", payload[0]))
+                })?;
+                FamilyProgram::Particle(
+                    ParticleProgram::new(name, law, payload[1], num_params)
+                        .map_err(|e| PortableError::BadProgram(e.to_string()))?,
+                )
+            }
+            KernelFamilyId::UsGrid => {
+                let count = take_u32(bytes, &mut pos)? as usize;
+                if count > MAX_USGRID_NEIGHBORS {
+                    return Err(PortableError::BadProgram(format!(
+                        "{count} neighbours exceeds the frame bound"
+                    )));
+                }
+                let mut neighbors = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let dx = i64::from_le_bytes(take(bytes, &mut pos, 8)?.try_into().expect("8"));
+                    let dy = i64::from_le_bytes(take(bytes, &mut pos, 8)?.try_into().expect("8"));
+                    neighbors.push((dx, dy));
+                }
+                FamilyProgram::UsGrid(
+                    UsGridProgram::new(name, neighbors, num_params)
+                        .map_err(|e| PortableError::BadProgram(e.to_string()))?,
+                )
+            }
         };
         let stated = u128::from_le_bytes(take(bytes, &mut pos, 16)?.try_into().expect("sixteen"));
         if pos != bytes.len() {
             return Err(PortableError::TrailingBytes(bytes.len() - pos));
         }
-        let program = StencilProgram::new(name, expr, num_params)
-            .map_err(|e| PortableError::BadProgram(e.to_string()))?;
         let actual = program.fingerprint();
         if actual != stamped {
             return Err(PortableError::FingerprintMismatch { stamped, actual });
         }
-        if let Some(dag) = &dag {
-            verify_dag_against(dag, &program)?;
+        if let (Some(dag), FamilyProgram::Stencil(p)) = (&dag, &program) {
+            verify_dag_against(dag, p)?;
         }
         // Whole-frame integrity last: anything that decoded cleanly but was
         // modified in transit — most importantly a DAG constant, which no
@@ -315,24 +396,26 @@ impl PortableKernel {
 
     /// Turn the portable form back into an executable plan on this rank.
     ///
-    /// The compiled form reuses the embedded optimized DAG and only
+    /// A compiled stencil form reuses the embedded optimized DAG and only
     /// re-resolves the access plan and re-lowers the tape
-    /// ([`CompiledKernel::from_parts`]); the request form falls back to a
-    /// full [`CompiledKernel::compile`].  Both paths are deterministic, so
-    /// the resulting [`ExecTape`](crate::tape::ExecTape) is bit-identical to
-    /// the sending rank's.  Returns the embedded program alongside the
-    /// kernel so caches can store it for structural hit verification.
-    pub fn hydrate(&self) -> (StencilProgram, Arc<CompiledKernel>) {
-        let kernel = match &self.dag {
-            Some(dag) => Arc::new(CompiledKernel::from_parts(
-                self.program.name(),
-                self.program.num_params(),
-                dag.clone(),
-                self.extent(),
+    /// ([`crate::plan::CompiledKernel::from_parts`]); every other path falls
+    /// back to the family's deterministic compile.  All paths are
+    /// deterministic, so the resulting artifact is bit-identical to the
+    /// sending rank's.  Returns the embedded program alongside the artifact
+    /// so caches can store it for structural hit verification.
+    pub fn hydrate(&self) -> (FamilyProgram, FamilyArtifact) {
+        let artifact = match (&self.dag, &self.program) {
+            (Some(dag), FamilyProgram::Stencil(p)) => FamilyArtifact::Stencil(std::sync::Arc::new(
+                crate::plan::CompiledKernel::from_parts(
+                    p.name(),
+                    p.num_params(),
+                    dag.clone(),
+                    self.extent(),
+                ),
             )),
-            None => Arc::new(CompiledKernel::compile(&self.program, self.extent(), self.level)),
+            _ => self.program.compile(self.extent(), self.level),
         };
-        (self.program.clone(), kernel)
+        (self.program.clone(), artifact)
     }
 }
 
@@ -495,6 +578,8 @@ fn verify_dag_against(dag: &Dag, program: &StencilProgram) -> Result<(), Portabl
 mod tests {
     use super::*;
     use crate::expr::{load, param};
+    use crate::plan::CompiledKernel;
+    use std::sync::Arc;
 
     fn jacobi_compiled() -> (StencilProgram, CompiledKernel) {
         let p = StencilProgram::jacobi_5pt();
@@ -504,11 +589,15 @@ mod tests {
 
     fn jacobi_portable() -> PortableKernel {
         let (p, k) = jacobi_compiled();
-        PortableKernel::from_compiled(&p, &k, OptLevel::Full)
+        PortableKernel::from_compiled(
+            &FamilyProgram::from(p),
+            &FamilyArtifact::Stencil(Arc::new(k)),
+            OptLevel::Full,
+        )
     }
 
     #[test]
-    fn both_forms_roundtrip() {
+    fn both_stencil_forms_roundtrip() {
         for program in [
             StencilProgram::jacobi_5pt(),
             StencilProgram::smooth_9pt(),
@@ -517,16 +606,49 @@ mod tests {
         ] {
             for level in [OptLevel::None, OptLevel::Full] {
                 let extent = Extent::new2d(12, 5);
-                let request = PortableKernel::pack(&program, extent, level);
+                let wrapped = FamilyProgram::from(program.clone());
+                let request = PortableKernel::pack(&wrapped, extent, level);
                 assert!(!request.carries_dag());
                 let kernel = CompiledKernel::compile(&program, extent, level);
-                let compiled = PortableKernel::from_compiled(&program, &kernel, level);
+                let compiled = PortableKernel::from_compiled(
+                    &wrapped,
+                    &FamilyArtifact::Stencil(Arc::new(kernel)),
+                    level,
+                );
                 assert!(compiled.carries_dag());
                 for packed in [request, compiled] {
                     let decoded =
                         PortableKernel::from_bytes(&packed.to_bytes()).expect("roundtrip");
                     assert_eq!(decoded, packed);
+                    assert_eq!(decoded.family(), KernelFamilyId::Stencil);
                     assert_eq!(decoded.program().name(), program.name());
+                    assert!(decoded.program().same_structure(&wrapped));
+                    assert_eq!(decoded.extent(), extent);
+                    assert_eq!(decoded.level(), level);
+                    assert_eq!(decoded.fingerprint(), program.fingerprint());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn particle_and_usgrid_frames_roundtrip() {
+        let extent = Extent::new2d(8, 8);
+        for program in [
+            FamilyProgram::from(ParticleProgram::pair_sweep()),
+            FamilyProgram::from(UsGridProgram::jacobi4()),
+        ] {
+            for level in [OptLevel::None, OptLevel::Full] {
+                let request = PortableKernel::pack(&program, extent, level);
+                assert!(!request.carries_dag());
+                let artifact = program.compile(extent, level);
+                let compiled = PortableKernel::from_compiled(&program, &artifact, level);
+                assert!(!compiled.carries_dag(), "only stencils carry a DAG");
+                for packed in [request, compiled] {
+                    let decoded =
+                        PortableKernel::from_bytes(&packed.to_bytes()).expect("roundtrip");
+                    assert_eq!(decoded, packed);
+                    assert_eq!(decoded.family(), program.family());
                     assert!(decoded.program().same_structure(&program));
                     assert_eq!(decoded.extent(), extent);
                     assert_eq!(decoded.level(), level);
@@ -537,28 +659,57 @@ mod tests {
     }
 
     #[test]
+    fn particle_hydration_matches_a_local_compile() {
+        let program = FamilyProgram::from(ParticleProgram::pair_sweep());
+        let wire = PortableKernel::pack(&program, Extent::new2d(8, 8), OptLevel::Full).to_bytes();
+        let decoded = PortableKernel::from_bytes(&wire).unwrap();
+        let (hydrated_program, artifact) = decoded.hydrate();
+        assert!(hydrated_program.same_structure(&program));
+        let remote = artifact.as_particle().expect("particle artifact");
+        let local = program.compile(Extent::new2d(8, 8), OptLevel::Full);
+        assert_eq!(remote.as_ref(), local.as_particle().unwrap().as_ref());
+    }
+
+    #[test]
+    fn usgrid_hydration_matches_a_local_compile() {
+        let program = FamilyProgram::from(UsGridProgram::jacobi4());
+        let wire = PortableKernel::pack(&program, Extent::new2d(8, 8), OptLevel::Full).to_bytes();
+        let decoded = PortableKernel::from_bytes(&wire).unwrap();
+        let (hydrated_program, artifact) = decoded.hydrate();
+        assert!(hydrated_program.same_structure(&program));
+        let remote = artifact.as_usgrid().expect("usgrid artifact");
+        let local = program.compile(Extent::new2d(8, 8), OptLevel::Full);
+        assert_eq!(remote.as_ref(), local.as_usgrid().unwrap().as_ref());
+    }
+
+    #[test]
     fn hydration_reuses_the_dag_and_is_bit_identical() {
         let (_, local) = jacobi_compiled();
         let wire = jacobi_portable().to_bytes();
         let decoded = PortableKernel::from_bytes(&wire).unwrap();
         assert!(decoded.carries_dag(), "the compiled form travelled");
-        let (program, remote) = decoded.hydrate();
+        let (program, artifact) = decoded.hydrate();
+        let remote = artifact.as_stencil().expect("stencil artifact");
         // The sender's DAG — optimization statistics included — arrived
         // verbatim: the optimizer did not re-run on this side.
         assert_eq!(remote.dag(), local.dag(), "DAG reused, not re-lowered");
         assert_eq!(remote.tape(), local.tape(), "re-lowered tape is bit-identical");
         assert_eq!(remote.plan(), local.plan(), "access plan resolves identically");
-        assert!(program.same_structure(&StencilProgram::jacobi_5pt()));
+        assert!(program.same_structure(&FamilyProgram::from(StencilProgram::jacobi_5pt())));
     }
 
     #[test]
     fn request_form_hydrates_by_compiling() {
         let p = StencilProgram::jacobi_5pt();
-        let packed = PortableKernel::pack(&p, Extent::new2d(8, 8), OptLevel::Full);
+        let packed = PortableKernel::pack(
+            &FamilyProgram::from(p.clone()),
+            Extent::new2d(8, 8),
+            OptLevel::Full,
+        );
         let decoded = PortableKernel::from_bytes(&packed.to_bytes()).unwrap();
-        let (_, kernel) = decoded.hydrate();
+        let (_, artifact) = decoded.hydrate();
         let local = CompiledKernel::compile(&p, Extent::new2d(8, 8), OptLevel::Full);
-        assert_eq!(kernel.tape(), local.tape());
+        assert_eq!(artifact.as_stencil().unwrap().tape(), local.tape());
     }
 
     #[test]
@@ -569,7 +720,7 @@ mod tests {
         for _ in 0..699 {
             expr = expr + load(0, 0);
         }
-        let program = StencilProgram::new("deep", expr, 0).unwrap();
+        let program = FamilyProgram::from(StencilProgram::new("deep", expr, 0).unwrap());
         let packed = PortableKernel::pack(&program, Extent::new2d(4, 4), OptLevel::Full);
         let decoded = PortableKernel::from_bytes(&packed.to_bytes()).expect("deep roundtrip");
         assert!(decoded.program().same_structure(&program));
@@ -580,7 +731,11 @@ mod tests {
         // The canonical encoding is bit-level: -0.0 and 0.0 are different
         // programs to the fingerprint, and the wire must keep them apart.
         let neg = StencilProgram::new("z", load(0, 0) + crate::expr::lit(-0.0), 0).unwrap();
-        let packed = PortableKernel::pack(&neg, Extent::new2d(4, 4), OptLevel::None);
+        let packed = PortableKernel::pack(
+            &FamilyProgram::from(neg.clone()),
+            Extent::new2d(4, 4),
+            OptLevel::None,
+        );
         let decoded = PortableKernel::from_bytes(&packed.to_bytes()).unwrap();
         assert_eq!(decoded.fingerprint(), neg.fingerprint());
     }
@@ -603,8 +758,15 @@ mod tests {
             Err(PortableError::UnsupportedVersion(_))
         ));
 
+        let mut familied = wire.clone();
+        familied[6] = 0x7F; // family tag
+        assert_eq!(
+            PortableKernel::from_bytes(&familied),
+            Err(PortableError::UnsupportedFamily(0x7F))
+        );
+
         let mut leveled = wire.clone();
-        leveled[6] = 9;
+        leveled[7] = 9;
         assert_eq!(PortableKernel::from_bytes(&leveled), Err(PortableError::BadLevel(9)));
 
         let mut trailing = wire.clone();
@@ -614,7 +776,7 @@ mod tests {
         // Flipping a bit inside the expression payload changes the decoded
         // program, so validation refuses the frame one way or another.
         let mut flipped = wire.clone();
-        let expr_start = 4 + 2 + 1 + 8 + 8 + 16 + 8 + 4 + "jacobi-5pt".len();
+        let expr_start = 4 + 2 + 1 + 1 + 8 + 8 + 16 + 8 + 4 + "jacobi-5pt".len();
         flipped[expr_start + 5] ^= 0x40; // inside the first node's operand
 
         let err = PortableKernel::from_bytes(&flipped).unwrap_err();
@@ -638,22 +800,38 @@ mod tests {
         // Every byte of the frame is covered by either a structural check,
         // the fingerprint stamp, or the whole-frame digest — including DAG
         // constants, which no structural check can see.  Flip one bit at
-        // every position (digest bytes included) and demand rejection.
-        let wire = jacobi_portable().to_bytes();
-        for i in 0..wire.len() {
-            let mut flipped = wire.clone();
-            flipped[i] ^= 0x10;
-            assert!(
-                PortableKernel::from_bytes(&flipped).is_err(),
-                "flipping byte {i} of {} produced an accepted frame",
-                wire.len()
-            );
+        // every position (digest bytes included) and demand rejection —
+        // for every family's frame shape.
+        for wire in [
+            jacobi_portable().to_bytes(),
+            PortableKernel::pack(
+                &FamilyProgram::from(ParticleProgram::pair_sweep()),
+                Extent::new2d(8, 8),
+                OptLevel::Full,
+            )
+            .to_bytes(),
+            PortableKernel::pack(
+                &FamilyProgram::from(UsGridProgram::jacobi4()),
+                Extent::new2d(8, 8),
+                OptLevel::Full,
+            )
+            .to_bytes(),
+        ] {
+            for i in 0..wire.len() {
+                let mut flipped = wire.clone();
+                flipped[i] ^= 0x10;
+                assert!(
+                    PortableKernel::from_bytes(&flipped).is_err(),
+                    "flipping byte {i} of {} produced an accepted frame",
+                    wire.len()
+                );
+            }
         }
     }
 
     #[test]
     fn implausible_extents_are_refused() {
-        let p = StencilProgram::jacobi_5pt();
+        let p = FamilyProgram::from(StencilProgram::jacobi_5pt());
         let base = PortableKernel::pack(&p, Extent::new2d(8, 8), OptLevel::Full);
         // A frame claiming a terabyte-scale block: the serving rank must
         // refuse before attempting to compile it.
@@ -673,9 +851,27 @@ mod tests {
         let packed = jacobi_portable();
         let mut wire = packed.to_bytes();
         let other = StencilProgram::smooth_9pt().fingerprint().as_u128().to_le_bytes();
-        wire[23..39].copy_from_slice(&other);
+        wire[24..40].copy_from_slice(&other);
         let err = PortableKernel::from_bytes(&wire).unwrap_err();
         assert!(matches!(err, PortableError::FingerprintMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn cross_family_stamp_confusion_is_refused() {
+        // A frame whose family byte is rewritten to another (valid) family
+        // cannot decode into that family's program and pass the stamp.
+        let wire = PortableKernel::pack(
+            &FamilyProgram::from(ParticleProgram::pair_sweep()),
+            Extent::new2d(8, 8),
+            OptLevel::Full,
+        )
+        .to_bytes();
+        let mut forged = wire.clone();
+        forged[6] = KernelFamilyId::UsGrid.tag();
+        assert!(PortableKernel::from_bytes(&forged).is_err());
+        let mut forged = wire;
+        forged[6] = KernelFamilyId::Stencil.tag();
+        assert!(PortableKernel::from_bytes(&forged).is_err());
     }
 
     #[test]
@@ -683,7 +879,7 @@ mod tests {
         // A frame whose expression payload starts with an unknown tag.
         let packed = jacobi_portable();
         let name_len = "jacobi-5pt".len();
-        let expr_start = 4 + 2 + 1 + 8 + 8 + 16 + 8 + 4 + name_len;
+        let expr_start = 4 + 2 + 1 + 1 + 8 + 8 + 16 + 8 + 4 + name_len;
         let mut wire = packed.to_bytes();
         wire[expr_start] = 99;
         assert!(matches!(PortableKernel::from_bytes(&wire), Err(PortableError::BadExpr(_))));
@@ -692,7 +888,7 @@ mod tests {
     #[test]
     fn inconsistent_dags_are_refused() {
         use crate::expr::BinOp;
-        let p = StencilProgram::jacobi_5pt();
+        let p = FamilyProgram::from(StencilProgram::jacobi_5pt());
         let nx_ny = Extent::new2d(8, 8);
 
         // A DAG loading an offset the program never references.

@@ -80,6 +80,26 @@ impl ProgramFingerprint {
     pub fn from_u128(v: u128) -> Self {
         ProgramFingerprint { hi: (v >> 64) as u64, lo: v as u64 }
     }
+
+    /// Fingerprint a domain-tagged byte stream with the same
+    /// independently-seeded double-FNV-1a construction
+    /// [`StencilProgram::fingerprint`] uses, absorbing `tag` before the
+    /// stream — the per-family domain separation of the non-stencil kernel
+    /// families (see [`crate::family`]).  The stencil path does **not** go
+    /// through here, so its fingerprints are byte-for-byte unchanged.
+    pub(crate) fn of_tagged_stream(tag: u8, encode: impl FnOnce(&mut dyn FnMut(&[u8]))) -> Self {
+        let mut lo = FNV_OFFSET;
+        let mut hi = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+        let mut write = |bytes: &[u8]| {
+            for &b in bytes {
+                lo = (lo ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+                hi = (hi ^ u64::from(b ^ 0xa5)).wrapping_mul(FNV_PRIME);
+            }
+        };
+        write(&[tag]);
+        encode(&mut write);
+        ProgramFingerprint { hi, lo }
+    }
 }
 
 impl fmt::Display for ProgramFingerprint {

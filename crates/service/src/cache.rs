@@ -43,7 +43,8 @@
 
 use aohpc_env::Extent;
 use aohpc_kernel::{
-    CompiledKernel, OptLevel, PlanSource, PortableKernel, ProgramFingerprint, StencilProgram,
+    CompiledKernel, FamilyArtifact, FamilyProgram, KernelFamilyId, OptLevel, PlanSource,
+    PortableKernel, ProgramFingerprint, StencilProgram,
 };
 use parking_lot::Mutex;
 use serde::Serialize;
@@ -55,9 +56,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 /// Cache key: what makes two compilations interchangeable.
+///
+/// The family tag makes cross-family collisions structurally impossible: even
+/// if two programs of different families produced the same fingerprint (the
+/// fingerprints are already domain-separated per family), their keys differ.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PlanKey {
-    /// Structural fingerprint of the program (name-independent).
+    /// Which kernel family the plan belongs to.
+    pub family: KernelFamilyId,
+    /// Structural fingerprint of the program (name-independent,
+    /// domain-separated per family).
     pub fingerprint: ProgramFingerprint,
     /// Block width the plan was compiled for.
     pub nx: usize,
@@ -69,8 +77,14 @@ pub struct PlanKey {
 
 impl PlanKey {
     /// The key `(program, extent, level)` resolves under.
-    pub fn of(program: &StencilProgram, extent: Extent, level: OptLevel) -> Self {
-        PlanKey { fingerprint: program.fingerprint(), nx: extent.nx, ny: extent.ny, level }
+    pub fn of(program: &FamilyProgram, extent: Extent, level: OptLevel) -> Self {
+        PlanKey {
+            family: program.family(),
+            fingerprint: program.fingerprint(),
+            nx: extent.nx,
+            ny: extent.ny,
+            level,
+        }
     }
 }
 
@@ -86,11 +100,31 @@ pub enum PlanOrigin {
     Fetched,
 }
 
+/// Per-family slice of the hit/miss ledger (indexed by
+/// [`KernelFamilyId::tag`] in [`PlanCacheStats::family`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct FamilyLaneStats {
+    /// Lookups of this family served from a resident entry or a shared
+    /// flight.
+    pub hits: u64,
+    /// Lookups of this family that went past the local shards.
+    pub misses: u64,
+}
+
+impl std::ops::Add for FamilyLaneStats {
+    type Output = FamilyLaneStats;
+
+    fn add(self, rhs: FamilyLaneStats) -> FamilyLaneStats {
+        FamilyLaneStats { hits: self.hits + rhs.hits, misses: self.misses + rhs.misses }
+    }
+}
+
 /// Counters of one cache (point-in-time snapshot).
 ///
-/// Invariant: `misses == compiles + fetches` — every miss is resolved by
+/// Invariants: `misses == compiles + fetches` — every miss is resolved by
 /// exactly one of the two non-cache sources (collision fall-throughs count a
-/// miss *and* a compile, keeping the identity).
+/// miss *and* a compile, keeping the identity) — and the global `hits` /
+/// `misses` each equal the sum of their per-family lanes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct PlanCacheStats {
     /// Lookups that found a live entry (or joined an in-progress flight for
@@ -112,6 +146,16 @@ pub struct PlanCacheStats {
     pub entries: usize,
     /// Resident entries currently pinned.
     pub pinned_entries: usize,
+    /// Hit/miss attribution per kernel family, indexed by
+    /// [`KernelFamilyId::tag`] (use [`PlanCacheStats::for_family`]).
+    pub family: [FamilyLaneStats; 3],
+}
+
+impl PlanCacheStats {
+    /// The hit/miss lane of one kernel family.
+    pub fn for_family(&self, family: KernelFamilyId) -> FamilyLaneStats {
+        self.family[family.tag() as usize]
+    }
 }
 
 /// Element-wise sum — the aggregation the cluster layer folds per-node
@@ -129,6 +173,11 @@ impl std::ops::Add for PlanCacheStats {
             collisions: self.collisions + rhs.collisions,
             entries: self.entries + rhs.entries,
             pinned_entries: self.pinned_entries + rhs.pinned_entries,
+            family: [
+                self.family[0] + rhs.family[0],
+                self.family[1] + rhs.family[1],
+                self.family[2] + rhs.family[2],
+            ],
         }
     }
 }
@@ -219,17 +268,18 @@ impl EvictionPolicy for CostAwarePolicy {
 /// the fabric is shutting down, or the fetch failed; the cache then compiles.
 pub trait PlanFetcher: Send + Sync {
     /// Fetch the portable form of the plan for `key`, or `None` to make the
-    /// cache compile locally.  `program` is the requesting program — wire
-    /// protocols ship it so the owner can compile a plan it never saw.
-    fn fetch(&self, key: &PlanKey, program: &StencilProgram) -> Option<PortableKernel>;
+    /// cache compile locally.  `program` is the requesting program (any
+    /// family) — wire protocols ship it so the owner can compile a plan it
+    /// never saw.
+    fn fetch(&self, key: &PlanKey, program: &FamilyProgram) -> Option<PortableKernel>;
 }
 
 struct Entry {
-    /// The program the kernel was compiled from, kept to verify hits:
+    /// The program the artifact was compiled from, kept to verify hits:
     /// FNV-1a fingerprints are not collision-resistant, and in a multi-tenant
     /// cache a false hit would silently serve another tenant's kernel.
-    program: StencilProgram,
-    kernel: Arc<CompiledKernel>,
+    program: FamilyProgram,
+    artifact: FamilyArtifact,
     meta: EntryMeta,
 }
 
@@ -241,7 +291,7 @@ struct Shard {
 /// What one shard probe found.
 enum Resident {
     /// A structurally verified entry (recency/pin updated, hit metered).
-    Hit(Arc<CompiledKernel>),
+    Hit(FamilyArtifact),
     /// A fingerprint collision: the slot is taken by a different program.
     Collision,
 }
@@ -252,9 +302,9 @@ enum Resident {
 /// flight can also **abort** (its leader panicked mid-resolution): waiters
 /// observe `None` and retry the whole resolution rather than hanging on a
 /// result that will never come.
-/// A settled flight's payload: the leader's program + kernel, or `None` if
+/// A settled flight's payload: the leader's program + artifact, or `None` if
 /// the leader failed before resolving.
-type FlightResult = Option<(StencilProgram, Arc<CompiledKernel>)>;
+type FlightResult = Option<(FamilyProgram, FamilyArtifact)>;
 
 struct Flight {
     /// `None` = in progress; `Some(None)` = aborted; `Some(Some(..))` = done.
@@ -267,10 +317,10 @@ impl Flight {
         Arc::new(Flight { done: StdMutex::new(None), cv: Condvar::new() })
     }
 
-    fn complete(&self, program: StencilProgram, kernel: Arc<CompiledKernel>) {
+    fn complete(&self, program: FamilyProgram, artifact: FamilyArtifact) {
         let mut done = self.done.lock().unwrap_or_else(|p| p.into_inner());
         if done.is_none() {
-            *done = Some(Some((program, kernel)));
+            *done = Some(Some((program, artifact)));
         }
         drop(done);
         self.cv.notify_all();
@@ -288,13 +338,13 @@ impl Flight {
 
     /// Block until the flight settles; `None` means the leader failed and
     /// the caller must retry resolution itself.
-    fn wait(&self) -> Option<(StencilProgram, Arc<CompiledKernel>)> {
+    fn wait(&self) -> Option<(FamilyProgram, FamilyArtifact)> {
         let mut done = self.done.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if let Some(settled) = done.as_ref() {
                 return settled
                     .as_ref()
-                    .map(|(program, kernel)| (program.clone(), Arc::clone(kernel)));
+                    .map(|(program, artifact)| (program.clone(), artifact.clone()));
             }
             done = self.cv.wait(done).unwrap_or_else(|p| p.into_inner());
         }
@@ -338,6 +388,9 @@ pub struct PlanCache {
     fetches: AtomicU64,
     evictions: AtomicU64,
     collisions: AtomicU64,
+    /// Per-family hit/miss attribution, indexed by [`KernelFamilyId::tag`].
+    family_hits: [AtomicU64; 3],
+    family_misses: [AtomicU64; 3],
 }
 
 impl PlanCache {
@@ -364,6 +417,8 @@ impl PlanCache {
             fetches: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             collisions: AtomicU64::new(0),
+            family_hits: Default::default(),
+            family_misses: Default::default(),
         }
     }
 
@@ -385,31 +440,47 @@ impl PlanCache {
         &self.shards[(hasher.finish() as usize) % self.shards.len()]
     }
 
-    /// Resolve the plan for `(program, extent, level)`, compiling on a miss.
+    /// Meter a hit: the global counter plus the key's family lane.
+    fn meter_hit(&self, key: &PlanKey) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.family_hits[key.family.tag() as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Meter a miss: the global counter plus the key's family lane.
+    fn meter_miss(&self, key: &PlanKey) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.family_misses[key.family.tag() as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Resolve the plan for a **stencil** `(program, extent, level)`,
+    /// compiling on a miss.
     ///
     /// Returns the shared kernel and whether the lookup was a hit — the
-    /// compatibility wrapper over [`PlanCache::resolve`].
+    /// stencil compatibility wrapper over the family-generic
+    /// [`PlanCache::resolve`].
     pub fn get_or_compile(
         &self,
         program: &StencilProgram,
         extent: Extent,
         level: OptLevel,
     ) -> (Arc<CompiledKernel>, bool) {
-        let (kernel, origin) = self.resolve(program, extent, level, false);
-        (kernel, origin == PlanOrigin::Hit)
+        let (artifact, origin) =
+            self.resolve(&FamilyProgram::from(program.clone()), extent, level, false);
+        (artifact.expect_stencil(), origin == PlanOrigin::Hit)
     }
 
-    /// Resolve the plan for `(program, extent, level)` through the full
-    /// chain: local shard → in-progress flight → cluster fetch → compile.
-    /// `pin` marks the entry pinned (set by hot-tenant sessions); pins stick
-    /// until [`PlanCache::unpin`] or eviction-under-total-pin-pressure.
+    /// Resolve the plan for `(program, extent, level)` — any kernel family —
+    /// through the full chain: local shard → in-progress flight → cluster
+    /// fetch → compile.  `pin` marks the entry pinned (set by hot-tenant
+    /// sessions); pins stick until [`PlanCache::unpin`] or
+    /// eviction-under-total-pin-pressure.
     pub fn resolve(
         &self,
-        program: &StencilProgram,
+        program: &FamilyProgram,
         extent: Extent,
         level: OptLevel,
         pin: bool,
-    ) -> (Arc<CompiledKernel>, PlanOrigin) {
+    ) -> (FamilyArtifact, PlanOrigin) {
         let key = PlanKey::of(program, extent, level);
         // The loop restarts resolution when a joined flight aborts (its
         // leader panicked): the failed leader's guard removed the flight, so
@@ -419,9 +490,12 @@ impl PlanCache {
 
             // Stage 1: the local shard.
             match self.probe_resident(&key, program, now, pin) {
-                Some(Resident::Hit(kernel)) => return (kernel, PlanOrigin::Hit),
+                Some(Resident::Hit(artifact)) => return (artifact, PlanOrigin::Hit),
                 Some(Resident::Collision) => {
-                    return (self.collision_compile(program, extent, level), PlanOrigin::Compiled)
+                    return (
+                        self.collision_compile(&key, program, extent, level),
+                        PlanOrigin::Compiled,
+                    )
                 }
                 None => {}
             }
@@ -435,16 +509,16 @@ impl PlanCache {
                         let flight = Arc::clone(flight);
                         drop(flights);
                         match flight.wait() {
-                            Some((leader_program, kernel)) => {
+                            Some((leader_program, artifact)) => {
                                 if leader_program.same_structure(program) {
                                     // Metered like a shard hit: the plan was
                                     // resolved once and this lookup shared it.
-                                    self.hits.fetch_add(1, Ordering::Relaxed);
+                                    self.meter_hit(&key);
                                     self.touch(&key, now, pin);
-                                    return (kernel, PlanOrigin::Hit);
+                                    return (artifact, PlanOrigin::Hit);
                                 }
                                 return (
-                                    self.collision_compile(program, extent, level),
+                                    self.collision_compile(&key, program, extent, level),
                                     PlanOrigin::Compiled,
                                 );
                             }
@@ -470,12 +544,12 @@ impl PlanCache {
         &self,
         flight: Arc<Flight>,
         key: PlanKey,
-        program: &StencilProgram,
+        program: &FamilyProgram,
         extent: Extent,
         level: OptLevel,
         now: u64,
         pin: bool,
-    ) -> (Arc<CompiledKernel>, PlanOrigin) {
+    ) -> (FamilyArtifact, PlanOrigin) {
         // However this leader exits — including a panic inside the fetcher
         // or the compiler — the guard settles the flight and removes it, so
         // waiters retry instead of hanging and the key never wedges.
@@ -486,21 +560,24 @@ impl PlanCache {
         // entry and retired its flight.  Without this check that window
         // would compile the same key twice.
         match self.probe_resident(&key, program, now, pin) {
-            Some(Resident::Hit(kernel)) => {
+            Some(Resident::Hit(artifact)) => {
                 // Wake any joiners (they verify structure themselves); the
                 // probe already verified the resident entry is structurally
                 // identical to `program`, so complete with it directly.
                 // The guard retires the flight.
-                flight.complete(program.clone(), Arc::clone(&kernel));
-                return (kernel, PlanOrigin::Hit);
+                flight.complete(program.clone(), artifact.clone());
+                return (artifact, PlanOrigin::Hit);
             }
             Some(Resident::Collision) => {
                 // The resident entry collides with *this* program, but it is
                 // exactly what same-key joiners asked the flight for.
                 if let Some(entry) = self.shard_for(&key).lock().entries.get(&key) {
-                    flight.complete(entry.program.clone(), Arc::clone(&entry.kernel));
+                    flight.complete(entry.program.clone(), entry.artifact.clone());
                 }
-                return (self.collision_compile(program, extent, level), PlanOrigin::Compiled);
+                return (
+                    self.collision_compile(&key, program, extent, level),
+                    PlanOrigin::Compiled,
+                );
             }
             None => {}
         }
@@ -509,7 +586,7 @@ impl PlanCache {
         // whose own threads are resolving against this cache.  Counters move
         // only once the resolution succeeded, so `misses == compiles +
         // fetches` holds even across leader panics.
-        let mut resolved: Option<(StencilProgram, Arc<CompiledKernel>, PlanOrigin)> = None;
+        let mut resolved: Option<(FamilyProgram, FamilyArtifact, PlanOrigin)> = None;
         if let Some(fetcher) = &self.fetcher {
             if let Some(portable) = fetcher.fetch(&key, program) {
                 // Trust nothing off the wire: the portable form must be the
@@ -521,23 +598,23 @@ impl PlanCache {
                     && portable.extent() == extent
                     && portable.level() == level
                 {
-                    let (remote_program, kernel) = portable.hydrate();
-                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let (remote_program, artifact) = portable.hydrate();
+                    self.meter_miss(&key);
                     self.fetches.fetch_add(1, Ordering::Relaxed);
-                    resolved = Some((remote_program, kernel, PlanOrigin::Fetched));
+                    resolved = Some((remote_program, artifact, PlanOrigin::Fetched));
                 }
             }
         }
-        let (entry_program, kernel, origin) = resolved.unwrap_or_else(|| {
-            let kernel = Arc::new(CompiledKernel::compile(program, extent, level));
-            self.misses.fetch_add(1, Ordering::Relaxed);
+        let (entry_program, artifact, origin) = resolved.unwrap_or_else(|| {
+            let artifact = program.compile(extent, level);
+            self.meter_miss(&key);
             self.compiles.fetch_add(1, Ordering::Relaxed);
-            (program.clone(), kernel, PlanOrigin::Compiled)
+            (program.clone(), artifact, PlanOrigin::Compiled)
         });
 
         // Publish: insert into the shard (evicting by policy), then complete
         // the flight.  Insert-before-complete means no lookup can miss both.
-        let cost = (kernel.plan().cells() * kernel.plan().offsets.len().max(1)) as u64;
+        let cost = artifact.cost();
         {
             let mut shard = self.shard_for(&key).lock();
             if shard.entries.len() >= self.shard_capacity && !shard.entries.contains_key(&key) {
@@ -558,13 +635,13 @@ impl PlanCache {
                 key,
                 Entry {
                     program: entry_program.clone(),
-                    kernel: Arc::clone(&kernel),
+                    artifact: artifact.clone(),
                     meta: EntryMeta { last_used: now, uses: 1, cost, pinned: pin },
                 },
             );
         }
-        flight.complete(entry_program, Arc::clone(&kernel));
-        (kernel, origin)
+        flight.complete(entry_program, artifact.clone());
+        (artifact, origin)
     }
 
     /// One shard probe: a verified hit (meta touched), a fingerprint
@@ -572,7 +649,7 @@ impl PlanCache {
     fn probe_resident(
         &self,
         key: &PlanKey,
-        program: &StencilProgram,
+        program: &FamilyProgram,
         now: u64,
         pin: bool,
     ) -> Option<Resident> {
@@ -586,8 +663,8 @@ impl PlanCache {
             entry.meta.last_used = now;
             entry.meta.uses += 1;
             entry.meta.pinned |= pin;
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            Some(Resident::Hit(Arc::clone(&entry.kernel)))
+            self.meter_hit(key);
+            Some(Resident::Hit(entry.artifact.clone()))
         } else {
             Some(Resident::Collision)
         }
@@ -598,14 +675,15 @@ impl PlanCache {
     /// correct kernel).
     fn collision_compile(
         &self,
-        program: &StencilProgram,
+        key: &PlanKey,
+        program: &FamilyProgram,
         extent: Extent,
         level: OptLevel,
-    ) -> Arc<CompiledKernel> {
+    ) -> FamilyArtifact {
         self.collisions.fetch_add(1, Ordering::Relaxed);
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.meter_miss(key);
         self.compiles.fetch_add(1, Ordering::Relaxed);
-        Arc::new(CompiledKernel::compile(program, extent, level))
+        program.compile(extent, level)
     }
 
     /// Refresh recency (and optionally pin) after a flight-shared resolve.
@@ -678,6 +756,10 @@ impl PlanCache {
                 p + shard.entries.values().filter(|entry| entry.meta.pinned).count(),
             )
         });
+        let lane = |i: usize| FamilyLaneStats {
+            hits: self.family_hits[i].load(Ordering::Relaxed),
+            misses: self.family_misses[i].load(Ordering::Relaxed),
+        };
         PlanCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -687,6 +769,7 @@ impl PlanCache {
             collisions: self.collisions.load(Ordering::Relaxed),
             entries,
             pinned_entries,
+            family: [lane(0), lane(1), lane(2)],
         }
     }
 }
@@ -699,6 +782,17 @@ impl PlanSource for PlanCache {
         level: OptLevel,
     ) -> Arc<CompiledKernel> {
         self.get_or_compile(program, extent, level).0
+    }
+
+    /// Every family resolves through the cache — not just stencils — so the
+    /// apps of all three DSLs share the compile-once/fetch-everywhere path.
+    fn family_plan_for(
+        &self,
+        program: &FamilyProgram,
+        extent: Extent,
+        level: OptLevel,
+    ) -> FamilyArtifact {
+        self.resolve(program, extent, level, false).0
     }
 }
 
@@ -717,12 +811,17 @@ impl fmt::Debug for PlanCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aohpc_kernel::{load, param, StencilProgram};
+    use aohpc_kernel::{load, param, ParticleProgram, StencilProgram, UsGridProgram};
     use std::sync::atomic::AtomicUsize;
     use std::thread;
 
     fn program(name: &str, dx: i64) -> StencilProgram {
         StencilProgram::new(name, load(0, 0) + load(dx, 0) * param(0), 1).unwrap()
+    }
+
+    /// Wrap a stencil program for the family-generic resolve surface.
+    fn fam(p: &StencilProgram) -> FamilyProgram {
+        FamilyProgram::from(p.clone())
     }
 
     /// A program whose plan cost scales with its live offset count.
@@ -786,7 +885,7 @@ mod tests {
         cache.get_or_compile(&p3, ext, OptLevel::Full);
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().evictions, 1);
-        let key = |p: &StencilProgram| PlanKey::of(p, ext, OptLevel::Full);
+        let key = |p: &StencilProgram| PlanKey::of(&fam(p), ext, OptLevel::Full);
         assert!(cache.contains(&key(&p1)), "recently used survives");
         assert!(!cache.contains(&key(&p2)), "LRU entry evicted");
         assert!(cache.contains(&key(&p3)));
@@ -805,7 +904,7 @@ mod tests {
         let expensive = wide_program("expensive", 6); // 7 live offsets
         let cheap1 = program("cheap1", 1); // 2 live offsets
         let cheap2 = program("cheap2", 2);
-        let key = |p: &StencilProgram| PlanKey::of(p, ext, OptLevel::Full);
+        let key = |p: &StencilProgram| PlanKey::of(&fam(p), ext, OptLevel::Full);
 
         let cost_aware = PlanCache::with_policy(1, 2, Arc::new(CostAwarePolicy));
         assert_eq!(cost_aware.policy_name(), "cost-aware");
@@ -832,10 +931,10 @@ mod tests {
         let ext = Extent::new2d(8, 8);
         let cache = PlanCache::new(1, 2);
         let (hot, cold, newcomer) = (program("hot", 1), program("cold", 2), program("p", 3));
-        let key = |p: &StencilProgram| PlanKey::of(p, ext, OptLevel::Full);
+        let key = |p: &StencilProgram| PlanKey::of(&fam(p), ext, OptLevel::Full);
 
         // Resolve-with-pin (the hot-session path) pins the entry.
-        cache.resolve(&hot, ext, OptLevel::Full, true);
+        cache.resolve(&fam(&hot), ext, OptLevel::Full, true);
         cache.get_or_compile(&cold, ext, OptLevel::Full);
         // `hot` is the LRU entry, but it is pinned: `cold` goes instead.
         cache.get_or_compile(&newcomer, ext, OptLevel::Full);
@@ -860,11 +959,11 @@ mod tests {
     fn all_pinned_shard_still_bounds_capacity() {
         let ext = Extent::new2d(8, 8);
         let cache = PlanCache::new(1, 2);
-        cache.resolve(&program("a", 1), ext, OptLevel::Full, true);
-        cache.resolve(&program("b", 2), ext, OptLevel::Full, true);
+        cache.resolve(&fam(&program("a", 1)), ext, OptLevel::Full, true);
+        cache.resolve(&fam(&program("b", 2)), ext, OptLevel::Full, true);
         // Both residents pinned: the policy abstains, the LRU fallback still
         // evicts so the shard cannot grow without bound.
-        cache.resolve(&program("c", 3), ext, OptLevel::Full, true);
+        cache.resolve(&fam(&program("c", 3)), ext, OptLevel::Full, true);
         assert_eq!(cache.len(), 2, "capacity bound holds under total pin pressure");
         assert_eq!(cache.stats().evictions, 1);
     }
@@ -928,14 +1027,14 @@ mod tests {
     }
 
     impl PlanFetcher for ScriptedFetcher {
-        fn fetch(&self, key: &PlanKey, program: &StencilProgram) -> Option<PortableKernel> {
+        fn fetch(&self, key: &PlanKey, program: &FamilyProgram) -> Option<PortableKernel> {
             self.calls.fetch_add(1, Ordering::SeqCst);
             if !self.serve {
                 return None;
             }
             let extent = Extent::new2d(key.nx, key.ny);
-            let kernel = CompiledKernel::compile(program, extent, key.level);
-            Some(PortableKernel::from_compiled(program, &kernel, key.level))
+            let artifact = program.compile(extent, key.level);
+            Some(PortableKernel::from_compiled(program, &artifact, key.level))
         }
     }
 
@@ -944,13 +1043,14 @@ mod tests {
         let fetcher = Arc::new(ScriptedFetcher { calls: AtomicUsize::new(0), serve: true });
         let cache = PlanCache::new(2, 8).with_fetcher(Arc::clone(&fetcher) as Arc<dyn PlanFetcher>);
         let p = StencilProgram::jacobi_5pt();
-        let (kernel, origin) = cache.resolve(&p, Extent::new2d(8, 8), OptLevel::Full, false);
+        let (artifact, origin) =
+            cache.resolve(&fam(&p), Extent::new2d(8, 8), OptLevel::Full, false);
         assert_eq!(origin, PlanOrigin::Fetched);
-        assert_eq!(kernel.extent(), Extent::new2d(8, 8));
+        assert_eq!(artifact.extent(), Extent::new2d(8, 8));
         assert_eq!(fetcher.calls.load(Ordering::SeqCst), 1);
 
         // The fetched plan is resident: the next lookup never re-fetches.
-        let (_, origin) = cache.resolve(&p, Extent::new2d(8, 8), OptLevel::Full, false);
+        let (_, origin) = cache.resolve(&fam(&p), Extent::new2d(8, 8), OptLevel::Full, false);
         assert_eq!(origin, PlanOrigin::Hit);
         assert_eq!(fetcher.calls.load(Ordering::SeqCst), 1, "hits skip the chain");
 
@@ -961,6 +1061,7 @@ mod tests {
         // The fetched plan matches a local compilation bit-for-bit — DAG
         // included (the sender's optimization travelled; it did not re-run).
         let local = CompiledKernel::compile(&p, Extent::new2d(8, 8), OptLevel::Full);
+        let kernel = artifact.expect_stencil();
         assert_eq!(kernel.tape(), local.tape());
         assert_eq!(kernel.dag(), local.dag());
     }
@@ -973,7 +1074,7 @@ mod tests {
     }
 
     impl PlanFetcher for PanicOnceFetcher {
-        fn fetch(&self, _key: &PlanKey, _program: &StencilProgram) -> Option<PortableKernel> {
+        fn fetch(&self, _key: &PlanKey, _program: &FamilyProgram) -> Option<PortableKernel> {
             if !self.panicked.swap(true, Ordering::SeqCst) {
                 panic!("fetcher exploded mid-flight");
             }
@@ -991,15 +1092,15 @@ mod tests {
         // The first resolve leads a flight whose resolution panics; the
         // flight guard must settle and retire the flight on the way out.
         let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            cache.resolve(&p, ext, OptLevel::Full, false)
+            cache.resolve(&fam(&p), ext, OptLevel::Full, false)
         }));
         assert!(unwound.is_err(), "the panic propagates to the caller");
 
         // The key is not wedged: the next resolve leads a fresh flight and
         // compiles normally (the fetcher now declines).
-        let (_, origin) = cache.resolve(&p, ext, OptLevel::Full, false);
+        let (_, origin) = cache.resolve(&fam(&p), ext, OptLevel::Full, false);
         assert_eq!(origin, PlanOrigin::Compiled);
-        let (_, origin) = cache.resolve(&p, ext, OptLevel::Full, false);
+        let (_, origin) = cache.resolve(&fam(&p), ext, OptLevel::Full, false);
         assert_eq!(origin, PlanOrigin::Hit);
 
         // The panicked attempt moved no counters: the ledger still ties.
@@ -1013,7 +1114,7 @@ mod tests {
         let fetcher = Arc::new(ScriptedFetcher { calls: AtomicUsize::new(0), serve: false });
         let cache = PlanCache::new(2, 8).with_fetcher(Arc::clone(&fetcher) as Arc<dyn PlanFetcher>);
         let p = StencilProgram::jacobi_5pt();
-        let (_, origin) = cache.resolve(&p, Extent::new2d(8, 8), OptLevel::Full, false);
+        let (_, origin) = cache.resolve(&fam(&p), Extent::new2d(8, 8), OptLevel::Full, false);
         assert_eq!(origin, PlanOrigin::Compiled);
         assert_eq!(fetcher.calls.load(Ordering::SeqCst), 1, "the chain consulted the fetcher");
         let stats = cache.stats();
@@ -1027,7 +1128,7 @@ mod tests {
     struct WrongShapeFetcher;
 
     impl PlanFetcher for WrongShapeFetcher {
-        fn fetch(&self, _key: &PlanKey, program: &StencilProgram) -> Option<PortableKernel> {
+        fn fetch(&self, _key: &PlanKey, program: &FamilyProgram) -> Option<PortableKernel> {
             Some(PortableKernel::pack(program, Extent::new2d(2, 2), OptLevel::Full))
         }
     }
@@ -1036,11 +1137,83 @@ mod tests {
     fn mismatched_fetch_results_are_discarded() {
         let cache = PlanCache::new(2, 8).with_fetcher(Arc::new(WrongShapeFetcher));
         let p = StencilProgram::jacobi_5pt();
-        let (kernel, origin) = cache.resolve(&p, Extent::new2d(8, 8), OptLevel::Full, false);
+        let (artifact, origin) =
+            cache.resolve(&fam(&p), Extent::new2d(8, 8), OptLevel::Full, false);
         assert_eq!(origin, PlanOrigin::Compiled, "bad fetch falls through to compile");
-        assert_eq!(kernel.extent(), Extent::new2d(8, 8), "the local compile is correctly shaped");
+        assert_eq!(artifact.extent(), Extent::new2d(8, 8), "the local compile is correctly shaped");
         assert_eq!(cache.stats().fetches, 0);
         assert_eq!(cache.stats().compiles, 1);
+    }
+
+    #[test]
+    fn families_share_one_cache_without_colliding() {
+        let cache = PlanCache::new(4, 16);
+        let ext = Extent::new2d(8, 8);
+        let stencil = FamilyProgram::from(StencilProgram::jacobi_5pt());
+        let particle = FamilyProgram::from(ParticleProgram::pair_sweep());
+        let usgrid = FamilyProgram::from(UsGridProgram::jacobi4());
+
+        // Keys never collide across families, even at identical shapes.
+        let keys = [
+            PlanKey::of(&stencil, ext, OptLevel::Full),
+            PlanKey::of(&particle, ext, OptLevel::Full),
+            PlanKey::of(&usgrid, ext, OptLevel::Full),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a.family, b.family);
+                assert_ne!(a.fingerprint, b.fingerprint, "fingerprints are domain-separated");
+            }
+        }
+
+        // Three distinct plans resolve into three entries; reuse hits.
+        for p in [&stencil, &particle, &usgrid] {
+            let (_, origin) = cache.resolve(p, ext, OptLevel::Full, false);
+            assert_eq!(origin, PlanOrigin::Compiled);
+            let (artifact, origin) = cache.resolve(p, ext, OptLevel::Full, false);
+            assert_eq!(origin, PlanOrigin::Hit);
+            assert_eq!(artifact.family(), p.family(), "the artifact is the program's own family");
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits, stats.entries), (3, 3, 3));
+        assert_eq!(stats.collisions, 0);
+
+        // Attribution: one miss + one hit per family lane, and the lanes sum
+        // to the global counters.
+        for family in KernelFamilyId::all() {
+            assert_eq!(stats.for_family(family), FamilyLaneStats { hits: 1, misses: 1 });
+        }
+        assert_eq!(stats.family.iter().map(|l| l.hits).sum::<u64>(), stats.hits);
+        assert_eq!(stats.family.iter().map(|l| l.misses).sum::<u64>(), stats.misses);
+    }
+
+    #[test]
+    fn family_artifacts_survive_a_fetch_roundtrip() {
+        // The chained fetcher serves particle and usgrid plans through the
+        // same portable wire form the cluster uses.
+        let fetcher = Arc::new(ScriptedFetcher { calls: AtomicUsize::new(0), serve: true });
+        let cache = PlanCache::new(2, 8).with_fetcher(Arc::clone(&fetcher) as Arc<dyn PlanFetcher>);
+        let ext = Extent::new2d(8, 8);
+        for program in [
+            FamilyProgram::from(ParticleProgram::pair_sweep()),
+            FamilyProgram::from(UsGridProgram::jacobi4()),
+        ] {
+            let (artifact, origin) = cache.resolve(&program, ext, OptLevel::Full, false);
+            assert_eq!(origin, PlanOrigin::Fetched);
+            assert_eq!(artifact.family(), program.family());
+            let local = program.compile(ext, OptLevel::Full);
+            match (&artifact, &local) {
+                (FamilyArtifact::Particle(a), FamilyArtifact::Particle(b)) => {
+                    assert_eq!(a.as_ref(), b.as_ref())
+                }
+                (FamilyArtifact::UsGrid(a), FamilyArtifact::UsGrid(b)) => {
+                    assert_eq!(a.as_ref(), b.as_ref())
+                }
+                other => panic!("unexpected artifact pairing: {other:?}"),
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.fetches, stats.compiles), (2, 2, 0));
     }
 
     #[test]

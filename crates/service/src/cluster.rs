@@ -46,7 +46,7 @@ use crate::cache::{EvictionPolicy, LruPolicy, PlanCache, PlanCacheStats, PlanFet
 use crate::job::{JobHandle, JobReport, JobSpec};
 use crate::service::{KernelService, ServiceClock, ServiceConfig, SubmitError};
 use crate::session::{CompletionStream, SessionCtx, SessionId, SessionMeter, SessionSpec};
-use aohpc_kernel::{OptLevel, PortableKernel, StencilProgram};
+use aohpc_kernel::{FamilyProgram, OptLevel, PortableKernel};
 use aohpc_runtime::{CommProbe, CommStats, Communicator, ControlHandle};
 use aohpc_testalloc::sync::FakeClock;
 use std::collections::hash_map::DefaultHasher;
@@ -79,6 +79,7 @@ fn owner_of(key: &PlanKey, ranks: usize) -> usize {
         ^ ((fp >> 64) as u64)
         ^ ((key.nx as u64) << 32)
         ^ (key.ny as u64)
+        ^ ((key.family.tag() as u64) << 48)
         ^ match key.level {
             OptLevel::None => 0,
             OptLevel::Full => 1 << 16,
@@ -176,7 +177,7 @@ pub struct ClusterFetcher {
 }
 
 impl PlanFetcher for ClusterFetcher {
-    fn fetch(&self, key: &PlanKey, program: &StencilProgram) -> Option<PortableKernel> {
+    fn fetch(&self, key: &PlanKey, program: &FamilyProgram) -> Option<PortableKernel> {
         if self.ranks <= 1 || self.shutting_down.load(Ordering::SeqCst) {
             return None;
         }
@@ -234,7 +235,7 @@ fn fabric_loop(mut comm: Communicator<f64>, cache: Arc<PlanCache>, pending: Arc<
                         // carries the *compiled* form — optimized DAG
                         // attached — so the requester skips the optimizer
                         // and only re-lowers plan and tape.
-                        let (kernel, _) = cache.resolve(
+                        let (artifact, _) = cache.resolve(
                             portable.program(),
                             portable.extent(),
                             portable.level(),
@@ -242,7 +243,7 @@ fn fabric_loop(mut comm: Communicator<f64>, cache: Arc<PlanCache>, pending: Arc<
                         );
                         let compiled = PortableKernel::from_compiled(
                             portable.program(),
-                            &kernel,
+                            &artifact,
                             portable.level(),
                         );
                         reply.push(1);
@@ -537,7 +538,7 @@ mod tests {
 
     #[test]
     fn owners_are_deterministic_and_in_range() {
-        let p = aohpc_kernel::StencilProgram::jacobi_5pt();
+        let p = FamilyProgram::from(aohpc_kernel::StencilProgram::jacobi_5pt());
         for ranks in 1..=7 {
             for nx in [4usize, 8, 16] {
                 let key = PlanKey::of(&p, aohpc_env::Extent::new2d(nx, nx), OptLevel::Full);

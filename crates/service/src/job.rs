@@ -17,7 +17,10 @@
 //! worker slot, the outcome still settles all accounting.
 
 use crate::session::SessionId;
-use aohpc_kernel::{OptLevel, ProgramFingerprint, SchedulePolicy, StencilProgram};
+use aohpc_kernel::{
+    FamilyProgram, OptLevel, ParticleProgram, ProgramFingerprint, SchedulePolicy, StencilProgram,
+    UsGridProgram,
+};
 use aohpc_runtime::{CompletionSlot, Progress, ProgressNotifier, RunSummary, Topology, WeaveMode};
 use aohpc_workloads::{RegionSize, Scale};
 use serde::Serialize;
@@ -32,19 +35,63 @@ use std::time::Duration;
 /// Identifier of a job within one [`KernelService`](crate::KernelService).
 pub type JobId = u64;
 
+/// Why a [`JobSpec`] is malformed — detected by [`JobSpec::validate`] at
+/// build/admission time instead of a downstream panic inside a worker.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum JobSpecError {
+    /// `with_block(0)`: a zero block side cannot tile any region.
+    ZeroBlock,
+    /// `with_steps(0)`: a zero-step job would sweep nothing.
+    ZeroSteps,
+    /// The region has a zero side.
+    EmptyRegion,
+    /// Fewer parameters than the program declares (including an empty
+    /// `params` vector for a program that needs any).
+    MissingParams {
+        /// The submitted program's name.
+        program: String,
+        /// How many parameters it declares.
+        declared: usize,
+        /// How many were given.
+        given: usize,
+    },
+}
+
+impl fmt::Display for JobSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobSpecError::ZeroBlock => write!(f, "block side length must be non-zero"),
+            JobSpecError::ZeroSteps => write!(f, "step count must be non-zero"),
+            JobSpecError::EmptyRegion => write!(f, "region must be non-empty"),
+            JobSpecError::MissingParams { program, declared, given } => {
+                write!(f, "program {program} declares {declared} parameters, {given} given")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobSpecError {}
+
 /// One unit of work a tenant submits.
 #[derive(Debug, Clone)]
 pub struct JobSpec {
-    /// The subkernel to execute.
-    pub program: StencilProgram,
+    /// The subkernel to execute — any [`FamilyProgram`] (stencil, particle,
+    /// unstructured-grid).  Constructors take `impl Into<FamilyProgram>`, so
+    /// existing `JobSpec::new(StencilProgram, ..)` call sites compile
+    /// unchanged.
+    pub program: FamilyProgram,
     /// Runtime parameters (must cover `program.num_params()`).
     pub params: Vec<f64>,
-    /// Region the job sweeps.
+    /// Region the job sweeps: grid cells for stencil/usgrid jobs, the
+    /// neighbour-bucket grid for particle jobs.
     pub region: RegionSize,
     /// Block side length the region is partitioned into.
     pub block: usize,
     /// Time steps to run.
     pub steps: usize,
+    /// Particle count for particle-family jobs (`None` uses a fill-derived
+    /// default; ignored by the other families).
+    pub particles: Option<usize>,
     /// Optimization level for the compiled plan.
     pub opt_level: OptLevel,
     /// Which backend executes which block.
@@ -57,13 +104,14 @@ pub struct JobSpec {
 
 impl JobSpec {
     /// A serial, fully-optimized job over `region` (block 8, one step).
-    pub fn new(program: StencilProgram, params: Vec<f64>, region: RegionSize) -> Self {
+    pub fn new(program: impl Into<FamilyProgram>, params: Vec<f64>, region: RegionSize) -> Self {
         JobSpec {
-            program,
+            program: program.into(),
             params,
             region,
             block: 8,
             steps: 1,
+            particles: None,
             opt_level: OptLevel::Full,
             policy: SchedulePolicy::default(),
             topology: Topology::serial(),
@@ -85,9 +133,59 @@ impl JobSpec {
             .with_steps(scale.service_steps())
     }
 
+    /// The stock bucketed pair-sweep particle job sized for a [`Scale`]
+    /// (params: cutoff radius, dt).  The region is the same bucket grid
+    /// `ParticleSystem::paper` derives for the count, so service runs match
+    /// the direct DSL path bit-for-bit.
+    pub fn particle(scale: Scale) -> Self {
+        let count = scale.scaling_particles();
+        let system = aohpc_dsl::ParticleSystem::paper(count);
+        let region = RegionSize { nx: system.buckets_x, ny: system.buckets_y };
+        JobSpec::new(ParticleProgram::pair_sweep(), vec![1.0, 1e-3], region)
+            .with_block(8)
+            .with_steps(scale.service_steps())
+            .with_particles(count.count)
+    }
+
+    /// The stock 4-neighbour unstructured-grid sweep sized for a [`Scale`]
+    /// (params: alpha, beta — the paper's Jacobi weights).
+    pub fn usgrid(scale: Scale) -> Self {
+        JobSpec::new(UsGridProgram::jacobi4(), vec![0.5, 0.125], scale.service_region())
+            .with_block(scale.service_block_size())
+            .with_steps(scale.service_steps())
+    }
+
+    /// Check the spec is well-formed (the typed admission gate; the service
+    /// wraps failures in [`SubmitError::InvalidJob`](crate::SubmitError)).
+    pub fn validate(&self) -> Result<(), JobSpecError> {
+        if self.params.len() < self.program.num_params() {
+            return Err(JobSpecError::MissingParams {
+                program: self.program.name().to_string(),
+                declared: self.program.num_params(),
+                given: self.params.len(),
+            });
+        }
+        if self.block == 0 {
+            return Err(JobSpecError::ZeroBlock);
+        }
+        if self.steps == 0 {
+            return Err(JobSpecError::ZeroSteps);
+        }
+        if self.region.nx == 0 || self.region.ny == 0 {
+            return Err(JobSpecError::EmptyRegion);
+        }
+        Ok(())
+    }
+
     /// Set the block side length.
     pub fn with_block(mut self, block: usize) -> Self {
         self.block = block;
+        self
+    }
+
+    /// Set the particle count (particle-family jobs).
+    pub fn with_particles(mut self, particles: usize) -> Self {
+        self.particles = Some(particles);
         self
     }
 
@@ -417,7 +515,7 @@ mod tests {
     #[test]
     fn scale_sized_stock_jobs() {
         for scale in [Scale::Smoke, Scale::Default, Scale::Paper] {
-            for spec in [JobSpec::jacobi(scale), JobSpec::smooth(scale)] {
+            for spec in [JobSpec::jacobi(scale), JobSpec::smooth(scale), JobSpec::usgrid(scale)] {
                 assert_eq!(spec.region, scale.service_region());
                 assert_eq!(spec.block, scale.service_block_size());
                 assert_eq!(spec.steps, scale.service_steps());
@@ -429,5 +527,48 @@ mod tests {
             JobSpec::jacobi(Scale::Smoke).program.fingerprint(),
             JobSpec::smooth(Scale::Smoke).program.fingerprint(),
         );
+    }
+
+    #[test]
+    fn stock_jobs_cover_every_family() {
+        use aohpc_kernel::KernelFamilyId;
+        let jacobi = JobSpec::jacobi(Scale::Smoke);
+        let particle = JobSpec::particle(Scale::Smoke);
+        let usgrid = JobSpec::usgrid(Scale::Smoke);
+        assert_eq!(jacobi.program.family(), KernelFamilyId::Stencil);
+        assert_eq!(particle.program.family(), KernelFamilyId::Particle);
+        assert_eq!(usgrid.program.family(), KernelFamilyId::UsGrid);
+        // The particle region is the bucket grid the DSL derives itself.
+        let system = aohpc_dsl::ParticleSystem::paper(Scale::Smoke.scaling_particles());
+        assert_eq!(particle.region.nx, system.buckets_x);
+        assert_eq!(particle.region.ny, system.buckets_y);
+        assert_eq!(particle.particles, Some(Scale::Smoke.scaling_particles().count));
+        for spec in [jacobi, particle, usgrid] {
+            spec.validate().expect("stock jobs are well-formed");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_malformed_specs_with_typed_errors() {
+        let good = JobSpec::jacobi(Scale::Smoke);
+        assert_eq!(good.clone().with_block(0).validate(), Err(JobSpecError::ZeroBlock));
+        assert_eq!(good.clone().with_steps(0).validate(), Err(JobSpecError::ZeroSteps));
+        let mut empty = good.clone();
+        empty.region = RegionSize { nx: 0, ny: 8 };
+        assert_eq!(empty.validate(), Err(JobSpecError::EmptyRegion));
+        let mut starved = good;
+        starved.params = Vec::new();
+        match starved.validate() {
+            Err(JobSpecError::MissingParams { declared, given, .. }) => {
+                assert_eq!((declared, given), (2, 0));
+            }
+            other => panic!("expected MissingParams, got {other:?}"),
+        }
+        // Display keeps the substrings the admission tests (and users' error
+        // matching) rely on.
+        assert!(JobSpecError::ZeroBlock.to_string().contains("block"));
+        assert!(JobSpecError::MissingParams { program: "p".into(), declared: 2, given: 0 }
+            .to_string()
+            .contains("parameters"));
     }
 }

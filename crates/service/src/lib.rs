@@ -9,16 +9,22 @@
 //!   submission flows through: environment and metadata key-value stores,
 //!   accumulated metering, and parent/child nesting for scoped sub-sessions.
 //! * [`PlanCache`] — a sharded, policy-bounded cache of compiled execution
-//!   plans, keyed by the structural [`ProgramFingerprint`] plus block shape
-//!   and optimization level.  Concurrent tenants submitting the same
-//!   mathematics share one `Arc<CompiledKernel>`; resolution is
-//!   single-flight per key and chains local shard → cluster fetch
-//!   ([`PlanFetcher`]) → compile.  Eviction is pluggable
-//!   ([`EvictionPolicy`]: [`LruPolicy`] default, [`CostAwarePolicy`], entry
-//!   pinning for hot sessions).
-//! * [`JobSpec`] / [`JobReport`] — the submission unit (program, region,
-//!   blocking, steps, schedule policy, topology, weave mode) and its result
-//!   (field checksum, deterministic simulated time, run digest).
+//!   plans for **every kernel family** ([`KernelFamilyId`]: stencil,
+//!   particle, usgrid), keyed by the structural [`ProgramFingerprint`] plus
+//!   family tag, block shape and optimization level.  Concurrent tenants
+//!   submitting the same mathematics share one compiled
+//!   [`aohpc_kernel::FamilyArtifact`]; resolution is single-flight per key
+//!   and chains local shard → cluster fetch ([`PlanFetcher`]) → compile.
+//!   Eviction is pluggable ([`EvictionPolicy`]: [`LruPolicy`] default,
+//!   [`CostAwarePolicy`], entry pinning for hot sessions), and
+//!   [`PlanCacheStats::for_family`] breaks hits/misses down per family.
+//! * [`JobSpec`] / [`JobReport`] — the submission unit (a [`FamilyProgram`]
+//!   of any family, region, blocking, steps, schedule policy, topology,
+//!   weave mode) and its result (field checksum, deterministic simulated
+//!   time, run digest).  Malformed specs are rejected at admission with a
+//!   typed [`JobSpecError`].  Stock constructors cover all three families:
+//!   [`JobSpec::jacobi`] / [`JobSpec::smooth`] (stencil),
+//!   [`JobSpec::particle`], [`JobSpec::usgrid`].
 //! * [`KernelService`] — the front door: `open_session` → `submit` /
 //!   `try_submit` / `submit_timeout` / `submit_batch`, with per-session
 //!   admission quotas applied as **backpressure** and a bounded
@@ -84,18 +90,22 @@ pub mod service;
 pub mod session;
 
 pub use cache::{
-    CostAwarePolicy, EntryMeta, EvictionPolicy, LruPolicy, PlanCache, PlanCacheStats, PlanFetcher,
-    PlanKey, PlanOrigin,
+    CostAwarePolicy, EntryMeta, EvictionPolicy, FamilyLaneStats, LruPolicy, PlanCache,
+    PlanCacheStats, PlanFetcher, PlanKey, PlanOrigin,
 };
 pub use cluster::{ClusterCacheStats, ClusterCommStats, ClusterService, ClusterSessionId};
 pub use job::{
-    JobError, JobErrorKind, JobHandle, JobId, JobOutcome, JobReport, JobSpec, JobStatus,
+    JobError, JobErrorKind, JobHandle, JobId, JobOutcome, JobReport, JobSpec, JobSpecError,
+    JobStatus,
 };
 pub use service::{AdmissionStats, BatchError, KernelService, ServiceConfig, SubmitError};
 pub use session::{CompletionStream, SessionCtx, SessionId, SessionMeter, SessionSpec};
 
-// Re-exported so service callers can name the fingerprint type without
-// depending on `aohpc-kernel` directly — and the runtime's progress type,
-// which `JobHandle::progress` returns.
-pub use aohpc_kernel::ProgramFingerprint;
+// Re-exported so service callers can name the program/fingerprint types
+// without depending on `aohpc-kernel` directly — and the runtime's progress
+// type, which `JobHandle::progress` returns.
+pub use aohpc_kernel::{
+    FamilyProgram, KernelFamilyId, ParticleProgram, ProgramFingerprint, StencilProgram,
+    UsGridProgram,
+};
 pub use aohpc_runtime::Progress;

@@ -1,0 +1,53 @@
+//! One service, every DSL: a heterogeneous mix of stencil, particle and
+//! usgrid jobs submitted through a single [`KernelService`], with the plan
+//! cache's per-family lanes showing how each workload was compiled and
+//! shared.
+//!
+//! ```sh
+//! AOHPC_SCALE=smoke cargo run --release --example family_mix
+//! ```
+
+use aohpc::prelude::*;
+
+fn main() {
+    let scale = Scale::from_env();
+    let service = KernelService::new(ServiceConfig::for_scale(scale));
+    let session = service.open_session(SessionSpec::tenant("family-mix"));
+
+    // Two of each family, interleaved: the second submission of each family
+    // hits the plan its first compiled.
+    let jobs = vec![
+        JobSpec::jacobi(scale),
+        JobSpec::particle(scale),
+        JobSpec::usgrid(scale),
+        JobSpec::jacobi(scale),
+        JobSpec::particle(scale),
+        JobSpec::usgrid(scale),
+    ];
+    let submitted = jobs.len();
+    println!("submitting     : {submitted} jobs across 3 kernel families at scale `{scale}`");
+    service.submit_batch(session, jobs).expect("admission");
+
+    let reports = service.drain();
+    assert_eq!(reports.len(), submitted);
+    for report in &reports {
+        assert!(report.error.is_none(), "job failed: {:?}", report.error);
+        println!(
+            "  job {:>2}       : {:<20} checksum {:>18.6}  cache {}",
+            report.job,
+            report.program,
+            report.checksum,
+            if report.plan_cache_hit { "hit" } else { "miss" },
+        );
+    }
+
+    let stats = service.cache_stats();
+    println!("plan cache     : {} entries, {} compiles", stats.entries, stats.compiles);
+    for family in KernelFamilyId::all() {
+        let lane = stats.for_family(family);
+        println!("  {family:?} lane : {} hits / {} misses", lane.hits, lane.misses);
+        assert_eq!(lane.misses, 1, "each family compiles its plan exactly once");
+        assert!(lane.hits >= 1, "each family's repeat submission hits");
+    }
+    println!("ok             : three families, one pipeline, one cache");
+}

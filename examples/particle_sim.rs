@@ -12,7 +12,7 @@ use aohpc::prelude::*;
 use std::sync::Arc;
 
 fn run(mode: ExecutionMode) -> (f64, f64, usize) {
-    let system = ParticleSystem::for_particles(ParticleSize::new(1 << 11));
+    let system = ParticleSystem::paper(ParticleSize::new(1 << 11));
     let sink = new_field_sink();
     let app = ParticleApp::new(system.clone(), 5).with_sink(sink.clone());
     let outcome = Platform::new(mode).with_mmat(false).run_system(Arc::new(system), app.factory());
@@ -23,7 +23,7 @@ fn run(mode: ExecutionMode) -> (f64, f64, usize) {
 /// Run the migration extension with a uniform drift and report how many
 /// particles exist and how many buckets changed occupancy.
 fn run_migration(mode: ExecutionMode) -> (f64, usize, usize) {
-    let mut system = ParticleSystem::for_particles(ParticleSize::new(1 << 10));
+    let mut system = ParticleSystem::paper(ParticleSize::new(1 << 10));
     system.fill_per_bucket = 4;
     let count_sink = new_field_sink();
     let initial_fill = system.fill_per_bucket as f64;

@@ -171,7 +171,7 @@ fn particle_migration_is_mode_invariant_and_conservative() {
     let run = |mode: ExecutionMode| {
         // 64 buckets at a quarter of the capacity (4 per bucket) = 256
         // particles; low density keeps wall pile-up below the bucket capacity.
-        let mut system = ParticleSystem::for_particles(ParticleSize::new(256));
+        let mut system = ParticleSystem::paper(ParticleSize::new(256));
         system.fill_per_bucket = 4;
         let count_sink = new_field_sink();
         let app = ParticleApp::new(system.clone(), 4)

@@ -153,7 +153,7 @@ fn more_parallelism_reduces_simulated_time_for_all_dsls() {
         pairs.push((t(mode1), t(mode4)));
         // Particle
         let t = |mode: ExecutionMode| {
-            let system = ParticleSystem::for_particles(ParticleSize::new(4096));
+            let system = ParticleSystem::paper(ParticleSize::new(4096));
             let app = ParticleApp::new(system.clone(), 3);
             Platform::new(mode).run_system(Arc::new(system), app.factory()).simulated_seconds
         };

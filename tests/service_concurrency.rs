@@ -137,6 +137,7 @@ fn distinct_shapes_do_not_collide() {
     assert_eq!(service.cache_stats().misses, 3, "three distinct plan keys");
     let cache = service.plan_cache();
     assert!(cache.contains(&PlanKey {
+        family: base.program.family(),
         fingerprint: base.program.fingerprint(),
         nx: base.block,
         ny: base.block,
