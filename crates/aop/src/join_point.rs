@@ -132,6 +132,25 @@ pub mod attr {
     pub const PARALLELISM: &str = "parallelism";
     /// 1 if the dispatch happens during warm-up (dry-run), 0 otherwise.
     pub const WARMUP: &str = "warmup";
+    /// Trace id correlating spans across layers (observability dispatches).
+    pub const TRACE: &str = "trace";
+    /// Span id of the enclosing span (observability dispatches).
+    pub const PARENT: &str = "parent";
+    /// Service job id.
+    pub const JOB: &str = "job";
+    /// Kernel family tag (0 = stencil, 1 = particle, 2 = usgrid).
+    pub const FAMILY: &str = "family";
+    /// Plan resolution origin (0 = hit, 1 = compiled, 2 = fetched); set by
+    /// the dispatched body for around advice to read after `proceed`.
+    pub const ORIGIN: &str = "origin";
+    /// Block index within a kernel sweep.
+    pub const BLOCK: &str = "block";
+    /// Number of cells processed by the dispatched operation.
+    pub const CELLS: &str = "cells";
+    /// Cluster node / rank involved in the dispatched operation.
+    pub const NODE: &str = "node";
+    /// 1 if the dispatched operation succeeded, 0 otherwise; set by the body.
+    pub const OK: &str = "ok";
 }
 
 /// Per-join-point dispatch counters.

@@ -46,10 +46,55 @@ pub const REFRESH: &str = "Memory::refresh";
 /// Warm-up invocation (the `WarmUp(Kernel)` macro of Listing 1).
 pub const WARM_UP: &str = "Annotation::WarmUp";
 
+/// Execution of one job through the service front door (`execute_spec`).
+///
+/// Advised by the observability layer (`aohpc-obs`) to open a per-job span
+/// and meter end-to-end execution time.  Attrs: `trace`, `parent`, `job`,
+/// `family`.
+pub const SERVICE_EXECUTE: &str = "Service::execute_spec";
+
+/// Execution of one block of kernel work inside a task sweep.
+///
+/// Dispatched by `TaskCtx::run_block` only when at least one advice matches
+/// (so unadvised runs pay nothing).  Attrs: `task_id`, `step`, `block`,
+/// `cells`.
+pub const KERNEL_BLOCK: &str = "Kernel::execute_block";
+
+/// Call of the plan cache's `resolve` (hit / cluster-fetch / compile chain).
+///
+/// The body publishes the resolution origin back through the `origin` attr so
+/// around advice can record which lane served the plan.  Attrs: `trace`,
+/// `parent`, `family`, `origin` (set by the body).
+pub const CACHE_RESOLVE: &str = "PlanCache::resolve";
+
+/// Call of a cross-node plan fetch (`PLAN_REQ` round-trip, requester side).
+///
+/// Attrs: `trace`, `parent`, `node`, `ok` (set by the body: 1 = plan
+/// received, 0 = declined / timed out).
+pub const CLUSTER_PLAN_REQ: &str = "Cluster::plan_req";
+
+/// Execution of a plan-request service (`PLAN_REP` production, owner side).
+///
+/// Attrs: `node`, `ok`.
+pub const CLUSTER_PLAN_REP: &str = "Cluster::plan_rep";
+
 /// All names, useful for exhaustiveness checks in tests and for the weave
 /// report.
-pub const ALL_JOIN_POINTS: &[&str] =
-    &[MAIN, INITIALIZE, PROCESSING, FINALIZE, KERNEL_STEP, GET_BLOCKS, REFRESH, WARM_UP];
+pub const ALL_JOIN_POINTS: &[&str] = &[
+    MAIN,
+    INITIALIZE,
+    PROCESSING,
+    FINALIZE,
+    KERNEL_STEP,
+    GET_BLOCKS,
+    REFRESH,
+    WARM_UP,
+    SERVICE_EXECUTE,
+    KERNEL_BLOCK,
+    CACHE_RESOLVE,
+    CLUSTER_PLAN_REQ,
+    CLUSTER_PLAN_REP,
+];
 
 #[cfg(test)]
 mod tests {
@@ -62,6 +107,6 @@ mod tests {
             assert!(n.contains("::"), "join point {n} must be namespaced");
             assert!(seen.insert(*n), "duplicate join point name {n}");
         }
-        assert_eq!(ALL_JOIN_POINTS.len(), 8);
+        assert_eq!(ALL_JOIN_POINTS.len(), 13);
     }
 }

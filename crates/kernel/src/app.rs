@@ -267,33 +267,40 @@ impl HpcApp<f64> for IrStencilApp {
             let compiled = self.compiled_for(ext);
             let (nx, ny) = (ext.nx, ext.ny);
 
-            // 1. Gather the block's current values (GetDD fast path).
-            scratch.cells.resize(nx * ny, 0.0);
-            for idx in 0..nx * ny {
-                let la = ext.delinearize(idx);
-                scratch.cells[idx] = ctx.get_dd(bid, la);
-            }
+            // The whole gather → execute → write-back unit runs through the
+            // `Kernel::execute_block` join point, so instrumentation aspects
+            // can bracket real per-block work; with no matching advice this
+            // is a plain call.
+            ctx.run_block(bid as i64, nx * ny, |ctx| {
+                // 1. Gather the block's current values (GetDD fast path).
+                scratch.cells.resize(nx * ny, 0.0);
+                for idx in 0..nx * ny {
+                    let la = ext.delinearize(idx);
+                    scratch.cells[idx] = ctx.get_dd(bid, la);
+                }
 
-            // 2. Execute on the assigned backend; halo loads go back through
-            //    the platform so MMAT / Env-search semantics are preserved.
-            scratch.out.resize(nx * ny, 0.0);
-            let mut stats = ExecStats::default();
-            let KernelScratch { exec, cells, out, .. } = &mut scratch;
-            compiled.execute_block(
-                cells,
-                &self.params,
-                &mut |x, y| ctx.get(bid, LocalAddress::new2d(x, y), false),
-                out,
-                processor,
-                &mut stats,
-                exec,
-            );
-            step_stats.record(processor, &stats);
+                // 2. Execute on the assigned backend; halo loads go back
+                //    through the platform so MMAT / Env-search semantics are
+                //    preserved.
+                scratch.out.resize(nx * ny, 0.0);
+                let mut stats = ExecStats::default();
+                let KernelScratch { exec, cells, out, .. } = &mut scratch;
+                compiled.execute_block(
+                    cells,
+                    &self.params,
+                    &mut |x, y| ctx.get(bid, LocalAddress::new2d(x, y), false),
+                    out,
+                    processor,
+                    &mut stats,
+                    exec,
+                );
+                step_stats.record(processor, &stats);
 
-            // 3. Write the next-step values back (SetD).
-            for (idx, &value) in scratch.out.iter().enumerate() {
-                ctx.set(bid, ext.delinearize(idx), value);
-            }
+                // 3. Write the next-step values back (SetD).
+                for (idx, &value) in scratch.out.iter().enumerate() {
+                    ctx.set(bid, ext.delinearize(idx), value);
+                }
+            });
         }
         ctx.put_scratch(scratch);
         if let Some(sink) = &self.stats_sink {

@@ -1,0 +1,342 @@
+//! The instrumentation aspects: how observability is *woven*, not inserted.
+//!
+//! Per the paper's thesis, cross-cutting concerns attach at join points
+//! instead of being hand-threaded through every call site.  Two aspect
+//! modules cover the stack:
+//!
+//! - [`ObsServiceAspect`] advises the service-plane join points
+//!   ([`names::SERVICE_EXECUTE`], [`names::CACHE_RESOLVE`],
+//!   [`names::CLUSTER_PLAN_REQ`], [`names::CLUSTER_PLAN_REP`]).  One
+//!   instance is woven into the service's own program at construction; the
+//!   dispatch sites pass trace/parent ids as integer attributes, so this
+//!   module needs no service types at all.
+//! - [`ObsRunAspect`] advises the kernel-plane join points
+//!   ([`names::KERNEL_STEP`], [`names::KERNEL_BLOCK`]) and is woven *per
+//!   job* with the job's trace and root-span ids baked in, so spans emitted
+//!   from rank/worker threads (which have no thread-local context) still
+//!   parent correctly into the job tree.
+//!
+//! Both aspects use precedence 10 (outer), so their spans wrap any
+//! domain advice (MPI/OMP modules) at shared join points.
+
+use crate::trace::OpenSpan;
+use crate::ObsHub;
+use aohpc_aop::{attr, names, Advice, AdviceBinding, Aspect, Pointcut};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Aspect precedence for observability modules (outer position).
+pub const OBS_PRECEDENCE: i32 = 10;
+
+/// Service-plane instrumentation: job execution, plan resolution, and
+/// cluster plan traffic.
+pub struct ObsServiceAspect {
+    hub: Arc<ObsHub>,
+}
+
+impl ObsServiceAspect {
+    /// An aspect recording into `hub`.
+    pub fn new(hub: Arc<ObsHub>) -> Self {
+        ObsServiceAspect { hub }
+    }
+}
+
+fn ctx_ids(ctx: &aohpc_aop::JoinPointCtx<'_>) -> (u64, u64) {
+    let trace = ctx.attr(attr::TRACE).unwrap_or(0).max(0) as u64;
+    let parent = ctx.attr(attr::PARENT).unwrap_or(0).max(0) as u64;
+    (trace, parent)
+}
+
+impl Aspect for ObsServiceAspect {
+    fn name(&self) -> &str {
+        "obs-service"
+    }
+
+    fn precedence(&self) -> i32 {
+        OBS_PRECEDENCE
+    }
+
+    fn bindings(&self) -> Vec<AdviceBinding> {
+        let exec_hub = Arc::clone(&self.hub);
+        let resolve_hub = Arc::clone(&self.hub);
+        let req_hub = Arc::clone(&self.hub);
+        let rep_hub = Arc::clone(&self.hub);
+        vec![
+            AdviceBinding::new(
+                Pointcut::execution(names::SERVICE_EXECUTE),
+                Advice::around(move |ctx, proceed| {
+                    let (trace, parent) = ctx_ids(ctx);
+                    let open = exec_hub.recorder().start(names::SERVICE_EXECUTE, trace, parent);
+                    proceed(ctx);
+                    let family = ctx.attr(attr::FAMILY).unwrap_or(-1);
+                    let job = ctx.attr(attr::JOB).unwrap_or(-1);
+                    exec_hub
+                        .metrics()
+                        .execute_ns
+                        .record(exec_hub.recorder().now_nanos().saturating_sub(open.start_ns));
+                    exec_hub.recorder().end_with(open, family, job);
+                }),
+            ),
+            AdviceBinding::new(
+                Pointcut::call(names::CACHE_RESOLVE),
+                Advice::around(move |ctx, proceed| {
+                    let (trace, parent) = ctx_ids(ctx);
+                    let open = resolve_hub.recorder().start(names::CACHE_RESOLVE, trace, parent);
+                    proceed(ctx);
+                    // The body publishes how the plan was obtained.
+                    let origin = ctx.attr(attr::ORIGIN).unwrap_or(-1);
+                    let family = ctx.attr(attr::FAMILY).unwrap_or(-1);
+                    resolve_hub
+                        .metrics()
+                        .resolve_ns
+                        .record(resolve_hub.recorder().now_nanos().saturating_sub(open.start_ns));
+                    resolve_hub.recorder().end_with(open, origin, family);
+                }),
+            ),
+            AdviceBinding::new(
+                Pointcut::call(names::CLUSTER_PLAN_REQ),
+                Advice::around(move |ctx, proceed| {
+                    let (trace, parent) = ctx_ids(ctx);
+                    let open = req_hub.recorder().start(names::CLUSTER_PLAN_REQ, trace, parent);
+                    proceed(ctx);
+                    let ok = ctx.attr(attr::OK).unwrap_or(0);
+                    let node = ctx.attr(attr::NODE).unwrap_or(-1);
+                    req_hub
+                        .metrics()
+                        .plan_fetch_ns
+                        .record(req_hub.recorder().now_nanos().saturating_sub(open.start_ns));
+                    req_hub.recorder().end_with(open, ok, node);
+                }),
+            ),
+            AdviceBinding::new(
+                Pointcut::execution(names::CLUSTER_PLAN_REP),
+                Advice::around(move |ctx, proceed| {
+                    // Serve side runs on a fabric thread with no job context;
+                    // the span is a trace root keyed by the serving node.
+                    let (trace, parent) = ctx_ids(ctx);
+                    let open = rep_hub.recorder().start(names::CLUSTER_PLAN_REP, trace, parent);
+                    proceed(ctx);
+                    let ok = ctx.attr(attr::OK).unwrap_or(0);
+                    let node = ctx.attr(attr::NODE).unwrap_or(-1);
+                    rep_hub
+                        .metrics()
+                        .plan_serve_ns
+                        .record(rep_hub.recorder().now_nanos().saturating_sub(open.start_ns));
+                    rep_hub.recorder().end_with(open, node, ok);
+                }),
+            ),
+        ]
+    }
+}
+
+type StepTable = Mutex<HashMap<i64, (OpenSpan, i64, i64)>>;
+
+struct RunState {
+    steps: StepTable,
+}
+
+/// Per-job kernel-plane instrumentation: superstep and block spans.
+///
+/// Constructed in the service's per-job weave with the job's trace and root
+/// span ids; keep a [`RunFinisher`] (via [`ObsRunAspect::finisher`]) to close
+/// the final step spans once the run returns.
+pub struct ObsRunAspect {
+    hub: Arc<ObsHub>,
+    trace: u64,
+    job_span: u64,
+    state: Arc<RunState>,
+}
+
+impl ObsRunAspect {
+    /// An aspect parenting all spans under (`trace`, `job_span`).
+    pub fn new(hub: Arc<ObsHub>, trace: u64, job_span: u64) -> Self {
+        ObsRunAspect {
+            hub,
+            trace,
+            job_span,
+            state: Arc::new(RunState { steps: Mutex::new(HashMap::new()) }),
+        }
+    }
+
+    /// Handle for closing still-open step spans after the run completes.
+    pub fn finisher(&self) -> RunFinisher {
+        RunFinisher { hub: Arc::clone(&self.hub), state: Arc::clone(&self.state) }
+    }
+}
+
+impl Aspect for ObsRunAspect {
+    fn name(&self) -> &str {
+        "obs-run"
+    }
+
+    fn precedence(&self) -> i32 {
+        OBS_PRECEDENCE
+    }
+
+    fn bindings(&self) -> Vec<AdviceBinding> {
+        let step_hub = Arc::clone(&self.hub);
+        let step_state = Arc::clone(&self.state);
+        let block_hub = Arc::clone(&self.hub);
+        let block_state = Arc::clone(&self.state);
+        let trace = self.trace;
+        let job_span = self.job_span;
+        vec![
+            // KERNEL_STEP is dispatched as a marker before the sweep body, so
+            // a step span runs marker-to-marker: before advice closes the
+            // task's previous step span and opens the next one.
+            AdviceBinding::new(
+                Pointcut::execution(names::KERNEL_STEP),
+                Advice::before(move |ctx| {
+                    let task = ctx.attr(attr::TASK_ID).unwrap_or(0);
+                    let step = ctx.attr(attr::STEP).unwrap_or(-1);
+                    let warmup = ctx.attr(attr::WARMUP).unwrap_or(0);
+                    let open = step_hub.recorder().start(names::KERNEL_STEP, trace, job_span);
+                    let prev = step_state.steps.lock().insert(task, (open, step, warmup));
+                    if let Some((prev_open, a, b)) = prev {
+                        step_hub.recorder().end_with(prev_open, a, b);
+                    }
+                }),
+            ),
+            AdviceBinding::new(
+                Pointcut::execution(names::KERNEL_BLOCK),
+                Advice::around(move |ctx, proceed| {
+                    let task = ctx.attr(attr::TASK_ID).unwrap_or(0);
+                    let parent = block_state
+                        .steps
+                        .lock()
+                        .get(&task)
+                        .map(|(open, _, _)| open.span)
+                        .unwrap_or(job_span);
+                    let open = block_hub.recorder().start(names::KERNEL_BLOCK, trace, parent);
+                    proceed(ctx);
+                    let block = ctx.attr(attr::BLOCK).unwrap_or(-1);
+                    let cells = ctx.attr(attr::CELLS).unwrap_or(0);
+                    block_hub.recorder().end_with(open, block, cells);
+                }),
+            ),
+        ]
+    }
+}
+
+/// Closes step spans left open when a run finishes (the final step of every
+/// task has no successor marker to close it).
+pub struct RunFinisher {
+    hub: Arc<ObsHub>,
+    state: Arc<RunState>,
+}
+
+impl RunFinisher {
+    /// End every still-open step span.
+    pub fn finish(&self) {
+        let drained: Vec<(OpenSpan, i64, i64)> =
+            self.state.steps.lock().drain().map(|(_, v)| v).collect();
+        for (open, a, b) in drained {
+            self.hub.recorder().end_with(open, a, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aohpc_aop::{JoinPointKind, Weaver};
+    use aohpc_testalloc::sync::FakeClock;
+    use std::time::Duration;
+
+    fn hub() -> (Arc<FakeClock>, Arc<ObsHub>) {
+        let clock = FakeClock::new();
+        let hub = ObsHub::with_clock(clock.clone());
+        (clock, hub)
+    }
+
+    #[test]
+    fn run_aspect_builds_job_step_block_tree() {
+        let (clock, hub) = hub();
+        let trace = hub.recorder().next_trace_id();
+        let job = hub.recorder().start("Service::job", trace, 0);
+        let aspect = ObsRunAspect::new(Arc::clone(&hub), trace, job.span);
+        let finisher = aspect.finisher();
+        let woven = Weaver::new().with_aspect(Box::new(aspect)).weave();
+
+        for step in 0..2i64 {
+            let mut payload = ();
+            woven.dispatch_with(
+                names::KERNEL_STEP,
+                JoinPointKind::Execution,
+                &[(attr::TASK_ID, 0), (attr::STEP, step), (attr::WARMUP, 0)],
+                &mut payload,
+                &mut |_| {},
+            );
+            clock.advance(Duration::from_nanos(10));
+            for block in 0..2i64 {
+                let mut ran = false;
+                woven.dispatch_with(
+                    names::KERNEL_BLOCK,
+                    JoinPointKind::Execution,
+                    &[(attr::TASK_ID, 0), (attr::BLOCK, block), (attr::CELLS, 64)],
+                    &mut ran,
+                    &mut |ctx| {
+                        clock.advance(Duration::from_nanos(5));
+                        *ctx.payload_mut::<bool>().unwrap() = true;
+                    },
+                );
+                assert!(ran, "instrumentation must not suppress the body");
+            }
+        }
+        finisher.finish();
+        hub.recorder().end(job);
+
+        let spans = hub.recorder().spans();
+        let steps: Vec<_> = spans.iter().filter(|s| s.name == names::KERNEL_STEP).collect();
+        let blocks: Vec<_> = spans.iter().filter(|s| s.name == names::KERNEL_BLOCK).collect();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(blocks.len(), 4);
+        for s in &steps {
+            assert_eq!(s.parent, job.span);
+            assert_eq!(s.trace, trace);
+        }
+        for b in &blocks {
+            assert!(steps.iter().any(|s| s.span == b.parent), "block parents a step span");
+            assert_eq!(b.b, 64);
+        }
+        // First step span was closed by the second marker: it covers the
+        // first step's blocks (10 + 2*5 ns).
+        assert_eq!(steps[0].duration_ns(), 20);
+    }
+
+    #[test]
+    fn service_aspect_reads_body_published_origin() {
+        let (_clock, hub) = hub();
+        let woven =
+            Weaver::new().with_aspect(Box::new(ObsServiceAspect::new(Arc::clone(&hub)))).weave();
+        let mut payload = ();
+        woven.dispatch_with(
+            names::CACHE_RESOLVE,
+            JoinPointKind::Call,
+            &[(attr::TRACE, 9), (attr::PARENT, 1), (attr::FAMILY, 2)],
+            &mut payload,
+            &mut |ctx| ctx.set_attr(attr::ORIGIN, 2),
+        );
+        let spans = hub.recorder().spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, names::CACHE_RESOLVE);
+        assert_eq!(spans[0].trace, 9);
+        assert_eq!(spans[0].parent, 1);
+        assert_eq!(spans[0].a, 2, "origin published by the body");
+        assert_eq!(hub.metrics().resolve_ns.count(), 1);
+    }
+
+    #[test]
+    fn unrelated_join_points_stay_unadvised() {
+        let (_clock, hub) = hub();
+        let woven =
+            Weaver::new().with_aspect(Box::new(ObsServiceAspect::new(Arc::clone(&hub)))).weave();
+        assert_eq!(woven.matching_advice_count(names::REFRESH, JoinPointKind::Call), 0);
+        assert_eq!(woven.matching_advice_count(names::KERNEL_STEP, JoinPointKind::Execution), 0);
+        assert_eq!(
+            woven.matching_advice_count(names::SERVICE_EXECUTE, JoinPointKind::Execution),
+            1
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Time sources for the recorder.
+//!
+//! All observability timestamps flow through the [`Clock`] trait so that
+//! deterministic tests can substitute [`aohpc_testalloc::sync::FakeClock`]
+//! (which implements [`Clock`] here) and get bit-identical traces across
+//! runs, while production installs use [`WallClock`].
+
+use std::time::Instant;
+
+/// A monotonic nanosecond time source.
+///
+/// Implementations must be cheap (called twice per span on the hot path) and
+/// monotonic per thread.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since an arbitrary (per-clock) epoch.
+    fn now_nanos(&self) -> u64;
+}
+
+/// Wall-time clock anchored at construction.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        WallClock { epoch: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+impl Clock for aohpc_testalloc::sync::FakeClock {
+    fn now_nanos(&self) -> u64 {
+        self.now().as_nanos() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aohpc_testalloc::sync::FakeClock;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_nanos();
+        let b = c.now_nanos();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fake_clock_tracks_advances() {
+        let fake = FakeClock::new();
+        let clock: Arc<dyn Clock> = fake.clone();
+        assert_eq!(clock.now_nanos(), 0);
+        fake.advance(Duration::from_nanos(1234));
+        assert_eq!(clock.now_nanos(), 1234);
+    }
+}

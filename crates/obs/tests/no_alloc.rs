@@ -1,0 +1,62 @@
+//! Regression test: the recorder's span path is **zero-alloc** once warm.
+//!
+//! `start` is a clock read + atomic id allocation (no lock, no write);
+//! `end_with` files one `Copy` record into a pre-reserved ring slot.  The
+//! only cold-path allocations are the ring buffers themselves (reserved at
+//! construction) and the first-touch thread-local index, both of which the
+//! warm-up loop below pays for before counting begins.
+//!
+//! Counted with `aohpc-testalloc`'s thread-scoped tracking allocator, so
+//! concurrent libtest harness threads cannot contribute stray counts.
+
+use aohpc_obs::ObsHub;
+use aohpc_testalloc::count_in;
+use aohpc_testalloc::sync::FakeClock;
+
+#[global_allocator]
+static GLOBAL: aohpc_testalloc::CountingAlloc = aohpc_testalloc::CountingAlloc;
+
+#[test]
+fn warm_span_path_is_allocation_free() {
+    let clock = FakeClock::new();
+    let hub = ObsHub::with_clock_and_capacity(clock, 1024);
+    let recorder = hub.recorder();
+    let trace = recorder.next_trace_id();
+
+    // Warm-up: initialize this thread's recorder index and touch the ring.
+    for _ in 0..8 {
+        let open = recorder.start("Obs::warmup", trace, 0);
+        recorder.end(open);
+    }
+
+    let ((), allocs) = count_in(|| {
+        for i in 0..512i64 {
+            let open = recorder.start("Kernel::execute_block", trace, 1);
+            recorder.end_with(open, i, 4096);
+        }
+    });
+    assert_eq!(allocs, 0, "span start/end must not allocate once warm");
+
+    // Overflow (drop-oldest) must also be allocation-free: push far past the
+    // per-shard capacity.
+    let ((), allocs) = count_in(|| {
+        for i in 0..4096i64 {
+            recorder.event("Obs::overflow", trace, 1, i, 0);
+        }
+    });
+    assert_eq!(allocs, 0, "ring overflow path must not allocate");
+    assert!(recorder.dropped() > 0, "overflow must have occurred for this test to bite");
+}
+
+#[test]
+fn warm_histogram_record_is_allocation_free() {
+    let clock = FakeClock::new();
+    let hub = ObsHub::with_clock(clock);
+    hub.metrics().queue_wait_ns.record(1);
+    let ((), allocs) = count_in(|| {
+        for i in 0..512u64 {
+            hub.metrics().queue_wait_ns.record(i * 100);
+        }
+    });
+    assert_eq!(allocs, 0, "histogram record must not allocate");
+}

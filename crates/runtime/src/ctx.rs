@@ -13,7 +13,9 @@
 
 use crate::comm::Communicator;
 use crate::task::{ScratchSlot, TaskSlot, Topology};
-use aohpc_aop::{attr, JoinPointKind, WovenProgram, GET_BLOCKS, KERNEL_STEP, REFRESH, WARM_UP};
+use aohpc_aop::{
+    attr, JoinPointKind, WovenProgram, GET_BLOCKS, KERNEL_BLOCK, KERNEL_STEP, REFRESH, WARM_UP,
+};
 use aohpc_env::{AccessState, BlockId, Cell, Env, GlobalAddress, LocalAddress};
 use aohpc_mem::PageId;
 use parking_lot::Mutex;
@@ -256,6 +258,10 @@ pub struct TaskCtx<C: Cell> {
     shared: Arc<RankShared<C>>,
     woven: WovenProgram,
     use_weaver: bool,
+    /// Whether any advice matches `Kernel::execute_block` — computed once so
+    /// un-instrumented runs skip the block dispatch entirely (no dispatch
+    /// counter bump, no `JoinPointCtx` construction on the per-block path).
+    block_advised: bool,
     /// Task-local access state (counters, MMAT, missing pages).
     pub state: AccessState,
     /// Task-local scratch (reusable kernel working buffers, see
@@ -281,12 +287,15 @@ impl<C: Cell> TaskCtx<C> {
         use_weaver: bool,
         mmat: bool,
     ) -> Self {
+        let block_advised =
+            use_weaver && woven.matching_advice_count(KERNEL_BLOCK, JoinPointKind::Execution) > 0;
         TaskCtx {
             slot,
             env,
             shared,
             woven,
             use_weaver,
+            block_advised,
             state: if mmat { AccessState::with_mmat() } else { AccessState::new() },
             scratch: ScratchSlot::new(),
             progress: None,
@@ -458,6 +467,53 @@ impl<C: Cell> TaskCtx<C> {
             }
         }
         ok
+    }
+
+    /// Execute one block of kernel work through the `Kernel::execute_block`
+    /// join point, so instrumentation aspects (tracing, autotuning) can wrap
+    /// the platform's real per-block work.
+    ///
+    /// Unlike [`TaskCtx::run_kernel_step`], the body runs *inside* the
+    /// dispatch (around advice brackets actual block execution).  When no
+    /// advice matches the join point — the common case — the body is called
+    /// directly with zero dispatch overhead and no dispatch-counter bump.
+    pub fn run_block<R>(
+        &mut self,
+        block: i64,
+        cells: usize,
+        body: impl FnOnce(&mut Self) -> R,
+    ) -> R {
+        if !self.block_advised {
+            return body(self);
+        }
+        let attrs = [
+            (attr::TASK_ID, self.slot.task_id as i64),
+            (attr::STEP, self.step as i64),
+            (attr::WARMUP, i64::from(self.warmup)),
+            (attr::BLOCK, block),
+            (attr::CELLS, cells as i64),
+        ];
+        let woven = self.woven.clone();
+        let mut body = Some(body);
+        let mut result = None;
+        let mut payload = ();
+        woven.dispatch_with(
+            KERNEL_BLOCK,
+            JoinPointKind::Execution,
+            &attrs,
+            &mut payload,
+            &mut |_| {
+                if let Some(b) = body.take() {
+                    result = Some(b(self));
+                }
+            },
+        );
+        // Instrumentation must never change semantics: if an around advice
+        // suppressed the body, run it anyway.
+        if let Some(b) = body.take() {
+            result = Some(b(self));
+        }
+        result.expect("run_block body executes exactly once")
     }
 
     // -- Memory-library Block-based interface -------------------------------
@@ -741,6 +797,63 @@ mod tests {
         assert!(shared.take_missing().is_empty());
         shared.extend_plan(vec![(5, 0), (5, 1), (5, 0)]);
         assert_eq!(shared.plan_snapshot(), vec![(5, 0), (5, 1)]);
+    }
+
+    #[test]
+    fn run_block_skips_dispatch_when_unadvised() {
+        let (env, _) = tiny_env();
+        let mut ctx = serial_ctx(env);
+        let woven = WovenProgram::unwoven();
+        let out = ctx.run_block(3, 16, |_| 7u32);
+        assert_eq!(out, 7);
+        assert_eq!(woven.stats().dispatches(), 0, "no advice => no block dispatch");
+    }
+
+    #[test]
+    fn run_block_dispatches_when_advised() {
+        use aohpc_aop::{Advice, ClosureAspect, Pointcut, Weaver};
+        let (env, ids) = tiny_env();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l = log.clone();
+        let aspect = ClosureAspect::new("block-probe").with_binding(
+            Pointcut::execution(KERNEL_BLOCK),
+            Advice::around(move |ctx, proceed| {
+                l.lock().push(format!(
+                    "block={} cells={}",
+                    ctx.attr(attr::BLOCK).unwrap(),
+                    ctx.attr(attr::CELLS).unwrap()
+                ));
+                proceed(ctx);
+            }),
+        );
+        let woven = Weaver::new().with_aspect(Box::new(aspect)).weave();
+        let topo = Topology::serial();
+        let shared = Arc::new(RankShared::new(topo.clone(), 0, None, true));
+        let mut ctx = TaskCtx::new(topo.slot(0, 0), env, shared, woven.clone(), true, false);
+        // The body runs inside the dispatch and can use the full context.
+        let value = ctx.run_block(5, 16, |ctx| {
+            ctx.set(ids[0], LocalAddress::new2d(0, 0), 2.0);
+            42u32
+        });
+        assert_eq!(value, 42);
+        assert_eq!(log.lock().as_slice(), ["block=5 cells=16"]);
+        assert_eq!(woven.stats().advised_dispatches(), 1);
+    }
+
+    #[test]
+    fn run_block_survives_suppressing_advice() {
+        use aohpc_aop::{Advice, ClosureAspect, Pointcut, Weaver};
+        let (env, _) = tiny_env();
+        let aspect = ClosureAspect::new("suppressor").with_binding(
+            Pointcut::execution(KERNEL_BLOCK),
+            Advice::around(|_ctx, _proceed| { /* never proceeds */ }),
+        );
+        let woven = Weaver::new().with_aspect(Box::new(aspect)).weave();
+        let topo = Topology::serial();
+        let shared = Arc::new(RankShared::new(topo.clone(), 0, None, true));
+        let mut ctx = TaskCtx::new(topo.slot(0, 0), env, shared, woven, true, false);
+        let out = ctx.run_block(0, 4, |_| 11u32);
+        assert_eq!(out, 11, "the body must run even if advice never proceeds");
     }
 
     #[test]

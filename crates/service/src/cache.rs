@@ -760,7 +760,7 @@ impl PlanCache {
             hits: self.family_hits[i].load(Ordering::Relaxed),
             misses: self.family_misses[i].load(Ordering::Relaxed),
         };
-        PlanCacheStats {
+        let stats = PlanCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             compiles: self.compiles.load(Ordering::Relaxed),
@@ -770,7 +770,21 @@ impl PlanCache {
             entries,
             pinned_entries,
             family: [lane(0), lane(1), lane(2)],
-        }
+        };
+        // Ledger invariant: every miss is resolved by exactly one compile or
+        // fetch.  Each resolution meters its miss *before* its compile/fetch
+        // counter, so an in-flight resolution can only leave `misses` ahead —
+        // never behind.  Exact equality (`misses == compiles + fetches`)
+        // holds at quiescence and is cross-checked there by
+        // `aohpc_obs::ObsSnapshot::validate`.
+        debug_assert!(
+            stats.misses >= stats.compiles + stats.fetches,
+            "plan-cache ledger broken: misses {} < compiles {} + fetches {}",
+            stats.misses,
+            stats.compiles,
+            stats.fetches
+        );
+        stats
     }
 }
 

@@ -46,7 +46,12 @@ use crate::cache::{EvictionPolicy, LruPolicy, PlanCache, PlanCacheStats, PlanFet
 use crate::job::{JobHandle, JobReport, JobSpec};
 use crate::service::{KernelService, ServiceClock, ServiceConfig, SubmitError};
 use crate::session::{CompletionStream, SessionCtx, SessionId, SessionMeter, SessionSpec};
+use aohpc_aop::{attr, names, JoinPointKind, Weaver, WovenProgram};
 use aohpc_kernel::{FamilyProgram, OptLevel, PortableKernel};
+use aohpc_obs::{
+    current_context, AdmissionCounters, CacheCounters, CommCounters, JobCounters, ObsHub,
+    ObsServiceAspect, ObsSnapshot,
+};
 use aohpc_runtime::{CommProbe, CommStats, Communicator, ControlHandle};
 use aohpc_testalloc::sync::FakeClock;
 use std::collections::hash_map::DefaultHasher;
@@ -174,18 +179,21 @@ pub struct ClusterFetcher {
     handle: ControlHandle<f64>,
     pending: Arc<PendingReplies>,
     shutting_down: Arc<AtomicBool>,
+    /// When the cluster carries an observer, cross-node requests dispatch
+    /// through this woven program so the obs aspect wraps each round trip in
+    /// a span — parented, via the calling worker's thread-local span
+    /// context, into the requesting job's trace.
+    obs_woven: Option<WovenProgram>,
 }
 
-impl PlanFetcher for ClusterFetcher {
-    fn fetch(&self, key: &PlanKey, program: &FamilyProgram) -> Option<PortableKernel> {
-        if self.ranks <= 1 || self.shutting_down.load(Ordering::SeqCst) {
-            return None;
-        }
-        let owner = owner_of(key, self.ranks);
-        if owner == self.rank {
-            // This node IS the single-flight arbiter: compile locally.
-            return None;
-        }
+impl ClusterFetcher {
+    /// The actual request/reply round trip to the key's owner rank.
+    fn fetch_from(
+        &self,
+        owner: usize,
+        key: &PlanKey,
+        program: &FamilyProgram,
+    ) -> Option<PortableKernel> {
         let (req_id, slot) = self.pending.register();
         let portable =
             PortableKernel::pack(program, aohpc_env::Extent::new2d(key.nx, key.ny), key.level);
@@ -201,6 +209,44 @@ impl PlanFetcher for ClusterFetcher {
     }
 }
 
+impl PlanFetcher for ClusterFetcher {
+    fn fetch(&self, key: &PlanKey, program: &FamilyProgram) -> Option<PortableKernel> {
+        if self.ranks <= 1 || self.shutting_down.load(Ordering::SeqCst) {
+            return None;
+        }
+        let owner = owner_of(key, self.ranks);
+        if owner == self.rank {
+            // This node IS the single-flight arbiter: compile locally.
+            return None;
+        }
+        let Some(woven) = &self.obs_woven else {
+            return self.fetch_from(owner, key, program);
+        };
+        // The declines above are local decisions, not cross-node traffic, so
+        // only a real request gets a span.
+        let (trace, parent) = current_context().unwrap_or((0, 0));
+        let attrs = [
+            (attr::TRACE, trace as i64),
+            (attr::PARENT, parent as i64),
+            (attr::NODE, owner as i64),
+        ];
+        let mut fetched = None;
+        let mut payload = ();
+        woven.dispatch_with(
+            names::CLUSTER_PLAN_REQ,
+            JoinPointKind::Call,
+            &attrs,
+            &mut payload,
+            &mut |ctx| {
+                let plan = self.fetch_from(owner, key, program);
+                ctx.set_attr(attr::OK, i64::from(plan.is_some()));
+                fetched = Some(plan);
+            },
+        );
+        fetched.flatten()
+    }
+}
+
 impl fmt::Debug for ClusterFetcher {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ClusterFetcher")
@@ -210,13 +256,46 @@ impl fmt::Debug for ClusterFetcher {
     }
 }
 
+/// Serve one `PLAN_REQ` payload against the owner's local cache, returning
+/// the reply frame (req id + status byte + compiled portable bytes).
+fn serve_plan_req(cache: &PlanCache, bytes: &[u8]) -> Vec<u8> {
+    let req_id: [u8; 8] = bytes[..8].try_into().expect("eight bytes");
+    let mut reply = req_id.to_vec();
+    match PortableKernel::from_bytes(&bytes[8..]) {
+        Ok(portable) => {
+            // Resolve against the local cache: the owner's local
+            // single-flight makes this the cluster's one compile for the key
+            // (its own fetcher declines owned keys, so no forwarding loop is
+            // possible).  The reply carries the *compiled* form — optimized
+            // DAG attached — so the requester skips the optimizer and only
+            // re-lowers plan and tape.
+            let (artifact, _) =
+                cache.resolve(portable.program(), portable.extent(), portable.level(), false);
+            let compiled =
+                PortableKernel::from_compiled(portable.program(), &artifact, portable.level());
+            reply.push(1);
+            reply.extend_from_slice(&compiled.to_bytes());
+        }
+        Err(_) => reply.push(0),
+    }
+    reply
+}
+
 /// The per-node fabric loop: owns the node's [`Communicator`] endpoint,
 /// serves `PLAN_REQ` frames from its cache and routes `PLAN_REP` frames to
 /// waiting fetchers.  Exits on `TAG_SHUTDOWN` (the only reliable stop
 /// signal — a live endpoint's channel never disconnects, see
 /// [`Communicator::recv_control`]), failing all outstanding requests on the
-/// way out.
-fn fabric_loop(mut comm: Communicator<f64>, cache: Arc<PlanCache>, pending: Arc<PendingReplies>) {
+/// way out.  With an observer, each serve dispatches through `obs_woven` so
+/// the obs aspect records the owner-side serve span (a trace root — the
+/// fabric thread has no job context — keyed by the serving node's rank).
+fn fabric_loop(
+    mut comm: Communicator<f64>,
+    cache: Arc<PlanCache>,
+    pending: Arc<PendingReplies>,
+    obs_woven: Option<WovenProgram>,
+) {
+    let rank = comm.rank() as i64;
     while let Some(frame) = comm.recv_control() {
         match frame.tag {
             TAG_SHUTDOWN => break,
@@ -224,33 +303,26 @@ fn fabric_loop(mut comm: Communicator<f64>, cache: Arc<PlanCache>, pending: Arc<
                 if frame.bytes.len() < 8 {
                     continue; // malformed: no req id to even decline under
                 }
-                let req_id: [u8; 8] = frame.bytes[..8].try_into().expect("eight bytes");
-                let mut reply = req_id.to_vec();
-                match PortableKernel::from_bytes(&frame.bytes[8..]) {
-                    Ok(portable) => {
-                        // Resolve against the local cache: the owner's local
-                        // single-flight makes this the cluster's one compile
-                        // for the key (its own fetcher declines owned keys,
-                        // so no forwarding loop is possible).  The reply
-                        // carries the *compiled* form — optimized DAG
-                        // attached — so the requester skips the optimizer
-                        // and only re-lowers plan and tape.
-                        let (artifact, _) = cache.resolve(
-                            portable.program(),
-                            portable.extent(),
-                            portable.level(),
-                            false,
+                let reply = match &obs_woven {
+                    None => serve_plan_req(&cache, &frame.bytes),
+                    Some(woven) => {
+                        let attrs = [(attr::NODE, rank)];
+                        let mut reply = None;
+                        let mut payload = ();
+                        woven.dispatch_with(
+                            names::CLUSTER_PLAN_REP,
+                            JoinPointKind::Execution,
+                            &attrs,
+                            &mut payload,
+                            &mut |ctx| {
+                                let bytes = serve_plan_req(&cache, &frame.bytes);
+                                ctx.set_attr(attr::OK, i64::from(bytes.get(8) == Some(&1)));
+                                reply = Some(bytes);
+                            },
                         );
-                        let compiled = PortableKernel::from_compiled(
-                            portable.program(),
-                            &artifact,
-                            portable.level(),
-                        );
-                        reply.push(1);
-                        reply.extend_from_slice(&compiled.to_bytes());
+                        reply.expect("serve body runs exactly once")
                     }
-                    Err(_) => reply.push(0),
-                }
+                };
                 // A vanished requester is not an error mid-shutdown.
                 let _ = comm.send_control(frame.from, TAG_PLAN_REP, reply);
             }
@@ -319,13 +391,17 @@ pub struct ClusterService {
     control: Vec<ControlHandle<f64>>,
     fabrics: Vec<JoinHandle<()>>,
     shutting_down: Arc<AtomicBool>,
+    /// The cluster-wide observability hub, when one was installed
+    /// ([`ClusterService::with_observer`]) — shared by every node, so spans
+    /// from all ranks land in one flight recorder.
+    obs: Option<Arc<ObsHub>>,
 }
 
 impl ClusterService {
     /// Start a cluster of `nodes` services, each sized by `config`, with the
     /// default (LRU) eviction policy on every node's plan cache.
     pub fn new(nodes: usize, config: ServiceConfig) -> Self {
-        Self::start(nodes, config, Arc::new(LruPolicy), None)
+        Self::start(nodes, config, Arc::new(LruPolicy), None, None)
     }
 
     /// [`ClusterService::new`] with an explicit eviction policy (shared by
@@ -335,14 +411,33 @@ impl ClusterService {
         config: ServiceConfig,
         policy: Arc<dyn EvictionPolicy>,
     ) -> Self {
-        Self::start(nodes, config, policy, None)
+        Self::start(nodes, config, policy, None, None)
     }
 
     /// A cluster whose nodes' admission deadlines run on one shared
     /// test-controlled [`FakeClock`] (the deterministic-harness seam; see
     /// [`KernelService::with_fake_clock`]).
     pub fn with_fake_clock(nodes: usize, config: ServiceConfig, clock: Arc<FakeClock>) -> Self {
-        Self::start(nodes, config, Arc::new(LruPolicy), Some(clock))
+        Self::start(nodes, config, Arc::new(LruPolicy), Some(clock), None)
+    }
+
+    /// A cluster sharing one observability hub across every node: each job's
+    /// span tree, the cross-node plan requests it triggers, and the peers'
+    /// serve spans all land in the same flight recorder, linked by the job's
+    /// trace id.  Snapshot with [`ClusterService::obs_snapshot`].
+    pub fn with_observer(nodes: usize, config: ServiceConfig, hub: Arc<ObsHub>) -> Self {
+        Self::start(nodes, config, Arc::new(LruPolicy), None, Some(hub))
+    }
+
+    /// [`ClusterService::with_observer`] on a shared fake clock — give the
+    /// hub the same clock for fully deterministic cluster traces.
+    pub fn with_observer_and_clock(
+        nodes: usize,
+        config: ServiceConfig,
+        hub: Arc<ObsHub>,
+        clock: Arc<FakeClock>,
+    ) -> Self {
+        Self::start(nodes, config, Arc::new(LruPolicy), Some(clock), Some(hub))
     }
 
     fn start(
@@ -350,6 +445,7 @@ impl ClusterService {
         config: ServiceConfig,
         policy: Arc<dyn EvictionPolicy>,
         clock: Option<Arc<FakeClock>>,
+        obs: Option<Arc<ObsHub>>,
     ) -> Self {
         assert!(nodes > 0, "a cluster needs at least one node");
         let comms = Communicator::<f64>::mesh(nodes);
@@ -357,6 +453,12 @@ impl ClusterService {
         let probes: Vec<CommProbe> = comms.iter().map(Communicator::probe).collect();
         let control: Vec<ControlHandle<f64>> =
             comms.iter().map(Communicator::control_handle).collect();
+        // One woven program serves every node's fetcher and fabric thread:
+        // the obs aspect is stateless beyond the hub, and cloning a woven
+        // program is an Arc bump.
+        let obs_woven = obs.as_ref().map(|hub| {
+            Weaver::new().with_aspect(Box::new(ObsServiceAspect::new(Arc::clone(hub)))).weave()
+        });
 
         let mut services = Vec::with_capacity(nodes);
         let mut fabrics = Vec::with_capacity(nodes);
@@ -369,6 +471,7 @@ impl ClusterService {
                 handle: comm.control_handle(),
                 pending: Arc::clone(&pending),
                 shutting_down: Arc::clone(&shutting_down),
+                obs_woven: obs_woven.clone(),
             };
             let cache = Arc::new(
                 PlanCache::with_policy(
@@ -379,19 +482,20 @@ impl ClusterService {
                 .with_fetcher(Arc::new(fetcher)),
             );
             let fabric_cache = Arc::clone(&cache);
+            let fabric_woven = obs_woven.clone();
             fabrics.push(
                 std::thread::Builder::new()
                     .name(format!("aohpc-fabric-{rank}"))
-                    .spawn(move || fabric_loop(comm, fabric_cache, pending))
+                    .spawn(move || fabric_loop(comm, fabric_cache, pending, fabric_woven))
                     .expect("spawn fabric thread"),
             );
             let service_clock = match &clock {
                 Some(fake) => ServiceClock::Fake(Arc::clone(fake)),
                 None => ServiceClock::real(),
             };
-            services.push(KernelService::start(config, service_clock, Some(cache)));
+            services.push(KernelService::start(config, service_clock, Some(cache), obs.clone()));
         }
-        ClusterService { nodes: services, probes, control, fabrics, shutting_down }
+        ClusterService { nodes: services, probes, control, fabrics, shutting_down, obs }
     }
 
     /// Number of nodes.
@@ -483,6 +587,65 @@ impl ClusterService {
         let per_node: Vec<CommStats> = self.probes.iter().map(CommProbe::stats).collect();
         let total = per_node.iter().fold(CommStats::default(), |acc, s| acc + *s);
         ClusterCommStats { total, per_node }
+    }
+
+    /// The shared observability hub, when one was installed.
+    pub fn observer(&self) -> Option<Arc<ObsHub>> {
+        self.obs.clone()
+    }
+
+    /// One cross-validated snapshot over the whole cluster: aggregated
+    /// plan-cache and fabric counters, admission state summed across nodes,
+    /// and the shared hub's job metrics and recorder state.  `None` without
+    /// an installed observer.  At quiescence (after
+    /// [`ClusterService::drain`]) [`validate`](ObsSnapshot::validate)
+    /// returns no violations.
+    pub fn obs_snapshot(&self) -> Option<ObsSnapshot> {
+        let hub = self.obs.as_ref()?;
+        let metrics = hub.metrics();
+        let cache = self.cache_stats().total;
+        let comm = self.comm_stats().total;
+        let mut waiting = 0u64;
+        let mut queued = 0u64;
+        let mut queue_limit = 0u64;
+        for node in &self.nodes {
+            let stats = node.admission_stats();
+            waiting += stats.waiting as u64;
+            queued += stats.queued as u64;
+            queue_limit += stats.queue_limit as u64;
+        }
+        Some(ObsSnapshot {
+            cache: Some(CacheCounters {
+                hits: cache.hits,
+                misses: cache.misses,
+                compiles: cache.compiles,
+                fetches: cache.fetches,
+                evictions: cache.evictions,
+                collisions: cache.collisions,
+                lanes: cache.family.iter().map(|lane| (lane.hits, lane.misses)).collect(),
+            }),
+            comm: Some(CommCounters {
+                messages_sent: comm.messages_sent,
+                messages_received: comm.messages_received,
+                bytes_sent: comm.bytes_sent,
+                bytes_received: comm.bytes_received,
+                control_sent: comm.control_sent,
+                control_received: comm.control_received,
+            }),
+            admission: AdmissionCounters {
+                waiting,
+                queued,
+                queue_limit,
+                queue_wait: metrics.queue_wait_ns.snapshot(),
+            },
+            jobs: JobCounters {
+                completed: metrics.jobs_completed.get(),
+                failed: metrics.jobs_failed.get(),
+                worker_busy_ns: metrics.worker_busy_ns.get(),
+            },
+            retained_spans: hub.recorder().len() as u64,
+            dropped_spans: hub.recorder().dropped(),
+        })
     }
 
     /// Clean shutdown: drain every node to quiescence (in-flight fetches

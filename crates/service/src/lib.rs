@@ -109,3 +109,10 @@ pub use aohpc_kernel::{
     UsGridProgram,
 };
 pub use aohpc_runtime::Progress;
+
+// The observability surface: install a hub with
+// [`KernelService::with_observer`] / [`ClusterService::with_observer`], then
+// export its flight-recorder spans (`chrome_trace_json` opens directly in
+// `chrome://tracing` / Perfetto) or cross-check its counters with
+// [`ObsSnapshot::validate`].
+pub use aohpc_obs::{chrome_trace_json, json_lines, ObsHub, ObsSnapshot};

@@ -37,7 +37,7 @@ use crate::job::{JobCell, JobError, JobErrorKind, JobHandle, JobId, JobReport, J
 use crate::session::{
     CompletionStream, SessionCtx, SessionId, SessionMeter, SessionSpec, StreamState,
 };
-use aohpc_aop::{Weaver, WovenProgram};
+use aohpc_aop::{attr, names, JoinPointKind, Weaver, WovenProgram};
 use aohpc_dsl::{
     new_field_sink, DslSystem, PairForce, ParticleApp, ParticleSystem, SGridSystem,
     UsGridJacobiApp, UsGridSystem, UsUpdate,
@@ -46,6 +46,10 @@ use aohpc_env::Extent;
 use aohpc_kernel::{
     new_stencil_field_sink, FamilyArtifact, HeteroDispatcher, IrStencilApp, ScratchPool,
     ScratchPoolStats,
+};
+use aohpc_obs::{
+    push_context, AdmissionCounters, CacheCounters, Histogram, JobCounters, ObsHub, ObsRunAspect,
+    ObsServiceAspect, ObsSnapshot, RunFinisher,
 };
 use aohpc_runtime::{execute, CostModel, MpiAspect, OmpAspect, RunConfig, Topology};
 use aohpc_testalloc::sync::FakeClock;
@@ -253,6 +257,12 @@ pub struct AdmissionStats {
     pub queued: usize,
     /// The configured queue depth ([`ServiceConfig::max_queued_jobs`]).
     pub queue_limit: usize,
+    /// Median queue wait (admission to worker pickup) across finished jobs,
+    /// in nanoseconds — a power-of-two-bucket upper-bound estimate, 0 before
+    /// the first job is picked up.
+    pub queue_wait_p50_ns: u64,
+    /// 99th-percentile queue wait across finished jobs, in nanoseconds.
+    pub queue_wait_p99_ns: u64,
 }
 
 /// The clock admission deadlines are measured on: the wall clock in
@@ -321,6 +331,9 @@ impl CapacitySignal {
 struct Queued {
     cell: Arc<JobCell>,
     spec: JobSpec,
+    /// When admission accepted the job (on the service clock), so the worker
+    /// that dequeues it can meter the queue-wait latency.
+    admitted_at: Duration,
 }
 
 pub(crate) struct Inner {
@@ -351,6 +364,18 @@ pub(crate) struct Inner {
     /// executing the backlog.
     shutting_down: AtomicBool,
     clock: ServiceClock,
+    /// Queue-wait latency distribution, always on (recording is a handful of
+    /// relaxed atomics) — backs the `admission_stats` p50/p99 whether or not
+    /// an observer is installed.
+    queue_wait: Histogram,
+    /// The observability hub, when one was installed at construction
+    /// ([`KernelService::with_observer`]).
+    obs: Option<Arc<ObsHub>>,
+    /// The service plane's own woven program: carries the obs aspect around
+    /// `Service::execute_spec` and `PlanCache::resolve`.  Empty — and the
+    /// dispatch sites skipped entirely — when no hub is installed, so the
+    /// unobserved path pays nothing.
+    service_woven: WovenProgram,
 }
 
 impl Inner {
@@ -410,7 +435,28 @@ pub struct KernelService {
 impl KernelService {
     /// Start a service with the given sizing (wall clock).
     pub fn new(config: ServiceConfig) -> Self {
-        Self::start(config, ServiceClock::real(), None)
+        Self::start(config, ServiceClock::real(), None, None)
+    }
+
+    /// Start a service with an observability hub installed: every job gets a
+    /// span tree (job → resolve/execute → superstep → block) in the hub's
+    /// flight recorder, and the hub's [`Metrics`](aohpc_obs::Metrics) unify
+    /// the queue-wait / resolve / execute latency distributions and job
+    /// counters.  Snapshot with [`KernelService::obs_snapshot`], export the
+    /// recorder with [`aohpc_obs::chrome_trace_json`].
+    pub fn with_observer(config: ServiceConfig, hub: Arc<ObsHub>) -> Self {
+        Self::start(config, ServiceClock::real(), None, Some(hub))
+    }
+
+    /// [`KernelService::with_observer`] on a test-controlled [`FakeClock`]:
+    /// give the hub the same clock (`ObsHub::with_clock`) and both admission
+    /// deadlines *and* span timestamps become deterministic.
+    pub fn with_observer_and_clock(
+        config: ServiceConfig,
+        hub: Arc<ObsHub>,
+        clock: Arc<FakeClock>,
+    ) -> Self {
+        Self::start(config, ServiceClock::Fake(clock), None, Some(hub))
     }
 
     /// Start a service whose admission deadlines run on a test-controlled
@@ -418,7 +464,7 @@ impl KernelService {
     /// calls [`FakeClock::advance`], which also wakes parked submitters so
     /// timeout tests signal instead of sleeping.
     pub fn with_fake_clock(config: ServiceConfig, clock: Arc<FakeClock>) -> Self {
-        Self::start(config, ServiceClock::Fake(clock), None)
+        Self::start(config, ServiceClock::Fake(clock), None, None)
     }
 
     /// Start a service around an externally built plan cache — a cache with
@@ -429,13 +475,14 @@ impl KernelService {
     /// `cache_capacity` fields of `config` are ignored; the cache's own
     /// geometry governs.
     pub fn with_plan_cache(config: ServiceConfig, cache: Arc<PlanCache>) -> Self {
-        Self::start(config, ServiceClock::real(), Some(cache))
+        Self::start(config, ServiceClock::real(), Some(cache), None)
     }
 
     pub(crate) fn start(
         config: ServiceConfig,
         clock: ServiceClock,
         cache: Option<Arc<PlanCache>>,
+        obs: Option<Arc<ObsHub>>,
     ) -> Self {
         // Normalize directly-constructed configs (the builder already
         // clamps): a zero queue bound would make every admission QueueFull
@@ -452,6 +499,15 @@ impl KernelService {
             let capacity = Arc::clone(&capacity);
             fake.on_advance(move || capacity.bump());
         }
+        // With a hub installed the service's own join points dispatch through
+        // this woven program; without one it stays empty and the dispatch
+        // sites are gated off before building any attributes.
+        let service_woven = match &obs {
+            Some(hub) => {
+                Weaver::new().with_aspect(Box::new(ObsServiceAspect::new(Arc::clone(hub)))).weave()
+            }
+            None => Weaver::new().weave(),
+        };
         let inner = Arc::new(Inner {
             config,
             cache,
@@ -467,6 +523,9 @@ impl KernelService {
             next_job: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
             clock,
+            queue_wait: Histogram::new(),
+            obs,
+            service_woven,
         });
         let (tx, rx) = bounded::<Queued>(config.max_queued_jobs.max(1));
         let workers = (0..config.workers)
@@ -514,13 +573,60 @@ impl KernelService {
         self.inner.scratch.stats()
     }
 
-    /// Admission/backpressure counters (parked submitters, queue depth).
+    /// Admission/backpressure counters (parked submitters, queue depth) plus
+    /// the queue-wait latency quantiles over all jobs workers have picked up.
     pub fn admission_stats(&self) -> AdmissionStats {
         AdmissionStats {
             waiting: self.inner.capacity.waiting.load(Ordering::SeqCst),
             queued: self.inner.queued.load(Ordering::SeqCst),
             queue_limit: self.inner.config.max_queued_jobs,
+            queue_wait_p50_ns: self.inner.queue_wait.quantile(0.50),
+            queue_wait_p99_ns: self.inner.queue_wait.quantile(0.99),
         }
+    }
+
+    /// The installed observability hub, if any.
+    pub fn observer(&self) -> Option<Arc<ObsHub>> {
+        self.inner.obs.clone()
+    }
+
+    /// One cross-validated snapshot over the service's stat islands: plan
+    /// cache, admission queue, and the hub's job metrics and recorder state.
+    /// `None` without an installed observer.  At quiescence (after a
+    /// [`KernelService::drain`]) the snapshot's
+    /// [`validate`](ObsSnapshot::validate) returns no violations; note the
+    /// job/admission numbers are **hub-wide**, so on a hub shared across a
+    /// cluster use [`ClusterService::obs_snapshot`](crate::ClusterService)
+    /// instead of per-node snapshots.
+    pub fn obs_snapshot(&self) -> Option<ObsSnapshot> {
+        let hub = self.inner.obs.as_ref()?;
+        let metrics = hub.metrics();
+        let cache = self.cache_stats();
+        Some(ObsSnapshot {
+            cache: Some(CacheCounters {
+                hits: cache.hits,
+                misses: cache.misses,
+                compiles: cache.compiles,
+                fetches: cache.fetches,
+                evictions: cache.evictions,
+                collisions: cache.collisions,
+                lanes: cache.family.iter().map(|lane| (lane.hits, lane.misses)).collect(),
+            }),
+            comm: None,
+            admission: AdmissionCounters {
+                waiting: self.inner.capacity.waiting.load(Ordering::SeqCst) as u64,
+                queued: self.inner.queued.load(Ordering::SeqCst) as u64,
+                queue_limit: self.inner.config.max_queued_jobs as u64,
+                queue_wait: metrics.queue_wait_ns.snapshot(),
+            },
+            jobs: JobCounters {
+                completed: metrics.jobs_completed.get(),
+                failed: metrics.jobs_failed.get(),
+                worker_busy_ns: metrics.worker_busy_ns.get(),
+            },
+            retained_spans: hub.recorder().len() as u64,
+            dropped_spans: hub.recorder().dropped(),
+        })
     }
 
     /// The shared plan cache (e.g. to install into an out-of-band app).
@@ -713,7 +819,8 @@ impl KernelService {
             cell
         };
         *inner.pending.lock().expect("pending lock") += 1;
-        let queued = Queued { cell: Arc::clone(&cell), spec: spec.clone() };
+        let queued =
+            Queued { cell: Arc::clone(&cell), spec: spec.clone(), admitted_at: inner.clock.now() };
         if self.queue.as_ref().expect("queue open while service exists").try_send(queued).is_err() {
             unreachable!("admission bounds the queue and workers hold the receiver");
         }
@@ -895,11 +1002,13 @@ fn abandon_one(inner: &Inner, cell: &JobCell) {
 
 /// Execute one queued job on the calling worker thread and resolve it.
 fn run_one(inner: &Inner, queued: Queued) {
-    let Queued { cell, spec } = queued;
+    let Queued { cell, spec, admitted_at } = queued;
     if !cell.begin_running() {
         // A cancel won the race; it settled every counter already.
         return;
     }
+    let queue_wait = inner.clock.now().saturating_sub(admitted_at);
+    inner.queue_wait.record(queue_wait.as_nanos() as u64);
     let job = cell.job;
     let session = cell.session;
     let fingerprint = spec.program.fingerprint();
@@ -910,11 +1019,27 @@ fn run_one(inner: &Inner, queued: Queued) {
     let pin_plans =
         inner.sessions.lock().get(&session).map(|ctx| ctx.pins_plans()).unwrap_or(false);
 
+    // With an observer installed, open the job's trace root and make it this
+    // worker thread's span context, so everything below — including a
+    // cluster plan fetch fired from inside the cache — parents into the
+    // job's tree.  `trace_ctx` carries (trace id, root span id) to the
+    // dispatch sites.
+    let obs_job = inner.obs.as_ref().map(|hub| {
+        hub.metrics().queue_wait_ns.record(queue_wait.as_nanos() as u64);
+        let trace = hub.recorder().next_trace_id();
+        (trace, hub.recorder().start("Service::job", trace, 0))
+    });
+    let trace_ctx = obs_job.map(|(trace, open)| (trace, open.span));
+    let _span_ctx = trace_ctx.map(|(trace, span)| push_context(trace, span));
+
     // Everything fallible runs inside the unwind guard so a panicking job can
     // never strand the pending counter (which would hang every later drain).
-    // The pre-warm outcome escapes through a Cell so a panic *after* plan
-    // resolution still meters the hit/miss it already charged to the cache.
+    // The pre-warm outcome and phase timings escape through Cells so a panic
+    // *after* plan resolution still meters the hit/miss it already charged to
+    // the cache (and the phases that did complete).
     let prewarm_hit: std::cell::Cell<Option<bool>> = std::cell::Cell::new(None);
+    let resolve_time: std::cell::Cell<Duration> = std::cell::Cell::new(Duration::ZERO);
+    let execute_time: std::cell::Cell<Duration> = std::cell::Cell::new(Duration::ZERO);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         // Resolve the job's primary plan up front so the hit/miss is
         // attributable to *this* job; the app's own plan lookups then hit the
@@ -922,10 +1047,14 @@ fn run_one(inner: &Inner, queued: Queued) {
         // DSL tiling clips to the region, so small regions pre-warm the plan
         // that actually executes.
         let primary = Extent::new2d(spec.block.min(spec.region.nx), spec.block.min(spec.region.ny));
-        let (artifact, origin) =
-            inner.cache.resolve(&spec.program, primary, spec.opt_level, pin_plans);
+        let resolve_start = inner.clock.now();
+        let (artifact, origin) = resolve_primary(inner, &spec, primary, pin_plans, trace_ctx);
         prewarm_hit.set(Some(origin == PlanOrigin::Hit));
-        execute_spec(inner, &spec, &cell, &artifact)
+        resolve_time.set(inner.clock.now().saturating_sub(resolve_start));
+        let execute_start = inner.clock.now();
+        let result = execute_traced(inner, &spec, &cell, &artifact, trace_ctx);
+        execute_time.set(inner.clock.now().saturating_sub(execute_start));
+        result
     }));
     let cache_hit = prewarm_hit.get();
     let (checksum_value, simulated_seconds, summary, error) = match outcome {
@@ -973,7 +1102,30 @@ fn run_one(inner: &Inner, queued: Queued) {
         simulated_seconds,
         summary,
         error,
+        trace_id: trace_ctx.map(|(trace, _)| trace),
+        queue_wait,
+        resolve_time: resolve_time.get(),
+        execute_time: execute_time.get(),
     };
+    // Close the job's trace root and settle the hub's job-level metrics; the
+    // per-phase spans/histograms were filed by the woven obs advice.
+    if let Some(hub) = &inner.obs {
+        let metrics = hub.metrics();
+        if report.error.is_none() {
+            metrics.jobs_completed.inc();
+        } else {
+            metrics.jobs_failed.inc();
+        }
+        metrics.worker_busy_ns.add((report.resolve_time + report.execute_time).as_nanos() as u64);
+        metrics.record_kernel(
+            fingerprint.as_u128() as u64,
+            report.summary.writes,
+            report.execute_time.as_nanos() as u64,
+        );
+        if let Some((_, open)) = obs_job {
+            hub.recorder().end_with(open, job as i64, i64::from(report.error.is_none()));
+        }
+    }
     if inner.config.retain_reports {
         inner.results.lock().push(report.clone());
     }
@@ -1003,6 +1155,74 @@ fn run_one(inner: &Inner, queued: Queued) {
     inner.capacity.bump();
 }
 
+/// The admission pre-warm resolve.  With an observer installed the lookup is
+/// dispatched through the service's woven program, so the obs aspect wraps
+/// it in a span parented into the job's tree — the body publishes the plan's
+/// [`PlanOrigin`] as an attribute for the advice to file.
+fn resolve_primary(
+    inner: &Inner,
+    spec: &JobSpec,
+    primary: Extent,
+    pin_plans: bool,
+    trace_ctx: Option<(u64, u64)>,
+) -> (FamilyArtifact, PlanOrigin) {
+    let Some((trace, parent)) = trace_ctx else {
+        return inner.cache.resolve(&spec.program, primary, spec.opt_level, pin_plans);
+    };
+    let attrs = [
+        (attr::TRACE, trace as i64),
+        (attr::PARENT, parent as i64),
+        (attr::FAMILY, i64::from(spec.program.family().tag())),
+    ];
+    let mut resolved = None;
+    let mut payload = ();
+    inner.service_woven.dispatch_with(
+        names::CACHE_RESOLVE,
+        JoinPointKind::Call,
+        &attrs,
+        &mut payload,
+        &mut |ctx| {
+            let (artifact, origin) =
+                inner.cache.resolve(&spec.program, primary, spec.opt_level, pin_plans);
+            ctx.set_attr(attr::ORIGIN, origin as i64);
+            resolved = Some((artifact, origin));
+        },
+    );
+    resolved.expect("resolve body runs exactly once")
+}
+
+/// Run [`execute_spec`], wrapped in the `Service::execute_spec` join point
+/// when an observer is installed.
+fn execute_traced(
+    inner: &Inner,
+    spec: &JobSpec,
+    cell: &JobCell,
+    artifact: &FamilyArtifact,
+    trace_ctx: Option<(u64, u64)>,
+) -> (f64, f64, aohpc_runtime::RunSummary) {
+    let Some((trace, parent)) = trace_ctx else {
+        return execute_spec(inner, spec, cell, artifact, None);
+    };
+    let attrs = [
+        (attr::TRACE, trace as i64),
+        (attr::PARENT, parent as i64),
+        (attr::FAMILY, i64::from(spec.program.family().tag())),
+        (attr::JOB, cell.job as i64),
+    ];
+    let mut result = None;
+    let mut payload = ();
+    inner.service_woven.dispatch_with(
+        names::SERVICE_EXECUTE,
+        JoinPointKind::Execution,
+        &attrs,
+        &mut payload,
+        &mut |_| {
+            result = Some(execute_spec(inner, spec, cell, artifact, trace_ctx));
+        },
+    );
+    result.expect("execute body runs exactly once")
+}
+
 /// The execution core: the same compile-and-run pipeline the one-shot
 /// harnesses use, with the shared cache installed as the plan source and the
 /// job's progress counters installed in the run config.  Dispatches on the
@@ -1014,23 +1234,33 @@ fn execute_spec(
     spec: &JobSpec,
     cell: &JobCell,
     artifact: &FamilyArtifact,
+    trace_ctx: Option<(u64, u64)>,
 ) -> (f64, f64, aohpc_runtime::RunSummary) {
     match artifact {
-        FamilyArtifact::Stencil(_) => execute_stencil(inner, spec, cell),
+        FamilyArtifact::Stencil(_) => execute_stencil(inner, spec, cell, trace_ctx),
         FamilyArtifact::Particle(kernel) => {
             let law = PairForce(kernel.pair_law(spec.params[0]));
-            execute_particle(spec, cell, law)
+            execute_particle(inner, spec, cell, law, trace_ctx)
         }
         FamilyArtifact::UsGrid(kernel) => {
             let law = UsUpdate(kernel.update_fn(spec.params[0], spec.params[1]));
-            execute_usgrid(spec, cell, law)
+            execute_usgrid(inner, spec, cell, law, trace_ctx)
         }
     }
 }
 
 /// Weave the spec's aspects and build its run config — identical for every
 /// family, so all three execution paths share one topology/progress wiring.
-fn weave_for(spec: &JobSpec, cell: &JobCell) -> (WovenProgram, RunConfig) {
+/// With an observer, the per-job [`ObsRunAspect`] joins the weave carrying
+/// the job's trace and root-span ids (rank threads have no thread-local span
+/// context); the returned [`RunFinisher`] closes the final step spans after
+/// the run returns.
+fn weave_for(
+    inner: &Inner,
+    spec: &JobSpec,
+    cell: &JobCell,
+    trace_ctx: Option<(u64, u64)>,
+) -> (WovenProgram, RunConfig, Option<RunFinisher>) {
     let mut weaver = Weaver::new();
     if spec.topology.ranks() > 1 {
         weaver = weaver.with_aspect(Box::new(MpiAspect::<f64>::new()));
@@ -1038,18 +1268,25 @@ fn weave_for(spec: &JobSpec, cell: &JobCell) -> (WovenProgram, RunConfig) {
     if spec.topology.threads_per_rank() > 1 {
         weaver = weaver.with_aspect(Box::new(OmpAspect::<f64>::new()));
     }
+    let mut finisher = None;
+    if let (Some(hub), Some((trace, job_span))) = (&inner.obs, trace_ctx) {
+        let aspect = ObsRunAspect::new(Arc::clone(hub), trace, job_span);
+        finisher = Some(aspect.finisher());
+        weaver = weaver.with_aspect(Box::new(aspect));
+    }
     let woven = weaver.weave();
     let config = RunConfig::serial()
         .with_topology(spec.topology.clone())
         .with_weave_mode(spec.weave_mode)
         .with_progress(cell.progress.clone());
-    (woven, config)
+    (woven, config, finisher)
 }
 
 fn execute_stencil(
     inner: &Inner,
     spec: &JobSpec,
     cell: &JobCell,
+    trace_ctx: Option<(u64, u64)>,
 ) -> (f64, f64, aohpc_runtime::RunSummary) {
     let program = spec.program.as_stencil().expect("stencil artifact implies stencil program");
     let system = Arc::new(SGridSystem::with_block_size(spec.region, spec.block));
@@ -1063,8 +1300,11 @@ fn execute_stencil(
         .with_scratch_pool(inner.scratch.clone())
         .with_field_sink(sink.clone());
 
-    let (woven, config) = weave_for(spec, cell);
+    let (woven, config, finisher) = weave_for(inner, spec, cell, trace_ctx);
     let report = execute(&config, woven, system.env_factory(), app.factory());
+    if let Some(finisher) = finisher {
+        finisher.finish();
+    }
 
     let cks = checksum(sink.lock().iter().map(|(_, v)| *v));
     let sim = CostModel::default().makespan_seconds(&report);
@@ -1072,9 +1312,11 @@ fn execute_stencil(
 }
 
 fn execute_particle(
+    inner: &Inner,
     spec: &JobSpec,
     cell: &JobCell,
     law: PairForce,
+    trace_ctx: Option<(u64, u64)>,
 ) -> (f64, f64, aohpc_runtime::RunSummary) {
     // The bucket grid re-derived from the particle count matches spec.region
     // when the spec came from JobSpec::particle; the count fallback assumes
@@ -1087,8 +1329,11 @@ fn execute_particle(
         .with_sink(sink.clone())
         .with_pair_force(law);
 
-    let (woven, config) = weave_for(spec, cell);
+    let (woven, config, finisher) = weave_for(inner, spec, cell, trace_ctx);
     let report = execute(&config, woven, Arc::new(system).env_factory(), app.factory());
+    if let Some(finisher) = finisher {
+        finisher.finish();
+    }
 
     let cks = checksum(sink.lock().iter().map(|(_, v)| *v));
     let sim = CostModel::default().makespan_seconds(&report);
@@ -1096,9 +1341,11 @@ fn execute_particle(
 }
 
 fn execute_usgrid(
+    inner: &Inner,
     spec: &JobSpec,
     cell: &JobCell,
     law: UsUpdate,
+    trace_ctx: Option<(u64, u64)>,
 ) -> (f64, f64, aohpc_runtime::RunSummary) {
     let system = UsGridSystem::with_block_size(spec.region, spec.block, GridLayout::CaseC);
     let sink = new_field_sink();
@@ -1107,8 +1354,11 @@ fn execute_usgrid(
     app.alpha = spec.params[0];
     app.beta = spec.params[1];
 
-    let (woven, config) = weave_for(spec, cell);
+    let (woven, config, finisher) = weave_for(inner, spec, cell, trace_ctx);
     let report = execute(&config, woven, Arc::new(system).env_factory(), app.factory());
+    if let Some(finisher) = finisher {
+        finisher.finish();
+    }
 
     let cks = checksum(sink.lock().iter().map(|(_, v)| *v));
     let sim = CostModel::default().makespan_seconds(&report);

@@ -1,0 +1,168 @@
+//! Observability integration tests: deterministic traces under the fake
+//! clock, cross-validated snapshots at quiescence, and cross-node trace
+//! linkage over the cluster fabric.
+//!
+//! The determinism property is the observability analogue of the harness's
+//! "no timing guesses" rule: with a [`FakeClock`] driving both the service
+//! and the hub, the *entire* flight recording — span ids, parent edges,
+//! names, attributes, timestamps — is a pure function of the submitted
+//! workload.
+
+use aohpc_obs::SpanRecord;
+use aohpc_service::{ClusterService, JobSpec, KernelService, ObsHub, ServiceConfig, SessionSpec};
+use aohpc_testalloc::sync::FakeClock;
+use aohpc_workloads::Scale;
+use proptest::prelude::*;
+
+/// The four distinct programs the workload generator can draw from.
+fn job(kind: usize) -> JobSpec {
+    match kind % 4 {
+        0 => JobSpec::jacobi(Scale::Smoke),
+        1 => JobSpec::smooth(Scale::Smoke),
+        2 => JobSpec::particle(Scale::Smoke),
+        _ => JobSpec::usgrid(Scale::Smoke),
+    }
+}
+
+/// Everything observable about a span except the recorder's thread index
+/// (worker threads are interchangeable; one worker makes the rest of the
+/// record deterministic).
+type NormalizedSpan = (u64, u64, u64, &'static str, u64, u64, i64, i64);
+
+fn normalize(spans: &[SpanRecord]) -> Vec<NormalizedSpan> {
+    let mut out: Vec<_> = spans
+        .iter()
+        .map(|s| (s.trace, s.span, s.parent, s.name, s.start_ns, s.end_ns, s.a, s.b))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Run `kinds` through a fresh single-worker service on a fresh fake-clocked
+/// hub and return the normalized flight recording.
+fn record_run(kinds: &[usize]) -> Vec<NormalizedSpan> {
+    let clock = FakeClock::new();
+    let hub = ObsHub::with_clock(clock.clone());
+    let service = KernelService::with_observer_and_clock(
+        ServiceConfig::default().with_workers(1),
+        std::sync::Arc::clone(&hub),
+        clock,
+    );
+    let session = service.open_session(SessionSpec::tenant("det"));
+    for &kind in kinds {
+        // Blocking submit + per-job wait keeps the queue depth at most one,
+        // so the single worker consumes jobs in submission order.
+        service.submit(session, job(kind)).expect("admitted").wait().expect("executed");
+    }
+    let _ = service.drain();
+    let spans = hub.recorder().spans();
+    service.shutdown();
+    normalize(&spans)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Same workload, two fresh service+hub pairs on fake clocks: the two
+    /// flight recordings are identical record-for-record — span ids, parent
+    /// edges, attributes, and (never-advanced) timestamps all included.
+    #[test]
+    fn traces_are_deterministic_under_fake_clock(kinds in proptest::collection::vec(0usize..4, 1..5)) {
+        let first = record_run(&kinds);
+        let second = record_run(&kinds);
+        prop_assert!(!first.is_empty(), "an observed run records spans");
+        prop_assert_eq!(first, second);
+    }
+}
+
+/// After a drained run the snapshot's cross-counter invariants all hold:
+/// cache ledger (`misses == compiles + fetches`), lane sums, queue-wait
+/// count vs job count, and the histogram's internal ordering.
+#[test]
+fn snapshot_validates_clean_at_quiescence() {
+    let hub = ObsHub::new();
+    let service = KernelService::with_observer(
+        ServiceConfig::default().with_workers(2),
+        std::sync::Arc::clone(&hub),
+    );
+    let session = service.open_session(SessionSpec::tenant("snap"));
+    let mut handles = Vec::new();
+    for round in 0..3 {
+        for kind in 0..4 {
+            handles.push(service.submit(session, job(kind + round)).expect("admitted"));
+        }
+    }
+    let reports = service.drain();
+    assert_eq!(reports.len(), 12);
+
+    // Every report carries its trace id and phase breakdown.
+    for report in &reports {
+        assert!(report.error.is_none(), "job failed: {:?}", report.error);
+        assert!(report.trace_id.is_some(), "observed jobs are traced");
+        assert!(report.execute_time > std::time::Duration::ZERO, "execute phase was timed");
+    }
+    let traces: std::collections::HashSet<_> =
+        reports.iter().map(|r| r.trace_id.unwrap()).collect();
+    assert_eq!(traces.len(), reports.len(), "each job gets a distinct trace id");
+
+    // Queue-wait percentiles surface through the plain admission stats too.
+    let admission = service.admission_stats();
+    assert!(admission.queue_wait_p99_ns >= admission.queue_wait_p50_ns);
+
+    let snapshot = service.obs_snapshot().expect("observer installed");
+    let violations = snapshot.validate();
+    assert!(violations.is_empty(), "snapshot inconsistent: {violations:?}");
+    assert_eq!(snapshot.jobs.completed, 12);
+    assert_eq!(snapshot.jobs.failed, 0);
+    service.shutdown();
+}
+
+/// A two-node cluster with one shared hub: the non-owner node's plan fetch
+/// shows up as a `Cluster::plan_req` span *inside the requesting job's
+/// trace*, the owner's serve side as a `Cluster::plan_rep` root span, and
+/// the cluster-wide snapshot cross-validates clean.
+#[test]
+fn cluster_fetch_spans_link_into_the_job_trace() {
+    use aohpc_aop::names;
+
+    let hub = ObsHub::new();
+    let cluster = ClusterService::with_observer(
+        2,
+        ServiceConfig::default().with_workers(1),
+        std::sync::Arc::clone(&hub),
+    );
+    // The same program on both nodes: one compiles, the other fetches.
+    for node in 0..2 {
+        let session = cluster.open_session_on(node, SessionSpec::tenant(format!("n{node}")));
+        cluster.submit(session, job(0)).expect("admitted");
+    }
+    let reports = cluster.drain();
+    assert_eq!(reports.len(), 2);
+    let traces: Vec<u64> = reports.iter().map(|r| r.trace_id.expect("traced")).collect();
+
+    let spans = hub.recorder().spans();
+    let req = spans
+        .iter()
+        .find(|s| s.name == names::CLUSTER_PLAN_REQ)
+        .expect("the non-owner node fetched over the fabric");
+    assert!(
+        traces.contains(&req.trace),
+        "plan request runs inside one of the jobs' traces (trace {})",
+        req.trace
+    );
+    assert_ne!(req.parent, 0, "the fetch is parented into the job's span tree");
+    assert!(req.a >= 1, "fetch succeeded (OK attribute)");
+    let rep = spans
+        .iter()
+        .find(|s| s.name == names::CLUSTER_PLAN_REP)
+        .expect("the owner served the plan");
+    assert_eq!(rep.trace, 0, "serve side runs on a fabric thread: a trace root");
+
+    let snapshot = cluster.obs_snapshot().expect("observer installed");
+    let violations = snapshot.validate();
+    assert!(violations.is_empty(), "cluster snapshot inconsistent: {violations:?}");
+    let comm = snapshot.comm.expect("fabric attached");
+    assert_eq!(comm.control_sent, comm.control_received);
+    assert_eq!(snapshot.cache.as_ref().unwrap().fetches, 1);
+    cluster.shutdown();
+}
