@@ -78,6 +78,20 @@ pub const CLUSTER_PLAN_REQ: &str = "Cluster::plan_req";
 /// Attrs: `node`, `ok`.
 pub const CLUSTER_PLAN_REP: &str = "Cluster::plan_rep";
 
+/// Call of a failure-detector state transition: a rank was suspected or
+/// declared dead by the local membership view.
+///
+/// Attrs: `node` (the subject rank), `ok` (1 = suspect, 0 = dead), `rank`
+/// (the detecting rank).
+pub const CLUSTER_SUSPECT: &str = "Cluster::suspect";
+
+/// Execution of a checkpoint-replay failover: a job orphaned by a dead node
+/// re-submitted onto a survivor.
+///
+/// Attrs: `node` (the replay target rank), `job` (the orphaned job id),
+/// `ok` (set after the replay resolves: 1 = report, 0 = error).
+pub const CLUSTER_FAILOVER: &str = "Cluster::failover";
+
 /// All names, useful for exhaustiveness checks in tests and for the weave
 /// report.
 pub const ALL_JOIN_POINTS: &[&str] = &[
@@ -94,6 +108,8 @@ pub const ALL_JOIN_POINTS: &[&str] = &[
     CACHE_RESOLVE,
     CLUSTER_PLAN_REQ,
     CLUSTER_PLAN_REP,
+    CLUSTER_SUSPECT,
+    CLUSTER_FAILOVER,
 ];
 
 #[cfg(test)]
@@ -107,6 +123,6 @@ mod tests {
             assert!(n.contains("::"), "join point {n} must be namespaced");
             assert!(seen.insert(*n), "duplicate join point name {n}");
         }
-        assert_eq!(ALL_JOIN_POINTS.len(), 13);
+        assert_eq!(ALL_JOIN_POINTS.len(), 15);
     }
 }

@@ -1,7 +1,7 @@
 //! Cluster microbench: compile-once-per-cluster plan sharing vs independent
 //! nodes, cold vs warm.
 //!
-//! Three variants run the same workload — `programs × nodes × reps` jobs,
+//! The variants run the same workload — `programs × nodes × reps` jobs,
 //! spread one tenant per node:
 //!
 //! * `independent_cold` — N unconnected `KernelService`s (the pre-cluster
@@ -9,16 +9,24 @@
 //! * `cluster_cold` — a fresh `ClusterService`: each program compiles once
 //!   cluster-wide, every other node fetches the portable plan.
 //! * `cluster_warm` — the same cluster again: everything hits.
+//! * `family_mix_cold` — stencil + particle + usgrid through one fabric.
+//! * `cluster_failover` — the same workload with rank 1 fail-stopped
+//!   mid-batch on a fake-clock fault schedule: the cost of detection,
+//!   re-ownership and checkpoint replay, with every answer still
+//!   bit-identical and the failover count reported.
 //!
 //! Writes machine-readable `BENCH_cluster.json` (jobs/sec, compiles,
-//! fetches, control frames per variant) alongside `BENCH_kernel.json` so CI
-//! can track the trajectory.  Problem size follows
-//! `AOHPC_SCALE=smoke|default|paper`.
+//! fetches, control frames, failovers per variant) alongside
+//! `BENCH_kernel.json` so CI can track the trajectory.  Problem size
+//! follows `AOHPC_SCALE=smoke|default|paper`.
 
 use aohpc_kernel::KernelFamilyId;
-use aohpc_service::{ClusterService, JobSpec, KernelService, ServiceConfig, SessionSpec};
+use aohpc_service::{
+    ClusterService, ClusterTuning, FaultPlan, JobSpec, KernelService, ServiceConfig, SessionSpec,
+};
+use aohpc_testalloc::sync::FakeClock;
 use aohpc_workloads::Scale;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Outcome {
     name: &'static str,
@@ -27,6 +35,7 @@ struct Outcome {
     compiles: u64,
     fetches: u64,
     control_frames: u64,
+    failovers: u64,
     checksum_bits: u64,
 }
 
@@ -107,6 +116,7 @@ fn main() {
             compiles,
             fetches: 0,
             control_frames: 0,
+            failovers: 0,
             checksum_bits: bits,
         });
         assert_eq!(compiles as usize, jobs.len() * nodes, "no sharing: every node compiles");
@@ -136,6 +146,7 @@ fn main() {
             compiles,
             fetches: cache.fetches - before_cache.fetches,
             control_frames: comm.control_sent - before_comm.control_sent,
+            failovers: 0,
             checksum_bits: bits,
         });
         if let Some(expected) = expect_compiles {
@@ -181,6 +192,7 @@ fn main() {
                 compiles: cache.compiles,
                 fetches: cache.fetches,
                 control_frames: comm.control_sent,
+                failovers: 0,
                 checksum_bits: bits,
             },
             lanes,
@@ -188,24 +200,84 @@ fn main() {
     };
     outcomes.push(mixed_outcome);
 
+    // Failover drill: the same workload on a fake-clock cluster whose rank 1
+    // is fail-stopped mid-batch.  Every job still completes — queued jobs on
+    // the dead rank replay on survivors, bit-identically — and the variant
+    // records how many reports carried failover provenance.
+    {
+        let clock = FakeClock::new();
+        let plan = FaultPlan::new().kill_at(1, Duration::from_millis(30));
+        let cluster = ClusterService::with_fault_plan(
+            nodes,
+            config,
+            clock.clone(),
+            ClusterTuning::fast(),
+            plan,
+        );
+        let sessions: Vec<_> = (0..nodes)
+            .map(|n| cluster.open_session_on(n, SessionSpec::tenant(format!("drill-{n}"))))
+            .collect();
+        let start = Instant::now();
+        let mut handles = Vec::new();
+        for session in &sessions {
+            for job in &jobs {
+                for _ in 0..reps {
+                    handles.push(cluster.submit(*session, job.clone()).unwrap());
+                }
+            }
+        }
+        // Drive the detector well past the kill and its death threshold.
+        for _ in 0..40 {
+            clock.advance(Duration::from_millis(10));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut bits = 0u64;
+        let mut failovers = 0u64;
+        for (i, handle) in handles.iter().enumerate() {
+            let report = handle.wait().expect("job survived the kill");
+            assert!(report.error.is_none(), "drill job failed: {:?}", report.error);
+            if i == 0 {
+                bits = report.checksum.to_bits();
+            }
+            if report.failover.is_some() {
+                failovers += 1;
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let cache = cluster.cache_stats().total;
+        let comm = cluster.comm_stats().total;
+        outcomes.push(Outcome {
+            name: "cluster_failover",
+            jobs: handles.len(),
+            secs,
+            compiles: cache.compiles,
+            fetches: cache.fetches,
+            control_frames: comm.control_sent,
+            failovers,
+            checksum_bits: bits,
+        });
+        cluster.shutdown();
+    }
+
     // Every variant computed the same field bit-for-bit.
     for o in &outcomes[1..] {
         assert_eq!(o.checksum_bits, outcomes[0].checksum_bits, "{} diverged", o.name);
     }
 
     println!(
-        "{:<17} {:>6} {:>12} {:>9} {:>8} {:>15}",
-        "variant", "jobs", "jobs/sec", "compiles", "fetches", "control frames"
+        "{:<17} {:>6} {:>12} {:>9} {:>8} {:>15} {:>10}",
+        "variant", "jobs", "jobs/sec", "compiles", "fetches", "control frames", "failovers"
     );
     for o in &outcomes {
         println!(
-            "{:<17} {:>6} {:>12.1} {:>9} {:>8} {:>15}",
+            "{:<17} {:>6} {:>12.1} {:>9} {:>8} {:>15} {:>10}",
             o.name,
             o.jobs,
             o.jobs_per_sec(),
             o.compiles,
             o.fetches,
-            o.control_frames
+            o.control_frames,
+            o.failovers
         );
     }
     let cold = outcomes.iter().find(|o| o.name == "cluster_cold").unwrap();
@@ -229,13 +301,14 @@ fn main() {
     json.push_str("  \"variants\": {\n");
     for (i, o) in outcomes.iter().enumerate() {
         json.push_str(&format!(
-            "    \"{}\": {{\"jobs\": {}, \"jobs_per_sec\": {:.1}, \"compiles\": {}, \"fetches\": {}, \"control_frames\": {}}}{}\n",
+            "    \"{}\": {{\"jobs\": {}, \"jobs_per_sec\": {:.1}, \"compiles\": {}, \"fetches\": {}, \"control_frames\": {}, \"failovers\": {}}}{}\n",
             o.name,
             o.jobs,
             o.jobs_per_sec(),
             o.compiles,
             o.fetches,
             o.control_frames,
+            o.failovers,
             if i + 1 == outcomes.len() { "" } else { "," },
         ));
     }

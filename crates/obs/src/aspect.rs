@@ -6,7 +6,8 @@
 //!
 //! - [`ObsServiceAspect`] advises the service-plane join points
 //!   ([`names::SERVICE_EXECUTE`], [`names::CACHE_RESOLVE`],
-//!   [`names::CLUSTER_PLAN_REQ`], [`names::CLUSTER_PLAN_REP`]).  One
+//!   [`names::CLUSTER_PLAN_REQ`], [`names::CLUSTER_PLAN_REP`],
+//!   [`names::CLUSTER_SUSPECT`], [`names::CLUSTER_FAILOVER`]).  One
 //!   instance is woven into the service's own program at construction; the
 //!   dispatch sites pass trace/parent ids as integer attributes, so this
 //!   module needs no service types at all.
@@ -62,6 +63,8 @@ impl Aspect for ObsServiceAspect {
         let resolve_hub = Arc::clone(&self.hub);
         let req_hub = Arc::clone(&self.hub);
         let rep_hub = Arc::clone(&self.hub);
+        let suspect_hub = Arc::clone(&self.hub);
+        let failover_hub = Arc::clone(&self.hub);
         vec![
             AdviceBinding::new(
                 Pointcut::execution(names::SERVICE_EXECUTE),
@@ -124,6 +127,33 @@ impl Aspect for ObsServiceAspect {
                         .plan_serve_ns
                         .record(rep_hub.recorder().now_nanos().saturating_sub(open.start_ns));
                     rep_hub.recorder().end_with(open, node, ok);
+                }),
+            ),
+            AdviceBinding::new(
+                Pointcut::call(names::CLUSTER_SUSPECT),
+                Advice::around(move |ctx, proceed| {
+                    // Detector transitions run on fabric/pacemaker threads with
+                    // no job context; the span is a trace root.
+                    let (trace, parent) = ctx_ids(ctx);
+                    let open = suspect_hub.recorder().start(names::CLUSTER_SUSPECT, trace, parent);
+                    proceed(ctx);
+                    let node = ctx.attr(attr::NODE).unwrap_or(-1);
+                    let ok = ctx.attr(attr::OK).unwrap_or(-1);
+                    suspect_hub.metrics().suspicions.inc();
+                    suspect_hub.recorder().end_with(open, node, ok);
+                }),
+            ),
+            AdviceBinding::new(
+                Pointcut::execution(names::CLUSTER_FAILOVER),
+                Advice::around(move |ctx, proceed| {
+                    let (trace, parent) = ctx_ids(ctx);
+                    let open =
+                        failover_hub.recorder().start(names::CLUSTER_FAILOVER, trace, parent);
+                    proceed(ctx);
+                    let node = ctx.attr(attr::NODE).unwrap_or(-1);
+                    let job = ctx.attr(attr::JOB).unwrap_or(-1);
+                    failover_hub.metrics().failovers.inc();
+                    failover_hub.recorder().end_with(open, node, job);
                 }),
             ),
         ]

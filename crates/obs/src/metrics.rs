@@ -193,6 +193,12 @@ pub struct Metrics {
     pub plan_fetch_ns: Histogram,
     /// Plan-request service time (owner side).
     pub plan_serve_ns: Histogram,
+    /// Failure-detector transitions recorded (a rank suspected or declared
+    /// dead by some node's membership view).
+    pub suspicions: Counter,
+    /// Checkpoint-replay failovers: jobs orphaned by a dead node and
+    /// re-submitted onto a survivor.
+    pub failovers: Counter,
     kernel_rates: Mutex<HashMap<u64, KernelRate>>,
 }
 

@@ -26,6 +26,9 @@ pub struct CacheCounters {
     pub evictions: u64,
     /// Fingerprint collisions detected.
     pub collisions: u64,
+    /// Compiles forced by a failed (not declined) cluster fetch — the
+    /// degraded fallback path, visible instead of silent.
+    pub degraded_resolves: u64,
     /// Per-family (hits, misses) lanes, in family-id order.
     pub lanes: Vec<(u64, u64)>,
 }
@@ -102,6 +105,12 @@ impl ObsSnapshot {
                 violations.push(format!(
                     "cache ledger broken: misses {} != compiles {} + fetches {}",
                     cache.misses, cache.compiles, cache.fetches
+                ));
+            }
+            if cache.degraded_resolves > cache.compiles {
+                violations.push(format!(
+                    "degraded resolves {} exceed compiles {}",
+                    cache.degraded_resolves, cache.compiles
                 ));
             }
             let lane_hits: u64 = cache.lanes.iter().map(|(h, _)| h).sum();
@@ -220,6 +229,7 @@ mod tests {
                 fetches: 1,
                 evictions: 0,
                 collisions: 0,
+                degraded_resolves: 0,
                 lanes: vec![(5, 2), (0, 1), (0, 0)],
             }),
             comm: Some(CommCounters {

@@ -55,11 +55,22 @@ pub struct PagePayload<C> {
     pub cells: Vec<C>,
 }
 
+/// First tag of the **liveness class**: control frames tagged
+/// `>= LIVENESS_TAG_BASE` are background chatter (heartbeats, failure
+/// suspicions) rather than application traffic.  They ride the same control
+/// plane but are metered into [`CommStats::liveness_sent`] /
+/// [`CommStats::liveness_received`] instead of the `control_*` /
+/// `messages_*` / `bytes_*` ledgers, so the quiesced-mesh balance invariant
+/// (`control_sent == control_received` once the application drains) keeps
+/// holding while heartbeats are still in flight.
+pub const LIVENESS_TAG_BASE: u32 = 0xF000_0000;
+
 /// One control-plane frame: an application-tagged byte payload.
 ///
 /// Tags are allocated by the subsystem using the plane (the cluster service
-/// reserves a few for plan sharing and shutdown); the transport itself only
-/// routes and meters them.
+/// reserves a few for plan sharing and shutdown, and liveness tags live at
+/// [`LIVENESS_TAG_BASE`] and up); the transport itself only routes and
+/// meters them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ControlFrame {
     /// Sending rank.
@@ -136,6 +147,11 @@ pub struct CommStats {
     pub control_sent: u64,
     /// Control frames received.
     pub control_received: u64,
+    /// Liveness-class frames sent (tags `>=` [`LIVENESS_TAG_BASE`]:
+    /// heartbeats, suspicions).  Kept out of every other ledger.
+    pub liveness_sent: u64,
+    /// Liveness-class frames received.
+    pub liveness_received: u64,
 }
 
 /// Element-wise sum — the aggregation mesh-wide balance checks and the
@@ -154,6 +170,8 @@ impl std::ops::Add for CommStats {
             bytes_received: self.bytes_received + rhs.bytes_received,
             control_sent: self.control_sent + rhs.control_sent,
             control_received: self.control_received + rhs.control_received,
+            liveness_sent: self.liveness_sent + rhs.liveness_sent,
+            liveness_received: self.liveness_received + rhs.liveness_received,
         }
     }
 }
@@ -174,6 +192,8 @@ struct CommCounters {
     bytes_received: AtomicU64,
     control_sent: AtomicU64,
     control_received: AtomicU64,
+    liveness_sent: AtomicU64,
+    liveness_received: AtomicU64,
 }
 
 impl CommCounters {
@@ -188,6 +208,8 @@ impl CommCounters {
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
             control_sent: self.control_sent.load(Ordering::Relaxed),
             control_received: self.control_received.load(Ordering::Relaxed),
+            liveness_sent: self.liveness_sent.load(Ordering::Relaxed),
+            liveness_received: self.liveness_received.load(Ordering::Relaxed),
         }
     }
 }
@@ -265,9 +287,13 @@ fn send_control_frame<C>(
     if senders[peer].send(RankMessage::Control { from, tag, bytes }).is_err() {
         return false;
     }
-    counters.messages_sent.fetch_add(1, Ordering::Relaxed);
-    counters.control_sent.fetch_add(1, Ordering::Relaxed);
-    counters.bytes_sent.fetch_add(len, Ordering::Relaxed);
+    if tag >= LIVENESS_TAG_BASE {
+        counters.liveness_sent.fetch_add(1, Ordering::Relaxed);
+    } else {
+        counters.messages_sent.fetch_add(1, Ordering::Relaxed);
+        counters.control_sent.fetch_add(1, Ordering::Relaxed);
+        counters.bytes_sent.fetch_add(len, Ordering::Relaxed);
+    }
     true
 }
 
@@ -374,6 +400,14 @@ impl<C: Clone + Send + 'static> Communicator<C> {
     }
 
     fn meter_received(&self, msg: &RankMessage<C>) {
+        // Liveness-class frames stay out of the message/byte/control ledgers
+        // entirely; see [`LIVENESS_TAG_BASE`].
+        if let RankMessage::Control { tag, .. } = msg {
+            if *tag >= LIVENESS_TAG_BASE {
+                self.counters.liveness_received.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
         self.counters.messages_received.fetch_add(1, Ordering::Relaxed);
         match msg {
             RankMessage::Pages { pages, .. } => {
@@ -862,5 +896,28 @@ mod tests {
         // does not invalidate the snapshots already taken.
         drop(comms);
         assert!(probes[0].stats().messages_sent > 0);
+    }
+
+    #[test]
+    fn liveness_frames_stay_out_of_the_control_ledger() {
+        let mut comms = Communicator::<f64>::mesh(2);
+        let c1 = comms.pop().unwrap();
+        let mut c0 = comms.pop().unwrap();
+        // One application frame, one liveness frame, both to rank 0.
+        assert!(c1.send_control(0, 1, vec![7, 7]));
+        assert!(c1.send_control(0, LIVENESS_TAG_BASE, vec![9; 16]));
+        assert!(c1.send_control(0, LIVENESS_TAG_BASE + 1, Vec::new()));
+        let sent = c1.stats();
+        assert_eq!((sent.control_sent, sent.liveness_sent), (1, 2));
+        assert_eq!(sent.bytes_sent, 2, "liveness payload bytes are not metered");
+        // Receive all three: the application frame lands in control_received,
+        // the liveness frames in liveness_received only.
+        for _ in 0..3 {
+            assert!(c0.recv_control().is_some());
+        }
+        let recv = c0.stats();
+        assert_eq!((recv.control_received, recv.liveness_received), (1, 2));
+        assert_eq!(recv.messages_received, 1);
+        assert_eq!(recv.bytes_received, 2);
     }
 }

@@ -42,6 +42,7 @@ pub use annotation::HpcApp;
 pub use aspects::{MpiAspect, OmpAspect};
 pub use comm::{
     CommProbe, CommStats, Communicator, ControlFrame, ControlHandle, PagePayload, RankMessage,
+    LIVENESS_TAG_BASE,
 };
 pub use cost::{CostModel, CostParams};
 pub use ctx::{Progress, ProgressNotifier, RankShared, TaskCtx};

@@ -142,6 +142,10 @@ pub struct PlanCacheStats {
     /// Lookups whose fingerprint matched a resident entry for a *different*
     /// program (hash collision); served by an uncached compile.
     pub collisions: u64,
+    /// Misses whose cluster fetch was attempted and **failed** (owner dead,
+    /// timeout, retry budget spent) before falling back to a local compile.
+    /// A subset of `compiles` — the degraded path is visible, not silent.
+    pub degraded_resolves: u64,
     /// Entries currently resident.
     pub entries: usize,
     /// Resident entries currently pinned.
@@ -171,6 +175,7 @@ impl std::ops::Add for PlanCacheStats {
             fetches: self.fetches + rhs.fetches,
             evictions: self.evictions + rhs.evictions,
             collisions: self.collisions + rhs.collisions,
+            degraded_resolves: self.degraded_resolves + rhs.degraded_resolves,
             entries: self.entries + rhs.entries,
             pinned_entries: self.pinned_entries + rhs.pinned_entries,
             family: [
@@ -259,19 +264,35 @@ impl EvictionPolicy for CostAwarePolicy {
     }
 }
 
+/// What a [`PlanFetcher`] consultation produced — the distinction the
+/// degraded-path ledger needs: a fetcher that *declines* (this node owns the
+/// key, or no cluster is attached) makes the local compile the intended
+/// resolution, while a fetcher that *fails* (owner dead, retries exhausted,
+/// fabric wedged) makes the same compile a degraded fallback worth metering.
+#[derive(Debug)]
+pub enum FetchOutcome {
+    /// The fetcher has nothing to do for this key (e.g. the local rank is
+    /// the owner): compile locally, not a degradation.
+    Declined,
+    /// The owner served the portable plan.
+    Fetched(PortableKernel),
+    /// The fetch was attempted and did not succeed (timeout, dead owner,
+    /// retry budget spent): the cache compiles locally and meters
+    /// [`PlanCacheStats::degraded_resolves`].
+    Failed,
+}
+
 /// A remote source of compiled plans, consulted between the local shards and
 /// a local compile (the "cluster fetch" stage of the resolution chain).
 ///
 /// Implementations must not assume any cache lock is held (none is), and may
 /// block — e.g. on a control-plane round trip to the key's owner rank.
-/// Returning `None` means "resolve locally": the key has no remote owner,
-/// the fabric is shutting down, or the fetch failed; the cache then compiles.
 pub trait PlanFetcher: Send + Sync {
-    /// Fetch the portable form of the plan for `key`, or `None` to make the
-    /// cache compile locally.  `program` is the requesting program (any
-    /// family) — wire protocols ship it so the owner can compile a plan it
-    /// never saw.
-    fn fetch(&self, key: &PlanKey, program: &FamilyProgram) -> Option<PortableKernel>;
+    /// Fetch the portable form of the plan for `key`.  `program` is the
+    /// requesting program (any family) — wire protocols ship it so the owner
+    /// can compile a plan it never saw.  See [`FetchOutcome`] for how the
+    /// three results steer the cache's ledger.
+    fn fetch(&self, key: &PlanKey, program: &FamilyProgram) -> FetchOutcome;
 }
 
 struct Entry {
@@ -388,6 +409,7 @@ pub struct PlanCache {
     fetches: AtomicU64,
     evictions: AtomicU64,
     collisions: AtomicU64,
+    degraded_resolves: AtomicU64,
     /// Per-family hit/miss attribution, indexed by [`KernelFamilyId::tag`].
     family_hits: [AtomicU64; 3],
     family_misses: [AtomicU64; 3],
@@ -417,6 +439,7 @@ impl PlanCache {
             fetches: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             collisions: AtomicU64::new(0),
+            degraded_resolves: AtomicU64::new(0),
             family_hits: Default::default(),
             family_misses: Default::default(),
         }
@@ -587,28 +610,40 @@ impl PlanCache {
         // only once the resolution succeeded, so `misses == compiles +
         // fetches` holds even across leader panics.
         let mut resolved: Option<(FamilyProgram, FamilyArtifact, PlanOrigin)> = None;
+        let mut fetch_failed = false;
         if let Some(fetcher) = &self.fetcher {
-            if let Some(portable) = fetcher.fetch(&key, program) {
-                // Trust nothing off the wire: the portable form must be the
-                // plan this lookup wants (same structure, same shape/level),
-                // or the fetch is discarded and the chain falls through to a
-                // local compile.
-                if portable.fingerprint() == key.fingerprint
-                    && portable.program().same_structure(program)
-                    && portable.extent() == extent
-                    && portable.level() == level
-                {
-                    let (remote_program, artifact) = portable.hydrate();
-                    self.meter_miss(&key);
-                    self.fetches.fetch_add(1, Ordering::Relaxed);
-                    resolved = Some((remote_program, artifact, PlanOrigin::Fetched));
+            match fetcher.fetch(&key, program) {
+                FetchOutcome::Fetched(portable) => {
+                    // Trust nothing off the wire: the portable form must be
+                    // the plan this lookup wants (same structure, same
+                    // shape/level), or the fetch is discarded and the chain
+                    // falls through to a local compile — a degraded resolve,
+                    // since the cluster path was attempted and produced
+                    // nothing usable.
+                    if portable.fingerprint() == key.fingerprint
+                        && portable.program().same_structure(program)
+                        && portable.extent() == extent
+                        && portable.level() == level
+                    {
+                        let (remote_program, artifact) = portable.hydrate();
+                        self.meter_miss(&key);
+                        self.fetches.fetch_add(1, Ordering::Relaxed);
+                        resolved = Some((remote_program, artifact, PlanOrigin::Fetched));
+                    } else {
+                        fetch_failed = true;
+                    }
                 }
+                FetchOutcome::Failed => fetch_failed = true,
+                FetchOutcome::Declined => {}
             }
         }
         let (entry_program, artifact, origin) = resolved.unwrap_or_else(|| {
             let artifact = program.compile(extent, level);
             self.meter_miss(&key);
             self.compiles.fetch_add(1, Ordering::Relaxed);
+            if fetch_failed {
+                self.degraded_resolves.fetch_add(1, Ordering::Relaxed);
+            }
             (program.clone(), artifact, PlanOrigin::Compiled)
         });
 
@@ -767,6 +802,7 @@ impl PlanCache {
             fetches: self.fetches.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             collisions: self.collisions.load(Ordering::Relaxed),
+            degraded_resolves: self.degraded_resolves.load(Ordering::Relaxed),
             entries,
             pinned_entries,
             family: [lane(0), lane(1), lane(2)],
@@ -1041,14 +1077,14 @@ mod tests {
     }
 
     impl PlanFetcher for ScriptedFetcher {
-        fn fetch(&self, key: &PlanKey, program: &FamilyProgram) -> Option<PortableKernel> {
+        fn fetch(&self, key: &PlanKey, program: &FamilyProgram) -> FetchOutcome {
             self.calls.fetch_add(1, Ordering::SeqCst);
             if !self.serve {
-                return None;
+                return FetchOutcome::Declined;
             }
             let extent = Extent::new2d(key.nx, key.ny);
             let artifact = program.compile(extent, key.level);
-            Some(PortableKernel::from_compiled(program, &artifact, key.level))
+            FetchOutcome::Fetched(PortableKernel::from_compiled(program, &artifact, key.level))
         }
     }
 
@@ -1088,11 +1124,11 @@ mod tests {
     }
 
     impl PlanFetcher for PanicOnceFetcher {
-        fn fetch(&self, _key: &PlanKey, _program: &FamilyProgram) -> Option<PortableKernel> {
+        fn fetch(&self, _key: &PlanKey, _program: &FamilyProgram) -> FetchOutcome {
             if !self.panicked.swap(true, Ordering::SeqCst) {
                 panic!("fetcher exploded mid-flight");
             }
-            None
+            FetchOutcome::Declined
         }
     }
 
@@ -1142,8 +1178,12 @@ mod tests {
     struct WrongShapeFetcher;
 
     impl PlanFetcher for WrongShapeFetcher {
-        fn fetch(&self, _key: &PlanKey, program: &FamilyProgram) -> Option<PortableKernel> {
-            Some(PortableKernel::pack(program, Extent::new2d(2, 2), OptLevel::Full))
+        fn fetch(&self, _key: &PlanKey, program: &FamilyProgram) -> FetchOutcome {
+            FetchOutcome::Fetched(PortableKernel::pack(
+                program,
+                Extent::new2d(2, 2),
+                OptLevel::Full,
+            ))
         }
     }
 
@@ -1157,6 +1197,34 @@ mod tests {
         assert_eq!(artifact.extent(), Extent::new2d(8, 8), "the local compile is correctly shaped");
         assert_eq!(cache.stats().fetches, 0);
         assert_eq!(cache.stats().compiles, 1);
+        assert_eq!(cache.stats().degraded_resolves, 1, "a discarded fetch is a degraded resolve");
+    }
+
+    /// A fetcher whose fetch attempt fails outright (dead owner, timeout):
+    /// the compile fallback is metered as degraded, unlike a decline.
+    #[derive(Debug)]
+    struct FailingFetcher;
+
+    impl PlanFetcher for FailingFetcher {
+        fn fetch(&self, _key: &PlanKey, _program: &FamilyProgram) -> FetchOutcome {
+            FetchOutcome::Failed
+        }
+    }
+
+    #[test]
+    fn failed_fetch_meters_a_degraded_resolve_but_a_decline_does_not() {
+        let failing = PlanCache::new(2, 8).with_fetcher(Arc::new(FailingFetcher));
+        let p = StencilProgram::jacobi_5pt();
+        let (_, origin) = failing.resolve(&fam(&p), Extent::new2d(8, 8), OptLevel::Full, false);
+        assert_eq!(origin, PlanOrigin::Compiled);
+        let stats = failing.stats();
+        assert_eq!((stats.compiles, stats.degraded_resolves), (1, 1));
+
+        let declining = PlanCache::new(2, 8)
+            .with_fetcher(Arc::new(ScriptedFetcher { calls: AtomicUsize::new(0), serve: false }));
+        declining.resolve(&fam(&p), Extent::new2d(8, 8), OptLevel::Full, false);
+        let stats = declining.stats();
+        assert_eq!((stats.compiles, stats.degraded_resolves), (1, 0), "declines are not degraded");
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The cluster mesh: N service nodes sharing compiled plans over the
-//! simulated fabric.
+//! simulated fabric — and surviving the death of any of them.
 //!
 //! A [`ClusterService`] stands up `N` [`KernelService`] nodes — each with its
 //! own worker pool, session registry and [`PlanCache`] — connected by a
@@ -10,9 +10,10 @@
 //!
 //! # The plan-sharing protocol
 //!
-//! Every [`PlanKey`] has a deterministic **owner rank**
-//! (`hash(fingerprint, shape, level) % N`), the cluster's single-flight
-//! arbiter for that plan:
+//! Every [`PlanKey`] has a deterministic **owner rank** — the highest
+//! rendezvous-hash scorer among the *live* ranks
+//! ([`rendezvous_owner`](crate::membership::rendezvous_owner)) — the
+//! cluster's single-flight arbiter for that plan:
 //!
 //! 1. A node missing locally asks its cache's chained
 //!    [`PlanFetcher`](crate::cache::PlanFetcher) — here a [`ClusterFetcher`]
@@ -26,25 +27,73 @@
 //! 3. The owner's **fabric thread** — the thread owning the node's
 //!    [`Communicator`] endpoint — resolves the request against the owner's
 //!    own cache (compiling at most once, its local single-flight) and
-//!    replies with a `PLAN_REP` frame carrying the portable form.
+//!    replies with a `PLAN_REP` frame carrying the portable form plus the
+//!    owner's incarnation number.
 //! 4. The requester hydrates the portable form (re-lowering to a
 //!    bit-identical tape; see [`aohpc_kernel::portable`]) and caches it.
 //!
 //! Each distinct plan is therefore **compiled exactly once per cluster** —
 //! on its owner — and fetched (not recompiled) everywhere else: summed over
 //! all nodes, [`PlanCacheStats::compiles`] equals the number of distinct
-//! plans, the invariant the cluster tests assert.  A fetch that times out or
-//! races shutdown degrades to a local compile, trading the invariant for
-//! availability (never a wrong answer, at worst a duplicate compile).
+//! plans, the invariant the cluster tests assert.
 //!
 //! Requesters block on a reply holding **no lock** (the cache resolves
 //! flights outside its shards), and owners serve requests with node-local
 //! compilation only (the owner of a key never forwards), so the
 //! request/serve mesh cannot deadlock.
+//!
+//! # Fault tolerance
+//!
+//! The cluster survives fail-stop node deaths without losing a job or
+//! changing an answer, built from four mechanisms (see also
+//! [`membership`](crate::membership) and [`fault`](crate::fault)):
+//!
+//! * **Liveness.**  Every node runs a *pacemaker* broadcasting heartbeats on
+//!   the liveness frame class (tags above
+//!   [`aohpc_runtime::LIVENESS_TAG_BASE`], metered outside the application
+//!   control ledger) and sweeping a per-node [`Membership`] view: silent
+//!   peers become *suspect*, then *dead*, each transition carrying an
+//!   incarnation number and gossiped on `SUSPECT` frames so views converge.
+//!   Under a [`FakeClock`] the pacemaker ticks on `advance`, making
+//!   detection fully test-controlled.
+//! * **Plan re-ownership.**  Owners are rendezvous-hashed over the *live*
+//!   view, so when a rank dies only the keys it owned re-home (each to its
+//!   second-highest scorer).  A fetch that times out suspects the owner,
+//!   backs off (capped exponential, [`ClusterTuning::backoff_for`]), and
+//!   retries against the freshly computed owner; only after the retry
+//!   budget is spent does it degrade to a local compile — metered as
+//!   [`PlanCacheStats::degraded_resolves`], never silent.
+//! * **Checkpoint replay.**  A kill fail-stops a node at the **dequeue
+//!   boundary**: jobs a worker already started finish (their superstep
+//!   state is node-local and deterministic), queued jobs are orphaned to
+//!   the cluster's *failover supervisor*, which replays them on a surviving
+//!   node.  The deterministic stack makes the replay bit-identical; the
+//!   report resolves the original submitter's [`JobHandle`] carrying a
+//!   [`FailoverProvenance`], so zero jobs are lost and every failover is
+//!   auditable per job.
+//! * **Failure injection.**  A [`FaultPlan`](crate::fault::FaultPlan) arms
+//!   scripted kills, fabric wedges, and frame drops/delays into the cluster
+//!   ([`ClusterService::with_fault_plan`]), driven by the same clock seam —
+//!   the harness the fault-tolerance tests (and nobody else) pay for.
+//!
+//! A late `PLAN_REP` from a rank already declared dead carries a stale
+//! incarnation and is dropped (metered as
+//! [`MembershipStats::stale_replies_dropped`]) — the shutdown-vs-death race
+//! cannot fulfil a live request with a dead node's reply.
 
-use crate::cache::{EvictionPolicy, LruPolicy, PlanCache, PlanCacheStats, PlanFetcher, PlanKey};
-use crate::job::{JobHandle, JobReport, JobSpec};
-use crate::service::{KernelService, ServiceClock, ServiceConfig, SubmitError};
+use crate::cache::{
+    EvictionPolicy, FetchOutcome, LruPolicy, PlanCache, PlanCacheStats, PlanFetcher, PlanKey,
+};
+use crate::fault::{FaultAction, FaultPlan, FaultState, Interception};
+use crate::job::{
+    FailoverProvenance, JobError, JobErrorKind, JobHandle, JobId, JobOutcome, JobReport, JobSpec,
+};
+use crate::membership::{
+    rendezvous_owner, ClusterTuning, Membership, MembershipStats, NodeState, Transition,
+};
+use crate::service::{
+    KernelService, OrphanSink, OrphanedJob, ServiceClock, ServiceConfig, SubmitError,
+};
 use crate::session::{CompletionStream, SessionCtx, SessionId, SessionMeter, SessionSpec};
 use aohpc_aop::{attr, names, JoinPointKind, Weaver, WovenProgram};
 use aohpc_kernel::{FamilyProgram, OptLevel, PortableKernel};
@@ -52,8 +101,11 @@ use aohpc_obs::{
     current_context, AdmissionCounters, CacheCounters, CommCounters, JobCounters, ObsHub,
     ObsServiceAspect, ObsSnapshot,
 };
-use aohpc_runtime::{CommProbe, CommStats, Communicator, ControlHandle};
+use aohpc_runtime::{
+    CommProbe, CommStats, Communicator, ControlFrame, ControlHandle, LIVENESS_TAG_BASE,
+};
 use aohpc_testalloc::sync::FakeClock;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
@@ -64,23 +116,24 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Control-plane tag: stop the receiving fabric thread.
-const TAG_SHUTDOWN: u32 = 0;
+pub const TAG_SHUTDOWN: u32 = 0;
 /// Control-plane tag: plan request (`req_id` + portable kernel bytes).
-const TAG_PLAN_REQ: u32 = 1;
-/// Control-plane tag: plan reply (`req_id` + status + portable kernel bytes).
-const TAG_PLAN_REP: u32 = 2;
+pub const TAG_PLAN_REQ: u32 = 1;
+/// Control-plane tag: plan reply (`req_id` + sender incarnation + status +
+/// portable kernel bytes).
+pub const TAG_PLAN_REP: u32 = 2;
+/// Liveness-class tag: heartbeat (payload: sender's incarnation).
+pub const TAG_HEARTBEAT: u32 = LIVENESS_TAG_BASE;
+/// Liveness-class tag: membership gossip (`subject` + state + incarnation).
+/// The originator of a suspect/dead transition broadcasts it so views
+/// converge without every detector timing out independently.
+pub const TAG_SUSPECT: u32 = LIVENESS_TAG_BASE + 1;
 
-/// How long a requester waits for the owner's reply before degrading to a
-/// local compile (a liveness bound, not a correctness knob: the fabric is
-/// in-process, so in practice replies arrive in microseconds).
-const FETCH_TIMEOUT: Duration = Duration::from_secs(10);
-
-/// The owner rank of a plan key: the cluster-wide single-flight arbiter that
-/// compiles it.  Deterministic and uniform-ish over ranks; every node
-/// computes the same owner for the same key.
-fn owner_of(key: &PlanKey, ranks: usize) -> usize {
+/// The well-mixed hash of a plan key that rendezvous scoring runs on; every
+/// node computes the same hash for the same key.
+fn key_hash(key: &PlanKey) -> u64 {
     let fp = key.fingerprint.as_u128();
-    let mix = (fp as u64)
+    (fp as u64)
         ^ ((fp >> 64) as u64)
         ^ ((key.nx as u64) << 32)
         ^ (key.ny as u64)
@@ -88,8 +141,82 @@ fn owner_of(key: &PlanKey, ranks: usize) -> usize {
         ^ match key.level {
             OptLevel::None => 0,
             OptLevel::Full => 1 << 16,
-        };
-    (mix % ranks as u64) as usize
+        }
+}
+
+/// The rank that would own `spec`'s plan among `candidates` — the
+/// re-ownership preview surface.
+///
+/// Matches the fetch path exactly: the plan key is the spec's program
+/// fingerprint plus its primary block extent and optimization level, and the
+/// scoring is the same rendezvous hash every fetcher runs.  Operators use it
+/// to predict plan placement; fault drills use it to build deterministic
+/// schedules ("kill the owner of this plan and watch the key re-home").
+pub fn plan_owner_among(spec: &JobSpec, candidates: &[usize]) -> usize {
+    let primary =
+        aohpc_env::Extent::new2d(spec.block.min(spec.region.nx), spec.block.min(spec.region.ny));
+    let key = PlanKey::of(&spec.program, primary, spec.opt_level);
+    rendezvous_owner(key_hash(&key), candidates)
+}
+
+/// The `SUSPECT` gossip payload: subject rank, claimed state, incarnation.
+fn suspect_payload(t: &Transition) -> Vec<u8> {
+    let mut bytes = (t.subject as u64).to_le_bytes().to_vec();
+    bytes.push(match t.to {
+        NodeState::Alive => 0,
+        NodeState::Suspect => 1,
+        NodeState::Dead => 2,
+    });
+    bytes.extend_from_slice(&t.incarnation.to_le_bytes());
+    bytes
+}
+
+fn decode_suspect(bytes: &[u8]) -> Option<(usize, NodeState, u64)> {
+    if bytes.len() != 17 {
+        return None;
+    }
+    let subject = u64::from_le_bytes(bytes[..8].try_into().ok()?) as usize;
+    let state = match bytes[8] {
+        0 => NodeState::Alive,
+        1 => NodeState::Suspect,
+        2 => NodeState::Dead,
+        _ => return None,
+    };
+    let incarnation = u64::from_le_bytes(bytes[9..17].try_into().ok()?);
+    Some((subject, state, incarnation))
+}
+
+/// Broadcast a locally-originated membership transition to every peer and
+/// record it through the `CLUSTER_SUSPECT` join point (attrs: `node` = the
+/// subject, `ok` = 1 for a suspicion, 0 for a death).  Only the originator
+/// broadcasts — adopted claims are not re-gossiped, so there is no storm.
+fn publish_transition(
+    handle: &ControlHandle<f64>,
+    ranks: usize,
+    woven: Option<&WovenProgram>,
+    t: &Transition,
+) {
+    let payload = suspect_payload(t);
+    for peer in 0..ranks {
+        if peer != handle.rank() {
+            let _ = handle.send(peer, TAG_SUSPECT, payload.clone());
+        }
+    }
+    if let Some(woven) = woven {
+        if t.to != NodeState::Alive {
+            let attrs = [(attr::NODE, t.subject as i64)];
+            let mut payload = ();
+            woven.dispatch_with(
+                names::CLUSTER_SUSPECT,
+                JoinPointKind::Call,
+                &attrs,
+                &mut payload,
+                &mut |ctx| {
+                    ctx.set_attr(attr::OK, i64::from(t.to == NodeState::Suspect));
+                },
+            );
+        }
+    }
 }
 
 /// One in-flight plan request: the fabric thread resolves it with the reply
@@ -133,10 +260,13 @@ impl ReplySlot {
     }
 }
 
-/// The reply router one node's fetchers and fabric thread share.
+/// The reply router one node's fetchers and fabric thread share.  Every slot
+/// remembers which rank it is waiting on, so a suspicion or death verdict
+/// can fail the slots aimed at that rank immediately instead of letting
+/// their fetchers wait out the timeout.
 struct PendingReplies {
     next_req: AtomicU64,
-    slots: StdMutex<HashMap<u64, Arc<ReplySlot>>>,
+    slots: StdMutex<HashMap<u64, (usize, Arc<ReplySlot>)>>,
 }
 
 impl PendingReplies {
@@ -147,15 +277,29 @@ impl PendingReplies {
         })
     }
 
-    fn register(&self) -> (u64, Arc<ReplySlot>) {
+    fn register(&self, owner: usize) -> (u64, Arc<ReplySlot>) {
         let id = self.next_req.fetch_add(1, Ordering::Relaxed) + 1;
         let slot = ReplySlot::new();
-        self.slots.lock().unwrap_or_else(|p| p.into_inner()).insert(id, Arc::clone(&slot));
+        self.slots.lock().unwrap_or_else(|p| p.into_inner()).insert(id, (owner, Arc::clone(&slot)));
         (id, slot)
     }
 
     fn take(&self, id: u64) -> Option<Arc<ReplySlot>> {
-        self.slots.lock().unwrap_or_else(|p| p.into_inner()).remove(&id)
+        self.slots.lock().unwrap_or_else(|p| p.into_inner()).remove(&id).map(|(_, slot)| slot)
+    }
+
+    /// Fail every request waiting on `rank`: its waiters wake now and re-home
+    /// against the next owner.
+    fn fail_rank(&self, rank: usize) {
+        let slots: Vec<_> = {
+            let mut map = self.slots.lock().unwrap_or_else(|p| p.into_inner());
+            let ids: Vec<u64> =
+                map.iter().filter(|(_, (owner, _))| *owner == rank).map(|(id, _)| *id).collect();
+            ids.into_iter().filter_map(|id| map.remove(&id)).map(|(_, slot)| slot).collect()
+        };
+        for slot in slots {
+            slot.resolve(None);
+        }
     }
 
     /// Fail every outstanding request (fabric thread exit): waiters wake and
@@ -163,7 +307,7 @@ impl PendingReplies {
     fn fail_all(&self) {
         let slots: Vec<_> = {
             let mut map = self.slots.lock().unwrap_or_else(|p| p.into_inner());
-            map.drain().map(|(_, slot)| slot).collect()
+            map.drain().map(|(_, (_, slot))| slot).collect()
         };
         for slot in slots {
             slot.resolve(None);
@@ -172,12 +316,15 @@ impl PendingReplies {
 }
 
 /// The cluster-fetch stage of one node's plan-resolution chain: asks the
-/// key's owner rank for the portable plan over the mesh's control plane.
+/// key's owner rank — rendezvous-hashed over the live membership view — for
+/// the portable plan, retrying with capped exponential backoff (and a fresh
+/// owner computation) when the owner goes silent.
 pub struct ClusterFetcher {
     rank: usize,
-    ranks: usize,
     handle: ControlHandle<f64>,
     pending: Arc<PendingReplies>,
+    membership: Arc<Membership>,
+    clock: ServiceClock,
     shutting_down: Arc<AtomicBool>,
     /// When the cluster carries an observer, cross-node requests dispatch
     /// through this woven program so the obs aspect wraps each round trip in
@@ -187,14 +334,14 @@ pub struct ClusterFetcher {
 }
 
 impl ClusterFetcher {
-    /// The actual request/reply round trip to the key's owner rank.
+    /// The actual request/reply round trip to `owner`.
     fn fetch_from(
         &self,
         owner: usize,
         key: &PlanKey,
         program: &FamilyProgram,
     ) -> Option<PortableKernel> {
-        let (req_id, slot) = self.pending.register();
+        let (req_id, slot) = self.pending.register(owner);
         let portable =
             PortableKernel::pack(program, aohpc_env::Extent::new2d(key.nx, key.ny), key.level);
         let mut payload = req_id.to_le_bytes().to_vec();
@@ -203,27 +350,23 @@ impl ClusterFetcher {
             self.pending.take(req_id);
             return None;
         }
-        let bytes = slot.wait(FETCH_TIMEOUT);
+        let bytes = slot.wait(self.membership.tuning().fetch_timeout);
         self.pending.take(req_id);
         PortableKernel::from_bytes(&bytes?).ok()
     }
-}
 
-impl PlanFetcher for ClusterFetcher {
-    fn fetch(&self, key: &PlanKey, program: &FamilyProgram) -> Option<PortableKernel> {
-        if self.ranks <= 1 || self.shutting_down.load(Ordering::SeqCst) {
-            return None;
-        }
-        let owner = owner_of(key, self.ranks);
-        if owner == self.rank {
-            // This node IS the single-flight arbiter: compile locally.
-            return None;
-        }
+    /// One attempt against `owner`, wrapped in a `CLUSTER_PLAN_REQ` span when
+    /// an observer is installed (declines and backoffs are local decisions,
+    /// not cross-node traffic, so only real requests get spans).
+    fn fetch_attempt(
+        &self,
+        owner: usize,
+        key: &PlanKey,
+        program: &FamilyProgram,
+    ) -> Option<PortableKernel> {
         let Some(woven) = &self.obs_woven else {
             return self.fetch_from(owner, key, program);
         };
-        // The declines above are local decisions, not cross-node traffic, so
-        // only a real request gets a span.
         let (trace, parent) = current_context().unwrap_or((0, 0));
         let attrs = [
             (attr::TRACE, trace as i64),
@@ -247,20 +390,67 @@ impl PlanFetcher for ClusterFetcher {
     }
 }
 
+impl PlanFetcher for ClusterFetcher {
+    fn fetch(&self, key: &PlanKey, program: &FamilyProgram) -> FetchOutcome {
+        if self.membership.ranks() <= 1 || self.shutting_down.load(Ordering::SeqCst) {
+            return FetchOutcome::Declined;
+        }
+        let hash = key_hash(key);
+        let tuning = self.membership.tuning();
+        let mut attempt = 0u32;
+        loop {
+            if self.shutting_down.load(Ordering::SeqCst) {
+                return FetchOutcome::Declined;
+            }
+            // Re-read the live view every attempt: a dead owner's keys
+            // re-home, so the retry goes to the *new* owner, not the corpse.
+            let owner = rendezvous_owner(hash, &self.membership.live_view());
+            if owner == self.rank {
+                // This node IS the single-flight arbiter: compile locally.
+                return FetchOutcome::Declined;
+            }
+            if let Some(plan) = self.fetch_attempt(owner, key, program) {
+                return FetchOutcome::Fetched(plan);
+            }
+            // Silence is evidence: suspect the owner (starting its cooldown)
+            // so the next attempt — and every other fetcher — re-homes
+            // instead of burning its budget against the same silent rank.
+            if let Some(t) = self.membership.suspect(owner, self.clock.now()) {
+                publish_transition(
+                    &self.handle,
+                    self.membership.ranks(),
+                    self.obs_woven.as_ref(),
+                    &t,
+                );
+            }
+            self.pending.fail_rank(owner);
+            if attempt >= tuning.fetch_retries {
+                // Budget spent: the cache compiles locally and meters the
+                // degraded resolve.
+                return FetchOutcome::Failed;
+            }
+            std::thread::sleep(tuning.backoff_for(attempt));
+            attempt += 1;
+        }
+    }
+}
+
 impl fmt::Debug for ClusterFetcher {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ClusterFetcher")
             .field("rank", &self.rank)
-            .field("ranks", &self.ranks)
+            .field("ranks", &self.membership.ranks())
             .finish()
     }
 }
 
 /// Serve one `PLAN_REQ` payload against the owner's local cache, returning
-/// the reply frame (req id + status byte + compiled portable bytes).
-fn serve_plan_req(cache: &PlanCache, bytes: &[u8]) -> Vec<u8> {
+/// the reply frame (req id + serving rank's incarnation + status byte +
+/// compiled portable bytes).
+fn serve_plan_req(cache: &PlanCache, bytes: &[u8], incarnation: u64) -> Vec<u8> {
     let req_id: [u8; 8] = bytes[..8].try_into().expect("eight bytes");
     let mut reply = req_id.to_vec();
+    reply.extend_from_slice(&incarnation.to_le_bytes());
     match PortableKernel::from_bytes(&bytes[8..]) {
         Ok(portable) => {
             // Resolve against the local cache: the owner's local
@@ -281,32 +471,115 @@ fn serve_plan_req(cache: &PlanCache, bytes: &[u8]) -> Vec<u8> {
     reply
 }
 
-/// The per-node fabric loop: owns the node's [`Communicator`] endpoint,
-/// serves `PLAN_REQ` frames from its cache and routes `PLAN_REP` frames to
-/// waiting fetchers.  Exits on `TAG_SHUTDOWN` (the only reliable stop
-/// signal — a live endpoint's channel never disconnects, see
-/// [`Communicator::recv_control`]), failing all outstanding requests on the
-/// way out.  With an observer, each serve dispatches through `obs_woven` so
-/// the obs aspect records the owner-side serve span (a trace root — the
-/// fabric thread has no job context — keyed by the serving node's rank).
-fn fabric_loop(
-    mut comm: Communicator<f64>,
+/// Everything one fabric thread works with besides the communicator it owns.
+struct Fabric {
     cache: Arc<PlanCache>,
     pending: Arc<PendingReplies>,
+    membership: Arc<Membership>,
+    fault: Option<Arc<FaultState>>,
+    clock: ServiceClock,
+    shutting_down: Arc<AtomicBool>,
     obs_woven: Option<WovenProgram>,
-) {
-    let rank = comm.rank() as i64;
-    while let Some(frame) = comm.recv_control() {
+}
+
+impl Fabric {
+    /// The per-node fabric loop: owns the node's [`Communicator`] endpoint,
+    /// serves `PLAN_REQ` frames from its cache, routes `PLAN_REP` frames to
+    /// waiting fetchers, folds heartbeats and gossip into the membership
+    /// view, and applies the fault harness's frame perturbations.  Exits on
+    /// `TAG_SHUTDOWN` (the only reliable stop signal — a live endpoint's
+    /// channel never disconnects, see [`Communicator::recv_control`]),
+    /// failing all outstanding requests on the way out.
+    fn run(self, mut comm: Communicator<f64>) {
+        let rank = comm.rank();
+        'fabric: while let Some(frame) = comm.recv_control() {
+            if !self.process(rank, &mut comm, frame, true) {
+                break 'fabric;
+            }
+            // Frames the fault harness held are re-injected once due —
+            // skipping re-interception, or a delay rule would re-hold them.
+            if let Some(fault) = &self.fault {
+                for released in fault.take_released(rank, self.clock.now()) {
+                    if !self.process(rank, &mut comm, released, false) {
+                        break 'fabric;
+                    }
+                }
+            }
+        }
+        self.pending.fail_all();
+    }
+
+    /// Handle one frame; `false` means shutdown.
+    fn process(
+        &self,
+        rank: usize,
+        comm: &mut Communicator<f64>,
+        frame: ControlFrame,
+        intercept: bool,
+    ) -> bool {
+        if frame.tag == TAG_SHUTDOWN {
+            return false;
+        }
+        let now = self.clock.now();
+        if let Some(fault) = &self.fault {
+            if intercept {
+                match fault.intercept(rank, &frame, now) {
+                    Interception::Dropped | Interception::Held => return true,
+                    Interception::Deliver => {}
+                }
+            }
+            // A wedged fabric parks mid-stream: frames pile up behind it and
+            // its silence earns it a suspicion, exactly like a descheduled
+            // or livelocked fabric thread would.  Shutdown un-parks it so
+            // teardown cannot hang on a script that never unwedges.
+            while fault.is_wedged(rank) && !self.shutting_down.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            if fault.is_killed(rank) && frame.tag != TAG_PLAN_REP {
+                // Fail-stop: a dead node neither serves, gossips, nor
+                // observes.  Replies to fetches its still-running jobs
+                // issued are the one exception — the kill boundary is the
+                // dequeue, so work a worker already started completes.
+                return true;
+            }
+        }
+        // Any frame from a current-incarnation peer is liveness evidence.
+        if frame.from != rank && frame.from < self.membership.ranks() {
+            let evidence_incarnation = if frame.tag == TAG_HEARTBEAT {
+                frame
+                    .bytes
+                    .get(..8)
+                    .and_then(|b| b.try_into().ok())
+                    .map(u64::from_le_bytes)
+                    .unwrap_or_else(|| self.membership.incarnation_of(frame.from))
+            } else {
+                self.membership.incarnation_of(frame.from)
+            };
+            let _ = self.membership.observe_alive(frame.from, evidence_incarnation, now);
+        }
         match frame.tag {
-            TAG_SHUTDOWN => break,
+            TAG_HEARTBEAT => {} // pure liveness evidence, handled above
+            TAG_SUSPECT => {
+                if let Some((subject, state, incarnation)) = decode_suspect(&frame.bytes) {
+                    if subject < self.membership.ranks() {
+                        if let Some(t) = self.membership.adopt(subject, state, incarnation) {
+                            if t.to != NodeState::Alive {
+                                // Wake fetchers parked on the condemned rank.
+                                self.pending.fail_rank(subject);
+                            }
+                        }
+                    }
+                }
+            }
             TAG_PLAN_REQ => {
                 if frame.bytes.len() < 8 {
-                    continue; // malformed: no req id to even decline under
+                    return true; // malformed: no req id to even decline under
                 }
-                let reply = match &obs_woven {
-                    None => serve_plan_req(&cache, &frame.bytes),
+                let incarnation = self.membership.incarnation_of(rank);
+                let reply = match &self.obs_woven {
+                    None => serve_plan_req(&self.cache, &frame.bytes, incarnation),
                     Some(woven) => {
-                        let attrs = [(attr::NODE, rank)];
+                        let attrs = [(attr::NODE, rank as i64)];
                         let mut reply = None;
                         let mut payload = ();
                         woven.dispatch_with(
@@ -315,8 +588,8 @@ fn fabric_loop(
                             &attrs,
                             &mut payload,
                             &mut |ctx| {
-                                let bytes = serve_plan_req(&cache, &frame.bytes);
-                                ctx.set_attr(attr::OK, i64::from(bytes.get(8) == Some(&1)));
+                                let bytes = serve_plan_req(&self.cache, &frame.bytes, incarnation);
+                                ctx.set_attr(attr::OK, i64::from(bytes.get(16) == Some(&1)));
                                 reply = Some(bytes);
                             },
                         );
@@ -327,19 +600,273 @@ fn fabric_loop(
                 let _ = comm.send_control(frame.from, TAG_PLAN_REP, reply);
             }
             TAG_PLAN_REP => {
-                if frame.bytes.len() < 9 {
-                    continue;
+                if frame.bytes.len() < 17 {
+                    return true;
                 }
                 let req_id = u64::from_le_bytes(frame.bytes[..8].try_into().expect("eight bytes"));
-                let payload = (frame.bytes[8] == 1).then(|| frame.bytes[9..].to_vec());
-                if let Some(slot) = pending.take(req_id) {
+                let incarnation =
+                    u64::from_le_bytes(frame.bytes[8..16].try_into().expect("eight bytes"));
+                // The shutdown-vs-death race: a reply sent before its sender
+                // was declared dead carries the stale incarnation and must
+                // not fulfil a live slot.
+                if !self.membership.accepts_reply(frame.from, incarnation) {
+                    return true;
+                }
+                let payload = (frame.bytes[16] == 1).then(|| frame.bytes[17..].to_vec());
+                if let Some(slot) = self.pending.take(req_id) {
                     slot.resolve(payload);
                 }
             }
             _ => {} // unknown tags are ignored (future protocol extensions)
         }
+        true
     }
-    pending.fail_all();
+}
+
+/// One node's heartbeat source and deadline sweeper, plus the fault
+/// schedule's driver.
+struct PacemakerCtx {
+    rank: usize,
+    stop: Arc<AtomicBool>,
+    handle: ControlHandle<f64>,
+    membership: Arc<Membership>,
+    pending: Arc<PendingReplies>,
+    fault: Option<Arc<FaultState>>,
+    clock: ServiceClock,
+    supervisor_tx: Sender<SupervisorMsg>,
+    obs_woven: Option<WovenProgram>,
+}
+
+impl PacemakerCtx {
+    fn beat(&self) {
+        if self.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = self.clock.now();
+        if let Some(fault) = &self.fault {
+            // Whichever pacemaker observes the schedule first executes it
+            // (`drive` pops each action exactly once); kills are routed to
+            // the supervisor, which owns the node handles.
+            for action in fault.drive(now) {
+                if let FaultAction::Kill(rank) = action {
+                    let _ = self.supervisor_tx.send(SupervisorMsg::Kill(rank));
+                }
+            }
+            if fault.is_killed(self.rank) || fault.is_wedged(self.rank) {
+                return; // a dead or wedged node goes silent
+            }
+        }
+        let incarnation = self.membership.incarnation_of(self.rank);
+        for peer in 0..self.membership.ranks() {
+            if peer != self.rank && self.membership.state_of(peer) != NodeState::Dead {
+                let _ = self.handle.send(peer, TAG_HEARTBEAT, incarnation.to_le_bytes().to_vec());
+            }
+        }
+        for t in self.membership.tick(now) {
+            // Fetchers parked on a condemned rank wake and re-home now, not
+            // at their timeout.
+            self.pending.fail_rank(t.subject);
+            publish_transition(&self.handle, self.membership.ranks(), self.obs_woven.as_ref(), &t);
+        }
+    }
+}
+
+/// A running pacemaker: a joinable thread (wall clock) or a permanent
+/// `on_advance` registration gated by its stop flag (fake clock — the
+/// registration outlives the cluster, so the flag is the off switch).
+enum Pacemaker {
+    Thread { stop: Arc<AtomicBool>, handle: JoinHandle<()> },
+    FakeHook { stop: Arc<AtomicBool> },
+}
+
+impl Pacemaker {
+    fn stop(&self) {
+        match self {
+            Pacemaker::Thread { stop, .. } | Pacemaker::FakeHook { stop } => {
+                stop.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+
+    fn join(self) {
+        if let Pacemaker::Thread { handle, .. } = self {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The failover supervisor's intake.
+enum SupervisorMsg {
+    /// Execute a scripted fail-stop of `rank` (from the fault schedule).
+    Kill(usize),
+    /// A job stranded on killed rank `from`, to be replayed on a survivor.
+    Orphan { from: usize, orphan: Box<OrphanedJob> },
+    /// Cluster shutdown: finish in-flight replays, then exit.
+    Stop,
+}
+
+/// One orphan mid-replay on its target node.
+struct Replay {
+    from: usize,
+    to: usize,
+    orphan: OrphanedJob,
+    handle: JobHandle,
+}
+
+/// The cluster's recovery authority: executes scripted kills, replays
+/// orphaned jobs on survivors, and settles each orphan's original handle
+/// with the replay's (bit-identical) report plus failover provenance.
+struct Supervisor {
+    nodes: Vec<Arc<KernelService>>,
+    rx: Receiver<SupervisorMsg>,
+    obs_woven: Option<WovenProgram>,
+    /// One replay session per target node, opened lazily.
+    sessions: HashMap<usize, SessionId>,
+    inflight: Vec<Replay>,
+}
+
+impl Supervisor {
+    fn run(mut self) {
+        let mut stopping = false;
+        loop {
+            // Block only when truly idle; while replays are in flight, poll
+            // them between short waits (event-driven, never a serial wait —
+            // a second kill arriving mid-replay must still be executed).
+            let msg = if self.inflight.is_empty() && !stopping {
+                match self.rx.recv() {
+                    Ok(msg) => Some(msg),
+                    Err(_) => break,
+                }
+            } else {
+                match self.rx.recv_timeout(Duration::from_millis(2)) {
+                    Ok(msg) => Some(msg),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        stopping = true;
+                        None
+                    }
+                }
+            };
+            match msg {
+                Some(SupervisorMsg::Kill(rank)) => self.nodes[rank].kill_for_failover(),
+                Some(SupervisorMsg::Orphan { from, orphan }) => self.replay(from, *orphan),
+                Some(SupervisorMsg::Stop) => stopping = true,
+                None => {}
+            }
+            self.poll_inflight();
+            if stopping && self.inflight.is_empty() {
+                // Late orphans (a kill racing shutdown) still get replayed.
+                let mut drained_any = false;
+                while let Ok(msg) = self.rx.try_recv() {
+                    match msg {
+                        SupervisorMsg::Kill(rank) => self.nodes[rank].kill_for_failover(),
+                        SupervisorMsg::Orphan { from, orphan } => self.replay(from, *orphan),
+                        SupervisorMsg::Stop => {}
+                    }
+                    drained_any = true;
+                }
+                if !drained_any && self.inflight.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The survivor a stranded job re-homes to: rendezvous-hashed over the
+    /// not-killed ranks so a batch of orphans spreads instead of dogpiling
+    /// one node.
+    fn pick_target(&self, from: usize, job: JobId, candidates: &[usize]) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        Some(rendezvous_owner(job ^ ((from as u64) << 48), candidates))
+    }
+
+    fn replay(&mut self, from: usize, orphan: OrphanedJob) {
+        let original_job = orphan.cell.job;
+        let mut candidates: Vec<usize> =
+            (0..self.nodes.len()).filter(|&r| r != from && !self.nodes[r].is_killed()).collect();
+        // A target can die between pick and submit (a second kill racing
+        // this replay); fall through to the remaining survivors before
+        // giving up on the job.
+        while let Some(to) = self.pick_target(from, original_job, &candidates) {
+            let session = *self.sessions.entry(to).or_insert_with(|| {
+                self.nodes[to].open_session(SessionSpec::tenant("cluster-failover"))
+            });
+            match self.nodes[to].submit(session, orphan.spec.clone()) {
+                Ok(handle) => {
+                    self.inflight.push(Replay { from, to, orphan, handle });
+                    return;
+                }
+                Err(_) => candidates.retain(|&r| r != to),
+            }
+        }
+        Self::abandon(&self.nodes, from, orphan);
+    }
+
+    /// No survivor exists: resolve the orphan's handle so nothing hangs.
+    fn abandon(nodes: &[Arc<KernelService>], from: usize, orphan: OrphanedJob) {
+        let error = JobError {
+            job: orphan.cell.job,
+            session: orphan.session,
+            kind: JobErrorKind::Abandoned,
+        };
+        orphan.cell.slot.complete(Err(error));
+        nodes[from].push_stream_outcome(orphan.session, orphan.cell.job, Err(error));
+    }
+
+    fn poll_inflight(&mut self) {
+        let mut index = 0;
+        while index < self.inflight.len() {
+            if let Some(outcome) = self.inflight[index].handle.poll() {
+                let replay = self.inflight.swap_remove(index);
+                self.finalize(replay, outcome);
+            } else {
+                index += 1;
+            }
+        }
+    }
+
+    /// Settle one finished replay: stamp the report with provenance, resolve
+    /// the original handle (exactly once — the orphan's slot was left open
+    /// for this), deliver the original session's stream outcome, and record
+    /// the `CLUSTER_FAILOVER` join point.
+    fn finalize(&self, replay: Replay, outcome: JobOutcome) {
+        let Replay { from, to, orphan, .. } = replay;
+        let original_job = orphan.cell.job;
+        let outcome: JobOutcome = match outcome {
+            Ok(mut report) => {
+                report.failover = Some(FailoverProvenance {
+                    from_node: from,
+                    to_node: to,
+                    original_job,
+                    checkpoint_steps: orphan.watermark.steps,
+                });
+                Ok(report)
+            }
+            Err(err) => {
+                Err(JobError { job: original_job, session: orphan.session, kind: err.kind })
+            }
+        };
+        let ok = outcome.is_ok();
+        if orphan.cell.slot.complete(outcome.clone()) && ok {
+            orphan.cell.mark_completed();
+        }
+        self.nodes[from].push_stream_outcome(orphan.session, original_job, outcome);
+        if let Some(woven) = &self.obs_woven {
+            let attrs = [(attr::NODE, to as i64), (attr::JOB, original_job as i64)];
+            let mut payload = ();
+            woven.dispatch_with(
+                names::CLUSTER_FAILOVER,
+                JoinPointKind::Execution,
+                &attrs,
+                &mut payload,
+                &mut |ctx| {
+                    ctx.set_attr(attr::OK, i64::from(ok));
+                },
+            );
+        }
+    }
 }
 
 /// A session opened on a cluster: which node owns it plus the node-local id.
@@ -380,16 +907,24 @@ pub struct ClusterCommStats {
 }
 
 /// `N` kernel-service nodes over a simulated fabric, sharing compiled plans
-/// so each distinct plan is compiled once per **cluster**, not once per node.
+/// so each distinct plan is compiled once per **cluster**, not once per node
+/// — and surviving fail-stop node deaths without losing a job (see the
+/// [module docs](self) for the protocol and the failure model).
 ///
-/// See the [module docs](self) for the protocol.  Dropping the cluster (or
-/// calling [`ClusterService::shutdown`]) drains every node, stops the fabric
-/// threads and joins all workers.
+/// Dropping the cluster (or calling [`ClusterService::shutdown`]) drains
+/// every node, stops the failover supervisor, pacemakers and fabric
+/// threads, and joins all workers.
 pub struct ClusterService {
-    nodes: Vec<KernelService>,
+    nodes: Vec<Arc<KernelService>>,
     probes: Vec<CommProbe>,
     control: Vec<ControlHandle<f64>>,
     fabrics: Vec<JoinHandle<()>>,
+    pacemakers: Vec<Pacemaker>,
+    memberships: Vec<Arc<Membership>>,
+    supervisor: Option<JoinHandle<()>>,
+    supervisor_tx: Option<Sender<SupervisorMsg>>,
+    fault: Option<Arc<FaultState>>,
+    tuning: ClusterTuning,
     shutting_down: Arc<AtomicBool>,
     /// The cluster-wide observability hub, when one was installed
     /// ([`ClusterService::with_observer`]) — shared by every node, so spans
@@ -401,7 +936,7 @@ impl ClusterService {
     /// Start a cluster of `nodes` services, each sized by `config`, with the
     /// default (LRU) eviction policy on every node's plan cache.
     pub fn new(nodes: usize, config: ServiceConfig) -> Self {
-        Self::start(nodes, config, Arc::new(LruPolicy), None, None)
+        Self::start(nodes, config, Arc::new(LruPolicy), None, None, ClusterTuning::default(), None)
     }
 
     /// [`ClusterService::new`] with an explicit eviction policy (shared by
@@ -411,14 +946,22 @@ impl ClusterService {
         config: ServiceConfig,
         policy: Arc<dyn EvictionPolicy>,
     ) -> Self {
-        Self::start(nodes, config, policy, None, None)
+        Self::start(nodes, config, policy, None, None, ClusterTuning::default(), None)
     }
 
-    /// A cluster whose nodes' admission deadlines run on one shared
-    /// test-controlled [`FakeClock`] (the deterministic-harness seam; see
-    /// [`KernelService::with_fake_clock`]).
+    /// A cluster whose nodes' admission deadlines — and failure detectors —
+    /// run on one shared test-controlled [`FakeClock`] (the
+    /// deterministic-harness seam; see [`KernelService::with_fake_clock`]).
     pub fn with_fake_clock(nodes: usize, config: ServiceConfig, clock: Arc<FakeClock>) -> Self {
-        Self::start(nodes, config, Arc::new(LruPolicy), Some(clock), None)
+        Self::start(
+            nodes,
+            config,
+            Arc::new(LruPolicy),
+            Some(clock),
+            None,
+            ClusterTuning::default(),
+            None,
+        )
     }
 
     /// A cluster sharing one observability hub across every node: each job's
@@ -426,7 +969,15 @@ impl ClusterService {
     /// serve spans all land in the same flight recorder, linked by the job's
     /// trace id.  Snapshot with [`ClusterService::obs_snapshot`].
     pub fn with_observer(nodes: usize, config: ServiceConfig, hub: Arc<ObsHub>) -> Self {
-        Self::start(nodes, config, Arc::new(LruPolicy), None, Some(hub))
+        Self::start(
+            nodes,
+            config,
+            Arc::new(LruPolicy),
+            None,
+            Some(hub),
+            ClusterTuning::default(),
+            None,
+        )
     }
 
     /// [`ClusterService::with_observer`] on a shared fake clock — give the
@@ -437,7 +988,47 @@ impl ClusterService {
         hub: Arc<ObsHub>,
         clock: Arc<FakeClock>,
     ) -> Self {
-        Self::start(nodes, config, Arc::new(LruPolicy), Some(clock), Some(hub))
+        Self::start(
+            nodes,
+            config,
+            Arc::new(LruPolicy),
+            Some(clock),
+            Some(hub),
+            ClusterTuning::default(),
+            None,
+        )
+    }
+
+    /// A cluster with explicit failure-detector timing.
+    pub fn with_tuning(nodes: usize, config: ServiceConfig, tuning: ClusterTuning) -> Self {
+        Self::start(nodes, config, Arc::new(LruPolicy), None, None, tuning, None)
+    }
+
+    /// The fault-tolerance test harness: a cluster on a shared fake clock
+    /// with explicit detector `tuning` (usually [`ClusterTuning::fast`]) and
+    /// a scripted [`FaultPlan`] — kills, wedges and frame perturbations fire
+    /// exactly when the test advances the clock past their scheduled times.
+    pub fn with_fault_plan(
+        nodes: usize,
+        config: ServiceConfig,
+        clock: Arc<FakeClock>,
+        tuning: ClusterTuning,
+        plan: FaultPlan,
+    ) -> Self {
+        Self::start(nodes, config, Arc::new(LruPolicy), Some(clock), None, tuning, Some(plan))
+    }
+
+    /// [`ClusterService::with_fault_plan`] with an observability hub, so
+    /// fault drills land suspect/failover records in the flight recorder.
+    pub fn with_fault_plan_observed(
+        nodes: usize,
+        config: ServiceConfig,
+        clock: Arc<FakeClock>,
+        tuning: ClusterTuning,
+        plan: FaultPlan,
+        hub: Arc<ObsHub>,
+    ) -> Self {
+        Self::start(nodes, config, Arc::new(LruPolicy), Some(clock), Some(hub), tuning, Some(plan))
     }
 
     fn start(
@@ -446,6 +1037,8 @@ impl ClusterService {
         policy: Arc<dyn EvictionPolicy>,
         clock: Option<Arc<FakeClock>>,
         obs: Option<Arc<ObsHub>>,
+        tuning: ClusterTuning,
+        fault_plan: Option<FaultPlan>,
     ) -> Self {
         assert!(nodes > 0, "a cluster needs at least one node");
         let comms = Communicator::<f64>::mesh(nodes);
@@ -453,23 +1046,35 @@ impl ClusterService {
         let probes: Vec<CommProbe> = comms.iter().map(Communicator::probe).collect();
         let control: Vec<ControlHandle<f64>> =
             comms.iter().map(Communicator::control_handle).collect();
-        // One woven program serves every node's fetcher and fabric thread:
-        // the obs aspect is stateless beyond the hub, and cloning a woven
-        // program is an Arc bump.
+        // One woven program serves every node's fetcher, fabric thread,
+        // pacemaker and the supervisor: the obs aspect is stateless beyond
+        // the hub, and cloning a woven program is an Arc bump.
         let obs_woven = obs.as_ref().map(|hub| {
             Weaver::new().with_aspect(Box::new(ObsServiceAspect::new(Arc::clone(hub)))).weave()
         });
+        let cluster_clock = match &clock {
+            Some(fake) => ServiceClock::Fake(Arc::clone(fake)),
+            None => ServiceClock::real(),
+        };
+        let fault = fault_plan.map(|plan| Arc::new(plan.arm(nodes)));
+        let now = cluster_clock.now();
+        let memberships: Vec<Arc<Membership>> =
+            (0..nodes).map(|r| Arc::new(Membership::new(r, nodes, tuning, now))).collect();
+        let (supervisor_tx, supervisor_rx) = unbounded::<SupervisorMsg>();
 
-        let mut services = Vec::with_capacity(nodes);
+        let mut services: Vec<Arc<KernelService>> = Vec::with_capacity(nodes);
         let mut fabrics = Vec::with_capacity(nodes);
+        let mut pacemakers = Vec::with_capacity(nodes);
         for comm in comms {
             let rank = comm.rank();
             let pending = PendingReplies::new();
+            let membership = Arc::clone(&memberships[rank]);
             let fetcher = ClusterFetcher {
                 rank,
-                ranks: nodes,
                 handle: comm.control_handle(),
                 pending: Arc::clone(&pending),
+                membership: Arc::clone(&membership),
+                clock: cluster_clock.clone(),
                 shutting_down: Arc::clone(&shutting_down),
                 obs_woven: obs_woven.clone(),
             };
@@ -481,21 +1086,120 @@ impl ClusterService {
                 )
                 .with_fetcher(Arc::new(fetcher)),
             );
-            let fabric_cache = Arc::clone(&cache);
-            let fabric_woven = obs_woven.clone();
+            let pacemaker_handle = comm.control_handle();
+            let fabric = Fabric {
+                cache: Arc::clone(&cache),
+                pending: Arc::clone(&pending),
+                membership: Arc::clone(&membership),
+                fault: fault.clone(),
+                clock: cluster_clock.clone(),
+                shutting_down: Arc::clone(&shutting_down),
+                obs_woven: obs_woven.clone(),
+            };
             fabrics.push(
                 std::thread::Builder::new()
                     .name(format!("aohpc-fabric-{rank}"))
-                    .spawn(move || fabric_loop(comm, fabric_cache, pending, fabric_woven))
+                    .spawn(move || fabric.run(comm))
                     .expect("spawn fabric thread"),
             );
             let service_clock = match &clock {
                 Some(fake) => ServiceClock::Fake(Arc::clone(fake)),
                 None => ServiceClock::real(),
             };
-            services.push(KernelService::start(config, service_clock, Some(cache), obs.clone()));
+            let service =
+                Arc::new(KernelService::start(config, service_clock, Some(cache), obs.clone()));
+            // The node's stranded jobs flow to the supervisor; with the
+            // supervisor gone (a kill racing teardown) the handle is failed
+            // so nothing hangs.
+            let sink_tx = supervisor_tx.clone();
+            let sink: OrphanSink = Arc::new(move |orphan: OrphanedJob| {
+                if let Err(send) =
+                    sink_tx.send(SupervisorMsg::Orphan { from: rank, orphan: Box::new(orphan) })
+                {
+                    if let SupervisorMsg::Orphan { orphan, .. } = send.0 {
+                        let error = JobError {
+                            job: orphan.cell.job,
+                            session: orphan.session,
+                            kind: JobErrorKind::Abandoned,
+                        };
+                        orphan.cell.slot.complete(Err(error));
+                    }
+                }
+            });
+            service.install_orphan_sink(sink);
+            services.push(service);
+
+            let stop = Arc::new(AtomicBool::new(false));
+            let ctx = PacemakerCtx {
+                rank,
+                stop: Arc::clone(&stop),
+                handle: pacemaker_handle,
+                membership,
+                pending,
+                fault: fault.clone(),
+                clock: cluster_clock.clone(),
+                supervisor_tx: supervisor_tx.clone(),
+                obs_woven: obs_woven.clone(),
+            };
+            match &clock {
+                Some(fake) => {
+                    // The registration is permanent (the clock keeps it for
+                    // its lifetime); the stop flag is the off switch.  The
+                    // closure holds no node Arc, so shutdown's try_unwrap
+                    // stays possible.
+                    fake.on_advance(move || ctx.beat());
+                    pacemakers.push(Pacemaker::FakeHook { stop });
+                }
+                None => {
+                    let beat_every = tuning.heartbeat_every;
+                    let thread_stop = Arc::clone(&stop);
+                    let handle = std::thread::Builder::new()
+                        .name(format!("aohpc-pacemaker-{rank}"))
+                        .spawn(move || {
+                            while !thread_stop.load(Ordering::SeqCst) {
+                                ctx.beat();
+                                // Sliced sleep so shutdown joins promptly.
+                                let mut slept = Duration::ZERO;
+                                while slept < beat_every {
+                                    if thread_stop.load(Ordering::SeqCst) {
+                                        return;
+                                    }
+                                    let slice = Duration::from_millis(5).min(beat_every - slept);
+                                    std::thread::sleep(slice);
+                                    slept += slice;
+                                }
+                            }
+                        })
+                        .expect("spawn pacemaker thread");
+                    pacemakers.push(Pacemaker::Thread { stop, handle });
+                }
+            }
         }
-        ClusterService { nodes: services, probes, control, fabrics, shutting_down, obs }
+        let supervisor = Supervisor {
+            nodes: services.clone(),
+            rx: supervisor_rx,
+            obs_woven,
+            sessions: HashMap::new(),
+            inflight: Vec::new(),
+        };
+        let supervisor_handle = std::thread::Builder::new()
+            .name("aohpc-failover".into())
+            .spawn(move || supervisor.run())
+            .expect("spawn failover supervisor");
+        ClusterService {
+            nodes: services,
+            probes,
+            control,
+            fabrics,
+            pacemakers,
+            memberships,
+            supervisor: Some(supervisor_handle),
+            supervisor_tx: Some(supervisor_tx),
+            fault,
+            tuning,
+            shutting_down,
+            obs,
+        }
     }
 
     /// Number of nodes.
@@ -507,6 +1211,32 @@ impl ClusterService {
     /// node-local administration).
     pub fn node(&self, rank: usize) -> &KernelService {
         &self.nodes[rank]
+    }
+
+    /// The failure-detector timing this cluster runs with.
+    pub fn tuning(&self) -> ClusterTuning {
+        self.tuning
+    }
+
+    /// Rank `observer`'s failure-detector counters.
+    pub fn membership_stats(&self, observer: usize) -> MembershipStats {
+        self.memberships[observer].stats()
+    }
+
+    /// What rank `observer` currently believes about rank `subject`.
+    pub fn node_state(&self, observer: usize, subject: usize) -> NodeState {
+        self.memberships[observer].state_of(subject)
+    }
+
+    /// The ranks `observer` considers eligible for plan ownership.
+    pub fn live_view(&self, observer: usize) -> Vec<usize> {
+        self.memberships[observer].live_view()
+    }
+
+    /// The armed fault schedule, when one was installed
+    /// ([`ClusterService::with_fault_plan`]).
+    pub fn fault_state(&self) -> Option<Arc<FaultState>> {
+        self.fault.clone()
     }
 
     /// The node a tenant label is affine to: a stable hash, so every session
@@ -568,7 +1298,7 @@ impl ClusterService {
     /// reports in node-major order (node 0's reports by job id, then node
     /// 1's, ...; job ids are node-local).
     pub fn drain(&self) -> Vec<JobReport> {
-        self.nodes.iter().flat_map(KernelService::drain).collect()
+        self.nodes.iter().flat_map(|node| node.drain()).collect()
     }
 
     /// Per-node and cluster-aggregated plan-cache counters.  The
@@ -582,7 +1312,8 @@ impl ClusterService {
     }
 
     /// Per-node and cluster-aggregated fabric counters (the control plane's
-    /// request/reply traffic; send/receive totals balance once quiesced).
+    /// request/reply traffic; send/receive totals balance once quiesced —
+    /// heartbeats and gossip are metered separately as liveness frames).
     pub fn comm_stats(&self) -> ClusterCommStats {
         let per_node: Vec<CommStats> = self.probes.iter().map(CommProbe::stats).collect();
         let total = per_node.iter().fold(CommStats::default(), |acc, s| acc + *s);
@@ -622,6 +1353,7 @@ impl ClusterService {
                 fetches: cache.fetches,
                 evictions: cache.evictions,
                 collisions: cache.collisions,
+                degraded_resolves: cache.degraded_resolves,
                 lanes: cache.family.iter().map(|lane| (lane.hits, lane.misses)).collect(),
             }),
             comm: Some(CommCounters {
@@ -649,8 +1381,9 @@ impl ClusterService {
     }
 
     /// Clean shutdown: drain every node to quiescence (in-flight fetches
-    /// need the fabric alive), stop the fabric threads, then stop every
-    /// node's workers.  Implied by `Drop`.
+    /// need the fabric alive, in-flight replays the supervisor), stop the
+    /// pacemakers, stop the failover supervisor, stop the fabric threads,
+    /// then stop every node's workers.  Implied by `Drop`.
     pub fn shutdown(mut self) {
         self.shutdown_in_place();
     }
@@ -660,12 +1393,30 @@ impl ClusterService {
             return;
         }
         // Quiesce the data path first: a worker blocked on a plan fetch
-        // needs its peer's fabric thread to still be serving.
+        // needs its peer's fabric thread to still be serving, and a replayed
+        // orphan resolves through the still-running supervisor.
         for node in &self.nodes {
             let _ = node.drain();
         }
-        // New fetches decline from here on (degrading to local compiles).
+        // New fetches decline from here on (degrading to local compiles),
+        // and a wedged fabric un-parks so teardown cannot hang on it.
         self.shutting_down.store(true, Ordering::SeqCst);
+        // Silence the pacemakers: no more heartbeats, sweeps or scripted
+        // kills.  Fake-clock hooks stay registered but inert.
+        for pacemaker in &self.pacemakers {
+            pacemaker.stop();
+        }
+        for pacemaker in self.pacemakers.drain(..) {
+            pacemaker.join();
+        }
+        // The supervisor finishes every in-flight replay before exiting, so
+        // no orphan's handle is left unresolved.
+        if let Some(tx) = self.supervisor_tx.take() {
+            let _ = tx.send(SupervisorMsg::Stop);
+        }
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
         for (rank, handle) in self.control.iter().enumerate() {
             let _ = handle.send(rank, TAG_SHUTDOWN, Vec::new());
         }
@@ -673,9 +1424,15 @@ impl ClusterService {
             let _ = fabric.join();
         }
         // Worker pools stop when the services drop; doing it explicitly here
-        // keeps shutdown observable and ordered.
+        // keeps shutdown observable and ordered.  The supervisor (the only
+        // other Arc holder) is joined, so the unwrap normally succeeds; a
+        // straggling clone defers to the Arc's own drop (KernelService shuts
+        // down on Drop).
         for node in self.nodes.drain(..) {
-            node.shutdown();
+            match Arc::try_unwrap(node) {
+                Ok(service) => service.shutdown(),
+                Err(arc) => drop(arc),
+            }
         }
     }
 }
@@ -702,12 +1459,13 @@ mod tests {
     #[test]
     fn owners_are_deterministic_and_in_range() {
         let p = FamilyProgram::from(aohpc_kernel::StencilProgram::jacobi_5pt());
-        for ranks in 1..=7 {
+        for ranks in 1..=7usize {
+            let live: Vec<usize> = (0..ranks).collect();
             for nx in [4usize, 8, 16] {
                 let key = PlanKey::of(&p, aohpc_env::Extent::new2d(nx, nx), OptLevel::Full);
-                let owner = owner_of(&key, ranks);
+                let owner = rendezvous_owner(key_hash(&key), &live);
                 assert!(owner < ranks);
-                assert_eq!(owner, owner_of(&key, ranks), "stable");
+                assert_eq!(owner, rendezvous_owner(key_hash(&key), &live), "stable");
             }
         }
     }
@@ -728,13 +1486,44 @@ mod tests {
     #[test]
     fn pending_replies_route_and_fail() {
         let pending = PendingReplies::new();
-        let (id_a, slot_a) = pending.register();
-        let (id_b, _slot_b) = pending.register();
+        let (id_a, slot_a) = pending.register(1);
+        let (id_b, _slot_b) = pending.register(2);
         assert_ne!(id_a, id_b);
         pending.take(id_a).expect("registered").resolve(Some(vec![7]));
         assert_eq!(slot_a.wait(Duration::from_millis(5)), Some(vec![7]));
         assert!(pending.take(id_a).is_none(), "taken slots leave the router");
         pending.fail_all();
         assert!(pending.take(id_b).is_none());
+    }
+
+    #[test]
+    fn pending_replies_fail_only_the_dead_ranks_slots() {
+        let pending = PendingReplies::new();
+        let (id_dead, slot_dead) = pending.register(3);
+        let (id_live, slot_live) = pending.register(1);
+        pending.fail_rank(3);
+        assert_eq!(slot_dead.wait(Duration::from_millis(5)), None, "failed immediately");
+        assert!(pending.take(id_dead).is_none(), "failed slots leave the router");
+        // The slot aimed at the live rank is untouched and still routable.
+        pending.take(id_live).expect("still registered").resolve(Some(vec![9]));
+        assert_eq!(slot_live.wait(Duration::from_millis(5)), Some(vec![9]));
+    }
+
+    #[test]
+    fn suspect_payload_roundtrips() {
+        for (state, byte_state) in
+            [(NodeState::Alive, 0u8), (NodeState::Suspect, 1), (NodeState::Dead, 2)]
+        {
+            let t = Transition { subject: 5, to: state, incarnation: 7 };
+            let bytes = suspect_payload(&t);
+            assert_eq!(bytes.len(), 17);
+            assert_eq!(bytes[8], byte_state);
+            assert_eq!(decode_suspect(&bytes), Some((5, state, 7)));
+        }
+        assert_eq!(decode_suspect(&[0; 16]), None, "short payload rejected");
+        let mut bad =
+            suspect_payload(&Transition { subject: 1, to: NodeState::Suspect, incarnation: 0 });
+        bad[8] = 9;
+        assert_eq!(decode_suspect(&bad), None, "unknown state byte rejected");
     }
 }

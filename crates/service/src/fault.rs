@@ -1,0 +1,345 @@
+//! Failure injection for cluster fault tests: scripted kills, wedges and
+//! control-frame perturbations, all keyed to detector time.
+//!
+//! A [`FaultPlan`] is a declarative schedule — *kill rank 2 at t=40 ms, wedge
+//! rank 1's fabric at t=10 ms, delay every `PLAN_REP` from 0 to 1 until
+//! t=120 ms* — armed into a [`FaultState`] the
+//! [`ClusterService`](crate::cluster::ClusterService) threads consult:
+//!
+//! * The cluster's per-node pacemaker calls [`FaultState::drive`] whenever
+//!   detector time moves (on a [`FakeClock`](aohpc_testalloc::sync::FakeClock)
+//!   that is every `advance`), executing due [`FaultAction`]s: a **kill** is
+//!   fail-stop — the node's service orphans its queue, its fabric goes
+//!   silent — and a **wedge** parks the fabric without killing the node
+//!   (frames pile up; heartbeats stop; peers suspect it until the scripted
+//!   unwedge lets it refute).
+//! * Each fabric loop passes every received frame through
+//!   [`FaultState::intercept`], which delivers, drops, or holds it; held
+//!   frames come back from [`FaultState::take_released`] once their release
+//!   time passes — the seam the stale-`PLAN_REP` regression test uses to
+//!   make a reply from a now-dead incarnation arrive *after* the death was
+//!   declared.
+//!
+//! The harness is pure bookkeeping: it never spawns threads and never
+//! touches a clock itself, so the same plan replays identically under any
+//! interleaving — determinism comes from the fake clock driving it.
+
+use aohpc_runtime::ControlFrame;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One scripted fault, executed by [`FaultState::drive`] when its time comes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail-stop `rank`: its service stops admitting and orphans its queue,
+    /// its fabric neither serves nor beats.  Permanent (this cluster never
+    /// restarts a rank).
+    Kill(usize),
+    /// Park `rank`'s fabric thread: frames queue up undelivered and no
+    /// heartbeats leave, but workers keep running — the node *looks* dead to
+    /// its peers without being dead.
+    Wedge(usize),
+    /// Release a wedged fabric: it drains its backlog and resumes beating,
+    /// eventually refuting the suspicion it earned.
+    Unwedge(usize),
+}
+
+impl FaultAction {
+    /// The rank the action targets.
+    pub fn rank(&self) -> usize {
+        match *self {
+            FaultAction::Kill(r) | FaultAction::Wedge(r) | FaultAction::Unwedge(r) => r,
+        }
+    }
+}
+
+/// What [`FaultState::intercept`] decided about one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interception {
+    /// Hand the frame to the protocol as usual.
+    Deliver,
+    /// The frame never happened (a lossy link).
+    Dropped,
+    /// The frame is parked inside the harness; it will surface from
+    /// [`FaultState::take_released`] at its scripted release time.
+    Held,
+}
+
+/// A frame-matching rule: which (from → to, tag) traffic a perturbation
+/// applies to.  `None` fields are wildcards.
+#[derive(Debug, Clone, Copy)]
+struct FrameRule {
+    from: Option<usize>,
+    to: Option<usize>,
+    tag: Option<u32>,
+    effect: Effect,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Effect {
+    Drop,
+    DelayUntil(Duration),
+}
+
+impl FrameRule {
+    fn matches(&self, to: usize, frame: &ControlFrame) -> bool {
+        self.from.is_none_or(|f| f == frame.from)
+            && self.to.is_none_or(|t| t == to)
+            && self.tag.is_none_or(|t| t == frame.tag)
+    }
+}
+
+/// A declarative failure schedule, built by tests and armed into the cluster
+/// via `ClusterService::with_faults`.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    actions: Vec<(Duration, FaultAction)>,
+    rules: Vec<FrameRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — the cluster behaves as without a harness).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Fail-stop `rank` at detector time `at`.
+    pub fn kill_at(mut self, rank: usize, at: Duration) -> Self {
+        self.actions.push((at, FaultAction::Kill(rank)));
+        self
+    }
+
+    /// Wedge `rank`'s fabric at detector time `at`.
+    pub fn wedge_at(mut self, rank: usize, at: Duration) -> Self {
+        self.actions.push((at, FaultAction::Wedge(rank)));
+        self
+    }
+
+    /// Un-wedge `rank`'s fabric at detector time `at`.
+    pub fn unwedge_at(mut self, rank: usize, at: Duration) -> Self {
+        self.actions.push((at, FaultAction::Unwedge(rank)));
+        self
+    }
+
+    /// Drop every frame matching (`from` → `to`, `tag`); `None` = wildcard.
+    pub fn drop_frames(mut self, from: Option<usize>, to: Option<usize>, tag: Option<u32>) -> Self {
+        self.rules.push(FrameRule { from, to, tag, effect: Effect::Drop });
+        self
+    }
+
+    /// Hold every frame matching (`from` → `to`, `tag`) until detector time
+    /// `until` — the delayed-delivery seam for stale-reply races.
+    pub fn delay_frames(
+        mut self,
+        from: Option<usize>,
+        to: Option<usize>,
+        tag: Option<u32>,
+        until: Duration,
+    ) -> Self {
+        self.rules.push(FrameRule { from, to, tag, effect: Effect::DelayUntil(until) });
+        self
+    }
+
+    /// Arm the plan for a mesh of `ranks` nodes.
+    pub fn arm(mut self, ranks: usize) -> FaultState {
+        // Sorted by fire time so `drive` pops a due prefix.  The sort is
+        // stable: same-instant actions fire in scripted order.
+        self.actions.sort_by_key(|(at, _)| *at);
+        for (_, action) in &self.actions {
+            assert!(action.rank() < ranks, "fault targets rank {} of {ranks}", action.rank());
+        }
+        FaultState {
+            pending: Mutex::new(self.actions),
+            rules: self.rules,
+            killed: (0..ranks).map(|_| AtomicBool::new(false)).collect(),
+            wedged: (0..ranks).map(|_| AtomicBool::new(false)).collect(),
+            held: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// A held frame waiting for its release time.
+struct HeldFrame {
+    release: Duration,
+    to: usize,
+    frame: ControlFrame,
+}
+
+/// The armed, thread-shared runtime of a [`FaultPlan`].
+///
+/// Every method is a short lock-or-atomic operation safe to call from
+/// pacemakers and fabric loops; the harness never blocks.
+pub struct FaultState {
+    pending: Mutex<Vec<(Duration, FaultAction)>>,
+    rules: Vec<FrameRule>,
+    killed: Vec<AtomicBool>,
+    wedged: Vec<AtomicBool>,
+    held: Mutex<Vec<HeldFrame>>,
+}
+
+impl FaultState {
+    /// Advance the schedule to detector time `now`: flips the kill/wedge
+    /// flags of every action due and returns those actions for the caller to
+    /// execute their side effects (orphaning a killed node's queue, waking a
+    /// parked fabric).  Idempotent per action — each fires exactly once.
+    pub fn drive(&self, now: Duration) -> Vec<FaultAction> {
+        let mut pending = self.pending.lock().unwrap_or_else(|p| p.into_inner());
+        let due = pending.iter().take_while(|(at, _)| *at <= now).count();
+        let fired: Vec<FaultAction> = pending.drain(..due).map(|(_, a)| a).collect();
+        drop(pending);
+        for action in &fired {
+            match *action {
+                FaultAction::Kill(r) => self.killed[r].store(true, Ordering::SeqCst),
+                FaultAction::Wedge(r) => self.wedged[r].store(true, Ordering::SeqCst),
+                FaultAction::Unwedge(r) => self.wedged[r].store(false, Ordering::SeqCst),
+            }
+        }
+        fired
+    }
+
+    /// Whether `rank` has been fail-stopped.
+    pub fn is_killed(&self, rank: usize) -> bool {
+        self.killed[rank].load(Ordering::SeqCst)
+    }
+
+    /// Whether `rank`'s fabric is currently wedged.
+    pub fn is_wedged(&self, rank: usize) -> bool {
+        self.wedged[rank].load(Ordering::SeqCst)
+    }
+
+    /// Pass one frame received at `to` through the perturbation rules.  The
+    /// first matching rule wins; with none the frame is delivered.  A held
+    /// frame whose release time has already passed delivers immediately.
+    pub fn intercept(&self, to: usize, frame: &ControlFrame, now: Duration) -> Interception {
+        for rule in &self.rules {
+            if !rule.matches(to, frame) {
+                continue;
+            }
+            return match rule.effect {
+                Effect::Drop => Interception::Dropped,
+                Effect::DelayUntil(release) if release <= now => Interception::Deliver,
+                Effect::DelayUntil(release) => {
+                    self.held.lock().unwrap_or_else(|p| p.into_inner()).push(HeldFrame {
+                        release,
+                        to,
+                        frame: clone_frame(frame),
+                    });
+                    Interception::Held
+                }
+            };
+        }
+        Interception::Deliver
+    }
+
+    /// Frames held for `to` whose release time has passed, in hold order.
+    pub fn take_released(&self, to: usize, now: Duration) -> Vec<ControlFrame> {
+        let mut held = self.held.lock().unwrap_or_else(|p| p.into_inner());
+        let mut released = Vec::new();
+        held.retain_mut(|h| {
+            if h.to == to && h.release <= now {
+                released.push(clone_frame(&h.frame));
+                false
+            } else {
+                true
+            }
+        });
+        released
+    }
+
+    /// How many frames are still parked in the harness (test visibility).
+    pub fn held_count(&self) -> usize {
+        self.held.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+}
+
+impl std::fmt::Debug for FaultState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let killed: Vec<usize> = (0..self.killed.len()).filter(|&r| self.is_killed(r)).collect();
+        let wedged: Vec<usize> = (0..self.wedged.len()).filter(|&r| self.is_wedged(r)).collect();
+        f.debug_struct("FaultState")
+            .field("killed", &killed)
+            .field("wedged", &wedged)
+            .field("held", &self.held_count())
+            .finish()
+    }
+}
+
+fn clone_frame(frame: &ControlFrame) -> ControlFrame {
+    ControlFrame { from: frame.from, tag: frame.tag, bytes: frame.bytes.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: Duration = Duration::from_millis(1);
+
+    fn frame(from: usize, tag: u32) -> ControlFrame {
+        ControlFrame { from, tag, bytes: vec![1, 2, 3] }
+    }
+
+    #[test]
+    fn scheduled_actions_fire_once_in_time_order() {
+        let state =
+            FaultPlan::new().wedge_at(1, 10 * MS).kill_at(2, 30 * MS).unwedge_at(1, 20 * MS).arm(3);
+        assert!(state.drive(5 * MS).is_empty());
+        assert_eq!(state.drive(25 * MS), vec![FaultAction::Wedge(1), FaultAction::Unwedge(1)]);
+        assert!(!state.is_wedged(1), "wedge then unwedge both fired");
+        assert!(!state.is_killed(2), "not yet due");
+        assert_eq!(state.drive(30 * MS), vec![FaultAction::Kill(2)]);
+        assert!(state.is_killed(2));
+        assert!(state.drive(100 * MS).is_empty(), "each action fires exactly once");
+    }
+
+    #[test]
+    fn drop_rule_swallows_matching_frames_only() {
+        let state = FaultPlan::new().drop_frames(Some(0), Some(1), Some(7)).arm(2);
+        assert_eq!(state.intercept(1, &frame(0, 7), MS), Interception::Dropped);
+        assert_eq!(state.intercept(1, &frame(0, 8), MS), Interception::Deliver, "other tag");
+        assert_eq!(state.intercept(0, &frame(0, 7), MS), Interception::Deliver, "other dest");
+        assert_eq!(state.intercept(1, &frame(1, 7), MS), Interception::Deliver, "other source");
+    }
+
+    #[test]
+    fn wildcard_rule_matches_everything() {
+        let state = FaultPlan::new().drop_frames(None, None, None).arm(2);
+        assert_eq!(state.intercept(0, &frame(1, 42), MS), Interception::Dropped);
+        assert_eq!(state.intercept(1, &frame(0, 0), MS), Interception::Dropped);
+    }
+
+    #[test]
+    fn delayed_frames_release_at_their_time() {
+        let state = FaultPlan::new().delay_frames(Some(0), Some(1), None, 50 * MS).arm(2);
+        assert_eq!(state.intercept(1, &frame(0, 2), 10 * MS), Interception::Held);
+        assert_eq!(state.held_count(), 1);
+        assert!(state.take_released(1, 40 * MS).is_empty(), "not yet due");
+        assert!(state.take_released(0, 60 * MS).is_empty(), "wrong destination");
+        let released = state.take_released(1, 60 * MS);
+        assert_eq!(released.len(), 1);
+        assert_eq!(
+            (released[0].from, released[0].tag, &released[0].bytes[..]),
+            (0, 2, &[1u8, 2, 3][..])
+        );
+        assert_eq!(state.held_count(), 0);
+        // A frame arriving after the release time passes straight through.
+        assert_eq!(state.intercept(1, &frame(0, 2), 60 * MS), Interception::Deliver);
+    }
+
+    #[test]
+    fn empty_plan_perturbs_nothing() {
+        let state = FaultPlan::new().arm(4);
+        assert!(state.drive(Duration::from_secs(10)).is_empty());
+        for rank in 0..4 {
+            assert!(!state.is_killed(rank));
+            assert!(!state.is_wedged(rank));
+            assert_eq!(state.intercept(rank, &frame(0, 1), MS), Interception::Deliver);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fault targets rank 9")]
+    fn arming_rejects_out_of_range_targets() {
+        let _ = FaultPlan::new().kill_at(9, MS).arm(3);
+    }
+}

@@ -220,6 +220,28 @@ impl JobSpec {
     }
 }
 
+/// How a job that survived a node death was recovered — attached to its
+/// [`JobReport`] so failover is auditable per job, not just in aggregate.
+///
+/// The deterministic execution stack (compiled tape + simulated fabric) makes
+/// the replay **bit-identical**: the job restarts from step 0 on the target
+/// node and produces the same checksum a healthy run would have, which the
+/// fault-injection tests assert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct FailoverProvenance {
+    /// The rank the job was originally admitted on (the node that died).
+    pub from_node: usize,
+    /// The surviving rank the job was replayed on.
+    pub to_node: usize,
+    /// The job id the dead node assigned at original admission (`job` in the
+    /// report is the replay id on the target node).
+    pub original_job: JobId,
+    /// Kernel steps the dead node had completed when it was killed (the
+    /// checkpoint watermark; replay re-runs from step 0 — the watermark
+    /// records how much progress the failure discarded).
+    pub checkpoint_steps: u64,
+}
+
 /// The result of one completed job.
 #[derive(Debug, Clone, Serialize)]
 pub struct JobReport {
@@ -262,6 +284,9 @@ pub struct JobReport {
     pub resolve_time: Duration,
     /// The execute phase (weave + run of the kernel itself).
     pub execute_time: Duration,
+    /// Set when the job was orphaned by a dead node and replayed on a
+    /// survivor; `None` for jobs that ran where they were admitted.
+    pub failover: Option<FailoverProvenance>,
 }
 
 /// Why a job resolved without a report.

@@ -85,18 +85,26 @@
 
 pub mod cache;
 pub mod cluster;
+pub mod fault;
 pub mod job;
+pub mod membership;
 pub mod service;
 pub mod session;
 
 pub use cache::{
-    CostAwarePolicy, EntryMeta, EvictionPolicy, FamilyLaneStats, LruPolicy, PlanCache,
-    PlanCacheStats, PlanFetcher, PlanKey, PlanOrigin,
+    CostAwarePolicy, EntryMeta, EvictionPolicy, FamilyLaneStats, FetchOutcome, LruPolicy,
+    PlanCache, PlanCacheStats, PlanFetcher, PlanKey, PlanOrigin,
 };
-pub use cluster::{ClusterCacheStats, ClusterCommStats, ClusterService, ClusterSessionId};
+pub use cluster::{
+    plan_owner_among, ClusterCacheStats, ClusterCommStats, ClusterService, ClusterSessionId,
+};
+pub use fault::{FaultAction, FaultPlan, FaultState, Interception};
 pub use job::{
-    JobError, JobErrorKind, JobHandle, JobId, JobOutcome, JobReport, JobSpec, JobSpecError,
-    JobStatus,
+    FailoverProvenance, JobError, JobErrorKind, JobHandle, JobId, JobOutcome, JobReport, JobSpec,
+    JobSpecError, JobStatus,
+};
+pub use membership::{
+    rendezvous_owner, ClusterTuning, Membership, MembershipStats, NodeState, Transition,
 };
 pub use service::{AdmissionStats, BatchError, KernelService, ServiceConfig, SubmitError};
 pub use session::{CompletionStream, SessionCtx, SessionId, SessionMeter, SessionSpec};

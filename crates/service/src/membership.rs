@@ -1,0 +1,612 @@
+//! Cluster liveness: the per-node membership view and the rendezvous hash
+//! that re-homes plan ownership when it changes.
+//!
+//! Every rank runs a failure detector over the multiplexed control plane:
+//! heartbeats ride dedicated liveness frames (tags above
+//! [`aohpc_runtime::LIVENESS_TAG_BASE`], metered outside the application
+//! control ledger), and each node folds what it hears into a [`Membership`]
+//! view — [`NodeState::Alive`] / [`NodeState::Suspect`] /
+//! [`NodeState::Dead`] per rank, each transition carrying an **incarnation
+//! number** so late frames from a declared-dead rank are recognizably stale
+//! and dropped instead of resurrecting it (or fulfilling a stale reply
+//! slot — the `shutdown()` vs node-death race).
+//!
+//! Detection is driven by the service's `Clock` seam: under a
+//! [`FakeClock`](aohpc_testalloc::sync::FakeClock) the pacemaker ticks on
+//! `advance`, so fault tests control suspicion and death *exactly*; under
+//! the wall clock the default [`ClusterTuning`] is generous (suspect after
+//! ~1 s of silence, dead after ~3 s) and [`Membership::tick`] forgives its
+//! own stalls — if the detector itself was descheduled longer than the
+//! suspect threshold, it refreshes every deadline instead of suspecting the
+//! whole world.
+//!
+//! Plan ownership uses **rendezvous (HRW) hashing** over the live view
+//! ([`rendezvous_owner`]): each (key, rank) pair gets an independent score
+//! and the highest live score owns the key.  When a rank dies only the keys
+//! it owned move (to their second-highest scorer); every key owned by a
+//! survivor keeps its owner — the minimal-disruption property modulo
+//! hashing lacks, and the reason re-ownership restores
+//! `compiles == distinct fingerprints` for survivor-owned plans instead of
+//! reshuffling everything.
+
+use serde::Serialize;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One rank's state in the local membership view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum NodeState {
+    /// Heard from recently (or never yet measured against a deadline).
+    Alive,
+    /// Silent past the suspect threshold — excluded from plan ownership,
+    /// still given the chance to refute by any frame carrying a current
+    /// incarnation.
+    Suspect,
+    /// Silent past the death threshold (or fail-stopped by the fault
+    /// harness).  Terminal for the incarnation: only a *higher* incarnation
+    /// could revive the rank, which this cluster never issues.
+    Dead,
+}
+
+/// Failure-detector timing knobs.
+///
+/// The defaults are deliberately generous for wall-clock runs (the existing
+/// cluster tests assert exact compile counts and must never see a false
+/// suspicion); fault tests tighten them and drive time with a fake clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterTuning {
+    /// Cadence the pacemaker broadcasts heartbeats at.
+    pub heartbeat_every: Duration,
+    /// Silence after which a rank is suspected (ownership excludes it).
+    pub suspect_after: Duration,
+    /// Silence after which a suspect is declared dead (failover fires).
+    pub dead_after: Duration,
+    /// After a suspicion, heartbeats cannot clear it until this cooldown
+    /// elapses — a wedged-then-revived fabric must re-earn trust instead of
+    /// flapping ownership on every late frame.
+    pub suspect_cooldown: Duration,
+    /// Cross-node plan-fetch retry budget: how many times a fetcher retries
+    /// against the (possibly re-homed) owner before compiling locally.
+    pub fetch_retries: u32,
+    /// Base backoff between fetch retries (doubles per attempt, capped at
+    /// 8×).
+    pub fetch_backoff: Duration,
+    /// Per-attempt reply deadline for a cross-node plan fetch.
+    pub fetch_timeout: Duration,
+}
+
+impl Default for ClusterTuning {
+    fn default() -> Self {
+        ClusterTuning {
+            heartbeat_every: Duration::from_millis(100),
+            suspect_after: Duration::from_secs(1),
+            dead_after: Duration::from_secs(3),
+            suspect_cooldown: Duration::from_millis(500),
+            fetch_retries: 3,
+            fetch_backoff: Duration::from_millis(2),
+            fetch_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl ClusterTuning {
+    /// Aggressive thresholds for fake-clock fault tests: suspicion at 50 ms
+    /// of fake silence, death at 150 ms, heartbeats every 10 ms.
+    pub fn fast() -> Self {
+        ClusterTuning {
+            heartbeat_every: Duration::from_millis(10),
+            suspect_after: Duration::from_millis(50),
+            dead_after: Duration::from_millis(150),
+            suspect_cooldown: Duration::from_millis(25),
+            fetch_retries: 3,
+            fetch_backoff: Duration::from_millis(1),
+            fetch_timeout: Duration::from_millis(200),
+        }
+    }
+
+    /// Backoff before retry `attempt` (0-based): base × 2^attempt, capped at
+    /// 8× base.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        self.fetch_backoff * (1u32 << attempt.min(3))
+    }
+}
+
+/// Counters of one node's failure detector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct MembershipStats {
+    /// Alive → Suspect transitions recorded locally.
+    pub suspicions: u64,
+    /// Transitions into Dead recorded locally.
+    pub deaths: u64,
+    /// Suspect → Alive recoveries (a suspect refuted past its cooldown).
+    pub recoveries: u64,
+    /// Frames dropped because they carried a stale incarnation (e.g. a
+    /// `PLAN_REP` from a rank declared dead mid-flight).
+    pub stale_replies_dropped: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct NodeView {
+    state: NodeState,
+    /// The rank's current incarnation as this node believes it.  Frames
+    /// carrying an older incarnation are stale; a declared death bumps it so
+    /// nothing the dead incarnation sent can be accepted afterwards.
+    incarnation: u64,
+    /// Detector time the rank was last heard from.
+    last_seen: Duration,
+    /// While suspect: detector time before which heartbeats cannot clear
+    /// the suspicion.
+    cooldown_until: Duration,
+}
+
+struct ViewInner {
+    nodes: Vec<NodeView>,
+    last_tick: Duration,
+    stats: MembershipStats,
+}
+
+/// One node's view of which ranks are alive — the failure detector state all
+/// ownership and failover decisions read.  Thread-safe; every method is a
+/// short critical section.
+pub struct Membership {
+    rank: usize,
+    tuning: ClusterTuning,
+    inner: Mutex<ViewInner>,
+}
+
+/// A state transition [`Membership::tick`] or a frame observation produced,
+/// for the caller to broadcast / dispatch through the obs join points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// The rank whose state changed.
+    pub subject: usize,
+    /// Its new state.
+    pub to: NodeState,
+    /// The subject's incarnation after the transition.
+    pub incarnation: u64,
+}
+
+impl Membership {
+    /// A fresh view for `rank` in a mesh of `ranks`, everyone alive at
+    /// incarnation 0 and last seen "now".
+    pub fn new(rank: usize, ranks: usize, tuning: ClusterTuning, now: Duration) -> Self {
+        Membership {
+            rank,
+            tuning,
+            inner: Mutex::new(ViewInner {
+                nodes: (0..ranks)
+                    .map(|_| NodeView {
+                        state: NodeState::Alive,
+                        incarnation: 0,
+                        last_seen: now,
+                        cooldown_until: Duration::ZERO,
+                    })
+                    .collect(),
+                last_tick: now,
+                stats: MembershipStats::default(),
+            }),
+        }
+    }
+
+    /// The local rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total ranks in the mesh (live or not).
+    pub fn ranks(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).nodes.len()
+    }
+
+    /// The detector's timing knobs.
+    pub fn tuning(&self) -> ClusterTuning {
+        self.tuning
+    }
+
+    /// A rank's current state.
+    pub fn state_of(&self, rank: usize) -> NodeState {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).nodes[rank].state
+    }
+
+    /// A rank's current incarnation.
+    pub fn incarnation_of(&self, rank: usize) -> u64 {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).nodes[rank].incarnation
+    }
+
+    /// The ranks currently eligible for plan ownership: Alive only (a
+    /// suspect is excluded so fetchers re-home immediately instead of
+    /// burning their retry budget against a silent owner).  The local rank
+    /// is always included — a node never excludes itself.
+    pub fn live_view(&self) -> Vec<usize> {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(r, n)| *r == self.rank || n.state == NodeState::Alive)
+            .map(|(r, _)| r)
+            .collect()
+    }
+
+    /// Detector counters.
+    pub fn stats(&self) -> MembershipStats {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).stats
+    }
+
+    /// Liveness evidence: any frame arriving from `from` at detector time
+    /// `now` with the current incarnation refreshes its deadline, and — once
+    /// a suspicion's cooldown has passed — clears the suspicion.  Returns a
+    /// recovery transition when it does.  Evidence from a dead rank (or a
+    /// stale incarnation) is ignored; death is terminal.
+    pub fn observe_alive(
+        &self,
+        from: usize,
+        incarnation: u64,
+        now: Duration,
+    ) -> Option<Transition> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let node = &mut inner.nodes[from];
+        if node.state == NodeState::Dead || incarnation < node.incarnation {
+            return None;
+        }
+        node.last_seen = now;
+        if node.state == NodeState::Suspect && now >= node.cooldown_until {
+            node.state = NodeState::Alive;
+            let t =
+                Transition { subject: from, to: NodeState::Alive, incarnation: node.incarnation };
+            inner.stats.recoveries += 1;
+            return Some(t);
+        }
+        None
+    }
+
+    /// Whether a reply from `from` claiming `incarnation` is current — the
+    /// guard on `PLAN_REP`: a reply sent before its sender was declared dead
+    /// carries the old incarnation and must not fulfil a live slot.  A stale
+    /// reply is metered.
+    pub fn accepts_reply(&self, from: usize, incarnation: u64) -> bool {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let node = inner.nodes[from];
+        if node.state != NodeState::Dead && incarnation >= node.incarnation {
+            true
+        } else {
+            inner.stats.stale_replies_dropped += 1;
+            false
+        }
+    }
+
+    /// Adopt a peer's stronger claim about `subject` (a `SUSPECT` broadcast):
+    /// views converge because Dead beats Suspect beats Alive at equal
+    /// incarnation, and a higher incarnation always wins.  Returns the local
+    /// transition if the claim changed anything.
+    pub fn adopt(&self, subject: usize, to: NodeState, incarnation: u64) -> Option<Transition> {
+        if subject == self.rank {
+            // A peer may suspect *us* (e.g. our fabric wedged); we do not
+            // mark ourselves, the pacemaker keeps refuting.
+            return None;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let node = &mut inner.nodes[subject];
+        let stronger = incarnation > node.incarnation
+            || (incarnation == node.incarnation && rank_of_state(to) > rank_of_state(node.state));
+        if !stronger {
+            return None;
+        }
+        node.incarnation = incarnation.max(node.incarnation);
+        node.state = to;
+        if to == NodeState::Dead {
+            // Bump past the dead incarnation so anything it sent is stale.
+            node.incarnation += 1;
+            inner.stats.deaths += 1;
+        } else if to == NodeState::Suspect {
+            inner.stats.suspicions += 1;
+        }
+        let incarnation = inner.nodes[subject].incarnation;
+        Some(Transition { subject, to, incarnation })
+    }
+
+    /// Unilaterally declare `subject` dead (the fault harness's fail-stop, or
+    /// a fetch path that proved the owner gone).  Returns the transition if
+    /// the rank was not already dead.
+    pub fn declare_dead(&self, subject: usize) -> Option<Transition> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let node = &mut inner.nodes[subject];
+        if node.state == NodeState::Dead {
+            return None;
+        }
+        node.state = NodeState::Dead;
+        node.incarnation += 1;
+        let incarnation = node.incarnation;
+        inner.stats.deaths += 1;
+        Some(Transition { subject, to: NodeState::Dead, incarnation })
+    }
+
+    /// Mark `subject` suspect immediately (a fetch timeout is direct
+    /// evidence, ahead of the deadline sweep), starting its cooldown.
+    /// Returns the transition if the rank was alive.
+    pub fn suspect(&self, subject: usize, now: Duration) -> Option<Transition> {
+        if subject == self.rank {
+            return None;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let node = &mut inner.nodes[subject];
+        if node.state != NodeState::Alive {
+            return None;
+        }
+        node.state = NodeState::Suspect;
+        node.cooldown_until = now + self.tuning.suspect_cooldown;
+        let incarnation = node.incarnation;
+        inner.stats.suspicions += 1;
+        Some(Transition { subject, to: NodeState::Suspect, incarnation })
+    }
+
+    /// One deadline sweep at detector time `now`: Alive ranks silent past
+    /// `suspect_after` become Suspect (cooldown started), Suspect ranks
+    /// silent past `dead_after` become Dead (incarnation bumped).  Returns
+    /// every transition for the caller to broadcast.
+    ///
+    /// **Stall forgiveness**: if the detector *itself* went longer than
+    /// `suspect_after` between sweeps (a descheduled thread on a loaded
+    /// host, not silent peers), every deadline is refreshed instead — a
+    /// stalled observer must not condemn the observed.
+    pub fn tick(&self, now: Duration) -> Vec<Transition> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let gap = now.saturating_sub(inner.last_tick);
+        inner.last_tick = now;
+        if gap > self.tuning.suspect_after {
+            for node in &mut inner.nodes {
+                if node.state != NodeState::Dead {
+                    node.last_seen = now;
+                }
+            }
+            return Vec::new();
+        }
+        let mut transitions = Vec::new();
+        let me = self.rank;
+        let (suspect_after, dead_after, cooldown) =
+            (self.tuning.suspect_after, self.tuning.dead_after, self.tuning.suspect_cooldown);
+        for (rank, node) in inner.nodes.iter_mut().enumerate() {
+            if rank == me {
+                continue;
+            }
+            let silent = now.saturating_sub(node.last_seen);
+            match node.state {
+                NodeState::Alive if silent > suspect_after => {
+                    node.state = NodeState::Suspect;
+                    node.cooldown_until = now + cooldown;
+                    transitions.push(Transition {
+                        subject: rank,
+                        to: NodeState::Suspect,
+                        incarnation: node.incarnation,
+                    });
+                }
+                NodeState::Suspect if silent > dead_after => {
+                    node.state = NodeState::Dead;
+                    node.incarnation += 1;
+                    transitions.push(Transition {
+                        subject: rank,
+                        to: NodeState::Dead,
+                        incarnation: node.incarnation,
+                    });
+                }
+                _ => {}
+            }
+        }
+        for t in &transitions {
+            match t.to {
+                NodeState::Suspect => inner.stats.suspicions += 1,
+                NodeState::Dead => inner.stats.deaths += 1,
+                NodeState::Alive => {}
+            }
+        }
+        transitions
+    }
+}
+
+impl std::fmt::Debug for Membership {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        f.debug_struct("Membership")
+            .field("rank", &self.rank)
+            .field("states", &inner.nodes.iter().map(|n| n.state).collect::<Vec<_>>())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+/// Severity order for view convergence: a stronger claim overwrites a weaker
+/// one at equal incarnation.
+fn rank_of_state(state: NodeState) -> u8 {
+    match state {
+        NodeState::Alive => 0,
+        NodeState::Suspect => 1,
+        NodeState::Dead => 2,
+    }
+}
+
+/// splitmix64 — an independent, well-mixed score per (key, rank) pair.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Rendezvous (highest-random-weight) owner of `key_hash` among
+/// `live_ranks`: every (key, rank) pair scores independently and the highest
+/// score wins, so removing a rank re-homes **only** the keys it owned.
+/// Ties break toward the lower rank (scores are 64-bit, ties are
+/// astronomically rare; determinism matters more).  Panics on an empty view
+/// — the local rank is always live, so a caller can never present one.
+pub fn rendezvous_owner(key_hash: u64, live_ranks: &[usize]) -> usize {
+    assert!(!live_ranks.is_empty(), "the local rank is always in the live view");
+    let mut best = (0u64, usize::MAX);
+    for &rank in live_ranks {
+        let score = mix64(key_hash ^ mix64(rank as u64 + 1));
+        if score > best.0 || (score == best.0 && rank < best.1) {
+            best = (score, rank);
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: Duration = Duration::from_millis(1);
+
+    fn fast_view(ranks: usize) -> Membership {
+        Membership::new(0, ranks, ClusterTuning::fast(), Duration::ZERO)
+    }
+
+    #[test]
+    fn silence_suspects_then_kills() {
+        let view = fast_view(3);
+        // Rank 1 keeps talking, rank 2 goes silent.
+        let mut transitions = Vec::new();
+        for step in 1..=40u32 {
+            let now = 10 * step * MS;
+            view.observe_alive(1, 0, now);
+            transitions.extend(view.tick(now));
+        }
+        assert_eq!(view.state_of(1), NodeState::Alive);
+        assert_eq!(view.state_of(2), NodeState::Dead);
+        assert_eq!(
+            transitions.iter().map(|t| (t.subject, t.to)).collect::<Vec<_>>(),
+            vec![(2, NodeState::Suspect), (2, NodeState::Dead)],
+            "one suspicion then one death, nothing else"
+        );
+        // Death bumped the incarnation: frames from the old one are stale.
+        assert_eq!(view.incarnation_of(2), 1);
+        assert!(!view.accepts_reply(2, 0));
+        assert!(view.accepts_reply(1, 0));
+        let stats = view.stats();
+        assert_eq!((stats.suspicions, stats.deaths, stats.stale_replies_dropped), (1, 1, 1));
+    }
+
+    #[test]
+    fn heartbeat_after_cooldown_clears_suspicion() {
+        let view = fast_view(2);
+        assert!(view.suspect(1, 10 * MS).is_some());
+        assert_eq!(view.state_of(1), NodeState::Suspect);
+        // Inside the cooldown the heartbeat refreshes the deadline but the
+        // suspicion stands.
+        assert!(view.observe_alive(1, 0, 20 * MS).is_none());
+        assert_eq!(view.state_of(1), NodeState::Suspect);
+        // Past the cooldown it recovers.
+        let t = view.observe_alive(1, 0, 40 * MS).expect("recovery");
+        assert_eq!((t.subject, t.to), (1, NodeState::Alive));
+        assert_eq!(view.stats().recoveries, 1);
+    }
+
+    #[test]
+    fn dead_is_terminal_for_the_incarnation() {
+        let view = fast_view(2);
+        view.declare_dead(1);
+        assert!(view.observe_alive(1, 0, MS).is_none(), "old incarnation cannot revive");
+        assert_eq!(view.state_of(1), NodeState::Dead);
+        assert!(view.declare_dead(1).is_none(), "idempotent");
+        assert!(view.suspect(1, MS).is_none());
+    }
+
+    #[test]
+    fn adopt_converges_on_the_stronger_claim() {
+        let view = fast_view(3);
+        assert!(view.adopt(2, NodeState::Suspect, 0).is_some());
+        // A weaker or equal claim changes nothing.
+        assert!(view.adopt(2, NodeState::Suspect, 0).is_none());
+        assert!(view.adopt(2, NodeState::Alive, 0).is_none());
+        // The stronger claim wins; death bumps the incarnation.
+        let t = view.adopt(2, NodeState::Dead, 0).expect("dead beats suspect");
+        assert_eq!(t.incarnation, 1);
+        // A node never adopts claims about itself.
+        assert!(view.adopt(0, NodeState::Dead, 5).is_none());
+        assert_eq!(view.state_of(0), NodeState::Alive);
+    }
+
+    #[test]
+    fn live_view_excludes_suspects_but_never_self() {
+        let view = fast_view(4);
+        assert_eq!(view.live_view(), vec![0, 1, 2, 3]);
+        view.suspect(2, MS);
+        assert_eq!(view.live_view(), vec![0, 1, 3]);
+        view.declare_dead(3);
+        assert_eq!(view.live_view(), vec![0, 1]);
+        // Even if peers suspect us, we stay in our own view.
+        let me = Membership::new(2, 3, ClusterTuning::fast(), Duration::ZERO);
+        me.declare_dead(0);
+        me.declare_dead(1);
+        assert_eq!(me.live_view(), vec![2]);
+    }
+
+    #[test]
+    fn detector_stall_refreshes_instead_of_condemning() {
+        let view = fast_view(3);
+        view.tick(10 * MS);
+        // The detector itself vanishes for a second (way past dead_after):
+        // nobody is suspected, everyone's deadline restarts.
+        assert!(view.tick(1010 * MS).is_empty());
+        assert_eq!(view.state_of(1), NodeState::Alive);
+        // Normal cadence after the stall still detects real silence.
+        let mut transitions = Vec::new();
+        for step in 1..=40u32 {
+            transitions.extend(view.tick((1010 + 10 * step) * MS));
+        }
+        assert!(transitions.iter().any(|t| t.to == NodeState::Dead));
+    }
+
+    #[test]
+    fn rendezvous_moves_only_the_dead_ranks_keys() {
+        let all: Vec<usize> = (0..4).collect();
+        let survivors: Vec<usize> = vec![0, 1, 3];
+        let keys: Vec<u64> =
+            (0..512u64).map(|i| mix64(i.wrapping_mul(0x1234_5678_9abc_def1))).collect();
+        let mut moved = 0;
+        let mut owned_by_dead = 0;
+        for &k in &keys {
+            let before = rendezvous_owner(k, &all);
+            let after = rendezvous_owner(k, &survivors);
+            if before == 2 {
+                owned_by_dead += 1;
+                assert_ne!(after, 2, "dead rank owns nothing");
+            } else {
+                assert_eq!(before, after, "survivor-owned keys keep their owner");
+            }
+            if before != after {
+                moved += 1;
+            }
+        }
+        assert_eq!(moved, owned_by_dead, "minimal disruption: only orphaned keys move");
+        assert!(owned_by_dead > 0, "rank 2 owned some of 512 keys");
+        // The load spread is roughly even (each of 4 ranks near 128 ± wide
+        // slack — this guards against a broken mixer, not for balance).
+        for rank in 0..4usize {
+            let owned = keys.iter().filter(|&&k| rendezvous_owner(k, &all) == rank).count();
+            assert!((50..=210).contains(&owned), "rank {rank} owns {owned} of 512");
+        }
+    }
+
+    #[test]
+    fn rendezvous_is_deterministic_and_single_rank_trivial() {
+        for k in [0u64, 1, u64::MAX, 0xdead_beef] {
+            assert_eq!(rendezvous_owner(k, &[5]), 5);
+            assert_eq!(rendezvous_owner(k, &[0, 1, 2]), rendezvous_owner(k, &[0, 1, 2]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "always in the live view")]
+    fn rendezvous_rejects_an_empty_view() {
+        rendezvous_owner(1, &[]);
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let tuning = ClusterTuning::default();
+        assert_eq!(tuning.backoff_for(0), tuning.fetch_backoff);
+        assert_eq!(tuning.backoff_for(1), tuning.fetch_backoff * 2);
+        assert_eq!(tuning.backoff_for(3), tuning.fetch_backoff * 8);
+        assert_eq!(tuning.backoff_for(30), tuning.fetch_backoff * 8, "capped at 8x");
+    }
+}

@@ -273,6 +273,15 @@ pub(crate) enum ServiceClock {
     Fake(Arc<FakeClock>),
 }
 
+impl Clone for ServiceClock {
+    fn clone(&self) -> Self {
+        match self {
+            ServiceClock::Real(start) => ServiceClock::Real(*start),
+            ServiceClock::Fake(clock) => ServiceClock::Fake(Arc::clone(clock)),
+        }
+    }
+}
+
 impl ServiceClock {
     pub(crate) fn real() -> Self {
         ServiceClock::Real(Instant::now())
@@ -280,7 +289,7 @@ impl ServiceClock {
 }
 
 impl ServiceClock {
-    fn now(&self) -> Duration {
+    pub(crate) fn now(&self) -> Duration {
         match self {
             ServiceClock::Real(start) => start.elapsed(),
             ServiceClock::Fake(clock) => clock.now(),
@@ -336,6 +345,26 @@ struct Queued {
     admitted_at: Duration,
 }
 
+/// A job stranded on a killed node, handed to the failover supervisor for
+/// replay on a survivor (see [`KernelService::kill_for_failover`]).
+pub(crate) struct OrphanedJob {
+    /// The session the job was admitted under on the dead node.
+    pub(crate) session: SessionId,
+    /// The full spec, so the replay is the same work.
+    pub(crate) spec: JobSpec,
+    /// The original cell: the supervisor resolves its slot with the replay's
+    /// rewritten report, so the submitter's handle settles exactly once.
+    pub(crate) cell: Arc<JobCell>,
+    /// Progress the dead node had made (the checkpoint watermark; zeros for
+    /// jobs still queued at kill time).
+    pub(crate) watermark: aohpc_runtime::Progress,
+}
+
+/// Where a killed node's orphans go: installed per node by the cluster's
+/// failover supervisor, absent on standalone services (orphaning then
+/// degrades to abandonment so every handle still resolves).
+pub(crate) type OrphanSink = Arc<dyn Fn(OrphanedJob) + Send + Sync>;
+
 pub(crate) struct Inner {
     config: ServiceConfig,
     cache: Arc<PlanCache>,
@@ -363,6 +392,15 @@ pub(crate) struct Inner {
     /// (resolving their handles with [`JobErrorKind::Abandoned`]) instead of
     /// executing the backlog.
     shutting_down: AtomicBool,
+    /// Fail-stop switch ([`KernelService::kill_for_failover`]): admissions
+    /// are rejected and queued-but-unstarted jobs are orphaned to the
+    /// failover sink instead of executed.  Jobs a worker already started
+    /// complete normally — the kill boundary is the dequeue, matching the
+    /// superstep-checkpoint failure model.
+    killed: AtomicBool,
+    /// The failover supervisor's orphan intake, when this node runs inside a
+    /// cluster with fault tolerance enabled.
+    orphan_sink: Mutex<Option<OrphanSink>>,
     clock: ServiceClock,
     /// Queue-wait latency distribution, always on (recording is a handful of
     /// relaxed atomics) — backs the `admission_stats` p50/p99 whether or not
@@ -522,6 +560,8 @@ impl KernelService {
             next_session: AtomicU64::new(0),
             next_job: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
+            orphan_sink: Mutex::new(None),
             clock,
             queue_wait: Histogram::new(),
             obs,
@@ -540,7 +580,11 @@ impl KernelService {
                             // dequeued; tell backpressured submitters.
                             inner.queued.fetch_sub(1, Ordering::SeqCst);
                             inner.capacity.bump();
-                            if inner.shutting_down.load(Ordering::Relaxed) {
+                            if inner.killed.load(Ordering::SeqCst) {
+                                // Fail-stop: anything dequeued after the kill
+                                // goes to the failover sink, never a worker.
+                                orphan_one(&inner, queued);
+                            } else if inner.shutting_down.load(Ordering::Relaxed) {
                                 abandon_one(&inner, &queued.cell);
                             } else {
                                 run_one(&inner, queued);
@@ -610,6 +654,7 @@ impl KernelService {
                 fetches: cache.fetches,
                 evictions: cache.evictions,
                 collisions: cache.collisions,
+                degraded_resolves: cache.degraded_resolves,
                 lanes: cache.family.iter().map(|lane| (lane.hits, lane.misses)).collect(),
             }),
             comm: None,
@@ -780,7 +825,7 @@ impl KernelService {
     /// returned; `Throttled` means capacity was momentarily exhausted.
     fn admit_once(&self, session: SessionId, spec: &JobSpec) -> Result<JobHandle, AdmitDenied> {
         let inner = &self.inner;
-        if inner.shutting_down.load(Ordering::Relaxed) {
+        if inner.shutting_down.load(Ordering::Relaxed) || inner.killed.load(Ordering::SeqCst) {
             return Err(AdmitDenied::Fatal(SubmitError::ShuttingDown));
         }
         let cell = {
@@ -919,6 +964,51 @@ impl KernelService {
         out
     }
 
+    /// Install the failover supervisor's orphan intake (cluster-internal;
+    /// one sink per node, set before any kill can fire).
+    pub(crate) fn install_orphan_sink(&self, sink: OrphanSink) {
+        *self.inner.orphan_sink.lock() = Some(sink);
+    }
+
+    /// Fail-stop this node for a failover drill: reject further admissions,
+    /// orphan every queued-but-unstarted job to the installed orphan sink,
+    /// and let jobs workers already started finish (the kill boundary is the
+    /// dequeue — the superstep-checkpoint failure model, under which replay
+    /// from step 0 on a survivor is bit-identical).  Idempotent.
+    pub(crate) fn kill_for_failover(&self) {
+        if self.inner.killed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake parked submitters so they observe the kill and fail fast.
+        self.inner.capacity.bump();
+        // Drain the backlog directly: with zero workers (or workers all busy)
+        // nobody else will, and the orphans must reach the supervisor now,
+        // not at shutdown.  Workers racing this drain orphan their own
+        // dequeues via the killed check in their loop.
+        while let Ok(queued) = self.queue_rx.try_recv() {
+            self.inner.queued.fetch_sub(1, Ordering::SeqCst);
+            self.inner.capacity.bump();
+            orphan_one(&self.inner, queued);
+        }
+    }
+
+    /// Whether [`KernelService::kill_for_failover`] has fired.
+    pub(crate) fn is_killed(&self) -> bool {
+        self.inner.killed.load(Ordering::SeqCst)
+    }
+
+    /// Deliver a failover outcome to the session's completion stream on this
+    /// node (the supervisor finalizing an orphan; the stream entry was
+    /// registered at original admission).
+    pub(crate) fn push_stream_outcome(
+        &self,
+        session: SessionId,
+        job: JobId,
+        outcome: crate::job::JobOutcome,
+    ) {
+        self.inner.push_stream_outcome(session, job, outcome);
+    }
+
     /// Close the queue and join the workers.  Implied by `Drop`; explicit
     /// form for callers that want to observe worker termination.
     pub fn shutdown(mut self) {
@@ -998,6 +1088,44 @@ fn abandon_one(inner: &Inner, cell: &JobCell) {
     drop(pending);
     inner.idle.notify_all();
     inner.capacity.bump();
+}
+
+/// Strand-side of a fail-stop kill: settle the dead node's accounting for a
+/// queued job and hand it to the failover sink **without** resolving its
+/// completion slot — the supervisor resolves it with the replay's report, so
+/// the submitter's handle still settles exactly once.  Without a sink
+/// (standalone service) the orphan degrades to an abandonment.
+fn orphan_one(inner: &Inner, queued: Queued) {
+    let Queued { cell, spec, .. } = queued;
+    if !cell.mark_abandoned() {
+        // A cancel won the race and settled everything already.
+        return;
+    }
+    let watermark = cell.progress.snapshot();
+    // The job leaves this node's books: its in-flight slot frees and the
+    // pending count drops, so the dead node's drain/shutdown never waits on
+    // work that will finish elsewhere.
+    if let Some(ctx) = inner.sessions.lock().get_mut(&cell.session) {
+        ctx.note_abandoned();
+    }
+    let mut pending = inner.pending.lock().expect("pending lock");
+    *pending -= 1;
+    drop(pending);
+    inner.idle.notify_all();
+    inner.capacity.bump();
+    let sink = inner.orphan_sink.lock().clone();
+    match sink {
+        Some(sink) => {
+            let session = cell.session;
+            sink(OrphanedJob { session, spec, cell, watermark });
+        }
+        None => {
+            let error =
+                JobError { job: cell.job, session: cell.session, kind: JobErrorKind::Abandoned };
+            cell.slot.complete(Err(error));
+            inner.push_stream_outcome(cell.session, cell.job, Err(error));
+        }
+    }
 }
 
 /// Execute one queued job on the calling worker thread and resolve it.
@@ -1106,6 +1234,7 @@ fn run_one(inner: &Inner, queued: Queued) {
         queue_wait,
         resolve_time: resolve_time.get(),
         execute_time: execute_time.get(),
+        failover: None,
     };
     // Close the job's trace root and settle the hub's job-level metrics; the
     // per-phase spans/histograms were filed by the woven obs advice.

@@ -19,7 +19,7 @@ pub mod channel {
     //! Multi-producer multi-consumer channels with the `crossbeam-channel`
     //! surface the workspace uses.
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError, TrySendError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
     use std::sync::{mpsc, Arc, Mutex};
 
     enum SenderInner<T> {
@@ -90,6 +90,14 @@ pub mod channel {
         /// Block until a message arrives or every sender is gone.
         pub fn recv(&self) -> Result<T, RecvError> {
             self.guard().recv()
+        }
+
+        /// Block until a message arrives, the timeout elapses, or every
+        /// sender is gone.  The waiter holds the internal lock for the
+        /// duration, so this is meant for single-consumer receivers (other
+        /// consumers' `try_recv` reports `Empty` meanwhile).
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.guard().recv_timeout(timeout)
         }
 
         /// Receive without blocking.
@@ -244,6 +252,22 @@ pub mod channel {
                 }
             }
             assert_eq!(seen.len(), 64, "every message delivered exactly once");
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (s, r) = super::unbounded::<u8>();
+            assert!(matches!(
+                r.recv_timeout(std::time::Duration::from_millis(5)),
+                Err(super::RecvTimeoutError::Timeout)
+            ));
+            s.send(9).unwrap();
+            assert_eq!(r.recv_timeout(std::time::Duration::from_millis(5)).unwrap(), 9);
+            drop(s);
+            assert!(matches!(
+                r.recv_timeout(std::time::Duration::from_millis(5)),
+                Err(super::RecvTimeoutError::Disconnected)
+            ));
         }
 
         #[test]
