@@ -92,6 +92,21 @@ pub const CLUSTER_SUSPECT: &str = "Cluster::suspect";
 /// `ok` (set after the replay resolves: 1 = report, 0 = error).
 pub const CLUSTER_FAILOVER: &str = "Cluster::failover";
 
+/// Call of an incarnation-arbitrated revival: a restarted rank rejoining
+/// the mesh under a fresh incarnation, or a suspected-but-alive rank
+/// refuting an accusation by bumping its own incarnation.
+///
+/// Attrs: `node` (the reviving rank), `step` (the new incarnation),
+/// `ok` (1 = restart rejoin, 0 = refutation).
+pub const CLUSTER_REJOIN: &str = "Cluster::rejoin";
+
+/// Call of a scripted link event from the fault harness: one direction of
+/// one mesh link cut or healed.
+///
+/// Attrs: `node` (the sending side of the direction), `rank` (the receiving
+/// side), `ok` (1 = heal, 0 = cut).
+pub const CLUSTER_PARTITION: &str = "Cluster::partition";
+
 /// All names, useful for exhaustiveness checks in tests and for the weave
 /// report.
 pub const ALL_JOIN_POINTS: &[&str] = &[
@@ -110,6 +125,8 @@ pub const ALL_JOIN_POINTS: &[&str] = &[
     CLUSTER_PLAN_REP,
     CLUSTER_SUSPECT,
     CLUSTER_FAILOVER,
+    CLUSTER_REJOIN,
+    CLUSTER_PARTITION,
 ];
 
 #[cfg(test)]
@@ -123,6 +140,6 @@ mod tests {
             assert!(n.contains("::"), "join point {n} must be namespaced");
             assert!(seen.insert(*n), "duplicate join point name {n}");
         }
-        assert_eq!(ALL_JOIN_POINTS.len(), 15);
+        assert_eq!(ALL_JOIN_POINTS.len(), 17);
     }
 }

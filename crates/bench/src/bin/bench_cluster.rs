@@ -14,11 +14,16 @@
 //!   mid-batch on a fake-clock fault schedule: the cost of detection,
 //!   re-ownership and checkpoint replay, with every answer still
 //!   bit-identical and the failover count reported.
+//! * `cluster_rejoin` — kill, replay, *restart*: rank 1 rejoins under a
+//!   fresh incarnation and the same workload runs again on the healed
+//!   mesh.  Reports the rejoin count and how much of the rejoined rank's
+//!   cold cache was re-warmed by fetch instead of recompiled (post-heal
+//!   compile elision).
 //!
 //! Writes machine-readable `BENCH_cluster.json` (jobs/sec, compiles,
-//! fetches, control frames, failovers per variant) alongside
-//! `BENCH_kernel.json` so CI can track the trajectory.  Problem size
-//! follows `AOHPC_SCALE=smoke|default|paper`.
+//! fetches, control frames, failovers per variant, plus the rejoin
+//! section) alongside `BENCH_kernel.json` so CI can track the trajectory.
+//! Problem size follows `AOHPC_SCALE=smoke|default|paper`.
 
 use aohpc_kernel::KernelFamilyId;
 use aohpc_service::{
@@ -259,6 +264,103 @@ fn main() {
         cluster.shutdown();
     }
 
+    // Rejoin drill: rank 1 is fail-stopped mid-batch, the replays drain,
+    // then the rank *restarts* under a fresh incarnation and the same
+    // workload runs again across the healed mesh.  The rejoined rank's
+    // cold cache re-warms by fetching every plan it does not own — only
+    // its own rendezvous keys recompile, which is the post-heal compile
+    // elision the JSON records alongside the rejoin count.
+    let rejoin_section = {
+        let clock = FakeClock::new();
+        let plan = FaultPlan::new()
+            .kill_at(1, Duration::from_millis(30))
+            .restart_at(1, Duration::from_millis(250));
+        let cluster = ClusterService::with_fault_plan(
+            nodes,
+            config,
+            clock.clone(),
+            ClusterTuning::fast(),
+            plan,
+        );
+        let sessions: Vec<_> = (0..nodes)
+            .map(|n| cluster.open_session_on(n, SessionSpec::tenant(format!("rejoin-{n}"))))
+            .collect();
+        let start = Instant::now();
+        let mut handles = Vec::new();
+        for session in &sessions {
+            for job in &jobs {
+                for _ in 0..reps {
+                    handles.push(cluster.submit(*session, job.clone()).unwrap());
+                }
+            }
+        }
+        // Drive the detector past the kill (30 ms), the death threshold and
+        // the scripted restart (250 ms).
+        for _ in 0..60 {
+            clock.advance(Duration::from_millis(10));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut bits = 0u64;
+        let mut failovers = 0u64;
+        for (i, handle) in handles.iter().enumerate() {
+            let report = handle.wait().expect("job survived the kill");
+            assert!(report.error.is_none(), "rejoin drill job failed: {:?}", report.error);
+            if i == 0 {
+                bits = report.checksum.to_bits();
+            }
+            if report.failover.is_some() {
+                failovers += 1;
+            }
+        }
+        let mut jobs_run = handles.len();
+        // Wait for the rejoin: every view holds rank 1 Alive under one
+        // agreed fresh incarnation.
+        let mut rejoined = false;
+        for _ in 0..300 {
+            clock.advance(Duration::from_millis(10));
+            std::thread::sleep(Duration::from_millis(1));
+            let inc = cluster.incarnation(1, 1);
+            let agreed = (0..nodes).all(|o| {
+                cluster.node_state(o, 1) == aohpc_service::NodeState::Alive
+                    && cluster.incarnation(o, 1) == inc
+            });
+            if agreed && inc >= 1 {
+                rejoined = true;
+                break;
+            }
+        }
+        assert!(rejoined, "rank 1 never rejoined the mesh");
+        let rejoins = cluster.membership_stats(0).rejoins;
+
+        // Warm steady state on the healed mesh, rejoined rank included.
+        let before = cluster.cache_stats().total;
+        let (_, count) =
+            run_jobs(|n, job| cluster.submit(sessions[n], job).unwrap(), nodes, &jobs, reps);
+        jobs_run += count;
+        let secs = start.elapsed().as_secs_f64();
+        let after = cluster.cache_stats().total;
+        let comm = cluster.comm_stats().total;
+        let recompiles = after.compiles - before.compiles;
+        let refetches = after.fetches - before.fetches;
+        assert!(
+            recompiles <= jobs.len() as u64,
+            "the rejoined rank recompiled plans it could have fetched"
+        );
+        let elision_pct = 100.0 * (1.0 - recompiles as f64 / jobs.len() as f64);
+        outcomes.push(Outcome {
+            name: "cluster_rejoin",
+            jobs: jobs_run,
+            secs,
+            compiles: after.compiles,
+            fetches: after.fetches,
+            control_frames: comm.control_sent,
+            failovers,
+            checksum_bits: bits,
+        });
+        cluster.shutdown();
+        (rejoins, recompiles, refetches, elision_pct)
+    };
+
     // Every variant computed the same field bit-for-bit.
     for o in &outcomes[1..] {
         assert_eq!(o.checksum_bits, outcomes[0].checksum_bits, "{} diverged", o.name);
@@ -288,6 +390,12 @@ fn main() {
         indep.compiles,
         100.0 * (1.0 - cold.compiles as f64 / indep.compiles as f64),
     );
+    let (rejoins, recompiles, refetches, elision_pct) = rejoin_section;
+    println!(
+        "rejoin: {rejoins} rejoin(s); post-heal re-warm recompiled {recompiles}/{} plans \
+         ({refetches} fetched) — {elision_pct:.0}% of the compile work elided",
+        jobs.len(),
+    );
 
     // Machine-readable trajectory record (no external JSON dependency in the
     // offline workspace, so the document is assembled by hand).
@@ -313,6 +421,9 @@ fn main() {
         ));
     }
     json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"rejoin\": {{\"rejoins\": {rejoins}, \"post_heal_recompiles\": {recompiles}, \"post_heal_fetches\": {refetches}, \"post_heal_compile_elision_pct\": {elision_pct:.1}}},\n",
+    ));
     json.push_str("  \"family_mix\": {\n");
     for (i, (family, compiles, hits, misses)) in family_lanes.iter().enumerate() {
         json.push_str(&format!(

@@ -7,7 +7,8 @@
 //! - [`ObsServiceAspect`] advises the service-plane join points
 //!   ([`names::SERVICE_EXECUTE`], [`names::CACHE_RESOLVE`],
 //!   [`names::CLUSTER_PLAN_REQ`], [`names::CLUSTER_PLAN_REP`],
-//!   [`names::CLUSTER_SUSPECT`], [`names::CLUSTER_FAILOVER`]).  One
+//!   [`names::CLUSTER_SUSPECT`], [`names::CLUSTER_FAILOVER`],
+//!   [`names::CLUSTER_REJOIN`], [`names::CLUSTER_PARTITION`]).  One
 //!   instance is woven into the service's own program at construction; the
 //!   dispatch sites pass trace/parent ids as integer attributes, so this
 //!   module needs no service types at all.
@@ -65,6 +66,8 @@ impl Aspect for ObsServiceAspect {
         let rep_hub = Arc::clone(&self.hub);
         let suspect_hub = Arc::clone(&self.hub);
         let failover_hub = Arc::clone(&self.hub);
+        let rejoin_hub = Arc::clone(&self.hub);
+        let partition_hub = Arc::clone(&self.hub);
         vec![
             AdviceBinding::new(
                 Pointcut::execution(names::SERVICE_EXECUTE),
@@ -154,6 +157,33 @@ impl Aspect for ObsServiceAspect {
                     let job = ctx.attr(attr::JOB).unwrap_or(-1);
                     failover_hub.metrics().failovers.inc();
                     failover_hub.recorder().end_with(open, node, job);
+                }),
+            ),
+            AdviceBinding::new(
+                Pointcut::call(names::CLUSTER_REJOIN),
+                Advice::around(move |ctx, proceed| {
+                    // Revivals run on fabric/supervisor threads with no job
+                    // context; the span is a trace root.
+                    let (trace, parent) = ctx_ids(ctx);
+                    let open = rejoin_hub.recorder().start(names::CLUSTER_REJOIN, trace, parent);
+                    proceed(ctx);
+                    let node = ctx.attr(attr::NODE).unwrap_or(-1);
+                    let step = ctx.attr(attr::STEP).unwrap_or(-1);
+                    rejoin_hub.metrics().rejoins.inc();
+                    rejoin_hub.recorder().end_with(open, node, step);
+                }),
+            ),
+            AdviceBinding::new(
+                Pointcut::call(names::CLUSTER_PARTITION),
+                Advice::around(move |ctx, proceed| {
+                    let (trace, parent) = ctx_ids(ctx);
+                    let open =
+                        partition_hub.recorder().start(names::CLUSTER_PARTITION, trace, parent);
+                    proceed(ctx);
+                    let node = ctx.attr(attr::NODE).unwrap_or(-1);
+                    let ok = ctx.attr(attr::OK).unwrap_or(-1);
+                    partition_hub.metrics().partitions.inc();
+                    partition_hub.recorder().end_with(open, node, ok);
                 }),
             ),
         ]

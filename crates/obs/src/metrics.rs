@@ -199,6 +199,12 @@ pub struct Metrics {
     /// Checkpoint-replay failovers: jobs orphaned by a dead node and
     /// re-submitted onto a survivor.
     pub failovers: Counter,
+    /// Incarnation-arbitrated revivals: restarted ranks rejoining the mesh
+    /// plus suspected-but-alive ranks refuting an accusation.
+    pub rejoins: Counter,
+    /// Scripted link events (directional cuts and heals) from the fault
+    /// harness.
+    pub partitions: Counter,
     kernel_rates: Mutex<HashMap<u64, KernelRate>>,
 }
 

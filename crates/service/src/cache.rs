@@ -772,6 +772,25 @@ impl PlanCache {
         self.shards.iter().map(|s| s.lock().entries.len()).sum()
     }
 
+    /// Drop every resident entry, returning how many were discarded.
+    ///
+    /// Models a process restart (the rejoin path): a revived rank comes back
+    /// with a cold cache and re-warms through the fetch/compile chain.
+    /// Discarded entries are metered as evictions so the ledger still
+    /// explains every departure.  In-flight resolutions are untouched — a
+    /// flight's leader re-inserts on completion, which is exactly the
+    /// post-restart warm path.
+    pub fn invalidate_all(&self) -> usize {
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            dropped += shard.entries.len();
+            shard.entries.clear();
+        }
+        self.evictions.fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0

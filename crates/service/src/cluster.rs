@@ -21,7 +21,8 @@
 //!    owner (or the cluster is shutting down), the fetcher declines and the
 //!    cache compiles locally.
 //! 2. Otherwise the fetcher sends a `PLAN_REQ` control frame to the owner:
-//!    a request id plus the [`PortableKernel`] wire form of the wanted plan
+//!    a request id, the owner incarnation the requester believes it is
+//!    addressing, plus the [`PortableKernel`] wire form of the wanted plan
 //!    (program, block shape, opt level — enough for the owner to compile a
 //!    plan it has never seen).
 //! 3. The owner's **fabric thread** — the thread owning the node's
@@ -56,6 +57,26 @@
 //!   incarnation number and gossiped on `SUSPECT` frames so views converge.
 //!   Under a [`FakeClock`] the pacemaker ticks on `advance`, making
 //!   detection fully test-controlled.
+//! * **Rejoin and arbitration.**  A heartbeat carries its sender's
+//!   incarnation *and* a digest of its whole membership view.  A scripted
+//!   [`FaultAction::Restart`] revives a killed service (cold cache — the
+//!   process restarted) under a bumped incarnation; the returning rank's
+//!   heartbeats announce the new incarnation, which revives peers' Dead
+//!   entries outright (higher incarnation wins), and its plan ownership
+//!   returns with the live view.  Digest mismatches trigger an
+//!   anti-entropy exchange (`VIEW_PULL` → `VIEW_SYNC`: the full
+//!   `(state, incarnation)` vector, lattice-merged), so views diverged by
+//!   an asymmetric partition converge without waiting for every detector
+//!   to re-time-out.  A rank that learns it stands accused refutes
+//!   SWIM-style — outbids the accusation with a fresh incarnation and
+//!   broadcasts it ([`MembershipStats::refutations`]).  Because nobody
+//!   heartbeats a peer it believes dead, every eighth beat is also sent to
+//!   Dead peers as a *probe*: harmless toward a truly dead rank (its old
+//!   incarnation cannot resurrect the entry), but a rank falsely condemned
+//!   behind a symmetric partition receives it, pulls the condemner's view,
+//!   finds the accusation and refutes — so even a both-directions cut held
+//!   past the death deadline heals into a rejoin instead of a deadlock of
+//!   mutual silence.
 //! * **Plan re-ownership.**  Owners are rendezvous-hashed over the *live*
 //!   view, so when a rank dies only the keys it owned re-home (each to its
 //!   second-highest scorer).  A fetch that times out suspects the owner,
@@ -72,14 +93,20 @@
 //!   [`FailoverProvenance`], so zero jobs are lost and every failover is
 //!   auditable per job.
 //! * **Failure injection.**  A [`FaultPlan`](crate::fault::FaultPlan) arms
-//!   scripted kills, fabric wedges, and frame drops/delays into the cluster
+//!   scripted kills, restarts, directional link cuts/heals, fabric wedges,
+//!   and frame drops/delays into the cluster
 //!   ([`ClusterService::with_fault_plan`]), driven by the same clock seam —
 //!   the harness the fault-tolerance tests (and nobody else) pay for.
 //!
-//! A late `PLAN_REP` from a rank already declared dead carries a stale
-//! incarnation and is dropped (metered as
+//! Stale incarnations are fenced on both sides of the plan protocol: a late
+//! `PLAN_REP` from a rank already declared dead carries a stale incarnation
+//! and is dropped (metered as
 //! [`MembershipStats::stale_replies_dropped`]) — the shutdown-vs-death race
-//! cannot fulfil a live request with a dead node's reply.
+//! cannot fulfil a live request with a dead node's reply — and a `PLAN_REQ`
+//! addressed to an incarnation the owner has since superseded is dropped
+//! unserved (metered as [`MembershipStats::stale_requests_dropped`]), so
+//! the requester re-homes through its normal retry path instead of
+//! trusting a plan negotiated with a previous life.
 
 use crate::cache::{
     EvictionPolicy, FetchOutcome, LruPolicy, PlanCache, PlanCacheStats, PlanFetcher, PlanKey,
@@ -122,12 +149,23 @@ pub const TAG_PLAN_REQ: u32 = 1;
 /// Control-plane tag: plan reply (`req_id` + sender incarnation + status +
 /// portable kernel bytes).
 pub const TAG_PLAN_REP: u32 = 2;
-/// Liveness-class tag: heartbeat (payload: sender's incarnation).
+/// Liveness-class tag: heartbeat (payload: sender's incarnation + a digest
+/// of its whole membership view, [`Membership::digest`]).  The digest is
+/// the anti-entropy trigger: a receiver holding a different view pulls the
+/// sender's full vector and lattice-merges it.
 pub const TAG_HEARTBEAT: u32 = LIVENESS_TAG_BASE;
 /// Liveness-class tag: membership gossip (`subject` + state + incarnation).
-/// The originator of a suspect/dead transition broadcasts it so views
-/// converge without every detector timing out independently.
+/// The originator of a suspect/dead transition — or of a refutation —
+/// broadcasts it so views converge without every detector timing out
+/// independently.
 pub const TAG_SUSPECT: u32 = LIVENESS_TAG_BASE + 1;
+/// Liveness-class tag: anti-entropy pull (empty payload) — "your heartbeat
+/// digest differs from my view; send me your full vector".
+pub const TAG_VIEW_PULL: u32 = LIVENESS_TAG_BASE + 2;
+/// Liveness-class tag: anti-entropy sync — the sender's full
+/// `(state, incarnation)` vector, one 9-byte entry per rank, lattice-merged
+/// by the receiver ([`Membership::merge_view`]).
+pub const TAG_VIEW_SYNC: u32 = LIVENESS_TAG_BASE + 3;
 
 /// The well-mixed hash of a plan key that rendezvous scoring runs on; every
 /// node computes the same hash for the same key.
@@ -184,6 +222,58 @@ fn decode_suspect(bytes: &[u8]) -> Option<(usize, NodeState, u64)> {
     };
     let incarnation = u64::from_le_bytes(bytes[9..17].try_into().ok()?);
     Some((subject, state, incarnation))
+}
+
+/// The `VIEW_SYNC` payload: the full membership vector, 9 bytes per rank
+/// (state byte + incarnation).
+fn view_payload(entries: &[(NodeState, u64)]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(entries.len() * 9);
+    for (state, incarnation) in entries {
+        bytes.push(match state {
+            NodeState::Alive => 0,
+            NodeState::Suspect => 1,
+            NodeState::Dead => 2,
+        });
+        bytes.extend_from_slice(&incarnation.to_le_bytes());
+    }
+    bytes
+}
+
+fn decode_view(bytes: &[u8]) -> Option<Vec<(NodeState, u64)>> {
+    if bytes.is_empty() || !bytes.len().is_multiple_of(9) {
+        return None;
+    }
+    bytes
+        .chunks_exact(9)
+        .map(|entry| {
+            let state = match entry[0] {
+                0 => NodeState::Alive,
+                1 => NodeState::Suspect,
+                2 => NodeState::Dead,
+                _ => return None,
+            };
+            Some((state, u64::from_le_bytes(entry[1..9].try_into().ok()?)))
+        })
+        .collect()
+}
+
+/// Record an incarnation-arbitrated revival through the `CLUSTER_REJOIN`
+/// join point: `node` = the reviving rank, `step` = its new incarnation,
+/// `ok` = 1 for a restart rejoin, 0 for a refutation.
+fn dispatch_rejoin(woven: Option<&WovenProgram>, node: usize, incarnation: u64, restart: bool) {
+    if let Some(woven) = woven {
+        let attrs = [(attr::NODE, node as i64), (attr::STEP, incarnation as i64)];
+        let mut payload = ();
+        woven.dispatch_with(
+            names::CLUSTER_REJOIN,
+            JoinPointKind::Call,
+            &attrs,
+            &mut payload,
+            &mut |ctx| {
+                ctx.set_attr(attr::OK, i64::from(restart));
+            },
+        );
+    }
 }
 
 /// Broadcast a locally-originated membership transition to every peer and
@@ -345,6 +435,10 @@ impl ClusterFetcher {
         let portable =
             PortableKernel::pack(program, aohpc_env::Extent::new2d(key.nx, key.ny), key.level);
         let mut payload = req_id.to_le_bytes().to_vec();
+        // Name the incarnation this request is addressed to: if the owner
+        // restarts before serving it, the request is provably from its
+        // previous life and the owner drops it rather than honoring it.
+        payload.extend_from_slice(&self.membership.incarnation_of(owner).to_le_bytes());
         payload.extend_from_slice(&portable.to_bytes());
         if !self.handle.send(owner, TAG_PLAN_REQ, payload) {
             self.pending.take(req_id);
@@ -444,14 +538,16 @@ impl fmt::Debug for ClusterFetcher {
     }
 }
 
-/// Serve one `PLAN_REQ` payload against the owner's local cache, returning
-/// the reply frame (req id + serving rank's incarnation + status byte +
-/// compiled portable bytes).
+/// Serve one `PLAN_REQ` payload (req id + expected owner incarnation +
+/// portable kernel bytes) against the owner's local cache, returning the
+/// reply frame (req id + serving rank's incarnation + status byte +
+/// compiled portable bytes).  The expected-incarnation guard runs *before*
+/// this (a stale request is dropped, not served).
 fn serve_plan_req(cache: &PlanCache, bytes: &[u8], incarnation: u64) -> Vec<u8> {
     let req_id: [u8; 8] = bytes[..8].try_into().expect("eight bytes");
     let mut reply = req_id.to_vec();
     reply.extend_from_slice(&incarnation.to_le_bytes());
-    match PortableKernel::from_bytes(&bytes[8..]) {
+    match PortableKernel::from_bytes(&bytes[16..]) {
         Ok(portable) => {
             // Resolve against the local cache: the owner's local
             // single-flight makes this the cluster's one compile for the key
@@ -558,22 +654,50 @@ impl Fabric {
             let _ = self.membership.observe_alive(frame.from, evidence_incarnation, now);
         }
         match frame.tag {
-            TAG_HEARTBEAT => {} // pure liveness evidence, handled above
+            TAG_HEARTBEAT => {
+                // Liveness evidence was folded above; what remains is the
+                // anti-entropy trigger: a sender advertising a different
+                // view digest holds evidence we lack (or vice versa), so
+                // pull its full vector.  Converged views — the steady state
+                // — exchange no sync traffic at all.
+                let theirs =
+                    frame.bytes.get(8..16).and_then(|b| b.try_into().ok()).map(u64::from_le_bytes);
+                if theirs.is_some_and(|digest| digest != self.membership.digest()) {
+                    let _ = comm.send_control(frame.from, TAG_VIEW_PULL, Vec::new());
+                }
+            }
             TAG_SUSPECT => {
                 if let Some((subject, state, incarnation)) = decode_suspect(&frame.bytes) {
                     if subject < self.membership.ranks() {
-                        if let Some(t) = self.membership.adopt(subject, state, incarnation) {
-                            if t.to != NodeState::Alive {
-                                // Wake fetchers parked on the condemned rank.
-                                self.pending.fail_rank(subject);
-                            }
+                        if let Some(t) = self.membership.adopt(subject, state, incarnation, now) {
+                            self.react(rank, comm, &t);
                         }
                     }
                 }
             }
+            TAG_VIEW_PULL => {
+                let reply = view_payload(&self.membership.view_entries());
+                let _ = comm.send_control(frame.from, TAG_VIEW_SYNC, reply);
+            }
+            TAG_VIEW_SYNC => {
+                if let Some(entries) = decode_view(&frame.bytes) {
+                    for t in self.membership.merge_view(&entries, now) {
+                        self.react(rank, comm, &t);
+                    }
+                }
+            }
             TAG_PLAN_REQ => {
-                if frame.bytes.len() < 8 {
-                    return true; // malformed: no req id to even decline under
+                if frame.bytes.len() < 16 {
+                    return true; // malformed: no req id / expected incarnation
+                }
+                let expected =
+                    u64::from_le_bytes(frame.bytes[8..16].try_into().expect("eight bytes"));
+                // A request addressed to a previous life of this rank: the
+                // requester (or its view) predates our restart.  Drop it —
+                // the requester's timeout re-homes the key against the live
+                // view, which its heartbeats have meanwhile refreshed.
+                if !self.membership.accepts_request(expected) {
+                    return true;
                 }
                 let incarnation = self.membership.incarnation_of(rank);
                 let reply = match &self.obs_woven {
@@ -621,6 +745,27 @@ impl Fabric {
         }
         true
     }
+
+    /// Act on one locally-adopted membership transition.  A condemnation
+    /// wakes the fetchers parked on the subject (they re-home now, not at
+    /// their timeout).  A refutation — an accusation against *this* rank
+    /// that [`Membership::adopt`] outbid with a fresh incarnation — is
+    /// broadcast so the accuser (and everyone it gossiped to) adopts the
+    /// new incarnation, and is recorded through the `CLUSTER_REJOIN` join
+    /// point (`ok` = 0).
+    fn react(&self, rank: usize, comm: &mut Communicator<f64>, t: &Transition) {
+        if t.subject == rank && t.to == NodeState::Alive {
+            let payload = suspect_payload(t);
+            for peer in 0..self.membership.ranks() {
+                if peer != rank {
+                    let _ = comm.send_control(peer, TAG_SUSPECT, payload.clone());
+                }
+            }
+            dispatch_rejoin(self.obs_woven.as_ref(), rank, t.incarnation, false);
+        } else if t.to != NodeState::Alive {
+            self.pending.fail_rank(t.subject);
+        }
+    }
 }
 
 /// One node's heartbeat source and deadline sweeper, plus the fault
@@ -635,7 +780,18 @@ struct PacemakerCtx {
     clock: ServiceClock,
     supervisor_tx: Sender<SupervisorMsg>,
     obs_woven: Option<WovenProgram>,
+    beats: AtomicU64,
 }
+
+/// Every this-many beats, a heartbeat is also sent to peers this node
+/// believes dead.  An old-incarnation heartbeat can never resurrect a dead
+/// entry, so the probe is harmless toward ranks that really died — but a
+/// rank falsely condemned during a symmetric partition receives the probe,
+/// notices the digest mismatch, pulls the condemner's view, finds the
+/// accusation against itself, and refutes with a fresh incarnation.
+/// Without the probe nobody beats toward a Dead peer, so such a rank would
+/// never learn of its condemnation and could never rejoin after the heal.
+const DEAD_PROBE_EVERY: u64 = 8;
 
 impl PacemakerCtx {
     fn beat(&self) {
@@ -645,21 +801,34 @@ impl PacemakerCtx {
         let now = self.clock.now();
         if let Some(fault) = &self.fault {
             // Whichever pacemaker observes the schedule first executes it
-            // (`drive` pops each action exactly once); kills are routed to
-            // the supervisor, which owns the node handles.
+            // (`drive` pops each action exactly once); kills and restarts
+            // are routed to the supervisor, which owns the node handles,
+            // and link events are recorded at the `CLUSTER_PARTITION` join
+            // point (`drive` already flipped the cut matrix).
             for action in fault.drive(now) {
-                if let FaultAction::Kill(rank) = action {
-                    let _ = self.supervisor_tx.send(SupervisorMsg::Kill(rank));
+                match action {
+                    FaultAction::Kill(rank) => {
+                        let _ = self.supervisor_tx.send(SupervisorMsg::Kill(rank));
+                    }
+                    FaultAction::Restart(rank) => {
+                        let _ = self.supervisor_tx.send(SupervisorMsg::Restart(rank));
+                    }
+                    FaultAction::Partition { from, to } => self.link_event(from, to, false),
+                    FaultAction::Heal { from, to } => self.link_event(from, to, true),
+                    FaultAction::Wedge(_) | FaultAction::Unwedge(_) => {}
                 }
             }
             if fault.is_killed(self.rank) || fault.is_wedged(self.rank) {
                 return; // a dead or wedged node goes silent
             }
         }
+        let probe = self.beats.fetch_add(1, Ordering::Relaxed).is_multiple_of(DEAD_PROBE_EVERY);
         let incarnation = self.membership.incarnation_of(self.rank);
+        let mut beat = incarnation.to_le_bytes().to_vec();
+        beat.extend_from_slice(&self.membership.digest().to_le_bytes());
         for peer in 0..self.membership.ranks() {
-            if peer != self.rank && self.membership.state_of(peer) != NodeState::Dead {
-                let _ = self.handle.send(peer, TAG_HEARTBEAT, incarnation.to_le_bytes().to_vec());
+            if peer != self.rank && (probe || self.membership.state_of(peer) != NodeState::Dead) {
+                let _ = self.handle.send(peer, TAG_HEARTBEAT, beat.clone());
             }
         }
         for t in self.membership.tick(now) {
@@ -667,6 +836,25 @@ impl PacemakerCtx {
             // at their timeout.
             self.pending.fail_rank(t.subject);
             publish_transition(&self.handle, self.membership.ranks(), self.obs_woven.as_ref(), &t);
+        }
+    }
+
+    /// Record one scripted link event through the `CLUSTER_PARTITION` join
+    /// point (`node` = sending side of the direction, `rank` = receiving
+    /// side, `ok` = 1 for a heal, 0 for a cut).
+    fn link_event(&self, from: usize, to: usize, healed: bool) {
+        if let Some(woven) = &self.obs_woven {
+            let attrs = [(attr::NODE, from as i64), (attr::RANK, to as i64)];
+            let mut payload = ();
+            woven.dispatch_with(
+                names::CLUSTER_PARTITION,
+                JoinPointKind::Call,
+                &attrs,
+                &mut payload,
+                &mut |ctx| {
+                    ctx.set_attr(attr::OK, i64::from(healed));
+                },
+            );
         }
     }
 }
@@ -699,6 +887,9 @@ impl Pacemaker {
 enum SupervisorMsg {
     /// Execute a scripted fail-stop of `rank` (from the fault schedule).
     Kill(usize),
+    /// Execute a scripted restart of a killed `rank`: revive its service
+    /// (cold cache) and restart its membership under a fresh incarnation.
+    Restart(usize),
     /// A job stranded on killed rank `from`, to be replayed on a survivor.
     Orphan { from: usize, orphan: Box<OrphanedJob> },
     /// Cluster shutdown: finish in-flight replays, then exit.
@@ -718,6 +909,10 @@ struct Replay {
 /// with the replay's (bit-identical) report plus failover provenance.
 struct Supervisor {
     nodes: Vec<Arc<KernelService>>,
+    /// The per-rank membership views, for restarting a revived rank's view
+    /// under its bumped incarnation.
+    memberships: Vec<Arc<Membership>>,
+    clock: ServiceClock,
     rx: Receiver<SupervisorMsg>,
     obs_woven: Option<WovenProgram>,
     /// One replay session per target node, opened lazily.
@@ -749,6 +944,7 @@ impl Supervisor {
             };
             match msg {
                 Some(SupervisorMsg::Kill(rank)) => self.nodes[rank].kill_for_failover(),
+                Some(SupervisorMsg::Restart(rank)) => self.restart(rank),
                 Some(SupervisorMsg::Orphan { from, orphan }) => self.replay(from, *orphan),
                 Some(SupervisorMsg::Stop) => stopping = true,
                 None => {}
@@ -760,6 +956,7 @@ impl Supervisor {
                 while let Ok(msg) = self.rx.try_recv() {
                     match msg {
                         SupervisorMsg::Kill(rank) => self.nodes[rank].kill_for_failover(),
+                        SupervisorMsg::Restart(rank) => self.restart(rank),
                         SupervisorMsg::Orphan { from, orphan } => self.replay(from, *orphan),
                         SupervisorMsg::Stop => {}
                     }
@@ -770,6 +967,21 @@ impl Supervisor {
                 }
             }
         }
+    }
+
+    /// Execute a scripted restart: revive the killed service — cold cache,
+    /// the process restarted — and restart its membership view under a
+    /// bumped incarnation.  The revived rank re-announces itself through
+    /// its own pacemaker's next heartbeat; peers revive their Dead entry by
+    /// incarnation arbitration, its plan ownership returns with the live
+    /// view, and its cache re-warms through the normal fetcher path.
+    /// Recorded at the `CLUSTER_REJOIN` join point (`ok` = 1).
+    fn restart(&self, rank: usize) {
+        if !self.nodes[rank].revive_after_failover() {
+            return; // a restart without a preceding kill is a no-op
+        }
+        let incarnation = self.memberships[rank].restart(self.clock.now());
+        dispatch_rejoin(self.obs_woven.as_ref(), rank, incarnation, true);
     }
 
     /// The survivor a stranded job re-homes to: rendezvous-hashed over the
@@ -1140,6 +1352,7 @@ impl ClusterService {
                 clock: cluster_clock.clone(),
                 supervisor_tx: supervisor_tx.clone(),
                 obs_woven: obs_woven.clone(),
+                beats: AtomicU64::new(0),
             };
             match &clock {
                 Some(fake) => {
@@ -1177,6 +1390,8 @@ impl ClusterService {
         }
         let supervisor = Supervisor {
             nodes: services.clone(),
+            memberships: memberships.clone(),
+            clock: cluster_clock.clone(),
             rx: supervisor_rx,
             obs_woven,
             sessions: HashMap::new(),
@@ -1226,6 +1441,13 @@ impl ClusterService {
     /// What rank `observer` currently believes about rank `subject`.
     pub fn node_state(&self, observer: usize, subject: usize) -> NodeState {
         self.memberships[observer].state_of(subject)
+    }
+
+    /// The incarnation rank `observer` currently believes rank `subject`
+    /// runs (for `observer == subject`, the rank's own incarnation).
+    /// Converged views agree on every rank's incarnation.
+    pub fn incarnation(&self, observer: usize, subject: usize) -> u64 {
+        self.memberships[observer].incarnation_of(subject)
     }
 
     /// The ranks `observer` considers eligible for plan ownership.

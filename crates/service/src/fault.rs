@@ -1,18 +1,29 @@
-//! Failure injection for cluster fault tests: scripted kills, wedges and
-//! control-frame perturbations, all keyed to detector time.
+//! Failure injection for cluster fault tests: scripted kills, restarts,
+//! wedges, directional partitions and control-frame perturbations, all keyed
+//! to detector time.
 //!
-//! A [`FaultPlan`] is a declarative schedule — *kill rank 2 at t=40 ms, wedge
-//! rank 1's fabric at t=10 ms, delay every `PLAN_REP` from 0 to 1 until
-//! t=120 ms* — armed into a [`FaultState`] the
-//! [`ClusterService`](crate::cluster::ClusterService) threads consult:
+//! A [`FaultPlan`] is a declarative schedule — *kill rank 2 at t=40 ms,
+//! restart it at t=200 ms, cut the link 1→0 at t=10 ms and heal it at
+//! t=120 ms, delay every `PLAN_REP` from 0 to 1 until t=120 ms* — armed into
+//! a [`FaultState`] the [`ClusterService`](crate::cluster::ClusterService)
+//! threads consult:
 //!
 //! * The cluster's per-node pacemaker calls [`FaultState::drive`] whenever
 //!   detector time moves (on a [`FakeClock`](aohpc_testalloc::sync::FakeClock)
 //!   that is every `advance`), executing due [`FaultAction`]s: a **kill** is
 //!   fail-stop — the node's service orphans its queue, its fabric goes
-//!   silent — and a **wedge** parks the fabric without killing the node
-//!   (frames pile up; heartbeats stop; peers suspect it until the scripted
-//!   unwedge lets it refute).
+//!   silent; a **restart** brings the killed rank back as a *fresh
+//!   incarnation* (its service re-admits, its membership view restarts with
+//!   a bumped incarnation, and it rejoins the mesh through the normal
+//!   heartbeat / anti-entropy path); a **wedge** parks the fabric without
+//!   killing the node (frames pile up; heartbeats stop; peers suspect it
+//!   until the scripted unwedge lets it refute).
+//! * A **partition** cuts one *direction* of one link: every frame sent by
+//!   `from` stops arriving at `to` (the reverse direction is untouched —
+//!   asymmetric partitions are scripted as a single cut, symmetric ones as
+//!   two).  A **heal** restores the direction.  Cuts are consulted by
+//!   [`FaultState::intercept`] before the frame rules, so a partitioned
+//!   direction silences heartbeats, gossip and plan traffic alike.
 //! * Each fabric loop passes every received frame through
 //!   [`FaultState::intercept`], which delivers, drops, or holds it; held
 //!   frames come back from [`FaultState::take_released`] once their release
@@ -33,9 +44,14 @@ use std::time::Duration;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultAction {
     /// Fail-stop `rank`: its service stops admitting and orphans its queue,
-    /// its fabric neither serves nor beats.  Permanent (this cluster never
-    /// restarts a rank).
+    /// its fabric neither serves nor beats — until a scripted
+    /// [`FaultAction::Restart`] brings it back as a fresh incarnation.
     Kill(usize),
+    /// Restart a killed `rank`: its service re-admits and its membership
+    /// view restarts under a bumped incarnation, so the returning rank's
+    /// heartbeats are recognizably *new* — peers revive their Dead entry
+    /// (incarnation arbitration) instead of ignoring a stale ghost.
+    Restart(usize),
     /// Park `rank`'s fabric thread: frames queue up undelivered and no
     /// heartbeats leave, but workers keep running — the node *looks* dead to
     /// its peers without being dead.
@@ -43,13 +59,47 @@ pub enum FaultAction {
     /// Release a wedged fabric: it drains its backlog and resumes beating,
     /// eventually refuting the suspicion it earned.
     Unwedge(usize),
+    /// Cut the directed link `from → to`: frames sent by `from` stop
+    /// arriving at `to`.  The reverse direction keeps flowing — this is the
+    /// asymmetric-partition primitive.
+    Partition {
+        /// The sending side of the severed direction.
+        from: usize,
+        /// The receiving side that goes deaf to `from`.
+        to: usize,
+    },
+    /// Restore the directed link `from → to`.
+    Heal {
+        /// The sending side of the restored direction.
+        from: usize,
+        /// The receiving side that hears `from` again.
+        to: usize,
+    },
 }
 
 impl FaultAction {
-    /// The rank the action targets.
+    /// The primary rank the action targets (for link actions, the sending
+    /// side of the affected direction).
     pub fn rank(&self) -> usize {
         match *self {
-            FaultAction::Kill(r) | FaultAction::Wedge(r) | FaultAction::Unwedge(r) => r,
+            FaultAction::Kill(r)
+            | FaultAction::Restart(r)
+            | FaultAction::Wedge(r)
+            | FaultAction::Unwedge(r) => r,
+            FaultAction::Partition { from, .. } | FaultAction::Heal { from, .. } => from,
+        }
+    }
+
+    /// Every rank the action involves (both ends of a link action).
+    fn involved(&self) -> (usize, Option<usize>) {
+        match *self {
+            FaultAction::Kill(r)
+            | FaultAction::Restart(r)
+            | FaultAction::Wedge(r)
+            | FaultAction::Unwedge(r) => (r, None),
+            FaultAction::Partition { from, to } | FaultAction::Heal { from, to } => {
+                (from, Some(to))
+            }
         }
     }
 }
@@ -110,6 +160,27 @@ impl FaultPlan {
         self
     }
 
+    /// Restart a killed `rank` at detector time `at` (fresh incarnation;
+    /// the rank rejoins through heartbeats and anti-entropy).
+    pub fn restart_at(mut self, rank: usize, at: Duration) -> Self {
+        self.actions.push((at, FaultAction::Restart(rank)));
+        self
+    }
+
+    /// Cut the directed link `from → to` at detector time `at` (frames sent
+    /// by `from` stop arriving at `to`; the reverse direction keeps
+    /// flowing).  Script both directions for a symmetric partition.
+    pub fn partition_at(mut self, from: usize, to: usize, at: Duration) -> Self {
+        self.actions.push((at, FaultAction::Partition { from, to }));
+        self
+    }
+
+    /// Restore the directed link `from → to` at detector time `at`.
+    pub fn heal_at(mut self, from: usize, to: usize, at: Duration) -> Self {
+        self.actions.push((at, FaultAction::Heal { from, to }));
+        self
+    }
+
     /// Wedge `rank`'s fabric at detector time `at`.
     pub fn wedge_at(mut self, rank: usize, at: Duration) -> Self {
         self.actions.push((at, FaultAction::Wedge(rank)));
@@ -147,13 +218,20 @@ impl FaultPlan {
         // stable: same-instant actions fire in scripted order.
         self.actions.sort_by_key(|(at, _)| *at);
         for (_, action) in &self.actions {
-            assert!(action.rank() < ranks, "fault targets rank {} of {ranks}", action.rank());
+            let (a, b) = action.involved();
+            assert!(a < ranks, "fault targets rank {a} of {ranks}");
+            if let Some(b) = b {
+                assert!(b < ranks, "fault targets rank {b} of {ranks}");
+                assert!(a != b, "a link action needs two distinct ranks, got {a} → {b}");
+            }
         }
         FaultState {
             pending: Mutex::new(self.actions),
             rules: self.rules,
+            ranks,
             killed: (0..ranks).map(|_| AtomicBool::new(false)).collect(),
             wedged: (0..ranks).map(|_| AtomicBool::new(false)).collect(),
+            cut: (0..ranks * ranks).map(|_| AtomicBool::new(false)).collect(),
             held: Mutex::new(Vec::new()),
         }
     }
@@ -173,8 +251,12 @@ struct HeldFrame {
 pub struct FaultState {
     pending: Mutex<Vec<(Duration, FaultAction)>>,
     rules: Vec<FrameRule>,
+    ranks: usize,
     killed: Vec<AtomicBool>,
     wedged: Vec<AtomicBool>,
+    /// Directional link cuts, indexed `from * ranks + to`; a set flag drops
+    /// every frame `from` sends toward `to` at the receiver.
+    cut: Vec<AtomicBool>,
     held: Mutex<Vec<HeldFrame>>,
 }
 
@@ -191,8 +273,15 @@ impl FaultState {
         for action in &fired {
             match *action {
                 FaultAction::Kill(r) => self.killed[r].store(true, Ordering::SeqCst),
+                FaultAction::Restart(r) => self.killed[r].store(false, Ordering::SeqCst),
                 FaultAction::Wedge(r) => self.wedged[r].store(true, Ordering::SeqCst),
                 FaultAction::Unwedge(r) => self.wedged[r].store(false, Ordering::SeqCst),
+                FaultAction::Partition { from, to } => {
+                    self.cut[from * self.ranks + to].store(true, Ordering::SeqCst);
+                }
+                FaultAction::Heal { from, to } => {
+                    self.cut[from * self.ranks + to].store(false, Ordering::SeqCst);
+                }
             }
         }
         fired
@@ -208,10 +297,20 @@ impl FaultState {
         self.wedged[rank].load(Ordering::SeqCst)
     }
 
-    /// Pass one frame received at `to` through the perturbation rules.  The
-    /// first matching rule wins; with none the frame is delivered.  A held
-    /// frame whose release time has already passed delivers immediately.
+    /// Whether the directed link `from → to` is currently cut.
+    pub fn is_cut(&self, from: usize, to: usize) -> bool {
+        self.cut[from * self.ranks + to].load(Ordering::SeqCst)
+    }
+
+    /// Pass one frame received at `to` through the link cuts and
+    /// perturbation rules.  A cut `from → to` direction drops the frame
+    /// outright; otherwise the first matching rule wins; with none the frame
+    /// is delivered.  A held frame whose release time has already passed
+    /// delivers immediately.
     pub fn intercept(&self, to: usize, frame: &ControlFrame, now: Duration) -> Interception {
+        if frame.from < self.ranks && frame.from != to && self.is_cut(frame.from, to) {
+            return Interception::Dropped;
+        }
         for rule in &self.rules {
             if !rule.matches(to, frame) {
                 continue;
@@ -257,9 +356,18 @@ impl std::fmt::Debug for FaultState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let killed: Vec<usize> = (0..self.killed.len()).filter(|&r| self.is_killed(r)).collect();
         let wedged: Vec<usize> = (0..self.wedged.len()).filter(|&r| self.is_wedged(r)).collect();
+        let mut cut = Vec::new();
+        for from in 0..self.ranks {
+            for to in 0..self.ranks {
+                if self.is_cut(from, to) {
+                    cut.push((from, to));
+                }
+            }
+        }
         f.debug_struct("FaultState")
             .field("killed", &killed)
             .field("wedged", &wedged)
+            .field("cut", &cut)
             .field("held", &self.held_count())
             .finish()
     }
@@ -341,5 +449,53 @@ mod tests {
     #[should_panic(expected = "fault targets rank 9")]
     fn arming_rejects_out_of_range_targets() {
         let _ = FaultPlan::new().kill_at(9, MS).arm(3);
+    }
+
+    #[test]
+    fn restart_clears_the_kill_flag_once_due() {
+        let state = FaultPlan::new().kill_at(1, 10 * MS).restart_at(1, 50 * MS).arm(2);
+        state.drive(20 * MS);
+        assert!(state.is_killed(1));
+        assert_eq!(state.drive(60 * MS), vec![FaultAction::Restart(1)]);
+        assert!(!state.is_killed(1), "a restarted rank is no longer fail-stopped");
+    }
+
+    #[test]
+    fn partition_cuts_exactly_one_direction() {
+        let state = FaultPlan::new().partition_at(0, 1, 10 * MS).arm(3);
+        state.drive(10 * MS);
+        assert!(state.is_cut(0, 1));
+        assert!(!state.is_cut(1, 0), "the reverse direction keeps flowing");
+        assert_eq!(state.intercept(1, &frame(0, 7), 20 * MS), Interception::Dropped);
+        assert_eq!(state.intercept(0, &frame(1, 7), 20 * MS), Interception::Deliver);
+        assert_eq!(state.intercept(2, &frame(0, 7), 20 * MS), Interception::Deliver, "other dest");
+    }
+
+    #[test]
+    fn heal_restores_the_cut_direction() {
+        let state = FaultPlan::new().partition_at(0, 1, 10 * MS).heal_at(0, 1, 40 * MS).arm(2);
+        state.drive(10 * MS);
+        assert_eq!(state.intercept(1, &frame(0, 7), 20 * MS), Interception::Dropped);
+        state.drive(40 * MS);
+        assert!(!state.is_cut(0, 1));
+        assert_eq!(state.intercept(1, &frame(0, 7), 50 * MS), Interception::Deliver);
+    }
+
+    #[test]
+    fn link_cut_takes_precedence_over_delay_rules() {
+        let state = FaultPlan::new()
+            .delay_frames(Some(0), Some(1), None, 100 * MS)
+            .partition_at(0, 1, 5 * MS)
+            .arm(2);
+        state.drive(5 * MS);
+        // A cut direction never holds frames — they are simply gone.
+        assert_eq!(state.intercept(1, &frame(0, 2), 10 * MS), Interception::Dropped);
+        assert_eq!(state.held_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct ranks")]
+    fn arming_rejects_a_self_link() {
+        let _ = FaultPlan::new().partition_at(1, 1, MS).arm(3);
     }
 }

@@ -6,10 +6,37 @@
 //! [`aohpc_runtime::LIVENESS_TAG_BASE`], metered outside the application
 //! control ledger), and each node folds what it hears into a [`Membership`]
 //! view — [`NodeState::Alive`] / [`NodeState::Suspect`] /
-//! [`NodeState::Dead`] per rank, each transition carrying an **incarnation
+//! [`NodeState::Dead`] per rank, each claim carrying an **incarnation
 //! number** so late frames from a declared-dead rank are recognizably stale
 //! and dropped instead of resurrecting it (or fulfilling a stale reply
 //! slot — the `shutdown()` vs node-death race).
+//!
+//! # Incarnation arbitration (SWIM-style)
+//!
+//! Every claim is a point `(incarnation, state)` in a lattice ordered by
+//! incarnation first and severity second (`Dead > Suspect > Alive` at equal
+//! incarnation).  Views converge by always adopting the larger point
+//! ([`Membership::adopt`], [`Membership::merge_view`]), which makes three
+//! recovery behaviours fall out of one rule:
+//!
+//! * **Refutation.**  A suspected-but-alive rank that hears an accusation
+//!   against its *current* incarnation bumps its own incarnation past the
+//!   claim and announces `Alive` at the new number — a strictly larger
+//!   point, so the accusation loses everywhere it raced to.  Each
+//!   incarnation refutes at most once: a repeated accusation of an already
+//!   refuted incarnation is stale and ignored (the "exactly one refutation"
+//!   the asymmetric-partition drill asserts).
+//! * **Rejoin.**  A restarted rank calls [`Membership::restart`], which
+//!   bumps its incarnation past anything its peers can believe about the
+//!   old one.  Its next heartbeat is therefore a larger point than the
+//!   `Dead` entry peers hold, reviving it ([`MembershipStats::rejoins`])
+//!   where a heartbeat from the *old* incarnation would still be ignored —
+//!   death is terminal per incarnation, never per rank.
+//! * **Anti-entropy.**  Heartbeats carry a digest of the sender's whole
+//!   view ([`Membership::digest`]); a receiver whose digest differs pulls
+//!   the peer's full `(state, incarnation)` vector and lattice-merges it,
+//!   so asymmetric partitions converge once any path between the divided
+//!   sides heals — without re-gossiping every transition.
 //!
 //! Detection is driven by the service's `Clock` seam: under a
 //! [`FakeClock`](aohpc_testalloc::sync::FakeClock) the pacemaker ticks on
@@ -43,8 +70,9 @@ pub enum NodeState {
     /// incarnation.
     Suspect,
     /// Silent past the death threshold (or fail-stopped by the fault
-    /// harness).  Terminal for the incarnation: only a *higher* incarnation
-    /// could revive the rank, which this cluster never issues.
+    /// harness).  Terminal for the *incarnation*: only a strictly higher
+    /// incarnation — a restarted rank re-announcing itself — revives the
+    /// entry ([`MembershipStats::rejoins`]).
     Dead,
 }
 
@@ -120,9 +148,21 @@ pub struct MembershipStats {
     pub deaths: u64,
     /// Suspect → Alive recoveries (a suspect refuted past its cooldown).
     pub recoveries: u64,
+    /// Dead → Alive revivals: a rank believed dead re-announced itself
+    /// under a strictly higher incarnation (a restart, or a refutation that
+    /// outran this view's death verdict).
+    pub rejoins: u64,
+    /// Times *this* rank bumped its own incarnation to refute an accusation
+    /// (a peer claimed it Suspect or Dead at its current incarnation).
+    pub refutations: u64,
     /// Frames dropped because they carried a stale incarnation (e.g. a
     /// `PLAN_REP` from a rank declared dead mid-flight).
     pub stale_replies_dropped: u64,
+    /// `PLAN_REQ` frames this rank refused to serve because they were
+    /// addressed to an older incarnation of itself (a request in flight
+    /// across its own restart — the old incarnation's obligations are
+    /// void; the requester re-homes).
+    pub stale_requests_dropped: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -236,8 +276,14 @@ impl Membership {
     /// Liveness evidence: any frame arriving from `from` at detector time
     /// `now` with the current incarnation refreshes its deadline, and — once
     /// a suspicion's cooldown has passed — clears the suspicion.  Returns a
-    /// recovery transition when it does.  Evidence from a dead rank (or a
-    /// stale incarnation) is ignored; death is terminal.
+    /// recovery transition when it does.
+    ///
+    /// Evidence carrying a **strictly higher** incarnation is arbitration:
+    /// the rank restarted (or refuted an accusation this view had already
+    /// escalated), so the claim wins outright — a `Dead` entry revives
+    /// ([`MembershipStats::rejoins`]) and a suspicion clears immediately,
+    /// cooldown notwithstanding.  Evidence from a dead rank at its dead (or
+    /// older) incarnation is ignored; death is terminal per incarnation.
     pub fn observe_alive(
         &self,
         from: usize,
@@ -246,6 +292,23 @@ impl Membership {
     ) -> Option<Transition> {
         let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         let node = &mut inner.nodes[from];
+        if incarnation > node.incarnation {
+            // A fresh incarnation announced itself: incarnation arbitration
+            // overrides Dead and bypasses the suspicion cooldown — the rank
+            // provably restarted (or refuted), it need not re-earn trust
+            // the way a flapping old incarnation must.
+            let was = node.state;
+            node.incarnation = incarnation;
+            node.state = NodeState::Alive;
+            node.last_seen = now;
+            node.cooldown_until = Duration::ZERO;
+            match was {
+                NodeState::Dead => inner.stats.rejoins += 1,
+                NodeState::Suspect => inner.stats.recoveries += 1,
+                NodeState::Alive => return None,
+            }
+            return Some(Transition { subject: from, to: NodeState::Alive, incarnation });
+        }
         if node.state == NodeState::Dead || incarnation < node.incarnation {
             return None;
         }
@@ -275,39 +338,109 @@ impl Membership {
         }
     }
 
-    /// Adopt a peer's stronger claim about `subject` (a `SUSPECT` broadcast):
-    /// views converge because Dead beats Suspect beats Alive at equal
-    /// incarnation, and a higher incarnation always wins.  Returns the local
-    /// transition if the claim changed anything.
-    pub fn adopt(&self, subject: usize, to: NodeState, incarnation: u64) -> Option<Transition> {
-        if subject == self.rank {
-            // A peer may suspect *us* (e.g. our fabric wedged); we do not
-            // mark ourselves, the pacemaker keeps refuting.
-            return None;
-        }
+    /// Whether a `PLAN_REQ` addressed to this rank at `expected` incarnation
+    /// is current — the request-side twin of [`Membership::accepts_reply`]:
+    /// a request sent before this rank restarted names the *old*
+    /// incarnation, whose obligations died with it.  Serving it would hand
+    /// a requester (that may already have re-homed the key) a reply it no
+    /// longer expects; dropping it is metered and forces the requester
+    /// through the normal timeout → refresh → retry path, which picks up
+    /// the new incarnation from its heartbeats.
+    pub fn accepts_request(&self, expected: u64) -> bool {
         let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let own = inner.nodes[self.rank].incarnation;
+        if expected >= own {
+            true
+        } else {
+            inner.stats.stale_requests_dropped += 1;
+            false
+        }
+    }
+
+    /// Adopt a peer's claim about `subject` (a `SUSPECT` broadcast or one
+    /// anti-entropy vector entry): views converge because claims form a
+    /// lattice — a higher incarnation always wins, and Dead beats Suspect
+    /// beats Alive at equal incarnation.  Claims are stored *exactly as
+    /// claimed* (no local re-bump), so every view settles on the same
+    /// `(incarnation, state)` point and digests agree after convergence.
+    ///
+    /// A claim about **this rank itself** is an accusation: if it would
+    /// condemn the current incarnation, the rank refutes SWIM-style —
+    /// bumps its own incarnation past the claim
+    /// ([`MembershipStats::refutations`]) and returns an `Alive` transition
+    /// at the new incarnation for the caller to broadcast.  An accusation
+    /// against an already-superseded incarnation is stale and ignored, so
+    /// each incarnation refutes at most once.
+    ///
+    /// Returns the local transition if the claim changed anything.
+    pub fn adopt(
+        &self,
+        subject: usize,
+        to: NodeState,
+        incarnation: u64,
+        now: Duration,
+    ) -> Option<Transition> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        Self::adopt_locked(self.rank, &self.tuning, &mut inner, subject, to, incarnation, now)
+    }
+
+    fn adopt_locked(
+        rank: usize,
+        tuning: &ClusterTuning,
+        inner: &mut ViewInner,
+        subject: usize,
+        to: NodeState,
+        incarnation: u64,
+        now: Duration,
+    ) -> Option<Transition> {
+        if subject == rank {
+            // An accusation against ourselves: we never mark ourselves down;
+            // we refute by outbidding the claim's incarnation.
+            let node = &mut inner.nodes[rank];
+            if to == NodeState::Alive || incarnation < node.incarnation {
+                return None;
+            }
+            node.incarnation = incarnation + 1;
+            let refuted =
+                Transition { subject: rank, to: NodeState::Alive, incarnation: node.incarnation };
+            inner.stats.refutations += 1;
+            return Some(refuted);
+        }
         let node = &mut inner.nodes[subject];
         let stronger = incarnation > node.incarnation
             || (incarnation == node.incarnation && rank_of_state(to) > rank_of_state(node.state));
         if !stronger {
             return None;
         }
-        node.incarnation = incarnation.max(node.incarnation);
+        let was = node.state;
+        node.incarnation = incarnation;
         node.state = to;
-        if to == NodeState::Dead {
-            // Bump past the dead incarnation so anything it sent is stale.
-            node.incarnation += 1;
-            inner.stats.deaths += 1;
-        } else if to == NodeState::Suspect {
-            inner.stats.suspicions += 1;
+        match to {
+            NodeState::Dead => inner.stats.deaths += 1,
+            NodeState::Suspect => {
+                node.cooldown_until = now + tuning.suspect_cooldown;
+                inner.stats.suspicions += 1;
+            }
+            NodeState::Alive => {
+                // An adopted revival (a refutation or rejoin that reached us
+                // second-hand): treat it as fresh evidence.
+                node.last_seen = now;
+                node.cooldown_until = Duration::ZERO;
+                match was {
+                    NodeState::Dead => inner.stats.rejoins += 1,
+                    NodeState::Suspect => inner.stats.recoveries += 1,
+                    NodeState::Alive => {}
+                }
+            }
         }
-        let incarnation = inner.nodes[subject].incarnation;
         Some(Transition { subject, to, incarnation })
     }
 
     /// Unilaterally declare `subject` dead (the fault harness's fail-stop, or
-    /// a fetch path that proved the owner gone).  Returns the transition if
-    /// the rank was not already dead.
+    /// a fetch path that proved the owner gone).  The verdict condemns the
+    /// subject's *current* incarnation — a restart announces a higher one
+    /// and revives the entry.  Returns the transition if the rank was not
+    /// already dead.
     pub fn declare_dead(&self, subject: usize) -> Option<Transition> {
         let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         let node = &mut inner.nodes[subject];
@@ -315,7 +448,6 @@ impl Membership {
             return None;
         }
         node.state = NodeState::Dead;
-        node.incarnation += 1;
         let incarnation = node.incarnation;
         inner.stats.deaths += 1;
         Some(Transition { subject, to: NodeState::Dead, incarnation })
@@ -381,8 +513,11 @@ impl Membership {
                     });
                 }
                 NodeState::Suspect if silent > dead_after => {
+                    // The verdict condemns the incarnation as claimed: every
+                    // view that adopts it lands on the same (incarnation,
+                    // Dead) point, and only a strictly higher incarnation —
+                    // a restart — revives it.
                     node.state = NodeState::Dead;
-                    node.incarnation += 1;
                     transitions.push(Transition {
                         subject: rank,
                         to: NodeState::Dead,
@@ -397,6 +532,84 @@ impl Membership {
                 NodeState::Suspect => inner.stats.suspicions += 1,
                 NodeState::Dead => inner.stats.deaths += 1,
                 NodeState::Alive => {}
+            }
+        }
+        transitions
+    }
+
+    /// Restart this rank's own membership after a fail-stop: bump its
+    /// incarnation past anything a peer can believe about the old one and
+    /// cold-reset the view (every peer Alive, deadlines from `now`) — the
+    /// rejoiner re-learns the world through heartbeats and anti-entropy
+    /// rather than trusting a view frozen at its moment of death.  Peers'
+    /// believed incarnations are kept: they only ever rise, and keeping
+    /// them means a stale frame from before the outage still loses.
+    ///
+    /// Returns the new incarnation (what the next heartbeat announces).
+    ///
+    /// The `+1` suffices because a peer's belief about this rank only ever
+    /// comes from this rank's own frames: a death verdict condemns the
+    /// *claimed* incarnation without re-bumping it, so no view can hold an
+    /// incarnation above our own.
+    pub fn restart(&self, now: Duration) -> u64 {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.last_tick = now;
+        let me = self.rank;
+        for (rank, node) in inner.nodes.iter_mut().enumerate() {
+            if rank == me {
+                node.incarnation += 1;
+            } else {
+                node.state = NodeState::Alive;
+            }
+            node.last_seen = now;
+            node.cooldown_until = Duration::ZERO;
+        }
+        inner.nodes[me].incarnation
+    }
+
+    /// An order-sensitive digest of the whole view's `(state, incarnation)`
+    /// vector — what heartbeats carry so a peer holding a *different* view
+    /// knows to pull ours ([`Membership::view_entries`]) and lattice-merge
+    /// it.  Converged views produce equal digests, so a quiescent cluster
+    /// exchanges no anti-entropy traffic at all.
+    pub fn digest(&self) -> u64 {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let mut acc = 0xa09_c0de_u64;
+        for node in &inner.nodes {
+            acc = mix64(acc ^ mix64(node.incarnation ^ ((rank_of_state(node.state) as u64) << 62)));
+        }
+        acc
+    }
+
+    /// The full `(state, incarnation)` vector, one entry per rank — the
+    /// anti-entropy sync payload a digest mismatch requests.
+    pub fn view_entries(&self) -> Vec<(NodeState, u64)> {
+        let inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.nodes.iter().map(|n| (n.state, n.incarnation)).collect()
+    }
+
+    /// Lattice-merge a peer's full view into ours: each entry is adopted
+    /// under the same arbitration as a gossiped claim (higher incarnation
+    /// wins; severity breaks ties), and an entry condemning *this* rank's
+    /// current incarnation triggers a refutation.  Because the merge only
+    /// ever moves entries up the lattice, repeated exchanges converge and
+    /// the digests stop differing.  Returns every local transition for the
+    /// caller to act on (waking fetchers, broadcasting refutations).
+    pub fn merge_view(&self, entries: &[(NodeState, u64)], now: Duration) -> Vec<Transition> {
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let ranks = inner.nodes.len();
+        let mut transitions = Vec::new();
+        for (subject, &(state, incarnation)) in entries.iter().enumerate().take(ranks) {
+            if let Some(t) = Self::adopt_locked(
+                self.rank,
+                &self.tuning,
+                &mut inner,
+                subject,
+                state,
+                incarnation,
+                now,
+            ) {
+                transitions.push(t);
             }
         }
         transitions
@@ -477,8 +690,9 @@ mod tests {
             vec![(2, NodeState::Suspect), (2, NodeState::Dead)],
             "one suspicion then one death, nothing else"
         );
-        // Death bumped the incarnation: frames from the old one are stale.
-        assert_eq!(view.incarnation_of(2), 1);
+        // The verdict condemns the incarnation as claimed (no re-bump), and
+        // a reply from the dead incarnation is stale regardless.
+        assert_eq!(view.incarnation_of(2), 0);
         assert!(!view.accepts_reply(2, 0));
         assert!(view.accepts_reply(1, 0));
         let stats = view.stats();
@@ -511,18 +725,135 @@ mod tests {
     }
 
     #[test]
+    fn higher_incarnation_revives_a_dead_entry() {
+        let view = fast_view(2);
+        view.declare_dead(1);
+        // The old incarnation keeps knocking; the door stays shut.
+        assert!(view.observe_alive(1, 0, 5 * MS).is_none());
+        assert_eq!(view.state_of(1), NodeState::Dead);
+        // The restarted rank announces incarnation 1: revival.
+        let t = view.observe_alive(1, 1, 10 * MS).expect("rejoin transition");
+        assert_eq!((t.subject, t.to, t.incarnation), (1, NodeState::Alive, 1));
+        assert_eq!(view.state_of(1), NodeState::Alive);
+        assert_eq!(view.incarnation_of(1), 1);
+        assert_eq!(view.stats().rejoins, 1);
+        // Replies from the new incarnation are current; the old stays stale.
+        assert!(view.accepts_reply(1, 1));
+        assert!(!view.accepts_reply(1, 0));
+    }
+
+    #[test]
+    fn fresh_incarnation_clears_suspicion_without_cooldown() {
+        let view = fast_view(2);
+        view.suspect(1, 10 * MS);
+        // Still inside the cooldown — but the incarnation bumped, so this
+        // is a refutation, not a flap: trust is restored immediately.
+        let t = view.observe_alive(1, 1, 12 * MS).expect("refutation observed");
+        assert_eq!((t.to, t.incarnation), (NodeState::Alive, 1));
+        assert_eq!(view.state_of(1), NodeState::Alive);
+        assert_eq!(view.stats().recoveries, 1);
+    }
+
+    #[test]
     fn adopt_converges_on_the_stronger_claim() {
         let view = fast_view(3);
-        assert!(view.adopt(2, NodeState::Suspect, 0).is_some());
+        assert!(view.adopt(2, NodeState::Suspect, 0, MS).is_some());
         // A weaker or equal claim changes nothing.
-        assert!(view.adopt(2, NodeState::Suspect, 0).is_none());
-        assert!(view.adopt(2, NodeState::Alive, 0).is_none());
-        // The stronger claim wins; death bumps the incarnation.
-        let t = view.adopt(2, NodeState::Dead, 0).expect("dead beats suspect");
-        assert_eq!(t.incarnation, 1);
-        // A node never adopts claims about itself.
-        assert!(view.adopt(0, NodeState::Dead, 5).is_none());
-        assert_eq!(view.state_of(0), NodeState::Alive);
+        assert!(view.adopt(2, NodeState::Suspect, 0, MS).is_none());
+        assert!(view.adopt(2, NodeState::Alive, 0, MS).is_none());
+        // The stronger claim wins and is stored exactly as claimed, so
+        // every adopter lands on the same lattice point.
+        let t = view.adopt(2, NodeState::Dead, 0, MS).expect("dead beats suspect");
+        assert_eq!(t.incarnation, 0);
+        assert_eq!(view.incarnation_of(2), 0);
+        // An Alive claim at a higher incarnation revives the dead entry.
+        let t = view.adopt(2, NodeState::Alive, 1, 2 * MS).expect("second-hand rejoin");
+        assert_eq!((t.to, t.incarnation), (NodeState::Alive, 1));
+        assert_eq!(view.stats().rejoins, 1);
+    }
+
+    #[test]
+    fn accusation_against_self_is_refuted_exactly_once() {
+        let view = fast_view(3);
+        // A peer suspects us at our current incarnation: refute by outbid.
+        let t = view.adopt(0, NodeState::Suspect, 0, MS).expect("refutation");
+        assert_eq!((t.subject, t.to, t.incarnation), (0, NodeState::Alive, 1));
+        assert_eq!(view.state_of(0), NodeState::Alive, "we never mark ourselves down");
+        assert_eq!(view.incarnation_of(0), 1);
+        // The same accusation again — and a death verdict on the already
+        // refuted incarnation — are stale: no second refutation.
+        assert!(view.adopt(0, NodeState::Suspect, 0, 2 * MS).is_none());
+        assert!(view.adopt(0, NodeState::Dead, 0, 2 * MS).is_none());
+        assert_eq!(view.stats().refutations, 1);
+        // A fresh accusation of the *new* incarnation is refuted anew.
+        let t = view.adopt(0, NodeState::Dead, 1, 3 * MS).expect("second refutation");
+        assert_eq!(t.incarnation, 2);
+        assert_eq!(view.stats().refutations, 2);
+    }
+
+    #[test]
+    fn restart_outbids_every_peer_belief_and_cold_resets_the_view() {
+        // Peer view: rank 1 suspected, then declared dead at incarnation 0.
+        let peer = fast_view(3);
+        peer.suspect(1, 10 * MS);
+        peer.declare_dead(1);
+        // Rank 1 restarts; its own view had condemned rank 2 meanwhile.
+        let me = Membership::new(1, 3, ClusterTuning::fast(), Duration::ZERO);
+        me.declare_dead(2);
+        let incarnation = me.restart(100 * MS);
+        assert_eq!(incarnation, 1);
+        assert_eq!(me.incarnation_of(1), 1);
+        assert_eq!(me.state_of(2), NodeState::Alive, "cold reset: re-learn the world");
+        // The announced incarnation revives the peer's dead entry.
+        assert!(peer.observe_alive(1, incarnation, 110 * MS).is_some());
+        assert_eq!(peer.state_of(1), NodeState::Alive);
+    }
+
+    #[test]
+    fn stale_requests_are_refused_and_metered() {
+        let me = Membership::new(1, 2, ClusterTuning::fast(), Duration::ZERO);
+        assert!(me.accepts_request(0));
+        me.restart(10 * MS);
+        // A request addressed to the pre-restart incarnation is void.
+        assert!(!me.accepts_request(0));
+        assert!(me.accepts_request(1));
+        assert_eq!(me.stats().stale_requests_dropped, 1);
+    }
+
+    #[test]
+    fn digests_differ_on_divergence_and_converge_after_merge() {
+        let a = Membership::new(0, 3, ClusterTuning::fast(), Duration::ZERO);
+        let b = Membership::new(1, 3, ClusterTuning::fast(), Duration::ZERO);
+        assert_eq!(a.digest(), b.digest(), "fresh views agree");
+        a.suspect(2, 10 * MS);
+        a.declare_dead(2);
+        assert_ne!(a.digest(), b.digest(), "divergence is visible");
+        let transitions = b.merge_view(&a.view_entries(), 20 * MS);
+        assert_eq!(transitions.len(), 1);
+        assert_eq!((transitions[0].subject, transitions[0].to), (2, NodeState::Dead));
+        assert_eq!(a.digest(), b.digest(), "lattice merge converges the views");
+        // Merging the other way is now a no-op.
+        assert!(a.merge_view(&b.view_entries(), 30 * MS).is_empty());
+    }
+
+    #[test]
+    fn merge_refutes_an_embedded_accusation_of_self() {
+        let a = Membership::new(0, 2, ClusterTuning::fast(), Duration::ZERO);
+        a.suspect(1, 10 * MS);
+        // Rank 1 pulls rank 0's view and finds itself suspected: the merge
+        // produces the refutation transition for the caller to broadcast.
+        let b = Membership::new(1, 2, ClusterTuning::fast(), Duration::ZERO);
+        let transitions = b.merge_view(&a.view_entries(), 20 * MS);
+        assert_eq!(transitions.len(), 1);
+        assert_eq!(
+            (transitions[0].subject, transitions[0].to, transitions[0].incarnation),
+            (1, NodeState::Alive, 1)
+        );
+        assert_eq!(b.stats().refutations, 1);
+        // Rank 0 hears the refutation (as a heartbeat at the new
+        // incarnation) and clears the suspicion despite the cooldown.
+        assert!(a.observe_alive(1, 1, 21 * MS).is_some());
+        assert_eq!(a.state_of(1), NodeState::Alive);
     }
 
     #[test]

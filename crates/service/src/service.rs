@@ -997,6 +997,24 @@ impl KernelService {
         self.inner.killed.load(Ordering::SeqCst)
     }
 
+    /// Revive a node killed by [`KernelService::kill_for_failover`]: the
+    /// restart seam of the rejoin path.  Models a fresh process on the same
+    /// rank — the plan cache is dropped cold (re-warmed through the fetcher
+    /// chain), then admissions reopen.  Returns `false` (no-op) if the node
+    /// was not killed.
+    pub(crate) fn revive_after_failover(&self) -> bool {
+        if !self.inner.killed.load(Ordering::SeqCst) {
+            return false;
+        }
+        // Cold cache *before* reopening admissions: a job admitted into the
+        // revived node must not resolve against pre-crash state.
+        self.inner.cache.invalidate_all();
+        self.inner.killed.store(false, Ordering::SeqCst);
+        // Wake parked submitters that backed off while the node was dead.
+        self.inner.capacity.bump();
+        true
+    }
+
     /// Deliver a failover outcome to the session's completion stream on this
     /// node (the supervisor finalizing an orphan; the stream entry was
     /// registered at original admission).
