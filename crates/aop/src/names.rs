@@ -60,6 +60,15 @@ pub const SERVICE_EXECUTE: &str = "Service::execute_spec";
 /// `cells`.
 pub const KERNEL_BLOCK: &str = "Kernel::execute_block";
 
+/// Call of the kernel compiler's shape-specialization matcher: a freshly
+/// lowered tape either qualified for a monomorphic super-instruction kernel
+/// or stayed on the generic interpreter.
+///
+/// Dispatched at compile/cache-insert time (not per block), so it is cheap
+/// enough to observe unconditionally.  Attrs: `family`, `ok` (1 = a
+/// specialized kernel was instantiated, 0 = generic).
+pub const KERNEL_SPECIALIZE: &str = "Kernel::specialize";
+
 /// Call of the plan cache's `resolve` (hit / cluster-fetch / compile chain).
 ///
 /// The body publishes the resolution origin back through the `origin` attr so
@@ -120,6 +129,7 @@ pub const ALL_JOIN_POINTS: &[&str] = &[
     WARM_UP,
     SERVICE_EXECUTE,
     KERNEL_BLOCK,
+    KERNEL_SPECIALIZE,
     CACHE_RESOLVE,
     CLUSTER_PLAN_REQ,
     CLUSTER_PLAN_REP,
@@ -140,6 +150,6 @@ mod tests {
             assert!(n.contains("::"), "join point {n} must be namespaced");
             assert!(seen.insert(*n), "duplicate join point name {n}");
         }
-        assert_eq!(ALL_JOIN_POINTS.len(), 17);
+        assert_eq!(ALL_JOIN_POINTS.len(), 18);
     }
 }

@@ -263,8 +263,12 @@ impl HpcApp<f64> for IrStencilApp {
         let mut step_stats = PerProcessorStats::default();
         for (bid, processor) in assignments {
             let ext = ctx.env().block(bid).meta.extent;
-            // Compile (or reuse) the plan for this block shape.
+            // Compile (or reuse) the plan for this block shape, and pre-size
+            // the execution scratch from the plan's tape statistics — the
+            // block loop below then allocates nothing even on its very first
+            // (cold) block.
             let compiled = self.compiled_for(ext);
+            compiled.prepare_scratch(&mut scratch.exec, processor);
             let (nx, ny) = (ext.nx, ext.ny);
 
             // The whole gather → execute → write-back unit runs through the

@@ -136,6 +136,38 @@ impl CompiledKernel {
         stats: &mut ExecStats,
         scratch: &mut ExecScratch,
     ) {
+        self.execute_block_impl(cells, params, halo, out, processor, stats, scratch, true);
+    }
+
+    /// [`execute_block`](CompiledKernel::execute_block) with the specialized
+    /// interior fast path disabled: always interpret the tape.  The reference
+    /// the specialization bit-identity tests and benches compare against.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_block_unspecialized(
+        &self,
+        cells: &[f64],
+        params: &[f64],
+        halo: &mut impl FnMut(i64, i64) -> f64,
+        out: &mut [f64],
+        processor: Processor,
+        stats: &mut ExecStats,
+        scratch: &mut ExecScratch,
+    ) {
+        self.execute_block_impl(cells, params, halo, out, processor, stats, scratch, false);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_block_impl(
+        &self,
+        cells: &[f64],
+        params: &[f64],
+        halo: &mut impl FnMut(i64, i64) -> f64,
+        out: &mut [f64],
+        processor: Processor,
+        stats: &mut ExecStats,
+        scratch: &mut ExecScratch,
+        use_spec: bool,
+    ) {
         self.check_block_args(cells, params, out);
         let plan = self.plan();
         let tape = self.tape();
@@ -153,50 +185,69 @@ impl CompiledKernel {
         // Interior: baked linear offsets, sequential order.
         let ops = tape.ops_per_cell();
         let nx = plan.extent_nx as i64;
-        match processor {
-            Processor::Scalar => {
-                for y in plan.interior.y0..plan.interior.y1 {
-                    for x in plan.interior.x0..plan.interior.x1 {
-                        let idx = (y * nx + x) as usize;
-                        out[idx] = tape.exec_cell(cells, idx, regs);
-                        stats.interior_cells += 1;
-                        stats.scalar_ops += ops;
+        match self.spec().filter(|_| use_spec) {
+            // Specialized fast path: the whole body as one monomorphic loop,
+            // zero interpreter dispatch, same group structure and accounting.
+            Some(spec) => {
+                let (w0, w1) = spec.weight_regs();
+                spec.exec_region(
+                    cells,
+                    out,
+                    0,
+                    &plan.interior,
+                    plan.extent_nx,
+                    lanes,
+                    regs[w0 as usize],
+                    regs[w1 as usize],
+                    ops,
+                    stats,
+                );
+            }
+            None => match processor {
+                Processor::Scalar => {
+                    for y in plan.interior.y0..plan.interior.y1 {
+                        for x in plan.interior.x0..plan.interior.x1 {
+                            let idx = (y * nx + x) as usize;
+                            out[idx] = tape.exec_cell(cells, idx, regs);
+                            stats.interior_cells += 1;
+                            stats.scalar_ops += ops;
+                        }
                     }
                 }
-            }
-            Processor::Simd | Processor::Accelerator => {
-                tape.broadcast_prelude(regs, lane_regs);
-                tape.broadcast_prelude(regs, wide_regs);
-                for y in plan.interior.y0..plan.interior.y1 {
-                    let mut x = plan.interior.x0;
-                    // Super-groups of WIDE cells (4 lane-groups per tape
-                    // dispatch); the accounting stays one vector op per
-                    // LANES-wide group, matching the modelled SIMD width.
-                    while x + (WIDE as i64) <= plan.interior.x1 {
-                        let base = (y * nx + x) as usize;
-                        tape.exec_lanes(cells, base, wide_regs, &mut out[base..base + WIDE]);
-                        stats.interior_cells += WIDE as u64;
-                        stats.vector_ops += ops * (WIDE / LANES) as u64;
-                        x += WIDE as i64;
-                    }
-                    // Full lane-groups.
-                    while x + (LANES as i64) <= plan.interior.x1 {
-                        let base = (y * nx + x) as usize;
-                        tape.exec_lanes(cells, base, lane_regs, &mut out[base..base + LANES]);
-                        stats.interior_cells += LANES as u64;
-                        stats.vector_ops += ops;
-                        x += LANES as i64;
-                    }
-                    // Remainder cells of the row.
-                    while x < plan.interior.x1 {
-                        let idx = (y * nx + x) as usize;
-                        out[idx] = tape.exec_cell(cells, idx, regs);
-                        stats.interior_cells += 1;
-                        stats.scalar_ops += ops;
-                        x += 1;
+                Processor::Simd | Processor::Accelerator => {
+                    tape.broadcast_prelude(regs, lane_regs);
+                    tape.broadcast_prelude(regs, wide_regs);
+                    for y in plan.interior.y0..plan.interior.y1 {
+                        let mut x = plan.interior.x0;
+                        // Super-groups of WIDE cells (4 lane-groups per tape
+                        // dispatch); the accounting stays one vector op per
+                        // LANES-wide group, matching the modelled SIMD width.
+                        while x + (WIDE as i64) <= plan.interior.x1 {
+                            let base = (y * nx + x) as usize;
+                            tape.exec_lanes(cells, base, wide_regs, &mut out[base..base + WIDE]);
+                            stats.interior_cells += WIDE as u64;
+                            stats.vector_ops += ops * (WIDE / LANES) as u64;
+                            x += WIDE as i64;
+                        }
+                        // Full lane-groups.
+                        while x + (LANES as i64) <= plan.interior.x1 {
+                            let base = (y * nx + x) as usize;
+                            tape.exec_lanes(cells, base, lane_regs, &mut out[base..base + LANES]);
+                            stats.interior_cells += LANES as u64;
+                            stats.vector_ops += ops;
+                            x += LANES as i64;
+                        }
+                        // Remainder cells of the row.
+                        while x < plan.interior.x1 {
+                            let idx = (y * nx + x) as usize;
+                            out[idx] = tape.exec_cell(cells, idx, regs);
+                            stats.interior_cells += 1;
+                            stats.scalar_ops += ops;
+                            x += 1;
+                        }
                     }
                 }
-            }
+            },
         }
 
         // Boundary: resolved accesses, halo loads through the platform.

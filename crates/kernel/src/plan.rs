@@ -19,9 +19,11 @@
 //! plan is computed once per (program, block shape) pair and reused — the
 //! compile-time analogue of MMAT's run-time memoization.
 
+use crate::backend::Processor;
 use crate::opt::{Dag, OptLevel};
 use crate::program::StencilProgram;
-use crate::tape::ExecTape;
+use crate::spec::{SpecializationId, SpecializedKernel};
+use crate::tape::{ExecScratch, ExecTape};
 use aohpc_env::Extent;
 use serde::Serialize;
 use std::sync::Arc;
@@ -218,6 +220,10 @@ pub struct CompiledKernel {
     dag: Dag,
     plan: AccessPlan,
     tape: ExecTape,
+    /// The monomorphic fast path when the lowered tape matched a hot shape
+    /// (`None` = interpret the tape).  Decided once, here, so plan caches
+    /// amortize the match alongside the lowering.
+    spec: Option<SpecializedKernel>,
     /// For every DAG node, the index of its offset in `plan.offsets`
     /// (`usize::MAX` for non-load nodes).  Hoisted out of the per-block path
     /// so even the tree-walk oracle never searches at run time; only that
@@ -235,6 +241,7 @@ impl CompiledKernel {
         // optimizer do not cost halo fetches.
         let plan = AccessPlan::build(&dag.offsets(), extent.nx, extent.ny);
         let tape = ExecTape::lower(&dag, &plan);
+        let spec = SpecializedKernel::try_match(&tape);
         #[cfg(any(test, feature = "tree-walk"))]
         let load_slots = crate::tape::load_slot_table(&dag, &plan);
         CompiledKernel {
@@ -243,6 +250,7 @@ impl CompiledKernel {
             dag,
             plan,
             tape,
+            spec,
             #[cfg(any(test, feature = "tree-walk"))]
             load_slots,
         }
@@ -263,6 +271,7 @@ impl CompiledKernel {
         assert_eq!(extent.nz, 1, "the subkernel IR targets 2-D blocks");
         let plan = AccessPlan::build(&dag.offsets(), extent.nx, extent.ny);
         let tape = ExecTape::lower(&dag, &plan);
+        let spec = SpecializedKernel::try_match(&tape);
         #[cfg(any(test, feature = "tree-walk"))]
         let load_slots = crate::tape::load_slot_table(&dag, &plan);
         CompiledKernel {
@@ -271,6 +280,7 @@ impl CompiledKernel {
             dag,
             plan,
             tape,
+            spec,
             #[cfg(any(test, feature = "tree-walk"))]
             load_slots,
         }
@@ -299,6 +309,29 @@ impl CompiledKernel {
     /// The register-allocated execution tape (lowered once, at compile time).
     pub fn tape(&self) -> &ExecTape {
         &self.tape
+    }
+
+    /// Which specialized loop (if any) executes this kernel's interior.
+    pub fn specialization(&self) -> SpecializationId {
+        self.spec.as_ref().map(SpecializedKernel::id).unwrap_or(SpecializationId::Generic)
+    }
+
+    /// The matched specialization, when the tape qualified.
+    pub(crate) fn spec(&self) -> Option<&SpecializedKernel> {
+        self.spec.as_ref()
+    }
+
+    /// Pre-size a scratch from this kernel's compile-time stats so that every
+    /// later [`execute_block`](CompiledKernel::execute_block) call — even the
+    /// very first, cold one — performs zero allocations.  Plan-resolve time
+    /// is the natural call site: the tape's register count and the plan's
+    /// operand-slot count are both known here.
+    pub fn prepare_scratch(&self, scratch: &mut ExecScratch, processor: Processor) {
+        scratch.ensure(
+            self.tape.num_regs(),
+            self.plan.offsets.len(),
+            processor != Processor::Scalar,
+        );
     }
 
     /// The compile-time load→offset-slot table (`usize::MAX` for non-load

@@ -58,6 +58,7 @@ use crate::family::{
 };
 use crate::opt::{Dag, Node, OptLevel, OptStats};
 use crate::program::{ProgramFingerprint, StencilProgram};
+use crate::spec::SpecializationId;
 use aohpc_env::Extent;
 use std::fmt;
 
@@ -65,8 +66,16 @@ use std::fmt;
 const MAGIC: [u8; 4] = *b"AOPK";
 /// Current wire-format version.  Version 2 added the family tag byte to the
 /// header (version 1 frames were implicitly stencil-only and are refused —
-/// no compatibility shim, the cluster is always homogeneous).
-const VERSION: u16 = 2;
+/// no compatibility shim, the cluster is always homogeneous).  Version 3
+/// appends a three-byte specialization annotation (`[tag, neighbors, form]`,
+/// see [`crate::spec::SpecializationId`]) after the family payload; version
+/// 2 frames are still accepted and decode as
+/// [`SpecializationId::Generic`] — hydration re-derives the real
+/// specialization deterministically, so old frames lose nothing but the
+/// advisory stamp.
+const VERSION: u16 = 3;
+/// Oldest wire-format version this build still accepts.
+const MIN_VERSION: u16 = 2;
 /// Upper bound on wire-claimed DAG sizes (a hostility guard far above any
 /// real subkernel, not a functional limit).
 const MAX_DAG_NODES: usize = 1 << 20;
@@ -174,6 +183,11 @@ pub struct PortableKernel {
     /// The sender's optimized DAG (stencil compiled form only): hydration
     /// reuses it instead of re-running the optimizer.
     dag: Option<Dag>,
+    /// The sender's specialization verdict (v3 frames; advisory).  The
+    /// receiving rank re-derives specialization during hydration — the
+    /// matcher is deterministic, so a mismatch can only mean frame
+    /// tampering the digest already catches, never a semantic drift.
+    spec: SpecializationId,
 }
 
 impl PortableKernel {
@@ -188,6 +202,7 @@ impl PortableKernel {
             ny: extent.ny,
             level,
             dag: None,
+            spec: SpecializationId::Generic,
         }
     }
 
@@ -209,6 +224,10 @@ impl PortableKernel {
             ny: artifact.extent().ny,
             level,
             dag: artifact.as_stencil().map(|k| k.dag().clone()),
+            spec: artifact
+                .as_stencil()
+                .map(|k| k.specialization())
+                .unwrap_or(SpecializationId::Generic),
         }
     }
 
@@ -240,6 +259,16 @@ impl PortableKernel {
     /// Whether this is the compiled stencil form (carries the sender's DAG).
     pub fn carries_dag(&self) -> bool {
         self.dag.is_some()
+    }
+
+    /// The sender's specialization verdict carried by the frame (v3).
+    ///
+    /// Advisory: [`PortableKernel::hydrate`] re-runs the deterministic
+    /// shape matcher, so the hydrated artifact's specialization is always
+    /// recomputed locally.  Version-2 frames decode as
+    /// [`SpecializationId::Generic`] here and still specialize on hydrate.
+    pub fn specialization(&self) -> SpecializationId {
+        self.spec
     }
 
     /// Serialize to the versioned wire format.
@@ -282,6 +311,14 @@ impl PortableKernel {
                 }
             }
         }
+        // v3: specialization annotation `[tag, neighbors, form]`, digest
+        // covered.  Advisory — receivers re-derive it during hydration.
+        match self.spec {
+            SpecializationId::Generic => out.extend_from_slice(&[0, 0, 0]),
+            SpecializationId::WeightedSum { neighbors, form } => {
+                out.extend_from_slice(&[1, neighbors, form]);
+            }
+        }
         // Integrity digest over everything above.  The fingerprint stamp
         // only covers the *program*; the digest covers the whole frame —
         // in particular the DAG, whose constants the program-consistency
@@ -303,7 +340,7 @@ impl PortableKernel {
             return Err(PortableError::BadMagic);
         }
         let version = u16::from_le_bytes(take(bytes, &mut pos, 2)?.try_into().expect("two bytes"));
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(PortableError::UnsupportedVersion(version));
         }
         let family_tag = take(bytes, &mut pos, 1)?[0];
@@ -374,6 +411,22 @@ impl PortableKernel {
                 )
             }
         };
+        // v3: specialization annotation.  v2 frames predate the stamp and
+        // decode as Generic — hydration re-specializes either way.
+        let spec = if version >= 3 {
+            let payload = take(bytes, &mut pos, 3)?;
+            match payload[0] {
+                0 => SpecializationId::Generic,
+                1 => SpecializationId::WeightedSum { neighbors: payload[1], form: payload[2] },
+                t => {
+                    return Err(PortableError::BadProgram(format!(
+                        "unknown specialization tag {t}"
+                    )))
+                }
+            }
+        } else {
+            SpecializationId::Generic
+        };
         let stated = u128::from_le_bytes(take(bytes, &mut pos, 16)?.try_into().expect("sixteen"));
         if pos != bytes.len() {
             return Err(PortableError::TrailingBytes(bytes.len() - pos));
@@ -391,7 +444,7 @@ impl PortableKernel {
         if frame_digest(&bytes[..bytes.len() - 16]) != stated {
             return Err(PortableError::CorruptFrame);
         }
-        Ok(PortableKernel { program, nx, ny, level, fingerprint: stamped, dag })
+        Ok(PortableKernel { program, nx, ny, level, fingerprint: stamped, dag, spec })
     }
 
     /// Turn the portable form back into an executable plan on this rank.
@@ -696,6 +749,75 @@ mod tests {
         assert_eq!(remote.tape(), local.tape(), "re-lowered tape is bit-identical");
         assert_eq!(remote.plan(), local.plan(), "access plan resolves identically");
         assert!(program.same_structure(&FamilyProgram::from(StencilProgram::jacobi_5pt())));
+    }
+
+    #[test]
+    fn specialization_annotation_travels_and_matches_recomputation() {
+        // jacobi qualifies for the weighted-sum specialization; the v3
+        // frame carries the sender's verdict, and hydration re-derives the
+        // exact same one on the receiving rank.
+        let packed = jacobi_portable();
+        assert_ne!(packed.specialization(), SpecializationId::Generic);
+        let decoded = PortableKernel::from_bytes(&packed.to_bytes()).expect("roundtrip");
+        assert_eq!(decoded.specialization(), packed.specialization());
+        let (_, artifact) = decoded.hydrate();
+        assert_eq!(
+            artifact.as_stencil().expect("stencil").specialization(),
+            decoded.specialization(),
+            "carried annotation must match the receiver's recomputation"
+        );
+
+        // A shape the matcher refuses stays Generic on the wire too.
+        let edgy =
+            StencilProgram::new("edgy", (load(0, 0) - load(-3, 2)).abs().sqrt() / param(1), 3)
+                .unwrap();
+        let kernel = CompiledKernel::compile(&edgy, Extent::new2d(12, 5), OptLevel::Full);
+        let packed = PortableKernel::from_compiled(
+            &FamilyProgram::from(edgy),
+            &FamilyArtifact::Stencil(Arc::new(kernel)),
+            OptLevel::Full,
+        );
+        assert_eq!(packed.specialization(), SpecializationId::Generic);
+        let decoded = PortableKernel::from_bytes(&packed.to_bytes()).unwrap();
+        assert_eq!(decoded.specialization(), SpecializationId::Generic);
+    }
+
+    #[test]
+    fn version2_frames_still_parse_and_respecialize_on_hydrate() {
+        // Rebuild the sender's frame as a pre-specialization v2 frame:
+        // version bytes rewound, the three-byte spec annotation dropped,
+        // digest recomputed over the shortened body.
+        let wire = jacobi_portable().to_bytes();
+        let body_len = wire.len() - 16 - 3;
+        let mut v2 = wire[..body_len].to_vec();
+        v2[4..6].copy_from_slice(&2u16.to_le_bytes());
+        let digest = frame_digest(&v2);
+        v2.extend_from_slice(&digest.to_le_bytes());
+
+        let decoded = PortableKernel::from_bytes(&v2).expect("v2 frames are still accepted");
+        assert_eq!(
+            decoded.specialization(),
+            SpecializationId::Generic,
+            "v2 frames predate the annotation"
+        );
+        let (_, artifact) = decoded.hydrate();
+        assert_ne!(
+            artifact.as_stencil().expect("stencil").specialization(),
+            SpecializationId::Generic,
+            "hydration re-derives the specialization the old frame could not carry"
+        );
+    }
+
+    #[test]
+    fn unknown_specialization_tags_are_refused() {
+        let wire = jacobi_portable().to_bytes();
+        let tag_pos = wire.len() - 16 - 3;
+        let mut forged = wire[..tag_pos].to_vec();
+        forged.extend_from_slice(&[9, 0, 0]);
+        let digest = frame_digest(&forged);
+        forged.extend_from_slice(&digest.to_le_bytes());
+        let err = PortableKernel::from_bytes(&forged).unwrap_err();
+        assert!(matches!(err, PortableError::BadProgram(ref m) if m.contains("specialization")));
     }
 
     #[test]

@@ -34,6 +34,14 @@
 //! `no_alloc` regression test with a counting allocator).  [`ScratchPool`]
 //! lets long-lived hosts (the multi-tenant service) recycle scratch across
 //! jobs per worker.
+//!
+//! The tape is the *middle* of three execution tiers — tree-walk oracle →
+//! tape → specialized — each bit-identical to the last.  When the lowered
+//! tape matches a known hot shape, [`crate::spec::SpecializedKernel`]
+//! replaces the whole per-cell interpretation by one monomorphic
+//! super-instruction loop (and [`crate::spec::FusedKernel`] sweeps several
+//! compatible tapes in one pass); see `spec.rs` for how a shape qualifies
+//! and `BENCH_kernel.json` for the measured trajectory across tiers.
 
 use crate::expr::{BinOp, UnaryOp};
 use crate::opt::{Dag, Node};
@@ -229,14 +237,14 @@ pub struct TapeStats {
 /// pair.  See the [module docs](self) for the lowering rules.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecTape {
-    prelude: Vec<PreludeOp>,
-    body: Vec<TapeOp>,
+    pub(crate) prelude: Vec<PreludeOp>,
+    pub(crate) body: Vec<TapeOp>,
     /// `(slot, delta)` pairs referenced by chain instructions, in fold order.
-    load_table: Vec<(u16, isize)>,
-    root: Reg,
-    num_regs: usize,
-    ops_per_cell: u64,
-    stats: TapeStats,
+    pub(crate) load_table: Vec<(u16, isize)>,
+    pub(crate) root: Reg,
+    pub(crate) num_regs: usize,
+    pub(crate) ops_per_cell: u64,
+    pub(crate) stats: TapeStats,
 }
 
 /// Symbolic instruction used between fusion marking and register allocation:

@@ -71,6 +71,57 @@ fn warm_execute_block_is_allocation_free() {
     assert!(checksum.is_finite());
 }
 
+/// Regression: the *cold* path is allocation-free too.  The first
+/// `execute_block` on a fresh scratch used to pay two heap allocations
+/// (lazy `ExecScratch` sizing); plans now expose
+/// [`CompiledKernel::prepare_scratch`], sizing the scratch from the tape's
+/// recorded statistics at plan-resolve time, so even block zero never
+/// touches the heap — for generic tapes and specialized ones alike.
+#[test]
+fn cold_execute_block_is_allocation_free_after_prepare() {
+    let generic = StencilProgram::new(
+        "cold-probe",
+        param(0) * load(0, 0)
+            + param(1) * (load(0, -1) + load(-1, 0) + load(1, 0) + load(0, 1))
+            + (-load(0, 0)).abs() * lit(0.125),
+        2,
+    )
+    .unwrap();
+    // jacobi qualifies for the weighted-sum specialization: the fast path
+    // must honour the same zero-alloc contract as the interpreter.
+    let specialized = StencilProgram::jacobi_5pt();
+    let n = 40usize;
+    for program in [generic, specialized] {
+        let compiled = CompiledKernel::compile(&program, Extent::new2d(n, n), OptLevel::Full);
+        let cells: Vec<f64> = (0..n * n).map(|k| (k % 13) as f64 * 0.25 + 0.5).collect();
+        let params = [0.5, 0.125];
+        let mut out = vec![0.0f64; n * n];
+        for proc in [Processor::Scalar, Processor::Simd, Processor::Accelerator] {
+            let mut scratch = ExecScratch::new();
+            compiled.prepare_scratch(&mut scratch, proc);
+            let (_, allocs) = aohpc_testalloc::count_in(|| {
+                let mut stats = ExecStats::default();
+                compiled.execute_block(
+                    &cells,
+                    &params,
+                    &mut |x, y| (x + y) as f64 * 0.1,
+                    &mut out,
+                    proc,
+                    &mut stats,
+                    &mut scratch,
+                );
+                assert!(stats.boundary_cells > 0);
+            });
+            assert_eq!(
+                allocs,
+                0,
+                "{} {proc:?}: cold execute_block after prepare_scratch must not allocate",
+                program.name()
+            );
+        }
+    }
+}
+
 /// Regression: `ExecScratch` recycled through a [`ScratchPool`] across jobs
 /// stays zero-alloc warm under worker churn — acquire/release cycles, a
 /// second transient "worker" forcing a cold scratch, and a capacity

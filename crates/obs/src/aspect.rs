@@ -6,6 +6,7 @@
 //!
 //! - [`ObsServiceAspect`] advises the service-plane join points
 //!   ([`names::SERVICE_EXECUTE`], [`names::CACHE_RESOLVE`],
+//!   [`names::KERNEL_SPECIALIZE`],
 //!   [`names::CLUSTER_PLAN_REQ`], [`names::CLUSTER_PLAN_REP`],
 //!   [`names::CLUSTER_SUSPECT`], [`names::CLUSTER_FAILOVER`],
 //!   [`names::CLUSTER_REJOIN`], [`names::CLUSTER_PARTITION`]).  One
@@ -68,6 +69,7 @@ impl Aspect for ObsServiceAspect {
         let failover_hub = Arc::clone(&self.hub);
         let rejoin_hub = Arc::clone(&self.hub);
         let partition_hub = Arc::clone(&self.hub);
+        let spec_hub = Arc::clone(&self.hub);
         vec![
             AdviceBinding::new(
                 Pointcut::execution(names::SERVICE_EXECUTE),
@@ -98,6 +100,22 @@ impl Aspect for ObsServiceAspect {
                         .resolve_ns
                         .record(resolve_hub.recorder().now_nanos().saturating_sub(open.start_ns));
                     resolve_hub.recorder().end_with(open, origin, family);
+                }),
+            ),
+            AdviceBinding::new(
+                Pointcut::call(names::KERNEL_SPECIALIZE),
+                Advice::around(move |ctx, proceed| {
+                    // Specialization happens once per compile/cache insert,
+                    // never per block: a span per verdict is cheap.
+                    let (trace, parent) = ctx_ids(ctx);
+                    let open = spec_hub.recorder().start(names::KERNEL_SPECIALIZE, trace, parent);
+                    proceed(ctx);
+                    let family = ctx.attr(attr::FAMILY).unwrap_or(-1);
+                    let ok = ctx.attr(attr::OK).unwrap_or(0);
+                    if ok == 1 {
+                        spec_hub.metrics().specializations.inc();
+                    }
+                    spec_hub.recorder().end_with(open, family, ok);
                 }),
             ),
             AdviceBinding::new(

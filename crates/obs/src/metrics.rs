@@ -205,6 +205,9 @@ pub struct Metrics {
     /// Scripted link events (directional cuts and heals) from the fault
     /// harness.
     pub partitions: Counter,
+    /// Tapes that qualified for a monomorphic super-instruction kernel at
+    /// compile/cache-insert time (`Kernel::specialize`, `ok` = 1).
+    pub specializations: Counter,
     kernel_rates: Mutex<HashMap<u64, KernelRate>>,
 }
 

@@ -18,8 +18,8 @@
 
 use crate::session::SessionId;
 use aohpc_kernel::{
-    FamilyProgram, OptLevel, ParticleProgram, ProgramFingerprint, SchedulePolicy, StencilProgram,
-    UsGridProgram,
+    FamilyProgram, OptLevel, ParticleProgram, ProgramFingerprint, SchedulePolicy, SpecializationId,
+    StencilProgram, UsGridProgram,
 };
 use aohpc_runtime::{CompletionSlot, Progress, ProgressNotifier, RunSummary, Topology, WeaveMode};
 use aohpc_workloads::{RegionSize, Scale};
@@ -242,6 +242,23 @@ pub struct FailoverProvenance {
     pub checkpoint_steps: u64,
 }
 
+/// How a job's execution shared a worker pass with other jobs — attached to
+/// its [`JobReport`] when the service's opt-in cross-job batch fuser ran the
+/// job as one member of a fused multi-root pass.
+///
+/// Fusion is transparent to results: the fused tape keeps every member's
+/// register file, root, and [`RunSummary`] accounting separate, so checksum,
+/// summary, and completion order are bit-identical to an unfused run — this
+/// record is provenance, not a semantic change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct FusionProvenance {
+    /// Number of jobs fused into the shared pass (including this one).
+    pub width: usize,
+    /// This job's member index within the fused pass (0-based, admission
+    /// order).
+    pub member: usize,
+}
+
 /// The result of one completed job.
 #[derive(Debug, Clone, Serialize)]
 pub struct JobReport {
@@ -287,6 +304,15 @@ pub struct JobReport {
     /// Set when the job was orphaned by a dead node and replayed on a
     /// survivor; `None` for jobs that ran where they were admitted.
     pub failover: Option<FailoverProvenance>,
+    /// The specialization tier the job's primary plan executed on:
+    /// [`SpecializationId::Generic`] for the tape interpreter, a shape id
+    /// (e.g. `weighted-sum/4pt/form7`) when the compiler instantiated a
+    /// monomorphic super-instruction kernel.  Always `Generic` for
+    /// non-stencil families.
+    pub specialization: SpecializationId,
+    /// Set when the opt-in batch fuser ran this job as one member of a fused
+    /// multi-root pass; `None` for jobs that executed solo.
+    pub fusion: Option<FusionProvenance>,
 }
 
 /// Why a job resolved without a report.

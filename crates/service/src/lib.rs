@@ -86,6 +86,7 @@
 pub mod cache;
 pub mod cluster;
 pub mod fault;
+mod fuse;
 pub mod job;
 pub mod membership;
 pub mod service;
@@ -100,8 +101,8 @@ pub use cluster::{
 };
 pub use fault::{FaultAction, FaultPlan, FaultState, Interception};
 pub use job::{
-    FailoverProvenance, JobError, JobErrorKind, JobHandle, JobId, JobOutcome, JobReport, JobSpec,
-    JobSpecError, JobStatus,
+    FailoverProvenance, FusionProvenance, JobError, JobErrorKind, JobHandle, JobId, JobOutcome,
+    JobReport, JobSpec, JobSpecError, JobStatus,
 };
 pub use membership::{
     rendezvous_owner, ClusterTuning, Membership, MembershipStats, NodeState, Transition,
@@ -113,8 +114,8 @@ pub use session::{CompletionStream, SessionCtx, SessionId, SessionMeter, Session
 // without depending on `aohpc-kernel` directly — and the runtime's progress
 // type, which `JobHandle::progress` returns.
 pub use aohpc_kernel::{
-    FamilyProgram, KernelFamilyId, ParticleProgram, ProgramFingerprint, StencilProgram,
-    UsGridProgram,
+    FamilyProgram, KernelFamilyId, ParticleProgram, ProgramFingerprint, SpecializationId,
+    StencilProgram, UsGridProgram,
 };
 pub use aohpc_runtime::Progress;
 

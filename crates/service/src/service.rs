@@ -45,7 +45,7 @@ use aohpc_dsl::{
 use aohpc_env::Extent;
 use aohpc_kernel::{
     new_stencil_field_sink, FamilyArtifact, HeteroDispatcher, IrStencilApp, ScratchPool,
-    ScratchPoolStats,
+    ScratchPoolStats, SpecializationId,
 };
 use aohpc_obs::{
     push_context, AdmissionCounters, CacheCounters, Histogram, JobCounters, ObsHub, ObsRunAspect,
@@ -91,6 +91,17 @@ pub struct ServiceConfig {
     /// Handle/stream-only deployments can switch this off so an undrained
     /// service does not accumulate reports without bound.
     pub retain_reports: bool,
+    /// Maximum cross-job batch-fusion width (`0` or `1` disables fusion, the
+    /// default).  When ≥ 2, a worker that dequeues a job drains up to
+    /// `batch_fusion - 1` further *compatible* queued jobs (same stencil
+    /// geometry, serial topology — see the [`fuse`](crate::service) driver)
+    /// and runs the whole batch as one fused sweep: one traversal of the
+    /// shared block structure executes every member's tape, amortizing
+    /// gather/scatter and dispatch across the batch.  Reports, checksums and
+    /// completion streams are bit-identical to unfused execution; each
+    /// member's [`JobReport::fusion`](crate::JobReport) records its batch
+    /// provenance.
+    pub batch_fusion: usize,
 }
 
 impl Default for ServiceConfig {
@@ -103,6 +114,7 @@ impl Default for ServiceConfig {
             max_queued_jobs: 1024,
             admission_timeout: Duration::from_secs(30),
             retain_reports: true,
+            batch_fusion: 0,
         }
     }
 }
@@ -153,6 +165,15 @@ impl ServiceConfig {
     /// Enable or disable report retention for the synchronous drain path.
     pub fn with_report_retention(mut self, retain: bool) -> Self {
         self.retain_reports = retain;
+        self
+    }
+
+    /// Enable cross-job batch fusion up to `width` members per batch
+    /// (clamped to the kernel layer's
+    /// [`MAX_FUSION_WIDTH`](aohpc_kernel::MAX_FUSION_WIDTH); `0` / `1`
+    /// disables fusion).
+    pub fn with_batch_fusion(mut self, width: usize) -> Self {
+        self.batch_fusion = width.min(aohpc_kernel::MAX_FUSION_WIDTH);
         self
     }
 }
@@ -337,12 +358,12 @@ impl CapacitySignal {
     }
 }
 
-struct Queued {
-    cell: Arc<JobCell>,
-    spec: JobSpec,
+pub(crate) struct Queued {
+    pub(crate) cell: Arc<JobCell>,
+    pub(crate) spec: JobSpec,
     /// When admission accepted the job (on the service clock), so the worker
     /// that dequeues it can meter the queue-wait latency.
-    admitted_at: Duration,
+    pub(crate) admitted_at: Duration,
 }
 
 /// A job stranded on a killed node, handed to the failover supervisor for
@@ -366,21 +387,21 @@ pub(crate) struct OrphanedJob {
 pub(crate) type OrphanSink = Arc<dyn Fn(OrphanedJob) + Send + Sync>;
 
 pub(crate) struct Inner {
-    config: ServiceConfig,
-    cache: Arc<PlanCache>,
+    pub(crate) config: ServiceConfig,
+    pub(crate) cache: Arc<PlanCache>,
     /// Execution-scratch recycling across jobs: each job's tasks check their
     /// tape register files out of this pool and the task-context drop returns
     /// them, so a worker's steady-state jobs run on warm buffers.
-    scratch: Arc<ScratchPool>,
-    sessions: Mutex<HashMap<SessionId, SessionCtx>>,
+    pub(crate) scratch: Arc<ScratchPool>,
+    pub(crate) sessions: Mutex<HashMap<SessionId, SessionCtx>>,
     /// Per-session completion streams (attached lazily; see
     /// [`KernelService::completion_stream`]).  Lock order: `sessions` may be
     /// held while taking this lock, never the reverse.
     streams: Mutex<HashMap<SessionId, Arc<StreamState>>>,
-    results: Mutex<Vec<JobReport>>,
-    pending: StdMutex<u64>,
-    idle: Condvar,
-    capacity: Arc<CapacitySignal>,
+    pub(crate) results: Mutex<Vec<JobReport>>,
+    pub(crate) pending: StdMutex<u64>,
+    pub(crate) idle: Condvar,
+    pub(crate) capacity: Arc<CapacitySignal>,
     /// Jobs admitted but not yet dequeued by a worker.  Checked and
     /// incremented under the `sessions` lock, so it never exceeds
     /// `config.max_queued_jobs` — which is also the channel's capacity, so
@@ -401,27 +422,35 @@ pub(crate) struct Inner {
     /// The failover supervisor's orphan intake, when this node runs inside a
     /// cluster with fault tolerance enabled.
     orphan_sink: Mutex<Option<OrphanSink>>,
-    clock: ServiceClock,
+    pub(crate) clock: ServiceClock,
     /// Queue-wait latency distribution, always on (recording is a handful of
     /// relaxed atomics) — backs the `admission_stats` p50/p99 whether or not
     /// an observer is installed.
-    queue_wait: Histogram,
+    pub(crate) queue_wait: Histogram,
     /// The observability hub, when one was installed at construction
     /// ([`KernelService::with_observer`]).
-    obs: Option<Arc<ObsHub>>,
+    pub(crate) obs: Option<Arc<ObsHub>>,
     /// The service plane's own woven program: carries the obs aspect around
     /// `Service::execute_spec` and `PlanCache::resolve`.  Empty — and the
     /// dispatch sites skipped entirely — when no hub is installed, so the
     /// unobserved path pays nothing.
-    service_woven: WovenProgram,
+    pub(crate) service_woven: WovenProgram,
 }
 
 impl Inner {
     /// The session's stream state, if one is attached *and* has a live
     /// consumer — callers skip building the outcome (a report clone on the
     /// completion hot path) entirely otherwise.
-    fn consumer_stream(&self, session: SessionId) -> Option<Arc<StreamState>> {
+    pub(crate) fn consumer_stream(&self, session: SessionId) -> Option<Arc<StreamState>> {
         self.streams.lock().get(&session).filter(|s| s.has_consumers()).cloned()
+    }
+
+    /// Bookkeeping for taking one job off the bounded channel outside the
+    /// worker loop (the fusion drain, and the fusion unit tests): free the
+    /// queue slot and wake backpressured submitters.
+    pub(crate) fn note_dequeued(&self) {
+        self.queued.fetch_sub(1, Ordering::SeqCst);
+        self.capacity.bump();
     }
 
     /// Deliver an outcome to the session's stream, if a consumer is
@@ -462,11 +491,12 @@ impl Inner {
 /// [`KernelService::drain`] (or wait the handles) first if their results
 /// matter.
 pub struct KernelService {
-    inner: Arc<Inner>,
+    pub(crate) inner: Arc<Inner>,
     queue: Option<Sender<Queued>>,
-    // Kept so `submit` stays valid in admission-only mode (0 workers), and
-    // so shutdown can abandon a backlog no worker will ever drain.
-    queue_rx: Receiver<Queued>,
+    // Kept so `submit` stays valid in admission-only mode (0 workers), so
+    // shutdown can abandon a backlog no worker will ever drain, and so the
+    // batch-fusion unit tests can dequeue deterministically.
+    pub(crate) queue_rx: Receiver<Queued>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -578,14 +608,26 @@ impl KernelService {
                         while let Ok(queued) = rx.recv() {
                             // The queue slot frees as soon as the job is
                             // dequeued; tell backpressured submitters.
-                            inner.queued.fetch_sub(1, Ordering::SeqCst);
-                            inner.capacity.bump();
+                            inner.note_dequeued();
                             if inner.killed.load(Ordering::SeqCst) {
                                 // Fail-stop: anything dequeued after the kill
                                 // goes to the failover sink, never a worker.
                                 orphan_one(&inner, queued);
                             } else if inner.shutting_down.load(Ordering::Relaxed) {
                                 abandon_one(&inner, &queued.cell);
+                            } else if inner.config.batch_fusion >= 2 {
+                                // Batch fusion: drain compatible backlog
+                                // behind this job and run it as one fused
+                                // sweep.  An incompatible job stops the
+                                // drain and becomes the head of the next
+                                // one, so it still gets a chance to fuse
+                                // with whatever queued behind it.
+                                let mut head = Some(queued);
+                                while let Some(first) = head.take() {
+                                    let (batch, stashed) = drain_batch(&inner, &rx, first);
+                                    crate::fuse::run_batch(&inner, batch);
+                                    head = stashed;
+                                }
                             } else {
                                 run_one(&inner, queued);
                             }
@@ -1146,16 +1188,56 @@ fn orphan_one(inner: &Inner, queued: Queued) {
     }
 }
 
+/// Drain up to `batch_fusion - 1` further jobs behind `first` from the
+/// queue's backlog, stopping at the first fusion-incompatible job (returned
+/// separately so the worker runs it solo right after the batch).  Draining
+/// performs the same dequeue bookkeeping the worker loop does; fail-stop and
+/// shutdown checks stop the drain and route the job the same way the loop
+/// head would.
+fn drain_batch(
+    inner: &Inner,
+    rx: &Receiver<Queued>,
+    first: Queued,
+) -> (Vec<Queued>, Option<Queued>) {
+    let mut batch = vec![first];
+    let mut stashed = None;
+    while batch.len() < inner.config.batch_fusion {
+        let Ok(next) = rx.try_recv() else { break };
+        inner.note_dequeued();
+        if inner.killed.load(Ordering::SeqCst) {
+            orphan_one(inner, next);
+            break;
+        }
+        if inner.shutting_down.load(Ordering::Relaxed) {
+            abandon_one(inner, &next.cell);
+            break;
+        }
+        if crate::fuse::fusion_compatible(&batch[0].spec, &next.spec) {
+            batch.push(next);
+        } else {
+            stashed = Some(next);
+            break;
+        }
+    }
+    (batch, stashed)
+}
+
 /// Execute one queued job on the calling worker thread and resolve it.
-fn run_one(inner: &Inner, queued: Queued) {
+pub(crate) fn run_one(inner: &Inner, queued: Queued) {
     let Queued { cell, spec, admitted_at } = queued;
     if !cell.begin_running() {
         // A cancel won the race; it settled every counter already.
         return;
     }
+    run_claimed(inner, cell, spec, admitted_at);
+}
+
+/// Execute a job whose cell has already been claimed (`begin_running`
+/// succeeded) — the body of [`run_one`], also the solo fallback of the
+/// batch-fusion driver.
+pub(crate) fn run_claimed(inner: &Inner, cell: Arc<JobCell>, spec: JobSpec, admitted_at: Duration) {
     let queue_wait = inner.clock.now().saturating_sub(admitted_at);
     inner.queue_wait.record(queue_wait.as_nanos() as u64);
-    let job = cell.job;
     let session = cell.session;
     let fingerprint = spec.program.fingerprint();
     let program_name = spec.program.name().to_string();
@@ -1186,6 +1268,8 @@ fn run_one(inner: &Inner, queued: Queued) {
     let prewarm_hit: std::cell::Cell<Option<bool>> = std::cell::Cell::new(None);
     let resolve_time: std::cell::Cell<Duration> = std::cell::Cell::new(Duration::ZERO);
     let execute_time: std::cell::Cell<Duration> = std::cell::Cell::new(Duration::ZERO);
+    let spec_tier: std::cell::Cell<SpecializationId> =
+        std::cell::Cell::new(SpecializationId::Generic);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         // Resolve the job's primary plan up front so the hit/miss is
         // attributable to *this* job; the app's own plan lookups then hit the
@@ -1196,6 +1280,9 @@ fn run_one(inner: &Inner, queued: Queued) {
         let resolve_start = inner.clock.now();
         let (artifact, origin) = resolve_primary(inner, &spec, primary, pin_plans, trace_ctx);
         prewarm_hit.set(Some(origin == PlanOrigin::Hit));
+        if let Some(kernel) = artifact.as_stencil() {
+            spec_tier.set(kernel.specialization());
+        }
         resolve_time.set(inner.clock.now().saturating_sub(resolve_start));
         let execute_start = inner.clock.now();
         let result = execute_traced(inner, &spec, &cell, &artifact, trace_ctx);
@@ -1215,6 +1302,57 @@ fn run_one(inner: &Inner, queued: Queued) {
         }
     };
 
+    settle_finished(
+        inner,
+        FinishedJob {
+            cell,
+            fingerprint,
+            program: program_name,
+            cache_hit,
+            checksum: checksum_value,
+            simulated_seconds,
+            summary,
+            error,
+            trace_ctx,
+            obs_root: obs_job.map(|(_, open)| open),
+            queue_wait,
+            resolve_time: resolve_time.get(),
+            execute_time: execute_time.get(),
+            specialization: spec_tier.get(),
+            fusion: None,
+        },
+    );
+}
+
+/// Everything the completion path needs to resolve one finished job — built
+/// by [`run_claimed`] for solo jobs and by the batch-fusion driver once per
+/// fused member.
+pub(crate) struct FinishedJob {
+    pub(crate) cell: Arc<JobCell>,
+    pub(crate) fingerprint: aohpc_kernel::ProgramFingerprint,
+    pub(crate) program: String,
+    pub(crate) cache_hit: Option<bool>,
+    pub(crate) checksum: f64,
+    pub(crate) simulated_seconds: f64,
+    pub(crate) summary: aohpc_runtime::RunSummary,
+    pub(crate) error: Option<String>,
+    pub(crate) trace_ctx: Option<(u64, u64)>,
+    pub(crate) obs_root: Option<aohpc_obs::OpenSpan>,
+    pub(crate) queue_wait: Duration,
+    pub(crate) resolve_time: Duration,
+    pub(crate) execute_time: Duration,
+    pub(crate) specialization: SpecializationId,
+    pub(crate) fusion: Option<crate::job::FusionProvenance>,
+}
+
+/// Meter the session, build the [`JobReport`] and resolve the job exactly
+/// once: retained results, completion stream, status, session accounting,
+/// handle, pending count and capacity wake-ups — in the order the drain
+/// invariants require.
+pub(crate) fn settle_finished(inner: &Inner, done: FinishedJob) {
+    let FinishedJob { cell, fingerprint, program, cache_hit, checksum, .. } = &done;
+    let job = cell.job;
+    let session = cell.session;
     // Meter the session *without* releasing its in-flight slot yet: the
     // report must be in `results` before in_flight drops to zero, or a
     // concurrent `drain_session` could observe an idle session and miss its
@@ -1229,8 +1367,8 @@ fn run_one(inner: &Inner, queued: Queued) {
                     Some(false) => meter.plan_cache_misses += 1,
                     None => {} // panicked before/while resolving the plan
                 }
-                meter.cells_updated += summary.writes;
-                meter.simulated_seconds += simulated_seconds;
+                meter.cells_updated += done.summary.writes;
+                meter.simulated_seconds += done.simulated_seconds;
                 ctx.tenant().to_string()
             }
             None => "unknown".to_string(),
@@ -1241,18 +1379,20 @@ fn run_one(inner: &Inner, queued: Queued) {
         job,
         session,
         tenant,
-        program: program_name,
-        fingerprint,
+        program: program.clone(),
+        fingerprint: *fingerprint,
         plan_cache_hit: cache_hit.unwrap_or(false),
-        checksum: checksum_value,
-        simulated_seconds,
-        summary,
-        error,
-        trace_id: trace_ctx.map(|(trace, _)| trace),
-        queue_wait,
-        resolve_time: resolve_time.get(),
-        execute_time: execute_time.get(),
+        checksum: *checksum,
+        simulated_seconds: done.simulated_seconds,
+        summary: done.summary.clone(),
+        error: done.error.clone(),
+        trace_id: done.trace_ctx.map(|(trace, _)| trace),
+        queue_wait: done.queue_wait,
+        resolve_time: done.resolve_time,
+        execute_time: done.execute_time,
         failover: None,
+        specialization: done.specialization,
+        fusion: done.fusion,
     };
     // Close the job's trace root and settle the hub's job-level metrics; the
     // per-phase spans/histograms were filed by the woven obs advice.
@@ -1269,7 +1409,7 @@ fn run_one(inner: &Inner, queued: Queued) {
             report.summary.writes,
             report.execute_time.as_nanos() as u64,
         );
-        if let Some((_, open)) = obs_job {
+        if let Some(open) = done.obs_root {
             hub.recorder().end_with(open, job as i64, i64::from(report.error.is_none()));
         }
     }
@@ -1306,7 +1446,7 @@ fn run_one(inner: &Inner, queued: Queued) {
 /// dispatched through the service's woven program, so the obs aspect wraps
 /// it in a span parented into the job's tree — the body publishes the plan's
 /// [`PlanOrigin`] as an attribute for the advice to file.
-fn resolve_primary(
+pub(crate) fn resolve_primary(
     inner: &Inner,
     spec: &JobSpec,
     primary: Extent,
@@ -1335,7 +1475,32 @@ fn resolve_primary(
             resolved = Some((artifact, origin));
         },
     );
-    resolved.expect("resolve body runs exactly once")
+    let resolved = resolved.expect("resolve body runs exactly once");
+    // A fresh insert (local compile or cluster fetch + re-lower) ran the
+    // shape-specialization matcher: record its verdict through the
+    // `Kernel::specialize` join point, parented into the same job tree.
+    // Cache hits reuse an already-recorded verdict, so they stay silent.
+    if resolved.1 != PlanOrigin::Hit {
+        let specialized = resolved
+            .0
+            .as_stencil()
+            .map(|k| k.specialization() != SpecializationId::Generic)
+            .unwrap_or(false);
+        let attrs = [
+            (attr::TRACE, trace as i64),
+            (attr::PARENT, parent as i64),
+            (attr::FAMILY, i64::from(spec.program.family().tag())),
+        ];
+        let mut payload = ();
+        inner.service_woven.dispatch_with(
+            names::KERNEL_SPECIALIZE,
+            JoinPointKind::Call,
+            &attrs,
+            &mut payload,
+            &mut |ctx| ctx.set_attr(attr::OK, i64::from(specialized)),
+        );
+    }
+    resolved
 }
 
 /// Run [`execute_spec`], wrapped in the `Service::execute_spec` join point
@@ -1402,7 +1567,7 @@ fn execute_spec(
 /// the job's trace and root-span ids (rank threads have no thread-local span
 /// context); the returned [`RunFinisher`] closes the final step spans after
 /// the run returns.
-fn weave_for(
+pub(crate) fn weave_for(
     inner: &Inner,
     spec: &JobSpec,
     cell: &JobCell,
